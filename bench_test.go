@@ -1,0 +1,535 @@
+// Benchmark harness regenerating every artifact of Benoit & Robert
+// (RR-6308). Each benchmark corresponds to an entry of the experiment
+// index in DESIGN.md:
+//
+//	T1  BenchmarkTable1_*          — one per Table 1 (platform, graph, model) cell
+//	E2  BenchmarkSection2Example   — the worked example
+//	F1  BenchmarkFigure1Pipeline   — Figure 1 construction/rendering
+//	F2  BenchmarkFigure2Fork       — Figure 2 construction/rendering
+//	L1  BenchmarkLemma1            — no data-par needed for period on hom platforms
+//	L2  BenchmarkLemma2            — no replication needed for latency
+//	X1  BenchmarkForkJoin          — Section 6.3 extension
+//	R*  BenchmarkReduction_*       — the five NP-hardness reductions
+//	A1  BenchmarkAblation*         — design-choice ablations
+//	A2  BenchmarkSimValidation     — simulator vs analytic model
+//
+// Benchmarks assert correctness (b.Fatal on mismatch) while measuring the
+// solver cost, so `go test -bench=. -benchmem` doubles as an experiment
+// run.
+package repliflow_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repliflow/internal/chains"
+	"repliflow/internal/core"
+	"repliflow/internal/exhaustive"
+	"repliflow/internal/forkalgo"
+	"repliflow/internal/fullmodel"
+	"repliflow/internal/heuristics"
+	"repliflow/internal/mapping"
+	"repliflow/internal/nph"
+	"repliflow/internal/numeric"
+	"repliflow/internal/pipealgo"
+	"repliflow/internal/platform"
+	"repliflow/internal/sim"
+	"repliflow/internal/table"
+	"repliflow/internal/workflow"
+)
+
+// ---------------------------------------------------------------------------
+// T1: Table 1, one benchmark per (platform, graph, model) cell. Each
+// iteration verifies all three objectives of the cell on fresh random
+// instances.
+
+func benchmarkTable1Cell(b *testing.B, platHom bool, graph table.GraphRow, withDP bool) {
+	rng := rand.New(rand.NewSource(1))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for _, obj := range []core.Objective{core.MinPeriod, core.MinLatency, core.LatencyUnderPeriod} {
+			cell := table.Cell{PlatformHom: platHom, Graph: graph, WithDP: withDP, Objective: obj}
+			ev := table.VerifyCell(rng, cell, 1)
+			if ev.Trials > 0 && ev.Agreements != ev.Trials {
+				// On NP-hard bounded-objective cells the forced heuristic
+				// may report feasibility false negatives (documented
+				// behaviour, flagged by Solution.Exact == false).
+				if !(ev.Classification.Complexity == core.NPHard && obj == core.LatencyUnderPeriod) {
+					b.Fatalf("%s: %d/%d verified", cell, ev.Agreements, ev.Trials)
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkTable1(b *testing.B) {
+	for _, platHom := range []bool{true, false} {
+		for _, graph := range []table.GraphRow{table.HomPipeline, table.HetPipeline, table.HomFork, table.HetFork} {
+			for _, withDP := range []bool{false, true} {
+				plat := "HetPlatform"
+				if platHom {
+					plat = "HomPlatform"
+				}
+				model := "NoDP"
+				if withDP {
+					model = "DP"
+				}
+				name := fmt.Sprintf("%s/%s/%s", plat, sanitize(string(graph)), model)
+				b.Run(name, func(b *testing.B) {
+					benchmarkTable1Cell(b, platHom, graph, withDP)
+				})
+			}
+		}
+	}
+}
+
+func sanitize(s string) string {
+	out := make([]rune, 0, len(s))
+	for _, r := range s {
+		switch r {
+		case ' ', '.':
+		default:
+			out = append(out, r)
+		}
+	}
+	return string(out)
+}
+
+// ---------------------------------------------------------------------------
+// E2: the Section 2 worked example.
+
+func BenchmarkSection2Example(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rows := table.Section2Report()
+		for _, r := range rows {
+			if !r.Match && r.Note == "" {
+				b.Fatalf("%s: unexpected mismatch", r.ID)
+			}
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// F1/F2: the application graphs of Figures 1 and 2.
+
+func BenchmarkFigure1Pipeline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		p := workflow.NewPipeline(14, 4, 2, 4)
+		if p.Render() == "" || p.TotalWork() != 24 {
+			b.Fatal("figure 1 construction failed")
+		}
+	}
+}
+
+func BenchmarkFigure2Fork(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f := workflow.NewFork(2, 1, 3, 5)
+		if f.Render() == "" || f.TotalWork() != 11 {
+			b.Fatal("figure 2 construction failed")
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// L1/L2: the structural lemmas, verified on random instances.
+
+func BenchmarkLemma1(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < b.N; i++ {
+		p := workflow.RandomPipeline(rng, 1+rng.Intn(4), 9)
+		pl := platform.Homogeneous(1+rng.Intn(4), float64(1+rng.Intn(3)))
+		with, _ := exhaustive.PipelinePeriod(p, pl, true)
+		without, _ := exhaustive.PipelinePeriod(p, pl, false)
+		if !numeric.Eq(with.Cost.Period, without.Cost.Period) {
+			b.Fatalf("Lemma 1 violated: %v vs %v", with.Cost.Period, without.Cost.Period)
+		}
+	}
+}
+
+func BenchmarkLemma2(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < b.N; i++ {
+		p := workflow.RandomPipeline(rng, 1+rng.Intn(4), 9)
+		pl := platform.Random(rng, 1+rng.Intn(3), 4)
+		opt, _ := exhaustive.PipelineLatency(p, pl, false)
+		// Without data-parallelism the optimum is the fastest processor.
+		want := p.TotalWork() / pl.MaxSpeed()
+		if !numeric.Eq(opt.Cost.Latency, want) {
+			b.Fatalf("Lemma 2 / Theorem 6 violated: %v vs %v", opt.Cost.Latency, want)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// X1: the Section 6.3 fork-join extension against exhaustive search.
+
+func BenchmarkForkJoin(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < b.N; i++ {
+		fj := workflow.HomogeneousForkJoin(float64(1+rng.Intn(9)), float64(1+rng.Intn(9)), rng.Intn(3), float64(1+rng.Intn(9)))
+		pl := platform.Random(rng, 1+rng.Intn(3), 4)
+		res, err := forkalgo.HetHomForkJoinLatencyNoDP(fj, pl)
+		if err != nil {
+			b.Fatal(err)
+		}
+		opt, ok := exhaustive.ForkJoinLatency(fj, pl, false)
+		if !ok || !numeric.Eq(res.Cost.Latency, opt.Cost.Latency) {
+			b.Fatalf("fork-join extension diverges: %v vs %v", res.Cost.Latency, opt.Cost.Latency)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// R*: the NP-hardness reductions.
+
+func BenchmarkReduction_Theorem5(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < b.N; i++ {
+		a := []int{3 + rng.Intn(5), 5 + rng.Intn(5), 10 + rng.Intn(3), 1 + rng.Intn(2), 13}
+		_, yes, err := nph.TwoPartition(a)
+		if err != nil {
+			b.Fatal(err)
+		}
+		p, pl, bound := nph.Theorem5Latency(a)
+		opt, ok := exhaustive.PipelineLatency(p, pl, true)
+		if !ok {
+			b.Fatal("no mapping")
+		}
+		_ = yes
+		_ = opt
+		_ = bound
+	}
+}
+
+func BenchmarkReduction_Theorem9(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	ins := nph.RandomYesN3DM(rng, 2, 5)
+	p, pl, bound, err := nph.Theorem9(ins)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		opt, ok := exhaustive.PipelinePeriod(p, pl, false)
+		if !ok || numeric.Greater(opt.Cost.Period, bound) {
+			b.Fatalf("yes-instance not mapped within period 1: %v", opt.Cost.Period)
+		}
+	}
+}
+
+func BenchmarkReduction_Theorem12(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < b.N; i++ {
+		a := []int{1 + rng.Intn(9), 1 + rng.Intn(9), 1 + rng.Intn(9)}
+		_, yes, _ := nph.TwoPartition(a)
+		f, pl, bound := nph.Theorem12(a)
+		opt, ok := exhaustive.ForkLatency(f, pl, false)
+		if !ok || numeric.LessEq(opt.Cost.Latency, bound) != yes {
+			b.Fatalf("Theorem 12 reduction violated on %v", a)
+		}
+	}
+}
+
+func BenchmarkReduction_Theorem13(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		a := []int{5, 8, 3, 4, 6}
+		_, yes, _ := nph.TwoPartition(a)
+		f, pl, bound := nph.Theorem13Period(a)
+		opt, ok := exhaustive.ForkPeriod(f, pl, true)
+		if !ok || numeric.LessEq(opt.Cost.Period, bound) != yes {
+			b.Fatal("Theorem 13 reduction violated")
+		}
+	}
+}
+
+func BenchmarkReduction_Theorem15(b *testing.B) {
+	rng := rand.New(rand.NewSource(8))
+	for i := 0; i < b.N; i++ {
+		a := []int{1 + rng.Intn(9), 1 + rng.Intn(9), 1 + rng.Intn(9)}
+		_, yes, _ := nph.TwoPartition(a)
+		f, pl, bound := nph.Theorem15(a)
+		opt, ok := exhaustive.ForkPeriod(f, pl, false)
+		if !ok || numeric.LessEq(opt.Cost.Period, bound) != yes {
+			b.Fatalf("Theorem 15 reduction violated on %v", a)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// A1: ablations — the paper's polynomial algorithms against exhaustive
+// search and against the chains-to-chains baseline without replication.
+
+// BenchmarkAblationTheorem7VsExhaustive contrasts the polynomial Theorem 7
+// algorithm with exponential search on the same instances.
+func BenchmarkAblationTheorem7VsExhaustive(b *testing.B) {
+	p := workflow.HomogeneousPipeline(8, 3)
+	pl := platform.New(5, 4, 3, 3, 2, 2, 1, 1)
+	b.Run("Theorem7", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := pipealgo.HetHomPipelinePeriodNoDP(p, pl); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("Exhaustive", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, ok := exhaustive.PipelinePeriod(p, pl, false); !ok {
+				b.Fatal("no mapping")
+			}
+		}
+	})
+}
+
+// BenchmarkAblationReplicationVsChains measures what replication buys over
+// the classic chains-to-chains mapping (one interval per processor, no
+// replication) on a homogeneous platform: Theorem 1 reaches W/(p*s) while
+// chains-to-chains is stuck at the bottleneck interval.
+func BenchmarkAblationReplicationVsChains(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	var sumGain float64
+	var count int
+	b.Run("Chains", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			p := workflow.RandomPipeline(rng, 8, 9)
+			if _, _, err := chains.DP(p.Weights, 4); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("Theorem1", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			p := workflow.RandomPipeline(rng, 8, 9)
+			pl := platform.Homogeneous(4, 1)
+			res, err := pipealgo.HomPeriod(p, pl)
+			if err != nil {
+				b.Fatal(err)
+			}
+			_, chainVal, err := chains.DP(p.Weights, 4)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if numeric.Greater(res.Cost.Period, chainVal) {
+				b.Fatal("replication worse than chains-to-chains")
+			}
+			sumGain += chainVal / res.Cost.Period
+			count++
+		}
+		if count > 0 {
+			b.ReportMetric(sumGain/float64(count), "speedup")
+		}
+	})
+}
+
+// BenchmarkAblationHeuristicGap measures the heuristic/optimal ratio on
+// the Theorem 9 NP-hard cell.
+func BenchmarkAblationHeuristicGap(b *testing.B) {
+	rng := rand.New(rand.NewSource(10))
+	var worst, sum float64 = 1, 0
+	var count int
+	for i := 0; i < b.N; i++ {
+		p := workflow.RandomPipeline(rng, 2+rng.Intn(4), 12)
+		pl := platform.Random(rng, 2+rng.Intn(3), 6)
+		_, hc, err := heuristics.HetPipelinePeriodNoDP(p, pl)
+		if err != nil {
+			b.Fatal(err)
+		}
+		opt, ok := exhaustive.PipelinePeriod(p, pl, false)
+		if !ok {
+			continue
+		}
+		gap := hc.Period / opt.Cost.Period
+		if numeric.Less(gap, 1) {
+			b.Fatalf("heuristic beats optimum: gap %v", gap)
+		}
+		sum += gap
+		count++
+		if gap > worst {
+			worst = gap
+		}
+	}
+	if count > 0 {
+		b.ReportMetric(sum/float64(count), "mean-gap")
+		b.ReportMetric(worst, "worst-gap")
+	}
+}
+
+// ---------------------------------------------------------------------------
+// A2: simulator-vs-analytic validation.
+
+func BenchmarkSimValidation(b *testing.B) {
+	p := workflow.NewPipeline(14, 4, 2, 4)
+	pl := platform.New(2, 2, 1, 1)
+	m := mapping.PipelineMapping{Intervals: []mapping.PipelineInterval{
+		mapping.NewPipelineInterval(0, 0, mapping.DataParallel, 0, 1),
+		mapping.NewPipelineInterval(1, 3, mapping.Replicated, 2, 3),
+	}}
+	analytic, err := mapping.EvalPipeline(p, pl, m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr, err := sim.SimulatePipeline(p, pl, m, sim.Arrivals(1000, 0))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rel := tr.SteadyStatePeriod() / analytic.Period; rel < 0.98 || rel > 1.02 {
+			b.Fatalf("simulated period %v diverges from analytic %v", tr.SteadyStatePeriod(), analytic.Period)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Scaling benchmarks for the individual polynomial algorithms.
+
+func BenchmarkTheorem3DP(b *testing.B) {
+	for _, size := range []struct{ n, p int }{{4, 4}, {8, 8}, {16, 16}} {
+		b.Run(fmt.Sprintf("n%d_p%d", size.n, size.p), func(b *testing.B) {
+			p := workflow.HomogeneousPipeline(size.n, 5)
+			pl := platform.Homogeneous(size.p, 1)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := pipealgo.HomLatencyDP(p, pl); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkTheorem7(b *testing.B) {
+	rng := rand.New(rand.NewSource(11))
+	for _, size := range []struct{ n, p int }{{8, 4}, {16, 8}, {32, 16}} {
+		b.Run(fmt.Sprintf("n%d_p%d", size.n, size.p), func(b *testing.B) {
+			p := workflow.HomogeneousPipeline(size.n, 3)
+			pl := platform.Random(rng, size.p, 9)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := pipealgo.HetHomPipelinePeriodNoDP(p, pl); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkTheorem14(b *testing.B) {
+	rng := rand.New(rand.NewSource(12))
+	for _, size := range []struct{ n, p int }{{4, 4}, {8, 8}, {16, 12}} {
+		b.Run(fmt.Sprintf("n%d_p%d", size.n, size.p), func(b *testing.B) {
+			f := workflow.HomogeneousFork(5, size.n, 3)
+			pl := platform.Random(rng, size.p, 9)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := forkalgo.HetHomForkLatencyNoDP(f, pl); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkChains(b *testing.B) {
+	rng := rand.New(rand.NewSource(13))
+	a := make([]float64, 64)
+	for i := range a {
+		a[i] = float64(1 + rng.Intn(99))
+	}
+	b.Run("DP", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := chains.DP(a, 8); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("Nicol", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := chains.Nicol(a, 8); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationLocalSearch measures what hill climbing adds on top of
+// the constructive chains+replication heuristic for the Theorem 9 cell.
+func BenchmarkAblationLocalSearch(b *testing.B) {
+	rng := rand.New(rand.NewSource(14))
+	var sumImprovement float64
+	var count int
+	for i := 0; i < b.N; i++ {
+		p := workflow.RandomPipeline(rng, 3+rng.Intn(4), 12)
+		pl := platform.Random(rng, 3+rng.Intn(3), 6)
+		start, c0, err := heuristics.HetPipelinePeriodNoDPConstructive(p, pl)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_, c1, err := heuristics.LocalSearchPipelinePeriod(p, pl, start)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if numeric.Greater(c1.Period, c0.Period) {
+			b.Fatal("local search worsened the period")
+		}
+		sumImprovement += c0.Period / c1.Period
+		count++
+	}
+	if count > 0 {
+		b.ReportMetric(sumImprovement/float64(count), "mean-improvement")
+	}
+}
+
+// BenchmarkParetoFront measures the generic trade-off sweep on the
+// Section 2 instance.
+func BenchmarkParetoFront(b *testing.B) {
+	p := workflow.NewPipeline(14, 4, 2, 4)
+	pl := platform.New(2, 2, 1, 1)
+	pr := core.Problem{Pipeline: &p, Platform: pl, AllowDataParallel: true}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		front, err := core.ParetoFront(pr, core.Options{})
+		if err != nil || len(front) == 0 || !core.FrontIsMonotone(front) {
+			b.Fatalf("bad front: %v (err=%v)", len(front), err)
+		}
+	}
+}
+
+// BenchmarkFullModel exercises the communication-aware general model of
+// Sections 3.2-3.3 (Equations (1) and (2)): the homogeneous DP against the
+// exact solver.
+func BenchmarkFullModel(b *testing.B) {
+	weights := []float64{8, 3, 5, 2, 7}
+	data := []float64{1, 4, 2, 6, 3, 1}
+	p := fullmodel.NewPipeline(weights, data)
+	pl := fullmodel.Uniform([]float64{2, 2, 2, 2}, 3)
+	b.Run("HomDP", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := fullmodel.HomPeriod(p, pl); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("Exact", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, ok, err := fullmodel.ExactSolve(p, pl, true, numeric.Inf); !ok || err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkExhaustivePipeline(b *testing.B) {
+	for _, p := range []int{4, 6, 8} {
+		b.Run(fmt.Sprintf("p%d", p), func(b *testing.B) {
+			pipe := workflow.NewPipeline(14, 4, 2, 4)
+			pl := platform.Homogeneous(p, 1)
+			for i := 0; i < b.N; i++ {
+				if _, ok := exhaustive.PipelinePeriod(pipe, pl, true); !ok {
+					b.Fatal("no mapping")
+				}
+			}
+		})
+	}
+}

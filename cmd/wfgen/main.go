@@ -1,0 +1,99 @@
+// Command wfgen generates random workflow mapping problem instances in the
+// JSON format consumed by wfmap and wfsim.
+//
+// Usage:
+//
+//	wfgen -kind pipeline|fork|forkjoin [-n stages] [-p procs]
+//	      [-maxw W] [-maxs S] [-hom-graph] [-hom-platform]
+//	      [-dp] [-objective min-period] [-bound B] [-seed N] [-out file]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+
+	"repliflow/internal/core"
+	"repliflow/internal/instance"
+	"repliflow/internal/platform"
+	"repliflow/internal/workflow"
+)
+
+func main() {
+	kind := flag.String("kind", "pipeline", "graph kind: pipeline, fork or forkjoin")
+	n := flag.Int("n", 4, "number of stages (pipeline) or leaves (fork/forkjoin)")
+	p := flag.Int("p", 4, "number of processors")
+	maxW := flag.Int("maxw", 10, "maximum integer stage weight")
+	maxS := flag.Int("maxs", 5, "maximum integer processor speed")
+	homGraph := flag.Bool("hom-graph", false, "make all (leaf) stage weights identical")
+	homPlat := flag.Bool("hom-platform", false, "make all processor speeds identical")
+	dp := flag.Bool("dp", false, "allow data-parallelism")
+	objective := flag.String("objective", "min-period", "objective name")
+	bound := flag.Float64("bound", 0, "threshold for bounded objectives")
+	seed := flag.Int64("seed", 1, "random seed")
+	out := flag.String("out", "-", "output file ('-' for stdout)")
+	flag.Parse()
+
+	if err := run(*kind, *n, *p, *maxW, *maxS, *homGraph, *homPlat, *dp, *objective, *bound, *seed, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "wfgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(kind string, n, p, maxW, maxS int, homGraph, homPlat, dp bool, objective string, bound float64, seed int64, out string) error {
+	if _, err := instance.ParseObjective(objective); err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(seed))
+
+	pr := core.Problem{AllowDataParallel: dp, Bound: bound}
+	if homPlat {
+		pr.Platform = platform.Homogeneous(p, float64(1+rng.Intn(maxS)))
+	} else {
+		pr.Platform = platform.Random(rng, p, maxS)
+	}
+	switch kind {
+	case "pipeline":
+		var g workflow.Pipeline
+		if homGraph {
+			g = workflow.HomogeneousPipeline(n, float64(1+rng.Intn(maxW)))
+		} else {
+			g = workflow.RandomPipeline(rng, n, maxW)
+		}
+		pr.Pipeline = &g
+	case "fork":
+		var g workflow.Fork
+		if homGraph {
+			g = workflow.HomogeneousFork(float64(1+rng.Intn(maxW)), n, float64(1+rng.Intn(maxW)))
+		} else {
+			g = workflow.RandomFork(rng, n, maxW)
+		}
+		pr.Fork = &g
+	case "forkjoin":
+		var g workflow.ForkJoin
+		if homGraph {
+			g = workflow.HomogeneousForkJoin(float64(1+rng.Intn(maxW)), float64(1+rng.Intn(maxW)), n, float64(1+rng.Intn(maxW)))
+		} else {
+			g = workflow.RandomForkJoin(rng, n, maxW)
+		}
+		pr.ForkJoin = &g
+	default:
+		return fmt.Errorf("unknown kind %q (want pipeline, fork or forkjoin)", kind)
+	}
+
+	ins := instance.FromProblem(pr)
+	ins.Objective = objective
+
+	var w io.Writer = os.Stdout
+	if out != "-" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	return instance.Write(w, ins)
+}

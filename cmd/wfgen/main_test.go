@@ -1,0 +1,71 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repliflow/internal/core"
+	"repliflow/internal/instance"
+)
+
+func TestGenerateAllKinds(t *testing.T) {
+	for _, kind := range []string{"pipeline", "fork", "forkjoin"} {
+		for _, homGraph := range []bool{false, true} {
+			for _, homPlat := range []bool{false, true} {
+				path := filepath.Join(t.TempDir(), "out.json")
+				err := run(kind, 4, 3, 9, 5, homGraph, homPlat, true, "min-period", 0, 7, path)
+				if err != nil {
+					t.Fatalf("%s: %v", kind, err)
+				}
+				f, err := os.Open(path)
+				if err != nil {
+					t.Fatal(err)
+				}
+				ins, err := instance.Read(f)
+				f.Close()
+				if err != nil {
+					t.Fatalf("%s: generated unreadable instance: %v", kind, err)
+				}
+				pr, err := ins.Problem()
+				if err != nil {
+					t.Fatalf("%s: generated invalid instance: %v", kind, err)
+				}
+				if _, err := core.Solve(pr, core.Options{}); err != nil {
+					t.Fatalf("%s: generated unsolvable instance: %v", kind, err)
+				}
+				if homPlat && !pr.Platform.IsHomogeneous() {
+					t.Errorf("%s: -hom-platform produced het platform", kind)
+				}
+			}
+		}
+	}
+}
+
+func TestGenerateRejectsBadArgs(t *testing.T) {
+	if err := run("dag", 4, 3, 9, 5, false, false, false, "min-period", 0, 1, "-"); err == nil ||
+		!strings.Contains(err.Error(), "unknown kind") {
+		t.Errorf("bad kind accepted: %v", err)
+	}
+	if err := run("pipeline", 4, 3, 9, 5, false, false, false, "maximize-joy", 0, 1, "-"); err == nil {
+		t.Error("bad objective accepted")
+	}
+}
+
+func TestGenerateDeterministicForSeed(t *testing.T) {
+	dir := t.TempDir()
+	p1 := filepath.Join(dir, "a.json")
+	p2 := filepath.Join(dir, "b.json")
+	if err := run("pipeline", 5, 4, 9, 5, false, false, true, "min-latency", 0, 42, p1); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("pipeline", 5, 4, 9, 5, false, false, true, "min-latency", 0, 42, p2); err != nil {
+		t.Fatal(err)
+	}
+	a, _ := os.ReadFile(p1)
+	b, _ := os.ReadFile(p2)
+	if string(a) != string(b) {
+		t.Error("same seed produced different instances")
+	}
+}

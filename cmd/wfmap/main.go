@@ -1,0 +1,126 @@
+// Command wfmap solves a workflow mapping problem instance read from a
+// JSON file (or stdin) and prints the optimal (or heuristic) mapping with
+// its period, latency and Table 1 classification.
+//
+// Usage:
+//
+//	wfmap [-in instance.json] [-max-exhaustive-procs N]
+//
+// The instance format is documented in internal/instance; wfgen produces
+// compatible files.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repliflow/internal/core"
+	"repliflow/internal/instance"
+)
+
+func main() {
+	in := flag.String("in", "-", "instance JSON file ('-' for stdin)")
+	maxProcs := flag.Int("max-exhaustive-procs", 0, "override the exhaustive-search processor limit for NP-hard cells (0 = default)")
+	pareto := flag.Bool("pareto", false, "print the full period/latency Pareto front instead of a single solution")
+	flag.Parse()
+
+	var err error
+	if *pareto {
+		err = runPareto(*in, *maxProcs, os.Stdout)
+	} else {
+		err = run(*in, *maxProcs, os.Stdout)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wfmap:", err)
+		os.Exit(1)
+	}
+}
+
+// runPareto prints the trade-off curve of the instance.
+func runPareto(path string, maxProcs int, out io.Writer) error {
+	pr, err := loadProblem(path)
+	if err != nil {
+		return err
+	}
+	opts := core.Options{MaxExhaustivePipelineProcs: maxProcs}
+	front, err := core.ParetoFront(pr, opts)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "%-12s %-12s %-9s %s\n", "period", "latency", "exact", "mapping")
+	for _, sol := range front {
+		var m fmt.Stringer
+		switch {
+		case sol.PipelineMapping != nil:
+			m = sol.PipelineMapping
+		case sol.ForkMapping != nil:
+			m = sol.ForkMapping
+		default:
+			m = sol.ForkJoinMapping
+		}
+		fmt.Fprintf(out, "%-12g %-12g %-9v %s\n", sol.Cost.Period, sol.Cost.Latency, sol.Exact, m)
+	}
+	return nil
+}
+
+// loadProblem reads and converts an instance file.
+func loadProblem(path string) (core.Problem, error) {
+	var r io.Reader = os.Stdin
+	if path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			return core.Problem{}, err
+		}
+		defer f.Close()
+		r = f
+	}
+	ins, err := instance.Read(r)
+	if err != nil {
+		return core.Problem{}, err
+	}
+	return ins.Problem()
+}
+
+func run(path string, maxProcs int, out io.Writer) error {
+	pr, err := loadProblem(path)
+	if err != nil {
+		return err
+	}
+	opts := core.Options{MaxExhaustivePipelineProcs: maxProcs}
+	sol, err := core.Solve(pr, opts)
+	if err != nil {
+		return err
+	}
+	cl := sol.Classification
+	fmt.Fprintf(out, "objective:      %s\n", pr.Objective)
+	if pr.Objective.Bounded() {
+		fmt.Fprintf(out, "bound:          %g\n", pr.Bound)
+	}
+	fmt.Fprintf(out, "classification: %s (%s)\n", cl.Complexity, cl.Source)
+	fmt.Fprintf(out, "method:         %s\n", sol.Method)
+	if !sol.Feasible {
+		fmt.Fprintf(out, "result:         infeasible under the given bound\n")
+		if !sol.Exact {
+			fmt.Fprintf(out, "note:           heuristic verdict — a feasible mapping may still exist\n")
+		}
+		return nil
+	}
+	exact := "exact optimum"
+	if !sol.Exact {
+		exact = "heuristic (upper bound)"
+	}
+	fmt.Fprintf(out, "result:         %s\n", exact)
+	fmt.Fprintf(out, "period:         %g\n", sol.Cost.Period)
+	fmt.Fprintf(out, "latency:        %g\n", sol.Cost.Latency)
+	switch {
+	case sol.PipelineMapping != nil:
+		fmt.Fprintf(out, "mapping:        %s\n", sol.PipelineMapping)
+	case sol.ForkMapping != nil:
+		fmt.Fprintf(out, "mapping:        %s\n", sol.ForkMapping)
+	case sol.ForkJoinMapping != nil:
+		fmt.Fprintf(out, "mapping:        %s\n", sol.ForkJoinMapping)
+	}
+	return nil
+}

@@ -1,0 +1,99 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeTemp(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "inst.json")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunSection2Instance(t *testing.T) {
+	path := writeTemp(t, `{
+		"pipeline": {"weights": [14, 4, 2, 4]},
+		"platform": {"speeds": [1, 1, 1]},
+		"allowDataParallel": true,
+		"objective": "min-latency"
+	}`)
+	var out bytes.Buffer
+	if err := run(path, 0, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"latency:        17", "Poly (DP)", "Theorem 3", "exact optimum"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestRunInfeasibleBound(t *testing.T) {
+	path := writeTemp(t, `{
+		"pipeline": {"weights": [14, 4, 2, 4]},
+		"platform": {"speeds": [1, 1, 1]},
+		"allowDataParallel": true,
+		"objective": "latency-under-period",
+		"bound": 0.5
+	}`)
+	var out bytes.Buffer
+	if err := run(path, 0, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "infeasible") {
+		t.Errorf("output missing infeasibility:\n%s", out.String())
+	}
+}
+
+func TestRunForkInstance(t *testing.T) {
+	path := writeTemp(t, `{
+		"fork": {"root": 2, "weights": [1, 3]},
+		"platform": {"speeds": [1, 1]},
+		"objective": "min-period"
+	}`)
+	var out bytes.Buffer
+	if err := run(path, 0, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "period:         3") { // 6/2
+		t.Errorf("unexpected output:\n%s", out.String())
+	}
+}
+
+func TestRunPareto(t *testing.T) {
+	path := writeTemp(t, `{
+		"pipeline": {"weights": [14, 4, 2, 4]},
+		"platform": {"speeds": [1, 1, 1]},
+		"allowDataParallel": true,
+		"objective": "min-period"
+	}`)
+	var out bytes.Buffer
+	if err := runPareto(path, 0, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "period") || !strings.Contains(s, "17") || !strings.Contains(s, "8") {
+		t.Errorf("pareto output missing frontier points:\n%s", s)
+	}
+	if err := runPareto(filepath.Join(t.TempDir(), "nope.json"), 0, &bytes.Buffer{}); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run(filepath.Join(t.TempDir(), "missing.json"), 0, &bytes.Buffer{}); err == nil {
+		t.Error("missing file accepted")
+	}
+	bad := writeTemp(t, `{"objective": "min-period", "platform": {"speeds": [1]}}`)
+	if err := run(bad, 0, &bytes.Buffer{}); err == nil {
+		t.Error("graphless instance accepted")
+	}
+}

@@ -1,0 +1,84 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeTemp(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "inst.json")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestSimulatePipelineInstance(t *testing.T) {
+	path := writeTemp(t, `{
+		"pipeline": {"weights": [14, 4, 2, 4]},
+		"platform": {"speeds": [2, 2, 1, 1]},
+		"allowDataParallel": true,
+		"objective": "min-period"
+	}`)
+	var out bytes.Buffer
+	if err := run(path, 500, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "analytic period") || !strings.Contains(s, "simulated steady period") {
+		t.Errorf("missing report lines:\n%s", s)
+	}
+}
+
+func TestSimulateForkInstance(t *testing.T) {
+	path := writeTemp(t, `{
+		"fork": {"root": 2, "weights": [3, 6]},
+		"platform": {"speeds": [1, 2]},
+		"objective": "min-latency"
+	}`)
+	var out bytes.Buffer
+	if err := run(path, 300, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "simulated max latency") {
+		t.Errorf("missing latency line:\n%s", out.String())
+	}
+}
+
+func TestSimulateForkJoinInstance(t *testing.T) {
+	// A fork-join whose latency-optimal mapping keeps the join stage apart
+	// from the root block: root on the fast node, heavy leaves spread out.
+	path := writeTemp(t, `{
+		"forkjoin": {"root": 1, "join": 1, "weights": [6, 6, 6]},
+		"platform": {"speeds": [2, 2, 2]},
+		"objective": "min-latency"
+	}`)
+	var out bytes.Buffer
+	err := run(path, 200, &out)
+	if err != nil {
+		// The only acceptable failure is the documented unsupported shape.
+		if !strings.Contains(err.Error(), "root's block") {
+			t.Fatalf("unexpected error: %v", err)
+		}
+		return
+	}
+	if !strings.Contains(out.String(), "simulated max latency") {
+		t.Errorf("missing latency line:\n%s", out.String())
+	}
+}
+
+func TestSimulateRejectsInfeasible(t *testing.T) {
+	path := writeTemp(t, `{
+		"pipeline": {"weights": [10]},
+		"platform": {"speeds": [1]},
+		"objective": "latency-under-period",
+		"bound": 0.1
+	}`)
+	if err := run(path, 100, &bytes.Buffer{}); err == nil {
+		t.Error("infeasible instance accepted")
+	}
+}

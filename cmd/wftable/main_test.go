@@ -1,0 +1,43 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunProducesAllSections(t *testing.T) {
+	var out bytes.Buffer
+	run(&out, 2, 1, false)
+	s := out.String()
+	for _, want := range []string{
+		"Figure 1", "Figure 2",
+		"Section 2 worked example",
+		"Table 1", "NP-hard", "Poly",
+		"NP-hardness reductions", "Theorem 9",
+		"refuted", // the two documented discrepancies
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunParallelWorkers(t *testing.T) {
+	var out bytes.Buffer
+	runWorkers(&out, 1, 5, false, 8)
+	if !strings.Contains(out.String(), "Table 1") {
+		t.Error("parallel run missing Table 1")
+	}
+}
+
+func TestRunSkipTable1(t *testing.T) {
+	var out bytes.Buffer
+	run(&out, 2, 1, true)
+	if strings.Contains(out.String(), "verified cell by cell") {
+		t.Error("Table 1 printed despite -skip-table1")
+	}
+	if !strings.Contains(out.String(), "NP-hardness reductions") {
+		t.Error("reductions section missing")
+	}
+}

@@ -1,0 +1,90 @@
+package repliflow_test
+
+import (
+	"fmt"
+
+	"repliflow"
+)
+
+// ExampleSolve reproduces the Section 2 optimum: minimum latency of the
+// pipeline (14, 4, 2, 4) on three unit-speed processors with
+// data-parallelism.
+func ExampleSolve() {
+	pipe := repliflow.NewPipeline(14, 4, 2, 4)
+	plat := repliflow.HomogeneousPlatform(3, 1)
+	sol, err := repliflow.Solve(repliflow.Problem{
+		Pipeline:          &pipe,
+		Platform:          plat,
+		AllowDataParallel: true,
+		Objective:         repliflow.MinLatency,
+	}, repliflow.Options{})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("period=%g latency=%g\n", sol.Cost.Period, sol.Cost.Latency)
+	fmt.Println(sol.PipelineMapping)
+	// Output:
+	// period=10 latency=17
+	// [S1 data-parallel on P1,P2] [S2..S4 replicated on P3]
+}
+
+// ExampleClassify shows the Table 1 classification of an instance.
+func ExampleClassify() {
+	pipe := repliflow.HomogeneousPipeline(4, 2)
+	plat := repliflow.NewPlatform(1, 2, 3)
+	cl, err := repliflow.Classify(repliflow.Problem{
+		Pipeline:  &pipe,
+		Platform:  plat,
+		Objective: repliflow.MinPeriod,
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("%s by %s\n", cl.Complexity, cl.Source)
+	// Output:
+	// Poly (*) by Theorem 7
+}
+
+// ExampleEvalPipeline evaluates a hand-built mapping under the Section 3.4
+// cost model — here the paper's heterogeneous-platform mapping with
+// period 5 and latency 13.5.
+func ExampleEvalPipeline() {
+	pipe := repliflow.NewPipeline(14, 4, 2, 4)
+	plat := repliflow.NewPlatform(2, 2, 1, 1)
+	m := repliflow.PipelineMapping{Intervals: []repliflow.PipelineInterval{
+		repliflow.NewPipelineInterval(0, 0, repliflow.DataParallel, 0, 1),
+		repliflow.NewPipelineInterval(1, 3, repliflow.Replicated, 2, 3),
+	}}
+	c, err := repliflow.EvalPipeline(pipe, plat, m)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println(c)
+	// Output:
+	// period=5 latency=13.5
+}
+
+// ExampleParetoFront sweeps the latency/throughput trade-off of the
+// Section 2 instance.
+func ExampleParetoFront() {
+	pipe := repliflow.NewPipeline(14, 4, 2, 4)
+	plat := repliflow.HomogeneousPlatform(3, 1)
+	front, err := repliflow.ParetoFront(repliflow.Problem{
+		Pipeline:          &pipe,
+		Platform:          plat,
+		AllowDataParallel: true,
+	}, repliflow.Options{})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	for _, sol := range front {
+		fmt.Printf("period=%g latency=%g\n", sol.Cost.Period, sol.Cost.Latency)
+	}
+	// Output:
+	// period=8 latency=24
+	// period=10 latency=17
+}

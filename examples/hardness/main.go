@@ -1,0 +1,103 @@
+// NP-hardness in action: reductions and heuristic gaps.
+//
+// This example makes the paper's hardness results tangible. It builds the
+// Theorem 5 reduction from a concrete 2-PARTITION instance and shows that
+// deciding the mapping question answers the partition question; then it
+// measures the gap between the polynomial heuristics and the exact
+// exponential baselines on the NP-hard cells of Table 1.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repliflow/internal/exhaustive"
+	"repliflow/internal/heuristics"
+	"repliflow/internal/nph"
+	"repliflow/internal/numeric"
+	"repliflow/internal/platform"
+	"repliflow/internal/workflow"
+)
+
+func main() {
+	reductionDemo()
+	heuristicGapDemo()
+}
+
+func reductionDemo() {
+	fmt.Println("=== Theorem 5: 2-PARTITION -> pipeline mapping with data-parallelism ===")
+	for _, a := range [][]int{
+		{5, 8, 3, 4, 6},  // S=26: {5,8}=13 vs {3,4,6}=13 -> yes
+		{5, 8, 3, 4, 10}, // S=30: needs 15 = {5,10} -> yes
+		{5, 8, 3, 4, 7},  // S=27 odd -> no
+	} {
+		subset, yes, err := nph.TwoPartition(a)
+		if err != nil {
+			log.Fatal(err)
+		}
+		pipe, plat, bound := nph.Theorem5Latency(a)
+		opt, ok := exhaustive.PipelineLatency(pipe, plat, true)
+		if !ok {
+			log.Fatal("no mapping found")
+		}
+		mappingYes := numeric.LessEq(opt.Cost.Latency, bound)
+		fmt.Printf("a=%v: 2-PARTITION=%v (witness %v); mapping latency %.4g vs bound %g -> %v",
+			a, yes, subset, opt.Cost.Latency, bound, mappingYes)
+		if mappingYes == yes {
+			fmt.Println("  [reduction agrees]")
+		} else {
+			fmt.Println("  [REDUCTION VIOLATED]")
+		}
+	}
+	fmt.Println()
+}
+
+func heuristicGapDemo() {
+	fmt.Println("=== Heuristic vs exact on the Theorem 9 cell (het pipeline period, no DP) ===")
+	rng := rand.New(rand.NewSource(7))
+	worst, sum, count := 1.0, 0.0, 0
+	for trial := 0; trial < 25; trial++ {
+		pipe := workflow.RandomPipeline(rng, 2+rng.Intn(4), 12)
+		plat := platform.Random(rng, 2+rng.Intn(3), 6)
+		_, hc, err := heuristics.HetPipelinePeriodNoDP(pipe, plat)
+		if err != nil {
+			log.Fatal(err)
+		}
+		opt, ok := exhaustive.PipelinePeriod(pipe, plat, false)
+		if !ok {
+			continue
+		}
+		gap := hc.Period / opt.Cost.Period
+		sum += gap
+		count++
+		if gap > worst {
+			worst = gap
+			fmt.Printf("  new worst gap %.3f: pipeline %v on speeds %v (heuristic %.4g, optimal %.4g)\n",
+				gap, pipe.Weights, plat.Speeds, hc.Period, opt.Cost.Period)
+		}
+	}
+	fmt.Printf("  %d instances: mean gap %.3f, worst gap %.3f\n\n", count, sum/float64(count), worst)
+
+	fmt.Println("=== Heuristic vs exact on the Theorem 12 cell (het fork latency, hom platform) ===")
+	worst, sum, count = 1.0, 0.0, 0
+	for trial := 0; trial < 25; trial++ {
+		f := workflow.RandomFork(rng, 2+rng.Intn(3), 12)
+		plat := platform.Homogeneous(2+rng.Intn(2), 1)
+		_, hc, err := heuristics.HetForkLatencyLPT(f, plat)
+		if err != nil {
+			log.Fatal(err)
+		}
+		opt, ok := exhaustive.ForkLatency(f, plat, false)
+		if !ok {
+			continue
+		}
+		gap := hc.Latency / opt.Cost.Latency
+		sum += gap
+		count++
+		if gap > worst {
+			worst = gap
+		}
+	}
+	fmt.Printf("  %d instances: mean gap %.3f, worst gap %.3f (LPT bound: 4/3)\n", count, sum/float64(count), worst)
+}

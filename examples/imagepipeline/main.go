@@ -1,0 +1,95 @@
+// Image-processing pipeline on a heterogeneous cluster.
+//
+// Section 1 of the paper motivates pipelines with image processing: a
+// stream of images traverses filtering, feature extraction, classification
+// and encoding stages. This example maps such a pipeline onto a
+// heterogeneous platform (two fast nodes, four slow ones), sweeps the
+// period bound to chart the full latency/throughput trade-off, and checks
+// the analytic costs of the chosen mapping against the discrete-event
+// simulator.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repliflow"
+	"repliflow/internal/core"
+	"repliflow/internal/sim"
+)
+
+func main() {
+	// Stage weights in Mflop per image: denoise, segment, extract,
+	// classify, encode. The heavy front stage is data-parallelizable.
+	pipe := repliflow.NewPipeline(80, 20, 35, 15, 10)
+	plat := repliflow.NewPlatform(4, 4, 1, 1, 1, 1)
+
+	fmt.Println("image pipeline:", pipe.Weights, "on speeds", plat.Speeds)
+	fmt.Println()
+
+	problem := repliflow.Problem{
+		Pipeline:          &pipe,
+		Platform:          plat,
+		AllowDataParallel: true,
+	}
+
+	// Mono-criterion anchors.
+	problem.Objective = repliflow.MinPeriod
+	fastest, err := repliflow.Solve(problem, repliflow.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	problem.Objective = repliflow.MinLatency
+	snappiest, err := repliflow.Solve(problem, repliflow.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("best throughput: period %-6g latency %-6g  %v\n",
+		fastest.Cost.Period, fastest.Cost.Latency, fastest.PipelineMapping)
+	fmt.Printf("best response:   period %-6g latency %-6g  %v\n\n",
+		snappiest.Cost.Period, snappiest.Cost.Latency, snappiest.PipelineMapping)
+
+	// Sweep the period bound between the two anchors: the Pareto frontier
+	// of the deployment.
+	fmt.Println("Pareto sweep (period bound -> optimal latency):")
+	lo, hi := fastest.Cost.Period, snappiest.Cost.Period
+	problem.Objective = repliflow.LatencyUnderPeriod
+	prevLatency := -1.0
+	for i := 0; i <= 8; i++ {
+		problem.Bound = lo + (hi-lo)*float64(i)/8
+		sol, err := repliflow.Solve(problem, repliflow.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !sol.Feasible {
+			continue
+		}
+		if sol.Cost.Latency == prevLatency {
+			continue // same frontier point
+		}
+		prevLatency = sol.Cost.Latency
+		fmt.Printf("  period <= %-7.4g latency %-7.4g %v\n", problem.Bound, sol.Cost.Latency, sol.PipelineMapping)
+	}
+
+	// Validate the throughput-optimal mapping dynamically.
+	fmt.Println("\nsimulating the throughput-optimal mapping over 2000 images:")
+	sat, err := sim.SimulatePipeline(pipe, plat, *fastest.PipelineMapping, sim.Arrivals(2000, 0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	paced, err := sim.SimulatePipeline(pipe, plat, *fastest.PipelineMapping, sim.Arrivals(2000, fastest.Cost.Period))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  analytic period %g, simulated steady period %.6g\n", fastest.Cost.Period, sat.SteadyStatePeriod())
+	fmt.Printf("  analytic latency %g, simulated max latency %.6g\n", fastest.Cost.Latency, paced.MaxLatency())
+
+	// How was this instance classified?
+	cl, err := core.Classify(core.Problem{
+		Pipeline: &pipe, Platform: plat, AllowDataParallel: true, Objective: core.MinPeriod,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nTable 1 cell: %s (%s) — solved %s\n", cl.Complexity, cl.Source, fastest.Method)
+}

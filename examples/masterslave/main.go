@@ -1,0 +1,80 @@
+// Master-slave fork-join on a heterogeneous platform.
+//
+// Section 6.3 of the paper motivates fork-join graphs with the
+// master-slave paradigm: a master stage scatters work to slaves
+// (S1..Sn) and a join stage gathers and combines the results. This example
+// schedules a homogeneous fork-join (identical slave tasks) onto a
+// heterogeneous platform without data-parallelism — the "Poly (*)" cell of
+// Table 1 solved by the Section 6.3 extension of Theorem 14 — and
+// contrasts the optimal mapping with two naive strategies.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repliflow"
+)
+
+func main() {
+	// Master scatter: 12 Mflop; 8 identical slave tasks of 20 Mflop;
+	// gather/combine: 16 Mflop.
+	fj := repliflow.HomogeneousForkJoin(12, 16, 8, 20)
+	plat := repliflow.NewPlatform(6, 4, 2, 2, 1)
+
+	fmt.Println("master-slave fork-join: root 12, 8 slaves x 20, join 16")
+	fmt.Println("platform speeds:", plat.Speeds)
+	fmt.Println()
+
+	problem := repliflow.Problem{
+		ForkJoin:  &fj,
+		Platform:  plat,
+		Objective: repliflow.MinLatency,
+	}
+	optimal, err := repliflow.Solve(problem, repliflow.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("optimal latency mapping (%s, %s):\n  %v\n  period %g latency %g\n\n",
+		optimal.Classification.Complexity, optimal.Method,
+		optimal.ForkJoinMapping, optimal.Cost.Period, optimal.Cost.Latency)
+
+	allLeaves := []int{0, 1, 2, 3, 4, 5, 6, 7}
+
+	// Naive strategy 1: everything on the fastest node.
+	allFastest := repliflow.ForkJoinMapping{Blocks: []repliflow.ForkJoinBlock{
+		repliflow.NewForkJoinBlock(true, true, allLeaves, repliflow.Replicated, 0),
+	}}
+	c1, err := repliflow.EvalForkJoin(fj, plat, allFastest)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("naive: all on fastest node:      period %-7g latency %g\n", c1.Period, c1.Latency)
+
+	// Naive strategy 2: replicate the whole graph on every node.
+	replicateAll := repliflow.ForkJoinMapping{Blocks: []repliflow.ForkJoinBlock{
+		repliflow.NewForkJoinBlock(true, true, allLeaves, repliflow.Replicated, 0, 1, 2, 3, 4),
+	}}
+	c2, err := repliflow.EvalForkJoin(fj, plat, replicateAll)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("naive: replicate everywhere:     period %-7g latency %g\n", c2.Period, c2.Latency)
+	fmt.Printf("optimal (Theorem 14 extension):  period %-7g latency %g\n\n", optimal.Cost.Period, optimal.Cost.Latency)
+
+	// Bi-criteria: what latency must we pay to halve the naive period?
+	problem.Objective = repliflow.PeriodUnderLatency
+	fmt.Println("latency bound -> optimal period:")
+	for _, bound := range []float64{optimal.Cost.Latency, 1.2 * optimal.Cost.Latency, 2 * optimal.Cost.Latency} {
+		problem.Bound = bound
+		sol, err := repliflow.Solve(problem, repliflow.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !sol.Feasible {
+			fmt.Printf("  latency <= %-8.4g infeasible\n", bound)
+			continue
+		}
+		fmt.Printf("  latency <= %-8.4g period %-8.4g %v\n", bound, sol.Cost.Period, sol.ForkJoinMapping)
+	}
+}

@@ -1,0 +1,54 @@
+// Quickstart: solve the paper's Section 2 example with the public API.
+//
+// The program maps the 4-stage pipeline (weights 14, 4, 2, 4) onto three
+// identical unit-speed processors, reproducing the worked example of
+// Benoit & Robert (RR-6308, Section 2): minimum period 8 (replicate
+// everything), minimum latency 17 (data-parallelize the heavy first
+// stage), and the trade-off between the two.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repliflow"
+)
+
+func main() {
+	pipe := repliflow.NewPipeline(14, 4, 2, 4)
+	plat := repliflow.HomogeneousPlatform(3, 1)
+
+	solve := func(obj repliflow.Objective, bound float64) repliflow.Solution {
+		sol, err := repliflow.Solve(repliflow.Problem{
+			Pipeline:          &pipe,
+			Platform:          plat,
+			AllowDataParallel: true,
+			Objective:         obj,
+			Bound:             bound,
+		}, repliflow.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return sol
+	}
+
+	fmt.Println("Section 2 pipeline on 3 unit-speed processors")
+	fmt.Println()
+
+	best := solve(repliflow.MinPeriod, 0)
+	fmt.Printf("min period:  %s\n", best)
+
+	best = solve(repliflow.MinLatency, 0)
+	fmt.Printf("min latency: %s\n", best)
+
+	// Bi-criteria: the best latency achievable at each period bound.
+	fmt.Println("\nperiod bound -> optimal latency:")
+	for _, bound := range []float64{8, 10, 14, 24} {
+		sol := solve(repliflow.LatencyUnderPeriod, bound)
+		if !sol.Feasible {
+			fmt.Printf("  period <= %4g: infeasible\n", bound)
+			continue
+		}
+		fmt.Printf("  period <= %4g: latency %-5g  %v\n", bound, sol.Cost.Latency, sol.PipelineMapping)
+	}
+}

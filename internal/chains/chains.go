@@ -1,0 +1,245 @@
+// Package chains implements the chains-to-chains partitioning problem that
+// Benoit & Robert (RR-6308, Section 1) identify as the communication-free
+// core of pipeline period minimization without replication: partition an
+// array a_1..a_n into at most p consecutive intervals minimizing the
+// largest interval sum.
+//
+// Two classic exact algorithms are provided:
+//
+//   - Bokhari-style dynamic programming (O(n²·p)), following Bokhari (1988)
+//     and Hansen & Lih (1992);
+//   - Nicol's probe method: binary search over the finite candidate set of
+//     interval sums with a greedy feasibility probe (O(n·p·log n) flavour),
+//     following Nicol (1994) and the Pinar & Aykanat (2004) survey.
+//
+// The package doubles as a baseline in the benchmark harness: on a
+// homogeneous platform, mapping each interval to one processor without
+// replication yields exactly the chains-to-chains optimum, which Theorem 1
+// then beats by replicating.
+package chains
+
+import (
+	"errors"
+	"fmt"
+
+	"repliflow/internal/numeric"
+)
+
+// Partition is a division of the array into consecutive intervals: Bounds
+// holds the exclusive end index of each interval, so interval k covers
+// [Bounds[k-1], Bounds[k]) with an implicit leading 0.
+type Partition struct {
+	Bounds []int
+}
+
+// Intervals returns the number of intervals.
+func (p Partition) Intervals() int { return len(p.Bounds) }
+
+// Bottleneck returns the largest interval sum of the partition over a.
+func (p Partition) Bottleneck(a []float64) float64 {
+	var worst float64
+	start := 0
+	for _, end := range p.Bounds {
+		var sum float64
+		for i := start; i < end; i++ {
+			sum += a[i]
+		}
+		if sum > worst {
+			worst = sum
+		}
+		start = end
+	}
+	return worst
+}
+
+// Validate checks the partition covers exactly [0, n) in order with
+// non-empty intervals.
+func (p Partition) Validate(n int) error {
+	if len(p.Bounds) == 0 {
+		return errors.New("chains: empty partition")
+	}
+	prev := 0
+	for i, end := range p.Bounds {
+		if end <= prev {
+			return fmt.Errorf("chains: interval %d is empty or out of order (prev=%d end=%d)", i, prev, end)
+		}
+		prev = end
+	}
+	if prev != n {
+		return fmt.Errorf("chains: partition covers [0,%d), want [0,%d)", prev, n)
+	}
+	return nil
+}
+
+func validateInput(a []float64, p int) error {
+	if len(a) == 0 {
+		return errors.New("chains: empty array")
+	}
+	if p <= 0 {
+		return fmt.Errorf("chains: non-positive interval count %d", p)
+	}
+	for i, v := range a {
+		if v < 0 {
+			return fmt.Errorf("chains: negative element a[%d]=%v", i, v)
+		}
+	}
+	return nil
+}
+
+// DP solves chains-to-chains exactly by dynamic programming: the minimum
+// bottleneck of a partition of a into at most p intervals, with an optimal
+// partition. Complexity O(n²·p).
+func DP(a []float64, p int) (Partition, float64, error) {
+	if err := validateInput(a, p); err != nil {
+		return Partition{}, 0, err
+	}
+	n := len(a)
+	if p > n {
+		p = n
+	}
+	prefix := make([]float64, n+1)
+	for i, v := range a {
+		prefix[i+1] = prefix[i] + v
+	}
+	// best[k][j]: minimum bottleneck partitioning a[0:j] into at most k
+	// intervals.
+	best := make([][]float64, p+1)
+	cut := make([][]int, p+1)
+	for k := range best {
+		best[k] = make([]float64, n+1)
+		cut[k] = make([]int, n+1)
+		for j := range best[k] {
+			best[k][j] = numeric.Inf
+		}
+	}
+	best[0][0] = 0
+	for k := 1; k <= p; k++ {
+		best[k][0] = 0
+		for j := 1; j <= n; j++ {
+			for i := k - 1; i < j; i++ {
+				if best[k-1][i] > best[k][j] {
+					continue
+				}
+				v := prefix[j] - prefix[i]
+				if best[k-1][i] > v {
+					v = best[k-1][i]
+				}
+				if numeric.Less(v, best[k][j]) {
+					best[k][j] = v
+					cut[k][j] = i
+				}
+			}
+		}
+	}
+	// Find the best k (more intervals never hurt, but reconstruct from the
+	// actual argmin for a tight partition).
+	bestK := p
+	for k := 1; k <= p; k++ {
+		if numeric.Less(best[k][n], best[bestK][n]) {
+			bestK = k
+		}
+	}
+	var bounds []int
+	j := n
+	for k := bestK; k > 0 && j > 0; k-- {
+		bounds = append([]int{j}, bounds...)
+		j = cut[k][j]
+	}
+	part := Partition{Bounds: bounds}
+	if err := part.Validate(n); err != nil {
+		panic("chains: DP produced invalid partition: " + err.Error())
+	}
+	return part, best[bestK][n], nil
+}
+
+// Probe reports whether a can be partitioned into at most p consecutive
+// intervals each of sum at most bound, and returns the greedy partition
+// when it can. This is Nicol's probe: greedily extend each interval as far
+// as the bound allows.
+func Probe(a []float64, p int, bound float64) (Partition, bool) {
+	n := len(a)
+	var bounds []int
+	i := 0
+	for k := 0; k < p && i < n; k++ {
+		var sum float64
+		j := i
+		for j < n && numeric.LessEq(sum+a[j], bound) {
+			sum += a[j]
+			j++
+		}
+		if j == i {
+			return Partition{}, false // a single element exceeds the bound
+		}
+		bounds = append(bounds, j)
+		i = j
+	}
+	if i < n {
+		return Partition{}, false
+	}
+	return Partition{Bounds: bounds}, true
+}
+
+// Bisect solves chains-to-chains approximately by real-valued bisection
+// between the trivial bounds max(a) and sum(a), in the spirit of Iqbal
+// (1991): the returned bottleneck is within eps of the optimum. It serves
+// as a baseline contrasting with the exact candidate-set search of Nicol.
+func Bisect(a []float64, p int, eps float64) (Partition, float64, error) {
+	if err := validateInput(a, p); err != nil {
+		return Partition{}, 0, err
+	}
+	if eps <= 0 {
+		return Partition{}, 0, fmt.Errorf("chains: non-positive tolerance %v", eps)
+	}
+	lo := numeric.MaxFloat(a)
+	hi := numeric.SumFloat(a)
+	best, ok := Probe(a, p, hi)
+	if !ok {
+		panic("chains: total sum must be feasible")
+	}
+	for hi-lo > eps {
+		mid := (lo + hi) / 2
+		if part, ok := Probe(a, p, mid); ok {
+			best = part
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return best, best.Bottleneck(a), nil
+}
+
+// Nicol solves chains-to-chains exactly by binary search over the candidate
+// bottleneck values (all interval sums) combined with the greedy Probe.
+func Nicol(a []float64, p int) (Partition, float64, error) {
+	if err := validateInput(a, p); err != nil {
+		return Partition{}, 0, err
+	}
+	n := len(a)
+	cands := make([]float64, 0, n*(n+1)/2)
+	for i := 0; i < n; i++ {
+		var sum float64
+		for j := i; j < n; j++ {
+			sum += a[j]
+			cands = append(cands, sum)
+		}
+	}
+	cands = numeric.DedupSorted(cands)
+	lo, hi := 0, len(cands)-1
+	var best Partition
+	bestVal := numeric.Inf
+	for lo <= hi {
+		mid := (lo + hi) / 2
+		if part, ok := Probe(a, p, cands[mid]); ok {
+			best = part
+			bestVal = cands[mid]
+			hi = mid - 1
+		} else {
+			lo = mid + 1
+		}
+	}
+	if bestVal == numeric.Inf {
+		panic("chains: no feasible bottleneck (total sum must always be feasible)")
+	}
+	// The greedy partition may have slack; report the actual bottleneck.
+	return best, best.Bottleneck(a), nil
+}

@@ -1,0 +1,279 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repliflow/internal/exhaustive"
+	"repliflow/internal/numeric"
+	"repliflow/internal/platform"
+	"repliflow/internal/workflow"
+)
+
+// TestBiCriteriaDispatchAllCells drives both bounded objectives through
+// every (graph, platform, model) combination and cross-checks exact
+// results against exhaustive search.
+func TestBiCriteriaDispatchAllCells(t *testing.T) {
+	rng := rand.New(rand.NewSource(123))
+	graphs := []struct {
+		name string
+		mk   func() Problem
+	}{
+		{"hom pipeline", func() Problem {
+			p := workflow.HomogeneousPipeline(1+rng.Intn(3), float64(1+rng.Intn(5)))
+			return Problem{Pipeline: &p}
+		}},
+		{"het pipeline", func() Problem {
+			p := workflow.NewPipeline(float64(1+rng.Intn(5)), float64(6+rng.Intn(5)))
+			return Problem{Pipeline: &p}
+		}},
+		{"hom fork", func() Problem {
+			f := workflow.HomogeneousFork(float64(1+rng.Intn(5)), rng.Intn(3), float64(1+rng.Intn(5)))
+			return Problem{Fork: &f}
+		}},
+		{"het fork", func() Problem {
+			f := workflow.NewFork(float64(1+rng.Intn(5)), float64(1+rng.Intn(4)), float64(5+rng.Intn(4)))
+			return Problem{Fork: &f}
+		}},
+		{"hom fork-join", func() Problem {
+			fj := workflow.HomogeneousForkJoin(float64(1+rng.Intn(5)), float64(1+rng.Intn(5)), rng.Intn(3), float64(1+rng.Intn(5)))
+			return Problem{ForkJoin: &fj}
+		}},
+		{"het fork-join", func() Problem {
+			fj := workflow.NewForkJoin(float64(1+rng.Intn(5)), float64(1+rng.Intn(5)), float64(1+rng.Intn(4)), float64(5+rng.Intn(4)))
+			return Problem{ForkJoin: &fj}
+		}},
+	}
+	platforms := []platform.Platform{
+		platform.Homogeneous(3, 1),
+		platform.New(3, 2, 1),
+	}
+	for trial := 0; trial < 4; trial++ {
+		for _, g := range graphs {
+			for _, pl := range platforms {
+				for _, dp := range []bool{false, true} {
+					pr := g.mk()
+					pr.Platform = pl
+					pr.AllowDataParallel = dp
+
+					// Find the mono-criterion optima first to set bounds.
+					pr.Objective = MinPeriod
+					solP, err := Solve(pr, Options{})
+					if err != nil {
+						t.Fatalf("%s: %v", g.name, err)
+					}
+					pr.Objective = MinLatency
+					solL, err := Solve(pr, Options{})
+					if err != nil {
+						t.Fatalf("%s: %v", g.name, err)
+					}
+
+					// Latency under the loosest interesting period bound must
+					// recover the latency optimum; under the period optimum it
+					// must stay feasible.
+					pr.Objective = LatencyUnderPeriod
+					pr.Bound = solL.Cost.Period * 2
+					sol, err := Solve(pr, Options{})
+					if err != nil {
+						t.Fatalf("%s: %v", g.name, err)
+					}
+					if sol.Exact && solL.Exact && !numeric.Eq(sol.Cost.Latency, solL.Cost.Latency) {
+						t.Errorf("%s dp=%v: loose period bound latency %v != optimum %v",
+							g.name, dp, sol.Cost.Latency, solL.Cost.Latency)
+					}
+					pr.Bound = solP.Cost.Period
+					sol, err = Solve(pr, Options{})
+					if err != nil {
+						t.Fatalf("%s: %v", g.name, err)
+					}
+					if sol.Exact && !sol.Feasible {
+						t.Errorf("%s dp=%v: exact solver infeasible at the period optimum", g.name, dp)
+					}
+					if sol.Feasible && numeric.Greater(sol.Cost.Period, pr.Bound) {
+						t.Errorf("%s dp=%v: period bound violated", g.name, dp)
+					}
+
+					// Period under the latency optimum bound.
+					pr.Objective = PeriodUnderLatency
+					pr.Bound = solL.Cost.Latency
+					sol, err = Solve(pr, Options{})
+					if err != nil {
+						t.Fatalf("%s: %v", g.name, err)
+					}
+					if sol.Exact && !sol.Feasible {
+						t.Errorf("%s dp=%v: exact solver infeasible at the latency optimum", g.name, dp)
+					}
+					if sol.Feasible && numeric.Greater(sol.Cost.Latency, pr.Bound) {
+						t.Errorf("%s dp=%v: latency bound violated", g.name, dp)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestBiCriteriaMonotoneInBound checks that relaxing the bound never
+// worsens the optimized criterion (exact cells only).
+func TestBiCriteriaMonotoneInBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(321))
+	for trial := 0; trial < 20; trial++ {
+		p := workflow.RandomPipeline(rng, 1+rng.Intn(4), 9)
+		pl := platform.Random(rng, 1+rng.Intn(3), 4)
+		pr := Problem{Pipeline: &p, Platform: pl, AllowDataParallel: rng.Intn(2) == 0}
+		pr.Objective = MinPeriod
+		base, err := Solve(pr, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pr.Objective = LatencyUnderPeriod
+		prevLatency := numeric.Inf
+		for _, mult := range []float64{1, 1.3, 1.8, 3} {
+			pr.Bound = base.Cost.Period * mult
+			sol, err := Solve(pr, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !sol.Feasible || !sol.Exact {
+				continue
+			}
+			if numeric.Greater(sol.Cost.Latency, prevLatency) {
+				t.Fatalf("trial %d: latency increased when relaxing the period bound (%v -> %v)",
+					trial, prevLatency, sol.Cost.Latency)
+			}
+			prevLatency = sol.Cost.Latency
+		}
+	}
+}
+
+// TestHeuristicBoundedPaths forces the heuristic path on bounded
+// objectives and checks soundness of the feasibility verdicts.
+func TestHeuristicBoundedPaths(t *testing.T) {
+	tiny := Options{MaxExhaustivePipelineProcs: 1, MaxExhaustiveForkStages: 1, MaxExhaustiveForkProcs: 1}
+	p := workflow.NewPipeline(14, 4, 2, 4)
+	pl := platform.New(2, 2, 1, 1)
+
+	// A loose bound: the heuristic must find something.
+	pr := Problem{Pipeline: &p, Platform: pl, AllowDataParallel: true, Objective: LatencyUnderPeriod, Bound: 24}
+	sol, err := Solve(pr, tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sol.Feasible || sol.Method != MethodHeuristic {
+		t.Fatalf("heuristic bounded path: %v", sol)
+	}
+	if numeric.Greater(sol.Cost.Period, 24) {
+		t.Fatalf("bound violated: %v", sol.Cost)
+	}
+	// The heuristic's latency can never beat the exhaustive optimum.
+	ref, _ := exhaustive.PipelineLatencyUnderPeriod(p, pl, true, 24)
+	if numeric.Less(sol.Cost.Latency, ref.Cost.Latency) {
+		t.Fatalf("heuristic %v beats optimum %v", sol.Cost.Latency, ref.Cost.Latency)
+	}
+
+	// An impossible bound: the verdict is infeasible (and marked inexact).
+	pr.Bound = 0.01
+	sol, err = Solve(pr, tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Feasible || sol.Exact {
+		t.Fatalf("impossible bound accepted: %v", sol)
+	}
+
+	// Fork heuristic bounded path.
+	f := workflow.NewFork(2, 1, 3, 5, 2, 4, 1, 2)
+	prF := Problem{Fork: &f, Platform: platform.New(3, 2, 1), Objective: PeriodUnderLatency, Bound: f.TotalWork()}
+	solF, err := Solve(prF, tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !solF.Feasible || solF.Method != MethodHeuristic {
+		t.Fatalf("fork heuristic bounded path: %v", solF)
+	}
+	if numeric.Greater(solF.Cost.Latency, prF.Bound) {
+		t.Fatalf("fork latency bound violated: %v", solF.Cost)
+	}
+
+	// Fork-join heuristic bounded path.
+	fj := workflow.NewForkJoin(2, 3, 1, 3, 5, 2, 4, 1, 2)
+	prFJ := Problem{ForkJoin: &fj, Platform: platform.New(3, 2, 1), Objective: LatencyUnderPeriod, Bound: fj.TotalWork()}
+	solFJ, err := Solve(prFJ, tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !solFJ.Feasible || solFJ.Method != MethodHeuristic {
+		t.Fatalf("fork-join heuristic bounded path: %v", solFJ)
+	}
+}
+
+// TestSolveTheorem8Paths exercises the het-platform hom-pipeline bounded
+// objectives (Theorem 8 dispatch).
+func TestSolveTheorem8Paths(t *testing.T) {
+	p := workflow.HomogeneousPipeline(4, 3)
+	pl := platform.New(3, 2, 1)
+	pr := Problem{Pipeline: &p, Platform: pl, Objective: LatencyUnderPeriod, Bound: 4}
+	sol, err := Solve(pr, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Method != MethodBinarySearchDP || !sol.Exact {
+		t.Fatalf("Theorem 8 path: %v", sol)
+	}
+	ref, ok := exhaustive.PipelineLatencyUnderPeriod(p, pl, false, 4)
+	if sol.Feasible != ok {
+		t.Fatalf("feasibility mismatch with exhaustive")
+	}
+	if sol.Feasible && !numeric.Eq(sol.Cost.Latency, ref.Cost.Latency) {
+		t.Fatalf("latency %v != exhaustive %v", sol.Cost.Latency, ref.Cost.Latency)
+	}
+
+	pr.Objective = PeriodUnderLatency
+	pr.Bound = 12
+	sol, err = Solve(pr, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Method != MethodBinarySearchDP {
+		t.Fatalf("Theorem 8 converse path: %v", sol)
+	}
+	// Infeasible latency bound.
+	pr.Bound = 0.1
+	sol, err = Solve(pr, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Feasible {
+		t.Fatal("impossible latency bound accepted")
+	}
+}
+
+// TestSolveCorollary1Paths exercises the closed-form bounded objectives on
+// homogeneous platforms without data-parallelism.
+func TestSolveCorollary1Paths(t *testing.T) {
+	p := workflow.NewPipeline(6, 2)
+	pl := platform.Homogeneous(2, 1)
+	pr := Problem{Pipeline: &p, Platform: pl, Objective: LatencyUnderPeriod, Bound: 4}
+	sol, err := Solve(pr, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sol.Feasible || !numeric.Eq(sol.Cost.Latency, 8) || sol.Method != MethodClosedForm {
+		t.Fatalf("Corollary 1 path: %v", sol)
+	}
+	pr.Bound = 3 // below the optimal period 4
+	sol, _ = Solve(pr, Options{})
+	if sol.Feasible {
+		t.Fatal("impossible period bound accepted")
+	}
+	pr.Objective = PeriodUnderLatency
+	pr.Bound = 8
+	sol, _ = Solve(pr, Options{})
+	if !sol.Feasible || !numeric.Eq(sol.Cost.Period, 4) {
+		t.Fatalf("Corollary 1 converse: %v", sol)
+	}
+	pr.Bound = 7 // below the universal latency 8
+	sol, _ = Solve(pr, Options{})
+	if sol.Feasible {
+		t.Fatal("impossible latency bound accepted")
+	}
+}

@@ -1,0 +1,126 @@
+package core
+
+import (
+	"fmt"
+
+	"repliflow/internal/workflow"
+)
+
+// Complexity is the Table 1 classification of a problem instance.
+type Complexity int
+
+const (
+	// PolyStraightforward marks cells the paper labels "Poly (str)".
+	PolyStraightforward Complexity = iota
+	// PolyDP marks cells solved by a dynamic programming algorithm,
+	// "Poly (DP)".
+	PolyDP
+	// PolyBinarySearchDP marks the starred cells solved by binary search
+	// combined with dynamic programming, "Poly (*)".
+	PolyBinarySearchDP
+	// NPHard marks the NP-hard cells.
+	NPHard
+)
+
+// String implements fmt.Stringer using the paper's Table 1 labels.
+func (c Complexity) String() string {
+	switch c {
+	case PolyStraightforward:
+		return "Poly (str)"
+	case PolyDP:
+		return "Poly (DP)"
+	case PolyBinarySearchDP:
+		return "Poly (*)"
+	case NPHard:
+		return "NP-hard"
+	default:
+		return fmt.Sprintf("Complexity(%d)", int(c))
+	}
+}
+
+// Polynomial reports whether the cell admits a polynomial algorithm.
+func (c Complexity) Polynomial() bool { return c != NPHard }
+
+// Classification names the Table 1 cell of an instance and the result that
+// establishes it.
+type Classification struct {
+	Complexity Complexity
+	// Source cites the theorem (or derived entry) establishing the cell.
+	Source string
+}
+
+// Classify returns the Table 1 cell of the problem. Fork-join graphs
+// classify exactly as forks (Section 6.3).
+func Classify(pr Problem) (Classification, error) {
+	if err := pr.Validate(); err != nil {
+		return Classification{}, err
+	}
+	platHom := pr.Platform.IsHomogeneous()
+	graphHom := pr.graphHomogeneous()
+	dp := pr.AllowDataParallel
+	bounded := pr.Objective.Bounded()
+
+	if pr.graphKind() == workflow.KindPipeline {
+		return classifyPipeline(platHom, graphHom, dp, pr.Objective, bounded), nil
+	}
+	return classifyFork(platHom, graphHom, dp, pr.Objective, bounded), nil
+}
+
+func classifyPipeline(platHom, graphHom, dp bool, obj Objective, bounded bool) Classification {
+	if platHom {
+		switch {
+		case obj == MinPeriod:
+			return Classification{PolyStraightforward, "Theorem 1"}
+		case !dp && obj == MinLatency:
+			return Classification{PolyStraightforward, "Theorem 2"}
+		case !dp && bounded:
+			return Classification{PolyStraightforward, "Corollary 1"}
+		case obj == MinLatency:
+			return Classification{PolyDP, "Theorem 3"}
+		default:
+			return Classification{PolyDP, "Theorem 4"}
+		}
+	}
+	// Heterogeneous platform.
+	if dp {
+		// NP-hard already for homogeneous pipelines (Theorem 5); the
+		// heterogeneous case inherits it.
+		return Classification{NPHard, "Theorem 5"}
+	}
+	switch {
+	case obj == MinLatency:
+		return Classification{PolyStraightforward, "Theorem 6"}
+	case graphHom && obj == MinPeriod:
+		return Classification{PolyBinarySearchDP, "Theorem 7"}
+	case graphHom:
+		return Classification{PolyBinarySearchDP, "Theorem 8"}
+	default:
+		return Classification{NPHard, "Theorem 9"}
+	}
+}
+
+func classifyFork(platHom, graphHom, dp bool, obj Objective, bounded bool) Classification {
+	if platHom {
+		switch {
+		case obj == MinPeriod:
+			return Classification{PolyStraightforward, "Theorem 10"}
+		case graphHom:
+			return Classification{PolyDP, "Theorem 11"}
+		default:
+			// Latency (and hence bi-criteria) for heterogeneous forks is
+			// NP-hard even on homogeneous platforms.
+			return Classification{NPHard, "Theorem 12"}
+		}
+	}
+	// Heterogeneous platform.
+	if dp {
+		return Classification{NPHard, "Theorem 13"}
+	}
+	if graphHom {
+		return Classification{PolyBinarySearchDP, "Theorem 14"}
+	}
+	if obj == MinPeriod && !bounded {
+		return Classification{NPHard, "Theorem 15"}
+	}
+	return Classification{NPHard, "Theorems 12/15"}
+}

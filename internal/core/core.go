@@ -1,0 +1,129 @@
+// Package core surfaces the complete result set of Benoit & Robert
+// (RR-6308) behind one API: it classifies any problem instance into its
+// Table 1 cell (polynomial or NP-hard) and solves it with the matching
+// algorithm — the paper's polynomial algorithms for the tractable cells,
+// and exact exponential search or polynomial heuristics for the NP-hard
+// ones.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repliflow/internal/platform"
+	"repliflow/internal/workflow"
+)
+
+// Objective selects what to optimize.
+type Objective int
+
+const (
+	// MinPeriod minimizes the period (maximizes throughput).
+	MinPeriod Objective = iota
+	// MinLatency minimizes the latency (response time).
+	MinLatency
+	// LatencyUnderPeriod minimizes the latency among mappings whose period
+	// does not exceed Problem.Bound.
+	LatencyUnderPeriod
+	// PeriodUnderLatency minimizes the period among mappings whose latency
+	// does not exceed Problem.Bound.
+	PeriodUnderLatency
+)
+
+// String implements fmt.Stringer.
+func (o Objective) String() string {
+	switch o {
+	case MinPeriod:
+		return "min-period"
+	case MinLatency:
+		return "min-latency"
+	case LatencyUnderPeriod:
+		return "latency-under-period"
+	case PeriodUnderLatency:
+		return "period-under-latency"
+	default:
+		return fmt.Sprintf("Objective(%d)", int(o))
+	}
+}
+
+// Bounded reports whether the objective carries a threshold.
+func (o Objective) Bounded() bool {
+	return o == LatencyUnderPeriod || o == PeriodUnderLatency
+}
+
+// Problem is a full instance of the mapping problem: exactly one of
+// Pipeline, Fork, ForkJoin must be non-nil.
+type Problem struct {
+	Pipeline *workflow.Pipeline
+	Fork     *workflow.Fork
+	ForkJoin *workflow.ForkJoin
+
+	Platform          platform.Platform
+	AllowDataParallel bool
+	Objective         Objective
+	// Bound is the threshold of a bi-criteria objective.
+	Bound float64
+}
+
+// Validate checks the problem is well formed.
+func (pr Problem) Validate() error {
+	count := 0
+	if pr.Pipeline != nil {
+		count++
+		if err := pr.Pipeline.Validate(); err != nil {
+			return err
+		}
+	}
+	if pr.Fork != nil {
+		count++
+		if err := pr.Fork.Validate(); err != nil {
+			return err
+		}
+	}
+	if pr.ForkJoin != nil {
+		count++
+		if err := pr.ForkJoin.Validate(); err != nil {
+			return err
+		}
+	}
+	if count != 1 {
+		return errors.New("core: exactly one of Pipeline, Fork, ForkJoin must be set")
+	}
+	if err := pr.Platform.Validate(); err != nil {
+		return err
+	}
+	if pr.Objective.Bounded() && pr.Bound <= 0 {
+		return fmt.Errorf("core: bounded objective %v requires a positive Bound", pr.Objective)
+	}
+	switch pr.Objective {
+	case MinPeriod, MinLatency, LatencyUnderPeriod, PeriodUnderLatency:
+	default:
+		return fmt.Errorf("core: unknown objective %d", int(pr.Objective))
+	}
+	return nil
+}
+
+// graphKind returns the graph kind of the problem.
+func (pr Problem) graphKind() workflow.Kind {
+	switch {
+	case pr.Pipeline != nil:
+		return workflow.KindPipeline
+	case pr.Fork != nil:
+		return workflow.KindFork
+	default:
+		return workflow.KindForkJoin
+	}
+}
+
+// graphHomogeneous reports whether all (leaf) stage weights are equal —
+// the "homogeneous pipeline / fork" rows of Table 1.
+func (pr Problem) graphHomogeneous() bool {
+	switch {
+	case pr.Pipeline != nil:
+		return pr.Pipeline.IsHomogeneous()
+	case pr.Fork != nil:
+		return pr.Fork.IsHomogeneous()
+	default:
+		return pr.ForkJoin.IsHomogeneous()
+	}
+}

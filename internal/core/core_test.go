@@ -1,0 +1,136 @@
+package core
+
+import (
+	"testing"
+
+	"repliflow/internal/platform"
+	"repliflow/internal/workflow"
+)
+
+func pipeProblem(p workflow.Pipeline, pl platform.Platform, dp bool, obj Objective, bound float64) Problem {
+	return Problem{Pipeline: &p, Platform: pl, AllowDataParallel: dp, Objective: obj, Bound: bound}
+}
+
+func forkProblem(f workflow.Fork, pl platform.Platform, dp bool, obj Objective, bound float64) Problem {
+	return Problem{Fork: &f, Platform: pl, AllowDataParallel: dp, Objective: obj, Bound: bound}
+}
+
+func forkJoinProblem(fj workflow.ForkJoin, pl platform.Platform, dp bool, obj Objective, bound float64) Problem {
+	return Problem{ForkJoin: &fj, Platform: pl, AllowDataParallel: dp, Objective: obj, Bound: bound}
+}
+
+func TestProblemValidate(t *testing.T) {
+	p := workflow.NewPipeline(1, 2)
+	f := workflow.NewFork(1, 2)
+	pl := platform.Homogeneous(2, 1)
+	if err := pipeProblem(p, pl, false, MinPeriod, 0).Validate(); err != nil {
+		t.Errorf("valid problem rejected: %v", err)
+	}
+	// No graph.
+	if err := (Problem{Platform: pl}).Validate(); err == nil {
+		t.Error("graphless problem accepted")
+	}
+	// Two graphs.
+	twoGraphs := Problem{Pipeline: &p, Fork: &f, Platform: pl}
+	if err := twoGraphs.Validate(); err == nil {
+		t.Error("two-graph problem accepted")
+	}
+	// Bounded objective without bound.
+	if err := pipeProblem(p, pl, false, LatencyUnderPeriod, 0).Validate(); err == nil {
+		t.Error("bounded objective without bound accepted")
+	}
+	// Bad objective.
+	if err := pipeProblem(p, pl, false, Objective(42), 0).Validate(); err == nil {
+		t.Error("unknown objective accepted")
+	}
+	// Bad platform.
+	if err := pipeProblem(p, platform.New(), false, MinPeriod, 0).Validate(); err == nil {
+		t.Error("empty platform accepted")
+	}
+}
+
+func TestObjectiveString(t *testing.T) {
+	if MinPeriod.String() != "min-period" || !LatencyUnderPeriod.Bounded() || MinLatency.Bounded() {
+		t.Fatal("objective helpers broken")
+	}
+}
+
+// TestClassifyTable1 pins every cell of Table 1 through the classifier.
+func TestClassifyTable1(t *testing.T) {
+	homPipe := workflow.HomogeneousPipeline(3, 2)
+	hetPipe := workflow.NewPipeline(1, 2, 3)
+	homFork := workflow.HomogeneousFork(2, 3, 1)
+	hetFork := workflow.NewFork(2, 1, 3)
+	homPlat := platform.Homogeneous(3, 1)
+	hetPlat := platform.New(1, 2, 3)
+
+	cases := []struct {
+		name    string
+		problem Problem
+		want    Complexity
+		source  string
+	}{
+		// Homogeneous platforms, without data-parallelism.
+		{"homplat hompipe period", pipeProblem(homPipe, homPlat, false, MinPeriod, 0), PolyStraightforward, "Theorem 1"},
+		{"homplat hetpipe period", pipeProblem(hetPipe, homPlat, false, MinPeriod, 0), PolyStraightforward, "Theorem 1"},
+		{"homplat hetpipe latency", pipeProblem(hetPipe, homPlat, false, MinLatency, 0), PolyStraightforward, "Theorem 2"},
+		{"homplat hetpipe both", pipeProblem(hetPipe, homPlat, false, LatencyUnderPeriod, 5), PolyStraightforward, "Corollary 1"},
+		// Homogeneous platforms, with data-parallelism.
+		{"homplat hetpipe latency dp", pipeProblem(hetPipe, homPlat, true, MinLatency, 0), PolyDP, "Theorem 3"},
+		{"homplat hetpipe both dp", pipeProblem(hetPipe, homPlat, true, PeriodUnderLatency, 9), PolyDP, "Theorem 4"},
+		{"homplat hetpipe period dp", pipeProblem(hetPipe, homPlat, true, MinPeriod, 0), PolyStraightforward, "Theorem 1"},
+		// Heterogeneous platforms, pipeline.
+		{"hetplat pipe latency", pipeProblem(hetPipe, hetPlat, false, MinLatency, 0), PolyStraightforward, "Theorem 6"},
+		{"hetplat hompipe period", pipeProblem(homPipe, hetPlat, false, MinPeriod, 0), PolyBinarySearchDP, "Theorem 7"},
+		{"hetplat hompipe both", pipeProblem(homPipe, hetPlat, false, LatencyUnderPeriod, 5), PolyBinarySearchDP, "Theorem 8"},
+		{"hetplat hetpipe period", pipeProblem(hetPipe, hetPlat, false, MinPeriod, 0), NPHard, "Theorem 9"},
+		{"hetplat hompipe period dp", pipeProblem(homPipe, hetPlat, true, MinPeriod, 0), NPHard, "Theorem 5"},
+		{"hetplat hompipe latency dp", pipeProblem(homPipe, hetPlat, true, MinLatency, 0), NPHard, "Theorem 5"},
+		// Forks on homogeneous platforms.
+		{"homplat hetfork period", forkProblem(hetFork, homPlat, false, MinPeriod, 0), PolyStraightforward, "Theorem 10"},
+		{"homplat homfork latency", forkProblem(homFork, homPlat, false, MinLatency, 0), PolyDP, "Theorem 11"},
+		{"homplat homfork latency dp", forkProblem(homFork, homPlat, true, MinLatency, 0), PolyDP, "Theorem 11"},
+		{"homplat hetfork latency", forkProblem(hetFork, homPlat, false, MinLatency, 0), NPHard, "Theorem 12"},
+		{"homplat hetfork latency dp", forkProblem(hetFork, homPlat, true, MinLatency, 0), NPHard, "Theorem 12"},
+		// Forks on heterogeneous platforms.
+		{"hetplat homfork period dp", forkProblem(homFork, hetPlat, true, MinPeriod, 0), NPHard, "Theorem 13"},
+		{"hetplat homfork period", forkProblem(homFork, hetPlat, false, MinPeriod, 0), PolyBinarySearchDP, "Theorem 14"},
+		{"hetplat homfork latency", forkProblem(homFork, hetPlat, false, MinLatency, 0), PolyBinarySearchDP, "Theorem 14"},
+		{"hetplat hetfork period", forkProblem(hetFork, hetPlat, false, MinPeriod, 0), NPHard, "Theorem 15"},
+		{"hetplat hetfork latency", forkProblem(hetFork, hetPlat, false, MinLatency, 0), NPHard, "Theorems 12/15"},
+	}
+	for _, c := range cases {
+		got, err := Classify(c.problem)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if got.Complexity != c.want {
+			t.Errorf("%s: complexity = %v, want %v", c.name, got.Complexity, c.want)
+		}
+		if got.Source != c.source {
+			t.Errorf("%s: source = %q, want %q", c.name, got.Source, c.source)
+		}
+	}
+}
+
+func TestClassifyForkJoinMatchesFork(t *testing.T) {
+	homFJ := workflow.HomogeneousForkJoin(1, 1, 3, 2)
+	hetPlat := platform.New(1, 2)
+	got, err := Classify(forkJoinProblem(homFJ, hetPlat, false, MinLatency, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Complexity != PolyBinarySearchDP {
+		t.Errorf("fork-join classification = %v, want Poly (*)", got.Complexity)
+	}
+}
+
+func TestComplexityString(t *testing.T) {
+	if PolyStraightforward.String() != "Poly (str)" || PolyDP.String() != "Poly (DP)" ||
+		PolyBinarySearchDP.String() != "Poly (*)" || NPHard.String() != "NP-hard" {
+		t.Fatal("Complexity.String labels diverge from Table 1")
+	}
+	if NPHard.Polynomial() || !PolyDP.Polynomial() {
+		t.Fatal("Polynomial() broken")
+	}
+}

@@ -1,0 +1,202 @@
+package core
+
+import (
+	"repliflow/internal/numeric"
+	"repliflow/internal/platform"
+)
+
+// ParetoFront computes the period/latency trade-off curve of a problem
+// instance: the set of non-dominated (period, latency) pairs, each with a
+// mapping achieving it, ordered by increasing period. The Objective and
+// Bound fields of the problem are ignored.
+//
+// The sweep runs over the finite set of achievable block-period values, so
+// on instances the dispatcher solves exactly the front is exact; points
+// obtained through heuristics are upper bounds (Solution.Exact == false).
+func ParetoFront(pr Problem, opts Options) ([]Solution, error) {
+	if pr.Objective.Bounded() && pr.Bound <= 0 {
+		pr.Bound = 1 // neutralize validation; the objective is overridden below
+	}
+	pr.Objective = MinPeriod
+	if err := pr.Validate(); err != nil {
+		return nil, err
+	}
+	opts = opts.normalized()
+
+	cands := candidatePeriods(pr)
+	var front []Solution
+	prevLatency := numeric.Inf
+	for _, k := range cands {
+		sub := pr
+		sub.Objective = LatencyUnderPeriod
+		sub.Bound = k
+		sol, err := Solve(sub, opts)
+		if err != nil {
+			return nil, err
+		}
+		if !sol.Feasible || numeric.GreaterEq(sol.Cost.Latency, prevLatency) {
+			continue
+		}
+		// Tighten the period at this latency level.
+		tight := pr
+		tight.Objective = PeriodUnderLatency
+		tight.Bound = sol.Cost.Latency
+		if ts, err := Solve(tight, opts); err == nil && ts.Feasible &&
+			numeric.LessEq(ts.Cost.Latency, sol.Cost.Latency) && numeric.LessEq(ts.Cost.Period, sol.Cost.Period) {
+			sol = ts
+		}
+		front = append(front, sol)
+		prevLatency = sol.Cost.Latency
+	}
+	return front, nil
+}
+
+// candidatePeriods returns a superset of the achievable block-period
+// values of the instance, ascending and deduplicated. For homogeneous
+// graphs a closed form keeps the set polynomial; otherwise block weights
+// are enumerated over stage subsets (fine at exhaustive-search sizes).
+func candidatePeriods(pr Problem) []float64 {
+	pl := pr.Platform
+	var weights []float64 // achievable block weights
+	switch {
+	case pr.Pipeline != nil:
+		p := *pr.Pipeline
+		for i := 0; i < p.Stages(); i++ {
+			w := 0.0
+			for j := i; j < p.Stages(); j++ {
+				w += p.Weights[j]
+				weights = append(weights, w)
+			}
+		}
+	case pr.Fork != nil:
+		weights = forkBlockWeights(pr.Fork.Root, 0, false, pr.Fork.Weights)
+	default:
+		weights = forkBlockWeights(pr.ForkJoin.Root, pr.ForkJoin.Join, true, pr.ForkJoin.Weights)
+	}
+	return periodsFromWeights(weights, pl)
+}
+
+// forkBlockWeights lists the total weights a fork (or fork-join) block can
+// take: any subset sum of the leaves, optionally plus the root and/or join
+// weight. Homogeneous leaves collapse subsets to counts; heterogeneous
+// leaves enumerate subsets (2^n).
+func forkBlockWeights(root, join float64, hasJoin bool, leaves []float64) []float64 {
+	var sums []float64
+	hom := true
+	for _, w := range leaves[min(1, len(leaves)):] {
+		if !numeric.Eq(w, leaves[0]) {
+			hom = false
+			break
+		}
+	}
+	if hom {
+		s := 0.0
+		sums = append(sums, 0)
+		for range leaves {
+			if len(leaves) > 0 {
+				s += leaves[0]
+			}
+			sums = append(sums, s)
+		}
+	} else {
+		sums = append(sums, 0)
+		for _, w := range leaves {
+			for _, s := range append([]float64(nil), sums...) {
+				sums = append(sums, s+w)
+			}
+		}
+		sums = numeric.DedupSorted(sums)
+	}
+	var weights []float64
+	for _, s := range sums {
+		if s > 0 {
+			weights = append(weights, s)
+		}
+		weights = append(weights, s+root)
+		if hasJoin {
+			if s > 0 {
+				weights = append(weights, s+join)
+			}
+			weights = append(weights, s+root+join)
+		}
+	}
+	return weights
+}
+
+// periodsFromWeights expands block weights into period values over every
+// replication count and minimum speed (and speed sums for data-parallel
+// groups), deduplicated and ascending.
+func periodsFromWeights(weights []float64, pl platform.Platform) []float64 {
+	speeds := numeric.DedupSorted(append([]float64(nil), pl.Speeds...))
+	p := pl.Processors()
+	var cands []float64
+	for _, w := range weights {
+		for _, s := range speeds {
+			for k := 1; k <= p; k++ {
+				cands = append(cands, w/(float64(k)*s))
+			}
+		}
+	}
+	// Data-parallel groups divide by speed sums; enumerate sums of sorted
+	// prefixes and, when small, all subset sums.
+	sums := subsetSpeedSums(pl)
+	for _, w := range weights {
+		for _, s := range sums {
+			cands = append(cands, w/s)
+		}
+	}
+	return numeric.DedupSorted(cands)
+}
+
+// subsetSpeedSums returns the distinct subset speed sums when 2^p is small
+// and the prefix sums of the speed-sorted processors otherwise (a superset
+// is not required for correctness of the sweep — extra candidates only add
+// work, missing ones only coarsen the front between exact points).
+func subsetSpeedSums(pl platform.Platform) []float64 {
+	p := pl.Processors()
+	if p <= 12 {
+		sums := []float64{}
+		acc := []float64{0}
+		for _, s := range pl.Speeds {
+			for _, a := range append([]float64(nil), acc...) {
+				acc = append(acc, a+s)
+			}
+			acc = numeric.DedupSorted(acc)
+		}
+		for _, a := range acc {
+			if a > 0 {
+				sums = append(sums, a)
+			}
+		}
+		return sums
+	}
+	var sums []float64
+	total := 0.0
+	for _, idx := range pl.SortedBySpeed() {
+		total += pl.Speeds[idx]
+		sums = append(sums, total)
+	}
+	return numeric.DedupSorted(sums)
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// FrontIsMonotone reports whether a front is strictly decreasing in
+// latency and strictly increasing in period — the defining property of a
+// Pareto front (exported for tests and tooling).
+func FrontIsMonotone(front []Solution) bool {
+	for i := 1; i < len(front); i++ {
+		if !numeric.Less(front[i-1].Cost.Period, front[i].Cost.Period) {
+			return false
+		}
+		if !numeric.Greater(front[i-1].Cost.Latency, front[i].Cost.Latency) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,120 @@
+package core
+
+import (
+	"fmt"
+
+	"repliflow/internal/mapping"
+)
+
+// Method records which solver produced a solution.
+type Method int
+
+const (
+	// MethodClosedForm is a straightforward constructive optimum (the
+	// "Poly (str)" cells).
+	MethodClosedForm Method = iota
+	// MethodDP is a polynomial dynamic programming algorithm.
+	MethodDP
+	// MethodBinarySearchDP is a binary search combined with dynamic
+	// programming (the "Poly (*)" cells).
+	MethodBinarySearchDP
+	// MethodExhaustive is exact exponential search (NP-hard cells, small
+	// instances).
+	MethodExhaustive
+	// MethodHeuristic is a polynomial heuristic (NP-hard cells, large
+	// instances); the solution is feasible but not necessarily optimal.
+	MethodHeuristic
+)
+
+// String implements fmt.Stringer.
+func (m Method) String() string {
+	switch m {
+	case MethodClosedForm:
+		return "closed-form"
+	case MethodDP:
+		return "dynamic-programming"
+	case MethodBinarySearchDP:
+		return "binary-search+DP"
+	case MethodExhaustive:
+		return "exhaustive"
+	case MethodHeuristic:
+		return "heuristic"
+	default:
+		return fmt.Sprintf("Method(%d)", int(m))
+	}
+}
+
+// Solution is the outcome of Solve. Exactly one of the mapping fields is
+// non-nil, matching the problem's graph kind. Feasible is false when the
+// requested bound cannot be met (for heuristic solutions this may be a
+// false negative, flagged by Exact == false).
+type Solution struct {
+	PipelineMapping *mapping.PipelineMapping
+	ForkMapping     *mapping.ForkMapping
+	ForkJoinMapping *mapping.ForkJoinMapping
+
+	Cost           mapping.Cost
+	Method         Method
+	Exact          bool
+	Feasible       bool
+	Classification Classification
+}
+
+// String summarizes the solution.
+func (s Solution) String() string {
+	if !s.Feasible {
+		return fmt.Sprintf("infeasible (%s, %s)", s.Classification.Complexity, s.Method)
+	}
+	var m fmt.Stringer
+	switch {
+	case s.PipelineMapping != nil:
+		m = s.PipelineMapping
+	case s.ForkMapping != nil:
+		m = s.ForkMapping
+	default:
+		m = s.ForkJoinMapping
+	}
+	exact := "exact"
+	if !s.Exact {
+		exact = "heuristic"
+	}
+	return fmt.Sprintf("%s [%s via %s, %s, cell %s by %s]",
+		m, s.Cost, s.Method, exact, s.Classification.Complexity, s.Classification.Source)
+}
+
+// Options tunes Solve's behaviour on NP-hard cells: instances within the
+// exhaustive limits are solved exactly by exponential search, larger ones
+// fall back to polynomial heuristics.
+type Options struct {
+	// MaxExhaustivePipelineProcs bounds p for the bitmask DP (cost 3^p).
+	MaxExhaustivePipelineProcs int
+	// MaxExhaustiveForkStages bounds the fork stage count (root + leaves
+	// [+ join]) for set-partition enumeration.
+	MaxExhaustiveForkStages int
+	// MaxExhaustiveForkProcs bounds p for fork enumeration.
+	MaxExhaustiveForkProcs int
+}
+
+// DefaultOptions are the limits used when Solve is called with the zero
+// Options value.
+func DefaultOptions() Options {
+	return Options{
+		MaxExhaustivePipelineProcs: 10,
+		MaxExhaustiveForkStages:    6,
+		MaxExhaustiveForkProcs:     5,
+	}
+}
+
+func (o Options) normalized() Options {
+	d := DefaultOptions()
+	if o.MaxExhaustivePipelineProcs <= 0 {
+		o.MaxExhaustivePipelineProcs = d.MaxExhaustivePipelineProcs
+	}
+	if o.MaxExhaustiveForkStages <= 0 {
+		o.MaxExhaustiveForkStages = d.MaxExhaustiveForkStages
+	}
+	if o.MaxExhaustiveForkProcs <= 0 {
+		o.MaxExhaustiveForkProcs = d.MaxExhaustiveForkProcs
+	}
+	return o
+}

@@ -1,0 +1,358 @@
+package core
+
+import (
+	"repliflow/internal/exhaustive"
+	"repliflow/internal/forkalgo"
+	"repliflow/internal/heuristics"
+	"repliflow/internal/mapping"
+	"repliflow/internal/numeric"
+	"repliflow/internal/workflow"
+)
+
+func forkSolution(m mapping.ForkMapping, c mapping.Cost, method Method, exact bool, cl Classification) Solution {
+	cp := m
+	return Solution{
+		ForkMapping: &cp, Cost: c,
+		Method: method, Exact: exact, Feasible: true, Classification: cl,
+	}
+}
+
+// wholeForkOnProcessor maps the entire fork onto the single processor q.
+func wholeForkOnProcessor(f workflow.Fork, q int) mapping.ForkMapping {
+	leaves := make([]int, f.Leaves())
+	for i := range leaves {
+		leaves[i] = i
+	}
+	return mapping.ForkMapping{Blocks: []mapping.ForkBlock{
+		mapping.NewForkBlock(true, leaves, mapping.Replicated, q),
+	}}
+}
+
+func solveFork(pr Problem, opts Options) (Solution, error) {
+	f := *pr.Fork
+	pl := pr.Platform
+	cl, err := Classify(pr)
+	if err != nil {
+		return Solution{}, err
+	}
+
+	if pl.IsHomogeneous() {
+		if pr.Objective == MinPeriod {
+			res, err := forkalgo.HomForkPeriod(f, pl)
+			if err != nil {
+				return Solution{}, err
+			}
+			return forkSolution(res.Mapping, res.Cost, MethodClosedForm, true, cl), nil
+		}
+		if f.IsHomogeneous() {
+			return solveForkTheorem11(pr, f, cl)
+		}
+		return solveForkHard(pr, f, cl, opts), nil
+	}
+
+	if !pr.AllowDataParallel && f.IsHomogeneous() {
+		return solveForkTheorem14(pr, f, cl)
+	}
+	return solveForkHard(pr, f, cl, opts), nil
+}
+
+func solveForkTheorem11(pr Problem, f workflow.Fork, cl Classification) (Solution, error) {
+	pl, dp := pr.Platform, pr.AllowDataParallel
+	switch pr.Objective {
+	case MinLatency:
+		res, err := forkalgo.HomForkLatency(f, pl, dp)
+		if err != nil {
+			return Solution{}, err
+		}
+		return forkSolution(res.Mapping, res.Cost, MethodDP, true, cl), nil
+	case LatencyUnderPeriod:
+		res, ok, err := forkalgo.HomForkLatencyUnderPeriod(f, pl, dp, pr.Bound)
+		if err != nil {
+			return Solution{}, err
+		}
+		if !ok {
+			return infeasible(MethodDP, true, cl), nil
+		}
+		return forkSolution(res.Mapping, res.Cost, MethodDP, true, cl), nil
+	default: // PeriodUnderLatency
+		res, ok, err := forkalgo.HomForkPeriodUnderLatency(f, pl, dp, pr.Bound)
+		if err != nil {
+			return Solution{}, err
+		}
+		if !ok {
+			return infeasible(MethodDP, true, cl), nil
+		}
+		return forkSolution(res.Mapping, res.Cost, MethodDP, true, cl), nil
+	}
+}
+
+func solveForkTheorem14(pr Problem, f workflow.Fork, cl Classification) (Solution, error) {
+	pl := pr.Platform
+	switch pr.Objective {
+	case MinPeriod:
+		res, err := forkalgo.HetHomForkPeriodNoDP(f, pl)
+		if err != nil {
+			return Solution{}, err
+		}
+		return forkSolution(res.Mapping, res.Cost, MethodBinarySearchDP, true, cl), nil
+	case MinLatency:
+		res, err := forkalgo.HetHomForkLatencyNoDP(f, pl)
+		if err != nil {
+			return Solution{}, err
+		}
+		return forkSolution(res.Mapping, res.Cost, MethodBinarySearchDP, true, cl), nil
+	case LatencyUnderPeriod:
+		res, ok, err := forkalgo.HetHomForkLatencyUnderPeriodNoDP(f, pl, pr.Bound)
+		if err != nil {
+			return Solution{}, err
+		}
+		if !ok {
+			return infeasible(MethodBinarySearchDP, true, cl), nil
+		}
+		return forkSolution(res.Mapping, res.Cost, MethodBinarySearchDP, true, cl), nil
+	default:
+		res, ok, err := forkalgo.HetHomForkPeriodUnderLatencyNoDP(f, pl, pr.Bound)
+		if err != nil {
+			return Solution{}, err
+		}
+		if !ok {
+			return infeasible(MethodBinarySearchDP, true, cl), nil
+		}
+		return forkSolution(res.Mapping, res.Cost, MethodBinarySearchDP, true, cl), nil
+	}
+}
+
+// solveForkHard handles the NP-hard fork cells.
+func solveForkHard(pr Problem, f workflow.Fork, cl Classification, opts Options) Solution {
+	pl, dp := pr.Platform, pr.AllowDataParallel
+	if f.Leaves()+1 <= opts.MaxExhaustiveForkStages && pl.Processors() <= opts.MaxExhaustiveForkProcs {
+		var res exhaustive.ForkResult
+		var ok bool
+		switch pr.Objective {
+		case MinPeriod:
+			res, ok = exhaustive.ForkPeriod(f, pl, dp)
+		case MinLatency:
+			res, ok = exhaustive.ForkLatency(f, pl, dp)
+		case LatencyUnderPeriod:
+			res, ok = exhaustive.ForkLatencyUnderPeriod(f, pl, dp, pr.Bound)
+		default:
+			res, ok = exhaustive.ForkPeriodUnderLatency(f, pl, dp, pr.Bound)
+		}
+		if !ok {
+			return infeasible(MethodExhaustive, true, cl)
+		}
+		return forkSolution(res.Mapping, res.Cost, MethodExhaustive, true, cl)
+	}
+	var maps []mapping.ForkMapping
+	var costs []mapping.Cost
+	add := func(m mapping.ForkMapping) {
+		if c, err := mapping.EvalFork(f, pl, m); err == nil {
+			maps = append(maps, m)
+			costs = append(costs, c)
+		}
+	}
+	add(mapping.ReplicateAllFork(f, pl))
+	add(wholeForkOnProcessor(f, pl.Fastest()))
+	if m, _, err := heuristics.HetForkPeriodGreedy(f, pl); err == nil {
+		add(m)
+	}
+	if pl.IsHomogeneous() {
+		if m, _, err := heuristics.HetForkLatencyLPT(f, pl); err == nil {
+			add(m)
+		}
+	}
+	idx, ok := pickBestIndex(costs, pr)
+	if !ok {
+		return infeasible(MethodHeuristic, false, cl)
+	}
+	best, bestCost := maps[idx], costs[idx]
+	// Polish with hill climbing on the optimized criterion, keeping the
+	// result only if it still honours the bound.
+	obj := heuristics.ForkMinLatency
+	if pr.Objective == MinPeriod || pr.Objective == PeriodUnderLatency {
+		obj = heuristics.ForkMinPeriod
+	}
+	if m, c, err := heuristics.LocalSearchFork(f, pl, best, obj); err == nil {
+		ok := true
+		switch pr.Objective {
+		case LatencyUnderPeriod:
+			ok = !numeric.Greater(c.Period, pr.Bound)
+		case PeriodUnderLatency:
+			ok = !numeric.Greater(c.Latency, pr.Bound)
+		}
+		if ok && numeric.Less(objectiveValue(c, pr.Objective), objectiveValue(bestCost, pr.Objective)) {
+			best, bestCost = m, c
+		}
+	}
+	return forkSolution(best, bestCost, MethodHeuristic, false, cl)
+}
+
+func forkJoinSolution(m mapping.ForkJoinMapping, c mapping.Cost, method Method, exact bool, cl Classification) Solution {
+	cp := m
+	return Solution{
+		ForkJoinMapping: &cp, Cost: c,
+		Method: method, Exact: exact, Feasible: true, Classification: cl,
+	}
+}
+
+// wholeForkJoinOnProcessor maps the entire fork-join onto processor q.
+func wholeForkJoinOnProcessor(fj workflow.ForkJoin, q int) mapping.ForkJoinMapping {
+	leaves := make([]int, fj.Leaves())
+	for i := range leaves {
+		leaves[i] = i
+	}
+	return mapping.ForkJoinMapping{Blocks: []mapping.ForkJoinBlock{
+		mapping.NewForkJoinBlock(true, true, leaves, mapping.Replicated, q),
+	}}
+}
+
+func solveForkJoin(pr Problem, opts Options) (Solution, error) {
+	fj := *pr.ForkJoin
+	pl := pr.Platform
+	cl, err := Classify(pr)
+	if err != nil {
+		return Solution{}, err
+	}
+
+	if pl.IsHomogeneous() {
+		if pr.Objective == MinPeriod {
+			res, err := forkalgo.HomForkJoinPeriod(fj, pl)
+			if err != nil {
+				return Solution{}, err
+			}
+			return forkJoinSolution(res.Mapping, res.Cost, MethodClosedForm, true, cl), nil
+		}
+		if fj.IsHomogeneous() {
+			return solveForkJoinTheorem11(pr, fj, cl)
+		}
+		return solveForkJoinHard(pr, fj, cl, opts), nil
+	}
+	if !pr.AllowDataParallel && fj.IsHomogeneous() {
+		return solveForkJoinTheorem14(pr, fj, cl)
+	}
+	return solveForkJoinHard(pr, fj, cl, opts), nil
+}
+
+func solveForkJoinTheorem11(pr Problem, fj workflow.ForkJoin, cl Classification) (Solution, error) {
+	pl, dp := pr.Platform, pr.AllowDataParallel
+	switch pr.Objective {
+	case MinLatency:
+		res, err := forkalgo.HomForkJoinLatency(fj, pl, dp)
+		if err != nil {
+			return Solution{}, err
+		}
+		return forkJoinSolution(res.Mapping, res.Cost, MethodDP, true, cl), nil
+	case LatencyUnderPeriod:
+		res, ok, err := forkalgo.HomForkJoinLatencyUnderPeriod(fj, pl, dp, pr.Bound)
+		if err != nil {
+			return Solution{}, err
+		}
+		if !ok {
+			return infeasible(MethodDP, true, cl), nil
+		}
+		return forkJoinSolution(res.Mapping, res.Cost, MethodDP, true, cl), nil
+	default:
+		res, ok, err := forkalgo.HomForkJoinPeriodUnderLatency(fj, pl, dp, pr.Bound)
+		if err != nil {
+			return Solution{}, err
+		}
+		if !ok {
+			return infeasible(MethodDP, true, cl), nil
+		}
+		return forkJoinSolution(res.Mapping, res.Cost, MethodDP, true, cl), nil
+	}
+}
+
+func solveForkJoinTheorem14(pr Problem, fj workflow.ForkJoin, cl Classification) (Solution, error) {
+	pl := pr.Platform
+	switch pr.Objective {
+	case MinPeriod:
+		res, err := forkalgo.HetHomForkJoinPeriodNoDP(fj, pl)
+		if err != nil {
+			return Solution{}, err
+		}
+		return forkJoinSolution(res.Mapping, res.Cost, MethodBinarySearchDP, true, cl), nil
+	case MinLatency:
+		res, err := forkalgo.HetHomForkJoinLatencyNoDP(fj, pl)
+		if err != nil {
+			return Solution{}, err
+		}
+		return forkJoinSolution(res.Mapping, res.Cost, MethodBinarySearchDP, true, cl), nil
+	case LatencyUnderPeriod:
+		res, ok, err := forkalgo.HetHomForkJoinLatencyUnderPeriodNoDP(fj, pl, pr.Bound)
+		if err != nil {
+			return Solution{}, err
+		}
+		if !ok {
+			return infeasible(MethodBinarySearchDP, true, cl), nil
+		}
+		return forkJoinSolution(res.Mapping, res.Cost, MethodBinarySearchDP, true, cl), nil
+	default:
+		res, ok, err := forkalgo.HetHomForkJoinPeriodUnderLatencyNoDP(fj, pl, pr.Bound)
+		if err != nil {
+			return Solution{}, err
+		}
+		if !ok {
+			return infeasible(MethodBinarySearchDP, true, cl), nil
+		}
+		return forkJoinSolution(res.Mapping, res.Cost, MethodBinarySearchDP, true, cl), nil
+	}
+}
+
+func solveForkJoinHard(pr Problem, fj workflow.ForkJoin, cl Classification, opts Options) Solution {
+	pl, dp := pr.Platform, pr.AllowDataParallel
+	if fj.Leaves()+2 <= opts.MaxExhaustiveForkStages && pl.Processors() <= opts.MaxExhaustiveForkProcs {
+		var res exhaustive.ForkJoinResult
+		var ok bool
+		switch pr.Objective {
+		case MinPeriod:
+			res, ok = exhaustive.ForkJoinPeriod(fj, pl, dp)
+		case MinLatency:
+			res, ok = exhaustive.ForkJoinLatency(fj, pl, dp)
+		case LatencyUnderPeriod:
+			res, ok = exhaustive.ForkJoinLatencyUnderPeriod(fj, pl, dp, pr.Bound)
+		default:
+			res, ok = exhaustive.ForkJoinPeriodUnderLatency(fj, pl, dp, pr.Bound)
+		}
+		if !ok {
+			return infeasible(MethodExhaustive, true, cl)
+		}
+		return forkJoinSolution(res.Mapping, res.Cost, MethodExhaustive, true, cl)
+	}
+	var maps []mapping.ForkJoinMapping
+	var costs []mapping.Cost
+	add := func(m mapping.ForkJoinMapping) {
+		if c, err := mapping.EvalForkJoin(fj, pl, m); err == nil {
+			maps = append(maps, m)
+			costs = append(costs, c)
+		}
+	}
+	add(mapping.ReplicateAllForkJoin(fj, pl))
+	add(wholeForkJoinOnProcessor(fj, pl.Fastest()))
+	minPeriod := pr.Objective == MinPeriod || pr.Objective == PeriodUnderLatency
+	if m, _, err := heuristics.HetForkJoinGreedy(fj, pl, minPeriod); err == nil {
+		add(m)
+	}
+	idx, ok := pickBestIndex(costs, pr)
+	if !ok {
+		return infeasible(MethodHeuristic, false, cl)
+	}
+	return forkJoinSolution(maps[idx], costs[idx], MethodHeuristic, false, cl)
+}
+
+// Solve classifies the problem into its Table 1 cell and solves it with
+// the matching algorithm. The zero Options value applies DefaultOptions.
+func Solve(pr Problem, opts Options) (Solution, error) {
+	if err := pr.Validate(); err != nil {
+		return Solution{}, err
+	}
+	opts = opts.normalized()
+	switch {
+	case pr.Pipeline != nil:
+		return solvePipeline(pr, opts)
+	case pr.Fork != nil:
+		return solveFork(pr, opts)
+	default:
+		return solveForkJoin(pr, opts)
+	}
+}

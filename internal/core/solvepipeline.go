@@ -1,0 +1,235 @@
+package core
+
+import (
+	"repliflow/internal/exhaustive"
+	"repliflow/internal/heuristics"
+	"repliflow/internal/mapping"
+	"repliflow/internal/numeric"
+	"repliflow/internal/pipealgo"
+	"repliflow/internal/workflow"
+)
+
+// pipeSolution wraps a pipeline mapping into a Solution.
+func pipeSolution(m mapping.PipelineMapping, c mapping.Cost, method Method, exact bool, cl Classification) Solution {
+	cp := m
+	return Solution{
+		PipelineMapping: &cp, Cost: c,
+		Method: method, Exact: exact, Feasible: true, Classification: cl,
+	}
+}
+
+func infeasible(method Method, exact bool, cl Classification) Solution {
+	return Solution{Method: method, Exact: exact, Feasible: false, Classification: cl}
+}
+
+func solvePipeline(pr Problem, opts Options) (Solution, error) {
+	p := *pr.Pipeline
+	pl := pr.Platform
+	cl, err := Classify(pr)
+	if err != nil {
+		return Solution{}, err
+	}
+	if pl.IsHomogeneous() {
+		return solvePipelineHom(pr, p, cl)
+	}
+	if pr.AllowDataParallel {
+		return solvePipelineHetDP(pr, p, cl, opts), nil
+	}
+	return solvePipelineHetNoDP(pr, p, cl, opts)
+}
+
+func solvePipelineHom(pr Problem, p workflow.Pipeline, cl Classification) (Solution, error) {
+	pl := pr.Platform
+	switch pr.Objective {
+	case MinPeriod:
+		res, err := pipealgo.HomPeriod(p, pl)
+		if err != nil {
+			return Solution{}, err
+		}
+		return pipeSolution(res.Mapping, res.Cost, MethodClosedForm, true, cl), nil
+	case MinLatency:
+		if !pr.AllowDataParallel {
+			res, err := pipealgo.HomLatencyNoDP(p, pl)
+			if err != nil {
+				return Solution{}, err
+			}
+			return pipeSolution(res.Mapping, res.Cost, MethodClosedForm, true, cl), nil
+		}
+		res, err := pipealgo.HomLatencyDP(p, pl)
+		if err != nil {
+			return Solution{}, err
+		}
+		return pipeSolution(res.Mapping, res.Cost, MethodDP, true, cl), nil
+	case LatencyUnderPeriod:
+		if !pr.AllowDataParallel {
+			// Corollary 1: every mapping has latency W/s; replicating
+			// everything reaches the minimum period.
+			res, err := pipealgo.HomBiCriteriaNoDP(p, pl)
+			if err != nil {
+				return Solution{}, err
+			}
+			if numeric.Greater(res.Cost.Period, pr.Bound) {
+				return infeasible(MethodClosedForm, true, cl), nil
+			}
+			return pipeSolution(res.Mapping, res.Cost, MethodClosedForm, true, cl), nil
+		}
+		res, ok, err := pipealgo.HomLatencyUnderPeriodDP(p, pl, pr.Bound)
+		if err != nil {
+			return Solution{}, err
+		}
+		if !ok {
+			return infeasible(MethodDP, true, cl), nil
+		}
+		return pipeSolution(res.Mapping, res.Cost, MethodDP, true, cl), nil
+	default: // PeriodUnderLatency
+		if !pr.AllowDataParallel {
+			res, err := pipealgo.HomBiCriteriaNoDP(p, pl)
+			if err != nil {
+				return Solution{}, err
+			}
+			if numeric.Greater(res.Cost.Latency, pr.Bound) {
+				return infeasible(MethodClosedForm, true, cl), nil
+			}
+			return pipeSolution(res.Mapping, res.Cost, MethodClosedForm, true, cl), nil
+		}
+		res, ok, err := pipealgo.HomPeriodUnderLatencyDP(p, pl, pr.Bound)
+		if err != nil {
+			return Solution{}, err
+		}
+		if !ok {
+			return infeasible(MethodDP, true, cl), nil
+		}
+		return pipeSolution(res.Mapping, res.Cost, MethodDP, true, cl), nil
+	}
+}
+
+func solvePipelineHetNoDP(pr Problem, p workflow.Pipeline, cl Classification, opts Options) (Solution, error) {
+	pl := pr.Platform
+	switch pr.Objective {
+	case MinLatency:
+		res, err := pipealgo.HetLatencyNoDP(p, pl)
+		if err != nil {
+			return Solution{}, err
+		}
+		return pipeSolution(res.Mapping, res.Cost, MethodClosedForm, true, cl), nil
+	case MinPeriod:
+		if p.IsHomogeneous() {
+			res, err := pipealgo.HetHomPipelinePeriodNoDP(p, pl)
+			if err != nil {
+				return Solution{}, err
+			}
+			return pipeSolution(res.Mapping, res.Cost, MethodBinarySearchDP, true, cl), nil
+		}
+		return solvePipelineHard(pr, p, cl, opts), nil
+	case LatencyUnderPeriod:
+		if p.IsHomogeneous() {
+			res, ok, err := pipealgo.HetHomPipelineLatencyUnderPeriodNoDP(p, pl, pr.Bound)
+			if err != nil {
+				return Solution{}, err
+			}
+			if !ok {
+				return infeasible(MethodBinarySearchDP, true, cl), nil
+			}
+			return pipeSolution(res.Mapping, res.Cost, MethodBinarySearchDP, true, cl), nil
+		}
+		return solvePipelineHard(pr, p, cl, opts), nil
+	default: // PeriodUnderLatency
+		if p.IsHomogeneous() {
+			res, ok, err := pipealgo.HetHomPipelinePeriodUnderLatencyNoDP(p, pl, pr.Bound)
+			if err != nil {
+				return Solution{}, err
+			}
+			if !ok {
+				return infeasible(MethodBinarySearchDP, true, cl), nil
+			}
+			return pipeSolution(res.Mapping, res.Cost, MethodBinarySearchDP, true, cl), nil
+		}
+		return solvePipelineHard(pr, p, cl, opts), nil
+	}
+}
+
+func solvePipelineHetDP(pr Problem, p workflow.Pipeline, cl Classification, opts Options) Solution {
+	return solvePipelineHard(pr, p, cl, opts)
+}
+
+// solvePipelineHard handles the NP-hard pipeline cells: exact exhaustive
+// search when the platform is small enough, polynomial heuristics
+// otherwise.
+func solvePipelineHard(pr Problem, p workflow.Pipeline, cl Classification, opts Options) Solution {
+	pl := pr.Platform
+	dp := pr.AllowDataParallel
+	if pl.Processors() <= opts.MaxExhaustivePipelineProcs {
+		var res exhaustive.PipelineResult
+		var ok bool
+		switch pr.Objective {
+		case MinPeriod:
+			res, ok = exhaustive.PipelinePeriod(p, pl, dp)
+		case MinLatency:
+			res, ok = exhaustive.PipelineLatency(p, pl, dp)
+		case LatencyUnderPeriod:
+			res, ok = exhaustive.PipelineLatencyUnderPeriod(p, pl, dp, pr.Bound)
+		default:
+			res, ok = exhaustive.PipelinePeriodUnderLatency(p, pl, dp, pr.Bound)
+		}
+		if !ok {
+			return infeasible(MethodExhaustive, true, cl)
+		}
+		return pipeSolution(res.Mapping, res.Cost, MethodExhaustive, true, cl)
+	}
+	// Heuristic path: gather candidate mappings and pick the best that
+	// meets the bound (if any).
+	var maps []mapping.PipelineMapping
+	var costs []mapping.Cost
+	add := func(m mapping.PipelineMapping, c mapping.Cost, err error) {
+		if err == nil {
+			maps = append(maps, m)
+			costs = append(costs, c)
+		}
+	}
+	if dp {
+		m, c, err := heuristics.HetPipelineWithDP(p, pl, pr.Objective == MinPeriod || pr.Objective == PeriodUnderLatency)
+		add(m, c, err)
+		m, c, err = heuristics.HetPipelineWithDP(p, pl, false)
+		add(m, c, err)
+	}
+	m, c, err := heuristics.HetPipelinePeriodNoDP(p, pl)
+	add(m, c, err)
+	{
+		res, err := pipealgo.HetLatencyNoDP(p, pl)
+		add(res.Mapping, res.Cost, err)
+	}
+	idx, okBest := pickBestIndex(costs, pr)
+	if !okBest {
+		return infeasible(MethodHeuristic, false, cl)
+	}
+	return pipeSolution(maps[idx], costs[idx], MethodHeuristic, false, cl)
+}
+
+// pickBestIndex selects the candidate cost minimizing the requested
+// objective among those meeting the bound.
+func pickBestIndex(costs []mapping.Cost, pr Problem) (int, bool) {
+	best := -1
+	for i, c := range costs {
+		switch pr.Objective {
+		case LatencyUnderPeriod:
+			if numeric.Greater(c.Period, pr.Bound) {
+				continue
+			}
+		case PeriodUnderLatency:
+			if numeric.Greater(c.Latency, pr.Bound) {
+				continue
+			}
+		}
+		if best < 0 || numeric.Less(objectiveValue(c, pr.Objective), objectiveValue(costs[best], pr.Objective)) {
+			best = i
+		}
+	}
+	return best, best >= 0
+}
+
+func objectiveValue(c mapping.Cost, o Objective) float64 {
+	if o == MinPeriod || o == PeriodUnderLatency {
+		return c.Period
+	}
+	return c.Latency
+}

@@ -1,0 +1,85 @@
+// Package exhaustive provides exact optimal mappers by exponential-time
+// search. They serve two purposes in the reproduction of Benoit & Robert
+// (RR-6308):
+//
+//   - ground truth for every polynomial algorithm of the paper (the
+//     algorithm's optimum must coincide with the exhaustive optimum on
+//     randomized instances), and
+//   - exact baselines for the NP-hard problem instances, against which the
+//     polynomial heuristics are measured.
+//
+// Pipelines are solved by a dynamic program over (next stage, set of used
+// processors) — exact because interval costs are independent given the
+// processor subset. Forks and fork-joins enumerate the set partitions of
+// the stages (restricted growth strings) and assign processor subsets per
+// block by a similar bitmask dynamic program.
+//
+// All solvers are exponential in the number of processors (and, for forks,
+// in the number of stages); they are intended for the small instances used
+// in tests and benchmarks, up to roughly p = 12 for pipelines and
+// n, p = 6 for forks.
+package exhaustive
+
+import (
+	"math"
+	"math/bits"
+
+	"repliflow/internal/numeric"
+	"repliflow/internal/platform"
+)
+
+// maskInfo caches per-subset speed aggregates of a platform.
+type maskInfo struct {
+	count int
+	min   float64
+	sum   float64
+}
+
+// buildMaskInfo precomputes aggregates for every non-empty processor subset.
+func buildMaskInfo(pl platform.Platform) []maskInfo {
+	p := pl.Processors()
+	info := make([]maskInfo, 1<<p)
+	for mask := 1; mask < 1<<p; mask++ {
+		low := bits.TrailingZeros(uint(mask))
+		rest := mask &^ (1 << low)
+		s := pl.Speeds[low]
+		if rest == 0 {
+			info[mask] = maskInfo{count: 1, min: s, sum: s}
+			continue
+		}
+		prev := info[rest]
+		info[mask] = maskInfo{
+			count: prev.count + 1,
+			min:   math.Min(prev.min, s),
+			sum:   prev.sum + s,
+		}
+	}
+	return info
+}
+
+// maskProcs expands a bitmask into a sorted processor index slice.
+func maskProcs(mask int) []int {
+	procs := make([]int, 0, bits.OnesCount(uint(mask)))
+	for mask != 0 {
+		low := bits.TrailingZeros(uint(mask))
+		procs = append(procs, low)
+		mask &^= 1 << low
+	}
+	return procs
+}
+
+// groupCosts returns (period, delay) of a stage group of weight w on the
+// subset described by info, for the given mode.
+func groupCosts(w float64, info maskInfo, dataParallel bool) (period, delay float64) {
+	if dataParallel {
+		c := w / info.sum
+		return c, c
+	}
+	return w / (float64(info.count) * info.min), w / info.min
+}
+
+// dedupSorted sorts values ascending and removes duplicates within the
+// numeric tolerance.
+func dedupSorted(vals []float64) []float64 {
+	return numeric.DedupSorted(vals)
+}

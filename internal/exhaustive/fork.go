@@ -1,0 +1,185 @@
+package exhaustive
+
+import (
+	"repliflow/internal/mapping"
+	"repliflow/internal/numeric"
+	"repliflow/internal/platform"
+	"repliflow/internal/workflow"
+)
+
+// ForkResult is an optimal fork mapping together with its exact cost.
+type ForkResult struct {
+	Mapping mapping.ForkMapping
+	Cost    mapping.Cost
+}
+
+// partitions enumerates the set partitions of items {0,..,m-1} into at most
+// maxBlocks blocks, via restricted growth strings. Each partition is passed
+// as a slice mapping item -> block index (blocks numbered 0..B-1 in order
+// of first appearance). The callback must not retain the slice.
+func partitions(m, maxBlocks int, visit func(assign []int, blocks int)) {
+	assign := make([]int, m)
+	var rec func(i, used int)
+	rec = func(i, used int) {
+		if i == m {
+			visit(assign, used)
+			return
+		}
+		limit := used
+		if limit >= maxBlocks {
+			limit = maxBlocks - 1
+		}
+		for b := 0; b <= limit; b++ {
+			assign[i] = b
+			next := used
+			if b == used {
+				next++
+			}
+			rec(i+1, next)
+		}
+	}
+	if m == 0 {
+		return
+	}
+	rec(0, 0)
+}
+
+// EnumerateFork invokes visit for every valid fork mapping: every set
+// partition of the stages (root = item 0, leaf i = item i+1), every
+// assignment of disjoint non-empty processor subsets to the blocks, and
+// every legal mode combination. Exhaustive ground truth for small n and p.
+func EnumerateFork(f workflow.Fork, pl platform.Platform, allowDP bool, visit func(mapping.ForkMapping, mapping.Cost)) {
+	p := pl.Processors()
+	full := (1 << p) - 1
+	items := f.Leaves() + 1
+	partitions(items, p, func(assign []int, nblocks int) {
+		// Build block contents from the partition.
+		blocks := make([]mapping.ForkBlock, nblocks)
+		blocks[assign[0]].Root = true
+		for l := 0; l < f.Leaves(); l++ {
+			b := assign[l+1]
+			blocks[b].Leaves = append(blocks[b].Leaves, l)
+		}
+		var rec func(b, usedMask int)
+		rec = func(b, usedMask int) {
+			if b == nblocks {
+				m := mapping.ForkMapping{Blocks: make([]mapping.ForkBlock, nblocks)}
+				copy(m.Blocks, blocks)
+				c, err := mapping.EvalFork(f, pl, m)
+				if err != nil {
+					panic("exhaustive: enumerated invalid fork mapping: " + err.Error())
+				}
+				visit(m, c)
+				return
+			}
+			free := full &^ usedMask
+			for sub := free; sub > 0; sub = (sub - 1) & free {
+				blocks[b].Procs = maskProcs(sub)
+				blocks[b].Mode = mapping.Replicated
+				rec(b+1, usedMask|sub)
+				// Data-parallel is legal for leaf-only blocks and for the
+				// root alone (Section 3.4).
+				if allowDP && (!blocks[b].Root || len(blocks[b].Leaves) == 0) {
+					blocks[b].Mode = mapping.DataParallel
+					rec(b+1, usedMask|sub)
+				}
+			}
+			blocks[b].Procs = nil
+			blocks[b].Mode = mapping.Replicated
+		}
+		rec(0, 0)
+	})
+}
+
+// forkScan enumerates all mappings and keeps the best according to accept /
+// better predicates.
+func forkScan(f workflow.Fork, pl platform.Platform, allowDP bool,
+	accept func(mapping.Cost) bool, objective func(mapping.Cost) float64) (ForkResult, bool) {
+	var best ForkResult
+	found := false
+	EnumerateFork(f, pl, allowDP, func(m mapping.ForkMapping, c mapping.Cost) {
+		if !accept(c) {
+			return
+		}
+		if !found || numeric.Less(objective(c), objective(best.Cost)) {
+			best = ForkResult{Mapping: m, Cost: c}
+			found = true
+		}
+	})
+	return best, found
+}
+
+func acceptAll(mapping.Cost) bool    { return true }
+func period(c mapping.Cost) float64  { return c.Period }
+func latency(c mapping.Cost) float64 { return c.Latency }
+
+// ForkPeriod returns a fork mapping minimizing the period.
+func ForkPeriod(f workflow.Fork, pl platform.Platform, allowDP bool) (ForkResult, bool) {
+	return forkScan(f, pl, allowDP, acceptAll, period)
+}
+
+// ForkLatency returns a fork mapping minimizing the latency.
+func ForkLatency(f workflow.Fork, pl platform.Platform, allowDP bool) (ForkResult, bool) {
+	return forkScan(f, pl, allowDP, acceptAll, latency)
+}
+
+// ForkLatencyUnderPeriod returns a fork mapping minimizing the latency
+// among mappings whose period does not exceed maxPeriod.
+func ForkLatencyUnderPeriod(f workflow.Fork, pl platform.Platform, allowDP bool, maxPeriod float64) (ForkResult, bool) {
+	return forkScan(f, pl, allowDP,
+		func(c mapping.Cost) bool { return numeric.LessEq(c.Period, maxPeriod) }, latency)
+}
+
+// ForkPeriodUnderLatency returns a fork mapping minimizing the period among
+// mappings whose latency does not exceed maxLatency.
+func ForkPeriodUnderLatency(f workflow.Fork, pl platform.Platform, allowDP bool, maxLatency float64) (ForkResult, bool) {
+	return forkScan(f, pl, allowDP,
+		func(c mapping.Cost) bool { return numeric.LessEq(c.Latency, maxLatency) }, period)
+}
+
+// ForkPareto returns the exact Pareto front of (period, latency) over all
+// fork mappings, ordered by increasing period.
+func ForkPareto(f workflow.Fork, pl platform.Platform, allowDP bool) []ForkResult {
+	var all []ForkResult
+	EnumerateFork(f, pl, allowDP, func(m mapping.ForkMapping, c mapping.Cost) {
+		all = append(all, ForkResult{Mapping: m, Cost: c})
+	})
+	return paretoFilterFork(all)
+}
+
+func paretoFilterFork(all []ForkResult) []ForkResult {
+	var front []ForkResult
+	for _, cand := range all {
+		dominated := false
+		for _, other := range all {
+			if other.Cost.Dominates(cand.Cost) &&
+				(numeric.Less(other.Cost.Period, cand.Cost.Period) || numeric.Less(other.Cost.Latency, cand.Cost.Latency)) {
+				dominated = true
+				break
+			}
+		}
+		if dominated {
+			continue
+		}
+		dup := false
+		for _, kept := range front {
+			if numeric.Eq(kept.Cost.Period, cand.Cost.Period) && numeric.Eq(kept.Cost.Latency, cand.Cost.Latency) {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			front = append(front, cand)
+		}
+	}
+	sortForkResultsByPeriod(front)
+	return front
+}
+
+func sortForkResultsByPeriod(rs []ForkResult) {
+	for i := 1; i < len(rs); i++ {
+		for j := i; j > 0 && rs[j].Cost.Period < rs[j-1].Cost.Period; j-- {
+			rs[j], rs[j-1] = rs[j-1], rs[j]
+		}
+	}
+}

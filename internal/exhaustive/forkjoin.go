@@ -1,0 +1,100 @@
+package exhaustive
+
+import (
+	"repliflow/internal/mapping"
+	"repliflow/internal/numeric"
+	"repliflow/internal/platform"
+	"repliflow/internal/workflow"
+)
+
+// ForkJoinResult is an optimal fork-join mapping with its exact cost.
+type ForkJoinResult struct {
+	Mapping mapping.ForkJoinMapping
+	Cost    mapping.Cost
+}
+
+// EnumerateForkJoin invokes visit for every valid fork-join mapping. Items
+// are ordered root, leaves, join; blocks come from set partitions and
+// processor subsets from disjoint bitmask assignments, as for forks.
+func EnumerateForkJoin(fj workflow.ForkJoin, pl platform.Platform, allowDP bool, visit func(mapping.ForkJoinMapping, mapping.Cost)) {
+	p := pl.Processors()
+	full := (1 << p) - 1
+	items := fj.Leaves() + 2
+	partitions(items, p, func(assign []int, nblocks int) {
+		blocks := make([]mapping.ForkJoinBlock, nblocks)
+		blocks[assign[0]].Root = true
+		blocks[assign[items-1]].Join = true
+		for l := 0; l < fj.Leaves(); l++ {
+			b := assign[l+1]
+			blocks[b].Leaves = append(blocks[b].Leaves, l)
+		}
+		var rec func(b, usedMask int)
+		rec = func(b, usedMask int) {
+			if b == nblocks {
+				m := mapping.ForkJoinMapping{Blocks: make([]mapping.ForkJoinBlock, nblocks)}
+				copy(m.Blocks, blocks)
+				c, err := mapping.EvalForkJoin(fj, pl, m)
+				if err != nil {
+					panic("exhaustive: enumerated invalid fork-join mapping: " + err.Error())
+				}
+				visit(m, c)
+				return
+			}
+			free := full &^ usedMask
+			for sub := free; sub > 0; sub = (sub - 1) & free {
+				blocks[b].Procs = maskProcs(sub)
+				blocks[b].Mode = mapping.Replicated
+				rec(b+1, usedMask|sub)
+				// Data-parallel requires the block to be leaf-only, or the
+				// root alone, or the join alone.
+				alone := len(blocks[b].Leaves) == 0 && !(blocks[b].Root && blocks[b].Join)
+				if allowDP && ((!blocks[b].Root && !blocks[b].Join) || alone) {
+					blocks[b].Mode = mapping.DataParallel
+					rec(b+1, usedMask|sub)
+				}
+			}
+			blocks[b].Procs = nil
+			blocks[b].Mode = mapping.Replicated
+		}
+		rec(0, 0)
+	})
+}
+
+// forkJoinScan enumerates all mappings keeping the best acceptable one.
+func forkJoinScan(fj workflow.ForkJoin, pl platform.Platform, allowDP bool,
+	accept func(mapping.Cost) bool, objective func(mapping.Cost) float64) (ForkJoinResult, bool) {
+	var best ForkJoinResult
+	found := false
+	EnumerateForkJoin(fj, pl, allowDP, func(m mapping.ForkJoinMapping, c mapping.Cost) {
+		if !accept(c) {
+			return
+		}
+		if !found || numeric.Less(objective(c), objective(best.Cost)) {
+			best = ForkJoinResult{Mapping: m, Cost: c}
+			found = true
+		}
+	})
+	return best, found
+}
+
+// ForkJoinPeriod returns a fork-join mapping minimizing the period.
+func ForkJoinPeriod(fj workflow.ForkJoin, pl platform.Platform, allowDP bool) (ForkJoinResult, bool) {
+	return forkJoinScan(fj, pl, allowDP, acceptAll, period)
+}
+
+// ForkJoinLatency returns a fork-join mapping minimizing the latency.
+func ForkJoinLatency(fj workflow.ForkJoin, pl platform.Platform, allowDP bool) (ForkJoinResult, bool) {
+	return forkJoinScan(fj, pl, allowDP, acceptAll, latency)
+}
+
+// ForkJoinLatencyUnderPeriod minimizes latency under a period bound.
+func ForkJoinLatencyUnderPeriod(fj workflow.ForkJoin, pl platform.Platform, allowDP bool, maxPeriod float64) (ForkJoinResult, bool) {
+	return forkJoinScan(fj, pl, allowDP,
+		func(c mapping.Cost) bool { return numeric.LessEq(c.Period, maxPeriod) }, latency)
+}
+
+// ForkJoinPeriodUnderLatency minimizes period under a latency bound.
+func ForkJoinPeriodUnderLatency(fj workflow.ForkJoin, pl platform.Platform, allowDP bool, maxLatency float64) (ForkJoinResult, bool) {
+	return forkJoinScan(fj, pl, allowDP,
+		func(c mapping.Cost) bool { return numeric.LessEq(c.Latency, maxLatency) }, period)
+}

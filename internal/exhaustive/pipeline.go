@@ -1,0 +1,273 @@
+package exhaustive
+
+import (
+	"math"
+
+	"repliflow/internal/mapping"
+	"repliflow/internal/numeric"
+	"repliflow/internal/platform"
+	"repliflow/internal/workflow"
+)
+
+// PipelineResult is an optimal mapping together with its exact cost.
+type PipelineResult struct {
+	Mapping mapping.PipelineMapping
+	Cost    mapping.Cost
+}
+
+// pipeChoice records the decision taken in a DP state for reconstruction.
+type pipeChoice struct {
+	last int // last stage of the chosen interval
+	sub  int // processor submask assigned to it
+	dp   bool
+}
+
+// pipeSolver is a dynamic program over states (next stage, used-processor
+// bitmask).
+type pipeSolver struct {
+	p       workflow.Pipeline
+	pl      platform.Platform
+	info    []maskInfo
+	allowDP bool
+	// periodCap excludes groups whose period exceeds it (+Inf = no cap).
+	periodCap float64
+	// minimizePeriod selects the objective: min-max of group periods when
+	// true, min-sum of group delays when false.
+	minimizePeriod bool
+
+	memo    []float64
+	visited []bool
+	choice  []pipeChoice
+	full    int
+	n       int
+}
+
+func newPipeSolver(p workflow.Pipeline, pl platform.Platform, allowDP bool, periodCap float64, minimizePeriod bool) *pipeSolver {
+	n := p.Stages()
+	states := (n + 1) << pl.Processors()
+	return &pipeSolver{
+		p: p, pl: pl, info: buildMaskInfo(pl), allowDP: allowDP,
+		periodCap: periodCap, minimizePeriod: minimizePeriod,
+		memo:    make([]float64, states),
+		visited: make([]bool, states),
+		choice:  make([]pipeChoice, states),
+		full:    (1 << pl.Processors()) - 1,
+		n:       n,
+	}
+}
+
+// solve returns the optimal objective value for mapping stages i..n-1 with
+// the processors in usedMask unavailable, or +Inf if infeasible under the
+// period cap.
+func (s *pipeSolver) solve(i, usedMask int) float64 {
+	if i == s.n {
+		return 0
+	}
+	id := i<<s.pl.Processors() | usedMask
+	if s.visited[id] {
+		return s.memo[id]
+	}
+	s.visited[id] = true
+	best := numeric.Inf
+	var bestChoice pipeChoice
+	free := s.full &^ usedMask
+	w := 0.0
+	for j := i; j < s.n; j++ {
+		w += s.p.Weights[j]
+		for sub := free; sub > 0; sub = (sub - 1) & free {
+			info := s.info[sub]
+			for _, dp := range []bool{false, true} {
+				if dp && (!s.allowDP || j != i) {
+					continue
+				}
+				period, delay := groupCosts(w, info, dp)
+				if numeric.Greater(period, s.periodCap) {
+					continue
+				}
+				group := delay
+				if s.minimizePeriod {
+					group = period
+				}
+				if numeric.GreaterEq(group, best) {
+					continue // cannot improve: both max and sum combine monotonically
+				}
+				rest := s.solve(j+1, usedMask|sub)
+				total := group + rest
+				if s.minimizePeriod {
+					total = math.Max(group, rest)
+				}
+				if numeric.Less(total, best) {
+					best = total
+					bestChoice = pipeChoice{last: j, sub: sub, dp: dp}
+				}
+			}
+		}
+	}
+	s.memo[id] = best
+	s.choice[id] = bestChoice
+	return best
+}
+
+// reconstruct rebuilds the optimal mapping from the recorded choices.
+func (s *pipeSolver) reconstruct() mapping.PipelineMapping {
+	var m mapping.PipelineMapping
+	i, usedMask := 0, 0
+	for i < s.n {
+		id := i<<s.pl.Processors() | usedMask
+		ch := s.choice[id]
+		mode := mapping.Replicated
+		if ch.dp {
+			mode = mapping.DataParallel
+		}
+		m.Intervals = append(m.Intervals, mapping.PipelineInterval{
+			First: i, Last: ch.last,
+			Assignment: mapping.Assignment{Procs: maskProcs(ch.sub), Mode: mode},
+		})
+		usedMask |= ch.sub
+		i = ch.last + 1
+	}
+	return m
+}
+
+func (s *pipeSolver) result() (PipelineResult, bool) {
+	v := s.solve(0, 0)
+	if math.IsInf(v, 1) {
+		return PipelineResult{}, false
+	}
+	m := s.reconstruct()
+	c, err := mapping.EvalPipeline(s.p, s.pl, m)
+	if err != nil {
+		// The DP only builds structurally valid mappings; an error here is a
+		// programming bug, surface it loudly.
+		panic("exhaustive: reconstructed invalid pipeline mapping: " + err.Error())
+	}
+	return PipelineResult{Mapping: m, Cost: c}, true
+}
+
+// PipelinePeriod returns a mapping minimizing the period.
+func PipelinePeriod(p workflow.Pipeline, pl platform.Platform, allowDP bool) (PipelineResult, bool) {
+	return newPipeSolver(p, pl, allowDP, numeric.Inf, true).result()
+}
+
+// PipelineLatency returns a mapping minimizing the latency.
+func PipelineLatency(p workflow.Pipeline, pl platform.Platform, allowDP bool) (PipelineResult, bool) {
+	return newPipeSolver(p, pl, allowDP, numeric.Inf, false).result()
+}
+
+// PipelineLatencyUnderPeriod returns a mapping minimizing the latency among
+// mappings whose period does not exceed maxPeriod. The boolean is false
+// when no mapping satisfies the period bound.
+func PipelineLatencyUnderPeriod(p workflow.Pipeline, pl platform.Platform, allowDP bool, maxPeriod float64) (PipelineResult, bool) {
+	return newPipeSolver(p, pl, allowDP, maxPeriod, false).result()
+}
+
+// pipelinePeriodCandidates returns every achievable group period of any
+// stage interval on any processor subset, sorted ascending and deduplicated.
+// The optimal period of any mapping is one of these values.
+func pipelinePeriodCandidates(p workflow.Pipeline, pl platform.Platform, allowDP bool) []float64 {
+	info := buildMaskInfo(pl)
+	var vals []float64
+	n := p.Stages()
+	for i := 0; i < n; i++ {
+		w := 0.0
+		for j := i; j < n; j++ {
+			w += p.Weights[j]
+			for mask := 1; mask < 1<<pl.Processors(); mask++ {
+				per, _ := groupCosts(w, info[mask], false)
+				vals = append(vals, per)
+				if allowDP && i == j {
+					per, _ = groupCosts(w, info[mask], true)
+					vals = append(vals, per)
+				}
+			}
+		}
+	}
+	return dedupSorted(vals)
+}
+
+// PipelinePeriodUnderLatency returns a mapping minimizing the period among
+// mappings whose latency does not exceed maxLatency. It binary-searches the
+// finite set of achievable group periods, so the result is exact. The
+// boolean is false when no mapping satisfies the latency bound.
+func PipelinePeriodUnderLatency(p workflow.Pipeline, pl platform.Platform, allowDP bool, maxLatency float64) (PipelineResult, bool) {
+	cands := pipelinePeriodCandidates(p, pl, allowDP)
+	lo, hi := 0, len(cands)-1
+	var best PipelineResult
+	found := false
+	for lo <= hi {
+		mid := (lo + hi) / 2
+		res, ok := PipelineLatencyUnderPeriod(p, pl, allowDP, cands[mid])
+		if ok && numeric.LessEq(res.Cost.Latency, maxLatency) {
+			best = res
+			found = true
+			hi = mid - 1
+		} else {
+			lo = mid + 1
+		}
+	}
+	return best, found
+}
+
+// PipelinePareto returns the exact Pareto front of (period, latency),
+// ordered by increasing period and decreasing latency. Each point carries a
+// mapping achieving it.
+func PipelinePareto(p workflow.Pipeline, pl platform.Platform, allowDP bool) []PipelineResult {
+	cands := pipelinePeriodCandidates(p, pl, allowDP)
+	var front []PipelineResult
+	prevLatency := numeric.Inf
+	for _, k := range cands {
+		res, ok := PipelineLatencyUnderPeriod(p, pl, allowDP, k)
+		if !ok {
+			continue
+		}
+		if numeric.GreaterEq(res.Cost.Latency, prevLatency) {
+			continue
+		}
+		// Tighten the period: find the smallest period achieving this latency.
+		tight, ok := PipelinePeriodUnderLatency(p, pl, allowDP, res.Cost.Latency)
+		if ok {
+			res = tight
+		}
+		front = append(front, res)
+		prevLatency = res.Cost.Latency
+	}
+	return front
+}
+
+// enumeratePipeline invokes visit for every valid canonical pipeline
+// mapping (processor sets as subsets, both modes where legal). It is a
+// slower, independent ground truth used to cross-check the DP solvers in
+// tests.
+func enumeratePipeline(p workflow.Pipeline, pl platform.Platform, allowDP bool, visit func(mapping.PipelineMapping, mapping.Cost)) {
+	n := p.Stages()
+	full := (1 << pl.Processors()) - 1
+	var rec func(i, usedMask int, acc []mapping.PipelineInterval)
+	rec = func(i, usedMask int, acc []mapping.PipelineInterval) {
+		if i == n {
+			m := mapping.PipelineMapping{Intervals: append([]mapping.PipelineInterval(nil), acc...)}
+			c, err := mapping.EvalPipeline(p, pl, m)
+			if err != nil {
+				panic("exhaustive: enumerated invalid mapping: " + err.Error())
+			}
+			visit(m, c)
+			return
+		}
+		free := full &^ usedMask
+		for j := i; j < n; j++ {
+			for sub := free; sub > 0; sub = (sub - 1) & free {
+				modes := []mapping.Mode{mapping.Replicated}
+				if allowDP && i == j {
+					modes = append(modes, mapping.DataParallel)
+				}
+				for _, mode := range modes {
+					iv := mapping.PipelineInterval{
+						First: i, Last: j,
+						Assignment: mapping.Assignment{Procs: maskProcs(sub), Mode: mode},
+					}
+					rec(j+1, usedMask|sub, append(acc, iv))
+				}
+			}
+		}
+	}
+	rec(0, 0, nil)
+}

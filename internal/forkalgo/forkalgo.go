@@ -1,0 +1,88 @@
+// Package forkalgo implements the polynomial mapping algorithms of Benoit &
+// Robert (RR-6308) for fork and fork-join graphs:
+//
+//   - Theorem 10: period minimization on Homogeneous platforms (replicate
+//     the whole graph on every processor), for any fork and any fork-join,
+//     with or without data-parallelism.
+//   - Theorem 11: latency and bi-criteria optimization of a homogeneous
+//     fork on Homogeneous platforms, with and without data-parallelism, by
+//     loops over (n0, q0) — the leaves sharing the root's block and its
+//     processor count — combined with a dynamic program over the remaining
+//     leaves.
+//   - Theorem 14: any objective for a homogeneous fork on Heterogeneous
+//     platforms without data-parallelism, by binary search over candidate
+//     values combined with the W(i,j) dynamic program over sorted processor
+//     intervals, with an extra loop over the interval in charge of S0
+//     (Lemma 4 structure).
+//   - Section 6.3: the extensions of Theorems 10, 11 and 14 to fork-join
+//     graphs (extra loops over the join block's composition and placement).
+//
+// The NP-hard instances (Theorems 12, 13, 15) have no polynomial algorithm;
+// see internal/heuristics and internal/exhaustive.
+package forkalgo
+
+import (
+	"errors"
+	"fmt"
+
+	"repliflow/internal/mapping"
+	"repliflow/internal/platform"
+	"repliflow/internal/workflow"
+)
+
+// Result is a computed fork mapping together with its exact cost.
+type Result struct {
+	Mapping mapping.ForkMapping
+	Cost    mapping.Cost
+}
+
+// ForkJoinResult is a computed fork-join mapping with its exact cost.
+type ForkJoinResult struct {
+	Mapping mapping.ForkJoinMapping
+	Cost    mapping.Cost
+}
+
+// ErrNotHomogeneousPlatform is returned by the Homogeneous-platform
+// algorithms when processor speeds differ.
+var ErrNotHomogeneousPlatform = errors.New("forkalgo: platform is not homogeneous")
+
+// ErrNotHomogeneousFork is returned by the homogeneous-fork algorithms when
+// leaf weights differ (those instances are NP-hard, Theorems 12/13/15).
+var ErrNotHomogeneousFork = errors.New("forkalgo: fork leaves are not identical")
+
+func finishFork(f workflow.Fork, pl platform.Platform, m mapping.ForkMapping) Result {
+	c, err := mapping.EvalFork(f, pl, m)
+	if err != nil {
+		panic(fmt.Sprintf("forkalgo: constructed invalid fork mapping %v: %v", m, err))
+	}
+	return Result{Mapping: m, Cost: c}
+}
+
+func finishForkJoin(fj workflow.ForkJoin, pl platform.Platform, m mapping.ForkJoinMapping) ForkJoinResult {
+	c, err := mapping.EvalForkJoin(fj, pl, m)
+	if err != nil {
+		panic(fmt.Sprintf("forkalgo: constructed invalid fork-join mapping %v: %v", m, err))
+	}
+	return ForkJoinResult{Mapping: m, Cost: c}
+}
+
+// leafRange returns the leaf indices [from, from+count).
+func leafRange(from, count int) []int {
+	if count == 0 {
+		return nil
+	}
+	ls := make([]int, count)
+	for i := range ls {
+		ls[i] = from + i
+	}
+	return ls
+}
+
+// procRange returns the processor indices [from, from+count).
+func procRange(from, count int) []int {
+	ps := make([]int, count)
+	for i := range ps {
+		ps[i] = from + i
+	}
+	return ps
+}

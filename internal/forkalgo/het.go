@@ -1,0 +1,368 @@
+package forkalgo
+
+import (
+	"math"
+
+	"repliflow/internal/mapping"
+	"repliflow/internal/numeric"
+	"repliflow/internal/platform"
+	"repliflow/internal/workflow"
+)
+
+// negInf is the capacity sentinel of the Theorem 14 dynamic program: an
+// interval that cannot fit its mandatory stage (S0 or S_{n+1}) within the
+// bounds poisons any partition using it, exactly as the paper's W(i,j)=-inf.
+const negInf = math.MinInt32
+
+// hetIntervals is the Theorem 14 W(i,j) dynamic program over one range of
+// consecutive sorted processors. capOf(i,j) gives the leaf capacity of a
+// single interval [i..j] (negInf when the interval cannot exist). The
+// program maximizes the number of leaves handled by a partition of the
+// whole range into intervals.
+type hetIntervals struct {
+	capOf func(i, j int) int
+	size  int
+	w     [][]int
+	split [][]int
+}
+
+func newHetIntervals(size int, capOf func(i, j int) int) *hetIntervals {
+	h := &hetIntervals{capOf: capOf, size: size}
+	h.w = make([][]int, size)
+	h.split = make([][]int, size)
+	for i := range h.w {
+		h.w[i] = make([]int, size)
+		h.split[i] = make([]int, size)
+	}
+	for i := size - 1; i >= 0; i-- {
+		for j := i; j < size; j++ {
+			best := capOf(i, j)
+			bestSplit := -1
+			for k := i; k < j; k++ {
+				l, r := h.w[i][k], h.w[k+1][j]
+				if l == negInf || r == negInf {
+					continue
+				}
+				if v := l + r; v > best {
+					best = v
+					bestSplit = k
+				}
+			}
+			h.w[i][j] = best
+			h.split[i][j] = bestSplit
+		}
+	}
+	return h
+}
+
+// total returns the maximum number of leaves the whole range can process,
+// or negInf if no valid partition exists.
+func (h *hetIntervals) total() int {
+	if h.size == 0 {
+		return 0
+	}
+	return h.w[0][h.size-1]
+}
+
+// leaves returns the leaf intervals (first, last, cap) of an optimal
+// partition of the whole range.
+func (h *hetIntervals) leaves() []procInterval {
+	var out []procInterval
+	var collect func(i, j int)
+	collect = func(i, j int) {
+		if k := h.split[i][j]; k >= 0 {
+			collect(i, k)
+			collect(k+1, j)
+			return
+		}
+		out = append(out, procInterval{first: i, last: j, cap: h.capOf(i, j)})
+	}
+	if h.size > 0 {
+		collect(0, h.size-1)
+	}
+	return out
+}
+
+// procInterval mirrors the pipealgo type: a consecutive range of sorted
+// processors with a leaf capacity.
+type procInterval struct {
+	first, last int
+	cap         int
+}
+
+// hetForkConfig attempts the Theorem 14 feasibility check for fixed period
+// bound K and latency bound L, a fixed number q of enrolled processors and
+// a fixed index q0 (0-based, within the sorted q fastest) of the first
+// processor of the interval in charge of S0. On success it returns a
+// complete fork mapping.
+func hetForkConfig(f workflow.Fork, pl platform.Platform, q, q0 int, K, L float64) (mapping.ForkMapping, bool) {
+	n := f.Leaves()
+	procs := pl.FastestK(q)
+	s := make([]float64, q)
+	for u, idx := range procs {
+		s[u] = pl.Speeds[idx]
+	}
+	w := 0.0
+	if n > 0 {
+		w = f.Weights[0]
+	}
+	s0 := s[q0]
+	// Every non-root interval's leaves complete at w0/s0 + m*w/s_i <= L.
+	L0 := L
+	if !math.IsInf(L, 1) {
+		L0 = L - f.Root/s0
+	}
+	if L0 < 0 {
+		// Tolerate rounding noise when the bound exactly equals w0/s0.
+		if !numeric.GreaterEq(L, f.Root/s0) {
+			return mapping.ForkMapping{}, false
+		}
+		L0 = 0
+	}
+
+	// leafCap converts a work budget into a leaf count, clamped to [0, n].
+	leafCap := func(budget float64) int {
+		if n == 0 {
+			return 0
+		}
+		if math.IsInf(budget, 1) {
+			return n
+		}
+		c := numeric.FloorDiv(budget, w)
+		if c < 0 {
+			c = 0
+		}
+		if c > n {
+			c = n
+		}
+		return c
+	}
+	normalCap := func(i, j int) int {
+		cK := leafCap(K * s[i] * float64(j-i+1))
+		cL := leafCap(L0 * s[i])
+		if cK < cL {
+			return cK
+		}
+		return cL
+	}
+	rootCap := func(i, j int) int {
+		// The root interval must at least fit S0 within both bounds.
+		if numeric.Greater(f.Root/(float64(j-i+1)*s[i]), K) || numeric.Greater(f.Root/s[i], L) {
+			return negInf
+		}
+		cK := leafCap(K*s[i]*float64(j-i+1) - f.Root)
+		cL := leafCap(L*s[i] - f.Root)
+		if cK < cL {
+			return cK
+		}
+		return cL
+	}
+
+	// Range [0 .. q0-1]: normal intervals only.
+	pre := newHetIntervals(q0, func(i, j int) int { return normalCap(i, j) })
+	// Range [q0 .. q-1]: the interval starting at q0 carries S0.
+	post := newHetIntervals(q-q0, func(i, j int) int {
+		if i == 0 {
+			return rootCap(q0+i, q0+j)
+		}
+		return normalCap(q0+i, q0+j)
+	})
+	if post.total() == negInf {
+		return mapping.ForkMapping{}, false
+	}
+	if pre.total()+post.total() < n {
+		return mapping.ForkMapping{}, false
+	}
+
+	// Assemble the mapping: distribute the n leaves over the intervals,
+	// never exceeding a capacity. The root interval is the first leaf of
+	// the post range.
+	type piece struct {
+		iv   procInterval
+		root bool
+	}
+	var pieces []piece
+	for _, iv := range pre.leaves() {
+		pieces = append(pieces, piece{iv: iv})
+	}
+	for idx, iv := range post.leaves() {
+		iv.first += q0
+		iv.last += q0
+		pieces = append(pieces, piece{iv: iv, root: idx == 0})
+	}
+	remaining := n
+	nextLeaf := 0
+	var m mapping.ForkMapping
+	for _, pc := range pieces {
+		take := pc.iv.cap
+		if take > remaining {
+			take = remaining
+		}
+		if take == 0 && !pc.root {
+			continue // idle processors
+		}
+		set := make([]int, 0, pc.iv.last-pc.iv.first+1)
+		for u := pc.iv.first; u <= pc.iv.last; u++ {
+			set = append(set, procs[u])
+		}
+		m.Blocks = append(m.Blocks, mapping.NewForkBlock(pc.root, leafRange(nextLeaf, take), mapping.Replicated, set...))
+		nextLeaf += take
+		remaining -= take
+	}
+	if remaining != 0 {
+		panic("forkalgo: Theorem 14 reconstruction dropped leaves")
+	}
+	return m, true
+}
+
+// hetForkFeasible scans q and q0 as prescribed by Lemma 4 and returns any
+// mapping meeting both bounds.
+func hetForkFeasible(f workflow.Fork, pl platform.Platform, K, L float64) (mapping.ForkMapping, bool) {
+	for q := 1; q <= pl.Processors(); q++ {
+		for q0 := 0; q0 < q; q0++ {
+			if m, ok := hetForkConfig(f, pl, q, q0, K, L); ok {
+				return m, true
+			}
+		}
+	}
+	return mapping.ForkMapping{}, false
+}
+
+func checkHetHomFork(f workflow.Fork, pl platform.Platform) error {
+	if err := f.Validate(); err != nil {
+		return err
+	}
+	if err := pl.Validate(); err != nil {
+		return err
+	}
+	if !f.IsHomogeneous() {
+		return ErrNotHomogeneousFork
+	}
+	return nil
+}
+
+// hetForkPeriodCandidates lists the finite set of values the bottleneck
+// block period can take: (w0 + m*w)/(k*s) for the root block and
+// m*w/(k*s) for leaf blocks.
+func hetForkPeriodCandidates(f workflow.Fork, pl platform.Platform) []float64 {
+	n, p := f.Leaves(), pl.Processors()
+	w := 0.0
+	if n > 0 {
+		w = f.Weights[0]
+	}
+	var cands []float64
+	for _, s := range pl.Speeds {
+		for k := 1; k <= p; k++ {
+			for m := 0; m <= n; m++ {
+				cands = append(cands, (f.Root+float64(m)*w)/(float64(k)*s))
+				if m > 0 {
+					cands = append(cands, float64(m)*w/(float64(k)*s))
+				}
+			}
+		}
+	}
+	return numeric.DedupSorted(cands)
+}
+
+// hetForkLatencyCandidates lists the finite set of values the latency can
+// take: (w0 + m*w)/s' for root-block completion and w0/s' + m*w/s” for the
+// other blocks.
+func hetForkLatencyCandidates(f workflow.Fork, pl platform.Platform) []float64 {
+	n := f.Leaves()
+	w := 0.0
+	if n > 0 {
+		w = f.Weights[0]
+	}
+	var cands []float64
+	for _, s1 := range pl.Speeds {
+		for m := 0; m <= n; m++ {
+			cands = append(cands, (f.Root+float64(m)*w)/s1)
+			for _, s2 := range pl.Speeds {
+				if m > 0 {
+					cands = append(cands, f.Root/s1+float64(m)*w/s2)
+				}
+			}
+		}
+	}
+	return numeric.DedupSorted(cands)
+}
+
+// HetHomForkPeriodNoDP implements the period direction of Theorem 14: the
+// optimal period of a homogeneous fork on a Heterogeneous platform without
+// data-parallelism.
+func HetHomForkPeriodNoDP(f workflow.Fork, pl platform.Platform) (Result, error) {
+	res, ok, err := HetHomForkPeriodUnderLatencyNoDP(f, pl, numeric.Inf)
+	if err != nil {
+		return Result{}, err
+	}
+	if !ok {
+		panic("forkalgo: unconstrained Theorem 14 period search failed")
+	}
+	return res, nil
+}
+
+// HetHomForkLatencyNoDP implements the latency direction of Theorem 14.
+func HetHomForkLatencyNoDP(f workflow.Fork, pl platform.Platform) (Result, error) {
+	res, ok, err := HetHomForkLatencyUnderPeriodNoDP(f, pl, numeric.Inf)
+	if err != nil {
+		return Result{}, err
+	}
+	if !ok {
+		panic("forkalgo: unconstrained Theorem 14 latency search failed")
+	}
+	return res, nil
+}
+
+// HetHomForkLatencyUnderPeriodNoDP minimizes the latency of a homogeneous
+// fork on a Heterogeneous platform without data-parallelism, subject to a
+// period bound, by binary search over the finite latency candidate set.
+func HetHomForkLatencyUnderPeriodNoDP(f workflow.Fork, pl platform.Platform, maxPeriod float64) (Result, bool, error) {
+	if err := checkHetHomFork(f, pl); err != nil {
+		return Result{}, false, err
+	}
+	cands := hetForkLatencyCandidates(f, pl)
+	lo, hi := 0, len(cands)-1
+	var best mapping.ForkMapping
+	found := false
+	for lo <= hi {
+		mid := (lo + hi) / 2
+		if m, ok := hetForkFeasible(f, pl, maxPeriod, cands[mid]); ok {
+			best = m
+			found = true
+			hi = mid - 1
+		} else {
+			lo = mid + 1
+		}
+	}
+	if !found {
+		return Result{}, false, nil
+	}
+	return finishFork(f, pl, best), true, nil
+}
+
+// HetHomForkPeriodUnderLatencyNoDP minimizes the period of a homogeneous
+// fork on a Heterogeneous platform without data-parallelism, subject to a
+// latency bound, by binary search over the finite period candidate set.
+func HetHomForkPeriodUnderLatencyNoDP(f workflow.Fork, pl platform.Platform, maxLatency float64) (Result, bool, error) {
+	if err := checkHetHomFork(f, pl); err != nil {
+		return Result{}, false, err
+	}
+	cands := hetForkPeriodCandidates(f, pl)
+	lo, hi := 0, len(cands)-1
+	var best mapping.ForkMapping
+	found := false
+	for lo <= hi {
+		mid := (lo + hi) / 2
+		if m, ok := hetForkFeasible(f, pl, cands[mid], maxLatency); ok {
+			best = m
+			found = true
+			hi = mid - 1
+		} else {
+			lo = mid + 1
+		}
+	}
+	if !found {
+		return Result{}, false, nil
+	}
+	return finishFork(f, pl, best), true, nil
+}

@@ -1,0 +1,357 @@
+package forkalgo
+
+import (
+	"math"
+
+	"repliflow/internal/mapping"
+	"repliflow/internal/numeric"
+	"repliflow/internal/platform"
+	"repliflow/internal/workflow"
+)
+
+// hetForkJoinConfig attempts the Section 6.3 extension of the Theorem 14
+// feasibility check for a homogeneous fork-join on a Heterogeneous platform
+// without data-parallelism: fixed bounds (K, L), q enrolled processors,
+// q0 the first processor of the root interval and jq the first processor of
+// the join interval (jq == q0 places S_{n+1} with S0, the case the paper
+// singles out).
+func hetForkJoinConfig(fj workflow.ForkJoin, pl platform.Platform, q, q0, jq int, K, L float64) (mapping.ForkJoinMapping, bool) {
+	n := fj.Leaves()
+	procs := pl.FastestK(q)
+	s := make([]float64, q)
+	for u, idx := range procs {
+		s[u] = pl.Speeds[idx]
+	}
+	w := 0.0
+	if n > 0 {
+		w = fj.Weights[0]
+	}
+	s0 := s[q0]
+	sJoin := s[jq]
+	rootDone := fj.Root / s0
+
+	// Every leaf must complete by leafDeadline = L - wjoin/sJoin so that the
+	// join stage finishes by L.
+	leafDeadline := L
+	if !math.IsInf(L, 1) {
+		leafDeadline = L - fj.Join/sJoin
+	}
+	// Non-root intervals start their leaves at rootDone.
+	othersBudget := leafDeadline
+	if !math.IsInf(leafDeadline, 1) {
+		othersBudget = leafDeadline - rootDone
+	}
+	if othersBudget < 0 {
+		// Tolerate rounding noise when the deadline exactly equals the root
+		// completion time.
+		if !numeric.GreaterEq(leafDeadline, rootDone) {
+			return mapping.ForkJoinMapping{}, false
+		}
+		othersBudget = 0
+	}
+
+	leafCap := func(budget float64) int {
+		if n == 0 {
+			return 0
+		}
+		if math.IsInf(budget, 1) {
+			return n
+		}
+		c := numeric.FloorDiv(budget, w)
+		if c < 0 {
+			c = 0
+		}
+		if c > n {
+			c = n
+		}
+		return c
+	}
+	normalCap := func(i, j int) int {
+		cK := leafCap(K * s[i] * float64(j-i+1))
+		cL := leafCap(othersBudget * s[i])
+		if cK < cL {
+			return cK
+		}
+		return cL
+	}
+	rootCap := func(i, j int) int {
+		base := fj.Root
+		if jq == q0 {
+			base += fj.Join
+		}
+		// Period: (w0 [+ wjoin] + m*w) / (count * s_i) <= K.
+		if numeric.Greater(base/(float64(j-i+1)*s[i]), K) {
+			return negInf
+		}
+		// Root-block leaves complete at (w0 + m*w)/s_i <= leafDeadline.
+		if numeric.Greater(fj.Root/s[i], leafDeadline) {
+			return negInf
+		}
+		cK := leafCap(K*s[i]*float64(j-i+1) - base)
+		cL := leafCap(leafDeadline*s[i] - fj.Root)
+		if cK < cL {
+			return cK
+		}
+		return cL
+	}
+	joinCap := func(i, j int) int {
+		// Period: (m*w + wjoin)/(count * s_i) <= K; the join interval's own
+		// leaves complete at rootDone + m*w/s_i <= leafDeadline.
+		if numeric.Greater(fj.Join/(float64(j-i+1)*s[i]), K) {
+			return negInf
+		}
+		cK := leafCap(K*s[i]*float64(j-i+1) - fj.Join)
+		cL := leafCap(othersBudget * s[i])
+		if cK < cL {
+			return cK
+		}
+		return cL
+	}
+
+	// Split the sorted processor range at the special positions.
+	type segment struct {
+		from, to int // inclusive range in sorted index space
+		kind     int // 0 normal, 1 root, 2 join (the segment's first interval)
+	}
+	var segs []segment
+	if jq == q0 {
+		segs = []segment{{0, q0 - 1, 0}, {q0, q - 1, 1}}
+	} else {
+		a, b := q0, jq
+		ka, kb := 1, 2
+		if a > b {
+			a, b = b, a
+			ka, kb = 2, 1
+		}
+		segs = []segment{{0, a - 1, 0}, {a, b - 1, ka}, {b, q - 1, kb}}
+	}
+
+	total := 0
+	type segPlan struct {
+		seg    segment
+		leaves []procInterval
+	}
+	var plans []segPlan
+	for _, sg := range segs {
+		size := sg.to - sg.from + 1
+		if size <= 0 {
+			if sg.kind != 0 {
+				return mapping.ForkJoinMapping{}, false // special interval has no processors
+			}
+			continue
+		}
+		from := sg.from
+		kind := sg.kind
+		h := newHetIntervals(size, func(i, j int) int {
+			if i == 0 && kind == 1 {
+				return rootCap(from+i, from+j)
+			}
+			if i == 0 && kind == 2 {
+				return joinCap(from+i, from+j)
+			}
+			return normalCap(from+i, from+j)
+		})
+		if h.total() == negInf {
+			return mapping.ForkJoinMapping{}, false
+		}
+		total += h.total()
+		leaves := h.leaves()
+		for idx := range leaves {
+			leaves[idx].first += from
+			leaves[idx].last += from
+		}
+		plans = append(plans, segPlan{seg: sg, leaves: leaves})
+	}
+	if total < n {
+		return mapping.ForkJoinMapping{}, false
+	}
+
+	// Assemble the mapping.
+	remaining := n
+	nextLeaf := 0
+	var m mapping.ForkJoinMapping
+	for _, pp := range plans {
+		for idx, iv := range pp.leaves {
+			isRoot := pp.seg.kind == 1 && idx == 0
+			isJoin := (pp.seg.kind == 2 && idx == 0) || (isRoot && jq == q0)
+			take := iv.cap
+			if take > remaining {
+				take = remaining
+			}
+			if take == 0 && !isRoot && !isJoin {
+				continue
+			}
+			set := make([]int, 0, iv.last-iv.first+1)
+			for u := iv.first; u <= iv.last; u++ {
+				set = append(set, procs[u])
+			}
+			m.Blocks = append(m.Blocks,
+				mapping.NewForkJoinBlock(isRoot, isJoin, leafRange(nextLeaf, take), mapping.Replicated, set...))
+			nextLeaf += take
+			remaining -= take
+		}
+	}
+	if remaining != 0 {
+		panic("forkalgo: fork-join Theorem 14 reconstruction dropped leaves")
+	}
+	return m, true
+}
+
+// hetForkJoinFeasible scans q, q0 and jq.
+func hetForkJoinFeasible(fj workflow.ForkJoin, pl platform.Platform, K, L float64) (mapping.ForkJoinMapping, bool) {
+	for q := 1; q <= pl.Processors(); q++ {
+		for q0 := 0; q0 < q; q0++ {
+			for jq := 0; jq < q; jq++ {
+				if m, ok := hetForkJoinConfig(fj, pl, q, q0, jq, K, L); ok {
+					return m, true
+				}
+			}
+		}
+	}
+	return mapping.ForkJoinMapping{}, false
+}
+
+func checkHetHomForkJoin(fj workflow.ForkJoin, pl platform.Platform) error {
+	if err := fj.Validate(); err != nil {
+		return err
+	}
+	if err := pl.Validate(); err != nil {
+		return err
+	}
+	if !fj.IsHomogeneous() {
+		return ErrNotHomogeneousFork
+	}
+	return nil
+}
+
+// hetForkJoinPeriodCandidates lists the finite set of block period values.
+func hetForkJoinPeriodCandidates(fj workflow.ForkJoin, pl platform.Platform) []float64 {
+	n, p := fj.Leaves(), pl.Processors()
+	w := 0.0
+	if n > 0 {
+		w = fj.Weights[0]
+	}
+	var cands []float64
+	for _, s := range pl.Speeds {
+		for k := 1; k <= p; k++ {
+			for m := 0; m <= n; m++ {
+				base := float64(m) * w
+				cands = append(cands,
+					(fj.Root+base)/(float64(k)*s),
+					(base+fj.Join)/(float64(k)*s),
+					(fj.Root+base+fj.Join)/(float64(k)*s))
+				if m > 0 {
+					cands = append(cands, base/(float64(k)*s))
+				}
+			}
+		}
+	}
+	return numeric.DedupSorted(cands)
+}
+
+// hetForkJoinLatencyCandidates lists the finite set of latency values:
+// leaf-completion times plus a join delay wjoin/s”' over all speed
+// combinations.
+func hetForkJoinLatencyCandidates(fj workflow.ForkJoin, pl platform.Platform) []float64 {
+	n := fj.Leaves()
+	w := 0.0
+	if n > 0 {
+		w = fj.Weights[0]
+	}
+	var leafDone []float64
+	for _, s1 := range pl.Speeds {
+		for m := 0; m <= n; m++ {
+			leafDone = append(leafDone, (fj.Root+float64(m)*w)/s1)
+			if m > 0 {
+				for _, s2 := range pl.Speeds {
+					leafDone = append(leafDone, fj.Root/s1+float64(m)*w/s2)
+				}
+			}
+		}
+	}
+	var cands []float64
+	for _, ld := range leafDone {
+		for _, s3 := range pl.Speeds {
+			cands = append(cands, ld+fj.Join/s3)
+		}
+	}
+	return numeric.DedupSorted(cands)
+}
+
+// HetHomForkJoinPeriodNoDP extends the period direction of Theorem 14 to
+// homogeneous fork-join graphs (Section 6.3).
+func HetHomForkJoinPeriodNoDP(fj workflow.ForkJoin, pl platform.Platform) (ForkJoinResult, error) {
+	res, ok, err := HetHomForkJoinPeriodUnderLatencyNoDP(fj, pl, numeric.Inf)
+	if err != nil {
+		return ForkJoinResult{}, err
+	}
+	if !ok {
+		panic("forkalgo: unconstrained fork-join period search failed")
+	}
+	return res, nil
+}
+
+// HetHomForkJoinLatencyNoDP extends the latency direction of Theorem 14 to
+// homogeneous fork-join graphs.
+func HetHomForkJoinLatencyNoDP(fj workflow.ForkJoin, pl platform.Platform) (ForkJoinResult, error) {
+	res, ok, err := HetHomForkJoinLatencyUnderPeriodNoDP(fj, pl, numeric.Inf)
+	if err != nil {
+		return ForkJoinResult{}, err
+	}
+	if !ok {
+		panic("forkalgo: unconstrained fork-join latency search failed")
+	}
+	return res, nil
+}
+
+// HetHomForkJoinLatencyUnderPeriodNoDP minimizes latency under a period
+// bound for a homogeneous fork-join on a Heterogeneous platform.
+func HetHomForkJoinLatencyUnderPeriodNoDP(fj workflow.ForkJoin, pl platform.Platform, maxPeriod float64) (ForkJoinResult, bool, error) {
+	if err := checkHetHomForkJoin(fj, pl); err != nil {
+		return ForkJoinResult{}, false, err
+	}
+	cands := hetForkJoinLatencyCandidates(fj, pl)
+	lo, hi := 0, len(cands)-1
+	var best mapping.ForkJoinMapping
+	found := false
+	for lo <= hi {
+		mid := (lo + hi) / 2
+		if m, ok := hetForkJoinFeasible(fj, pl, maxPeriod, cands[mid]); ok {
+			best = m
+			found = true
+			hi = mid - 1
+		} else {
+			lo = mid + 1
+		}
+	}
+	if !found {
+		return ForkJoinResult{}, false, nil
+	}
+	return finishForkJoin(fj, pl, best), true, nil
+}
+
+// HetHomForkJoinPeriodUnderLatencyNoDP minimizes the period under a latency
+// bound for a homogeneous fork-join on a Heterogeneous platform.
+func HetHomForkJoinPeriodUnderLatencyNoDP(fj workflow.ForkJoin, pl platform.Platform, maxLatency float64) (ForkJoinResult, bool, error) {
+	if err := checkHetHomForkJoin(fj, pl); err != nil {
+		return ForkJoinResult{}, false, err
+	}
+	cands := hetForkJoinPeriodCandidates(fj, pl)
+	lo, hi := 0, len(cands)-1
+	var best mapping.ForkJoinMapping
+	found := false
+	for lo <= hi {
+		mid := (lo + hi) / 2
+		if m, ok := hetForkJoinFeasible(fj, pl, cands[mid], maxLatency); ok {
+			best = m
+			found = true
+			hi = mid - 1
+		} else {
+			lo = mid + 1
+		}
+	}
+	if !found {
+		return ForkJoinResult{}, false, nil
+	}
+	return finishForkJoin(fj, pl, best), true, nil
+}

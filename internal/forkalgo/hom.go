@@ -1,0 +1,316 @@
+package forkalgo
+
+import (
+	"math"
+
+	"repliflow/internal/mapping"
+	"repliflow/internal/numeric"
+	"repliflow/internal/platform"
+	"repliflow/internal/workflow"
+)
+
+// HomForkPeriod implements Theorem 10: on a Homogeneous platform the period
+// of any fork — homogeneous or not — is minimized by replicating the whole
+// graph as one block onto all processors, reaching the absolute lower bound
+// (w0 + sum wi) / (p*s). Data-parallelism cannot improve it (Lemma 1).
+func HomForkPeriod(f workflow.Fork, pl platform.Platform) (Result, error) {
+	if err := f.Validate(); err != nil {
+		return Result{}, err
+	}
+	if err := pl.Validate(); err != nil {
+		return Result{}, err
+	}
+	if !pl.IsHomogeneous() {
+		return Result{}, ErrNotHomogeneousPlatform
+	}
+	return finishFork(f, pl, mapping.ReplicateAllFork(f, pl)), nil
+}
+
+// HomForkJoinPeriod is the Section 6.3 extension of Theorem 10 to fork-join
+// graphs: replication of the whole graph on all processors is still
+// optimal.
+func HomForkJoinPeriod(fj workflow.ForkJoin, pl platform.Platform) (ForkJoinResult, error) {
+	if err := fj.Validate(); err != nil {
+		return ForkJoinResult{}, err
+	}
+	if err := pl.Validate(); err != nil {
+		return ForkJoinResult{}, err
+	}
+	if !pl.IsHomogeneous() {
+		return ForkJoinResult{}, ErrNotHomogeneousPlatform
+	}
+	return finishForkJoin(fj, pl, mapping.ReplicateAllForkJoin(fj, pl)), nil
+}
+
+// remDP is the Theorem 11 dynamic program for the model without
+// data-parallelism: D(i,q) is the minimum over partitions of i identical
+// leaves (weight w each) into replicated blocks on q identical processors
+// (speed s) of the maximum block delay, subject to every block period being
+// at most K. Reconstruction data records the first block (leaf count, then
+// processor count).
+type remDP struct {
+	w, s, K float64
+	n, p    int
+	memo    []float64
+	seen    []bool
+	chK     []int // leaves in the first block
+	chQ     []int // processors of the first block
+}
+
+func newRemDP(n, p int, w, s, K float64) *remDP {
+	states := (n + 1) * (p + 1)
+	return &remDP{
+		w: w, s: s, K: K, n: n, p: p,
+		memo: make([]float64, states),
+		seen: make([]bool, states),
+		chK:  make([]int, states),
+		chQ:  make([]int, states),
+	}
+}
+
+func (d *remDP) id(i, q int) int { return i*(d.p+1) + q }
+
+func (d *remDP) solve(i, q int) float64 {
+	if i == 0 {
+		return 0
+	}
+	if q == 0 {
+		return numeric.Inf
+	}
+	id := d.id(i, q)
+	if d.seen[id] {
+		return d.memo[id]
+	}
+	d.seen[id] = true
+	best := numeric.Inf
+	bk, bq := 0, 0
+	for k := 1; k <= i; k++ {
+		delay := float64(k) * d.w / d.s
+		if numeric.GreaterEq(delay, best) {
+			break // delays grow with k; larger blocks cannot improve the max
+		}
+		for q1 := 1; q1 <= q; q1++ {
+			if numeric.Greater(float64(k)*d.w/(float64(q1)*d.s), d.K) {
+				continue
+			}
+			rest := d.solve(i-k, q-q1)
+			if v := math.Max(delay, rest); numeric.Less(v, best) {
+				best = v
+				bk, bq = k, q1
+			}
+			break // the smallest feasible q1 is optimal: more processors do not lower the delay
+		}
+	}
+	d.memo[id] = best
+	d.chK[id] = bk
+	d.chQ[id] = bq
+	return best
+}
+
+// blocks reconstructs the (leafCount, procCount) sequence of an optimal
+// partition of i leaves on q processors.
+func (d *remDP) blocks(i, q int) [][2]int {
+	var out [][2]int
+	for i > 0 {
+		id := d.id(i, q)
+		k, q1 := d.chK[id], d.chQ[id]
+		if k == 0 {
+			panic("forkalgo: remDP reconstruction on infeasible state")
+		}
+		out = append(out, [2]int{k, q1})
+		i -= k
+		q -= q1
+	}
+	return out
+}
+
+// homForkSearch scans the Theorem 11 configuration space — n0 leaves in the
+// root block on q0 processors, the rest handled either as one data-parallel
+// block (allowDP) or as replicated blocks via remDP — and returns a mapping
+// minimizing the latency under the period bound K. ok is false when K is
+// infeasible.
+func homForkSearch(f workflow.Fork, pl platform.Platform, allowDP bool, K float64) (Result, bool) {
+	n := f.Leaves()
+	p := pl.Processors()
+	s := pl.Speeds[0]
+	w := 0.0
+	if n > 0 {
+		w = f.Weights[0]
+	}
+	var rd *remDP
+	if !allowDP {
+		rd = newRemDP(n, p, w, s, K)
+	}
+
+	bestLatency := numeric.Inf
+	var best mapping.ForkMapping
+	consider := func(latency float64, m mapping.ForkMapping) {
+		if numeric.Less(latency, bestLatency) {
+			bestLatency = latency
+			best = m
+		}
+	}
+
+	for n0 := 0; n0 <= n; n0++ {
+		rem := n - n0
+		for q0 := 1; q0 <= p; q0++ {
+			qrem := p - q0
+			if rem > 0 && qrem == 0 {
+				continue
+			}
+			// Root block: replicated {S0 + n0 leaves}, or S0 alone
+			// data-parallelized when n0 = 0 and the model allows it.
+			type rootOpt struct {
+				mode      mapping.Mode
+				period    float64
+				rootDone  float64 // completion time of S0 (leaf start time)
+				innerDone float64 // completion time of the root block's leaves
+			}
+			opts := []rootOpt{{
+				mode:      mapping.Replicated,
+				period:    (f.Root + float64(n0)*w) / (float64(q0) * s),
+				rootDone:  f.Root / s,
+				innerDone: (f.Root + float64(n0)*w) / s,
+			}}
+			if n0 == 0 && allowDP && q0 > 1 {
+				d := f.Root / (float64(q0) * s)
+				opts = append(opts, rootOpt{mode: mapping.DataParallel, period: d, rootDone: d, innerDone: d})
+			}
+			for _, opt := range opts {
+				if numeric.Greater(opt.period, K) {
+					continue
+				}
+				if rem == 0 {
+					m := mapping.ForkMapping{Blocks: []mapping.ForkBlock{
+						mapping.NewForkBlock(true, leafRange(0, n0), opt.mode, procRange(0, q0)...),
+					}}
+					consider(opt.innerDone, m)
+					continue
+				}
+				if allowDP {
+					// One data-parallel block holds every remaining leaf:
+					// merging data-parallel blocks never hurts on a
+					// homogeneous platform (mediant inequality), and by
+					// Lemma 1 replication cannot beat it either.
+					d := float64(rem) * w / (float64(qrem) * s)
+					if numeric.Greater(d, K) {
+						continue
+					}
+					lat := math.Max(opt.innerDone, opt.rootDone+d)
+					m := mapping.ForkMapping{Blocks: []mapping.ForkBlock{
+						mapping.NewForkBlock(true, leafRange(0, n0), opt.mode, procRange(0, q0)...),
+						mapping.NewForkBlock(false, leafRange(n0, rem), mapping.DataParallel, procRange(q0, qrem)...),
+					}}
+					consider(lat, m)
+					continue
+				}
+				dmax := rd.solve(rem, qrem)
+				if math.IsInf(dmax, 1) {
+					continue
+				}
+				lat := math.Max(opt.innerDone, opt.rootDone+dmax)
+				m := mapping.ForkMapping{Blocks: []mapping.ForkBlock{
+					mapping.NewForkBlock(true, leafRange(0, n0), opt.mode, procRange(0, q0)...),
+				}}
+				leaf, proc := n0, q0
+				for _, b := range rd.blocks(rem, qrem) {
+					m.Blocks = append(m.Blocks,
+						mapping.NewForkBlock(false, leafRange(leaf, b[0]), mapping.Replicated, procRange(proc, b[1])...))
+					leaf += b[0]
+					proc += b[1]
+				}
+				consider(lat, m)
+			}
+		}
+	}
+	if math.IsInf(bestLatency, 1) {
+		return Result{}, false
+	}
+	return finishFork(f, pl, best), true
+}
+
+func checkHomFork(f workflow.Fork, pl platform.Platform) error {
+	if err := f.Validate(); err != nil {
+		return err
+	}
+	if err := pl.Validate(); err != nil {
+		return err
+	}
+	if !pl.IsHomogeneous() {
+		return ErrNotHomogeneousPlatform
+	}
+	if !f.IsHomogeneous() {
+		return ErrNotHomogeneousFork
+	}
+	return nil
+}
+
+// HomForkLatency implements the latency half of Theorem 11: the minimum
+// latency of a homogeneous fork on a Homogeneous platform, with or without
+// data-parallelism.
+func HomForkLatency(f workflow.Fork, pl platform.Platform, allowDP bool) (Result, error) {
+	if err := checkHomFork(f, pl); err != nil {
+		return Result{}, err
+	}
+	res, ok := homForkSearch(f, pl, allowDP, numeric.Inf)
+	if !ok {
+		panic("forkalgo: unconstrained Theorem 11 search found no mapping")
+	}
+	return res, nil
+}
+
+// HomForkLatencyUnderPeriod implements the bi-criteria direction of
+// Theorem 11 minimizing latency under a period bound. The boolean is false
+// when the bound is infeasible.
+func HomForkLatencyUnderPeriod(f workflow.Fork, pl platform.Platform, allowDP bool, maxPeriod float64) (Result, bool, error) {
+	if err := checkHomFork(f, pl); err != nil {
+		return Result{}, false, err
+	}
+	res, ok := homForkSearch(f, pl, allowDP, maxPeriod)
+	return res, ok, nil
+}
+
+// homForkPeriodCandidates lists every value a block period can take in a
+// Theorem 11 configuration.
+func homForkPeriodCandidates(f workflow.Fork, pl platform.Platform) []float64 {
+	n, p, s := f.Leaves(), pl.Processors(), pl.Speeds[0]
+	w := 0.0
+	if n > 0 {
+		w = f.Weights[0]
+	}
+	var cands []float64
+	for q := 1; q <= p; q++ {
+		for m := 0; m <= n; m++ {
+			cands = append(cands, (f.Root+float64(m)*w)/(float64(q)*s))
+			if m > 0 {
+				cands = append(cands, float64(m)*w/(float64(q)*s))
+			}
+		}
+	}
+	return numeric.DedupSorted(cands)
+}
+
+// HomForkPeriodUnderLatency implements the converse bi-criteria direction
+// of Theorem 11: minimum period under a latency bound, by binary search
+// over the finite candidate period set.
+func HomForkPeriodUnderLatency(f workflow.Fork, pl platform.Platform, allowDP bool, maxLatency float64) (Result, bool, error) {
+	if err := checkHomFork(f, pl); err != nil {
+		return Result{}, false, err
+	}
+	cands := homForkPeriodCandidates(f, pl)
+	lo, hi := 0, len(cands)-1
+	var best Result
+	found := false
+	for lo <= hi {
+		mid := (lo + hi) / 2
+		res, ok := homForkSearch(f, pl, allowDP, cands[mid])
+		if ok && numeric.LessEq(res.Cost.Latency, maxLatency) {
+			best = res
+			found = true
+			hi = mid - 1
+		} else {
+			lo = mid + 1
+		}
+	}
+	return best, found, nil
+}

@@ -1,0 +1,264 @@
+package forkalgo
+
+import (
+	"math"
+
+	"repliflow/internal/mapping"
+	"repliflow/internal/numeric"
+	"repliflow/internal/platform"
+	"repliflow/internal/workflow"
+)
+
+// homForkJoinSearch scans the Section 6.3 extension of the Theorem 11
+// configuration space for a homogeneous fork-join on a Homogeneous
+// platform. On top of the fork loops (n0 leaves with the root on q0
+// processors) it adds the paper's two extra loops: the number n1 of leaves
+// sharing the join stage's block and that block's processor count q1, plus
+// the case where S0 and S_{n+1} share one block. It returns a mapping
+// minimizing latency under the period bound K.
+func homForkJoinSearch(fj workflow.ForkJoin, pl platform.Platform, allowDP bool, K float64) (ForkJoinResult, bool) {
+	n := fj.Leaves()
+	p := pl.Processors()
+	s := pl.Speeds[0]
+	w := 0.0
+	if n > 0 {
+		w = fj.Weights[0]
+	}
+	var rd *remDP
+	if !allowDP {
+		rd = newRemDP(n, p, w, s, K)
+	}
+
+	bestLatency := numeric.Inf
+	var best mapping.ForkJoinMapping
+	consider := func(latency float64, m mapping.ForkJoinMapping) {
+		if numeric.Less(latency, bestLatency) {
+			bestLatency = latency
+			best = m
+		}
+	}
+
+	// middle maps the rem leaves not in the root or join blocks onto qrem
+	// processors, returning (maxDelay, blocks) or false if K is infeasible.
+	middle := func(rem, qrem, leafFrom, procFrom int) (float64, []mapping.ForkJoinBlock, bool) {
+		if rem == 0 {
+			return 0, nil, true
+		}
+		if qrem == 0 {
+			return 0, nil, false
+		}
+		if allowDP {
+			d := float64(rem) * w / (float64(qrem) * s)
+			if numeric.Greater(d, K) {
+				return 0, nil, false
+			}
+			return d, []mapping.ForkJoinBlock{
+				mapping.NewForkJoinBlock(false, false, leafRange(leafFrom, rem), mapping.DataParallel, procRange(procFrom, qrem)...),
+			}, true
+		}
+		dmax := rd.solve(rem, qrem)
+		if math.IsInf(dmax, 1) {
+			return 0, nil, false
+		}
+		var blocks []mapping.ForkJoinBlock
+		leaf, proc := leafFrom, procFrom
+		for _, b := range rd.blocks(rem, qrem) {
+			blocks = append(blocks,
+				mapping.NewForkJoinBlock(false, false, leafRange(leaf, b[0]), mapping.Replicated, procRange(proc, b[1])...))
+			leaf += b[0]
+			proc += b[1]
+		}
+		return dmax, blocks, true
+	}
+
+	// Case A: the join stage shares the root's block.
+	for n0 := 0; n0 <= n; n0++ {
+		rem := n - n0
+		for q0 := 1; q0 <= p; q0++ {
+			qrem := p - q0
+			if rem > 0 && qrem == 0 {
+				continue
+			}
+			period := (fj.Root + float64(n0)*w + fj.Join) / (float64(q0) * s)
+			if numeric.Greater(period, K) {
+				continue
+			}
+			rootDone := fj.Root / s
+			innerDone := (fj.Root + float64(n0)*w) / s
+			dmax, blocks, ok := middle(rem, qrem, n0, q0)
+			if !ok {
+				continue
+			}
+			leafDone := math.Max(innerDone, rootDone+dmax)
+			lat := leafDone + fj.Join/s
+			m := mapping.ForkJoinMapping{Blocks: append([]mapping.ForkJoinBlock{
+				mapping.NewForkJoinBlock(true, true, leafRange(0, n0), mapping.Replicated, procRange(0, q0)...),
+			}, blocks...)}
+			consider(lat, m)
+		}
+	}
+
+	// Case B: the join stage has its own block with n1 leaves on q1
+	// processors.
+	for n0 := 0; n0 <= n; n0++ {
+		for n1 := 0; n1 <= n-n0; n1++ {
+			rem := n - n0 - n1
+			for q0 := 1; q0 <= p; q0++ {
+				for q1 := 1; q1 <= p-q0; q1++ {
+					qrem := p - q0 - q1
+					if rem > 0 && qrem == 0 {
+						continue
+					}
+					// Root block options.
+					type rootOpt struct {
+						mode      mapping.Mode
+						period    float64
+						rootDone  float64
+						innerDone float64
+					}
+					ropts := []rootOpt{{
+						mode:      mapping.Replicated,
+						period:    (fj.Root + float64(n0)*w) / (float64(q0) * s),
+						rootDone:  fj.Root / s,
+						innerDone: (fj.Root + float64(n0)*w) / s,
+					}}
+					if n0 == 0 && allowDP && q0 > 1 {
+						d := fj.Root / (float64(q0) * s)
+						ropts = append(ropts, rootOpt{mode: mapping.DataParallel, period: d, rootDone: d, innerDone: d})
+					}
+					// Join block options.
+					type joinOpt struct {
+						mode      mapping.Mode
+						period    float64
+						joinDelay float64
+					}
+					jopts := []joinOpt{{
+						mode:      mapping.Replicated,
+						period:    (float64(n1)*w + fj.Join) / (float64(q1) * s),
+						joinDelay: fj.Join / s,
+					}}
+					if n1 == 0 && allowDP && q1 > 1 {
+						jopts = append(jopts, joinOpt{
+							mode:      mapping.DataParallel,
+							period:    fj.Join / (float64(q1) * s),
+							joinDelay: fj.Join / (float64(q1) * s),
+						})
+					}
+					for _, ro := range ropts {
+						if numeric.Greater(ro.period, K) {
+							continue
+						}
+						for _, jo := range jopts {
+							if numeric.Greater(jo.period, K) {
+								continue
+							}
+							dmax, blocks, ok := middle(rem, qrem, n0+n1, q0+q1)
+							if !ok {
+								continue
+							}
+							leafDone := math.Max(ro.innerDone, ro.rootDone+math.Max(float64(n1)*w/s, dmax))
+							lat := leafDone + jo.joinDelay
+							m := mapping.ForkJoinMapping{Blocks: append([]mapping.ForkJoinBlock{
+								mapping.NewForkJoinBlock(true, false, leafRange(0, n0), ro.mode, procRange(0, q0)...),
+								mapping.NewForkJoinBlock(false, true, leafRange(n0, n1), jo.mode, procRange(q0, q1)...),
+							}, blocks...)}
+							consider(lat, m)
+						}
+					}
+				}
+			}
+		}
+	}
+
+	if math.IsInf(bestLatency, 1) {
+		return ForkJoinResult{}, false
+	}
+	return finishForkJoin(fj, pl, best), true
+}
+
+func checkHomForkJoin(fj workflow.ForkJoin, pl platform.Platform) error {
+	if err := fj.Validate(); err != nil {
+		return err
+	}
+	if err := pl.Validate(); err != nil {
+		return err
+	}
+	if !pl.IsHomogeneous() {
+		return ErrNotHomogeneousPlatform
+	}
+	if !fj.IsHomogeneous() {
+		return ErrNotHomogeneousFork
+	}
+	return nil
+}
+
+// HomForkJoinLatency extends Theorem 11 to fork-join graphs (Section 6.3):
+// minimum latency of a homogeneous fork-join on a Homogeneous platform.
+func HomForkJoinLatency(fj workflow.ForkJoin, pl platform.Platform, allowDP bool) (ForkJoinResult, error) {
+	if err := checkHomForkJoin(fj, pl); err != nil {
+		return ForkJoinResult{}, err
+	}
+	res, ok := homForkJoinSearch(fj, pl, allowDP, numeric.Inf)
+	if !ok {
+		panic("forkalgo: unconstrained fork-join search found no mapping")
+	}
+	return res, nil
+}
+
+// HomForkJoinLatencyUnderPeriod extends the bi-criteria direction of
+// Theorem 11 to fork-join graphs.
+func HomForkJoinLatencyUnderPeriod(fj workflow.ForkJoin, pl platform.Platform, allowDP bool, maxPeriod float64) (ForkJoinResult, bool, error) {
+	if err := checkHomForkJoin(fj, pl); err != nil {
+		return ForkJoinResult{}, false, err
+	}
+	res, ok := homForkJoinSearch(fj, pl, allowDP, maxPeriod)
+	return res, ok, nil
+}
+
+// homForkJoinPeriodCandidates lists every value a block period can take in
+// a Section 6.3 configuration.
+func homForkJoinPeriodCandidates(fj workflow.ForkJoin, pl platform.Platform) []float64 {
+	n, p, s := fj.Leaves(), pl.Processors(), pl.Speeds[0]
+	w := 0.0
+	if n > 0 {
+		w = fj.Weights[0]
+	}
+	var cands []float64
+	for q := 1; q <= p; q++ {
+		for m := 0; m <= n; m++ {
+			base := float64(m) * w
+			cands = append(cands,
+				(fj.Root+base)/(float64(q)*s),
+				(base+fj.Join)/(float64(q)*s),
+				(fj.Root+base+fj.Join)/(float64(q)*s))
+			if m > 0 {
+				cands = append(cands, base/(float64(q)*s))
+			}
+		}
+	}
+	return numeric.DedupSorted(cands)
+}
+
+// HomForkJoinPeriodUnderLatency extends the converse bi-criteria direction
+// of Theorem 11 to fork-join graphs.
+func HomForkJoinPeriodUnderLatency(fj workflow.ForkJoin, pl platform.Platform, allowDP bool, maxLatency float64) (ForkJoinResult, bool, error) {
+	if err := checkHomForkJoin(fj, pl); err != nil {
+		return ForkJoinResult{}, false, err
+	}
+	cands := homForkJoinPeriodCandidates(fj, pl)
+	lo, hi := 0, len(cands)-1
+	var best ForkJoinResult
+	found := false
+	for lo <= hi {
+		mid := (lo + hi) / 2
+		res, ok := homForkJoinSearch(fj, pl, allowDP, cands[mid])
+		if ok && numeric.LessEq(res.Cost.Latency, maxLatency) {
+			best = res
+			found = true
+			hi = mid - 1
+		} else {
+			lo = mid + 1
+		}
+	}
+	return best, found, nil
+}

@@ -1,0 +1,159 @@
+package heuristics
+
+import (
+	"math"
+
+	"repliflow/internal/mapping"
+	"repliflow/internal/numeric"
+	"repliflow/internal/platform"
+	"repliflow/internal/workflow"
+)
+
+// HetPipelineContiguousDP is a polynomial heuristic for the NP-hard
+// Theorem 5 cell (pipeline on a Heterogeneous platform with
+// data-parallelism) that searches a rich restricted class exactly: stage
+// intervals mapped, in order, onto contiguous groups of a speed-sorted
+// processor sequence, each group either replicating its interval or
+// data-parallelizing a single stage. The dynamic program is run for both
+// the ascending and the descending speed order and the better mapping is
+// returned (the optimal group for the heavy first stage may need the slow
+// or the fast end of the sequence, depending on the instance).
+//
+// minimizePeriod selects the objective. The restricted class contains the
+// true optimum for many instances — including the Section 2 example, where
+// it finds latency 8.5 — but not always, hence a heuristic. O(n²·p²).
+func HetPipelineContiguousDP(p workflow.Pipeline, pl platform.Platform, minimizePeriod bool) (mapping.PipelineMapping, mapping.Cost, error) {
+	if err := p.Validate(); err != nil {
+		return mapping.PipelineMapping{}, mapping.Cost{}, err
+	}
+	if err := pl.Validate(); err != nil {
+		return mapping.PipelineMapping{}, mapping.Cost{}, err
+	}
+	asc := pl.SortedBySpeed()
+	desc := make([]int, len(asc))
+	for i, q := range asc {
+		desc[len(asc)-1-i] = q
+	}
+	mAsc, cAsc := contiguousDP(p, pl, asc, minimizePeriod)
+	mDesc, cDesc := contiguousDP(p, pl, desc, minimizePeriod)
+	obj := func(c mapping.Cost) float64 {
+		if minimizePeriod {
+			return c.Period
+		}
+		return c.Latency
+	}
+	if numeric.LessEq(obj(cAsc), obj(cDesc)) {
+		return mAsc, cAsc, nil
+	}
+	return mDesc, cDesc, nil
+}
+
+// contiguousChoice records one DP decision.
+type contiguousChoice struct {
+	last  int // last stage of the interval
+	group int // processors taken from the current position
+	dp    bool
+}
+
+// contiguousDP solves the restricted-class problem exactly for one
+// processor order: V(i, u) = best objective for stages i.. using
+// processors order[u..].
+func contiguousDP(p workflow.Pipeline, pl platform.Platform, order []int, minimizePeriod bool) (mapping.PipelineMapping, mapping.Cost) {
+	n, procs := p.Stages(), len(order)
+	// Prefix speed sums and suffix minima over the order.
+	prefixSum := make([]float64, procs+1)
+	for i, q := range order {
+		prefixSum[i+1] = prefixSum[i] + pl.Speeds[q]
+	}
+	groupSum := func(u, g int) float64 { return prefixSum[u+g] - prefixSum[u] }
+	groupMin := func(u, g int) float64 {
+		m := pl.Speeds[order[u]]
+		for i := u + 1; i < u+g; i++ {
+			if s := pl.Speeds[order[i]]; s < m {
+				m = s
+			}
+		}
+		return m
+	}
+
+	memo := make([]float64, (n+1)*(procs+1))
+	seen := make([]bool, len(memo))
+	choice := make([]contiguousChoice, len(memo))
+	id := func(i, u int) int { return i*(procs+1) + u }
+
+	var solve func(i, u int) float64
+	solve = func(i, u int) float64 {
+		if i == n {
+			return 0
+		}
+		if u == procs {
+			return numeric.Inf
+		}
+		k := id(i, u)
+		if seen[k] {
+			return memo[k]
+		}
+		seen[k] = true
+		best := numeric.Inf
+		var bestChoice contiguousChoice
+		w := 0.0
+		for j := i; j < n; j++ {
+			w += p.Weights[j]
+			for g := 1; u+g <= procs; g++ {
+				// Replicated interval.
+				repDelay := w / groupMin(u, g)
+				repPeriod := repDelay / float64(g)
+				v := combine(repDelay, repPeriod, solve(j+1, u+g), minimizePeriod)
+				if numeric.Less(v, best) {
+					best = v
+					bestChoice = contiguousChoice{last: j, group: g, dp: false}
+				}
+				// Data-parallel single stage.
+				if i == j {
+					dpCost := w / groupSum(u, g)
+					v = combine(dpCost, dpCost, solve(j+1, u+g), minimizePeriod)
+					if numeric.Less(v, best) {
+						best = v
+						bestChoice = contiguousChoice{last: j, group: g, dp: true}
+					}
+				}
+			}
+		}
+		memo[k] = best
+		choice[k] = bestChoice
+		return best
+	}
+	solve(0, 0)
+
+	var m mapping.PipelineMapping
+	i, u := 0, 0
+	for i < n {
+		ch := choice[id(i, u)]
+		set := make([]int, ch.group)
+		copy(set, order[u:u+ch.group])
+		mode := mapping.Replicated
+		if ch.dp {
+			mode = mapping.DataParallel
+		}
+		m.Intervals = append(m.Intervals, mapping.PipelineInterval{
+			First: i, Last: ch.last,
+			Assignment: mapping.Assignment{Procs: set, Mode: mode},
+		})
+		i = ch.last + 1
+		u += ch.group
+	}
+	c := evalPipe(p, pl, m)
+	return m, c
+}
+
+// combine folds a group's (delay, period) with the remainder's objective
+// value.
+func combine(delay, period, rest float64, minimizePeriod bool) float64 {
+	if minimizePeriod {
+		return math.Max(period, rest)
+	}
+	if math.IsInf(rest, 1) {
+		return rest
+	}
+	return delay + rest
+}

@@ -1,0 +1,100 @@
+package heuristics
+
+import (
+	"math/rand"
+	"testing"
+
+	"repliflow/internal/exhaustive"
+	"repliflow/internal/mapping"
+	"repliflow/internal/numeric"
+	"repliflow/internal/platform"
+	"repliflow/internal/workflow"
+)
+
+func TestContiguousDPFindsSection2HetOptima(t *testing.T) {
+	p := workflow.NewPipeline(14, 4, 2, 4)
+	pl := platform.New(2, 2, 1, 1)
+	_, c, err := HetPipelineContiguousDP(p, pl, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The true latency optimum 8.5 lives in the restricted class
+	// (S1 data-parallel on the ascending prefix {1,1,2}, rest on the
+	// remaining fast processor).
+	if !numeric.Eq(c.Latency, 8.5) {
+		t.Errorf("contiguous DP latency = %v, want 8.5", c.Latency)
+	}
+	_, cp, err := HetPipelineContiguousDP(p, pl, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The true period optimum 4.5 also lives in the class
+	// ([S1,S2] on the two fast, [S3,S4] on the two slow processors).
+	if !numeric.Eq(cp.Period, 4.5) {
+		t.Errorf("contiguous DP period = %v, want 4.5", cp.Period)
+	}
+}
+
+func TestContiguousDPSoundAndValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 40; trial++ {
+		p := workflow.RandomPipeline(rng, 1+rng.Intn(5), 12)
+		pl := platform.Random(rng, 1+rng.Intn(4), 6)
+		for _, minPeriod := range []bool{true, false} {
+			m, c, err := HetPipelineContiguousDP(p, pl, minPeriod)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := mapping.EvalPipeline(p, pl, m)
+			if err != nil {
+				t.Fatalf("invalid mapping: %v", err)
+			}
+			if !numeric.Eq(got.Period, c.Period) || !numeric.Eq(got.Latency, c.Latency) {
+				t.Fatalf("reported %v, evaluated %v", c, got)
+			}
+			if minPeriod {
+				opt, _ := exhaustive.PipelinePeriod(p, pl, true)
+				if numeric.Less(c.Period, opt.Cost.Period) {
+					t.Fatalf("heuristic beats optimum: %v < %v", c.Period, opt.Cost.Period)
+				}
+			} else {
+				opt, _ := exhaustive.PipelineLatency(p, pl, true)
+				if numeric.Less(c.Latency, opt.Cost.Latency) {
+					t.Fatalf("heuristic beats optimum: %v < %v", c.Latency, opt.Cost.Latency)
+				}
+			}
+		}
+	}
+}
+
+func TestContiguousDPOftenOptimal(t *testing.T) {
+	// On small instances the restricted class usually contains the true
+	// optimum; require a healthy hit rate so regressions are caught.
+	rng := rand.New(rand.NewSource(2))
+	hits, trials := 0, 0
+	for trial := 0; trial < 40; trial++ {
+		p := workflow.RandomPipeline(rng, 1+rng.Intn(4), 9)
+		pl := platform.Random(rng, 1+rng.Intn(4), 5)
+		_, c, err := HetPipelineContiguousDP(p, pl, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt, ok := exhaustive.PipelineLatency(p, pl, true)
+		if !ok {
+			continue
+		}
+		trials++
+		if numeric.Eq(c.Latency, opt.Cost.Latency) {
+			hits++
+		}
+	}
+	if hits*10 < trials*8 { // at least 80%
+		t.Errorf("contiguous DP optimal on only %d/%d instances", hits, trials)
+	}
+}
+
+func TestContiguousDPRejectsInvalid(t *testing.T) {
+	if _, _, err := HetPipelineContiguousDP(workflow.NewPipeline(), platform.Homogeneous(1, 1), true); err == nil {
+		t.Error("empty pipeline accepted")
+	}
+}

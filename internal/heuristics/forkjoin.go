@@ -1,0 +1,99 @@
+package heuristics
+
+import (
+	"repliflow/internal/mapping"
+	"repliflow/internal/numeric"
+	"repliflow/internal/platform"
+	"repliflow/internal/workflow"
+)
+
+// HetForkJoinGreedy is a polynomial heuristic for the NP-hard fork-join
+// cells: it list-schedules the stages onto one block per processor with
+// speed-aware load balancing — the root on the processor minimizing its
+// completion, each leaf (heaviest first) likewise, and the join stage
+// co-located with either the root's or the most-loaded block, whichever
+// evaluates better. Full replication is also tried; the best mapping by
+// the selected objective is returned.
+func HetForkJoinGreedy(fj workflow.ForkJoin, pl platform.Platform, minimizePeriod bool) (mapping.ForkJoinMapping, mapping.Cost, error) {
+	if err := fj.Validate(); err != nil {
+		return mapping.ForkJoinMapping{}, mapping.Cost{}, err
+	}
+	if err := pl.Validate(); err != nil {
+		return mapping.ForkJoinMapping{}, mapping.Cost{}, err
+	}
+	p := pl.Processors()
+	obj := func(c mapping.Cost) float64 {
+		if minimizePeriod {
+			return c.Period
+		}
+		return c.Latency
+	}
+
+	loads := make([]float64, p)
+	members := make([][]int, p)
+	place := func(weight float64) int {
+		best := -1
+		var bestRatio float64
+		for u := 0; u < p; u++ {
+			ratio := (loads[u] + weight) / pl.Speeds[u]
+			if best < 0 || ratio < bestRatio {
+				best, bestRatio = u, ratio
+			}
+		}
+		loads[best] += weight
+		return best
+	}
+	rootProc := place(fj.Root)
+	for _, leaf := range sortByWeightDesc(fj.Weights) {
+		u := place(fj.Weights[leaf])
+		members[u] = append(members[u], leaf)
+	}
+
+	// Candidate join placements: with the root, or on the processor whose
+	// join-inclusive load/speed ratio is smallest.
+	joinCandidates := map[int]bool{rootProc: true}
+	bestU, bestRatio := -1, 0.0
+	for u := 0; u < p; u++ {
+		ratio := (loads[u] + fj.Join) / pl.Speeds[u]
+		if bestU < 0 || ratio < bestRatio {
+			bestU, bestRatio = u, ratio
+		}
+	}
+	joinCandidates[bestU] = true
+
+	build := func(joinProc int) mapping.ForkJoinMapping {
+		var m mapping.ForkJoinMapping
+		for u := 0; u < p; u++ {
+			isRoot := u == rootProc
+			isJoin := u == joinProc
+			if !isRoot && !isJoin && len(members[u]) == 0 {
+				continue
+			}
+			m.Blocks = append(m.Blocks,
+				mapping.NewForkJoinBlock(isRoot, isJoin, members[u], mapping.Replicated, u))
+		}
+		return m
+	}
+
+	var best mapping.ForkJoinMapping
+	bestVal := numeric.Inf
+	consider := func(m mapping.ForkJoinMapping) {
+		c, err := mapping.EvalForkJoin(fj, pl, m)
+		if err != nil {
+			return
+		}
+		if numeric.Less(obj(c), bestVal) {
+			best, bestVal = m, obj(c)
+		}
+	}
+	for jp := range joinCandidates {
+		consider(build(jp))
+	}
+	consider(mapping.ReplicateAllForkJoin(fj, pl))
+
+	c, err := mapping.EvalForkJoin(fj, pl, best)
+	if err != nil {
+		panic("heuristics: fork-join greedy produced invalid mapping: " + err.Error())
+	}
+	return best, c, nil
+}

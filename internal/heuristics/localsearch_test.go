@@ -1,0 +1,112 @@
+package heuristics
+
+import (
+	"math/rand"
+	"testing"
+
+	"repliflow/internal/exhaustive"
+	"repliflow/internal/mapping"
+	"repliflow/internal/numeric"
+	"repliflow/internal/platform"
+	"repliflow/internal/workflow"
+)
+
+func TestLocalSearchNeverWorsens(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 40; trial++ {
+		p := workflow.RandomPipeline(rng, 2+rng.Intn(4), 12)
+		pl := platform.Random(rng, 2+rng.Intn(3), 6)
+		start, _, err := HetPipelinePeriodNoDP(p, pl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		before, err := mapping.EvalPipeline(p, pl, start)
+		if err != nil {
+			t.Fatal(err)
+		}
+		improved, after, err := LocalSearchPipelinePeriod(p, pl, start)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if numeric.Greater(after.Period, before.Period) {
+			t.Fatalf("local search worsened the period: %v -> %v", before.Period, after.Period)
+		}
+		check, err := mapping.EvalPipeline(p, pl, improved)
+		if err != nil {
+			t.Fatalf("local search produced an invalid mapping: %v", err)
+		}
+		if !numeric.Eq(check.Period, after.Period) {
+			t.Fatalf("reported %v, evaluated %v", after, check)
+		}
+	}
+}
+
+func TestLocalSearchImprovesBadStart(t *testing.T) {
+	// Deliberately terrible start: the whole pipeline on the slowest
+	// processor, everything else idle. Local search must move work around.
+	p := workflow.NewPipeline(9, 9, 1, 1)
+	pl := platform.New(1, 4, 4)
+	start := mapping.PipelineMapping{Intervals: []mapping.PipelineInterval{
+		mapping.NewPipelineInterval(0, 3, mapping.Replicated, 0),
+	}}
+	before, err := mapping.EvalPipeline(p, pl, start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, after, err := LocalSearchPipelinePeriod(p, pl, start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !numeric.Less(after.Period, before.Period) {
+		t.Fatalf("local search failed to improve %v (stayed %v)", before.Period, after.Period)
+	}
+}
+
+func TestLocalSearchSoundAgainstExhaustive(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 25; trial++ {
+		p := workflow.RandomPipeline(rng, 2+rng.Intn(3), 12)
+		pl := platform.Random(rng, 2+rng.Intn(3), 6)
+		start, _, err := HetPipelinePeriodNoDP(p, pl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, after, err := LocalSearchPipelinePeriod(p, pl, start)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt, ok := exhaustive.PipelinePeriod(p, pl, false)
+		if !ok {
+			t.Fatal("no optimum")
+		}
+		if numeric.Less(after.Period, opt.Cost.Period) {
+			t.Fatalf("local search beats the exhaustive optimum: %v < %v", after.Period, opt.Cost.Period)
+		}
+	}
+}
+
+func TestLocalSearchRejectsInvalidStart(t *testing.T) {
+	p := workflow.NewPipeline(1, 2)
+	pl := platform.Homogeneous(2, 1)
+	bad := mapping.PipelineMapping{} // no intervals
+	if _, _, err := LocalSearchPipelinePeriod(p, pl, bad); err == nil {
+		t.Error("invalid start mapping accepted")
+	}
+}
+
+func TestLocalSearchPreservesDataParallelLegality(t *testing.T) {
+	// A data-parallel singleton interval must never absorb a second stage.
+	p := workflow.NewPipeline(10, 2, 2)
+	pl := platform.New(3, 3, 1)
+	start := mapping.PipelineMapping{Intervals: []mapping.PipelineInterval{
+		mapping.NewPipelineInterval(0, 0, mapping.DataParallel, 0, 1),
+		mapping.NewPipelineInterval(1, 2, mapping.Replicated, 2),
+	}}
+	improved, _, err := LocalSearchPipelinePeriod(p, pl, start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mapping.EvalPipeline(p, pl, improved); err != nil {
+		t.Fatalf("local search produced illegal mapping: %v", err)
+	}
+}

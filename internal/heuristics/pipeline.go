@@ -1,0 +1,219 @@
+package heuristics
+
+import (
+	"repliflow/internal/chains"
+	"repliflow/internal/mapping"
+	"repliflow/internal/numeric"
+	"repliflow/internal/platform"
+	"repliflow/internal/workflow"
+)
+
+// HetPipelinePeriodNoDP is a polynomial heuristic for the NP-hard problem
+// of Theorem 9: minimize the period of a heterogeneous pipeline on a
+// Heterogeneous platform without data-parallelism. It runs the
+// constructive phase (HetPipelinePeriodNoDPConstructive) and polishes the
+// result with LocalSearchPipelinePeriod.
+func HetPipelinePeriodNoDP(p workflow.Pipeline, pl platform.Platform) (mapping.PipelineMapping, mapping.Cost, error) {
+	best, bestCost, err := HetPipelinePeriodNoDPConstructive(p, pl)
+	if err != nil {
+		return mapping.PipelineMapping{}, mapping.Cost{}, err
+	}
+	improved, improvedCost, err := LocalSearchPipelinePeriod(p, pl, best)
+	if err == nil && numeric.Less(improvedCost.Period, bestCost.Period) {
+		best, bestCost = improved, improvedCost
+	}
+	return best, bestCost, nil
+}
+
+// HetPipelinePeriodNoDPConstructive is the constructive phase of the
+// Theorem 9 heuristic: for every interval count q, split the stages with
+// the exact chains-to-chains solver, assign heavier intervals to faster
+// processors, then greedily replicate the current bottleneck interval with
+// the unused processors. The best mapping over all q is returned.
+func HetPipelinePeriodNoDPConstructive(p workflow.Pipeline, pl platform.Platform) (mapping.PipelineMapping, mapping.Cost, error) {
+	if err := p.Validate(); err != nil {
+		return mapping.PipelineMapping{}, mapping.Cost{}, err
+	}
+	if err := pl.Validate(); err != nil {
+		return mapping.PipelineMapping{}, mapping.Cost{}, err
+	}
+	desc := speedsDescending(pl)
+	var best mapping.PipelineMapping
+	bestCost := mapping.Cost{Period: numeric.Inf, Latency: numeric.Inf}
+
+	maxQ := pl.Processors()
+	if p.Stages() < maxQ {
+		maxQ = p.Stages()
+	}
+	for q := 1; q <= maxQ; q++ {
+		part, _, err := chains.DP(p.Weights, q)
+		if err != nil {
+			return mapping.PipelineMapping{}, mapping.Cost{}, err
+		}
+		m := assignIntervalsToFastest(p, pl, part, desc)
+		m = replicateBottleneck(p, pl, m, desc)
+		if c := evalPipe(p, pl, m); numeric.Less(c.Period, bestCost.Period) {
+			best, bestCost = m, c
+		}
+	}
+	return best, bestCost, nil
+}
+
+// assignIntervalsToFastest maps the partition's intervals onto single
+// processors: the interval with the largest weight gets the fastest
+// processor, and so on.
+func assignIntervalsToFastest(p workflow.Pipeline, pl platform.Platform, part chains.Partition, desc []int) mapping.PipelineMapping {
+	q := part.Intervals()
+	weights := make([]float64, q)
+	firsts := make([]int, q)
+	lasts := make([]int, q)
+	start := 0
+	for k, end := range part.Bounds {
+		firsts[k], lasts[k] = start, end-1
+		weights[k] = p.IntervalWork(start, end-1)
+		start = end
+	}
+	order := sortByWeightDesc(weights)
+	procOf := make([]int, q)
+	for rank, k := range order {
+		procOf[k] = desc[rank]
+	}
+	m := mapping.PipelineMapping{Intervals: make([]mapping.PipelineInterval, q)}
+	for k := 0; k < q; k++ {
+		m.Intervals[k] = mapping.NewPipelineInterval(firsts[k], lasts[k], mapping.Replicated, procOf[k])
+	}
+	return m
+}
+
+// replicateBottleneck repeatedly adds an unused processor to the interval
+// with the largest period, as long as that strictly decreases its period.
+// Unused processors are considered fastest-first; a processor slower than
+// the interval's current minimum would not reduce the period when the
+// divisor k grows less than the min speed shrinks, which the recomputation
+// accounts for.
+func replicateBottleneck(p workflow.Pipeline, pl platform.Platform, m mapping.PipelineMapping, desc []int) mapping.PipelineMapping {
+	used := make(map[int]bool)
+	for _, iv := range m.Intervals {
+		for _, q := range iv.Procs {
+			used[q] = true
+		}
+	}
+	var free []int
+	for _, q := range desc {
+		if !used[q] {
+			free = append(free, q)
+		}
+	}
+	period := func(iv mapping.PipelineInterval) float64 {
+		w := p.IntervalWork(iv.First, iv.Last)
+		return w / (float64(len(iv.Procs)) * pl.SubsetMinSpeed(iv.Procs))
+	}
+	for len(free) > 0 {
+		// Locate the bottleneck interval.
+		worst, worstPer := -1, 0.0
+		for i, iv := range m.Intervals {
+			if per := period(iv); per > worstPer {
+				worst, worstPer = i, per
+			}
+		}
+		if worst < 0 {
+			break
+		}
+		// Try to improve it with the fastest free processor.
+		iv := m.Intervals[worst]
+		cand := append(append([]int(nil), iv.Procs...), free[0])
+		w := p.IntervalWork(iv.First, iv.Last)
+		newPer := w / (float64(len(cand)) * pl.SubsetMinSpeed(cand))
+		if !numeric.Less(newPer, worstPer) {
+			break
+		}
+		m.Intervals[worst].Procs = cand
+		free = free[1:]
+	}
+	return m
+}
+
+// HetPipelineWithDP is a polynomial heuristic for the NP-hard problems of
+// Theorem 5: optimize a pipeline on a Heterogeneous platform when stages
+// may be data-parallelized. It builds three candidate mappings — whole
+// pipeline on the fastest processor, whole pipeline replicated everywhere,
+// and every stage data-parallelized on a processor group allocated greedily
+// in proportion to the remaining stage weights — and returns the best by
+// the given objective (true = minimize period, false = minimize latency).
+func HetPipelineWithDP(p workflow.Pipeline, pl platform.Platform, minimizePeriod bool) (mapping.PipelineMapping, mapping.Cost, error) {
+	if err := p.Validate(); err != nil {
+		return mapping.PipelineMapping{}, mapping.Cost{}, err
+	}
+	if err := pl.Validate(); err != nil {
+		return mapping.PipelineMapping{}, mapping.Cost{}, err
+	}
+	objective := func(c mapping.Cost) float64 {
+		if minimizePeriod {
+			return c.Period
+		}
+		return c.Latency
+	}
+	var best mapping.PipelineMapping
+	bestVal := numeric.Inf
+	consider := func(m mapping.PipelineMapping) {
+		if c := evalPipe(p, pl, m); numeric.Less(objective(c), bestVal) {
+			best, bestVal = m, objective(c)
+		}
+	}
+
+	consider(mapping.WholeOnProcessor(p, pl.Fastest()))
+	consider(mapping.ReplicateAllPipeline(p, pl))
+	if m, ok := proportionalDataParallel(p, pl); ok {
+		consider(m)
+	}
+	if m, _, err := HetPipelineContiguousDP(p, pl, minimizePeriod); err == nil {
+		consider(m)
+	}
+
+	c := evalPipe(p, pl, best)
+	return best, c, nil
+}
+
+// proportionalDataParallel data-parallelizes every stage on its own group
+// of processors, assigning processors (fastest first) greedily to the stage
+// whose delay w_i / (assigned speed sum) is currently the largest. Requires
+// p >= n; returns false otherwise.
+func proportionalDataParallel(p workflow.Pipeline, pl platform.Platform) (mapping.PipelineMapping, bool) {
+	n := p.Stages()
+	if pl.Processors() < n {
+		return mapping.PipelineMapping{}, false
+	}
+	groups := make([][]int, n)
+	sums := make([]float64, n)
+	// Seed every stage with one processor (heaviest stage gets fastest).
+	desc := speedsDescending(pl)
+	order := sortByWeightDesc(p.Weights)
+	for rank, stage := range order {
+		q := desc[rank]
+		groups[stage] = []int{q}
+		sums[stage] = pl.Speeds[q]
+	}
+	// Hand out the remaining processors to the current worst stage.
+	for _, q := range desc[n:] {
+		worst, worstDelay := 0, 0.0
+		for i := range groups {
+			if d := p.Weights[i] / sums[i]; d > worstDelay {
+				worst, worstDelay = i, d
+			}
+		}
+		groups[worst] = append(groups[worst], q)
+		sums[worst] += pl.Speeds[q]
+	}
+	m := mapping.PipelineMapping{Intervals: make([]mapping.PipelineInterval, n)}
+	for i := 0; i < n; i++ {
+		mode := mapping.DataParallel
+		if len(groups[i]) == 1 {
+			mode = mapping.Replicated
+		}
+		m.Intervals[i] = mapping.PipelineInterval{
+			First: i, Last: i,
+			Assignment: mapping.Assignment{Procs: groups[i], Mode: mode},
+		}
+	}
+	return m, true
+}

@@ -1,0 +1,150 @@
+// Package instance serializes problem instances to and from JSON for the
+// command-line tools (cmd/wfmap, cmd/wfgen, cmd/wfsim).
+package instance
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"repliflow/internal/core"
+	"repliflow/internal/platform"
+	"repliflow/internal/workflow"
+)
+
+// PipelineJSON mirrors workflow.Pipeline.
+type PipelineJSON struct {
+	Weights []float64 `json:"weights"`
+}
+
+// ForkJSON mirrors workflow.Fork.
+type ForkJSON struct {
+	Root    float64   `json:"root"`
+	Weights []float64 `json:"weights"`
+}
+
+// ForkJoinJSON mirrors workflow.ForkJoin.
+type ForkJoinJSON struct {
+	Root    float64   `json:"root"`
+	Join    float64   `json:"join"`
+	Weights []float64 `json:"weights"`
+}
+
+// PlatformJSON mirrors platform.Platform.
+type PlatformJSON struct {
+	Speeds []float64 `json:"speeds"`
+}
+
+// Instance is the on-disk form of a core.Problem.
+type Instance struct {
+	Pipeline *PipelineJSON `json:"pipeline,omitempty"`
+	Fork     *ForkJSON     `json:"fork,omitempty"`
+	ForkJoin *ForkJoinJSON `json:"forkjoin,omitempty"`
+
+	Platform          PlatformJSON `json:"platform"`
+	AllowDataParallel bool         `json:"allowDataParallel"`
+	Objective         string       `json:"objective"`
+	Bound             float64      `json:"bound,omitempty"`
+}
+
+// objectiveNames maps JSON names to objectives.
+var objectiveNames = map[string]core.Objective{
+	"min-period":           core.MinPeriod,
+	"min-latency":          core.MinLatency,
+	"latency-under-period": core.LatencyUnderPeriod,
+	"period-under-latency": core.PeriodUnderLatency,
+}
+
+// ObjectiveName returns the JSON name of an objective.
+func ObjectiveName(o core.Objective) string {
+	for name, v := range objectiveNames {
+		if v == o {
+			return name
+		}
+	}
+	return ""
+}
+
+// ParseObjective converts a JSON objective name.
+func ParseObjective(name string) (core.Objective, error) {
+	o, ok := objectiveNames[name]
+	if !ok {
+		return 0, fmt.Errorf("instance: unknown objective %q (want min-period, min-latency, latency-under-period or period-under-latency)", name)
+	}
+	return o, nil
+}
+
+// Problem converts the instance into a validated core.Problem.
+func (ins Instance) Problem() (core.Problem, error) {
+	pr := core.Problem{
+		Platform:          platform.New(ins.Platform.Speeds...),
+		AllowDataParallel: ins.AllowDataParallel,
+		Bound:             ins.Bound,
+	}
+	obj, err := ParseObjective(ins.Objective)
+	if err != nil {
+		return core.Problem{}, err
+	}
+	pr.Objective = obj
+	graphs := 0
+	if ins.Pipeline != nil {
+		p := workflow.NewPipeline(ins.Pipeline.Weights...)
+		pr.Pipeline = &p
+		graphs++
+	}
+	if ins.Fork != nil {
+		f := workflow.NewFork(ins.Fork.Root, ins.Fork.Weights...)
+		pr.Fork = &f
+		graphs++
+	}
+	if ins.ForkJoin != nil {
+		fj := workflow.NewForkJoin(ins.ForkJoin.Root, ins.ForkJoin.Join, ins.ForkJoin.Weights...)
+		pr.ForkJoin = &fj
+		graphs++
+	}
+	if graphs != 1 {
+		return core.Problem{}, errors.New("instance: exactly one of pipeline, fork, forkjoin must be set")
+	}
+	if err := pr.Validate(); err != nil {
+		return core.Problem{}, err
+	}
+	return pr, nil
+}
+
+// FromProblem converts a core.Problem into its on-disk form.
+func FromProblem(pr core.Problem) Instance {
+	ins := Instance{
+		Platform:          PlatformJSON{Speeds: pr.Platform.Speeds},
+		AllowDataParallel: pr.AllowDataParallel,
+		Objective:         ObjectiveName(pr.Objective),
+		Bound:             pr.Bound,
+	}
+	switch {
+	case pr.Pipeline != nil:
+		ins.Pipeline = &PipelineJSON{Weights: pr.Pipeline.Weights}
+	case pr.Fork != nil:
+		ins.Fork = &ForkJSON{Root: pr.Fork.Root, Weights: pr.Fork.Weights}
+	case pr.ForkJoin != nil:
+		ins.ForkJoin = &ForkJoinJSON{Root: pr.ForkJoin.Root, Join: pr.ForkJoin.Join, Weights: pr.ForkJoin.Weights}
+	}
+	return ins
+}
+
+// Read decodes an instance from JSON.
+func Read(r io.Reader) (Instance, error) {
+	var ins Instance
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&ins); err != nil {
+		return Instance{}, fmt.Errorf("instance: decoding JSON: %w", err)
+	}
+	return ins, nil
+}
+
+// Write encodes an instance as indented JSON.
+func Write(w io.Writer, ins Instance) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(ins)
+}

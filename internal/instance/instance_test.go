@@ -1,0 +1,124 @@
+package instance
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repliflow/internal/core"
+	"repliflow/internal/platform"
+	"repliflow/internal/workflow"
+)
+
+func TestRoundTripPipeline(t *testing.T) {
+	p := workflow.NewPipeline(14, 4, 2, 4)
+	pr := core.Problem{
+		Pipeline:          &p,
+		Platform:          platform.New(2, 2, 1, 1),
+		AllowDataParallel: true,
+		Objective:         core.MinLatency,
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, FromProblem(pr)); err != nil {
+		t.Fatal(err)
+	}
+	ins, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ins.Problem()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Pipeline == nil || got.Pipeline.Stages() != 4 || got.Pipeline.Weights[0] != 14 {
+		t.Fatalf("pipeline mangled: %+v", got.Pipeline)
+	}
+	if got.Platform.Processors() != 4 || !got.AllowDataParallel || got.Objective != core.MinLatency {
+		t.Fatalf("problem mangled: %+v", got)
+	}
+}
+
+func TestRoundTripForkAndForkJoin(t *testing.T) {
+	f := workflow.NewFork(2, 1, 3)
+	pr := core.Problem{Fork: &f, Platform: platform.New(1, 2), Objective: core.MinPeriod}
+	ins := FromProblem(pr)
+	got, err := ins.Problem()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Fork == nil || got.Fork.Root != 2 || got.Fork.Leaves() != 2 {
+		t.Fatalf("fork mangled: %+v", got.Fork)
+	}
+
+	fj := workflow.NewForkJoin(2, 5, 1, 3)
+	pr = core.Problem{ForkJoin: &fj, Platform: platform.New(1, 2), Objective: core.LatencyUnderPeriod, Bound: 4}
+	got, err = FromProblem(pr).Problem()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ForkJoin == nil || got.ForkJoin.Join != 5 || got.Bound != 4 {
+		t.Fatalf("fork-join mangled: %+v", got)
+	}
+}
+
+func TestParseJSONLiteral(t *testing.T) {
+	src := `{
+		"pipeline": {"weights": [14, 4, 2, 4]},
+		"platform": {"speeds": [1, 1, 1]},
+		"allowDataParallel": true,
+		"objective": "latency-under-period",
+		"bound": 10
+	}`
+	ins, err := Read(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, err := ins.Problem()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := core.Solve(pr, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sol.Feasible || sol.Cost.Latency != 17 {
+		t.Fatalf("end-to-end solve: %v", sol)
+	}
+}
+
+func TestRejectsBadInput(t *testing.T) {
+	cases := []string{
+		`{"platform": {"speeds":[1]}, "objective": "min-period"}`,                                                            // no graph
+		`{"pipeline":{"weights":[1]}, "fork":{"root":1,"weights":[1]}, "platform":{"speeds":[1]}, "objective":"min-period"}`, // two graphs
+		`{"pipeline":{"weights":[1]}, "platform":{"speeds":[1]}, "objective":"maximize-fun"}`,                                // bad objective
+		`{"pipeline":{"weights":[1]}, "platform":{"speeds":[]}, "objective":"min-period"}`,                                   // empty platform
+		`{"pipeline":{"weights":[1]}, "platform":{"speeds":[1]}, "objective":"latency-under-period"}`,                        // missing bound
+		`{"pipeline":{"weights":[1]}, "platform":{"speeds":[1]}, "objective":"min-period", "zzz": 1}`,                        // unknown field
+		`not json at all`,
+	}
+	for i, src := range cases {
+		ins, err := Read(strings.NewReader(src))
+		if err != nil {
+			continue // rejected at decode time
+		}
+		if _, err := ins.Problem(); err == nil {
+			t.Errorf("case %d accepted: %s", i, src)
+		}
+	}
+}
+
+func TestObjectiveNames(t *testing.T) {
+	for _, o := range []core.Objective{core.MinPeriod, core.MinLatency, core.LatencyUnderPeriod, core.PeriodUnderLatency} {
+		name := ObjectiveName(o)
+		if name == "" {
+			t.Fatalf("objective %v has no name", o)
+		}
+		back, err := ParseObjective(name)
+		if err != nil || back != o {
+			t.Fatalf("round trip of %v failed: %v %v", o, back, err)
+		}
+	}
+	if _, err := ParseObjective("bogus"); err == nil {
+		t.Fatal("bogus objective accepted")
+	}
+}

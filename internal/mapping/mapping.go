@@ -1,0 +1,139 @@
+// Package mapping represents interval-based mappings of pipeline, fork and
+// fork-join graphs onto platforms, and evaluates their period and latency
+// under the simplified model of Benoit & Robert (RR-6308, Section 3.4).
+//
+// A mapping partitions the stages into groups (intervals for a pipeline,
+// blocks for a fork), assigns a non-empty set of processors to each group,
+// and chooses a mode:
+//
+//   - Replicated: the k processors execute whole data sets round-robin.
+//     period = W/(k·min s), traversal delay = W/min s. A single processor
+//     is the k=1 special case.
+//   - DataParallel: the processors share each single data set.
+//     period = delay = W/Σ s. In a pipeline only single stages may be
+//     data-parallelized; in a fork any set of independent stages may, and
+//     the root S0 only when alone in its block (Section 3.4).
+package mapping
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repliflow/internal/numeric"
+	"repliflow/internal/platform"
+)
+
+// Mode selects how a group of stages uses its processor set.
+type Mode int
+
+const (
+	// Replicated processes consecutive data sets round-robin (k=1 means a
+	// plain single-processor assignment).
+	Replicated Mode = iota
+	// DataParallel shares every single data set among the processors.
+	DataParallel
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case Replicated:
+		return "replicated"
+	case DataParallel:
+		return "data-parallel"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Cost carries the two antagonist objectives of the paper.
+type Cost struct {
+	Period  float64
+	Latency float64
+}
+
+// Dominates reports whether c is no worse than d on both criteria.
+func (c Cost) Dominates(d Cost) bool {
+	return numeric.LessEq(c.Period, d.Period) && numeric.LessEq(c.Latency, d.Latency)
+}
+
+// String implements fmt.Stringer.
+func (c Cost) String() string {
+	return fmt.Sprintf("period=%g latency=%g", c.Period, c.Latency)
+}
+
+// Assignment binds a processor set and a mode to a group of stages.
+type Assignment struct {
+	Procs []int
+	Mode  Mode
+}
+
+// groupPeriod returns the period of a stage group of total weight w under
+// the assignment (Section 3.4 formulas).
+func (a Assignment) groupPeriod(w float64, pl platform.Platform) float64 {
+	switch a.Mode {
+	case DataParallel:
+		return w / pl.SubsetSpeedSum(a.Procs)
+	default:
+		return w / (float64(len(a.Procs)) * pl.SubsetMinSpeed(a.Procs))
+	}
+}
+
+// groupDelay returns the traversal delay (t_max) of a stage group of total
+// weight w under the assignment.
+func (a Assignment) groupDelay(w float64, pl platform.Platform) float64 {
+	switch a.Mode {
+	case DataParallel:
+		return w / pl.SubsetSpeedSum(a.Procs)
+	default:
+		return w / pl.SubsetMinSpeed(a.Procs)
+	}
+}
+
+// validate checks the processor set is non-empty, within range and free of
+// duplicates.
+func (a Assignment) validate(pl platform.Platform) error {
+	if len(a.Procs) == 0 {
+		return errors.New("mapping: empty processor set")
+	}
+	seen := make(map[int]bool, len(a.Procs))
+	for _, q := range a.Procs {
+		if q < 0 || q >= pl.Processors() {
+			return fmt.Errorf("mapping: processor index %d out of range [0,%d)", q, pl.Processors())
+		}
+		if seen[q] {
+			return fmt.Errorf("mapping: processor P%d assigned twice within one group", q+1)
+		}
+		seen[q] = true
+	}
+	if a.Mode != Replicated && a.Mode != DataParallel {
+		return fmt.Errorf("mapping: unknown mode %d", int(a.Mode))
+	}
+	return nil
+}
+
+func procsLabel(procs []int) string {
+	sorted := append([]int(nil), procs...)
+	sort.Ints(sorted)
+	parts := make([]string, len(sorted))
+	for i, q := range sorted {
+		parts[i] = fmt.Sprintf("P%d", q+1)
+	}
+	return strings.Join(parts, ",")
+}
+
+// checkDisjoint verifies that no processor appears in two assignments.
+func checkDisjoint(groups []Assignment) error {
+	used := make(map[int]int)
+	for gi, g := range groups {
+		for _, q := range g.Procs {
+			if prev, ok := used[q]; ok {
+				return fmt.Errorf("mapping: processor P%d assigned to groups %d and %d", q+1, prev, gi)
+			}
+			used[q] = gi
+		}
+	}
+	return nil
+}

@@ -1,0 +1,87 @@
+package mapping
+
+import (
+	"math/rand"
+	"testing"
+
+	"repliflow/internal/numeric"
+	"repliflow/internal/platform"
+	"repliflow/internal/workflow"
+)
+
+// TestMutatedMappingsAreRejected injects random single-field corruptions
+// into valid mappings and checks that validation catches every structural
+// breakage (or that the mutation happened to produce another valid
+// mapping, in which case evaluation must still succeed).
+func TestMutatedMappingsAreRejected(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 300; trial++ {
+		p := workflow.RandomPipeline(rng, 2+rng.Intn(4), 9)
+		pl := platform.Random(rng, 2+rng.Intn(4), 5)
+		m := randomPipelineMapping(rng, p, pl, true)
+		if err := ValidatePipeline(p, pl, m); err != nil {
+			t.Fatalf("setup produced invalid mapping: %v", err)
+		}
+		mutateMapping(rng, &m)
+		if err := ValidatePipeline(p, pl, m); err == nil {
+			// The mutation may legitimately yield another valid mapping;
+			// it must then evaluate without panicking and with positive
+			// costs.
+			c, err := EvalPipeline(p, pl, m)
+			if err != nil {
+				t.Fatalf("validated mapping failed to evaluate: %v", err)
+			}
+			if !numeric.Greater(c.Period, 0) || !numeric.Greater(c.Latency, 0) {
+				t.Fatalf("degenerate cost %v for mapping %v", c, m)
+			}
+		}
+	}
+}
+
+// mutateMapping corrupts one random aspect of the mapping.
+func mutateMapping(rng *rand.Rand, m *PipelineMapping) {
+	if len(m.Intervals) == 0 {
+		return
+	}
+	i := rng.Intn(len(m.Intervals))
+	switch rng.Intn(6) {
+	case 0:
+		m.Intervals[i].First += rng.Intn(3) - 1
+	case 1:
+		m.Intervals[i].Last += rng.Intn(3) - 1
+	case 2:
+		if len(m.Intervals[i].Procs) > 0 {
+			m.Intervals[i].Procs[rng.Intn(len(m.Intervals[i].Procs))] += rng.Intn(5) - 2
+		}
+	case 3:
+		m.Intervals[i].Procs = append(m.Intervals[i].Procs, rng.Intn(8))
+	case 4:
+		m.Intervals[i].Mode = Mode(rng.Intn(3))
+	case 5:
+		m.Intervals = append(m.Intervals[:i], m.Intervals[i+1:]...)
+	}
+}
+
+func TestCostDominates(t *testing.T) {
+	a := Cost{Period: 2, Latency: 5}
+	b := Cost{Period: 3, Latency: 6}
+	if !a.Dominates(b) || b.Dominates(a) {
+		t.Fatal("Dominates wrong on ordered pair")
+	}
+	if !a.Dominates(a) {
+		t.Fatal("Dominates not reflexive")
+	}
+	c := Cost{Period: 1, Latency: 7}
+	if a.Dominates(c) || c.Dominates(a) {
+		t.Fatal("incomparable pair reported dominated")
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if Replicated.String() != "replicated" || DataParallel.String() != "data-parallel" {
+		t.Fatal("Mode strings wrong")
+	}
+	if Mode(9).String() != "Mode(9)" {
+		t.Fatal("unknown mode string wrong")
+	}
+}

@@ -1,0 +1,386 @@
+package mapping
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repliflow/internal/numeric"
+	"repliflow/internal/platform"
+	"repliflow/internal/workflow"
+)
+
+// The running example of Section 2: a 4-stage pipeline with weights
+// 14, 4, 2, 4.
+var example = workflow.NewPipeline(14, 4, 2, 4)
+
+func mustEvalPipeline(t *testing.T, p workflow.Pipeline, pl platform.Platform, m PipelineMapping) Cost {
+	t.Helper()
+	c, err := EvalPipeline(p, pl, m)
+	if err != nil {
+		t.Fatalf("EvalPipeline(%v): %v", m, err)
+	}
+	return c
+}
+
+func TestSection2HomogeneousBaseline(t *testing.T) {
+	// "mapping S1 to P1, the other three stages to P2, and discarding P3,
+	// leads to the best period Tperiod = 14 ... the latency is always 24."
+	pl := platform.Homogeneous(3, 1)
+	m := PipelineMapping{Intervals: []PipelineInterval{
+		NewPipelineInterval(0, 0, Replicated, 0),
+		NewPipelineInterval(1, 3, Replicated, 1),
+	}}
+	c := mustEvalPipeline(t, example, pl, m)
+	if !numeric.Eq(c.Period, 14) || !numeric.Eq(c.Latency, 24) {
+		t.Fatalf("got %v, want period=14 latency=24", c)
+	}
+}
+
+func TestSection2FullReplication(t *testing.T) {
+	// "a new data set can be input to the platform every 24/3 = 8 time
+	// steps, and Tperiod = 8" with unchanged latency 24.
+	pl := platform.Homogeneous(3, 1)
+	c := mustEvalPipeline(t, example, pl, ReplicateAllPipeline(example, pl))
+	if !numeric.Eq(c.Period, 8) || !numeric.Eq(c.Latency, 24) {
+		t.Fatalf("got %v, want period=8 latency=24", c)
+	}
+}
+
+func TestSection2PartialReplication(t *testing.T) {
+	// "replicate only S1 onto P1 and P2, and assign the other three stages
+	// to P3, leading to Tperiod = max(14/2, 4+2+4) = 10" with latency 24.
+	pl := platform.Homogeneous(3, 1)
+	m := PipelineMapping{Intervals: []PipelineInterval{
+		NewPipelineInterval(0, 0, Replicated, 0, 1),
+		NewPipelineInterval(1, 3, Replicated, 2),
+	}}
+	c := mustEvalPipeline(t, example, pl, m)
+	if !numeric.Eq(c.Period, 10) || !numeric.Eq(c.Latency, 24) {
+		t.Fatalf("got %v, want period=10 latency=24", c)
+	}
+}
+
+func TestSection2FourProcessorReplication(t *testing.T) {
+	// "Using a fourth processor P4 we could further replicate the interval
+	// S2 to S4, achieving Tperiod = max(7, 5) = 7."
+	pl := platform.Homogeneous(4, 1)
+	m := PipelineMapping{Intervals: []PipelineInterval{
+		NewPipelineInterval(0, 0, Replicated, 0, 1),
+		NewPipelineInterval(1, 3, Replicated, 2, 3),
+	}}
+	c := mustEvalPipeline(t, example, pl, m)
+	if !numeric.Eq(c.Period, 7) || !numeric.Eq(c.Latency, 24) {
+		t.Fatalf("got %v, want period=7 latency=24", c)
+	}
+}
+
+func TestSection2DataParallelLatency(t *testing.T) {
+	// "we can reduce the latency down to Tlatency = 17 by data-parallelizing
+	// S1 onto P1 and P2, and assigning the other three stages to P3. ...
+	// The period turns out to be the same, namely Tperiod = 10."
+	pl := platform.Homogeneous(3, 1)
+	m := PipelineMapping{Intervals: []PipelineInterval{
+		NewPipelineInterval(0, 0, DataParallel, 0, 1),
+		NewPipelineInterval(1, 3, Replicated, 2),
+	}}
+	c := mustEvalPipeline(t, example, pl, m)
+	if !numeric.Eq(c.Period, 10) || !numeric.Eq(c.Latency, 17) {
+		t.Fatalf("got %v, want period=10 latency=17", c)
+	}
+}
+
+// The heterogeneous platform of Section 2: s1 = s2 = 2, s3 = s4 = 1.
+var hetPlatform = platform.New(2, 2, 1, 1)
+
+func TestSection2HetFullReplication(t *testing.T) {
+	// "If we replicate all stages ... we obtain the period
+	// Tperiod = 24/(4·1) = 6, which is not optimal."
+	c := mustEvalPipeline(t, example, hetPlatform, ReplicateAllPipeline(example, hetPlatform))
+	if !numeric.Eq(c.Period, 6) || !numeric.Eq(c.Latency, 24) {
+		t.Fatalf("got %v, want period=6 latency=24", c)
+	}
+}
+
+func TestSection2HetOptimalPeriod(t *testing.T) {
+	// "data-parallelize S1 on P1 and P2, and replicate the interval of the
+	// remaining three stages onto P3 and P4, leading to the period
+	// Tperiod = max(14/(2+2), 10/(2·1)) = 5 ... latency 13.5."
+	m := PipelineMapping{Intervals: []PipelineInterval{
+		NewPipelineInterval(0, 0, DataParallel, 0, 1),
+		NewPipelineInterval(1, 3, Replicated, 2, 3),
+	}}
+	c := mustEvalPipeline(t, example, hetPlatform, m)
+	if !numeric.Eq(c.Period, 5) || !numeric.Eq(c.Latency, 13.5) {
+		t.Fatalf("got %v, want period=5 latency=13.5", c)
+	}
+}
+
+func TestSection2HetOptimalLatency(t *testing.T) {
+	// "The minimum latency is Tlatency = 14/5 + 10 = 12.8, achieved by
+	// data-parallelizing S1 on P1, P2 and P3" with the remaining interval on
+	// P4.
+	m := PipelineMapping{Intervals: []PipelineInterval{
+		NewPipelineInterval(0, 0, DataParallel, 0, 1, 2),
+		NewPipelineInterval(1, 3, Replicated, 3),
+	}}
+	c := mustEvalPipeline(t, example, hetPlatform, m)
+	if !numeric.Eq(c.Latency, 12.8) {
+		t.Fatalf("got %v, want latency=12.8", c)
+	}
+}
+
+func TestReplicatedDelayUsesSlowestProcessor(t *testing.T) {
+	// Replicating on a fast and a slow processor: the delay is governed by
+	// the slowest processor, the period divides it by k.
+	p := workflow.NewPipeline(12)
+	pl := platform.New(4, 2)
+	m := PipelineMapping{Intervals: []PipelineInterval{
+		NewPipelineInterval(0, 0, Replicated, 0, 1),
+	}}
+	c := mustEvalPipeline(t, p, pl, m)
+	if !numeric.Eq(c.Period, 3) { // 12/(2*2)
+		t.Errorf("period = %v, want 3", c.Period)
+	}
+	if !numeric.Eq(c.Latency, 6) { // 12/2
+		t.Errorf("latency = %v, want 6", c.Latency)
+	}
+}
+
+func TestDataParallelUsesSpeedSum(t *testing.T) {
+	p := workflow.NewPipeline(12)
+	pl := platform.New(4, 2)
+	m := PipelineMapping{Intervals: []PipelineInterval{
+		NewPipelineInterval(0, 0, DataParallel, 0, 1),
+	}}
+	c := mustEvalPipeline(t, p, pl, m)
+	if !numeric.Eq(c.Period, 2) || !numeric.Eq(c.Latency, 2) { // 12/6
+		t.Fatalf("got %v, want period=latency=2", c)
+	}
+}
+
+func TestWholeOnProcessor(t *testing.T) {
+	pl := platform.New(1, 3, 2)
+	m := WholeOnProcessor(example, 1)
+	c := mustEvalPipeline(t, example, pl, m)
+	if !numeric.Eq(c.Latency, 8) || !numeric.Eq(c.Period, 8) { // 24/3
+		t.Fatalf("got %v, want 8/8", c)
+	}
+}
+
+func TestValidatePipelineRejections(t *testing.T) {
+	pl := platform.Homogeneous(3, 1)
+	cases := []struct {
+		name string
+		m    PipelineMapping
+	}{
+		{"no intervals", PipelineMapping{}},
+		{"gap between intervals", PipelineMapping{Intervals: []PipelineInterval{
+			NewPipelineInterval(0, 0, Replicated, 0),
+			NewPipelineInterval(2, 3, Replicated, 1),
+		}}},
+		{"does not start at 0", PipelineMapping{Intervals: []PipelineInterval{
+			NewPipelineInterval(1, 3, Replicated, 0),
+		}}},
+		{"does not cover all stages", PipelineMapping{Intervals: []PipelineInterval{
+			NewPipelineInterval(0, 2, Replicated, 0),
+		}}},
+		{"interval beyond last stage", PipelineMapping{Intervals: []PipelineInterval{
+			NewPipelineInterval(0, 4, Replicated, 0),
+		}}},
+		{"empty interval", PipelineMapping{Intervals: []PipelineInterval{
+			NewPipelineInterval(0, -1, Replicated, 0),
+			NewPipelineInterval(0, 3, Replicated, 1),
+		}}},
+		{"empty processor set", PipelineMapping{Intervals: []PipelineInterval{
+			NewPipelineInterval(0, 3, Replicated),
+		}}},
+		{"processor out of range", PipelineMapping{Intervals: []PipelineInterval{
+			NewPipelineInterval(0, 3, Replicated, 7),
+		}}},
+		{"processor reused across intervals", PipelineMapping{Intervals: []PipelineInterval{
+			NewPipelineInterval(0, 0, Replicated, 0),
+			NewPipelineInterval(1, 3, Replicated, 0),
+		}}},
+		{"processor duplicated within interval", PipelineMapping{Intervals: []PipelineInterval{
+			NewPipelineInterval(0, 3, Replicated, 1, 1),
+		}}},
+		{"data-parallel multi-stage interval", PipelineMapping{Intervals: []PipelineInterval{
+			NewPipelineInterval(0, 3, DataParallel, 0, 1),
+		}}},
+		{"unknown mode", PipelineMapping{Intervals: []PipelineInterval{
+			NewPipelineInterval(0, 3, Mode(42), 0),
+		}}},
+	}
+	for _, c := range cases {
+		if err := ValidatePipeline(example, pl, c.m); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+func TestValidatePipelineRejectsBadInputs(t *testing.T) {
+	good := PipelineMapping{Intervals: []PipelineInterval{NewPipelineInterval(0, 0, Replicated, 0)}}
+	if err := ValidatePipeline(workflow.NewPipeline(), platform.Homogeneous(1, 1), good); err == nil {
+		t.Error("empty pipeline accepted")
+	}
+	if err := ValidatePipeline(workflow.NewPipeline(1), platform.New(), good); err == nil {
+		t.Error("empty platform accepted")
+	}
+}
+
+// randomPipelineMapping builds a random valid mapping for property tests.
+func randomPipelineMapping(rng *rand.Rand, p workflow.Pipeline, pl platform.Platform, allowDP bool) PipelineMapping {
+	n := p.Stages()
+	procs := rng.Perm(pl.Processors())
+	// Random number of intervals, at most min(n, p).
+	q := 1 + rng.Intn(min(n, pl.Processors()))
+	// Random cut points.
+	cuts := rng.Perm(n - 1)[:q-1]
+	bounds := append([]int{}, cuts...)
+	sortInts(bounds)
+	var m PipelineMapping
+	first := 0
+	// Distribute processors: each interval gets at least one.
+	extra := pl.Processors() - q
+	pi := 0
+	for i := 0; i < q; i++ {
+		last := n - 1
+		if i < len(bounds) {
+			last = bounds[i]
+		}
+		take := 1
+		if extra > 0 {
+			bonus := rng.Intn(extra + 1)
+			take += bonus
+			extra -= bonus
+		}
+		mode := Replicated
+		if allowDP && first == last && rng.Intn(2) == 0 {
+			mode = DataParallel
+		}
+		m.Intervals = append(m.Intervals, PipelineInterval{
+			First: first, Last: last,
+			Assignment: Assignment{Procs: procs[pi : pi+take], Mode: mode},
+		})
+		pi += take
+		first = last + 1
+	}
+	return m
+}
+
+func sortInts(xs []int) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+func TestRandomMappingsAreValid(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := workflow.RandomPipeline(rng, 1+rng.Intn(6), 9)
+		pl := platform.Random(rng, 1+rng.Intn(6), 5)
+		m := randomPipelineMapping(rng, p, pl, true)
+		return ValidatePipeline(p, pl, m) == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPeriodNeverExceedsLatencyProperty(t *testing.T) {
+	// For any valid pipeline mapping, each group's period is at most its
+	// delay, so T_period <= T_latency.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := workflow.RandomPipeline(rng, 1+rng.Intn(6), 9)
+		pl := platform.Random(rng, 1+rng.Intn(6), 5)
+		m := randomPipelineMapping(rng, p, pl, true)
+		c, err := EvalPipeline(p, pl, m)
+		if err != nil {
+			return false
+		}
+		return numeric.LessEq(c.Period, c.Latency)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReplicationDoesNotChangeLatencyProperty(t *testing.T) {
+	// Lemma 2's underlying fact: on a homogeneous platform, growing a
+	// replicated group's processor set leaves the latency unchanged and
+	// never increases the period.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := workflow.RandomPipeline(rng, 1+rng.Intn(4), 9)
+		pl := platform.Homogeneous(2+rng.Intn(4), float64(1+rng.Intn(3)))
+		small := PipelineMapping{Intervals: []PipelineInterval{
+			NewPipelineInterval(0, p.Stages()-1, Replicated, 0),
+		}}
+		big := ReplicateAllPipeline(p, pl)
+		cs, err1 := EvalPipeline(p, pl, small)
+		cb, err2 := EvalPipeline(p, pl, big)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return numeric.Eq(cs.Latency, cb.Latency) && numeric.LessEq(cb.Period, cs.Period)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDataParallelNeverSlowerThanReplicationOnHom(t *testing.T) {
+	// Lemma 1's underlying fact: on a homogeneous platform the period of a
+	// data-parallel single stage equals the replicated one.
+	f := func(stageW uint8, k uint8, s uint8) bool {
+		w := float64(stageW%50 + 1)
+		kk := int(k%5) + 1
+		ss := float64(s%4 + 1)
+		p := workflow.NewPipeline(w)
+		pl := platform.Homogeneous(kk, ss)
+		procs := make([]int, kk)
+		for i := range procs {
+			procs[i] = i
+		}
+		rep := PipelineMapping{Intervals: []PipelineInterval{{First: 0, Last: 0, Assignment: Assignment{Procs: procs, Mode: Replicated}}}}
+		dp := PipelineMapping{Intervals: []PipelineInterval{{First: 0, Last: 0, Assignment: Assignment{Procs: procs, Mode: DataParallel}}}}
+		cr, err1 := EvalPipeline(p, pl, rep)
+		cd, err2 := EvalPipeline(p, pl, dp)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return numeric.Eq(cr.Period, cd.Period) && numeric.LessEq(cd.Latency, cr.Latency)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPipelineMappingString(t *testing.T) {
+	m := PipelineMapping{Intervals: []PipelineInterval{
+		NewPipelineInterval(0, 0, DataParallel, 1, 0),
+		NewPipelineInterval(1, 3, Replicated, 2),
+	}}
+	s := m.String()
+	if !strings.Contains(s, "S1 data-parallel on P1,P2") {
+		t.Errorf("String missing data-parallel part: %s", s)
+	}
+	if !strings.Contains(s, "S2..S4 replicated on P3") {
+		t.Errorf("String missing replicated part: %s", s)
+	}
+	if m.UsedProcessors() != 3 {
+		t.Errorf("UsedProcessors = %d", m.UsedProcessors())
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

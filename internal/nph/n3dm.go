@@ -1,0 +1,145 @@
+package nph
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// N3DMInstance is an instance of NUMERICAL 3-DIMENSIONAL MATCHING: do
+// permutations σ1, σ2 of {0..m-1} exist with X[i] + Y[σ1(i)] + Z[σ2(i)] = M
+// for all i?
+type N3DMInstance struct {
+	X, Y, Z []int
+	M       int
+}
+
+// Validate checks the structural preconditions the Theorem 9 reduction
+// assumes: equal lengths, all values positive and below M, and total sum
+// m·M (otherwise the answer is trivially no).
+func (ins N3DMInstance) Validate() error {
+	m := len(ins.X)
+	if m == 0 || len(ins.Y) != m || len(ins.Z) != m {
+		return errors.New("nph: N3DM instance with mismatched lengths")
+	}
+	sum := 0
+	for _, arr := range [][]int{ins.X, ins.Y, ins.Z} {
+		for _, v := range arr {
+			if v <= 0 || v >= ins.M {
+				return fmt.Errorf("nph: N3DM value %d outside (0,%d)", v, ins.M)
+			}
+			sum += v
+		}
+	}
+	if sum != m*ins.M {
+		return fmt.Errorf("nph: N3DM total %d != m*M = %d", sum, m*ins.M)
+	}
+	return nil
+}
+
+// Solve decides the instance by exhaustive search over permutations σ1; for
+// each σ1 the required Z multiset is compared against the actual one. It is
+// exponential (m! permutations) and intended for the small instances of the
+// test-suite. It returns witnesses σ1, σ2 when the answer is yes.
+func (ins N3DMInstance) Solve() (sigma1, sigma2 []int, ok bool) {
+	m := len(ins.X)
+	perm := make([]int, m)
+	used := make([]bool, m)
+	var rec func(i int) bool
+	s2 := make([]int, m)
+	rec = func(i int) bool {
+		if i == m {
+			// Need Z[σ2(i)] = M - X[i] - Y[perm[i]]; match greedily by value.
+			needed := make([]int, m)
+			for k := 0; k < m; k++ {
+				needed[k] = ins.M - ins.X[k] - ins.Y[perm[k]]
+			}
+			zUsed := make([]bool, m)
+			for k := 0; k < m; k++ {
+				found := -1
+				for z := 0; z < m; z++ {
+					if !zUsed[z] && ins.Z[z] == needed[k] {
+						found = z
+						break
+					}
+				}
+				if found < 0 {
+					return false
+				}
+				zUsed[found] = true
+				s2[k] = found
+			}
+			return true
+		}
+		for v := 0; v < m; v++ {
+			if used[v] {
+				continue
+			}
+			used[v] = true
+			perm[i] = v
+			if rec(i + 1) {
+				return true
+			}
+			used[v] = false
+		}
+		return false
+	}
+	if !rec(0) {
+		return nil, nil, false
+	}
+	return append([]int(nil), perm...), append([]int(nil), s2...), true
+}
+
+// RandomYesN3DM builds an instance that is solvable by construction:
+// for each i it samples x and y and sets z = M - x - y, then shuffles the Y
+// and Z arrays independently.
+func RandomYesN3DM(rng *rand.Rand, m, M int) N3DMInstance {
+	if M < 3 {
+		M = 3
+	}
+	ins := N3DMInstance{X: make([]int, m), Y: make([]int, m), Z: make([]int, m), M: M}
+	for i := 0; i < m; i++ {
+		x := 1 + rng.Intn(M-2)
+		y := 1 + rng.Intn(M-1-x)
+		ins.X[i] = x
+		ins.Y[i] = y
+		ins.Z[i] = M - x - y
+	}
+	rng.Shuffle(m, func(i, j int) { ins.Y[i], ins.Y[j] = ins.Y[j], ins.Y[i] })
+	rng.Shuffle(m, func(i, j int) { ins.Z[i], ins.Z[j] = ins.Z[j], ins.Z[i] })
+	return ins
+}
+
+// RandomNoN3DM builds an instance that satisfies the structural
+// preconditions (sum = m·M, values in (0,M)) but has no solution; it
+// perturbs yes-instances until the solver says no. It returns false if it
+// fails to find one within the attempt budget (possible for tiny m/M where
+// most balanced instances are solvable).
+func RandomNoN3DM(rng *rand.Rand, m, M int) (N3DMInstance, bool) {
+	for attempt := 0; attempt < 200; attempt++ {
+		ins := RandomYesN3DM(rng, m, M)
+		// Shift mass between two Z entries, preserving the total.
+		i, j := rng.Intn(m), rng.Intn(m)
+		if i == j || ins.Z[i] <= 1 || ins.Z[j] >= M-1 {
+			continue
+		}
+		ins.Z[i]--
+		ins.Z[j]++
+		if ins.Validate() != nil {
+			continue
+		}
+		if _, _, ok := ins.Solve(); !ok {
+			return ins, true
+		}
+	}
+	return N3DMInstance{}, false
+}
+
+// sortedCopy returns a sorted copy of xs (test helper shared by the
+// reduction checks).
+func sortedCopy(xs []int) []int {
+	out := append([]int(nil), xs...)
+	sort.Ints(out)
+	return out
+}

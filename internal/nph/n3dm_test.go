@@ -1,0 +1,96 @@
+package nph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestN3DMKnownYes(t *testing.T) {
+	// x=(1,2), y=(2,1), z=(1,1), M=4: 1+2+1 = 2+1+1 = 4.
+	ins := N3DMInstance{X: []int{1, 2}, Y: []int{2, 1}, Z: []int{1, 1}, M: 4}
+	if err := ins.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	s1, s2, ok := ins.Solve()
+	if !ok {
+		t.Fatal("solvable instance reported unsolvable")
+	}
+	for i := range ins.X {
+		if ins.X[i]+ins.Y[s1[i]]+ins.Z[s2[i]] != ins.M {
+			t.Fatalf("witness violated at i=%d: %d + %d + %d != %d",
+				i, ins.X[i], ins.Y[s1[i]], ins.Z[s2[i]], ins.M)
+		}
+	}
+}
+
+func TestN3DMKnownNo(t *testing.T) {
+	// Sum is m*M = 8 but no matching: every triple must sum to 4, yet
+	// 1+1+1 = 3 and 1+3+1 = 5.
+	ins := N3DMInstance{X: []int{1, 1}, Y: []int{1, 3}, Z: []int{1, 1}, M: 4}
+	if err := ins.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := ins.Solve(); ok {
+		t.Fatal("unsolvable instance reported solvable")
+	}
+}
+
+func TestN3DMValidate(t *testing.T) {
+	if err := (N3DMInstance{X: []int{1}, Y: []int{1}, Z: []int{1}, M: 3}).Validate(); err != nil {
+		t.Errorf("valid instance rejected: %v", err)
+	}
+	bad := []N3DMInstance{
+		{X: []int{1}, Y: []int{1, 2}, Z: []int{1}, M: 3}, // length mismatch
+		{X: []int{3}, Y: []int{1}, Z: []int{1}, M: 3},    // value >= M
+		{X: []int{0}, Y: []int{1}, Z: []int{1}, M: 3},    // non-positive
+		{X: []int{1}, Y: []int{1}, Z: []int{2}, M: 5},    // sum != m*M
+		{},
+	}
+	for i, ins := range bad {
+		if err := ins.Validate(); err == nil {
+			t.Errorf("bad instance %d accepted", i)
+		}
+	}
+}
+
+func TestRandomYesN3DMAlwaysSolvable(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 50; trial++ {
+		m := 1 + rng.Intn(4)
+		M := 3 + rng.Intn(6)
+		ins := RandomYesN3DM(rng, m, M)
+		if err := ins.Validate(); err != nil {
+			t.Fatalf("generated invalid instance: %v (%+v)", err, ins)
+		}
+		s1, s2, ok := ins.Solve()
+		if !ok {
+			t.Fatalf("yes-instance unsolvable: %+v", ins)
+		}
+		for i := 0; i < m; i++ {
+			if ins.X[i]+ins.Y[s1[i]]+ins.Z[s2[i]] != ins.M {
+				t.Fatalf("invalid witness for %+v", ins)
+			}
+		}
+	}
+}
+
+func TestRandomNoN3DMIsNo(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	found := 0
+	for trial := 0; trial < 20; trial++ {
+		ins, ok := RandomNoN3DM(rng, 2+rng.Intn(2), 5+rng.Intn(4))
+		if !ok {
+			continue
+		}
+		found++
+		if err := ins.Validate(); err != nil {
+			t.Fatalf("no-instance invalid: %v", err)
+		}
+		if _, _, solvable := ins.Solve(); solvable {
+			t.Fatalf("RandomNoN3DM produced a solvable instance: %+v", ins)
+		}
+	}
+	if found == 0 {
+		t.Fatal("RandomNoN3DM never produced an instance")
+	}
+}

@@ -1,0 +1,247 @@
+package pipealgo
+
+import (
+	"math"
+
+	"repliflow/internal/mapping"
+	"repliflow/internal/numeric"
+	"repliflow/internal/platform"
+	"repliflow/internal/workflow"
+)
+
+// HomPeriod implements Theorem 1: on a Homogeneous platform the period is
+// minimized — with or without data-parallelism — by replicating the whole
+// pipeline as a single interval onto all processors, achieving the absolute
+// lower bound sum(w) / sum(s).
+func HomPeriod(p workflow.Pipeline, pl platform.Platform) (Result, error) {
+	if err := checkInputs(p, pl); err != nil {
+		return Result{}, err
+	}
+	if !pl.IsHomogeneous() {
+		return Result{}, ErrNotHomogeneousPlatform
+	}
+	return finish(p, pl, mapping.ReplicateAllPipeline(p, pl)), nil
+}
+
+// HomLatencyNoDP implements Theorem 2: without data-parallelism every
+// mapping on a Homogeneous platform has latency sum(w)/s, so mapping the
+// whole pipeline onto one processor is optimal.
+func HomLatencyNoDP(p workflow.Pipeline, pl platform.Platform) (Result, error) {
+	if err := checkInputs(p, pl); err != nil {
+		return Result{}, err
+	}
+	if !pl.IsHomogeneous() {
+		return Result{}, ErrNotHomogeneousPlatform
+	}
+	return finish(p, pl, mapping.WholeOnProcessor(p, 0)), nil
+}
+
+// HomBiCriteriaNoDP implements Corollary 1: replicating the whole pipeline
+// onto all processors simultaneously minimizes the period (Theorem 1) and
+// the latency (Theorem 2) when data-parallelism is not available.
+func HomBiCriteriaNoDP(p workflow.Pipeline, pl platform.Platform) (Result, error) {
+	return HomPeriod(p, pl)
+}
+
+// homLatencyChoice records a Theorem 3/4 DP decision for reconstruction.
+type homLatencyChoice struct {
+	kind int // 0 = whole interval on the q processors, 1 = data-par single stage, 2 = split
+	k    int // split point (kind 2): left part is stages i..k
+	q1   int // processors given to the left part (kind 2)
+}
+
+// homDP solves the Theorem 3/4 dynamic program: the minimum latency
+// achievable for stages i..j using at most q processors of speed s, with
+// every group's period bounded by periodCap (+Inf for the pure latency
+// problem of Theorem 3).
+//
+// The recurrence fixes the index typo of the paper's middle case (RR-6308
+// writes q-q'-1 on both sides of a data-parallelized middle stage, which
+// does not conserve processors): data-parallelizing a middle stage Sk is
+// expressed as splitting at k-1 and k, which yields the same optimum.
+type homDP struct {
+	p         workflow.Pipeline
+	s         float64
+	periodCap float64
+	n, q      int
+	memo      []float64
+	visited   []bool
+	choice    []homLatencyChoice
+	prefix    []float64
+}
+
+func newHomDP(p workflow.Pipeline, s float64, q int, periodCap float64) *homDP {
+	n := p.Stages()
+	states := n * n * (q + 1)
+	prefix := make([]float64, n+1)
+	for i, w := range p.Weights {
+		prefix[i+1] = prefix[i] + w
+	}
+	return &homDP{
+		p: p, s: s, periodCap: periodCap, n: n, q: q,
+		memo:    make([]float64, states),
+		visited: make([]bool, states),
+		choice:  make([]homLatencyChoice, states),
+		prefix:  prefix,
+	}
+}
+
+func (d *homDP) id(i, j, q int) int { return (i*d.n+j)*(d.q+1) + q }
+
+func (d *homDP) work(i, j int) float64 { return d.prefix[j+1] - d.prefix[i] }
+
+// solve returns the minimum latency for stages i..j on at most q identical
+// processors, or +Inf if the period cap cannot be met.
+func (d *homDP) solve(i, j, q int) float64 {
+	if q == 0 {
+		return numeric.Inf
+	}
+	id := d.id(i, j, q)
+	if d.visited[id] {
+		return d.memo[id]
+	}
+	d.visited[id] = true
+	w := d.work(i, j)
+	best := numeric.Inf
+	var bestChoice homLatencyChoice
+
+	// Choice 0: the whole interval replicated on the q processors. The
+	// latency is w/s regardless of q; the period w/(q*s) must fit the cap.
+	if numeric.LessEq(w/(float64(q)*d.s), d.periodCap) {
+		best = w / d.s
+		bestChoice = homLatencyChoice{kind: 0}
+	}
+
+	// Choice 1: a single stage data-parallelized across the q processors.
+	if i == j {
+		if v := w / (float64(q) * d.s); numeric.LessEq(v, d.periodCap) && numeric.Less(v, best) {
+			best = v
+			bestChoice = homLatencyChoice{kind: 1}
+		}
+	}
+
+	// Choice 2: split the interval, distributing the processors.
+	for k := i; k < j; k++ {
+		for q1 := 1; q1 < q; q1++ {
+			left := d.solve(i, k, q1)
+			if math.IsInf(left, 1) || numeric.GreaterEq(left, best) {
+				continue
+			}
+			right := d.solve(k+1, j, q-q1)
+			if v := left + right; numeric.Less(v, best) {
+				best = v
+				bestChoice = homLatencyChoice{kind: 2, k: k, q1: q1}
+			}
+		}
+	}
+
+	d.memo[id] = best
+	d.choice[id] = bestChoice
+	return best
+}
+
+// reconstruct appends the intervals of the optimal sub-solution for stages
+// i..j on q processors, consuming processor indices from *next.
+func (d *homDP) reconstruct(i, j, q int, next *int, m *mapping.PipelineMapping) {
+	ch := d.choice[d.id(i, j, q)]
+	switch ch.kind {
+	case 0, 1:
+		procs := make([]int, q)
+		for u := range procs {
+			procs[u] = *next
+			*next++
+		}
+		mode := mapping.Replicated
+		if ch.kind == 1 {
+			mode = mapping.DataParallel
+		}
+		m.Intervals = append(m.Intervals, mapping.PipelineInterval{
+			First: i, Last: j,
+			Assignment: mapping.Assignment{Procs: procs, Mode: mode},
+		})
+	case 2:
+		d.reconstruct(i, ch.k, ch.q1, next, m)
+		d.reconstruct(ch.k+1, j, q-ch.q1, next, m)
+	}
+}
+
+// HomLatencyDP implements Theorem 3: minimum-latency mapping on a
+// Homogeneous platform with data-parallelism, in polynomial time by dynamic
+// programming.
+func HomLatencyDP(p workflow.Pipeline, pl platform.Platform) (Result, error) {
+	res, ok, err := HomLatencyUnderPeriodDP(p, pl, numeric.Inf)
+	if err != nil {
+		return Result{}, err
+	}
+	if !ok {
+		panic("pipealgo: unconstrained latency DP reported infeasible")
+	}
+	return res, nil
+}
+
+// HomLatencyUnderPeriodDP implements the first half of Theorem 4: the
+// minimum latency on a Homogeneous platform with data-parallelism, among
+// mappings whose period does not exceed maxPeriod. The boolean result is
+// false when no mapping meets the period bound.
+func HomLatencyUnderPeriodDP(p workflow.Pipeline, pl platform.Platform, maxPeriod float64) (Result, bool, error) {
+	if err := checkInputs(p, pl); err != nil {
+		return Result{}, false, err
+	}
+	if !pl.IsHomogeneous() {
+		return Result{}, false, ErrNotHomogeneousPlatform
+	}
+	d := newHomDP(p, pl.Speeds[0], pl.Processors(), maxPeriod)
+	v := d.solve(0, p.Stages()-1, pl.Processors())
+	if math.IsInf(v, 1) {
+		return Result{}, false, nil
+	}
+	var m mapping.PipelineMapping
+	next := 0
+	d.reconstruct(0, p.Stages()-1, pl.Processors(), &next, &m)
+	return finish(p, pl, m), true, nil
+}
+
+// HomPeriodUnderLatencyDP implements the second half of Theorem 4: the
+// minimum period on a Homogeneous platform with data-parallelism, among
+// mappings whose latency does not exceed maxLatency. The search runs over
+// the finite set of candidate periods {W(i,j)/(q·s)}, so the result is
+// exact. The boolean result is false when no mapping meets the bound.
+func HomPeriodUnderLatencyDP(p workflow.Pipeline, pl platform.Platform, maxLatency float64) (Result, bool, error) {
+	if err := checkInputs(p, pl); err != nil {
+		return Result{}, false, err
+	}
+	if !pl.IsHomogeneous() {
+		return Result{}, false, ErrNotHomogeneousPlatform
+	}
+	s := pl.Speeds[0]
+	n, q := p.Stages(), pl.Processors()
+	var cands []float64
+	for i := 0; i < n; i++ {
+		w := 0.0
+		for j := i; j < n; j++ {
+			w += p.Weights[j]
+			for k := 1; k <= q; k++ {
+				cands = append(cands, w/(float64(k)*s))
+			}
+		}
+	}
+	cands = numeric.DedupSorted(cands)
+	lo, hi := 0, len(cands)-1
+	var best Result
+	found := false
+	for lo <= hi {
+		mid := (lo + hi) / 2
+		res, ok, err := HomLatencyUnderPeriodDP(p, pl, cands[mid])
+		if err != nil {
+			return Result{}, false, err
+		}
+		if ok && numeric.LessEq(res.Cost.Latency, maxLatency) {
+			best = res
+			found = true
+			hi = mid - 1
+		} else {
+			lo = mid + 1
+		}
+	}
+	return best, found, nil
+}

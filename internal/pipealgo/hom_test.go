@@ -1,0 +1,221 @@
+package pipealgo
+
+import (
+	"math/rand"
+	"testing"
+
+	"repliflow/internal/exhaustive"
+	"repliflow/internal/numeric"
+	"repliflow/internal/platform"
+	"repliflow/internal/workflow"
+)
+
+var example = workflow.NewPipeline(14, 4, 2, 4)
+
+func TestTheorem1Section2(t *testing.T) {
+	pl := platform.Homogeneous(3, 1)
+	res, err := HomPeriod(example, pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !numeric.Eq(res.Cost.Period, 8) { // 24/(3*1)
+		t.Errorf("period = %v, want 8", res.Cost.Period)
+	}
+	if !numeric.Eq(res.Cost.Latency, 24) {
+		t.Errorf("latency = %v, want 24", res.Cost.Latency)
+	}
+}
+
+func TestTheorem1MatchesLowerBound(t *testing.T) {
+	// Theorem 1: the period equals sum(w)/sum(s) exactly.
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		p := workflow.RandomPipeline(rng, 1+rng.Intn(8), 9)
+		pl := platform.Homogeneous(1+rng.Intn(6), float64(1+rng.Intn(3)))
+		res, err := HomPeriod(p, pl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := p.TotalWork() / pl.TotalSpeed()
+		if !numeric.Eq(res.Cost.Period, want) {
+			t.Fatalf("period = %v, want %v", res.Cost.Period, want)
+		}
+	}
+}
+
+func TestTheorem1MatchesExhaustive(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 25; trial++ {
+		p := workflow.RandomPipeline(rng, 1+rng.Intn(4), 9)
+		pl := platform.Homogeneous(1+rng.Intn(4), float64(1+rng.Intn(3)))
+		res, err := HomPeriod(p, pl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, dp := range []bool{false, true} {
+			opt, ok := exhaustive.PipelinePeriod(p, pl, dp)
+			if !ok || !numeric.Eq(res.Cost.Period, opt.Cost.Period) {
+				t.Fatalf("Theorem 1 period %v != exhaustive %v (dp=%v, pipe=%v, p=%d)",
+					res.Cost.Period, opt.Cost.Period, dp, p.Weights, pl.Processors())
+			}
+		}
+	}
+}
+
+func TestTheorem2AllMappingsSameLatency(t *testing.T) {
+	pl := platform.Homogeneous(3, 2)
+	res, err := HomLatencyNoDP(example, pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !numeric.Eq(res.Cost.Latency, 12) { // 24/2
+		t.Errorf("latency = %v, want 12", res.Cost.Latency)
+	}
+	opt, ok := exhaustive.PipelineLatency(example, pl, false)
+	if !ok || !numeric.Eq(res.Cost.Latency, opt.Cost.Latency) {
+		t.Errorf("Theorem 2 latency %v != exhaustive %v", res.Cost.Latency, opt.Cost.Latency)
+	}
+}
+
+func TestCorollary1BothOptima(t *testing.T) {
+	pl := platform.Homogeneous(3, 1)
+	res, err := HomBiCriteriaNoDP(example, pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !numeric.Eq(res.Cost.Period, 8) || !numeric.Eq(res.Cost.Latency, 24) {
+		t.Errorf("got %v, want period=8 latency=24", res.Cost)
+	}
+}
+
+func TestTheorem3Section2(t *testing.T) {
+	// Minimum latency with data-parallelism on 3 unit processors is 17.
+	pl := platform.Homogeneous(3, 1)
+	res, err := HomLatencyDP(example, pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !numeric.Eq(res.Cost.Latency, 17) {
+		t.Errorf("latency = %v, want 17 (mapping %v)", res.Cost.Latency, res.Mapping)
+	}
+}
+
+func TestTheorem3MatchesExhaustive(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 30; trial++ {
+		p := workflow.RandomPipeline(rng, 1+rng.Intn(4), 9)
+		pl := platform.Homogeneous(1+rng.Intn(4), float64(1+rng.Intn(2)))
+		res, err := HomLatencyDP(p, pl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt, ok := exhaustive.PipelineLatency(p, pl, true)
+		if !ok || !numeric.Eq(res.Cost.Latency, opt.Cost.Latency) {
+			t.Fatalf("Theorem 3 latency %v != exhaustive %v (pipe=%v p=%d)",
+				res.Cost.Latency, opt.Cost.Latency, p.Weights, pl.Processors())
+		}
+	}
+}
+
+func TestTheorem4LatencyUnderPeriodSection2(t *testing.T) {
+	pl := platform.Homogeneous(3, 1)
+	res, ok, err := HomLatencyUnderPeriodDP(example, pl, 10)
+	if err != nil || !ok {
+		t.Fatalf("err=%v ok=%v", err, ok)
+	}
+	if !numeric.Eq(res.Cost.Latency, 17) {
+		t.Errorf("latency under period 10 = %v, want 17", res.Cost.Latency)
+	}
+	// Tight period bound forces full replication.
+	res, ok, err = HomLatencyUnderPeriodDP(example, pl, 8)
+	if err != nil || !ok {
+		t.Fatalf("err=%v ok=%v", err, ok)
+	}
+	if !numeric.Eq(res.Cost.Latency, 24) {
+		t.Errorf("latency under period 8 = %v, want 24", res.Cost.Latency)
+	}
+	// Infeasible bound.
+	if _, ok, _ := HomLatencyUnderPeriodDP(example, pl, 1); ok {
+		t.Error("period bound 1 accepted")
+	}
+}
+
+func TestTheorem4MatchesExhaustive(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 25; trial++ {
+		p := workflow.RandomPipeline(rng, 1+rng.Intn(4), 9)
+		pl := platform.Homogeneous(1+rng.Intn(3), float64(1+rng.Intn(2)))
+		// Pick a period bound between the optimum and a loose value.
+		optP, _ := exhaustive.PipelinePeriod(p, pl, true)
+		bound := optP.Cost.Period * (1 + rng.Float64()*2)
+		res, ok, err := HomLatencyUnderPeriodDP(p, pl, bound)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, refOK := exhaustive.PipelineLatencyUnderPeriod(p, pl, true, bound)
+		if ok != refOK {
+			t.Fatalf("feasibility mismatch: DP=%v exhaustive=%v (bound=%v)", ok, refOK, bound)
+		}
+		if ok && !numeric.Eq(res.Cost.Latency, ref.Cost.Latency) {
+			t.Fatalf("Theorem 4 latency %v != exhaustive %v (pipe=%v p=%d bound=%v)",
+				res.Cost.Latency, ref.Cost.Latency, p.Weights, pl.Processors(), bound)
+		}
+		if ok && numeric.Greater(res.Cost.Period, bound) {
+			t.Fatalf("returned mapping violates the period bound: %v > %v", res.Cost.Period, bound)
+		}
+	}
+}
+
+func TestTheorem4PeriodUnderLatencyMatchesExhaustive(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 25; trial++ {
+		p := workflow.RandomPipeline(rng, 1+rng.Intn(4), 9)
+		pl := platform.Homogeneous(1+rng.Intn(3), float64(1+rng.Intn(2)))
+		optL, _ := exhaustive.PipelineLatency(p, pl, true)
+		bound := optL.Cost.Latency * (1 + rng.Float64()*2)
+		res, ok, err := HomPeriodUnderLatencyDP(p, pl, bound)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, refOK := exhaustive.PipelinePeriodUnderLatency(p, pl, true, bound)
+		if ok != refOK {
+			t.Fatalf("feasibility mismatch (bound=%v)", bound)
+		}
+		if ok && !numeric.Eq(res.Cost.Period, ref.Cost.Period) {
+			t.Fatalf("Theorem 4 period %v != exhaustive %v (pipe=%v p=%d bound=%v)",
+				res.Cost.Period, ref.Cost.Period, p.Weights, pl.Processors(), bound)
+		}
+		if ok && numeric.Greater(res.Cost.Latency, bound) {
+			t.Fatalf("returned mapping violates the latency bound: %v > %v", res.Cost.Latency, bound)
+		}
+	}
+}
+
+func TestHomAlgorithmsRejectHetPlatform(t *testing.T) {
+	het := platform.New(1, 2)
+	if _, err := HomPeriod(example, het); err != ErrNotHomogeneousPlatform {
+		t.Errorf("HomPeriod err = %v", err)
+	}
+	if _, err := HomLatencyNoDP(example, het); err != ErrNotHomogeneousPlatform {
+		t.Errorf("HomLatencyNoDP err = %v", err)
+	}
+	if _, err := HomLatencyDP(example, het); err != ErrNotHomogeneousPlatform {
+		t.Errorf("HomLatencyDP err = %v", err)
+	}
+	if _, _, err := HomLatencyUnderPeriodDP(example, het, 10); err != ErrNotHomogeneousPlatform {
+		t.Errorf("HomLatencyUnderPeriodDP err = %v", err)
+	}
+	if _, _, err := HomPeriodUnderLatencyDP(example, het, 10); err != ErrNotHomogeneousPlatform {
+		t.Errorf("HomPeriodUnderLatencyDP err = %v", err)
+	}
+}
+
+func TestHomAlgorithmsRejectInvalidInputs(t *testing.T) {
+	pl := platform.Homogeneous(2, 1)
+	if _, err := HomPeriod(workflow.NewPipeline(), pl); err == nil {
+		t.Error("empty pipeline accepted")
+	}
+	if _, err := HomPeriod(example, platform.New()); err == nil {
+		t.Error("empty platform accepted")
+	}
+}

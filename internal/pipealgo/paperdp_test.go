@@ -1,0 +1,46 @@
+package pipealgo
+
+import (
+	"math/rand"
+	"testing"
+
+	"repliflow/internal/numeric"
+	"repliflow/internal/platform"
+	"repliflow/internal/workflow"
+)
+
+func TestPaperRecurrenceSection2(t *testing.T) {
+	got, err := HomLatencyDPPaperRecurrence(example, platform.Homogeneous(3, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !numeric.Eq(got, 17) {
+		t.Fatalf("paper recurrence latency = %v, want 17", got)
+	}
+}
+
+func TestPaperRecurrenceMatchesSplitFormulation(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 100; trial++ {
+		p := workflow.RandomPipeline(rng, 1+rng.Intn(6), 9)
+		pl := platform.Homogeneous(1+rng.Intn(6), float64(1+rng.Intn(3)))
+		paper, err := HomLatencyDPPaperRecurrence(p, pl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		split, err := HomLatencyDP(p, pl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !numeric.Eq(paper, split.Cost.Latency) {
+			t.Fatalf("trial %d: paper recurrence %v != split formulation %v (pipe=%v p=%d)",
+				trial, paper, split.Cost.Latency, p.Weights, pl.Processors())
+		}
+	}
+}
+
+func TestPaperRecurrenceRejectsHetPlatform(t *testing.T) {
+	if _, err := HomLatencyDPPaperRecurrence(example, platform.New(1, 2)); err != ErrNotHomogeneousPlatform {
+		t.Fatalf("err = %v", err)
+	}
+}

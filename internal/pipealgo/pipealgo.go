@@ -1,0 +1,65 @@
+// Package pipealgo implements the polynomial mapping algorithms of Benoit &
+// Robert (RR-6308) for pipeline graphs — the paper's primary contribution:
+//
+//   - Theorem 1: period minimization on Homogeneous platforms (replicate
+//     everything on every processor), with or without data-parallelism.
+//   - Theorem 2 / Corollary 1: latency and bi-criteria optimization on
+//     Homogeneous platforms without data-parallelism.
+//   - Theorem 3: latency minimization on Homogeneous platforms with
+//     data-parallelism, by dynamic programming.
+//   - Theorem 4: bi-criteria optimization on Homogeneous platforms with
+//     data-parallelism, by dynamic programming.
+//   - Theorem 6: latency minimization on Heterogeneous platforms without
+//     data-parallelism (whole pipeline on a fastest processor).
+//   - Theorem 7: period minimization of a homogeneous pipeline on
+//     Heterogeneous platforms without data-parallelism, by binary search
+//     over candidate periods and a dynamic program over processor intervals
+//     (Lemma 3 structure).
+//   - Theorem 8: bi-criteria optimization of a homogeneous pipeline on
+//     Heterogeneous platforms without data-parallelism.
+//
+// The NP-hard instances (Theorems 5 and 9) have no polynomial algorithm
+// here; see internal/heuristics for approximations and internal/exhaustive
+// for exact exponential baselines.
+package pipealgo
+
+import (
+	"errors"
+	"fmt"
+
+	"repliflow/internal/mapping"
+	"repliflow/internal/platform"
+	"repliflow/internal/workflow"
+)
+
+// Result is a computed mapping together with its exact cost.
+type Result struct {
+	Mapping mapping.PipelineMapping
+	Cost    mapping.Cost
+}
+
+// ErrNotHomogeneousPlatform is returned by the Homogeneous-platform
+// algorithms when speeds differ.
+var ErrNotHomogeneousPlatform = errors.New("pipealgo: platform is not homogeneous")
+
+// ErrNotHomogeneousPipeline is returned by the Theorem 7/8 algorithms when
+// stage weights differ (the heterogeneous-pipeline variant is NP-hard,
+// Theorem 9).
+var ErrNotHomogeneousPipeline = errors.New("pipealgo: pipeline stages are not identical")
+
+func checkInputs(p workflow.Pipeline, pl platform.Platform) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	return pl.Validate()
+}
+
+// finish evaluates a constructed mapping, panicking on structural errors
+// (which would indicate a bug in the algorithm, not bad user input).
+func finish(p workflow.Pipeline, pl platform.Platform, m mapping.PipelineMapping) Result {
+	c, err := mapping.EvalPipeline(p, pl, m)
+	if err != nil {
+		panic(fmt.Sprintf("pipealgo: constructed invalid mapping %v: %v", m, err))
+	}
+	return Result{Mapping: m, Cost: c}
+}

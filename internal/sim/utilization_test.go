@@ -1,0 +1,71 @@
+package sim
+
+import (
+	"testing"
+
+	"repliflow/internal/mapping"
+	"repliflow/internal/platform"
+	"repliflow/internal/workflow"
+)
+
+func TestUtilizationReproducesSection2IdleRemark(t *testing.T) {
+	// Section 2: replicating all four stages on the heterogeneous platform
+	// (speeds 2,2,1,1) makes the fast processors "achieve their work in 12
+	// rather than 24 time-steps and then remain idle" — utilization ~0.5
+	// for P1,P2 and ~1.0 for P3,P4 under saturated input.
+	p := workflow.NewPipeline(14, 4, 2, 4)
+	pl := platform.New(2, 2, 1, 1)
+	m := mapping.ReplicateAllPipeline(p, pl)
+	us, err := PipelineUtilization(p, pl, m, Arrivals(2000, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(us) != 4 {
+		t.Fatalf("got %d utilizations", len(us))
+	}
+	for _, u := range us {
+		f := u.Fraction()
+		switch u.Processor {
+		case 0, 1: // fast
+			if f < 0.45 || f > 0.55 {
+				t.Errorf("fast P%d utilization = %.3f, want ~0.5", u.Processor+1, f)
+			}
+		case 2, 3: // slow
+			if f < 0.95 {
+				t.Errorf("slow P%d utilization = %.3f, want ~1.0", u.Processor+1, f)
+			}
+		}
+	}
+}
+
+func TestUtilizationDataParallelGroup(t *testing.T) {
+	// A data-parallel group keeps all members equally busy.
+	p := workflow.NewPipeline(12)
+	pl := platform.New(2, 1)
+	m := mapping.PipelineMapping{Intervals: []mapping.PipelineInterval{
+		mapping.NewPipelineInterval(0, 0, mapping.DataParallel, 0, 1),
+	}}
+	us, err := PipelineUtilization(p, pl, m, Arrivals(1000, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, u := range us {
+		if f := u.Fraction(); f < 0.95 {
+			t.Errorf("P%d utilization = %.3f, want ~1.0", u.Processor+1, f)
+		}
+	}
+}
+
+func TestUtilizationInvalidInputs(t *testing.T) {
+	p := workflow.NewPipeline(1)
+	pl := platform.New(1)
+	if _, err := PipelineUtilization(p, pl, mapping.PipelineMapping{}, Arrivals(5, 1)); err == nil {
+		t.Error("invalid mapping accepted")
+	}
+	if (Utilization{}).Fraction() != 0 {
+		t.Error("zero-window fraction != 0")
+	}
+	if (Utilization{Busy: 5, Window: 2}).Fraction() != 1 {
+		t.Error("fraction not clamped to 1")
+	}
+}

@@ -1,0 +1,163 @@
+package table
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repliflow/internal/exhaustive"
+	"repliflow/internal/nph"
+	"repliflow/internal/numeric"
+)
+
+// ReductionReport summarizes the empirical verification of one
+// NP-hardness reduction: on how many random source instances the
+// transformed mapping question answered exactly like the source problem.
+type ReductionReport struct {
+	Name    string
+	Theorem string
+	Trials  int
+	OK      int
+}
+
+// randomDistinct2Partition samples a 2-PARTITION instance meeting the
+// Theorem 5/13 preconditions (distinct values, each below half the sum).
+func randomDistinct2Partition(rng *rand.Rand, m, maxV int) []int {
+	for {
+		seen := make(map[int]bool)
+		a := make([]int, 0, m)
+		for len(a) < m {
+			v := 1 + rng.Intn(maxV)
+			if !seen[v] {
+				seen[v] = true
+				a = append(a, v)
+			}
+		}
+		sum := 0
+		for _, v := range a {
+			sum += v
+		}
+		ok := true
+		for _, v := range a {
+			if 2*v >= sum {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return a
+		}
+	}
+}
+
+// VerifyReductions exercises all five reductions with `trials` random
+// source instances each (Theorem 9 uses fewer: its transformed instances
+// are large).
+func VerifyReductions(seed int64, trials int) []ReductionReport {
+	rng := rand.New(rand.NewSource(seed))
+	reports := []ReductionReport{
+		{Name: "2-PARTITION -> pipeline latency (DP, het platform)", Theorem: "Theorem 5"},
+		{Name: "2-PARTITION -> pipeline period (DP, het platform)", Theorem: "Theorem 5"},
+		{Name: "N3DM -> het pipeline period (no DP, het platform)", Theorem: "Theorem 9"},
+		{Name: "2-PARTITION -> het fork latency (hom platform)", Theorem: "Theorem 12"},
+		{Name: "2-PARTITION -> hom fork latency/period (DP, het platform)", Theorem: "Theorem 13"},
+		{Name: "2-PARTITION -> het fork period (no DP, het platform)", Theorem: "Theorem 15"},
+	}
+
+	for t := 0; t < trials; t++ {
+		// Theorem 5, both objectives.
+		a := randomDistinct2Partition(rng, 3+rng.Intn(3), 12)
+		_, yes, err := nph.TwoPartition(a)
+		if err == nil {
+			p, pl, bound := nph.Theorem5Latency(a)
+			if opt, ok := exhaustive.PipelineLatency(p, pl, true); ok {
+				reports[0].Trials++
+				if numeric.LessEq(opt.Cost.Latency, bound) == yes {
+					reports[0].OK++
+				}
+			}
+			p2, pl2, bound2 := nph.Theorem5Period(a)
+			if opt, ok := exhaustive.PipelinePeriod(p2, pl2, true); ok {
+				reports[1].Trials++
+				if numeric.LessEq(opt.Cost.Period, bound2) == yes {
+					reports[1].OK++
+				}
+			}
+		}
+
+		// Theorem 9 (expensive: cap at 4 trials).
+		if t < 4 {
+			var ins nph.N3DMInstance
+			var n3dmYes, have bool
+			if t%2 == 0 {
+				ins = nph.RandomYesN3DM(rng, 2, 4+rng.Intn(3))
+				n3dmYes, have = true, true
+			} else {
+				ins, have = nph.RandomNoN3DM(rng, 2, 4+rng.Intn(3))
+			}
+			if have {
+				if p, pl, bound, err := nph.Theorem9(ins); err == nil {
+					if opt, ok := exhaustive.PipelinePeriod(p, pl, false); ok {
+						reports[2].Trials++
+						if numeric.LessEq(opt.Cost.Period, bound) == n3dmYes {
+							reports[2].OK++
+						}
+					}
+				}
+			}
+		}
+
+		// Theorem 12.
+		b := make([]int, 2+rng.Intn(3))
+		for i := range b {
+			b[i] = 1 + rng.Intn(12)
+		}
+		if _, yes12, err := nph.TwoPartition(b); err == nil {
+			f, pl, bound := nph.Theorem12(b)
+			if opt, ok := exhaustive.ForkLatency(f, pl, false); ok {
+				reports[3].Trials++
+				if numeric.LessEq(opt.Cost.Latency, bound) == yes12 {
+					reports[3].OK++
+				}
+			}
+		}
+
+		// Theorem 13 (latency direction).
+		c := randomDistinct2Partition(rng, 3+rng.Intn(3), 12)
+		if _, yes13, err := nph.TwoPartition(c); err == nil {
+			f, pl, bound := nph.Theorem13Latency(c)
+			if opt, ok := exhaustive.ForkLatency(f, pl, true); ok {
+				reports[4].Trials++
+				if numeric.LessEq(opt.Cost.Latency, bound) == yes13 {
+					reports[4].OK++
+				}
+			}
+		}
+
+		// Theorem 15.
+		d := make([]int, 2+rng.Intn(3))
+		for i := range d {
+			d[i] = 1 + rng.Intn(10)
+		}
+		if _, yes15, err := nph.TwoPartition(d); err == nil {
+			f, pl, bound := nph.Theorem15(d)
+			if opt, ok := exhaustive.ForkPeriod(f, pl, false); ok {
+				reports[5].Trials++
+				if numeric.LessEq(opt.Cost.Period, bound) == yes15 {
+					reports[5].OK++
+				}
+			}
+		}
+	}
+	return reports
+}
+
+// RenderReductions formats the reduction reports.
+func RenderReductions(reports []ReductionReport) string {
+	var b strings.Builder
+	b.WriteString("NP-hardness reductions (iff-property on random source instances)\n")
+	for _, r := range reports {
+		fmt.Fprintf(&b, "  %-62s %-11s %d/%d verified\n", r.Name, r.Theorem, r.OK, r.Trials)
+	}
+	return b.String()
+}

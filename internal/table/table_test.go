@@ -1,0 +1,173 @@
+package table
+
+import (
+	"strings"
+	"testing"
+
+	"repliflow/internal/core"
+)
+
+func TestSection2ReportMatchesPaperExceptKnownDiscrepancies(t *testing.T) {
+	rows := Section2Report()
+	if len(rows) != 16 {
+		t.Fatalf("got %d rows, want 16", len(rows))
+	}
+	known := map[string]bool{"E2.15": true, "E2.16": true}
+	for _, r := range rows {
+		if known[r.ID] {
+			if r.Match {
+				t.Errorf("%s: expected documented discrepancy, but values match", r.ID)
+			}
+			if r.Note == "" {
+				t.Errorf("%s: discrepancy without explanatory note", r.ID)
+			}
+			continue
+		}
+		if !r.Match {
+			t.Errorf("%s (%s): paper %v, measured %v", r.ID, r.Description, r.Paper, r.Measured)
+		}
+	}
+}
+
+func TestSection2KnownDiscrepancyValues(t *testing.T) {
+	rows := Section2Report()
+	byID := make(map[string]Section2Row)
+	for _, r := range rows {
+		byID[r.ID] = r
+	}
+	if got := byID["E2.15"].Measured; got != 4.5 {
+		t.Errorf("E2.15 measured = %v, want 4.5", got)
+	}
+	if got := byID["E2.16"].Measured; got != 8.5 {
+		t.Errorf("E2.16 measured = %v, want 8.5", got)
+	}
+}
+
+func TestRenderSection2(t *testing.T) {
+	out := RenderSection2(Section2Report())
+	if !strings.Contains(out, "E2.1") || !strings.Contains(out, "paper") {
+		t.Fatalf("render missing content:\n%s", out)
+	}
+	if !strings.Contains(out, "refuted") {
+		t.Fatal("render missing discrepancy notes")
+	}
+}
+
+func TestAllCellsCount(t *testing.T) {
+	cells := AllCells()
+	if len(cells) != 48 {
+		t.Fatalf("got %d cells, want 48", len(cells))
+	}
+	seen := make(map[string]bool)
+	for _, c := range cells {
+		if seen[c.String()] {
+			t.Fatalf("duplicate cell %s", c)
+		}
+		seen[c.String()] = true
+	}
+}
+
+// allowPartial reports whether a cell may legitimately verify fewer trials
+// than attempted: on NP-hard cells with a bounded objective the forced
+// heuristic can return feasibility false negatives (documented behaviour,
+// flagged by Solution.Exact == false).
+func allowPartial(ev Evidence) bool {
+	return ev.Classification.Complexity == core.NPHard && ev.Objective == core.LatencyUnderPeriod
+}
+
+func checkEvidence(t *testing.T, evidence []Evidence) {
+	t.Helper()
+	for _, ev := range evidence {
+		if ev.Note != "" && strings.Contains(ev.Note, "error") {
+			t.Errorf("%s: %s", ev.Cell, ev.Note)
+		}
+		if ev.Trials == 0 {
+			t.Errorf("%s: no trials completed", ev.Cell)
+		}
+		if ev.Agreements != ev.Trials {
+			if !allowPartial(ev) {
+				t.Errorf("%s: only %d/%d trials verified", ev.Cell, ev.Agreements, ev.Trials)
+			} else if ev.Agreements == 0 {
+				t.Errorf("%s: no trial verified at all", ev.Cell)
+			}
+		}
+		if ev.Classification.Complexity == core.NPHard && ev.MaxHeuristicGap < 1 {
+			t.Errorf("%s: heuristic gap %v below 1 — heuristic beat the optimum?", ev.Cell, ev.MaxHeuristicGap)
+		}
+	}
+}
+
+func TestVerifyTable1SmallRun(t *testing.T) {
+	evidence := VerifyTable1(1, 3)
+	if len(evidence) != 48 {
+		t.Fatalf("got %d evidence rows, want 48", len(evidence))
+	}
+	checkEvidence(t, evidence)
+}
+
+func TestVerifyTable1ParallelMatchesCells(t *testing.T) {
+	evidence := VerifyTable1Parallel(9, 2, 8)
+	if len(evidence) != 48 {
+		t.Fatalf("got %d evidence rows, want 48", len(evidence))
+	}
+	checkEvidence(t, evidence)
+	// Deterministic for a fixed seed.
+	again := VerifyTable1Parallel(9, 2, 3)
+	for i := range evidence {
+		if evidence[i].Agreements != again[i].Agreements ||
+			evidence[i].MaxHeuristicGap != again[i].MaxHeuristicGap {
+			t.Fatalf("parallel verification not deterministic at cell %d", i)
+		}
+	}
+}
+
+func TestRenderTable1(t *testing.T) {
+	out := RenderTable1(VerifyTable1(2, 2))
+	for _, want := range []string{"Hom. platforms", "Het. platforms", "NP-hard", "Poly", "Legend"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestMeasureHeuristicGaps(t *testing.T) {
+	reports := MeasureHeuristicGaps(4, 8)
+	if len(reports) != 5 {
+		t.Fatalf("got %d reports, want 5", len(reports))
+	}
+	for _, r := range reports {
+		if r.Trials == 0 {
+			t.Errorf("%s: no trials", r.Name)
+		}
+		if r.MeanGap < 1-1e-9 || r.WorstGap < 1-1e-9 {
+			t.Errorf("%s: gap below 1 (mean %v, worst %v) — heuristic beat the optimum?",
+				r.Name, r.MeanGap, r.WorstGap)
+		}
+		if r.OptimalIn > r.Trials {
+			t.Errorf("%s: optimal count exceeds trials", r.Name)
+		}
+	}
+	out := RenderGaps(reports)
+	if !strings.Contains(out, "contiguous-group DP") {
+		t.Fatalf("render missing heuristic name:\n%s", out)
+	}
+}
+
+func TestVerifyReductions(t *testing.T) {
+	reports := VerifyReductions(3, 6)
+	if len(reports) != 6 {
+		t.Fatalf("got %d reports, want 6", len(reports))
+	}
+	for _, r := range reports {
+		if r.Trials == 0 {
+			t.Errorf("%s: no trials", r.Name)
+		}
+		if r.OK != r.Trials {
+			t.Errorf("%s: %d/%d verified", r.Name, r.OK, r.Trials)
+		}
+	}
+	out := RenderReductions(reports)
+	if !strings.Contains(out, "Theorem 9") {
+		t.Fatalf("render missing Theorem 9:\n%s", out)
+	}
+}

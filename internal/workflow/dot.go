@@ -1,0 +1,56 @@
+package workflow
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DOT renders the pipeline as a Graphviz digraph (left-to-right chain with
+// the stage weights as labels), handy for documentation and debugging.
+func (p Pipeline) DOT() string {
+	var b strings.Builder
+	b.WriteString("digraph pipeline {\n  rankdir=LR;\n  node [shape=box];\n")
+	for i, w := range p.Weights {
+		fmt.Fprintf(&b, "  s%d [label=\"S%d\\nw=%s\"];\n", i+1, i+1, trimFloat(w))
+	}
+	b.WriteString("  in [shape=plaintext, label=\"in\"];\n")
+	b.WriteString("  out [shape=plaintext, label=\"out\"];\n")
+	b.WriteString("  in -> s1;\n")
+	for i := 1; i < len(p.Weights); i++ {
+		fmt.Fprintf(&b, "  s%d -> s%d;\n", i, i+1)
+	}
+	fmt.Fprintf(&b, "  s%d -> out;\n}\n", len(p.Weights))
+	return b.String()
+}
+
+// DOT renders the fork as a Graphviz digraph.
+func (f Fork) DOT() string {
+	var b strings.Builder
+	b.WriteString("digraph fork {\n  node [shape=box];\n")
+	fmt.Fprintf(&b, "  s0 [label=\"S0\\nw=%s\"];\n", trimFloat(f.Root))
+	for i, w := range f.Weights {
+		fmt.Fprintf(&b, "  s%d [label=\"S%d\\nw=%s\"];\n", i+1, i+1, trimFloat(w))
+		fmt.Fprintf(&b, "  s0 -> s%d;\n", i+1)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// DOT renders the fork-join as a Graphviz digraph.
+func (fj ForkJoin) DOT() string {
+	var b strings.Builder
+	join := fj.Leaves() + 1
+	b.WriteString("digraph forkjoin {\n  node [shape=box];\n")
+	fmt.Fprintf(&b, "  s0 [label=\"S0\\nw=%s\"];\n", trimFloat(fj.Root))
+	fmt.Fprintf(&b, "  s%d [label=\"S%d (join)\\nw=%s\"];\n", join, join, trimFloat(fj.Join))
+	for i, w := range fj.Weights {
+		fmt.Fprintf(&b, "  s%d [label=\"S%d\\nw=%s\"];\n", i+1, i+1, trimFloat(w))
+		fmt.Fprintf(&b, "  s0 -> s%d;\n", i+1)
+		fmt.Fprintf(&b, "  s%d -> s%d;\n", i+1, join)
+	}
+	if fj.Leaves() == 0 {
+		fmt.Fprintf(&b, "  s0 -> s%d;\n", join)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

@@ -1,0 +1,38 @@
+package workflow
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPipelineDOT(t *testing.T) {
+	out := NewPipeline(14, 4).DOT()
+	for _, want := range []string{"digraph pipeline", "rankdir=LR", "s1 -> s2", "in -> s1", "s2 -> out", "w=14"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestForkDOT(t *testing.T) {
+	out := NewFork(2, 1, 3).DOT()
+	for _, want := range []string{"digraph fork", "s0 -> s1", "s0 -> s2", "w=2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestForkJoinDOT(t *testing.T) {
+	out := NewForkJoin(2, 5, 1, 3).DOT()
+	for _, want := range []string{"digraph forkjoin", "s1 -> s3", "s2 -> s3", "(join)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT missing %q:\n%s", want, out)
+		}
+	}
+	// Leafless fork-join connects the root straight to the join stage.
+	out = NewForkJoin(2, 5).DOT()
+	if !strings.Contains(out, "s0 -> s1") {
+		t.Errorf("leafless DOT missing root->join edge:\n%s", out)
+	}
+}

@@ -1,0 +1,197 @@
+// Package repliflow reproduces "Complexity results for throughput and
+// latency optimization of replicated and data-parallel workflows" by Anne
+// Benoit and Yves Robert (INRIA RR-6308, 2007 / IEEE CLUSTER 2007).
+//
+// The library maps pipeline, fork and fork-join workflow graphs onto
+// homogeneous or heterogeneous platforms under the paper's simplified
+// model (no communication costs), with stage replication and
+// data-parallelism. It implements every polynomial algorithm of the paper
+// (Theorems 1-4, 6-8, 10-11, 14 and the Section 6.3 fork-join extensions),
+// exact exponential solvers and polynomial heuristics for the NP-hard
+// instances (Theorems 5, 9, 12, 13, 15), the executable NP-hardness
+// reductions, a discrete-event simulator validating the cost model, and a
+// harness regenerating the paper's Table 1 and Section 2 example.
+//
+// # Quick start
+//
+//	pipe := repliflow.NewPipeline(14, 4, 2, 4)      // the paper's Section 2 example
+//	plat := repliflow.HomogeneousPlatform(3, 1)
+//	sol, err := repliflow.Solve(repliflow.Problem{
+//	    Pipeline:          &pipe,
+//	    Platform:          plat,
+//	    AllowDataParallel: true,
+//	    Objective:         repliflow.MinLatency,
+//	}, repliflow.Options{})
+//
+// The solution carries the mapping, its exact period and latency, the
+// Table 1 classification of the instance and the algorithm used.
+package repliflow
+
+import (
+	"repliflow/internal/core"
+	"repliflow/internal/mapping"
+	"repliflow/internal/platform"
+	"repliflow/internal/workflow"
+)
+
+// Application graphs (Figures 1 and 2 of the paper, plus Section 6.3).
+type (
+	// Pipeline is an n-stage linear pipeline.
+	Pipeline = workflow.Pipeline
+	// Fork is a root stage followed by independent stages.
+	Fork = workflow.Fork
+	// ForkJoin adds a final join stage gathering all results.
+	ForkJoin = workflow.ForkJoin
+	// Platform is a set of processors with speeds.
+	Platform = platform.Platform
+)
+
+// Mapping types and cost model (Section 3.4).
+type (
+	// Cost is a (period, latency) pair.
+	Cost = mapping.Cost
+	// Mode selects replication or data-parallelism for a stage group.
+	Mode = mapping.Mode
+	// Assignment binds a processor set and a mode to a stage group.
+	Assignment = mapping.Assignment
+	// PipelineMapping partitions a pipeline into processor-assigned
+	// intervals.
+	PipelineMapping = mapping.PipelineMapping
+	// PipelineInterval is one interval of a PipelineMapping.
+	PipelineInterval = mapping.PipelineInterval
+	// ForkMapping partitions a fork into processor-assigned blocks.
+	ForkMapping = mapping.ForkMapping
+	// ForkBlock is one block of a ForkMapping.
+	ForkBlock = mapping.ForkBlock
+	// ForkJoinMapping partitions a fork-join graph into blocks.
+	ForkJoinMapping = mapping.ForkJoinMapping
+	// ForkJoinBlock is one block of a ForkJoinMapping.
+	ForkJoinBlock = mapping.ForkJoinBlock
+)
+
+// Modes.
+const (
+	// Replicated processes consecutive data sets round-robin.
+	Replicated = mapping.Replicated
+	// DataParallel shares each data set among the processors.
+	DataParallel = mapping.DataParallel
+)
+
+// Solver types.
+type (
+	// Problem is a full problem instance; see core.Problem.
+	Problem = core.Problem
+	// Solution is a solved mapping with provenance; see core.Solution.
+	Solution = core.Solution
+	// Options tunes the exhaustive-search limits on NP-hard cells.
+	Options = core.Options
+	// Objective selects what to optimize.
+	Objective = core.Objective
+	// Classification is a Table 1 cell.
+	Classification = core.Classification
+	// Complexity is the Table 1 complexity class of a cell.
+	Complexity = core.Complexity
+)
+
+// Objectives.
+const (
+	// MinPeriod maximizes throughput.
+	MinPeriod = core.MinPeriod
+	// MinLatency minimizes response time.
+	MinLatency = core.MinLatency
+	// LatencyUnderPeriod minimizes latency subject to Problem.Bound on the
+	// period.
+	LatencyUnderPeriod = core.LatencyUnderPeriod
+	// PeriodUnderLatency minimizes period subject to Problem.Bound on the
+	// latency.
+	PeriodUnderLatency = core.PeriodUnderLatency
+)
+
+// Complexity classes of Table 1.
+const (
+	// PolyStraightforward marks "Poly (str)" cells.
+	PolyStraightforward = core.PolyStraightforward
+	// PolyDP marks "Poly (DP)" cells.
+	PolyDP = core.PolyDP
+	// PolyBinarySearchDP marks "Poly (*)" cells.
+	PolyBinarySearchDP = core.PolyBinarySearchDP
+	// NPHard marks NP-hard cells.
+	NPHard = core.NPHard
+)
+
+// NewPipeline returns a pipeline with the given stage weights.
+func NewPipeline(weights ...float64) Pipeline { return workflow.NewPipeline(weights...) }
+
+// HomogeneousPipeline returns an n-stage pipeline of identical weight w.
+func HomogeneousPipeline(n int, w float64) Pipeline { return workflow.HomogeneousPipeline(n, w) }
+
+// NewFork returns a fork with root weight root and the given leaf weights.
+func NewFork(root float64, weights ...float64) Fork { return workflow.NewFork(root, weights...) }
+
+// HomogeneousFork returns a fork with n identical leaves of weight w.
+func HomogeneousFork(root float64, n int, w float64) Fork {
+	return workflow.HomogeneousFork(root, n, w)
+}
+
+// NewForkJoin returns a fork-join graph.
+func NewForkJoin(root, join float64, weights ...float64) ForkJoin {
+	return workflow.NewForkJoin(root, join, weights...)
+}
+
+// HomogeneousForkJoin returns a fork-join with n identical leaves.
+func HomogeneousForkJoin(root, join float64, n int, w float64) ForkJoin {
+	return workflow.HomogeneousForkJoin(root, join, n, w)
+}
+
+// NewPipelineInterval maps stages first..last (0-indexed, inclusive) onto
+// the given processors with the given mode.
+func NewPipelineInterval(first, last int, mode Mode, procs ...int) PipelineInterval {
+	return mapping.NewPipelineInterval(first, last, mode, procs...)
+}
+
+// NewForkBlock maps a fork block (root flag + leaf indices) onto the given
+// processors.
+func NewForkBlock(root bool, leaves []int, mode Mode, procs ...int) ForkBlock {
+	return mapping.NewForkBlock(root, leaves, mode, procs...)
+}
+
+// NewForkJoinBlock maps a fork-join block onto the given processors.
+func NewForkJoinBlock(root, join bool, leaves []int, mode Mode, procs ...int) ForkJoinBlock {
+	return mapping.NewForkJoinBlock(root, join, leaves, mode, procs...)
+}
+
+// NewPlatform returns a platform with the given processor speeds.
+func NewPlatform(speeds ...float64) Platform { return platform.New(speeds...) }
+
+// HomogeneousPlatform returns p identical processors of speed s.
+func HomogeneousPlatform(p int, s float64) Platform { return platform.Homogeneous(p, s) }
+
+// Solve classifies the problem into its Table 1 cell and solves it with the
+// matching algorithm. The zero Options applies core.DefaultOptions.
+func Solve(pr Problem, opts Options) (Solution, error) { return core.Solve(pr, opts) }
+
+// Classify returns the Table 1 cell of a problem instance.
+func Classify(pr Problem) (Classification, error) { return core.Classify(pr) }
+
+// ParetoFront returns the period/latency trade-off curve of the instance:
+// non-dominated solutions ordered by increasing period. The problem's
+// Objective and Bound are ignored.
+func ParetoFront(pr Problem, opts Options) ([]Solution, error) {
+	return core.ParetoFront(pr, opts)
+}
+
+// EvalPipeline returns the period and latency of a pipeline mapping under
+// the Section 3.4 cost model, validating it first.
+func EvalPipeline(p Pipeline, pl Platform, m PipelineMapping) (Cost, error) {
+	return mapping.EvalPipeline(p, pl, m)
+}
+
+// EvalFork returns the period and latency of a fork mapping.
+func EvalFork(f Fork, pl Platform, m ForkMapping) (Cost, error) {
+	return mapping.EvalFork(f, pl, m)
+}
+
+// EvalForkJoin returns the period and latency of a fork-join mapping.
+func EvalForkJoin(fj ForkJoin, pl Platform, m ForkJoinMapping) (Cost, error) {
+	return mapping.EvalForkJoin(fj, pl, m)
+}
