@@ -1,0 +1,3 @@
+module repliflow
+
+go 1.24

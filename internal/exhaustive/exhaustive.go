@@ -21,12 +21,46 @@
 package exhaustive
 
 import (
+	"context"
 	"math"
 	"math/bits"
 
 	"repliflow/internal/numeric"
 	"repliflow/internal/platform"
 )
+
+// checkpointInterval is how many search steps pass between context polls:
+// frequent enough that cancellation lands within microseconds, sparse
+// enough that the poll cost vanishes against the search work.
+const checkpointInterval = 1024
+
+// stepper spreads context polls over the exponential search loops. Every
+// solver threads one stepper through its recursion; once the context is
+// cancelled the stepper latches the error and every subsequent ok() call
+// fails fast, unwinding the search.
+type stepper struct {
+	ctx  context.Context
+	tick int
+	err  error
+}
+
+func newStepper(ctx context.Context) *stepper { return &stepper{ctx: ctx} }
+
+// ok reports whether the search may continue, polling the context every
+// checkpointInterval calls.
+func (s *stepper) ok() bool {
+	if s.err != nil {
+		return false
+	}
+	s.tick++
+	if s.tick%checkpointInterval == 0 {
+		if err := s.ctx.Err(); err != nil {
+			s.err = err
+			return false
+		}
+	}
+	return true
+}
 
 // maskInfo caches per-subset speed aggregates of a platform.
 type maskInfo struct {

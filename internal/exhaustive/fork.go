@@ -1,6 +1,8 @@
 package exhaustive
 
 import (
+	"context"
+
 	"repliflow/internal/mapping"
 	"repliflow/internal/numeric"
 	"repliflow/internal/platform"
@@ -16,14 +18,14 @@ type ForkResult struct {
 // partitions enumerates the set partitions of items {0,..,m-1} into at most
 // maxBlocks blocks, via restricted growth strings. Each partition is passed
 // as a slice mapping item -> block index (blocks numbered 0..B-1 in order
-// of first appearance). The callback must not retain the slice.
-func partitions(m, maxBlocks int, visit func(assign []int, blocks int)) {
+// of first appearance). The callback must not retain the slice; it returns
+// false to abort the enumeration early.
+func partitions(m, maxBlocks int, visit func(assign []int, blocks int) bool) {
 	assign := make([]int, m)
-	var rec func(i, used int)
-	rec = func(i, used int) {
+	var rec func(i, used int) bool
+	rec = func(i, used int) bool {
 		if i == m {
-			visit(assign, used)
-			return
+			return visit(assign, used)
 		}
 		limit := used
 		if limit >= maxBlocks {
@@ -35,8 +37,11 @@ func partitions(m, maxBlocks int, visit func(assign []int, blocks int)) {
 			if b == used {
 				next++
 			}
-			rec(i+1, next)
+			if !rec(i+1, next) {
+				return false
+			}
 		}
+		return true
 	}
 	if m == 0 {
 		return
@@ -49,10 +54,16 @@ func partitions(m, maxBlocks int, visit func(assign []int, blocks int)) {
 // assignment of disjoint non-empty processor subsets to the blocks, and
 // every legal mode combination. Exhaustive ground truth for small n and p.
 func EnumerateFork(f workflow.Fork, pl platform.Platform, allowDP bool, visit func(mapping.ForkMapping, mapping.Cost)) {
+	enumerateForkCtx(newStepper(context.Background()), f, pl, allowDP, visit)
+}
+
+// enumerateForkCtx is EnumerateFork with cancellation checkpoints driven by
+// the stepper; it stops early once the stepper latches an error.
+func enumerateForkCtx(step *stepper, f workflow.Fork, pl platform.Platform, allowDP bool, visit func(mapping.ForkMapping, mapping.Cost)) {
 	p := pl.Processors()
 	full := (1 << p) - 1
 	items := f.Leaves() + 1
-	partitions(items, p, func(assign []int, nblocks int) {
+	partitions(items, p, func(assign []int, nblocks int) bool {
 		// Build block contents from the partition.
 		blocks := make([]mapping.ForkBlock, nblocks)
 		blocks[assign[0]].Root = true
@@ -60,8 +71,11 @@ func EnumerateFork(f workflow.Fork, pl platform.Platform, allowDP bool, visit fu
 			b := assign[l+1]
 			blocks[b].Leaves = append(blocks[b].Leaves, l)
 		}
-		var rec func(b, usedMask int)
-		rec = func(b, usedMask int) {
+		var rec func(b, usedMask int) bool
+		rec = func(b, usedMask int) bool {
+			if !step.ok() {
+				return false
+			}
 			if b == nblocks {
 				m := mapping.ForkMapping{Blocks: make([]mapping.ForkBlock, nblocks)}
 				copy(m.Blocks, blocks)
@@ -70,34 +84,40 @@ func EnumerateFork(f workflow.Fork, pl platform.Platform, allowDP bool, visit fu
 					panic("exhaustive: enumerated invalid fork mapping: " + err.Error())
 				}
 				visit(m, c)
-				return
+				return true
 			}
 			free := full &^ usedMask
 			for sub := free; sub > 0; sub = (sub - 1) & free {
 				blocks[b].Procs = maskProcs(sub)
 				blocks[b].Mode = mapping.Replicated
-				rec(b+1, usedMask|sub)
+				if !rec(b+1, usedMask|sub) {
+					return false
+				}
 				// Data-parallel is legal for leaf-only blocks and for the
 				// root alone (Section 3.4).
 				if allowDP && (!blocks[b].Root || len(blocks[b].Leaves) == 0) {
 					blocks[b].Mode = mapping.DataParallel
-					rec(b+1, usedMask|sub)
+					if !rec(b+1, usedMask|sub) {
+						return false
+					}
 				}
 			}
 			blocks[b].Procs = nil
 			blocks[b].Mode = mapping.Replicated
+			return true
 		}
-		rec(0, 0)
+		return rec(0, 0)
 	})
 }
 
 // forkScan enumerates all mappings and keeps the best according to accept /
 // better predicates.
-func forkScan(f workflow.Fork, pl platform.Platform, allowDP bool,
-	accept func(mapping.Cost) bool, objective func(mapping.Cost) float64) (ForkResult, bool) {
+func forkScan(ctx context.Context, f workflow.Fork, pl platform.Platform, allowDP bool,
+	accept func(mapping.Cost) bool, objective func(mapping.Cost) float64) (ForkResult, bool, error) {
 	var best ForkResult
 	found := false
-	EnumerateFork(f, pl, allowDP, func(m mapping.ForkMapping, c mapping.Cost) {
+	step := newStepper(ctx)
+	enumerateForkCtx(step, f, pl, allowDP, func(m mapping.ForkMapping, c mapping.Cost) {
 		if !accept(c) {
 			return
 		}
@@ -106,7 +126,10 @@ func forkScan(f workflow.Fork, pl platform.Platform, allowDP bool,
 			found = true
 		}
 	})
-	return best, found
+	if step.err != nil {
+		return ForkResult{}, false, step.err
+	}
+	return best, found, nil
 }
 
 func acceptAll(mapping.Cost) bool    { return true }
@@ -115,25 +138,51 @@ func latency(c mapping.Cost) float64 { return c.Latency }
 
 // ForkPeriod returns a fork mapping minimizing the period.
 func ForkPeriod(f workflow.Fork, pl platform.Platform, allowDP bool) (ForkResult, bool) {
-	return forkScan(f, pl, allowDP, acceptAll, period)
+	res, ok, _ := ForkPeriodCtx(context.Background(), f, pl, allowDP)
+	return res, ok
+}
+
+// ForkPeriodCtx is ForkPeriod with cancellation checkpoints.
+func ForkPeriodCtx(ctx context.Context, f workflow.Fork, pl platform.Platform, allowDP bool) (ForkResult, bool, error) {
+	return forkScan(ctx, f, pl, allowDP, acceptAll, period)
 }
 
 // ForkLatency returns a fork mapping minimizing the latency.
 func ForkLatency(f workflow.Fork, pl platform.Platform, allowDP bool) (ForkResult, bool) {
-	return forkScan(f, pl, allowDP, acceptAll, latency)
+	res, ok, _ := ForkLatencyCtx(context.Background(), f, pl, allowDP)
+	return res, ok
+}
+
+// ForkLatencyCtx is ForkLatency with cancellation checkpoints.
+func ForkLatencyCtx(ctx context.Context, f workflow.Fork, pl platform.Platform, allowDP bool) (ForkResult, bool, error) {
+	return forkScan(ctx, f, pl, allowDP, acceptAll, latency)
 }
 
 // ForkLatencyUnderPeriod returns a fork mapping minimizing the latency
 // among mappings whose period does not exceed maxPeriod.
 func ForkLatencyUnderPeriod(f workflow.Fork, pl platform.Platform, allowDP bool, maxPeriod float64) (ForkResult, bool) {
-	return forkScan(f, pl, allowDP,
+	res, ok, _ := ForkLatencyUnderPeriodCtx(context.Background(), f, pl, allowDP, maxPeriod)
+	return res, ok
+}
+
+// ForkLatencyUnderPeriodCtx is ForkLatencyUnderPeriod with cancellation
+// checkpoints.
+func ForkLatencyUnderPeriodCtx(ctx context.Context, f workflow.Fork, pl platform.Platform, allowDP bool, maxPeriod float64) (ForkResult, bool, error) {
+	return forkScan(ctx, f, pl, allowDP,
 		func(c mapping.Cost) bool { return numeric.LessEq(c.Period, maxPeriod) }, latency)
 }
 
 // ForkPeriodUnderLatency returns a fork mapping minimizing the period among
 // mappings whose latency does not exceed maxLatency.
 func ForkPeriodUnderLatency(f workflow.Fork, pl platform.Platform, allowDP bool, maxLatency float64) (ForkResult, bool) {
-	return forkScan(f, pl, allowDP,
+	res, ok, _ := ForkPeriodUnderLatencyCtx(context.Background(), f, pl, allowDP, maxLatency)
+	return res, ok
+}
+
+// ForkPeriodUnderLatencyCtx is ForkPeriodUnderLatency with cancellation
+// checkpoints.
+func ForkPeriodUnderLatencyCtx(ctx context.Context, f workflow.Fork, pl platform.Platform, allowDP bool, maxLatency float64) (ForkResult, bool, error) {
+	return forkScan(ctx, f, pl, allowDP,
 		func(c mapping.Cost) bool { return numeric.LessEq(c.Latency, maxLatency) }, period)
 }
 

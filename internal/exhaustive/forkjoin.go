@@ -1,6 +1,8 @@
 package exhaustive
 
 import (
+	"context"
+
 	"repliflow/internal/mapping"
 	"repliflow/internal/numeric"
 	"repliflow/internal/platform"
@@ -17,10 +19,16 @@ type ForkJoinResult struct {
 // are ordered root, leaves, join; blocks come from set partitions and
 // processor subsets from disjoint bitmask assignments, as for forks.
 func EnumerateForkJoin(fj workflow.ForkJoin, pl platform.Platform, allowDP bool, visit func(mapping.ForkJoinMapping, mapping.Cost)) {
+	enumerateForkJoinCtx(newStepper(context.Background()), fj, pl, allowDP, visit)
+}
+
+// enumerateForkJoinCtx is EnumerateForkJoin with cancellation checkpoints
+// driven by the stepper.
+func enumerateForkJoinCtx(step *stepper, fj workflow.ForkJoin, pl platform.Platform, allowDP bool, visit func(mapping.ForkJoinMapping, mapping.Cost)) {
 	p := pl.Processors()
 	full := (1 << p) - 1
 	items := fj.Leaves() + 2
-	partitions(items, p, func(assign []int, nblocks int) {
+	partitions(items, p, func(assign []int, nblocks int) bool {
 		blocks := make([]mapping.ForkJoinBlock, nblocks)
 		blocks[assign[0]].Root = true
 		blocks[assign[items-1]].Join = true
@@ -28,8 +36,11 @@ func EnumerateForkJoin(fj workflow.ForkJoin, pl platform.Platform, allowDP bool,
 			b := assign[l+1]
 			blocks[b].Leaves = append(blocks[b].Leaves, l)
 		}
-		var rec func(b, usedMask int)
-		rec = func(b, usedMask int) {
+		var rec func(b, usedMask int) bool
+		rec = func(b, usedMask int) bool {
+			if !step.ok() {
+				return false
+			}
 			if b == nblocks {
 				m := mapping.ForkJoinMapping{Blocks: make([]mapping.ForkJoinBlock, nblocks)}
 				copy(m.Blocks, blocks)
@@ -38,34 +49,40 @@ func EnumerateForkJoin(fj workflow.ForkJoin, pl platform.Platform, allowDP bool,
 					panic("exhaustive: enumerated invalid fork-join mapping: " + err.Error())
 				}
 				visit(m, c)
-				return
+				return true
 			}
 			free := full &^ usedMask
 			for sub := free; sub > 0; sub = (sub - 1) & free {
 				blocks[b].Procs = maskProcs(sub)
 				blocks[b].Mode = mapping.Replicated
-				rec(b+1, usedMask|sub)
+				if !rec(b+1, usedMask|sub) {
+					return false
+				}
 				// Data-parallel requires the block to be leaf-only, or the
 				// root alone, or the join alone.
 				alone := len(blocks[b].Leaves) == 0 && !(blocks[b].Root && blocks[b].Join)
 				if allowDP && ((!blocks[b].Root && !blocks[b].Join) || alone) {
 					blocks[b].Mode = mapping.DataParallel
-					rec(b+1, usedMask|sub)
+					if !rec(b+1, usedMask|sub) {
+						return false
+					}
 				}
 			}
 			blocks[b].Procs = nil
 			blocks[b].Mode = mapping.Replicated
+			return true
 		}
-		rec(0, 0)
+		return rec(0, 0)
 	})
 }
 
 // forkJoinScan enumerates all mappings keeping the best acceptable one.
-func forkJoinScan(fj workflow.ForkJoin, pl platform.Platform, allowDP bool,
-	accept func(mapping.Cost) bool, objective func(mapping.Cost) float64) (ForkJoinResult, bool) {
+func forkJoinScan(ctx context.Context, fj workflow.ForkJoin, pl platform.Platform, allowDP bool,
+	accept func(mapping.Cost) bool, objective func(mapping.Cost) float64) (ForkJoinResult, bool, error) {
 	var best ForkJoinResult
 	found := false
-	EnumerateForkJoin(fj, pl, allowDP, func(m mapping.ForkJoinMapping, c mapping.Cost) {
+	step := newStepper(ctx)
+	enumerateForkJoinCtx(step, fj, pl, allowDP, func(m mapping.ForkJoinMapping, c mapping.Cost) {
 		if !accept(c) {
 			return
 		}
@@ -74,27 +91,56 @@ func forkJoinScan(fj workflow.ForkJoin, pl platform.Platform, allowDP bool,
 			found = true
 		}
 	})
-	return best, found
+	if step.err != nil {
+		return ForkJoinResult{}, false, step.err
+	}
+	return best, found, nil
 }
 
 // ForkJoinPeriod returns a fork-join mapping minimizing the period.
 func ForkJoinPeriod(fj workflow.ForkJoin, pl platform.Platform, allowDP bool) (ForkJoinResult, bool) {
-	return forkJoinScan(fj, pl, allowDP, acceptAll, period)
+	res, ok, _ := ForkJoinPeriodCtx(context.Background(), fj, pl, allowDP)
+	return res, ok
+}
+
+// ForkJoinPeriodCtx is ForkJoinPeriod with cancellation checkpoints.
+func ForkJoinPeriodCtx(ctx context.Context, fj workflow.ForkJoin, pl platform.Platform, allowDP bool) (ForkJoinResult, bool, error) {
+	return forkJoinScan(ctx, fj, pl, allowDP, acceptAll, period)
 }
 
 // ForkJoinLatency returns a fork-join mapping minimizing the latency.
 func ForkJoinLatency(fj workflow.ForkJoin, pl platform.Platform, allowDP bool) (ForkJoinResult, bool) {
-	return forkJoinScan(fj, pl, allowDP, acceptAll, latency)
+	res, ok, _ := ForkJoinLatencyCtx(context.Background(), fj, pl, allowDP)
+	return res, ok
+}
+
+// ForkJoinLatencyCtx is ForkJoinLatency with cancellation checkpoints.
+func ForkJoinLatencyCtx(ctx context.Context, fj workflow.ForkJoin, pl platform.Platform, allowDP bool) (ForkJoinResult, bool, error) {
+	return forkJoinScan(ctx, fj, pl, allowDP, acceptAll, latency)
 }
 
 // ForkJoinLatencyUnderPeriod minimizes latency under a period bound.
 func ForkJoinLatencyUnderPeriod(fj workflow.ForkJoin, pl platform.Platform, allowDP bool, maxPeriod float64) (ForkJoinResult, bool) {
-	return forkJoinScan(fj, pl, allowDP,
+	res, ok, _ := ForkJoinLatencyUnderPeriodCtx(context.Background(), fj, pl, allowDP, maxPeriod)
+	return res, ok
+}
+
+// ForkJoinLatencyUnderPeriodCtx is ForkJoinLatencyUnderPeriod with
+// cancellation checkpoints.
+func ForkJoinLatencyUnderPeriodCtx(ctx context.Context, fj workflow.ForkJoin, pl platform.Platform, allowDP bool, maxPeriod float64) (ForkJoinResult, bool, error) {
+	return forkJoinScan(ctx, fj, pl, allowDP,
 		func(c mapping.Cost) bool { return numeric.LessEq(c.Period, maxPeriod) }, latency)
 }
 
 // ForkJoinPeriodUnderLatency minimizes period under a latency bound.
 func ForkJoinPeriodUnderLatency(fj workflow.ForkJoin, pl platform.Platform, allowDP bool, maxLatency float64) (ForkJoinResult, bool) {
-	return forkJoinScan(fj, pl, allowDP,
+	res, ok, _ := ForkJoinPeriodUnderLatencyCtx(context.Background(), fj, pl, allowDP, maxLatency)
+	return res, ok
+}
+
+// ForkJoinPeriodUnderLatencyCtx is ForkJoinPeriodUnderLatency with
+// cancellation checkpoints.
+func ForkJoinPeriodUnderLatencyCtx(ctx context.Context, fj workflow.ForkJoin, pl platform.Platform, allowDP bool, maxLatency float64) (ForkJoinResult, bool, error) {
+	return forkJoinScan(ctx, fj, pl, allowDP,
 		func(c mapping.Cost) bool { return numeric.LessEq(c.Latency, maxLatency) }, period)
 }

@@ -1,6 +1,7 @@
 package exhaustive
 
 import (
+	"context"
 	"math"
 
 	"repliflow/internal/mapping"
@@ -40,9 +41,10 @@ type pipeSolver struct {
 	choice  []pipeChoice
 	full    int
 	n       int
+	step    *stepper
 }
 
-func newPipeSolver(p workflow.Pipeline, pl platform.Platform, allowDP bool, periodCap float64, minimizePeriod bool) *pipeSolver {
+func newPipeSolver(ctx context.Context, p workflow.Pipeline, pl platform.Platform, allowDP bool, periodCap float64, minimizePeriod bool) *pipeSolver {
 	n := p.Stages()
 	states := (n + 1) << pl.Processors()
 	return &pipeSolver{
@@ -53,6 +55,7 @@ func newPipeSolver(p workflow.Pipeline, pl platform.Platform, allowDP bool, peri
 		choice:  make([]pipeChoice, states),
 		full:    (1 << pl.Processors()) - 1,
 		n:       n,
+		step:    newStepper(ctx),
 	}
 }
 
@@ -75,6 +78,11 @@ func (s *pipeSolver) solve(i, usedMask int) float64 {
 	for j := i; j < s.n; j++ {
 		w += s.p.Weights[j]
 		for sub := free; sub > 0; sub = (sub - 1) & free {
+			if !s.step.ok() {
+				// Cancelled: abandon the state (memo holds a partial value
+				// that is never read — result() surfaces the error first).
+				return numeric.Inf
+			}
 			info := s.info[sub]
 			for _, dp := range []bool{false, true} {
 				if dp && (!s.allowDP || j != i) {
@@ -129,10 +137,13 @@ func (s *pipeSolver) reconstruct() mapping.PipelineMapping {
 	return m
 }
 
-func (s *pipeSolver) result() (PipelineResult, bool) {
+func (s *pipeSolver) result() (PipelineResult, bool, error) {
 	v := s.solve(0, 0)
+	if s.step.err != nil {
+		return PipelineResult{}, false, s.step.err
+	}
 	if math.IsInf(v, 1) {
-		return PipelineResult{}, false
+		return PipelineResult{}, false, nil
 	}
 	m := s.reconstruct()
 	c, err := mapping.EvalPipeline(s.p, s.pl, m)
@@ -141,24 +152,45 @@ func (s *pipeSolver) result() (PipelineResult, bool) {
 		// programming bug, surface it loudly.
 		panic("exhaustive: reconstructed invalid pipeline mapping: " + err.Error())
 	}
-	return PipelineResult{Mapping: m, Cost: c}, true
+	return PipelineResult{Mapping: m, Cost: c}, true, nil
 }
 
 // PipelinePeriod returns a mapping minimizing the period.
 func PipelinePeriod(p workflow.Pipeline, pl platform.Platform, allowDP bool) (PipelineResult, bool) {
-	return newPipeSolver(p, pl, allowDP, numeric.Inf, true).result()
+	res, ok, _ := PipelinePeriodCtx(context.Background(), p, pl, allowDP)
+	return res, ok
+}
+
+// PipelinePeriodCtx is PipelinePeriod with cancellation checkpoints: when
+// ctx is cancelled mid-search the error is ctx.Err() and the result is
+// discarded.
+func PipelinePeriodCtx(ctx context.Context, p workflow.Pipeline, pl platform.Platform, allowDP bool) (PipelineResult, bool, error) {
+	return newPipeSolver(ctx, p, pl, allowDP, numeric.Inf, true).result()
 }
 
 // PipelineLatency returns a mapping minimizing the latency.
 func PipelineLatency(p workflow.Pipeline, pl platform.Platform, allowDP bool) (PipelineResult, bool) {
-	return newPipeSolver(p, pl, allowDP, numeric.Inf, false).result()
+	res, ok, _ := PipelineLatencyCtx(context.Background(), p, pl, allowDP)
+	return res, ok
+}
+
+// PipelineLatencyCtx is PipelineLatency with cancellation checkpoints.
+func PipelineLatencyCtx(ctx context.Context, p workflow.Pipeline, pl platform.Platform, allowDP bool) (PipelineResult, bool, error) {
+	return newPipeSolver(ctx, p, pl, allowDP, numeric.Inf, false).result()
 }
 
 // PipelineLatencyUnderPeriod returns a mapping minimizing the latency among
 // mappings whose period does not exceed maxPeriod. The boolean is false
 // when no mapping satisfies the period bound.
 func PipelineLatencyUnderPeriod(p workflow.Pipeline, pl platform.Platform, allowDP bool, maxPeriod float64) (PipelineResult, bool) {
-	return newPipeSolver(p, pl, allowDP, maxPeriod, false).result()
+	res, ok, _ := PipelineLatencyUnderPeriodCtx(context.Background(), p, pl, allowDP, maxPeriod)
+	return res, ok
+}
+
+// PipelineLatencyUnderPeriodCtx is PipelineLatencyUnderPeriod with
+// cancellation checkpoints.
+func PipelineLatencyUnderPeriodCtx(ctx context.Context, p workflow.Pipeline, pl platform.Platform, allowDP bool, maxPeriod float64) (PipelineResult, bool, error) {
+	return newPipeSolver(ctx, p, pl, allowDP, maxPeriod, false).result()
 }
 
 // pipelinePeriodCandidates returns every achievable group period of any
@@ -190,13 +222,23 @@ func pipelinePeriodCandidates(p workflow.Pipeline, pl platform.Platform, allowDP
 // finite set of achievable group periods, so the result is exact. The
 // boolean is false when no mapping satisfies the latency bound.
 func PipelinePeriodUnderLatency(p workflow.Pipeline, pl platform.Platform, allowDP bool, maxLatency float64) (PipelineResult, bool) {
+	res, ok, _ := PipelinePeriodUnderLatencyCtx(context.Background(), p, pl, allowDP, maxLatency)
+	return res, ok
+}
+
+// PipelinePeriodUnderLatencyCtx is PipelinePeriodUnderLatency with
+// cancellation checkpoints.
+func PipelinePeriodUnderLatencyCtx(ctx context.Context, p workflow.Pipeline, pl platform.Platform, allowDP bool, maxLatency float64) (PipelineResult, bool, error) {
 	cands := pipelinePeriodCandidates(p, pl, allowDP)
 	lo, hi := 0, len(cands)-1
 	var best PipelineResult
 	found := false
 	for lo <= hi {
 		mid := (lo + hi) / 2
-		res, ok := PipelineLatencyUnderPeriod(p, pl, allowDP, cands[mid])
+		res, ok, err := PipelineLatencyUnderPeriodCtx(ctx, p, pl, allowDP, cands[mid])
+		if err != nil {
+			return PipelineResult{}, false, err
+		}
 		if ok && numeric.LessEq(res.Cost.Latency, maxLatency) {
 			best = res
 			found = true
@@ -205,7 +247,7 @@ func PipelinePeriodUnderLatency(p workflow.Pipeline, pl platform.Platform, allow
 			lo = mid + 1
 		}
 	}
-	return best, found
+	return best, found, nil
 }
 
 // PipelinePareto returns the exact Pareto front of (period, latency),
