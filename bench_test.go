@@ -19,12 +19,15 @@
 package repliflow_test
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
+	"reflect"
 	"testing"
 
 	"repliflow/internal/chains"
 	"repliflow/internal/core"
+	"repliflow/internal/engine"
 	"repliflow/internal/exhaustive"
 	"repliflow/internal/forkalgo"
 	"repliflow/internal/fullmodel"
@@ -531,5 +534,102 @@ func BenchmarkExhaustivePipeline(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Engine benchmarks: the parallel/caching batch solver against the serial
+// path. Results are recorded in BENCH_engine.json.
+
+// engineBenchProblems builds a workload of distinct instances replicated
+// `dup` times each — the repeated-scenario shape the engine's memoization
+// cache is built for.
+func engineBenchProblems(seed int64, distinct, dup int) []core.Problem {
+	rng := rand.New(rand.NewSource(seed))
+	base := make([]core.Problem, distinct)
+	for i := range base {
+		pr := core.Problem{
+			AllowDataParallel: rng.Intn(2) == 0,
+			Objective:         core.Objective(rng.Intn(2)), // MinPeriod / MinLatency
+		}
+		procs := 3 + rng.Intn(3)
+		if rng.Intn(2) == 0 {
+			pr.Platform = platform.Homogeneous(procs, float64(1+rng.Intn(3)))
+		} else {
+			pr.Platform = platform.Random(rng, procs, 5)
+		}
+		stages := 3 + rng.Intn(3)
+		if rng.Intn(2) == 0 {
+			g := workflow.RandomPipeline(rng, stages, 9)
+			pr.Pipeline = &g
+		} else {
+			g := workflow.RandomFork(rng, stages, 9)
+			pr.Fork = &g
+		}
+		base[i] = pr
+	}
+	problems := make([]core.Problem, 0, distinct*dup)
+	for d := 0; d < dup; d++ {
+		problems = append(problems, base...)
+	}
+	return problems
+}
+
+// BenchmarkEngineSolveBatch contrasts solving N instances serially with
+// the engine's worker-pool + memoization batch path.
+func BenchmarkEngineSolveBatch(b *testing.B) {
+	problems := engineBenchProblems(15, 16, 4)
+	b.Run("Serial", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, pr := range problems {
+				if _, err := core.Solve(pr, core.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("Engine", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := engine.SolveBatch(context.Background(), problems, core.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkEngineParetoFront contrasts the serial candidate-period sweep
+// with the engine-backed sweep (concurrent batches + monotonicity pruning
+// on exactly-solved instances) on a heterogeneous 8-processor NP-hard
+// pipeline instance — the acceptance benchmark of the engine refactor.
+func BenchmarkEngineParetoFront(b *testing.B) {
+	p := workflow.NewPipeline(14, 4, 2, 4, 7, 5, 3, 9)
+	pl := platform.New(5, 4, 3, 3, 2, 2, 1, 1)
+	pr := core.Problem{Pipeline: &p, Platform: pl, AllowDataParallel: true}
+
+	var serialFront, engineFront []core.Solution
+	b.Run("Serial", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			front, err := core.ParetoFront(pr, core.Options{})
+			if err != nil || len(front) == 0 {
+				b.Fatalf("bad front: %v (err=%v)", len(front), err)
+			}
+			serialFront = front
+		}
+	})
+	b.Run("Engine", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			front, err := engine.ParetoFront(context.Background(), pr, core.Options{})
+			if err != nil || len(front) == 0 {
+				b.Fatalf("bad front: %v (err=%v)", len(front), err)
+			}
+			engineFront = front
+		}
+	})
+	if serialFront != nil && engineFront != nil && !reflect.DeepEqual(serialFront, engineFront) {
+		b.Fatal("engine front diverges from serial front")
 	}
 }

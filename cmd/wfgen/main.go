@@ -6,16 +6,27 @@
 //	wfgen -kind pipeline|fork|forkjoin [-n stages] [-p procs]
 //	      [-maxw W] [-maxs S] [-hom-graph] [-hom-platform]
 //	      [-dp] [-objective min-period] [-bound B] [-seed N] [-out file]
+//	      [-count N] [-parallel]
+//
+// With -count N a batch of N instances is generated (seeds seed..seed+N-1);
+// for a file output the index is appended to the name (inst.json ->
+// inst_000.json). With -parallel the generated batch is additionally solved
+// concurrently on the batch engine and a summary line is printed per
+// instance — a fast sanity pass over freshly generated corpora.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"math/rand"
 	"os"
+	"path/filepath"
+	"strings"
 
 	"repliflow/internal/core"
+	"repliflow/internal/engine"
 	"repliflow/internal/instance"
 	"repliflow/internal/platform"
 	"repliflow/internal/workflow"
@@ -34,20 +45,18 @@ func main() {
 	bound := flag.Float64("bound", 0, "threshold for bounded objectives")
 	seed := flag.Int64("seed", 1, "random seed")
 	out := flag.String("out", "-", "output file ('-' for stdout)")
+	count := flag.Int("count", 1, "number of instances to generate (seeds seed..seed+count-1)")
+	parallel := flag.Bool("parallel", false, "solve the generated batch concurrently and print a summary per instance")
 	flag.Parse()
 
-	if err := run(*kind, *n, *p, *maxW, *maxS, *homGraph, *homPlat, *dp, *objective, *bound, *seed, *out); err != nil {
+	if err := run(*kind, *n, *p, *maxW, *maxS, *homGraph, *homPlat, *dp, *objective, *bound, *seed, *out, *count, *parallel, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "wfgen:", err)
 		os.Exit(1)
 	}
 }
 
-func run(kind string, n, p, maxW, maxS int, homGraph, homPlat, dp bool, objective string, bound float64, seed int64, out string) error {
-	if _, err := instance.ParseObjective(objective); err != nil {
-		return err
-	}
-	rng := rand.New(rand.NewSource(seed))
-
+// generate builds one random problem from the given rng and parameters.
+func generate(rng *rand.Rand, kind string, n, p, maxW, maxS int, homGraph, homPlat, dp bool, bound float64) (core.Problem, error) {
 	pr := core.Problem{AllowDataParallel: dp, Bound: bound}
 	if homPlat {
 		pr.Platform = platform.Homogeneous(p, float64(1+rng.Intn(maxS)))
@@ -80,20 +89,80 @@ func run(kind string, n, p, maxW, maxS int, homGraph, homPlat, dp bool, objectiv
 		}
 		pr.ForkJoin = &g
 	default:
-		return fmt.Errorf("unknown kind %q (want pipeline, fork or forkjoin)", kind)
+		return core.Problem{}, fmt.Errorf("unknown kind %q (want pipeline, fork or forkjoin)", kind)
+	}
+	return pr, nil
+}
+
+// batchPath derives the output path of instance i in a batch: a single
+// instance keeps the exact name, a batch appends the index before the
+// extension.
+func batchPath(out string, i, count int) string {
+	if out == "-" || count <= 1 {
+		return out
+	}
+	ext := filepath.Ext(out)
+	return fmt.Sprintf("%s_%03d%s", strings.TrimSuffix(out, ext), i, ext)
+}
+
+func run(kind string, n, p, maxW, maxS int, homGraph, homPlat, dp bool, objective string, bound float64, seed int64, out string, count int, parallel bool, sum io.Writer) error {
+	obj, err := instance.ParseObjective(objective)
+	if err != nil {
+		return err
+	}
+	if count < 1 {
+		return fmt.Errorf("count must be >= 1, got %d", count)
 	}
 
-	ins := instance.FromProblem(pr)
-	ins.Objective = objective
-
-	var w io.Writer = os.Stdout
-	if out != "-" {
-		f, err := os.Create(out)
+	problems := make([]core.Problem, count)
+	names := make([]string, count)
+	for i := 0; i < count; i++ {
+		rng := rand.New(rand.NewSource(seed + int64(i)))
+		pr, err := generate(rng, kind, n, p, maxW, maxS, homGraph, homPlat, dp, bound)
 		if err != nil {
 			return err
 		}
-		defer f.Close()
-		w = f
+		// The summary solve must use the requested objective, exactly as
+		// wfmap will when reading the generated file.
+		pr.Objective = obj
+		problems[i] = pr
+
+		ins := instance.FromProblem(pr)
+		ins.Objective = objective
+		names[i] = batchPath(out, i, count)
+		var w io.Writer = os.Stdout
+		if names[i] != "-" {
+			f, err := os.Create(names[i])
+			if err != nil {
+				return err
+			}
+			if err := instance.Write(f, ins); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := instance.Write(w, ins); err != nil {
+			return err
+		}
 	}
-	return instance.Write(w, ins)
+
+	if !parallel {
+		return nil
+	}
+	// Sanity pass: solve the whole batch concurrently and summarize.
+	sols, err := engine.SolveBatch(context.Background(), problems, core.Options{})
+	if err != nil {
+		return err
+	}
+	for i, name := range names {
+		if name == "-" {
+			names[i] = fmt.Sprintf("seed %d", seed+int64(i))
+		}
+	}
+	instance.WriteSummary(sum, names, sols)
+	return nil
 }

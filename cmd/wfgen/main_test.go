@@ -1,6 +1,9 @@
 package main
 
 import (
+	"bytes"
+	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -15,7 +18,7 @@ func TestGenerateAllKinds(t *testing.T) {
 		for _, homGraph := range []bool{false, true} {
 			for _, homPlat := range []bool{false, true} {
 				path := filepath.Join(t.TempDir(), "out.json")
-				err := run(kind, 4, 3, 9, 5, homGraph, homPlat, true, "min-period", 0, 7, path)
+				err := run(kind, 4, 3, 9, 5, homGraph, homPlat, true, "min-period", 0, 7, path, 1, false, io.Discard)
 				if err != nil {
 					t.Fatalf("%s: %v", kind, err)
 				}
@@ -44,11 +47,11 @@ func TestGenerateAllKinds(t *testing.T) {
 }
 
 func TestGenerateRejectsBadArgs(t *testing.T) {
-	if err := run("dag", 4, 3, 9, 5, false, false, false, "min-period", 0, 1, "-"); err == nil ||
+	if err := run("dag", 4, 3, 9, 5, false, false, false, "min-period", 0, 1, "-", 1, false, io.Discard); err == nil ||
 		!strings.Contains(err.Error(), "unknown kind") {
 		t.Errorf("bad kind accepted: %v", err)
 	}
-	if err := run("pipeline", 4, 3, 9, 5, false, false, false, "maximize-joy", 0, 1, "-"); err == nil {
+	if err := run("pipeline", 4, 3, 9, 5, false, false, false, "maximize-joy", 0, 1, "-", 1, false, io.Discard); err == nil {
 		t.Error("bad objective accepted")
 	}
 }
@@ -57,15 +60,52 @@ func TestGenerateDeterministicForSeed(t *testing.T) {
 	dir := t.TempDir()
 	p1 := filepath.Join(dir, "a.json")
 	p2 := filepath.Join(dir, "b.json")
-	if err := run("pipeline", 5, 4, 9, 5, false, false, true, "min-latency", 0, 42, p1); err != nil {
+	if err := run("pipeline", 5, 4, 9, 5, false, false, true, "min-latency", 0, 42, p1, 1, false, io.Discard); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("pipeline", 5, 4, 9, 5, false, false, true, "min-latency", 0, 42, p2); err != nil {
+	if err := run("pipeline", 5, 4, 9, 5, false, false, true, "min-latency", 0, 42, p2, 1, false, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	a, _ := os.ReadFile(p1)
 	b, _ := os.ReadFile(p2)
 	if string(a) != string(b) {
 		t.Error("same seed produced different instances")
+	}
+}
+
+func TestGenerateBatchCount(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "batch.json")
+	var sum bytes.Buffer
+	if err := run("pipeline", 3, 3, 9, 5, false, false, true, "min-period", 0, 5, out, 4, true, &sum); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		path := filepath.Join(dir, fmt.Sprintf("batch_%03d.json", i))
+		f, err := os.Open(path)
+		if err != nil {
+			t.Fatalf("batch file %d missing: %v", i, err)
+		}
+		ins, err := instance.Read(f)
+		f.Close()
+		if err != nil {
+			t.Fatalf("batch file %d unreadable: %v", i, err)
+		}
+		if _, err := ins.Problem(); err != nil {
+			t.Fatalf("batch file %d invalid: %v", i, err)
+		}
+	}
+	s := sum.String()
+	if lines := strings.Count(s, "\n"); lines != 5 { // header + 4 instances
+		t.Errorf("summary printed %d lines, want 5:\n%s", lines, s)
+	}
+	if !strings.Contains(s, "batch_000.json") {
+		t.Errorf("summary missing instance name:\n%s", s)
+	}
+}
+
+func TestGenerateBatchRejectsBadCount(t *testing.T) {
+	if err := run("pipeline", 3, 3, 9, 5, false, false, false, "min-period", 0, 1, "-", 0, false, io.Discard); err == nil {
+		t.Error("count 0 accepted")
 	}
 }

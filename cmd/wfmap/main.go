@@ -1,22 +1,28 @@
-// Command wfmap solves a workflow mapping problem instance read from a
-// JSON file (or stdin) and prints the optimal (or heuristic) mapping with
-// its period, latency and Table 1 classification.
+// Command wfmap solves workflow mapping problem instances read from JSON
+// files (or stdin) and prints the optimal (or heuristic) mapping with its
+// period, latency and Table 1 classification.
 //
 // Usage:
 //
 //	wfmap [-in instance.json] [-max-exhaustive-procs N]
+//	wfmap -pareto [-in instance.json]
+//	wfmap -parallel instance1.json instance2.json ...
 //
-// The instance format is documented in internal/instance; wfgen produces
-// compatible files.
+// With -parallel the positional instance files are solved concurrently on
+// the batch engine (one worker per CPU, memoized across duplicates) and a
+// summary line is printed per instance. The instance format is documented
+// in internal/instance; wfgen produces compatible files.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 
 	"repliflow/internal/core"
+	"repliflow/internal/engine"
 	"repliflow/internal/instance"
 )
 
@@ -24,12 +30,16 @@ func main() {
 	in := flag.String("in", "-", "instance JSON file ('-' for stdin)")
 	maxProcs := flag.Int("max-exhaustive-procs", 0, "override the exhaustive-search processor limit for NP-hard cells (0 = default)")
 	pareto := flag.Bool("pareto", false, "print the full period/latency Pareto front instead of a single solution")
+	parallel := flag.Bool("parallel", false, "solve the positional instance files concurrently on the batch engine")
 	flag.Parse()
 
 	var err error
-	if *pareto {
+	switch {
+	case *parallel:
+		err = runBatch(flag.Args(), *maxProcs, os.Stdout)
+	case *pareto:
 		err = runPareto(*in, *maxProcs, os.Stdout)
-	} else {
+	default:
 		err = run(*in, *maxProcs, os.Stdout)
 	}
 	if err != nil {
@@ -38,14 +48,38 @@ func main() {
 	}
 }
 
-// runPareto prints the trade-off curve of the instance.
+// runBatch solves the instance files concurrently and prints one summary
+// line per instance, in input order.
+func runBatch(paths []string, maxProcs int, out io.Writer) error {
+	if len(paths) == 0 {
+		return fmt.Errorf("-parallel requires instance files as arguments")
+	}
+	problems := make([]core.Problem, len(paths))
+	for i, path := range paths {
+		pr, err := loadProblem(path)
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		problems[i] = pr
+	}
+	opts := core.Options{MaxExhaustivePipelineProcs: maxProcs}
+	sols, err := engine.SolveBatch(context.Background(), problems, opts)
+	if err != nil {
+		return err
+	}
+	instance.WriteSummary(out, paths, sols)
+	return nil
+}
+
+// runPareto prints the trade-off curve of the instance, sweeping the
+// candidate periods concurrently on the batch engine.
 func runPareto(path string, maxProcs int, out io.Writer) error {
 	pr, err := loadProblem(path)
 	if err != nil {
 		return err
 	}
 	opts := core.Options{MaxExhaustivePipelineProcs: maxProcs}
-	front, err := core.ParetoFront(pr, opts)
+	front, err := engine.ParetoFront(context.Background(), pr, opts)
 	if err != nil {
 		return err
 	}
@@ -60,7 +94,7 @@ func runPareto(path string, maxProcs int, out io.Writer) error {
 		default:
 			m = sol.ForkJoinMapping
 		}
-		fmt.Fprintf(out, "%-12g %-12g %-9v %s\n", sol.Cost.Period, sol.Cost.Latency, sol.Exact, m)
+		fmt.Fprintf(out, "%-12.6g %-12.6g %-9v %s\n", sol.Cost.Period, sol.Cost.Latency, sol.Exact, m)
 	}
 	return nil
 }

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -95,5 +96,43 @@ func TestRunErrors(t *testing.T) {
 	bad := writeTemp(t, `{"objective": "min-period", "platform": {"speeds": [1]}}`)
 	if err := run(bad, 0, &bytes.Buffer{}); err == nil {
 		t.Error("graphless instance accepted")
+	}
+}
+
+func TestRunBatchParallel(t *testing.T) {
+	dir := t.TempDir()
+	paths := make([]string, 3)
+	for i, spec := range []string{
+		`{"pipeline": {"weights": [14, 4, 2, 4]}, "platform": {"speeds": [1, 1, 1]}, "allowDataParallel": true, "objective": "min-latency"}`,
+		`{"fork": {"root": 2, "weights": [1, 3]}, "platform": {"speeds": [1, 1]}, "objective": "min-period"}`,
+		`{"pipeline": {"weights": [14, 4, 2, 4]}, "platform": {"speeds": [1, 1, 1]}, "allowDataParallel": true, "objective": "min-period"}`,
+	} {
+		paths[i] = filepath.Join(dir, fmt.Sprintf("inst%d.json", i))
+		if err := os.WriteFile(paths[i], []byte(spec), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var out bytes.Buffer
+	if err := runBatch(paths, 0, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	lines := strings.Count(s, "\n")
+	if lines != 4 { // header + one line per instance
+		t.Errorf("batch printed %d lines, want 4:\n%s", lines, s)
+	}
+	for _, want := range []string{"17", "inst0.json", "inst1.json", "inst2.json", "Poly"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("batch output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestRunBatchErrors(t *testing.T) {
+	if err := runBatch(nil, 0, &bytes.Buffer{}); err == nil {
+		t.Error("empty batch accepted")
+	}
+	if err := runBatch([]string{filepath.Join(t.TempDir(), "missing.json")}, 0, &bytes.Buffer{}); err == nil {
+		t.Error("missing file accepted")
 	}
 }

@@ -1,0 +1,79 @@
+package main
+
+import (
+	"math/rand"
+	"testing"
+
+	"repliflow/internal/exhaustive"
+	"repliflow/internal/heuristics"
+	"repliflow/internal/nph"
+	"repliflow/internal/numeric"
+	"repliflow/internal/platform"
+	"repliflow/internal/workflow"
+)
+
+// TestHardnessReductionLogic exercises the example's Theorem 5 reduction
+// demo: for each 2-PARTITION instance it prints, the mapping decision must
+// agree with the partition decision.
+func TestHardnessReductionLogic(t *testing.T) {
+	for _, a := range [][]int{
+		{5, 8, 3, 4, 6},
+		{5, 8, 3, 4, 10},
+		{5, 8, 3, 4, 7},
+	} {
+		_, yes, err := nph.TwoPartition(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pipe, plat, bound := nph.Theorem5Latency(a)
+		opt, ok := exhaustive.PipelineLatency(pipe, plat, true)
+		if !ok {
+			t.Fatalf("a=%v: no mapping found", a)
+		}
+		if numeric.LessEq(opt.Cost.Latency, bound) != yes {
+			t.Errorf("a=%v: reduction violated (latency %g, bound %g, partition %v)",
+				a, opt.Cost.Latency, bound, yes)
+		}
+	}
+}
+
+// TestHardnessHeuristicGapLogic exercises the example's heuristic-gap
+// measurement: heuristics never beat the exact optimum, and LPT stays
+// within its proven 4/3 bound.
+func TestHardnessHeuristicGapLogic(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 10; trial++ {
+		pipe := workflow.RandomPipeline(rng, 2+rng.Intn(4), 12)
+		plat := platform.Random(rng, 2+rng.Intn(3), 6)
+		_, hc, err := heuristics.HetPipelinePeriodNoDP(pipe, plat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt, ok := exhaustive.PipelinePeriod(pipe, plat, false)
+		if !ok {
+			continue
+		}
+		if numeric.Less(hc.Period, opt.Cost.Period) {
+			t.Errorf("heuristic beats the exact optimum: %g < %g", hc.Period, opt.Cost.Period)
+		}
+	}
+	for trial := 0; trial < 10; trial++ {
+		f := workflow.RandomFork(rng, 2+rng.Intn(3), 12)
+		plat := platform.Homogeneous(2+rng.Intn(2), 1)
+		_, hc, err := heuristics.HetForkLatencyLPT(f, plat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt, ok := exhaustive.ForkLatency(f, plat, false)
+		if !ok {
+			continue
+		}
+		gap := hc.Latency / opt.Cost.Latency
+		if numeric.Less(gap, 1) {
+			t.Errorf("LPT beats the exact optimum: gap %g", gap)
+		}
+		if gap > 4.0/3+1e-9 {
+			t.Errorf("LPT exceeded its 4/3 bound: gap %g", gap)
+		}
+	}
+}

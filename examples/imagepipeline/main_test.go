@@ -1,0 +1,68 @@
+package main
+
+import (
+	"testing"
+
+	"repliflow"
+	"repliflow/internal/sim"
+)
+
+// TestImagePipelineLogic exercises the example's solve-sweep-simulate
+// flow: the mono-criterion anchors solve, the bi-criteria sweep between
+// them is feasible and monotone, and the simulator confirms the analytic
+// period of the throughput-optimal mapping.
+func TestImagePipelineLogic(t *testing.T) {
+	pipe := repliflow.NewPipeline(80, 20, 35, 15, 10)
+	plat := repliflow.NewPlatform(4, 4, 1, 1, 1, 1)
+	problem := repliflow.Problem{
+		Pipeline:          &pipe,
+		Platform:          plat,
+		AllowDataParallel: true,
+	}
+
+	problem.Objective = repliflow.MinPeriod
+	fastest, err := repliflow.Solve(problem, repliflow.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	problem.Objective = repliflow.MinLatency
+	snappiest, err := repliflow.Solve(problem, repliflow.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fastest.Feasible || !snappiest.Feasible {
+		t.Fatal("anchor solves infeasible")
+	}
+	if fastest.Cost.Period > snappiest.Cost.Period {
+		t.Errorf("throughput anchor period %g exceeds latency anchor period %g",
+			fastest.Cost.Period, snappiest.Cost.Period)
+	}
+	if snappiest.Cost.Latency > fastest.Cost.Latency {
+		t.Errorf("latency anchor latency %g exceeds throughput anchor latency %g",
+			snappiest.Cost.Latency, fastest.Cost.Latency)
+	}
+
+	// The example's sweep between the anchors.
+	lo, hi := fastest.Cost.Period, snappiest.Cost.Period
+	problem.Objective = repliflow.LatencyUnderPeriod
+	for i := 0; i <= 8; i++ {
+		problem.Bound = lo + (hi-lo)*float64(i)/8
+		sol, err := repliflow.Solve(problem, repliflow.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sol.Feasible && sol.Cost.Period > problem.Bound+1e-9 {
+			t.Errorf("bound %g violated: period %g", problem.Bound, sol.Cost.Period)
+		}
+	}
+
+	// Simulator validation, as the example performs it.
+	tr, err := sim.SimulatePipeline(pipe, plat, *fastest.PipelineMapping, sim.Arrivals(2000, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := tr.SteadyStatePeriod() / fastest.Cost.Period; rel < 0.98 || rel > 1.02 {
+		t.Errorf("simulated period %g diverges from analytic %g",
+			tr.SteadyStatePeriod(), fastest.Cost.Period)
+	}
+}

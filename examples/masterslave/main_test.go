@@ -1,0 +1,61 @@
+package main
+
+import (
+	"testing"
+
+	"repliflow"
+)
+
+// TestMasterSlaveLogic exercises the example's fork-join schedule: the
+// optimal Theorem 14 extension mapping must beat both naive strategies on
+// latency, and the bi-criteria sweep must honour its bounds.
+func TestMasterSlaveLogic(t *testing.T) {
+	fj := repliflow.HomogeneousForkJoin(12, 16, 8, 20)
+	plat := repliflow.NewPlatform(6, 4, 2, 2, 1)
+
+	problem := repliflow.Problem{
+		ForkJoin:  &fj,
+		Platform:  plat,
+		Objective: repliflow.MinLatency,
+	}
+	optimal, err := repliflow.Solve(problem, repliflow.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !optimal.Feasible || !optimal.Exact {
+		t.Fatalf("optimal solve not exact-feasible: %v", optimal)
+	}
+
+	allLeaves := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	allFastest := repliflow.ForkJoinMapping{Blocks: []repliflow.ForkJoinBlock{
+		repliflow.NewForkJoinBlock(true, true, allLeaves, repliflow.Replicated, 0),
+	}}
+	c1, err := repliflow.EvalForkJoin(fj, plat, allFastest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replicateAll := repliflow.ForkJoinMapping{Blocks: []repliflow.ForkJoinBlock{
+		repliflow.NewForkJoinBlock(true, true, allLeaves, repliflow.Replicated, 0, 1, 2, 3, 4),
+	}}
+	c2, err := repliflow.EvalForkJoin(fj, plat, replicateAll)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if optimal.Cost.Latency > c1.Latency || optimal.Cost.Latency > c2.Latency {
+		t.Errorf("optimal latency %g worse than a naive strategy (%g, %g)",
+			optimal.Cost.Latency, c1.Latency, c2.Latency)
+	}
+
+	// Bi-criteria sweep of the example.
+	problem.Objective = repliflow.PeriodUnderLatency
+	for _, bound := range []float64{optimal.Cost.Latency, 1.2 * optimal.Cost.Latency, 2 * optimal.Cost.Latency} {
+		problem.Bound = bound
+		sol, err := repliflow.Solve(problem, repliflow.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sol.Feasible && sol.Cost.Latency > bound+1e-9 {
+			t.Errorf("latency bound %g violated: latency %g", bound, sol.Cost.Latency)
+		}
+	}
+}

@@ -1,0 +1,46 @@
+package main
+
+import (
+	"testing"
+
+	"repliflow"
+)
+
+// TestQuickstartLogic exercises the example's public-API calls and pins
+// the Section 2 numbers it prints: minimum period 8 (replicate
+// everything), minimum latency 17 (data-parallelize the heavy stage).
+func TestQuickstartLogic(t *testing.T) {
+	pipe := repliflow.NewPipeline(14, 4, 2, 4)
+	plat := repliflow.HomogeneousPlatform(3, 1)
+	solve := func(obj repliflow.Objective, bound float64) repliflow.Solution {
+		sol, err := repliflow.Solve(repliflow.Problem{
+			Pipeline:          &pipe,
+			Platform:          plat,
+			AllowDataParallel: true,
+			Objective:         obj,
+			Bound:             bound,
+		}, repliflow.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sol
+	}
+
+	if sol := solve(repliflow.MinPeriod, 0); sol.Cost.Period != 8 {
+		t.Errorf("min period = %g, want 8", sol.Cost.Period)
+	}
+	if sol := solve(repliflow.MinLatency, 0); sol.Cost.Latency != 17 {
+		t.Errorf("min latency = %g, want 17", sol.Cost.Latency)
+	}
+	// The bi-criteria sweep of the example: every bound it prints must
+	// solve, and the loosest bound must be feasible.
+	for _, bound := range []float64{8, 10, 14, 24} {
+		sol := solve(repliflow.LatencyUnderPeriod, bound)
+		if bound >= 8 && !sol.Feasible {
+			t.Errorf("period bound %g infeasible, want feasible", bound)
+		}
+		if sol.Feasible && sol.Cost.Period > bound {
+			t.Errorf("period bound %g violated: got period %g", bound, sol.Cost.Period)
+		}
+	}
+}

@@ -1,9 +1,31 @@
 package core
 
 import (
+	"context"
+
 	"repliflow/internal/numeric"
 	"repliflow/internal/platform"
 )
+
+// BatchSolver solves a slice of subproblems under shared options, returning
+// solutions aligned by index. The Pareto sweep is parameterized over it so
+// a concurrent engine can be injected without core depending on one: the
+// serial default solves the slice in order with SolveContext.
+type BatchSolver func(ctx context.Context, problems []Problem, opts Options) ([]Solution, error)
+
+// serialBatch is the default BatchSolver: one SolveContext call per
+// subproblem, in order.
+func serialBatch(ctx context.Context, problems []Problem, opts Options) ([]Solution, error) {
+	out := make([]Solution, len(problems))
+	for i, pr := range problems {
+		sol, err := SolveContext(ctx, pr, opts)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = sol
+	}
+	return out, nil
+}
 
 // ParetoFront computes the period/latency trade-off curve of a problem
 // instance: the set of non-dominated (period, latency) pairs, each with a
@@ -14,6 +36,19 @@ import (
 // on instances the dispatcher solves exactly the front is exact; points
 // obtained through heuristics are upper bounds (Solution.Exact == false).
 func ParetoFront(pr Problem, opts Options) ([]Solution, error) {
+	return ParetoFrontWith(context.Background(), pr, opts, nil)
+}
+
+// ParetoFrontWith is ParetoFront with an explicit context and a pluggable
+// batch solver for the candidate-period subproblems (nil = serial). The
+// front is a pure function of the instance: any correct BatchSolver —
+// serial, concurrent, cached — produces identical output, because the
+// candidate subproblems are independent and the dominance filtering below
+// is deterministic.
+func ParetoFrontWith(ctx context.Context, pr Problem, opts Options, batch BatchSolver) ([]Solution, error) {
+	if batch == nil {
+		batch = serialBatch
+	}
 	if pr.Objective.Bounded() && pr.Bound <= 0 {
 		pr.Bound = 1 // neutralize validation; the objective is overridden below
 	}
@@ -21,19 +56,28 @@ func ParetoFront(pr Problem, opts Options) ([]Solution, error) {
 	if err := pr.Validate(); err != nil {
 		return nil, err
 	}
-	opts = opts.normalized()
+	opts = opts.Normalized()
 
-	cands := candidatePeriods(pr)
-	var front []Solution
-	prevLatency := numeric.Inf
-	for _, k := range cands {
+	// Solve every candidate-period subproblem up front: they are mutually
+	// independent, so a concurrent batch solver can fan them out.
+	cands := CandidatePeriods(pr)
+	subs := make([]Problem, len(cands))
+	for i, k := range cands {
 		sub := pr
 		sub.Objective = LatencyUnderPeriod
 		sub.Bound = k
-		sol, err := Solve(sub, opts)
-		if err != nil {
-			return nil, err
-		}
+		subs[i] = sub
+	}
+	sols, err := batch(ctx, subs, opts)
+	if err != nil {
+		return nil, err
+	}
+
+	// Dominance filtering is a serial walk over the ascending candidates;
+	// only the few accepted points pay a tightening solve.
+	var front []Solution
+	prevLatency := numeric.Inf
+	for _, sol := range sols {
 		if !sol.Feasible || numeric.GreaterEq(sol.Cost.Latency, prevLatency) {
 			continue
 		}
@@ -41,9 +85,9 @@ func ParetoFront(pr Problem, opts Options) ([]Solution, error) {
 		tight := pr
 		tight.Objective = PeriodUnderLatency
 		tight.Bound = sol.Cost.Latency
-		if ts, err := Solve(tight, opts); err == nil && ts.Feasible &&
-			numeric.LessEq(ts.Cost.Latency, sol.Cost.Latency) && numeric.LessEq(ts.Cost.Period, sol.Cost.Period) {
-			sol = ts
+		if tsols, err := batch(ctx, []Problem{tight}, opts); err == nil && tsols[0].Feasible &&
+			numeric.LessEq(tsols[0].Cost.Latency, sol.Cost.Latency) && numeric.LessEq(tsols[0].Cost.Period, sol.Cost.Period) {
+			sol = tsols[0]
 		}
 		front = append(front, sol)
 		prevLatency = sol.Cost.Latency
@@ -51,11 +95,13 @@ func ParetoFront(pr Problem, opts Options) ([]Solution, error) {
 	return front, nil
 }
 
-// candidatePeriods returns a superset of the achievable block-period
+// CandidatePeriods returns a superset of the achievable block-period
 // values of the instance, ascending and deduplicated. For homogeneous
 // graphs a closed form keeps the set polynomial; otherwise block weights
 // are enumerated over stage subsets (fine at exhaustive-search sizes).
-func candidatePeriods(pr Problem) []float64 {
+// The optimal period of any mapping is one of these values, which is what
+// makes the ParetoFront sweep exact on exactly-solved cells.
+func CandidatePeriods(pr Problem) []float64 {
 	pl := pr.Platform
 	var weights []float64 // achievable block weights
 	switch {

@@ -1,0 +1,180 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"repliflow/internal/workflow"
+)
+
+// CellKey identifies one dispatch cell of Table 1: the graph kind, the two
+// homogeneity axes, the mapping model (with or without data-parallelism)
+// and the objective. Every problem instance reduces to exactly one key,
+// and every key resolves to exactly one registered solver.
+type CellKey struct {
+	Kind                workflow.Kind
+	PlatformHomogeneous bool
+	GraphHomogeneous    bool
+	DataParallel        bool
+	Objective           Objective
+}
+
+// String implements fmt.Stringer with a compact cell label.
+func (k CellKey) String() string {
+	plat, graph, model := "het-platform", "het-graph", "no-dp"
+	if k.PlatformHomogeneous {
+		plat = "hom-platform"
+	}
+	if k.GraphHomogeneous {
+		graph = "hom-graph"
+	}
+	if k.DataParallel {
+		model = "dp"
+	}
+	return fmt.Sprintf("%s/%s/%s/%s/%s", k.Kind, plat, graph, model, k.Objective)
+}
+
+// SolverFunc solves one (validated, options-normalized) problem instance.
+// Implementations must honour ctx: long searches return ctx.Err() promptly
+// once the context is cancelled.
+type SolverFunc func(ctx context.Context, pr Problem, opts Options) (Solution, error)
+
+// SolverEntry is one registered solver: the algorithm family used for
+// in-limit instances, whether that family is exact, the paper result
+// backing the cell, and the solver itself. On NP-hard cells Method and
+// Exact describe the exhaustive path; oversized instances fall back to
+// polynomial heuristics at solve time (reported per-solution through
+// Solution.Method and Solution.Exact).
+type SolverEntry struct {
+	Method Method
+	Exact  bool
+	Source string
+	Solve  SolverFunc
+}
+
+// registry maps every Table 1 dispatch cell to its solver. It is populated
+// at init time by solvepipeline.go and solvefork.go and immutable after.
+var registry = map[CellKey]SolverEntry{}
+
+// register installs a solver entry, panicking on duplicates or nil solvers:
+// both are programming errors caught by any test run.
+func register(key CellKey, e SolverEntry) {
+	if e.Solve == nil {
+		panic(fmt.Sprintf("core: nil solver registered for cell %v", key))
+	}
+	if _, dup := registry[key]; dup {
+		panic(fmt.Sprintf("core: duplicate solver registration for cell %v", key))
+	}
+	registry[key] = e
+}
+
+// CellKeyOf returns the dispatch key of a problem. The problem should be
+// validated first; the key of an invalid problem is unspecified.
+func CellKeyOf(pr Problem) CellKey {
+	return CellKey{
+		Kind:                pr.graphKind(),
+		PlatformHomogeneous: pr.Platform.IsHomogeneous(),
+		GraphHomogeneous:    pr.graphHomogeneous(),
+		DataParallel:        pr.AllowDataParallel,
+		Objective:           pr.Objective,
+	}
+}
+
+// LookupSolver returns the registered solver entry for a dispatch cell.
+func LookupSolver(key CellKey) (SolverEntry, bool) {
+	e, ok := registry[key]
+	return e, ok
+}
+
+// RegisteredCells returns every registered dispatch key in a deterministic
+// order.
+func RegisteredCells() []CellKey {
+	keys := make([]CellKey, 0, len(registry))
+	for k := range registry {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i].String() < keys[j].String() })
+	return keys
+}
+
+// AllCellKeys enumerates every dispatch key Classify can emit: the full
+// cross product of graph kinds, homogeneity axes, mapping models and
+// objectives. The registry-completeness test checks each resolves to a
+// registered solver.
+func AllCellKeys() []CellKey {
+	var keys []CellKey
+	for _, kind := range []workflow.Kind{workflow.KindPipeline, workflow.KindFork, workflow.KindForkJoin} {
+		for _, platHom := range []bool{false, true} {
+			for _, graphHom := range []bool{false, true} {
+				for _, dp := range []bool{false, true} {
+					for _, obj := range []Objective{MinPeriod, MinLatency, LatencyUnderPeriod, PeriodUnderLatency} {
+						keys = append(keys, CellKey{kind, platHom, graphHom, dp, obj})
+					}
+				}
+			}
+		}
+	}
+	return keys
+}
+
+// classificationOf returns the Table 1 cell of a validated problem without
+// re-validating it.
+func classificationOf(pr Problem) Classification {
+	platHom := pr.Platform.IsHomogeneous()
+	graphHom := pr.graphHomogeneous()
+	dp := pr.AllowDataParallel
+	bounded := pr.Objective.Bounded()
+	if pr.graphKind() == workflow.KindPipeline {
+		return classifyPipeline(platHom, graphHom, dp, pr.Objective, bounded)
+	}
+	return classifyFork(platHom, graphHom, dp, pr.Objective, bounded)
+}
+
+// ExactlySolvable reports whether Solve is guaranteed to return an exact
+// solution (Solution.Exact == true) for the instance under opts: either
+// the cell is polynomial, or it is NP-hard but within the exhaustive
+// search limits. The instance must be valid.
+func ExactlySolvable(pr Problem, opts Options) bool {
+	opts = opts.Normalized()
+	if classificationOf(pr).Complexity.Polynomial() {
+		return true
+	}
+	switch {
+	case pr.Pipeline != nil:
+		return pr.Platform.Processors() <= opts.MaxExhaustivePipelineProcs
+	case pr.Fork != nil:
+		return pr.Fork.Leaves()+1 <= opts.MaxExhaustiveForkStages &&
+			pr.Platform.Processors() <= opts.MaxExhaustiveForkProcs
+	default:
+		return pr.ForkJoin.Leaves()+2 <= opts.MaxExhaustiveForkStages &&
+			pr.Platform.Processors() <= opts.MaxExhaustiveForkProcs
+	}
+}
+
+// SolveContext classifies the problem into its Table 1 cell and solves it
+// with the registered solver, honouring ctx: exhaustive searches on NP-hard
+// cells poll the context and return ctx.Err() promptly when cancelled. The
+// zero Options value applies DefaultOptions.
+func SolveContext(ctx context.Context, pr Problem, opts Options) (Solution, error) {
+	if err := ctx.Err(); err != nil {
+		return Solution{}, err
+	}
+	if err := pr.Validate(); err != nil {
+		return Solution{}, err
+	}
+	opts = opts.Normalized()
+	key := CellKeyOf(pr)
+	e, ok := registry[key]
+	if !ok {
+		// Unreachable when the registry is complete (guaranteed by test).
+		return Solution{}, fmt.Errorf("core: no solver registered for cell %v", key)
+	}
+	return e.Solve(ctx, pr, opts)
+}
+
+// Solve classifies the problem into its Table 1 cell and solves it with
+// the matching algorithm. The zero Options value applies DefaultOptions.
+func Solve(pr Problem, opts Options) (Solution, error) {
+	return SolveContext(context.Background(), pr, opts)
+}

@@ -105,7 +105,10 @@ func DefaultOptions() Options {
 	}
 }
 
-func (o Options) normalized() Options {
+// Normalized returns the options with zero fields replaced by their
+// DefaultOptions values — the form Solve works with internally, and the
+// form batch engines should fingerprint.
+func (o Options) Normalized() Options {
 	d := DefaultOptions()
 	if o.MaxExhaustivePipelineProcs <= 0 {
 		o.MaxExhaustivePipelineProcs = d.MaxExhaustivePipelineProcs

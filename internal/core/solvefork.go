@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"repliflow/internal/exhaustive"
 	"repliflow/internal/forkalgo"
 	"repliflow/internal/heuristics"
@@ -17,6 +19,14 @@ func forkSolution(m mapping.ForkMapping, c mapping.Cost, method Method, exact bo
 	}
 }
 
+func forkJoinSolution(m mapping.ForkJoinMapping, c mapping.Cost, method Method, exact bool, cl Classification) Solution {
+	cp := m
+	return Solution{
+		ForkJoinMapping: &cp, Cost: c,
+		Method: method, Exact: exact, Feasible: true, Classification: cl,
+	}
+}
+
 // wholeForkOnProcessor maps the entire fork onto the single processor q.
 func wholeForkOnProcessor(f workflow.Fork, q int) mapping.ForkMapping {
 	leaves := make([]int, f.Leaves())
@@ -28,36 +38,82 @@ func wholeForkOnProcessor(f workflow.Fork, q int) mapping.ForkMapping {
 	}}
 }
 
-func solveFork(pr Problem, opts Options) (Solution, error) {
-	f := *pr.Fork
-	pl := pr.Platform
-	cl, err := Classify(pr)
+// wholeForkJoinOnProcessor maps the entire fork-join onto processor q.
+func wholeForkJoinOnProcessor(fj workflow.ForkJoin, q int) mapping.ForkJoinMapping {
+	leaves := make([]int, fj.Leaves())
+	for i := range leaves {
+		leaves[i] = i
+	}
+	return mapping.ForkJoinMapping{Blocks: []mapping.ForkJoinBlock{
+		mapping.NewForkJoinBlock(true, true, leaves, mapping.Replicated, q),
+	}}
+}
+
+// registerForkSolvers populates the registry with the fork and fork-join
+// columns of Table 1; fork-joins classify exactly as forks (Section 6.3),
+// so both kinds share the registration structure with kind-specific solver
+// funcs.
+func init() {
+	bools := []bool{false, true}
+	objs := []Objective{MinPeriod, MinLatency, LatencyUnderPeriod, PeriodUnderLatency}
+	for _, kind := range []workflow.Kind{workflow.KindFork, workflow.KindForkJoin} {
+		periodSolver, t11, t14, hard := solveForkHomPeriod, solveForkTheorem11, solveForkTheorem14, solveForkHard
+		if kind == workflow.KindForkJoin {
+			periodSolver, t11, t14, hard = solveForkJoinHomPeriod, solveForkJoinTheorem11, solveForkJoinTheorem14, solveForkJoinHard
+		}
+
+		// Homogeneous platforms: period is straightforward (Theorem 10);
+		// the remaining objectives are polynomial only for homogeneous
+		// forks (Theorem 11) and NP-hard otherwise (Theorem 12).
+		for _, gh := range bools {
+			for _, dp := range bools {
+				register(CellKey{kind, true, gh, dp, MinPeriod},
+					SolverEntry{MethodClosedForm, true, "Theorem 10", periodSolver})
+			}
+		}
+		for _, dp := range bools {
+			for _, obj := range objs[1:] {
+				register(CellKey{kind, true, true, dp, obj},
+					SolverEntry{MethodDP, true, "Theorem 11", t11})
+				register(CellKey{kind, true, false, dp, obj},
+					SolverEntry{MethodExhaustive, true, "Theorem 12", hard})
+			}
+		}
+
+		// Heterogeneous platforms: homogeneous forks without
+		// data-parallelism stay polynomial (Theorem 14); data-parallelism
+		// is NP-hard (Theorem 13), and so are heterogeneous forks
+		// (Theorems 12/15).
+		for _, obj := range objs {
+			register(CellKey{kind, false, true, false, obj},
+				SolverEntry{MethodBinarySearchDP, true, "Theorem 14", t14})
+			source := "Theorems 12/15"
+			if obj == MinPeriod {
+				source = "Theorem 15"
+			}
+			register(CellKey{kind, false, false, false, obj},
+				SolverEntry{MethodExhaustive, true, source, hard})
+			for _, gh := range bools {
+				register(CellKey{kind, false, gh, true, obj},
+					SolverEntry{MethodExhaustive, true, "Theorem 13", hard})
+			}
+		}
+	}
+}
+
+// --- Fork solvers ----------------------------------------------------------
+
+func solveForkHomPeriod(_ context.Context, pr Problem, _ Options) (Solution, error) {
+	res, err := forkalgo.HomForkPeriod(*pr.Fork, pr.Platform)
 	if err != nil {
 		return Solution{}, err
 	}
-
-	if pl.IsHomogeneous() {
-		if pr.Objective == MinPeriod {
-			res, err := forkalgo.HomForkPeriod(f, pl)
-			if err != nil {
-				return Solution{}, err
-			}
-			return forkSolution(res.Mapping, res.Cost, MethodClosedForm, true, cl), nil
-		}
-		if f.IsHomogeneous() {
-			return solveForkTheorem11(pr, f, cl)
-		}
-		return solveForkHard(pr, f, cl, opts), nil
-	}
-
-	if !pr.AllowDataParallel && f.IsHomogeneous() {
-		return solveForkTheorem14(pr, f, cl)
-	}
-	return solveForkHard(pr, f, cl, opts), nil
+	return forkSolution(res.Mapping, res.Cost, MethodClosedForm, true, classificationOf(pr)), nil
 }
 
-func solveForkTheorem11(pr Problem, f workflow.Fork, cl Classification) (Solution, error) {
-	pl, dp := pr.Platform, pr.AllowDataParallel
+func solveForkTheorem11(_ context.Context, pr Problem, _ Options) (Solution, error) {
+	f, pl, dp := *pr.Fork, pr.Platform, pr.AllowDataParallel
+	cl := classificationOf(pr)
 	switch pr.Objective {
 	case MinLatency:
 		res, err := forkalgo.HomForkLatency(f, pl, dp)
@@ -86,8 +142,9 @@ func solveForkTheorem11(pr Problem, f workflow.Fork, cl Classification) (Solutio
 	}
 }
 
-func solveForkTheorem14(pr Problem, f workflow.Fork, cl Classification) (Solution, error) {
-	pl := pr.Platform
+func solveForkTheorem14(_ context.Context, pr Problem, _ Options) (Solution, error) {
+	f, pl := *pr.Fork, pr.Platform
+	cl := classificationOf(pr)
 	switch pr.Objective {
 	case MinPeriod:
 		res, err := forkalgo.HetHomForkPeriodNoDP(f, pl)
@@ -122,26 +179,34 @@ func solveForkTheorem14(pr Problem, f workflow.Fork, cl Classification) (Solutio
 	}
 }
 
-// solveForkHard handles the NP-hard fork cells.
-func solveForkHard(pr Problem, f workflow.Fork, cl Classification, opts Options) Solution {
+// solveForkHard handles the NP-hard fork cells: exact set-partition search
+// (with cancellation checkpoints) within the exhaustive limits, polynomial
+// heuristics polished by hill climbing beyond them.
+func solveForkHard(ctx context.Context, pr Problem, opts Options) (Solution, error) {
+	f := *pr.Fork
 	pl, dp := pr.Platform, pr.AllowDataParallel
+	cl := classificationOf(pr)
 	if f.Leaves()+1 <= opts.MaxExhaustiveForkStages && pl.Processors() <= opts.MaxExhaustiveForkProcs {
 		var res exhaustive.ForkResult
 		var ok bool
+		var err error
 		switch pr.Objective {
 		case MinPeriod:
-			res, ok = exhaustive.ForkPeriod(f, pl, dp)
+			res, ok, err = exhaustive.ForkPeriodCtx(ctx, f, pl, dp)
 		case MinLatency:
-			res, ok = exhaustive.ForkLatency(f, pl, dp)
+			res, ok, err = exhaustive.ForkLatencyCtx(ctx, f, pl, dp)
 		case LatencyUnderPeriod:
-			res, ok = exhaustive.ForkLatencyUnderPeriod(f, pl, dp, pr.Bound)
+			res, ok, err = exhaustive.ForkLatencyUnderPeriodCtx(ctx, f, pl, dp, pr.Bound)
 		default:
-			res, ok = exhaustive.ForkPeriodUnderLatency(f, pl, dp, pr.Bound)
+			res, ok, err = exhaustive.ForkPeriodUnderLatencyCtx(ctx, f, pl, dp, pr.Bound)
+		}
+		if err != nil {
+			return Solution{}, err
 		}
 		if !ok {
-			return infeasible(MethodExhaustive, true, cl)
+			return infeasible(MethodExhaustive, true, cl), nil
 		}
-		return forkSolution(res.Mapping, res.Cost, MethodExhaustive, true, cl)
+		return forkSolution(res.Mapping, res.Cost, MethodExhaustive, true, cl), nil
 	}
 	var maps []mapping.ForkMapping
 	var costs []mapping.Cost
@@ -163,7 +228,7 @@ func solveForkHard(pr Problem, f workflow.Fork, cl Classification, opts Options)
 	}
 	idx, ok := pickBestIndex(costs, pr)
 	if !ok {
-		return infeasible(MethodHeuristic, false, cl)
+		return infeasible(MethodHeuristic, false, cl), nil
 	}
 	best, bestCost := maps[idx], costs[idx]
 	// Polish with hill climbing on the optimized criterion, keeping the
@@ -184,57 +249,22 @@ func solveForkHard(pr Problem, f workflow.Fork, cl Classification, opts Options)
 			best, bestCost = m, c
 		}
 	}
-	return forkSolution(best, bestCost, MethodHeuristic, false, cl)
+	return forkSolution(best, bestCost, MethodHeuristic, false, cl), nil
 }
 
-func forkJoinSolution(m mapping.ForkJoinMapping, c mapping.Cost, method Method, exact bool, cl Classification) Solution {
-	cp := m
-	return Solution{
-		ForkJoinMapping: &cp, Cost: c,
-		Method: method, Exact: exact, Feasible: true, Classification: cl,
-	}
-}
+// --- Fork-join solvers -----------------------------------------------------
 
-// wholeForkJoinOnProcessor maps the entire fork-join onto processor q.
-func wholeForkJoinOnProcessor(fj workflow.ForkJoin, q int) mapping.ForkJoinMapping {
-	leaves := make([]int, fj.Leaves())
-	for i := range leaves {
-		leaves[i] = i
-	}
-	return mapping.ForkJoinMapping{Blocks: []mapping.ForkJoinBlock{
-		mapping.NewForkJoinBlock(true, true, leaves, mapping.Replicated, q),
-	}}
-}
-
-func solveForkJoin(pr Problem, opts Options) (Solution, error) {
-	fj := *pr.ForkJoin
-	pl := pr.Platform
-	cl, err := Classify(pr)
+func solveForkJoinHomPeriod(_ context.Context, pr Problem, _ Options) (Solution, error) {
+	res, err := forkalgo.HomForkJoinPeriod(*pr.ForkJoin, pr.Platform)
 	if err != nil {
 		return Solution{}, err
 	}
-
-	if pl.IsHomogeneous() {
-		if pr.Objective == MinPeriod {
-			res, err := forkalgo.HomForkJoinPeriod(fj, pl)
-			if err != nil {
-				return Solution{}, err
-			}
-			return forkJoinSolution(res.Mapping, res.Cost, MethodClosedForm, true, cl), nil
-		}
-		if fj.IsHomogeneous() {
-			return solveForkJoinTheorem11(pr, fj, cl)
-		}
-		return solveForkJoinHard(pr, fj, cl, opts), nil
-	}
-	if !pr.AllowDataParallel && fj.IsHomogeneous() {
-		return solveForkJoinTheorem14(pr, fj, cl)
-	}
-	return solveForkJoinHard(pr, fj, cl, opts), nil
+	return forkJoinSolution(res.Mapping, res.Cost, MethodClosedForm, true, classificationOf(pr)), nil
 }
 
-func solveForkJoinTheorem11(pr Problem, fj workflow.ForkJoin, cl Classification) (Solution, error) {
-	pl, dp := pr.Platform, pr.AllowDataParallel
+func solveForkJoinTheorem11(_ context.Context, pr Problem, _ Options) (Solution, error) {
+	fj, pl, dp := *pr.ForkJoin, pr.Platform, pr.AllowDataParallel
+	cl := classificationOf(pr)
 	switch pr.Objective {
 	case MinLatency:
 		res, err := forkalgo.HomForkJoinLatency(fj, pl, dp)
@@ -263,8 +293,9 @@ func solveForkJoinTheorem11(pr Problem, fj workflow.ForkJoin, cl Classification)
 	}
 }
 
-func solveForkJoinTheorem14(pr Problem, fj workflow.ForkJoin, cl Classification) (Solution, error) {
-	pl := pr.Platform
+func solveForkJoinTheorem14(_ context.Context, pr Problem, _ Options) (Solution, error) {
+	fj, pl := *pr.ForkJoin, pr.Platform
+	cl := classificationOf(pr)
 	switch pr.Objective {
 	case MinPeriod:
 		res, err := forkalgo.HetHomForkJoinPeriodNoDP(fj, pl)
@@ -299,25 +330,31 @@ func solveForkJoinTheorem14(pr Problem, fj workflow.ForkJoin, cl Classification)
 	}
 }
 
-func solveForkJoinHard(pr Problem, fj workflow.ForkJoin, cl Classification, opts Options) Solution {
+func solveForkJoinHard(ctx context.Context, pr Problem, opts Options) (Solution, error) {
+	fj := *pr.ForkJoin
 	pl, dp := pr.Platform, pr.AllowDataParallel
+	cl := classificationOf(pr)
 	if fj.Leaves()+2 <= opts.MaxExhaustiveForkStages && pl.Processors() <= opts.MaxExhaustiveForkProcs {
 		var res exhaustive.ForkJoinResult
 		var ok bool
+		var err error
 		switch pr.Objective {
 		case MinPeriod:
-			res, ok = exhaustive.ForkJoinPeriod(fj, pl, dp)
+			res, ok, err = exhaustive.ForkJoinPeriodCtx(ctx, fj, pl, dp)
 		case MinLatency:
-			res, ok = exhaustive.ForkJoinLatency(fj, pl, dp)
+			res, ok, err = exhaustive.ForkJoinLatencyCtx(ctx, fj, pl, dp)
 		case LatencyUnderPeriod:
-			res, ok = exhaustive.ForkJoinLatencyUnderPeriod(fj, pl, dp, pr.Bound)
+			res, ok, err = exhaustive.ForkJoinLatencyUnderPeriodCtx(ctx, fj, pl, dp, pr.Bound)
 		default:
-			res, ok = exhaustive.ForkJoinPeriodUnderLatency(fj, pl, dp, pr.Bound)
+			res, ok, err = exhaustive.ForkJoinPeriodUnderLatencyCtx(ctx, fj, pl, dp, pr.Bound)
+		}
+		if err != nil {
+			return Solution{}, err
 		}
 		if !ok {
-			return infeasible(MethodExhaustive, true, cl)
+			return infeasible(MethodExhaustive, true, cl), nil
 		}
-		return forkJoinSolution(res.Mapping, res.Cost, MethodExhaustive, true, cl)
+		return forkJoinSolution(res.Mapping, res.Cost, MethodExhaustive, true, cl), nil
 	}
 	var maps []mapping.ForkJoinMapping
 	var costs []mapping.Cost
@@ -335,24 +372,7 @@ func solveForkJoinHard(pr Problem, fj workflow.ForkJoin, cl Classification, opts
 	}
 	idx, ok := pickBestIndex(costs, pr)
 	if !ok {
-		return infeasible(MethodHeuristic, false, cl)
+		return infeasible(MethodHeuristic, false, cl), nil
 	}
-	return forkJoinSolution(maps[idx], costs[idx], MethodHeuristic, false, cl)
-}
-
-// Solve classifies the problem into its Table 1 cell and solves it with
-// the matching algorithm. The zero Options value applies DefaultOptions.
-func Solve(pr Problem, opts Options) (Solution, error) {
-	if err := pr.Validate(); err != nil {
-		return Solution{}, err
-	}
-	opts = opts.normalized()
-	switch {
-	case pr.Pipeline != nil:
-		return solvePipeline(pr, opts)
-	case pr.Fork != nil:
-		return solveFork(pr, opts)
-	default:
-		return solveForkJoin(pr, opts)
-	}
+	return forkJoinSolution(maps[idx], costs[idx], MethodHeuristic, false, cl), nil
 }

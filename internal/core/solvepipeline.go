@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"repliflow/internal/exhaustive"
 	"repliflow/internal/heuristics"
 	"repliflow/internal/mapping"
@@ -22,159 +24,207 @@ func infeasible(method Method, exact bool, cl Classification) Solution {
 	return Solution{Method: method, Exact: exact, Feasible: false, Classification: cl}
 }
 
-func solvePipeline(pr Problem, opts Options) (Solution, error) {
-	p := *pr.Pipeline
-	pl := pr.Platform
-	cl, err := Classify(pr)
+// registerPipelineSolvers populates the registry with the pipeline column
+// of Table 1. Cells whose algorithm ignores an axis (e.g. Theorem 1 works
+// for any graph homogeneity) are registered once per concrete key so the
+// registry stays total over the cross product.
+func init() {
+	kind := workflow.KindPipeline
+	bools := []bool{false, true}
+
+	// Homogeneous platforms: every cell is polynomial (Theorems 1-4,
+	// Corollary 1).
+	for _, gh := range bools {
+		for _, dp := range bools {
+			register(CellKey{kind, true, gh, dp, MinPeriod},
+				SolverEntry{MethodClosedForm, true, "Theorem 1", solvePipeHomPeriod})
+		}
+		register(CellKey{kind, true, gh, false, MinLatency},
+			SolverEntry{MethodClosedForm, true, "Theorem 2", solvePipeHomLatencyNoDP})
+		register(CellKey{kind, true, gh, false, LatencyUnderPeriod},
+			SolverEntry{MethodClosedForm, true, "Corollary 1", solvePipeHomBiCriteriaNoDP})
+		register(CellKey{kind, true, gh, false, PeriodUnderLatency},
+			SolverEntry{MethodClosedForm, true, "Corollary 1", solvePipeHomBiCriteriaNoDP})
+		register(CellKey{kind, true, gh, true, MinLatency},
+			SolverEntry{MethodDP, true, "Theorem 3", solvePipeHomLatencyDP})
+		register(CellKey{kind, true, gh, true, LatencyUnderPeriod},
+			SolverEntry{MethodDP, true, "Theorem 4", solvePipeHomLatencyUnderPeriodDP})
+		register(CellKey{kind, true, gh, true, PeriodUnderLatency},
+			SolverEntry{MethodDP, true, "Theorem 4", solvePipeHomPeriodUnderLatencyDP})
+	}
+
+	// Heterogeneous platforms without data-parallelism: latency is always
+	// polynomial (Theorem 6); period-type objectives are polynomial for
+	// homogeneous pipelines (Theorems 7-8) and NP-hard otherwise
+	// (Theorem 9).
+	for _, gh := range bools {
+		register(CellKey{kind, false, gh, false, MinLatency},
+			SolverEntry{MethodClosedForm, true, "Theorem 6", solvePipeHetLatencyNoDP})
+	}
+	register(CellKey{kind, false, true, false, MinPeriod},
+		SolverEntry{MethodBinarySearchDP, true, "Theorem 7", solvePipeHetHomPeriodNoDP})
+	register(CellKey{kind, false, true, false, LatencyUnderPeriod},
+		SolverEntry{MethodBinarySearchDP, true, "Theorem 8", solvePipeHetHomLatencyUnderPeriodNoDP})
+	register(CellKey{kind, false, true, false, PeriodUnderLatency},
+		SolverEntry{MethodBinarySearchDP, true, "Theorem 8", solvePipeHetHomPeriodUnderLatencyNoDP})
+	for _, obj := range []Objective{MinPeriod, LatencyUnderPeriod, PeriodUnderLatency} {
+		register(CellKey{kind, false, false, false, obj},
+			SolverEntry{MethodExhaustive, true, "Theorem 9", solvePipelineHard})
+	}
+
+	// Data-parallelism on heterogeneous platforms is NP-hard across the
+	// board (Theorem 5 covers homogeneous pipelines; heterogeneous ones
+	// inherit the hardness).
+	for _, gh := range bools {
+		for _, obj := range []Objective{MinPeriod, MinLatency, LatencyUnderPeriod, PeriodUnderLatency} {
+			register(CellKey{kind, false, gh, true, obj},
+				SolverEntry{MethodExhaustive, true, "Theorem 5", solvePipelineHard})
+		}
+	}
+}
+
+// --- Polynomial cells (homogeneous platform) -------------------------------
+
+func solvePipeHomPeriod(_ context.Context, pr Problem, _ Options) (Solution, error) {
+	res, err := pipealgo.HomPeriod(*pr.Pipeline, pr.Platform)
 	if err != nil {
 		return Solution{}, err
 	}
-	if pl.IsHomogeneous() {
-		return solvePipelineHom(pr, p, cl)
-	}
-	if pr.AllowDataParallel {
-		return solvePipelineHetDP(pr, p, cl, opts), nil
-	}
-	return solvePipelineHetNoDP(pr, p, cl, opts)
+	return pipeSolution(res.Mapping, res.Cost, MethodClosedForm, true, classificationOf(pr)), nil
 }
 
-func solvePipelineHom(pr Problem, p workflow.Pipeline, cl Classification) (Solution, error) {
-	pl := pr.Platform
-	switch pr.Objective {
-	case MinPeriod:
-		res, err := pipealgo.HomPeriod(p, pl)
-		if err != nil {
-			return Solution{}, err
-		}
-		return pipeSolution(res.Mapping, res.Cost, MethodClosedForm, true, cl), nil
-	case MinLatency:
-		if !pr.AllowDataParallel {
-			res, err := pipealgo.HomLatencyNoDP(p, pl)
-			if err != nil {
-				return Solution{}, err
-			}
-			return pipeSolution(res.Mapping, res.Cost, MethodClosedForm, true, cl), nil
-		}
-		res, err := pipealgo.HomLatencyDP(p, pl)
-		if err != nil {
-			return Solution{}, err
-		}
-		return pipeSolution(res.Mapping, res.Cost, MethodDP, true, cl), nil
-	case LatencyUnderPeriod:
-		if !pr.AllowDataParallel {
-			// Corollary 1: every mapping has latency W/s; replicating
-			// everything reaches the minimum period.
-			res, err := pipealgo.HomBiCriteriaNoDP(p, pl)
-			if err != nil {
-				return Solution{}, err
-			}
-			if numeric.Greater(res.Cost.Period, pr.Bound) {
-				return infeasible(MethodClosedForm, true, cl), nil
-			}
-			return pipeSolution(res.Mapping, res.Cost, MethodClosedForm, true, cl), nil
-		}
-		res, ok, err := pipealgo.HomLatencyUnderPeriodDP(p, pl, pr.Bound)
-		if err != nil {
-			return Solution{}, err
-		}
-		if !ok {
-			return infeasible(MethodDP, true, cl), nil
-		}
-		return pipeSolution(res.Mapping, res.Cost, MethodDP, true, cl), nil
-	default: // PeriodUnderLatency
-		if !pr.AllowDataParallel {
-			res, err := pipealgo.HomBiCriteriaNoDP(p, pl)
-			if err != nil {
-				return Solution{}, err
-			}
-			if numeric.Greater(res.Cost.Latency, pr.Bound) {
-				return infeasible(MethodClosedForm, true, cl), nil
-			}
-			return pipeSolution(res.Mapping, res.Cost, MethodClosedForm, true, cl), nil
-		}
-		res, ok, err := pipealgo.HomPeriodUnderLatencyDP(p, pl, pr.Bound)
-		if err != nil {
-			return Solution{}, err
-		}
-		if !ok {
-			return infeasible(MethodDP, true, cl), nil
-		}
-		return pipeSolution(res.Mapping, res.Cost, MethodDP, true, cl), nil
+func solvePipeHomLatencyNoDP(_ context.Context, pr Problem, _ Options) (Solution, error) {
+	res, err := pipealgo.HomLatencyNoDP(*pr.Pipeline, pr.Platform)
+	if err != nil {
+		return Solution{}, err
 	}
+	return pipeSolution(res.Mapping, res.Cost, MethodClosedForm, true, classificationOf(pr)), nil
 }
 
-func solvePipelineHetNoDP(pr Problem, p workflow.Pipeline, cl Classification, opts Options) (Solution, error) {
-	pl := pr.Platform
-	switch pr.Objective {
-	case MinLatency:
-		res, err := pipealgo.HetLatencyNoDP(p, pl)
-		if err != nil {
-			return Solution{}, err
-		}
-		return pipeSolution(res.Mapping, res.Cost, MethodClosedForm, true, cl), nil
-	case MinPeriod:
-		if p.IsHomogeneous() {
-			res, err := pipealgo.HetHomPipelinePeriodNoDP(p, pl)
-			if err != nil {
-				return Solution{}, err
-			}
-			return pipeSolution(res.Mapping, res.Cost, MethodBinarySearchDP, true, cl), nil
-		}
-		return solvePipelineHard(pr, p, cl, opts), nil
-	case LatencyUnderPeriod:
-		if p.IsHomogeneous() {
-			res, ok, err := pipealgo.HetHomPipelineLatencyUnderPeriodNoDP(p, pl, pr.Bound)
-			if err != nil {
-				return Solution{}, err
-			}
-			if !ok {
-				return infeasible(MethodBinarySearchDP, true, cl), nil
-			}
-			return pipeSolution(res.Mapping, res.Cost, MethodBinarySearchDP, true, cl), nil
-		}
-		return solvePipelineHard(pr, p, cl, opts), nil
-	default: // PeriodUnderLatency
-		if p.IsHomogeneous() {
-			res, ok, err := pipealgo.HetHomPipelinePeriodUnderLatencyNoDP(p, pl, pr.Bound)
-			if err != nil {
-				return Solution{}, err
-			}
-			if !ok {
-				return infeasible(MethodBinarySearchDP, true, cl), nil
-			}
-			return pipeSolution(res.Mapping, res.Cost, MethodBinarySearchDP, true, cl), nil
-		}
-		return solvePipelineHard(pr, p, cl, opts), nil
+// solvePipeHomBiCriteriaNoDP handles Corollary 1: without data-parallelism
+// every mapping has latency W/s, so replicating everything reaches the
+// minimum period; the bound only decides feasibility.
+func solvePipeHomBiCriteriaNoDP(_ context.Context, pr Problem, _ Options) (Solution, error) {
+	cl := classificationOf(pr)
+	res, err := pipealgo.HomBiCriteriaNoDP(*pr.Pipeline, pr.Platform)
+	if err != nil {
+		return Solution{}, err
 	}
+	bounded := res.Cost.Period
+	if pr.Objective == PeriodUnderLatency {
+		bounded = res.Cost.Latency
+	}
+	if numeric.Greater(bounded, pr.Bound) {
+		return infeasible(MethodClosedForm, true, cl), nil
+	}
+	return pipeSolution(res.Mapping, res.Cost, MethodClosedForm, true, cl), nil
 }
 
-func solvePipelineHetDP(pr Problem, p workflow.Pipeline, cl Classification, opts Options) Solution {
-	return solvePipelineHard(pr, p, cl, opts)
+func solvePipeHomLatencyDP(_ context.Context, pr Problem, _ Options) (Solution, error) {
+	res, err := pipealgo.HomLatencyDP(*pr.Pipeline, pr.Platform)
+	if err != nil {
+		return Solution{}, err
+	}
+	return pipeSolution(res.Mapping, res.Cost, MethodDP, true, classificationOf(pr)), nil
 }
+
+func solvePipeHomLatencyUnderPeriodDP(_ context.Context, pr Problem, _ Options) (Solution, error) {
+	cl := classificationOf(pr)
+	res, ok, err := pipealgo.HomLatencyUnderPeriodDP(*pr.Pipeline, pr.Platform, pr.Bound)
+	if err != nil {
+		return Solution{}, err
+	}
+	if !ok {
+		return infeasible(MethodDP, true, cl), nil
+	}
+	return pipeSolution(res.Mapping, res.Cost, MethodDP, true, cl), nil
+}
+
+func solvePipeHomPeriodUnderLatencyDP(_ context.Context, pr Problem, _ Options) (Solution, error) {
+	cl := classificationOf(pr)
+	res, ok, err := pipealgo.HomPeriodUnderLatencyDP(*pr.Pipeline, pr.Platform, pr.Bound)
+	if err != nil {
+		return Solution{}, err
+	}
+	if !ok {
+		return infeasible(MethodDP, true, cl), nil
+	}
+	return pipeSolution(res.Mapping, res.Cost, MethodDP, true, cl), nil
+}
+
+// --- Polynomial cells (heterogeneous platform, no data-parallelism) --------
+
+func solvePipeHetLatencyNoDP(_ context.Context, pr Problem, _ Options) (Solution, error) {
+	res, err := pipealgo.HetLatencyNoDP(*pr.Pipeline, pr.Platform)
+	if err != nil {
+		return Solution{}, err
+	}
+	return pipeSolution(res.Mapping, res.Cost, MethodClosedForm, true, classificationOf(pr)), nil
+}
+
+func solvePipeHetHomPeriodNoDP(_ context.Context, pr Problem, _ Options) (Solution, error) {
+	res, err := pipealgo.HetHomPipelinePeriodNoDP(*pr.Pipeline, pr.Platform)
+	if err != nil {
+		return Solution{}, err
+	}
+	return pipeSolution(res.Mapping, res.Cost, MethodBinarySearchDP, true, classificationOf(pr)), nil
+}
+
+func solvePipeHetHomLatencyUnderPeriodNoDP(_ context.Context, pr Problem, _ Options) (Solution, error) {
+	cl := classificationOf(pr)
+	res, ok, err := pipealgo.HetHomPipelineLatencyUnderPeriodNoDP(*pr.Pipeline, pr.Platform, pr.Bound)
+	if err != nil {
+		return Solution{}, err
+	}
+	if !ok {
+		return infeasible(MethodBinarySearchDP, true, cl), nil
+	}
+	return pipeSolution(res.Mapping, res.Cost, MethodBinarySearchDP, true, cl), nil
+}
+
+func solvePipeHetHomPeriodUnderLatencyNoDP(_ context.Context, pr Problem, _ Options) (Solution, error) {
+	cl := classificationOf(pr)
+	res, ok, err := pipealgo.HetHomPipelinePeriodUnderLatencyNoDP(*pr.Pipeline, pr.Platform, pr.Bound)
+	if err != nil {
+		return Solution{}, err
+	}
+	if !ok {
+		return infeasible(MethodBinarySearchDP, true, cl), nil
+	}
+	return pipeSolution(res.Mapping, res.Cost, MethodBinarySearchDP, true, cl), nil
+}
+
+// --- NP-hard cells ---------------------------------------------------------
 
 // solvePipelineHard handles the NP-hard pipeline cells: exact exhaustive
-// search when the platform is small enough, polynomial heuristics
-// otherwise.
-func solvePipelineHard(pr Problem, p workflow.Pipeline, cl Classification, opts Options) Solution {
+// search (with cancellation checkpoints) when the platform is small enough,
+// polynomial heuristics otherwise.
+func solvePipelineHard(ctx context.Context, pr Problem, opts Options) (Solution, error) {
+	p := *pr.Pipeline
 	pl := pr.Platform
+	cl := classificationOf(pr)
 	dp := pr.AllowDataParallel
 	if pl.Processors() <= opts.MaxExhaustivePipelineProcs {
 		var res exhaustive.PipelineResult
 		var ok bool
+		var err error
 		switch pr.Objective {
 		case MinPeriod:
-			res, ok = exhaustive.PipelinePeriod(p, pl, dp)
+			res, ok, err = exhaustive.PipelinePeriodCtx(ctx, p, pl, dp)
 		case MinLatency:
-			res, ok = exhaustive.PipelineLatency(p, pl, dp)
+			res, ok, err = exhaustive.PipelineLatencyCtx(ctx, p, pl, dp)
 		case LatencyUnderPeriod:
-			res, ok = exhaustive.PipelineLatencyUnderPeriod(p, pl, dp, pr.Bound)
+			res, ok, err = exhaustive.PipelineLatencyUnderPeriodCtx(ctx, p, pl, dp, pr.Bound)
 		default:
-			res, ok = exhaustive.PipelinePeriodUnderLatency(p, pl, dp, pr.Bound)
+			res, ok, err = exhaustive.PipelinePeriodUnderLatencyCtx(ctx, p, pl, dp, pr.Bound)
+		}
+		if err != nil {
+			return Solution{}, err
 		}
 		if !ok {
-			return infeasible(MethodExhaustive, true, cl)
+			return infeasible(MethodExhaustive, true, cl), nil
 		}
-		return pipeSolution(res.Mapping, res.Cost, MethodExhaustive, true, cl)
+		return pipeSolution(res.Mapping, res.Cost, MethodExhaustive, true, cl), nil
 	}
 	// Heuristic path: gather candidate mappings and pick the best that
 	// meets the bound (if any).
@@ -200,9 +250,9 @@ func solvePipelineHard(pr Problem, p workflow.Pipeline, cl Classification, opts 
 	}
 	idx, okBest := pickBestIndex(costs, pr)
 	if !okBest {
-		return infeasible(MethodHeuristic, false, cl)
+		return infeasible(MethodHeuristic, false, cl), nil
 	}
-	return pipeSolution(maps[idx], costs[idx], MethodHeuristic, false, cl)
+	return pipeSolution(maps[idx], costs[idx], MethodHeuristic, false, cl), nil
 }
 
 // pickBestIndex selects the candidate cost minimizing the requested

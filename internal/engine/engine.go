@@ -1,0 +1,358 @@
+// Package engine runs repliflow solves at scale. Where internal/core
+// answers one question at a time, engine answers many: a worker pool fans
+// independent solves out across GOMAXPROCS, a memoization cache keyed by a
+// canonical instance fingerprint deduplicates repeated subproblems (within
+// a batch and across batches on a shared Engine), and the Pareto sweep is
+// rebuilt on top of the batch solver so candidate-period subproblems solve
+// concurrently while sharing classification and cache work.
+//
+// All entry points honour their context: cancellation propagates into the
+// exhaustive searches of NP-hard cells through core.SolveContext and
+// returns promptly with ctx.Err().
+package engine
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repliflow/internal/core"
+	"repliflow/internal/mapping"
+	"repliflow/internal/numeric"
+)
+
+// Engine is a concurrent, caching batch solver. The zero value is not
+// usable; construct with New. An Engine is safe for concurrent use and its
+// cache persists across calls — reuse one Engine to amortize solves over
+// many batches, or use the package-level helpers for one-shot work.
+type Engine struct {
+	workers int
+
+	mu    sync.Mutex
+	cache map[string]*cacheEntry
+
+	hits   atomic.Uint64
+	misses atomic.Uint64
+}
+
+// cacheEntry is a single-flight slot: the first goroutine to claim a
+// fingerprint computes the solution, every later one waits on done.
+type cacheEntry struct {
+	done chan struct{}
+	sol  core.Solution
+	err  error
+}
+
+// New returns an Engine running at most workers concurrent solves;
+// workers <= 0 selects GOMAXPROCS.
+func New(workers int) *Engine {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Engine{workers: workers, cache: make(map[string]*cacheEntry)}
+}
+
+// Workers returns the concurrency limit of the engine.
+func (e *Engine) Workers() int { return e.workers }
+
+// CacheStats returns the cumulative cache hit and miss counts.
+func (e *Engine) CacheStats() (hits, misses uint64) {
+	return e.hits.Load(), e.misses.Load()
+}
+
+// CacheSize returns the number of cached solutions.
+func (e *Engine) CacheSize() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.cache)
+}
+
+// Reset drops every cached solution (in-flight solves are unaffected:
+// their entries were claimed before the reset and complete normally).
+func (e *Engine) Reset() {
+	e.mu.Lock()
+	e.cache = make(map[string]*cacheEntry)
+	e.mu.Unlock()
+}
+
+// Solve solves one problem through the cache: a repeated instance returns
+// the memoized solution without re-solving, and concurrent solves of the
+// same instance share one computation (single flight). A failed flight is
+// never cached, and its error is never adopted by waiters whose own
+// context is still live — they retry the solve themselves, so one
+// caller's cancellation cannot spuriously abort an unrelated caller.
+func (e *Engine) Solve(ctx context.Context, pr core.Problem, opts core.Options) (core.Solution, error) {
+	if err := pr.Validate(); err != nil {
+		return core.Solution{}, err
+	}
+	key := Fingerprint(pr, opts)
+	for {
+		e.mu.Lock()
+		en, ok := e.cache[key]
+		if ok {
+			e.mu.Unlock()
+			e.hits.Add(1)
+			select {
+			case <-en.done:
+				if en.err == nil {
+					return cloneSolution(en.sol), nil
+				}
+				if err := ctx.Err(); err != nil {
+					return core.Solution{}, err
+				}
+				// The flight failed (typically another caller's
+				// cancellation) but our context is live: drop the dead
+				// entry if the computing goroutine hasn't yet, and retry.
+				e.dropEntry(key, en)
+				continue
+			case <-ctx.Done():
+				return core.Solution{}, ctx.Err()
+			}
+		}
+		en = &cacheEntry{done: make(chan struct{})}
+		e.cache[key] = en
+		e.mu.Unlock()
+		e.misses.Add(1)
+
+		en.sol, en.err = core.SolveContext(ctx, pr, opts)
+		close(en.done)
+		if en.err != nil {
+			// Never cache failures: a cancelled solve must not poison the
+			// fingerprint for future, uncancelled callers.
+			e.dropEntry(key, en)
+		}
+		return cloneSolution(en.sol), en.err
+	}
+}
+
+// dropEntry removes the given entry from the cache iff it is still the
+// one mapped at key (a retry may have installed a fresh flight already).
+func (e *Engine) dropEntry(key string, en *cacheEntry) {
+	e.mu.Lock()
+	if e.cache[key] == en {
+		delete(e.cache, key)
+	}
+	e.mu.Unlock()
+}
+
+// SolveBatch solves every problem concurrently across the worker pool,
+// returning solutions aligned by index. The first error (including
+// ctx.Err() on cancellation) aborts the batch and cancels the remaining
+// solves. Duplicate instances within the batch are solved once.
+func (e *Engine) SolveBatch(ctx context.Context, problems []core.Problem, opts core.Options) ([]core.Solution, error) {
+	if len(problems) == 0 {
+		return nil, ctx.Err()
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	sols := make([]core.Solution, len(problems))
+	jobs := make(chan int)
+	var firstErr error
+	var errOnce sync.Once
+	fail := func(err error) {
+		errOnce.Do(func() {
+			firstErr = err
+			cancel()
+		})
+	}
+
+	workers := e.workers
+	if workers > len(problems) {
+		workers = len(problems)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				sol, err := e.Solve(ctx, problems[i], opts)
+				if err != nil {
+					fail(err)
+					return
+				}
+				sols[i] = sol
+			}
+		}()
+	}
+feed:
+	for i := range problems {
+		select {
+		case jobs <- i:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return sols, nil
+}
+
+// ParetoFront computes the period/latency trade-off curve of the instance
+// on the engine, returning the identical front to the serial
+// core.ParetoFront. Candidate-period subproblems solve concurrently across
+// the worker pool and share the cache; on instances the dispatcher solves
+// exactly, the sweep additionally prunes by monotonicity — the optimal
+// latency under a period bound is non-increasing in the bound, so a
+// divide-and-conquer over the ascending candidate list skips every
+// candidate bracketed by two equal-latency (or two infeasible) probes.
+// Pruning changes which candidates are solved but never the front: the
+// skipped candidates are exactly those the serial dominance walk would
+// discard. Heuristically solved instances fall back to the full scan,
+// where monotonicity is not guaranteed.
+func (e *Engine) ParetoFront(ctx context.Context, pr core.Problem, opts core.Options) ([]core.Solution, error) {
+	// Mirror core.ParetoFrontWith's instance normalization.
+	if pr.Objective.Bounded() && pr.Bound <= 0 {
+		pr.Bound = 1
+	}
+	pr.Objective = core.MinPeriod
+	if err := pr.Validate(); err != nil {
+		return nil, err
+	}
+	opts = opts.Normalized()
+
+	lup := pr
+	lup.Objective = core.LatencyUnderPeriod
+	lup.Bound = 1
+	pul := pr
+	pul.Objective = core.PeriodUnderLatency
+	pul.Bound = 1
+	if core.ExactlySolvable(lup, opts) && core.ExactlySolvable(pul, opts) {
+		return e.paretoPruned(ctx, pr, opts)
+	}
+	return core.ParetoFrontWith(ctx, pr, opts, e.SolveBatch)
+}
+
+// paretoPruned is the exact-instance sweep: divide-and-conquer over the
+// candidate periods, solving each recursion level as one concurrent batch.
+// pr has been normalized to Objective == MinPeriod and validated.
+func (e *Engine) paretoPruned(ctx context.Context, pr core.Problem, opts core.Options) ([]core.Solution, error) {
+	cands := core.CandidatePeriods(pr)
+	n := len(cands)
+	if n == 0 {
+		return nil, nil
+	}
+	sols := make([]core.Solution, n)
+	solved := make([]bool, n)
+	solveIdx := func(idxs []int) error {
+		probs := make([]core.Problem, len(idxs))
+		for j, i := range idxs {
+			sub := pr
+			sub.Objective = core.LatencyUnderPeriod
+			sub.Bound = cands[i]
+			probs[j] = sub
+		}
+		res, err := e.SolveBatch(ctx, probs, opts)
+		if err != nil {
+			return err
+		}
+		for j, i := range idxs {
+			sols[i] = res[j]
+			solved[i] = true
+		}
+		return nil
+	}
+
+	if err := solveIdx([]int{0, n - 1}); err != nil {
+		return nil, err
+	}
+	type span struct{ lo, hi int }
+	spans := []span{{0, n - 1}}
+	for len(spans) > 0 {
+		var mids []int
+		var next []span
+		for _, s := range spans {
+			if s.hi-s.lo <= 1 {
+				continue
+			}
+			lo, hi := sols[s.lo], sols[s.hi]
+			// Monotonicity (exact instances): feasibility is monotone in
+			// the bound and optimal latency is non-increasing, so a span
+			// bracketed by two infeasible probes is all-infeasible, and
+			// one bracketed by equal latencies is all-equal — in either
+			// case the serial walk would skip every interior candidate.
+			if !lo.Feasible && !hi.Feasible {
+				continue
+			}
+			if lo.Feasible && hi.Feasible && numeric.Eq(lo.Cost.Latency, hi.Cost.Latency) {
+				continue
+			}
+			mid := (s.lo + s.hi) / 2
+			mids = append(mids, mid)
+			next = append(next, span{s.lo, mid}, span{mid, s.hi})
+		}
+		if len(mids) > 0 {
+			if err := solveIdx(mids); err != nil {
+				return nil, err
+			}
+		}
+		spans = next
+	}
+
+	// The serial dominance walk over the solved candidates, identical to
+	// core.ParetoFrontWith's filtering.
+	var front []core.Solution
+	prevLatency := numeric.Inf
+	for i := 0; i < n; i++ {
+		if !solved[i] {
+			continue
+		}
+		sol := sols[i]
+		if !sol.Feasible || numeric.GreaterEq(sol.Cost.Latency, prevLatency) {
+			continue
+		}
+		tight := pr
+		tight.Objective = core.PeriodUnderLatency
+		tight.Bound = sol.Cost.Latency
+		if ts, err := e.Solve(ctx, tight, opts); err == nil && ts.Feasible &&
+			numeric.LessEq(ts.Cost.Latency, sol.Cost.Latency) && numeric.LessEq(ts.Cost.Period, sol.Cost.Period) {
+			sol = ts
+		}
+		front = append(front, sol)
+		prevLatency = sol.Cost.Latency
+	}
+	return front, nil
+}
+
+// SolveBatch solves the problems concurrently on a fresh engine sized to
+// GOMAXPROCS. Duplicate instances in the batch are still solved once; use
+// an explicit Engine to share the cache across batches.
+func SolveBatch(ctx context.Context, problems []core.Problem, opts core.Options) ([]core.Solution, error) {
+	return New(0).SolveBatch(ctx, problems, opts)
+}
+
+// ParetoFront computes the trade-off curve concurrently on a fresh engine.
+func ParetoFront(ctx context.Context, pr core.Problem, opts core.Options) ([]core.Solution, error) {
+	return New(0).ParetoFront(ctx, pr, opts)
+}
+
+// cloneSolution returns a solution whose mapping is independent of the
+// cached one, so callers mutating a returned mapping cannot corrupt the
+// cache. Interval/block slices are copied; the read-only Procs slices are
+// shared.
+func cloneSolution(s core.Solution) core.Solution {
+	if s.PipelineMapping != nil {
+		m := *s.PipelineMapping
+		m.Intervals = append([]mapping.PipelineInterval(nil), m.Intervals...)
+		s.PipelineMapping = &m
+	}
+	if s.ForkMapping != nil {
+		m := *s.ForkMapping
+		m.Blocks = append([]mapping.ForkBlock(nil), m.Blocks...)
+		s.ForkMapping = &m
+	}
+	if s.ForkJoinMapping != nil {
+		m := *s.ForkJoinMapping
+		m.Blocks = append([]mapping.ForkJoinBlock(nil), m.Blocks...)
+		s.ForkJoinMapping = &m
+	}
+	return s
+}

@@ -1,0 +1,74 @@
+package engine
+
+import (
+	"strconv"
+	"strings"
+
+	"repliflow/internal/core"
+)
+
+// Fingerprint returns a canonical byte-exact identity of a problem instance
+// under the given options: two problems share a fingerprint iff Solve is
+// guaranteed to return the same solution for both. Floats are rendered in
+// hex notation ('x'), which round-trips every bit of the mantissa, so
+// instances differing by one ULP get distinct keys. Options are normalized
+// first, so the zero Options and an explicit DefaultOptions() collide as
+// they should.
+func Fingerprint(pr core.Problem, opts core.Options) string {
+	opts = opts.Normalized()
+	var b strings.Builder
+	b.Grow(128)
+	switch {
+	case pr.Pipeline != nil:
+		b.WriteString("P|")
+		writeFloats(&b, pr.Pipeline.Weights)
+	case pr.Fork != nil:
+		b.WriteString("F|")
+		writeFloat(&b, pr.Fork.Root)
+		b.WriteByte('|')
+		writeFloats(&b, pr.Fork.Weights)
+	case pr.ForkJoin != nil:
+		b.WriteString("J|")
+		writeFloat(&b, pr.ForkJoin.Root)
+		b.WriteByte('|')
+		writeFloat(&b, pr.ForkJoin.Join)
+		b.WriteByte('|')
+		writeFloats(&b, pr.ForkJoin.Weights)
+	default:
+		b.WriteString("?|")
+	}
+	b.WriteString("|s:")
+	writeFloats(&b, pr.Platform.Speeds)
+	b.WriteString("|dp:")
+	if pr.AllowDataParallel {
+		b.WriteByte('1')
+	} else {
+		b.WriteByte('0')
+	}
+	b.WriteString("|o:")
+	b.WriteString(strconv.Itoa(int(pr.Objective)))
+	if pr.Objective.Bounded() {
+		b.WriteString("|b:")
+		writeFloat(&b, pr.Bound)
+	}
+	b.WriteString("|l:")
+	b.WriteString(strconv.Itoa(opts.MaxExhaustivePipelineProcs))
+	b.WriteByte(',')
+	b.WriteString(strconv.Itoa(opts.MaxExhaustiveForkStages))
+	b.WriteByte(',')
+	b.WriteString(strconv.Itoa(opts.MaxExhaustiveForkProcs))
+	return b.String()
+}
+
+func writeFloat(b *strings.Builder, v float64) {
+	b.WriteString(strconv.FormatFloat(v, 'x', -1, 64))
+}
+
+func writeFloats(b *strings.Builder, vs []float64) {
+	for i, v := range vs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		writeFloat(b, v)
+	}
+}

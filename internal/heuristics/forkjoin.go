@@ -50,8 +50,10 @@ func HetForkJoinGreedy(fj workflow.ForkJoin, pl platform.Platform, minimizePerio
 	}
 
 	// Candidate join placements: with the root, or on the processor whose
-	// join-inclusive load/speed ratio is smallest.
-	joinCandidates := map[int]bool{rootProc: true}
+	// join-inclusive load/speed ratio is smallest. Kept as an ordered
+	// slice: tie-valued candidates must be tried in a deterministic order
+	// or the returned mapping varies from run to run.
+	joinCandidates := []int{rootProc}
 	bestU, bestRatio := -1, 0.0
 	for u := 0; u < p; u++ {
 		ratio := (loads[u] + fj.Join) / pl.Speeds[u]
@@ -59,7 +61,9 @@ func HetForkJoinGreedy(fj workflow.ForkJoin, pl platform.Platform, minimizePerio
 			bestU, bestRatio = u, ratio
 		}
 	}
-	joinCandidates[bestU] = true
+	if bestU != rootProc {
+		joinCandidates = append(joinCandidates, bestU)
+	}
 
 	build := func(joinProc int) mapping.ForkJoinMapping {
 		var m mapping.ForkJoinMapping
@@ -86,7 +90,7 @@ func HetForkJoinGreedy(fj workflow.ForkJoin, pl platform.Platform, minimizePerio
 			best, bestVal = m, obj(c)
 		}
 	}
-	for jp := range joinCandidates {
+	for _, jp := range joinCandidates {
 		consider(build(jp))
 	}
 	consider(mapping.ReplicateAllForkJoin(fj, pl))

@@ -1,0 +1,25 @@
+package instance
+
+import (
+	"fmt"
+	"io"
+
+	"repliflow/internal/core"
+)
+
+// WriteSummary prints one aligned summary line per solved instance —
+// period, latency, exactness and Table 1 cell — preceded by a header.
+// Shared by the wfgen and wfmap batch modes so the two CLIs cannot
+// drift apart.
+func WriteSummary(w io.Writer, names []string, sols []core.Solution) {
+	fmt.Fprintf(w, "%-28s %-12s %-12s %-9s %s\n", "instance", "period", "latency", "exact", "cell")
+	for i, sol := range sols {
+		if !sol.Feasible {
+			fmt.Fprintf(w, "%-28s %-12s %-12s %-9v %s (%s)\n",
+				names[i], "infeasible", "-", sol.Exact, sol.Classification.Complexity, sol.Classification.Source)
+			continue
+		}
+		fmt.Fprintf(w, "%-28s %-12.6g %-12.6g %-9v %s (%s)\n",
+			names[i], sol.Cost.Period, sol.Cost.Latency, sol.Exact, sol.Classification.Complexity, sol.Classification.Source)
+	}
+}

@@ -28,7 +28,10 @@
 package repliflow
 
 import (
+	"context"
+
 	"repliflow/internal/core"
+	"repliflow/internal/engine"
 	"repliflow/internal/mapping"
 	"repliflow/internal/platform"
 	"repliflow/internal/workflow"
@@ -91,6 +94,12 @@ type (
 	Classification = core.Classification
 	// Complexity is the Table 1 complexity class of a cell.
 	Complexity = core.Complexity
+	// CellKey is a Table 1 dispatch cell of the solver registry.
+	CellKey = core.CellKey
+	// SolverEntry is one registered solver; see core.SolverEntry.
+	SolverEntry = core.SolverEntry
+	// Engine is a concurrent, caching batch solver; see engine.Engine.
+	Engine = engine.Engine
 )
 
 // Objectives.
@@ -167,17 +176,49 @@ func NewPlatform(speeds ...float64) Platform { return platform.New(speeds...) }
 func HomogeneousPlatform(p int, s float64) Platform { return platform.Homogeneous(p, s) }
 
 // Solve classifies the problem into its Table 1 cell and solves it with the
-// matching algorithm. The zero Options applies core.DefaultOptions.
+// matching algorithm from the solver registry. The zero Options applies
+// core.DefaultOptions.
 func Solve(pr Problem, opts Options) (Solution, error) { return core.Solve(pr, opts) }
+
+// SolveContext is Solve with cancellation: exhaustive searches on NP-hard
+// cells poll ctx and return ctx.Err() promptly when it is cancelled.
+func SolveContext(ctx context.Context, pr Problem, opts Options) (Solution, error) {
+	return core.SolveContext(ctx, pr, opts)
+}
+
+// SolveBatch solves independent problems concurrently across GOMAXPROCS
+// workers, deduplicating repeated instances through a memoization cache.
+// Solutions align with the input by index; the first error aborts the
+// batch. Use NewEngine to share the cache across batches.
+func SolveBatch(ctx context.Context, problems []Problem, opts Options) ([]Solution, error) {
+	return engine.SolveBatch(ctx, problems, opts)
+}
+
+// NewEngine returns a reusable concurrent batch solver whose cache
+// persists across SolveBatch/ParetoFront calls; workers <= 0 selects
+// GOMAXPROCS.
+func NewEngine(workers int) *Engine { return engine.New(workers) }
 
 // Classify returns the Table 1 cell of a problem instance.
 func Classify(pr Problem) (Classification, error) { return core.Classify(pr) }
 
+// LookupSolver returns the registered solver entry for a dispatch cell,
+// exposing the method, exactness and paper source backing it.
+func LookupSolver(key CellKey) (SolverEntry, bool) { return core.LookupSolver(key) }
+
 // ParetoFront returns the period/latency trade-off curve of the instance:
 // non-dominated solutions ordered by increasing period. The problem's
-// Objective and Bound are ignored.
+// Objective and Bound are ignored. The sweep runs on the concurrent
+// engine; the front is identical to a serial sweep.
 func ParetoFront(pr Problem, opts Options) ([]Solution, error) {
-	return core.ParetoFront(pr, opts)
+	return engine.ParetoFront(context.Background(), pr, opts)
+}
+
+// ParetoFrontContext is ParetoFront with cancellation: the concurrent
+// candidate-period solves stop promptly with ctx.Err() when ctx is
+// cancelled.
+func ParetoFrontContext(ctx context.Context, pr Problem, opts Options) ([]Solution, error) {
+	return engine.ParetoFront(ctx, pr, opts)
 }
 
 // EvalPipeline returns the period and latency of a pipeline mapping under

@@ -1,9 +1,13 @@
 package repliflow_test
 
 import (
+	"context"
+	"errors"
+	"reflect"
 	"testing"
 
 	"repliflow"
+	"repliflow/internal/core"
 	"repliflow/internal/numeric"
 )
 
@@ -91,5 +95,82 @@ func TestPublicAPIForkAndForkJoin(t *testing.T) {
 	}
 	if !numeric.Eq(c.Period, 6) { // block 1 period 6/(1*1)
 		t.Fatalf("fork-join period = %v, want 6", c.Period)
+	}
+}
+
+func TestPublicAPIEngine(t *testing.T) {
+	pipe := repliflow.NewPipeline(14, 4, 2, 4)
+	plat := repliflow.HomogeneousPlatform(3, 1)
+	pr := repliflow.Problem{
+		Pipeline:          &pipe,
+		Platform:          plat,
+		AllowDataParallel: true,
+		Objective:         repliflow.MinLatency,
+	}
+
+	// SolveContext matches Solve.
+	want, err := repliflow.Solve(pr, repliflow.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := repliflow.SolveContext(context.Background(), pr, repliflow.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Error("SolveContext diverges from Solve")
+	}
+
+	// A cancelled context is honoured.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := repliflow.SolveContext(ctx, pr, repliflow.Options{}); !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled SolveContext returned %v", err)
+	}
+
+	// SolveBatch aligns solutions with inputs.
+	perPr := pr
+	perPr.Objective = repliflow.MinPeriod
+	sols, err := repliflow.SolveBatch(context.Background(), []repliflow.Problem{pr, perPr}, repliflow.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sols) != 2 || sols[0].Cost.Latency != 17 || sols[1].Cost.Period != 8 {
+		t.Errorf("batch solutions wrong: %v", sols)
+	}
+
+	// A reusable engine caches across calls.
+	eng := repliflow.NewEngine(2)
+	if _, err := eng.SolveBatch(context.Background(), []repliflow.Problem{pr, pr}, repliflow.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if hits, _ := eng.CacheStats(); hits == 0 {
+		t.Error("engine cache never hit on a duplicate batch")
+	}
+
+	// ParetoFrontContext returns the same front as ParetoFront.
+	f1, err := repliflow.ParetoFront(pr, repliflow.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := repliflow.ParetoFrontContext(context.Background(), pr, repliflow.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(f1, f2) {
+		t.Error("ParetoFrontContext diverges from ParetoFront")
+	}
+
+	// The registry is visible through the public API.
+	cl, err := repliflow.Classify(pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entry, ok := repliflow.LookupSolver(core.CellKeyOf(pr))
+	if !ok {
+		t.Fatal("no registered solver for the quickstart cell")
+	}
+	if entry.Source != cl.Source {
+		t.Errorf("registry source %q, classification source %q", entry.Source, cl.Source)
 	}
 }
