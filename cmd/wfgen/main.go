@@ -1,5 +1,6 @@
-// Command wfgen generates random workflow mapping problem instances in the
-// JSON format consumed by wfmap and wfsim.
+// Command wfgen generates random workflow mapping problem instances in
+// the JSON format consumed by wfmap, wfsim and wfserve, specified in
+// docs/wire-format.md.
 //
 // Usage:
 //
@@ -112,6 +113,12 @@ func run(kind string, n, p, maxW, maxS int, homGraph, homPlat, dp bool, objectiv
 	}
 	if count < 1 {
 		return fmt.Errorf("count must be >= 1, got %d", count)
+	}
+	if bound != 0 && !obj.Bounded() {
+		return fmt.Errorf("-bound requires a bounded objective (latency-under-period or period-under-latency), got %q", objective)
+	}
+	if obj.Bounded() && bound <= 0 {
+		return fmt.Errorf("objective %q requires a positive -bound", objective)
 	}
 
 	problems := make([]core.Problem, count)

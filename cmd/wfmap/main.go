@@ -10,8 +10,8 @@
 //
 // With -parallel the positional instance files are solved concurrently on
 // the batch engine (one worker per CPU, memoized across duplicates) and a
-// summary line is printed per instance. The instance format is documented
-// in internal/instance; wfgen produces compatible files.
+// summary line is printed per instance. The instance JSON format is
+// specified in docs/wire-format.md; wfgen produces compatible files.
 package main
 
 import (

@@ -1,0 +1,115 @@
+// Command wfserve serves repliflow solves over HTTP/JSON on the shared
+// concurrent batch engine: requests are validated, canonicalized,
+// deadline-bounded, coalesced through the engine's fingerprint cache and
+// solved on a bounded worker pool.
+//
+// Usage:
+//
+//	wfserve [-addr :8080] [-workers N] [-max-inflight N]
+//	        [-timeout 30s] [-max-timeout 5m] [-max-batch N]
+//	        [-max-cache-entries N] [-max-exhaustive-procs N]
+//
+// Endpoints (bodies documented in docs/wire-format.md):
+//
+//	POST /v1/solve        solve one instance
+//	POST /v1/solve/batch  solve many instances concurrently, deduplicated
+//	POST /v1/pareto       stream the period/latency front as NDJSON
+//	GET  /v1/classify     Table 1 cell metadata for one dispatch cell
+//	GET  /v1/table        metadata for every registered cell
+//	GET  /healthz         liveness
+//	GET  /metrics         Prometheus metrics (requests, cache, latency)
+//
+// Try it:
+//
+//	wfserve &
+//	curl -s localhost:8080/v1/solve -d '{
+//	  "pipeline": {"weights": [14, 4, 2, 4]},
+//	  "platform": {"speeds": [1, 1, 1]},
+//	  "allowDataParallel": true,
+//	  "objective": "min-latency"
+//	}'
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repliflow/internal/core"
+	"repliflow/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 0, "engine worker count (0 = GOMAXPROCS)")
+	inflight := flag.Int("max-inflight", 0, "max concurrently solving requests (0 = 2x workers)")
+	timeout := flag.Duration("timeout", 30*time.Second, "default per-request solve deadline")
+	maxTimeout := flag.Duration("max-timeout", 5*time.Minute, "upper clamp on request-supplied deadlines")
+	maxBatch := flag.Int("max-batch", 4096, "max instances per batch request")
+	maxCache := flag.Int("max-cache-entries", 0, "engine cache bound, epoch-evicted on overflow (0 = 65536)")
+	maxProcs := flag.Int("max-exhaustive-procs", 0, "override the exhaustive-search processor limits (pipeline and fork) for NP-hard cells (0 = defaults)")
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, *addr, *workers, *inflight, *timeout, *maxTimeout, *maxBatch, *maxCache, *maxProcs, nil); err != nil {
+		fmt.Fprintln(os.Stderr, "wfserve:", err)
+		os.Exit(1)
+	}
+}
+
+// run listens on addr and serves until ctx is cancelled (SIGINT/SIGTERM
+// in production), then drains in-flight requests gracefully. When ready
+// is non-nil it receives the bound address once the listener is up.
+func run(ctx context.Context, addr string, workers, inflight int, timeout, maxTimeout time.Duration, maxBatch, maxCache, maxProcs int, ready chan<- net.Addr) error {
+	srv := server.New(server.Config{
+		Workers:         workers,
+		MaxInFlight:     inflight,
+		DefaultTimeout:  timeout,
+		MaxTimeout:      maxTimeout,
+		MaxBatch:        maxBatch,
+		MaxCacheEntries: maxCache,
+		Options: core.Options{
+			MaxExhaustivePipelineProcs: maxProcs,
+			MaxExhaustiveForkProcs:     maxProcs,
+		},
+	})
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{
+		Handler:           srv,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	log.Printf("wfserve: listening on %s (workers=%d)", ln.Addr(), srv.Engine().Workers())
+	if ready != nil {
+		ready <- ln.Addr()
+	}
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	log.Printf("wfserve: shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(shutdownCtx); err != nil {
+		return err
+	}
+	if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}

@@ -8,6 +8,7 @@
 //
 //	wfsim [-in instance.json] [-datasets N]
 //
+// The instance JSON format is specified in docs/wire-format.md.
 // Fork-join instances are supported unless the solved mapping places the
 // join stage in the root's block (a shape the simulator rejects).
 package main

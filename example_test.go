@@ -1,6 +1,7 @@
 package repliflow_test
 
 import (
+	"context"
 	"fmt"
 
 	"repliflow"
@@ -65,6 +66,61 @@ func ExampleEvalPipeline() {
 	fmt.Println(c)
 	// Output:
 	// period=5 latency=13.5
+}
+
+// ExampleSolveBatch solves several instances concurrently. Duplicate
+// instances (here the first and last) are detected through the engine's
+// fingerprint cache and solved once; solutions align with the input by
+// index.
+func ExampleSolveBatch() {
+	pipe := repliflow.NewPipeline(14, 4, 2, 4)
+	plat := repliflow.HomogeneousPlatform(3, 1)
+	base := repliflow.Problem{
+		Pipeline:          &pipe,
+		Platform:          plat,
+		AllowDataParallel: true,
+	}
+	minLatency, minPeriod := base, base
+	minLatency.Objective = repliflow.MinLatency
+	minPeriod.Objective = repliflow.MinPeriod
+
+	sols, err := repliflow.SolveBatch(context.Background(),
+		[]repliflow.Problem{minLatency, minPeriod, minLatency}, repliflow.Options{})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	for _, sol := range sols {
+		fmt.Println(sol.Cost)
+	}
+	// Output:
+	// period=10 latency=17
+	// period=8 latency=24
+	// period=10 latency=17
+}
+
+// ExampleLookupSolver inspects the solver registry: the dispatch cell of
+// an instance resolves to the algorithm, exactness and paper result that
+// Solve would use on it.
+func ExampleLookupSolver() {
+	pipe := repliflow.NewPipeline(14, 4, 2, 4)
+	plat := repliflow.HomogeneousPlatform(3, 1)
+	key := repliflow.CellKeyOf(repliflow.Problem{
+		Pipeline:          &pipe,
+		Platform:          plat,
+		AllowDataParallel: true,
+		Objective:         repliflow.MinLatency,
+	})
+	entry, ok := repliflow.LookupSolver(key)
+	if !ok {
+		fmt.Println("no solver for", key)
+		return
+	}
+	fmt.Println(key)
+	fmt.Printf("%v, exact=%v, by %s\n", entry.Method, entry.Exact, entry.Source)
+	// Output:
+	// pipeline/hom-platform/het-graph/dp/min-latency
+	// dynamic-programming, exact=true, by Theorem 3
 }
 
 // ExampleParetoFront sweeps the latency/throughput trade-off of the

@@ -55,15 +55,20 @@ func Classify(pr Problem) (Classification, error) {
 	if err := pr.Validate(); err != nil {
 		return Classification{}, err
 	}
-	platHom := pr.Platform.IsHomogeneous()
-	graphHom := pr.graphHomogeneous()
-	dp := pr.AllowDataParallel
-	bounded := pr.Objective.Bounded()
+	return ClassifyCell(CellKeyOf(pr)), nil
+}
 
-	if pr.graphKind() == workflow.KindPipeline {
-		return classifyPipeline(platHom, graphHom, dp, pr.Objective, bounded), nil
+// ClassifyCell returns the Table 1 classification of a dispatch cell
+// without constructing an instance: ClassifyCell(CellKeyOf(pr)) equals
+// Classify(pr) for every valid problem pr. It lets registry consumers
+// (wftable, the /v1/table endpoint of cmd/wfserve) annotate cells with
+// their complexity and paper source.
+func ClassifyCell(k CellKey) Classification {
+	bounded := k.Objective.Bounded()
+	if k.Kind == workflow.KindPipeline {
+		return classifyPipeline(k.PlatformHomogeneous, k.GraphHomogeneous, k.DataParallel, k.Objective, bounded)
 	}
-	return classifyFork(platHom, graphHom, dp, pr.Objective, bounded), nil
+	return classifyFork(k.PlatformHomogeneous, k.GraphHomogeneous, k.DataParallel, k.Objective, bounded)
 }
 
 func classifyPipeline(platHom, graphHom, dp bool, obj Objective, bounded bool) Classification {

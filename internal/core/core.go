@@ -1,9 +1,3 @@
-// Package core surfaces the complete result set of Benoit & Robert
-// (RR-6308) behind one API: it classifies any problem instance into its
-// Table 1 cell (polynomial or NP-hard) and solves it with the matching
-// algorithm — the paper's polynomial algorithms for the tractable cells,
-// and exact exponential search or polynomial heuristics for the NP-hard
-// ones.
 package core
 
 import (
@@ -65,8 +59,13 @@ type Problem struct {
 	Bound float64
 }
 
-// Validate checks the problem is well formed.
+// Validate checks the problem is well formed. Every failure carries
+// ErrKindInvalidInstance, recoverable through ErrKindOf.
 func (pr Problem) Validate() error {
+	return WithErrKind(ErrKindInvalidInstance, pr.validate())
+}
+
+func (pr Problem) validate() error {
 	count := 0
 	if pr.Pipeline != nil {
 		count++

@@ -1,0 +1,36 @@
+// Package core surfaces the complete result set of Benoit & Robert
+// (RR-6308) behind one API: it classifies any problem instance into its
+// Table 1 cell (polynomial or NP-hard) and solves it with the matching
+// algorithm — the paper's polynomial algorithms for the tractable
+// cells, and exact exponential search or polynomial heuristics for the
+// NP-hard ones.
+//
+// # Dispatch
+//
+// Every instance reduces to a CellKey (graph kind, platform and graph
+// homogeneity, mapping model, objective), and an init-time registry
+// maps every reachable key to a SolverEntry: the algorithm family, its
+// exactness, the paper result backing the cell, and the solver
+// function. Solve is CellKeyOf followed by one registry lookup; a
+// completeness test guarantees the registry is total. LookupSolver and
+// ClassifyCell expose the registry read-only to harnesses (wftable, the
+// /v1/table endpoint of cmd/wfserve).
+//
+// # Cancellation
+//
+// SolveContext threads its context into every registered solver.
+// Polynomial solvers complete fast enough that they only check the
+// context on entry; the exhaustive searches on NP-hard cells poll it at
+// loop checkpoints and return ctx.Err() promptly when cancelled. Solve
+// is SolveContext with context.Background().
+//
+// # Errors
+//
+// Errors carry a machine-readable ErrKind (invalid instance, missing
+// solver) recoverable with ErrKindOf, so network services can map
+// failures to protocol codes without parsing messages.
+//
+// The instance wire format consumed by the CLIs and cmd/wfserve is
+// documented in docs/wire-format.md and implemented by
+// internal/instance.
+package core

@@ -1,0 +1,64 @@
+package core
+
+import "errors"
+
+// ErrKind classifies the errors returned by this package into
+// machine-readable categories, so callers exposing solves over a wire
+// protocol (cmd/wfserve) can map failures to protocol-level codes without
+// parsing error strings. The kind travels with the error through
+// fmt.Errorf("...: %w", err) wrapping and is recovered by ErrKindOf.
+type ErrKind int
+
+const (
+	// ErrKindUnknown marks errors this package does not classify:
+	// context cancellation, I/O failures wrapped by callers, and so on.
+	ErrKindUnknown ErrKind = iota
+	// ErrKindInvalidInstance marks ill-formed problem instances rejected
+	// by Problem.Validate: zero or several graphs, non-positive weights
+	// or speeds, a bounded objective without a positive bound, or an
+	// unknown objective.
+	ErrKindInvalidInstance
+	// ErrKindNoSolver marks a dispatch cell with no registered solver.
+	// Unreachable while the registry-completeness test passes.
+	ErrKindNoSolver
+)
+
+// String implements fmt.Stringer with stable wire-friendly names.
+func (k ErrKind) String() string {
+	switch k {
+	case ErrKindInvalidInstance:
+		return "invalid-instance"
+	case ErrKindNoSolver:
+		return "no-solver"
+	default:
+		return "unknown"
+	}
+}
+
+// kindError attaches an ErrKind to an error without altering its message.
+type kindError struct {
+	kind ErrKind
+	err  error
+}
+
+func (e *kindError) Error() string { return e.err.Error() }
+func (e *kindError) Unwrap() error { return e.err }
+
+// WithErrKind wraps err with a machine-readable kind, preserving its
+// message and unwrap chain. A nil err stays nil.
+func WithErrKind(kind ErrKind, err error) error {
+	if err == nil {
+		return nil
+	}
+	return &kindError{kind: kind, err: err}
+}
+
+// ErrKindOf returns the ErrKind attached to err (anywhere along its
+// unwrap chain), or ErrKindUnknown for unclassified errors.
+func ErrKindOf(err error) ErrKind {
+	var ke *kindError
+	if errors.As(err, &ke) {
+		return ke.kind
+	}
+	return ErrKindUnknown
+}

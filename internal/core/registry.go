@@ -121,14 +121,7 @@ func AllCellKeys() []CellKey {
 // classificationOf returns the Table 1 cell of a validated problem without
 // re-validating it.
 func classificationOf(pr Problem) Classification {
-	platHom := pr.Platform.IsHomogeneous()
-	graphHom := pr.graphHomogeneous()
-	dp := pr.AllowDataParallel
-	bounded := pr.Objective.Bounded()
-	if pr.graphKind() == workflow.KindPipeline {
-		return classifyPipeline(platHom, graphHom, dp, pr.Objective, bounded)
-	}
-	return classifyFork(platHom, graphHom, dp, pr.Objective, bounded)
+	return ClassifyCell(CellKeyOf(pr))
 }
 
 // ExactlySolvable reports whether Solve is guaranteed to return an exact
@@ -168,7 +161,8 @@ func SolveContext(ctx context.Context, pr Problem, opts Options) (Solution, erro
 	e, ok := registry[key]
 	if !ok {
 		// Unreachable when the registry is complete (guaranteed by test).
-		return Solution{}, fmt.Errorf("core: no solver registered for cell %v", key)
+		return Solution{}, WithErrKind(ErrKindNoSolver,
+			fmt.Errorf("core: no solver registered for cell %v", key))
 	}
 	return e.Solve(ctx, pr, opts)
 }

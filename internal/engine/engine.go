@@ -1,14 +1,3 @@
-// Package engine runs repliflow solves at scale. Where internal/core
-// answers one question at a time, engine answers many: a worker pool fans
-// independent solves out across GOMAXPROCS, a memoization cache keyed by a
-// canonical instance fingerprint deduplicates repeated subproblems (within
-// a batch and across batches on a shared Engine), and the Pareto sweep is
-// rebuilt on top of the batch solver so candidate-period subproblems solve
-// concurrently while sharing classification and cache work.
-//
-// All entry points honour their context: cancellation propagates into the
-// exhaustive searches of NP-hard cells through core.SolveContext and
-// returns promptly with ctx.Err().
 package engine
 
 import (
@@ -28,9 +17,17 @@ import (
 // many batches, or use the package-level helpers for one-shot work.
 type Engine struct {
 	workers int
+	// sem bounds the engine-wide number of concurrent core solves at
+	// workers, across all concurrent SolveBatch/ParetoFront/Solve
+	// callers — per-call worker pools contend here, so N concurrent
+	// batches cannot oversubscribe the CPU N-fold. Slots are held only
+	// around core.SolveContext, never while waiting on a cache flight,
+	// so nesting (Pareto over batch over solve) cannot deadlock.
+	sem chan struct{}
 
 	mu    sync.Mutex
 	cache map[string]*cacheEntry
+	limit int // max cache entries; 0 = unbounded
 
 	hits   atomic.Uint64
 	misses atomic.Uint64
@@ -50,15 +47,65 @@ func New(workers int) *Engine {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	return &Engine{workers: workers, cache: make(map[string]*cacheEntry)}
+	return &Engine{
+		workers: workers,
+		sem:     make(chan struct{}, workers),
+		cache:   make(map[string]*cacheEntry),
+	}
 }
 
 // Workers returns the concurrency limit of the engine.
 func (e *Engine) Workers() int { return e.workers }
 
+// SetCacheLimit bounds the cache at n entries; n <= 0 means unbounded
+// (the default). When an insert would exceed the bound the whole cache
+// is dropped and rebuilt — epoch eviction, not LRU: entries are tiny
+// and recomputation is memoized again immediately, so the simple scheme
+// keeps memory bounded for long-running services (cmd/wfserve) without
+// per-hit bookkeeping. In-flight solves are unaffected by a drop.
+func (e *Engine) SetCacheLimit(n int) {
+	e.mu.Lock()
+	e.limit = n
+	e.mu.Unlock()
+}
+
 // CacheStats returns the cumulative cache hit and miss counts.
 func (e *Engine) CacheStats() (hits, misses uint64) {
 	return e.hits.Load(), e.misses.Load()
+}
+
+// Stats is a point-in-time snapshot of an Engine's counters, taken with
+// Engine.Stats. Hits counts solves answered from the memoization cache
+// (including waiters coalesced onto an in-flight computation), Misses
+// counts solves that ran core.SolveContext, and Size is the number of
+// completed solutions currently cached.
+type Stats struct {
+	Hits    uint64
+	Misses  uint64
+	Size    int
+	Workers int
+}
+
+// HitRatio returns Hits/(Hits+Misses), or 0 before any lookup.
+func (s Stats) HitRatio() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// Stats returns a snapshot of the engine's cache counters. The snapshot
+// is not atomic across fields: under concurrent solves the hit and miss
+// counts may be skewed by in-flight operations, which is harmless for
+// the monitoring use it serves (the /metrics endpoint of cmd/wfserve).
+func (e *Engine) Stats() Stats {
+	return Stats{
+		Hits:    e.hits.Load(),
+		Misses:  e.misses.Load(),
+		Size:    e.CacheSize(),
+		Workers: e.workers,
+	}
 }
 
 // CacheSize returns the number of cached solutions.
@@ -92,10 +139,10 @@ func (e *Engine) Solve(ctx context.Context, pr core.Problem, opts core.Options) 
 		en, ok := e.cache[key]
 		if ok {
 			e.mu.Unlock()
-			e.hits.Add(1)
 			select {
 			case <-en.done:
 				if en.err == nil {
+					e.hits.Add(1)
 					return cloneSolution(en.sol), nil
 				}
 				if err := ctx.Err(); err != nil {
@@ -110,12 +157,37 @@ func (e *Engine) Solve(ctx context.Context, pr core.Problem, opts core.Options) 
 				return core.Solution{}, ctx.Err()
 			}
 		}
+		if e.limit > 0 && len(e.cache) >= e.limit {
+			// Epoch eviction: drop every completed entry, keep in-flight
+			// flights so waiters stay coalesced and their results land in
+			// the live map.
+			fresh := make(map[string]*cacheEntry)
+			for k, v := range e.cache {
+				select {
+				case <-v.done:
+				default:
+					fresh[k] = v
+				}
+			}
+			e.cache = fresh
+		}
 		en = &cacheEntry{done: make(chan struct{})}
 		e.cache[key] = en
 		e.mu.Unlock()
-		e.misses.Add(1)
 
+		// Claim an engine-wide solve slot; the flight must fail cleanly
+		// if our context dies while queued, so waiters retry.
+		select {
+		case e.sem <- struct{}{}:
+		case <-ctx.Done():
+			en.err = ctx.Err()
+			close(en.done)
+			e.dropEntry(key, en)
+			return core.Solution{}, en.err
+		}
+		e.misses.Add(1)
 		en.sol, en.err = core.SolveContext(ctx, pr, opts)
+		<-e.sem
 		close(en.done)
 		if en.err != nil {
 			// Never cache failures: a cancelled solve must not poison the

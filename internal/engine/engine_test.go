@@ -339,3 +339,34 @@ func TestEngineParetoCancellation(t *testing.T) {
 		t.Fatalf("cancelled pareto returned %v, want context.Canceled", err)
 	}
 }
+
+// TestCacheLimitEpochEviction checks SetCacheLimit keeps the cache
+// bounded: inserts beyond the limit drop the old epoch, and solves keep
+// returning correct results throughout.
+func TestCacheLimitEpochEviction(t *testing.T) {
+	e := New(1)
+	e.SetCacheLimit(2)
+	pl := platform.Homogeneous(1, 1)
+	for w := 1; w <= 7; w++ {
+		pipe := workflow.NewPipeline(float64(w))
+		sol, err := e.Solve(context.Background(), core.Problem{Pipeline: &pipe, Platform: pl, Objective: core.MinPeriod}, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sol.Cost.Period != float64(w) {
+			t.Fatalf("weight %d: period %g", w, sol.Cost.Period)
+		}
+		if size := e.CacheSize(); size > 2 {
+			t.Fatalf("cache grew to %d entries despite limit 2", size)
+		}
+	}
+	// A repeated instance still hits whatever epoch holds it.
+	hitsBefore, _ := e.CacheStats()
+	pipe := workflow.NewPipeline(7)
+	if _, err := e.Solve(context.Background(), core.Problem{Pipeline: &pipe, Platform: pl, Objective: core.MinPeriod}, core.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if hitsAfter, _ := e.CacheStats(); hitsAfter != hitsBefore+1 {
+		t.Fatalf("repeat of cached instance missed (hits %d -> %d)", hitsBefore, hitsAfter)
+	}
+}

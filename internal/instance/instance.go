@@ -1,5 +1,12 @@
-// Package instance serializes problem instances to and from JSON for the
-// command-line tools (cmd/wfmap, cmd/wfgen, cmd/wfsim).
+// Package instance implements the repliflow wire format: the JSON
+// instance and solution documents exchanged by the command-line tools
+// (cmd/wfmap, cmd/wfgen, cmd/wfsim) and the HTTP service (cmd/wfserve).
+//
+// The format — every field, its units, the graph kinds, objectives,
+// modes and a worked example — is specified in docs/wire-format.md;
+// this package is its reference implementation. Decoding is strict
+// (unknown fields are rejected) and Instance/Problem and
+// Solution/SolutionJSON conversions round-trip losslessly.
 package instance
 
 import (
@@ -87,6 +94,9 @@ func (ins Instance) Problem() (core.Problem, error) {
 		return core.Problem{}, err
 	}
 	pr.Objective = obj
+	if ins.Bound != 0 && !obj.Bounded() {
+		return core.Problem{}, fmt.Errorf("instance: objective %q does not take a bound (got %g)", ins.Objective, ins.Bound)
+	}
 	graphs := 0
 	if ins.Pipeline != nil {
 		p := workflow.NewPipeline(ins.Pipeline.Weights...)
@@ -131,12 +141,34 @@ func FromProblem(pr core.Problem) Instance {
 	return ins
 }
 
-// Read decodes an instance from JSON.
-func Read(r io.Reader) (Instance, error) {
-	var ins Instance
+// DecodeStrict decodes exactly one JSON document from r into v, with
+// the wire format's strictness rule: unknown fields and trailing data
+// after the document are errors. It is the single implementation of
+// that rule, shared by the CLI readers and the HTTP service.
+func DecodeStrict(r io.Reader, v any) error {
 	dec := json.NewDecoder(r)
 	dec.DisallowUnknownFields()
-	if err := dec.Decode(&ins); err != nil {
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	var extra json.RawMessage
+	err := dec.Decode(&extra)
+	if errors.Is(err, io.EOF) {
+		return nil
+	}
+	var syn *json.SyntaxError
+	if err == nil || errors.As(err, &syn) {
+		return errors.New("unexpected trailing data after the document")
+	}
+	// Not trailing JSON but a real read failure (e.g. a body size limit):
+	// surface it so callers can classify it.
+	return err
+}
+
+// Read decodes an instance from JSON, strictly (DecodeStrict).
+func Read(r io.Reader) (Instance, error) {
+	var ins Instance
+	if err := DecodeStrict(r, &ins); err != nil {
 		return Instance{}, fmt.Errorf("instance: decoding JSON: %w", err)
 	}
 	return ins, nil

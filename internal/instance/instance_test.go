@@ -93,8 +93,10 @@ func TestRejectsBadInput(t *testing.T) {
 		`{"pipeline":{"weights":[1]}, "platform":{"speeds":[1]}, "objective":"maximize-fun"}`,                                // bad objective
 		`{"pipeline":{"weights":[1]}, "platform":{"speeds":[]}, "objective":"min-period"}`,                                   // empty platform
 		`{"pipeline":{"weights":[1]}, "platform":{"speeds":[1]}, "objective":"latency-under-period"}`,                        // missing bound
+		`{"pipeline":{"weights":[1]}, "platform":{"speeds":[1]}, "objective":"min-period", "bound": 5}`,                      // stray bound
 		`{"pipeline":{"weights":[1]}, "platform":{"speeds":[1]}, "objective":"min-period", "zzz": 1}`,                        // unknown field
 		`not json at all`,
+		`{"pipeline":{"weights":[1]}, "platform":{"speeds":[1]}, "objective":"min-period"} %%%`, // trailing garbage
 	}
 	for i, src := range cases {
 		ins, err := Read(strings.NewReader(src))

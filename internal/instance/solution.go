@@ -1,0 +1,224 @@
+package instance
+
+import (
+	"fmt"
+
+	"repliflow/internal/core"
+	"repliflow/internal/mapping"
+)
+
+// IntervalJSON is the wire form of one pipeline interval: stages
+// First..Last (0-indexed, inclusive) on the given processors. See
+// docs/wire-format.md.
+type IntervalJSON struct {
+	First int    `json:"first"`
+	Last  int    `json:"last"`
+	Procs []int  `json:"procs"`
+	Mode  string `json:"mode"`
+}
+
+// BlockJSON is the wire form of one fork or fork-join block. Join is only
+// meaningful (and only emitted) for fork-join mappings.
+type BlockJSON struct {
+	Root   bool   `json:"root,omitempty"`
+	Join   bool   `json:"join,omitempty"`
+	Leaves []int  `json:"leaves,omitempty"`
+	Procs  []int  `json:"procs"`
+	Mode   string `json:"mode"`
+}
+
+// SolutionJSON is the wire form of a core.Solution: the mapping (exactly
+// one of the three mapping fields is non-empty on feasible solutions),
+// its cost, and the solve provenance. FromSolution and
+// SolutionJSON.Solution round-trip losslessly. See docs/wire-format.md.
+type SolutionJSON struct {
+	PipelineMapping []IntervalJSON `json:"pipelineMapping,omitempty"`
+	ForkMapping     []BlockJSON    `json:"forkMapping,omitempty"`
+	ForkJoinMapping []BlockJSON    `json:"forkjoinMapping,omitempty"`
+
+	Period   float64 `json:"period"`
+	Latency  float64 `json:"latency"`
+	Feasible bool    `json:"feasible"`
+	Exact    bool    `json:"exact"`
+
+	Method     string `json:"method"`
+	Complexity string `json:"complexity"`
+	Source     string `json:"source"`
+}
+
+// modeNames maps wire names to mapping modes; they match Mode.String().
+var modeNames = map[string]mapping.Mode{
+	"replicated":    mapping.Replicated,
+	"data-parallel": mapping.DataParallel,
+}
+
+// ModeName returns the wire name of a mapping mode.
+func ModeName(m mapping.Mode) string { return m.String() }
+
+// ParseMode converts a wire mode name.
+func ParseMode(name string) (mapping.Mode, error) {
+	m, ok := modeNames[name]
+	if !ok {
+		return 0, fmt.Errorf("instance: unknown mode %q (want replicated or data-parallel)", name)
+	}
+	return m, nil
+}
+
+// methodNames maps wire names to solve methods; they match Method.String().
+var methodNames = map[string]core.Method{
+	"closed-form":         core.MethodClosedForm,
+	"dynamic-programming": core.MethodDP,
+	"binary-search+DP":    core.MethodBinarySearchDP,
+	"exhaustive":          core.MethodExhaustive,
+	"heuristic":           core.MethodHeuristic,
+}
+
+// MethodName returns the wire name of a solve method.
+func MethodName(m core.Method) string { return m.String() }
+
+// ParseMethod converts a wire method name.
+func ParseMethod(name string) (core.Method, error) {
+	m, ok := methodNames[name]
+	if !ok {
+		return 0, fmt.Errorf("instance: unknown method %q", name)
+	}
+	return m, nil
+}
+
+// complexityNames maps wire names to Table 1 complexity classes. Unlike
+// Complexity.String() (which uses the paper's typography, "Poly (str)"),
+// the wire names are lowercase machine tokens.
+var complexityNames = map[string]core.Complexity{
+	"poly-str":  core.PolyStraightforward,
+	"poly-dp":   core.PolyDP,
+	"poly-star": core.PolyBinarySearchDP,
+	"np-hard":   core.NPHard,
+}
+
+// ComplexityName returns the wire name of a complexity class.
+func ComplexityName(c core.Complexity) string {
+	for name, v := range complexityNames {
+		if v == c {
+			return name
+		}
+	}
+	return ""
+}
+
+// ParseComplexity converts a wire complexity name.
+func ParseComplexity(name string) (core.Complexity, error) {
+	c, ok := complexityNames[name]
+	if !ok {
+		return 0, fmt.Errorf("instance: unknown complexity %q (want poly-str, poly-dp, poly-star or np-hard)", name)
+	}
+	return c, nil
+}
+
+// FromSolution converts a core.Solution into its wire form.
+func FromSolution(sol core.Solution) SolutionJSON {
+	s := SolutionJSON{
+		Period:     sol.Cost.Period,
+		Latency:    sol.Cost.Latency,
+		Feasible:   sol.Feasible,
+		Exact:      sol.Exact,
+		Method:     MethodName(sol.Method),
+		Complexity: ComplexityName(sol.Classification.Complexity),
+		Source:     sol.Classification.Source,
+	}
+	switch {
+	case sol.PipelineMapping != nil:
+		s.PipelineMapping = make([]IntervalJSON, len(sol.PipelineMapping.Intervals))
+		for i, iv := range sol.PipelineMapping.Intervals {
+			s.PipelineMapping[i] = IntervalJSON{
+				First: iv.First, Last: iv.Last,
+				Procs: iv.Procs, Mode: ModeName(iv.Mode),
+			}
+		}
+	case sol.ForkMapping != nil:
+		s.ForkMapping = make([]BlockJSON, len(sol.ForkMapping.Blocks))
+		for i, b := range sol.ForkMapping.Blocks {
+			s.ForkMapping[i] = BlockJSON{
+				Root: b.Root, Leaves: b.Leaves,
+				Procs: b.Procs, Mode: ModeName(b.Mode),
+			}
+		}
+	case sol.ForkJoinMapping != nil:
+		s.ForkJoinMapping = make([]BlockJSON, len(sol.ForkJoinMapping.Blocks))
+		for i, b := range sol.ForkJoinMapping.Blocks {
+			s.ForkJoinMapping[i] = BlockJSON{
+				Root: b.Root, Join: b.Join, Leaves: b.Leaves,
+				Procs: b.Procs, Mode: ModeName(b.Mode),
+			}
+		}
+	}
+	return s
+}
+
+// Solution converts the wire form back into a core.Solution. At most one
+// of the mapping fields may be non-empty; mapping-level validity (index
+// ranges, disjointness) is not checked here — evaluate the mapping
+// against its problem for that.
+func (s SolutionJSON) Solution() (core.Solution, error) {
+	method, err := ParseMethod(s.Method)
+	if err != nil {
+		return core.Solution{}, err
+	}
+	complexity, err := ParseComplexity(s.Complexity)
+	if err != nil {
+		return core.Solution{}, err
+	}
+	sol := core.Solution{
+		Cost:     mapping.Cost{Period: s.Period, Latency: s.Latency},
+		Feasible: s.Feasible,
+		Exact:    s.Exact,
+		Method:   method,
+		Classification: core.Classification{
+			Complexity: complexity,
+			Source:     s.Source,
+		},
+	}
+	mappings := 0
+	if len(s.PipelineMapping) > 0 {
+		mappings++
+		m := &mapping.PipelineMapping{Intervals: make([]mapping.PipelineInterval, len(s.PipelineMapping))}
+		for i, iv := range s.PipelineMapping {
+			mode, err := ParseMode(iv.Mode)
+			if err != nil {
+				return core.Solution{}, err
+			}
+			m.Intervals[i] = mapping.NewPipelineInterval(iv.First, iv.Last, mode, iv.Procs...)
+		}
+		sol.PipelineMapping = m
+	}
+	if len(s.ForkMapping) > 0 {
+		mappings++
+		m := &mapping.ForkMapping{Blocks: make([]mapping.ForkBlock, len(s.ForkMapping))}
+		for i, b := range s.ForkMapping {
+			mode, err := ParseMode(b.Mode)
+			if err != nil {
+				return core.Solution{}, err
+			}
+			if b.Join {
+				return core.Solution{}, fmt.Errorf("instance: forkMapping block %d sets join", i)
+			}
+			m.Blocks[i] = mapping.NewForkBlock(b.Root, b.Leaves, mode, b.Procs...)
+		}
+		sol.ForkMapping = m
+	}
+	if len(s.ForkJoinMapping) > 0 {
+		mappings++
+		m := &mapping.ForkJoinMapping{Blocks: make([]mapping.ForkJoinBlock, len(s.ForkJoinMapping))}
+		for i, b := range s.ForkJoinMapping {
+			mode, err := ParseMode(b.Mode)
+			if err != nil {
+				return core.Solution{}, err
+			}
+			m.Blocks[i] = mapping.NewForkJoinBlock(b.Root, b.Join, b.Leaves, mode, b.Procs...)
+		}
+		sol.ForkJoinMapping = m
+	}
+	if mappings > 1 {
+		return core.Solution{}, fmt.Errorf("instance: at most one of pipelineMapping, forkMapping, forkjoinMapping may be set")
+	}
+	return sol, nil
+}

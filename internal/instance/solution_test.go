@@ -1,0 +1,89 @@
+package instance
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"repliflow/internal/core"
+	"repliflow/internal/platform"
+	"repliflow/internal/workflow"
+)
+
+// solveKinds solves one instance of each graph kind for round-trip tests.
+func solveKinds(t *testing.T) []core.Solution {
+	t.Helper()
+	pipe := workflow.NewPipeline(14, 4, 2, 4)
+	fork := workflow.NewFork(2, 1, 3, 2)
+	fj := workflow.NewForkJoin(2, 1, 1, 3, 2)
+	problems := []core.Problem{
+		{Pipeline: &pipe, Platform: platform.Homogeneous(3, 1), AllowDataParallel: true, Objective: core.MinLatency},
+		{Fork: &fork, Platform: platform.New(1, 2), Objective: core.MinPeriod},
+		{ForkJoin: &fj, Platform: platform.Homogeneous(3, 2), Objective: core.MinPeriod},
+		// Infeasible: bound far below the achievable period.
+		{Pipeline: &pipe, Platform: platform.Homogeneous(3, 1), Objective: core.LatencyUnderPeriod, Bound: 0.01},
+	}
+	sols := make([]core.Solution, len(problems))
+	for i, pr := range problems {
+		sol, err := core.Solve(pr, core.Options{})
+		if err != nil {
+			t.Fatalf("problem %d: %v", i, err)
+		}
+		sols[i] = sol
+	}
+	return sols
+}
+
+func TestSolutionRoundTrip(t *testing.T) {
+	for i, sol := range solveKinds(t) {
+		wire := FromSolution(sol)
+		var buf bytes.Buffer
+		if err := json.NewEncoder(&buf).Encode(wire); err != nil {
+			t.Fatalf("solution %d: encode: %v", i, err)
+		}
+		var decoded SolutionJSON
+		dec := json.NewDecoder(&buf)
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&decoded); err != nil {
+			t.Fatalf("solution %d: decode: %v", i, err)
+		}
+		back, err := decoded.Solution()
+		if err != nil {
+			t.Fatalf("solution %d: convert: %v", i, err)
+		}
+		if !reflect.DeepEqual(back, sol) {
+			t.Errorf("solution %d: round trip drift:\n got %#v\nwant %#v", i, back, sol)
+		}
+	}
+}
+
+func TestSolutionRejectsBadWire(t *testing.T) {
+	cases := []struct {
+		name string
+		s    SolutionJSON
+	}{
+		{"bad method", SolutionJSON{Method: "oracle", Complexity: "poly-dp"}},
+		{"bad complexity", SolutionJSON{Method: "heuristic", Complexity: "easy"}},
+		{"bad mode", SolutionJSON{
+			Method: "heuristic", Complexity: "np-hard",
+			PipelineMapping: []IntervalJSON{{First: 0, Last: 0, Procs: []int{0}, Mode: "quantum"}},
+		}},
+		{"join in fork mapping", SolutionJSON{
+			Method: "heuristic", Complexity: "np-hard",
+			ForkMapping: []BlockJSON{{Join: true, Procs: []int{0}, Mode: "replicated"}},
+		}},
+		{"two mappings", SolutionJSON{
+			Method: "heuristic", Complexity: "np-hard",
+			PipelineMapping: []IntervalJSON{{Procs: []int{0}, Mode: "replicated"}},
+			ForkMapping:     []BlockJSON{{Procs: []int{0}, Mode: "replicated"}},
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := tc.s.Solution(); err == nil {
+				t.Error("bad wire form accepted")
+			}
+		})
+	}
+}

@@ -1,0 +1,59 @@
+// Package server is the HTTP/JSON solve service behind cmd/wfserve: it
+// exposes the concurrent batch engine (internal/engine) to network
+// clients with validation, deadlines, admission control and telemetry.
+//
+// # Endpoints
+//
+//	POST /v1/solve        solve one instance
+//	POST /v1/solve/batch  solve many instances concurrently, deduplicated
+//	POST /v1/pareto       stream the period/latency front as NDJSON
+//	GET  /v1/classify     Table 1 metadata for one dispatch cell
+//	GET  /v1/table        Table 1 metadata for every registered cell
+//	GET  /healthz         liveness probe
+//	GET  /metrics         Prometheus text metrics
+//
+// Request and response bodies are the instance and solution documents of
+// docs/wire-format.md; requests may add a timeoutMs field.
+//
+// # Concurrency model
+//
+// One engine.Engine is shared by every request, so the fingerprint cache
+// coalesces identical instances across the whole client population: two
+// clients posting the same instance concurrently share one computation
+// (single flight), and later requests are answered from memory. Batch
+// requests fan their instances onto the engine's worker pool.
+//
+// Admission is controlled by a bounded in-flight limiter (MaxInFlight
+// slots). A request holds one slot for the whole solve, so a burst of
+// exhaustive NP-hard solves queues at the limiter instead of piling
+// goroutines onto the engine and starving polynomial traffic; requests
+// that cannot obtain a slot before their deadline fail fast with 503.
+//
+// # Cancellation guarantees
+//
+// Every request runs under a deadline: timeoutMs from the request body,
+// clamped to Config.MaxTimeout, defaulting to Config.DefaultTimeout.
+// The deadline context flows through engine.Engine.Solve into
+// core.SolveContext, whose exhaustive searches poll cancellation, so a
+// timed-out or disconnected request stops consuming CPU promptly and
+// returns a structured deadline-exceeded (504) or canceled error. A
+// failed or cancelled solve is never cached, and its error is never
+// adopted by coalesced waiters whose own deadline is still live.
+//
+// # Errors
+//
+// Non-2xx responses carry ErrorResponse: a stable machine-readable kind
+// (invalid-request, deadline-exceeded, canceled, overloaded, internal)
+// and, when the instance canonicalized before failing, its Table 1 cell,
+// complexity and paper source — "NP-hard and timed out" is
+// distinguishable from "malformed" without string matching.
+//
+// # Metrics
+//
+// GET /metrics exposes Prometheus text format: wfserve_requests_total by
+// endpoint and status, wfserve_solve_seconds latency histograms by
+// Table 1 dispatch cell (single solves and pareto sweeps; batch wall
+// clock is deliberately excluded, as N parallel solves say nothing
+// about one cell), engine cache counters with the hit ratio
+// (wfserve_cache_*), the in-flight gauge and uptime.
+package server

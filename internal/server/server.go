@@ -1,0 +1,477 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"repliflow/internal/core"
+	"repliflow/internal/engine"
+	"repliflow/internal/instance"
+	"repliflow/internal/workflow"
+)
+
+// Config tunes a Server. The zero value is usable: every field has a
+// production-safe default applied by New.
+type Config struct {
+	// Engine is the shared batch solver; nil constructs a fresh one
+	// sized to Workers.
+	Engine *engine.Engine
+	// Workers sizes the engine constructed when Engine is nil;
+	// <= 0 selects GOMAXPROCS.
+	Workers int
+	// MaxInFlight bounds the number of requests solving concurrently;
+	// excess requests queue until a slot frees or their deadline
+	// expires. <= 0 selects 2x the engine worker count.
+	MaxInFlight int
+	// DefaultTimeout applies when a request carries no timeoutMs;
+	// <= 0 selects 30s.
+	DefaultTimeout time.Duration
+	// MaxTimeout clamps request-supplied timeouts; <= 0 selects 5m.
+	MaxTimeout time.Duration
+	// MaxBatch bounds the instance count of one batch request;
+	// <= 0 selects 4096.
+	MaxBatch int
+	// MaxBodyBytes bounds request body size; <= 0 selects 8 MiB.
+	MaxBodyBytes int64
+	// MaxCacheEntries bounds the engine cache when the server constructs
+	// its own engine (epoch eviction on overflow); <= 0 selects 65536.
+	// Ignored when Engine is supplied — the caller owns its limits then.
+	MaxCacheEntries int
+	// Options tunes the exhaustive-search limits of every solve.
+	Options core.Options
+}
+
+// Server is the HTTP solve service. Construct with New; a Server is an
+// http.Handler and is safe for concurrent use.
+type Server struct {
+	eng            *engine.Engine
+	opts           core.Options
+	limiter        chan struct{}
+	defaultTimeout time.Duration
+	maxTimeout     time.Duration
+	maxBatch       int
+	maxBodyBytes   int64
+
+	metrics  *metrics
+	inflight atomic.Int64
+	start    time.Time
+	mux      *http.ServeMux
+}
+
+// New returns a Server with cfg's defaults applied.
+func New(cfg Config) *Server {
+	eng := cfg.Engine
+	if eng == nil {
+		eng = engine.New(cfg.Workers)
+		if cfg.MaxCacheEntries <= 0 {
+			cfg.MaxCacheEntries = 65536
+		}
+		eng.SetCacheLimit(cfg.MaxCacheEntries)
+	}
+	if cfg.MaxInFlight <= 0 {
+		cfg.MaxInFlight = 2 * eng.Workers()
+	}
+	if cfg.DefaultTimeout <= 0 {
+		cfg.DefaultTimeout = 30 * time.Second
+	}
+	if cfg.MaxTimeout <= 0 {
+		cfg.MaxTimeout = 5 * time.Minute
+	}
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = 4096
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 8 << 20
+	}
+	s := &Server{
+		eng:            eng,
+		opts:           cfg.Options,
+		limiter:        make(chan struct{}, cfg.MaxInFlight),
+		defaultTimeout: cfg.DefaultTimeout,
+		maxTimeout:     maxClamp(cfg.DefaultTimeout, cfg.MaxTimeout),
+		maxBatch:       cfg.MaxBatch,
+		maxBodyBytes:   cfg.MaxBodyBytes,
+		metrics:        newMetrics(),
+		start:          time.Now(),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/solve", s.counted("/v1/solve", s.handleSolve))
+	mux.HandleFunc("POST /v1/solve/batch", s.counted("/v1/solve/batch", s.handleSolveBatch))
+	mux.HandleFunc("POST /v1/pareto", s.counted("/v1/pareto", s.handlePareto))
+	mux.HandleFunc("GET /v1/classify", s.counted("/v1/classify", s.handleClassify))
+	mux.HandleFunc("GET /v1/table", s.counted("/v1/table", s.handleTable))
+	mux.HandleFunc("GET /healthz", s.counted("/healthz", s.handleHealthz))
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux = mux
+	return s
+}
+
+// maxClamp guarantees the effective maximum timeout never undercuts the
+// default, so a request without timeoutMs is never clamped below it.
+func maxClamp(def, max time.Duration) time.Duration {
+	if max < def {
+		return def
+	}
+	return max
+}
+
+// Engine returns the server's shared engine (for tests and stats).
+func (s *Server) Engine() *engine.Engine { return s.eng }
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// statusRecorder captures the status code written by a handler.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	if r.status == 0 {
+		r.status = code
+	}
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(b []byte) (int, error) {
+	if r.status == 0 {
+		r.status = http.StatusOK
+	}
+	return r.ResponseWriter.Write(b)
+}
+
+// Flush forwards to the underlying writer so streaming handlers keep
+// working through the recorder.
+func (r *statusRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// counted wraps a handler with request counting and body-size limiting.
+func (s *Server) counted(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Body != nil {
+			r.Body = http.MaxBytesReader(w, r.Body, s.maxBodyBytes)
+		}
+		rec := &statusRecorder{ResponseWriter: w}
+		h(rec, r)
+		if rec.status == 0 {
+			rec.status = http.StatusOK
+		}
+		s.metrics.recordRequest(endpoint, rec.status)
+	}
+}
+
+// requestContext derives the solve context: the client's context bounded
+// by the request timeout (clamped to the server maximum).
+func (s *Server) requestContext(r *http.Request, timeoutMs int64) (context.Context, context.CancelFunc) {
+	timeout := s.defaultTimeout
+	if timeoutMs > 0 {
+		timeout = time.Duration(timeoutMs) * time.Millisecond
+		if timeout > s.maxTimeout {
+			timeout = s.maxTimeout
+		}
+	}
+	return context.WithTimeout(r.Context(), timeout)
+}
+
+// acquire claims an in-flight slot, waiting until one frees or ctx
+// expires. The bounded limiter keeps long exhaustive solves on NP-hard
+// cells from monopolizing the process: excess requests queue here
+// instead of stacking goroutines onto the engine.
+func (s *Server) acquire(ctx context.Context) error {
+	select {
+	case s.limiter <- struct{}{}:
+		s.inflight.Add(1)
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (s *Server) release() {
+	s.inflight.Add(-1)
+	<-s.limiter
+}
+
+// solveMetrics records one latency under its (cell, operation) series.
+func (s *Server) solveMetrics(pr core.Problem, op string, elapsed time.Duration) {
+	s.metrics.recordSolve(core.CellKeyOf(pr).String(), op, elapsed.Seconds())
+}
+
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	var req SolveRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeDecodeError(w, err)
+		return
+	}
+	pr, err := req.Instance.Problem()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, ErrKindInvalidRequest, err.Error(), nil)
+		return
+	}
+	ctx, cancel := s.requestContext(r, req.TimeoutMs)
+	defer cancel()
+	if err := s.acquire(ctx); err != nil {
+		writeAcquireError(w, err, &pr)
+		return
+	}
+	defer s.release()
+
+	start := time.Now()
+	sol, err := s.eng.Solve(ctx, pr, s.opts)
+	elapsed := time.Since(start)
+	s.solveMetrics(pr, "solve", elapsed)
+	if err != nil {
+		writeSolveError(w, err, &pr)
+		return
+	}
+	writeJSON(w, http.StatusOK, SolveResponse{
+		Solution:  instance.FromSolution(sol),
+		Cell:      core.CellKeyOf(pr).String(),
+		ElapsedMs: float64(elapsed) / float64(time.Millisecond),
+	})
+}
+
+func (s *Server) handleSolveBatch(w http.ResponseWriter, r *http.Request) {
+	var req BatchRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeDecodeError(w, err)
+		return
+	}
+	if len(req.Instances) == 0 {
+		writeError(w, http.StatusBadRequest, ErrKindInvalidRequest, "instances must be non-empty", nil)
+		return
+	}
+	if len(req.Instances) > s.maxBatch {
+		writeError(w, http.StatusBadRequest, ErrKindInvalidRequest,
+			fmt.Sprintf("batch of %d instances exceeds the limit of %d", len(req.Instances), s.maxBatch), nil)
+		return
+	}
+	problems := make([]core.Problem, len(req.Instances))
+	for i, ins := range req.Instances {
+		pr, err := ins.Problem()
+		if err != nil {
+			writeError(w, http.StatusBadRequest, ErrKindInvalidRequest,
+				fmt.Sprintf("instances[%d]: %v", i, err), nil)
+			return
+		}
+		problems[i] = pr
+	}
+	ctx, cancel := s.requestContext(r, req.TimeoutMs)
+	defer cancel()
+	if err := s.acquire(ctx); err != nil {
+		writeAcquireError(w, err, nil)
+		return
+	}
+	defer s.release()
+
+	before := s.eng.Stats()
+	start := time.Now()
+	sols, err := s.eng.SolveBatch(ctx, problems, s.opts)
+	elapsed := time.Since(start)
+	after := s.eng.Stats()
+	// Batches are deliberately absent from wfserve_solve_seconds: the
+	// wall clock of N parallel solves tells nothing about any single
+	// cell, and recording elapsed/N would poison the per-cell
+	// histograms. Batch latency is visible through elapsedMs and
+	// wfserve_requests_total.
+	if err != nil {
+		writeSolveError(w, err, nil)
+		return
+	}
+	out := make([]instance.SolutionJSON, len(sols))
+	for i, sol := range sols {
+		out[i] = instance.FromSolution(sol)
+	}
+	writeJSON(w, http.StatusOK, BatchResponse{
+		Solutions: out,
+		Cache: CacheStats{
+			Hits:          after.Hits,
+			Misses:        after.Misses,
+			HitRatio:      after.HitRatio(),
+			Size:          after.Size,
+			RequestHits:   after.Hits - before.Hits,
+			RequestMisses: after.Misses - before.Misses,
+		},
+		ElapsedMs: float64(elapsed) / float64(time.Millisecond),
+	})
+}
+
+// handlePareto sweeps the period/latency trade-off curve and streams it
+// as NDJSON: one SolutionJSON per line in increasing-period order,
+// flushed as written. The sweep runs to completion on the engine before
+// the first line is written (the dominance filter needs the whole
+// candidate set); the NDJSON framing lets clients process the front
+// line by line. The sweep honours the request deadline, and an error
+// yields a structured JSON error instead of a stream.
+func (s *Server) handlePareto(w http.ResponseWriter, r *http.Request) {
+	var req SolveRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeDecodeError(w, err)
+		return
+	}
+	// The sweep ignores the objective; let bare instances omit it.
+	if req.Instance.Objective == "" {
+		req.Instance.Objective = "min-period"
+	}
+	pr, err := req.Instance.Problem()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, ErrKindInvalidRequest, err.Error(), nil)
+		return
+	}
+	ctx, cancel := s.requestContext(r, req.TimeoutMs)
+	defer cancel()
+	if err := s.acquire(ctx); err != nil {
+		writeAcquireError(w, err, &pr)
+		return
+	}
+	defer s.release()
+
+	sweep := pr
+	sweep.Objective = core.MinPeriod
+	start := time.Now()
+	front, err := s.eng.ParetoFront(ctx, pr, s.opts)
+	s.solveMetrics(sweep, "pareto", time.Since(start))
+	if err != nil {
+		writeSolveError(w, err, &sweep)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	for _, sol := range front {
+		if err := writeNDJSONLine(w, instance.FromSolution(sol)); err != nil {
+			return // client gone
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+}
+
+func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	key, err := cellKeyFromQuery(q.Get("kind"), q.Get("platform"), q.Get("graph"), q.Get("dp"), q.Get("objective"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, ErrKindInvalidRequest, err.Error(), nil)
+		return
+	}
+	info, ok := cellInfo(key)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, ErrKindInternal,
+			fmt.Sprintf("no solver registered for cell %v", key), nil)
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (s *Server) handleTable(w http.ResponseWriter, r *http.Request) {
+	keys := core.RegisteredCells()
+	cells := make([]CellInfo, 0, len(keys))
+	for _, key := range keys {
+		if info, ok := cellInfo(key); ok {
+			cells = append(cells, info)
+		}
+	}
+	writeJSON(w, http.StatusOK, TableResponse{Cells: cells})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":        "ok",
+		"uptimeSeconds": time.Since(s.start).Seconds(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	stats := s.eng.Stats()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.metrics.write(w, []gauge{
+		{"wfserve_cache_hits_total", "Engine cache hits (coalesced and memoized solves).", "counter", float64(stats.Hits)},
+		{"wfserve_cache_misses_total", "Engine cache misses (solves that ran the dispatcher).", "counter", float64(stats.Misses)},
+		{"wfserve_cache_hit_ratio", "Hits / (hits + misses) over the engine lifetime.", "gauge", stats.HitRatio()},
+		{"wfserve_cache_size", "Completed solutions held by the engine cache.", "gauge", float64(stats.Size)},
+		{"wfserve_inflight_requests", "Requests currently holding a solve slot.", "gauge", float64(s.inflight.Load())},
+		{"wfserve_uptime_seconds", "Seconds since the server started.", "gauge", time.Since(s.start).Seconds()},
+	})
+}
+
+// cellInfo assembles the CellInfo of a registered dispatch cell.
+func cellInfo(key core.CellKey) (CellInfo, bool) {
+	entry, ok := core.LookupSolver(key)
+	if !ok {
+		return CellInfo{}, false
+	}
+	cl := core.ClassifyCell(key)
+	return CellInfo{
+		Cell:                key.String(),
+		Kind:                key.Kind.String(),
+		PlatformHomogeneous: key.PlatformHomogeneous,
+		GraphHomogeneous:    key.GraphHomogeneous,
+		DataParallel:        key.DataParallel,
+		Objective:           instance.ObjectiveName(key.Objective),
+		Complexity:          instance.ComplexityName(cl.Complexity),
+		Source:              cl.Source,
+		Method:              instance.MethodName(entry.Method),
+		Exact:               entry.Exact,
+	}, true
+}
+
+// cellKeyFromQuery parses the /v1/classify query parameters. kind is
+// required; platform and graph default to "het", dp to false, objective
+// to min-period.
+func cellKeyFromQuery(kind, plat, graph, dp, objective string) (core.CellKey, error) {
+	var key core.CellKey
+	switch kind {
+	case "pipeline":
+		key.Kind = workflow.KindPipeline
+	case "fork":
+		key.Kind = workflow.KindFork
+	case "forkjoin", "fork-join":
+		key.Kind = workflow.KindForkJoin
+	case "":
+		return key, fmt.Errorf("missing kind (want pipeline, fork or forkjoin)")
+	default:
+		return key, fmt.Errorf("unknown kind %q (want pipeline, fork or forkjoin)", kind)
+	}
+	var err error
+	if key.PlatformHomogeneous, err = parseHom("platform", plat); err != nil {
+		return key, err
+	}
+	if key.GraphHomogeneous, err = parseHom("graph", graph); err != nil {
+		return key, err
+	}
+	if dp != "" {
+		if key.DataParallel, err = strconv.ParseBool(dp); err != nil {
+			return key, fmt.Errorf("bad dp %q (want true or false)", dp)
+		}
+	}
+	if objective == "" {
+		objective = "min-period"
+	}
+	if key.Objective, err = instance.ParseObjective(objective); err != nil {
+		return key, err
+	}
+	return key, nil
+}
+
+// parseHom parses a hom/het axis parameter; empty defaults to het.
+func parseHom(name, v string) (bool, error) {
+	switch v {
+	case "hom", "homogeneous":
+		return true, nil
+	case "", "het", "heterogeneous":
+		return false, nil
+	default:
+		return false, fmt.Errorf("bad %s %q (want hom or het)", name, v)
+	}
+}

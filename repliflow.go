@@ -25,6 +25,11 @@
 //
 // The solution carries the mapping, its exact period and latency, the
 // Table 1 classification of the instance and the algorithm used.
+//
+// Batch and network use sit on top: SolveBatch and ParetoFrontContext
+// run on the concurrent memoizing engine (internal/engine), and
+// cmd/wfserve serves the same solves over HTTP/JSON using the wire
+// format specified in docs/wire-format.md.
 package repliflow
 
 import (
@@ -45,8 +50,20 @@ type (
 	Fork = workflow.Fork
 	// ForkJoin adds a final join stage gathering all results.
 	ForkJoin = workflow.ForkJoin
+	// Kind is a workflow graph kind (one axis of a CellKey).
+	Kind = workflow.Kind
 	// Platform is a set of processors with speeds.
 	Platform = platform.Platform
+)
+
+// Graph kinds.
+const (
+	// KindPipeline is the linear pipeline of Figure 1.
+	KindPipeline = workflow.KindPipeline
+	// KindFork is the fork of Figure 2.
+	KindFork = workflow.KindFork
+	// KindForkJoin is the Section 6.3 fork-join extension.
+	KindForkJoin = workflow.KindForkJoin
 )
 
 // Mapping types and cost model (Section 3.4).
@@ -100,7 +117,28 @@ type (
 	SolverEntry = core.SolverEntry
 	// Engine is a concurrent, caching batch solver; see engine.Engine.
 	Engine = engine.Engine
+	// EngineStats is a snapshot of an Engine's cache counters, taken
+	// with Engine.Stats (hits, misses, size, workers).
+	EngineStats = engine.Stats
+	// ErrKind is a machine-readable error category; see core.ErrKind.
+	ErrKind = core.ErrKind
 )
+
+// Error kinds, recovered from any error of this package by ErrKindOf.
+const (
+	// ErrKindUnknown marks unclassified errors.
+	ErrKindUnknown = core.ErrKindUnknown
+	// ErrKindInvalidInstance marks ill-formed problem instances.
+	ErrKindInvalidInstance = core.ErrKindInvalidInstance
+	// ErrKindNoSolver marks dispatch cells with no registered solver.
+	ErrKindNoSolver = core.ErrKindNoSolver
+)
+
+// ErrKindOf returns the machine-readable category of an error returned
+// by this package, or ErrKindUnknown for unclassified errors. It lets
+// services built on the library (cmd/wfserve) map failures to protocol
+// codes without parsing error strings.
+func ErrKindOf(err error) ErrKind { return core.ErrKindOf(err) }
 
 // Objectives.
 const (
@@ -201,6 +239,16 @@ func NewEngine(workers int) *Engine { return engine.New(workers) }
 
 // Classify returns the Table 1 cell of a problem instance.
 func Classify(pr Problem) (Classification, error) { return core.Classify(pr) }
+
+// CellKeyOf returns the Table 1 dispatch cell of a problem: the key
+// LookupSolver resolves. The problem should be valid; the key of an
+// invalid problem is unspecified.
+func CellKeyOf(pr Problem) CellKey { return core.CellKeyOf(pr) }
+
+// ClassifyCell returns the Table 1 classification of a dispatch cell
+// without constructing an instance: ClassifyCell(CellKeyOf(pr)) equals
+// the classification Classify(pr) returns for every valid pr.
+func ClassifyCell(key CellKey) Classification { return core.ClassifyCell(key) }
 
 // LookupSolver returns the registered solver entry for a dispatch cell,
 // exposing the method, exactness and paper source backing it.
