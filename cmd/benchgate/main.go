@@ -1,0 +1,105 @@
+// Command benchgate is the CI performance gate: it compares `go test
+// -bench` output against the checked-in BENCH_baseline.json and exits
+// non-zero when any gated benchmark regressed beyond the baseline's
+// tolerance (default +25%), so the performance claims in BENCH_*.json
+// stay enforced rather than decorative.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchtime 1x -count 3 ./... | tee bench.txt
+//	benchgate -baseline BENCH_baseline.json bench.txt
+//	benchgate -baseline BENCH_baseline.json -update bench.txt   # recalibrate
+//
+// With no positional files the bench output is read from stdin.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repliflow/internal/benchgate"
+)
+
+func main() {
+	baselinePath := flag.String("baseline", "BENCH_baseline.json", "baseline file to gate against")
+	update := flag.Bool("update", false, "rewrite the baseline from the results instead of gating")
+	flag.Parse()
+	if err := run(*baselinePath, *update, flag.Args(), os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(1)
+	}
+}
+
+func run(baselinePath string, update bool, args []string, out io.Writer) error {
+	bf, err := os.Open(baselinePath)
+	if err != nil {
+		return err
+	}
+	base, err := benchgate.ReadBaseline(bf)
+	bf.Close()
+	if err != nil {
+		return err
+	}
+
+	results := make(map[string]float64)
+	readInto := func(r io.Reader) error {
+		res, err := benchgate.ParseResults(r)
+		if err != nil {
+			return err
+		}
+		for name, ns := range res {
+			if prev, ok := results[name]; !ok || ns < prev {
+				results[name] = ns
+			}
+		}
+		return nil
+	}
+	if len(args) == 0 {
+		if err := readInto(os.Stdin); err != nil {
+			return err
+		}
+	}
+	for _, path := range args {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		err = readInto(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+	}
+	if len(results) == 0 {
+		return fmt.Errorf("no benchmark results found (did the bench run fail?)")
+	}
+
+	if update {
+		fresh, err := benchgate.Update(base, results)
+		if err != nil {
+			return err
+		}
+		f, err := os.Create(baselinePath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := benchgate.WriteBaseline(f, fresh); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "benchgate: baseline %s refreshed (%d benchmarks)\n", baselinePath, len(fresh.Benchmarks))
+		return nil
+	}
+
+	violations := benchgate.Compare(base, results)
+	if len(violations) == 0 {
+		fmt.Fprintf(out, "benchgate: %d gated benchmarks within tolerance\n", len(base.Benchmarks))
+		return nil
+	}
+	for _, v := range violations {
+		fmt.Fprintln(out, v)
+	}
+	return fmt.Errorf("%d benchmark(s) regressed past the gate", len(violations))
+}

@@ -1,0 +1,73 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repliflow/internal/benchgate"
+)
+
+func writeFile(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const baselineJSON = `{
+  "tolerance": 1.25,
+  "benchmarks": {"BenchmarkX": 1000}
+}`
+
+func TestRunGatePassAndFail(t *testing.T) {
+	baseline := writeFile(t, "baseline.json", baselineJSON)
+
+	pass := writeFile(t, "pass.txt", "BenchmarkX-4 \t 1 \t 1100 ns/op\n")
+	var out bytes.Buffer
+	if err := run(baseline, false, []string{pass}, &out); err != nil {
+		t.Fatalf("within-tolerance result failed the gate: %v (%s)", err, out.String())
+	}
+
+	fail := writeFile(t, "fail.txt", "BenchmarkX-4 \t 1 \t 5000 ns/op\n")
+	out.Reset()
+	if err := run(baseline, false, []string{fail}, &out); err == nil {
+		t.Fatal("5x regression passed the gate")
+	}
+	if !strings.Contains(out.String(), "BenchmarkX") {
+		t.Errorf("violation output missing the benchmark name:\n%s", out.String())
+	}
+
+	empty := writeFile(t, "empty.txt", "PASS\n")
+	if err := run(baseline, false, []string{empty}, &out); err == nil {
+		t.Fatal("empty results passed the gate")
+	}
+}
+
+func TestRunUpdateRewritesBaseline(t *testing.T) {
+	baseline := writeFile(t, "baseline.json", baselineJSON)
+	results := writeFile(t, "results.txt", "BenchmarkX-8 \t 1 \t 800 ns/op\nBenchmarkX-8 \t 1 \t 750 ns/op\n")
+	var out bytes.Buffer
+	if err := run(baseline, true, []string{results}, &out); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(baseline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	b, err := benchgate.ReadBaseline(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Benchmarks["BenchmarkX"] != 750 {
+		t.Errorf("baseline = %g, want the fastest run 750", b.Benchmarks["BenchmarkX"])
+	}
+	if b.Tolerance != 1.25 {
+		t.Errorf("update lost the tolerance: %g", b.Tolerance)
+	}
+}

@@ -4,14 +4,18 @@
 //
 // Usage:
 //
-//	wfmap [-in instance.json] [-max-exhaustive-procs N]
-//	wfmap -pareto [-in instance.json]
-//	wfmap -parallel instance1.json instance2.json ...
+//	wfmap [-in instance.json] [-max-exhaustive-procs N] [-budget 100ms]
+//	wfmap -pareto [-in instance.json] [-budget 500ms]
+//	wfmap -parallel [-budget 500ms] instance1.json instance2.json ...
 //
 // With -parallel the positional instance files are solved concurrently on
 // the batch engine (one worker per CPU, memoized across duplicates) and a
-// summary line is printed per instance. The instance JSON format is
-// specified in docs/wire-format.md; wfgen produces compatible files.
+// summary line is printed per instance. With -budget, NP-hard instances
+// are solved by the anytime portfolio: the best mapping found within the
+// budget is printed together with its certified optimality gap (in
+// -parallel mode the budget covers the whole batch). The instance JSON
+// format is specified in docs/wire-format.md; wfgen produces compatible
+// files.
 package main
 
 import (
@@ -20,6 +24,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	"repliflow/internal/core"
 	"repliflow/internal/engine"
@@ -31,16 +36,17 @@ func main() {
 	maxProcs := flag.Int("max-exhaustive-procs", 0, "override the exhaustive-search processor limit for NP-hard cells (0 = default)")
 	pareto := flag.Bool("pareto", false, "print the full period/latency Pareto front instead of a single solution")
 	parallel := flag.Bool("parallel", false, "solve the positional instance files concurrently on the batch engine")
+	budget := flag.Duration("budget", 0, "anytime budget for NP-hard instances: return the best mapping found within this duration with a certified optimality gap (0 = exhaustive/heuristic)")
 	flag.Parse()
 
 	var err error
 	switch {
 	case *parallel:
-		err = runBatch(flag.Args(), *maxProcs, os.Stdout)
+		err = runBatch(flag.Args(), *maxProcs, *budget, os.Stdout)
 	case *pareto:
-		err = runPareto(*in, *maxProcs, os.Stdout)
+		err = runPareto(*in, *maxProcs, *budget, os.Stdout)
 	default:
-		err = run(*in, *maxProcs, os.Stdout)
+		err = run(*in, *maxProcs, *budget, os.Stdout)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "wfmap:", err)
@@ -50,7 +56,7 @@ func main() {
 
 // runBatch solves the instance files concurrently and prints one summary
 // line per instance, in input order.
-func runBatch(paths []string, maxProcs int, out io.Writer) error {
+func runBatch(paths []string, maxProcs int, budget time.Duration, out io.Writer) error {
 	if len(paths) == 0 {
 		return fmt.Errorf("-parallel requires instance files as arguments")
 	}
@@ -62,7 +68,7 @@ func runBatch(paths []string, maxProcs int, out io.Writer) error {
 		}
 		problems[i] = pr
 	}
-	opts := core.Options{MaxExhaustivePipelineProcs: maxProcs}
+	opts := core.Options{MaxExhaustivePipelineProcs: maxProcs, AnytimeBudget: budget}
 	sols, err := engine.SolveBatch(context.Background(), problems, opts)
 	if err != nil {
 		return err
@@ -72,13 +78,15 @@ func runBatch(paths []string, maxProcs int, out io.Writer) error {
 }
 
 // runPareto prints the trade-off curve of the instance, sweeping the
-// candidate periods concurrently on the batch engine.
-func runPareto(path string, maxProcs int, out io.Writer) error {
+// candidate periods concurrently on the batch engine. A budget applies
+// to each subproblem batch of the sweep (anytime solving on NP-hard
+// instances).
+func runPareto(path string, maxProcs int, budget time.Duration, out io.Writer) error {
 	pr, err := loadProblem(path)
 	if err != nil {
 		return err
 	}
-	opts := core.Options{MaxExhaustivePipelineProcs: maxProcs}
+	opts := core.Options{MaxExhaustivePipelineProcs: maxProcs, AnytimeBudget: budget}
 	front, err := engine.ParetoFront(context.Background(), pr, opts)
 	if err != nil {
 		return err
@@ -117,12 +125,12 @@ func loadProblem(path string) (core.Problem, error) {
 	return ins.Problem()
 }
 
-func run(path string, maxProcs int, out io.Writer) error {
+func run(path string, maxProcs int, budget time.Duration, out io.Writer) error {
 	pr, err := loadProblem(path)
 	if err != nil {
 		return err
 	}
-	opts := core.Options{MaxExhaustivePipelineProcs: maxProcs}
+	opts := core.Options{MaxExhaustivePipelineProcs: maxProcs, AnytimeBudget: budget}
 	sol, err := core.Solve(pr, opts)
 	if err != nil {
 		return err
@@ -134,6 +142,10 @@ func run(path string, maxProcs int, out io.Writer) error {
 	}
 	fmt.Fprintf(out, "classification: %s (%s)\n", cl.Complexity, cl.Source)
 	fmt.Fprintf(out, "method:         %s\n", sol.Method)
+	if sol.Anytime {
+		fmt.Fprintf(out, "gap:            <= %.4g%% (lower bound %g, %d candidates)\n",
+			sol.Gap*100, sol.LowerBound, sol.Iterations)
+	}
 	if !sol.Feasible {
 		fmt.Fprintf(out, "result:         infeasible under the given bound\n")
 		if !sol.Exact {

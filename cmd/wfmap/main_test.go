@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 )
 
 func writeTemp(t *testing.T, content string) string {
@@ -26,7 +27,7 @@ func TestRunSection2Instance(t *testing.T) {
 		"objective": "min-latency"
 	}`)
 	var out bytes.Buffer
-	if err := run(path, 0, &out); err != nil {
+	if err := run(path, 0, 0, &out); err != nil {
 		t.Fatal(err)
 	}
 	s := out.String()
@@ -46,7 +47,7 @@ func TestRunInfeasibleBound(t *testing.T) {
 		"bound": 0.5
 	}`)
 	var out bytes.Buffer
-	if err := run(path, 0, &out); err != nil {
+	if err := run(path, 0, 0, &out); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "infeasible") {
@@ -61,7 +62,7 @@ func TestRunForkInstance(t *testing.T) {
 		"objective": "min-period"
 	}`)
 	var out bytes.Buffer
-	if err := run(path, 0, &out); err != nil {
+	if err := run(path, 0, 0, &out); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "period:         3") { // 6/2
@@ -77,24 +78,24 @@ func TestRunPareto(t *testing.T) {
 		"objective": "min-period"
 	}`)
 	var out bytes.Buffer
-	if err := runPareto(path, 0, &out); err != nil {
+	if err := runPareto(path, 0, 0, &out); err != nil {
 		t.Fatal(err)
 	}
 	s := out.String()
 	if !strings.Contains(s, "period") || !strings.Contains(s, "17") || !strings.Contains(s, "8") {
 		t.Errorf("pareto output missing frontier points:\n%s", s)
 	}
-	if err := runPareto(filepath.Join(t.TempDir(), "nope.json"), 0, &bytes.Buffer{}); err == nil {
+	if err := runPareto(filepath.Join(t.TempDir(), "nope.json"), 0, 0, &bytes.Buffer{}); err == nil {
 		t.Error("missing file accepted")
 	}
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run(filepath.Join(t.TempDir(), "missing.json"), 0, &bytes.Buffer{}); err == nil {
+	if err := run(filepath.Join(t.TempDir(), "missing.json"), 0, 0, &bytes.Buffer{}); err == nil {
 		t.Error("missing file accepted")
 	}
 	bad := writeTemp(t, `{"objective": "min-period", "platform": {"speeds": [1]}}`)
-	if err := run(bad, 0, &bytes.Buffer{}); err == nil {
+	if err := run(bad, 0, 0, &bytes.Buffer{}); err == nil {
 		t.Error("graphless instance accepted")
 	}
 }
@@ -113,7 +114,7 @@ func TestRunBatchParallel(t *testing.T) {
 		}
 	}
 	var out bytes.Buffer
-	if err := runBatch(paths, 0, &out); err != nil {
+	if err := runBatch(paths, 0, 0, &out); err != nil {
 		t.Fatal(err)
 	}
 	s := out.String()
@@ -129,10 +130,31 @@ func TestRunBatchParallel(t *testing.T) {
 }
 
 func TestRunBatchErrors(t *testing.T) {
-	if err := runBatch(nil, 0, &bytes.Buffer{}); err == nil {
+	if err := runBatch(nil, 0, 0, &bytes.Buffer{}); err == nil {
 		t.Error("empty batch accepted")
 	}
-	if err := runBatch([]string{filepath.Join(t.TempDir(), "missing.json")}, 0, &bytes.Buffer{}); err == nil {
+	if err := runBatch([]string{filepath.Join(t.TempDir(), "missing.json")}, 0, 0, &bytes.Buffer{}); err == nil {
 		t.Error("missing file accepted")
+	}
+}
+
+// TestRunBudgetPrintsGap: -budget on an oversized NP-hard instance
+// switches to the anytime portfolio and reports the certified gap.
+func TestRunBudgetPrintsGap(t *testing.T) {
+	path := writeTemp(t, `{
+		"pipeline": {"weights": [14, 4, 2, 4, 7, 3, 9, 5, 6, 8, 2, 11]},
+		"platform": {"speeds": [2, 2, 1, 1, 3, 1, 2, 1, 1, 2, 3, 1]},
+		"allowDataParallel": true,
+		"objective": "min-period"
+	}`)
+	var out bytes.Buffer
+	if err := run(path, 0, 30*time.Millisecond, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"method:         anytime", "gap:            <=", "lower bound"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
 	}
 }

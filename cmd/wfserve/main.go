@@ -56,11 +56,25 @@ func main() {
 	maxBatch := flag.Int("max-batch", 4096, "max instances per batch request")
 	maxCache := flag.Int("max-cache-entries", 0, "engine cache bound, epoch-evicted on overflow (0 = 65536)")
 	maxProcs := flag.Int("max-exhaustive-procs", 0, "override the exhaustive-search processor limits (pipeline and fork) for NP-hard cells (0 = defaults)")
+	budget := flag.Duration("budget", 0, "default anytime budget for NP-hard solves: return a certified incumbent within this duration instead of searching exhaustively (0 = disabled; requests opt in via budgetMs)")
 	flag.Parse()
 
+	cfg := server.Config{
+		Workers:         *workers,
+		MaxInFlight:     *inflight,
+		DefaultTimeout:  *timeout,
+		MaxTimeout:      *maxTimeout,
+		MaxBatch:        *maxBatch,
+		MaxCacheEntries: *maxCache,
+		DefaultBudget:   *budget,
+		Options: core.Options{
+			MaxExhaustivePipelineProcs: *maxProcs,
+			MaxExhaustiveForkProcs:     *maxProcs,
+		},
+	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	if err := run(ctx, *addr, *workers, *inflight, *timeout, *maxTimeout, *maxBatch, *maxCache, *maxProcs, nil); err != nil {
+	if err := run(ctx, *addr, cfg, nil); err != nil {
 		fmt.Fprintln(os.Stderr, "wfserve:", err)
 		os.Exit(1)
 	}
@@ -69,19 +83,8 @@ func main() {
 // run listens on addr and serves until ctx is cancelled (SIGINT/SIGTERM
 // in production), then drains in-flight requests gracefully. When ready
 // is non-nil it receives the bound address once the listener is up.
-func run(ctx context.Context, addr string, workers, inflight int, timeout, maxTimeout time.Duration, maxBatch, maxCache, maxProcs int, ready chan<- net.Addr) error {
-	srv := server.New(server.Config{
-		Workers:         workers,
-		MaxInFlight:     inflight,
-		DefaultTimeout:  timeout,
-		MaxTimeout:      maxTimeout,
-		MaxBatch:        maxBatch,
-		MaxCacheEntries: maxCache,
-		Options: core.Options{
-			MaxExhaustivePipelineProcs: maxProcs,
-			MaxExhaustiveForkProcs:     maxProcs,
-		},
-	})
+func run(ctx context.Context, addr string, cfg server.Config, ready chan<- net.Addr) error {
+	srv := server.New(cfg)
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err

@@ -8,6 +8,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"repliflow/internal/server"
 )
 
 func TestRunServesAndShutsDown(t *testing.T) {
@@ -17,7 +19,11 @@ func TestRunServesAndShutsDown(t *testing.T) {
 	ready := make(chan net.Addr, 1)
 	errc := make(chan error, 1)
 	go func() {
-		errc <- run(ctx, "127.0.0.1:0", 0, 0, 30*time.Second, time.Minute, 16, 0, 0, ready)
+		errc <- run(ctx, "127.0.0.1:0", server.Config{
+			DefaultTimeout: 30 * time.Second,
+			MaxTimeout:     time.Minute,
+			MaxBatch:       16,
+		}, ready)
 	}()
 
 	var addr net.Addr

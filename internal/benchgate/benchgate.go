@@ -1,0 +1,156 @@
+// Package benchgate turns the BENCH_*.json performance claims into an
+// enforced CI gate: it parses `go test -bench` output, reduces repeated
+// runs (-count N) to their fastest time, and compares each benchmark
+// against a checked-in baseline, failing on regressions beyond the
+// baseline's tolerance. cmd/benchgate is the CLI the workflow runs.
+package benchgate
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+// DefaultTolerance is the regression factor applied when the baseline
+// file does not set one: a benchmark fails the gate when its fastest
+// run exceeds baseline * 1.25 (>25% slower).
+const DefaultTolerance = 1.25
+
+// Baseline is the checked-in performance contract (BENCH_baseline.json):
+// the fastest-of-N ns/op recorded for each gated benchmark on the CI
+// runner class, plus the allowed regression factor.
+type Baseline struct {
+	Description string `json:"description,omitempty"`
+	// Command documents how the gated numbers are produced.
+	Command string `json:"command,omitempty"`
+	// Tolerance is the allowed slowdown factor (e.g. 1.25 = +25%);
+	// <= 1 selects DefaultTolerance.
+	Tolerance float64 `json:"tolerance,omitempty"`
+	// Benchmarks maps bare benchmark names (no -GOMAXPROCS suffix) to
+	// their baseline ns/op.
+	Benchmarks map[string]float64 `json:"benchmarks"`
+}
+
+// ReadBaseline decodes a baseline file.
+func ReadBaseline(r io.Reader) (Baseline, error) {
+	var b Baseline
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&b); err != nil {
+		return Baseline{}, fmt.Errorf("benchgate: decoding baseline: %w", err)
+	}
+	if len(b.Benchmarks) == 0 {
+		return Baseline{}, fmt.Errorf("benchgate: baseline gates no benchmarks")
+	}
+	for name, ns := range b.Benchmarks {
+		if ns <= 0 {
+			return Baseline{}, fmt.Errorf("benchgate: baseline for %s is %g ns/op, want > 0", name, ns)
+		}
+	}
+	return b, nil
+}
+
+// WriteBaseline encodes a baseline file (the -update path).
+func WriteBaseline(w io.Writer, b Baseline) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(b)
+}
+
+// benchLine matches one `go test -bench` result line, e.g.
+//
+//	BenchmarkSolveCached-4   	    1000	     37517 ns/op	   12284 B/op ...
+//
+// The -4 suffix is the GOMAXPROCS the run used; it is stripped so the
+// gate is insensitive to runner core counts.
+var benchLine = regexp.MustCompile(`^(Benchmark[^\s]*?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+
+// ParseResults extracts {benchmark name -> fastest ns/op} from `go test
+// -bench` output. Repeated runs of one benchmark (-count N) reduce to
+// their minimum: the fastest run is the least noisy estimate of the
+// code's true cost, which is what a regression gate should compare.
+func ParseResults(r io.Reader) (map[string]float64, error) {
+	out := make(map[string]float64)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("benchgate: bad ns/op on line %q: %w", sc.Text(), err)
+		}
+		if prev, ok := out[m[1]]; !ok || ns < prev {
+			out[m[1]] = ns
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Violation is one gate failure: a gated benchmark that regressed past
+// the tolerance, or that vanished from the results.
+type Violation struct {
+	Name       string
+	BaselineNs float64
+	// ActualNs is 0 when the benchmark is missing from the results.
+	ActualNs float64
+	Factor   float64
+}
+
+// String formats the violation for CI logs.
+func (v Violation) String() string {
+	if v.ActualNs == 0 {
+		return fmt.Sprintf("%s: gated benchmark missing from results (baseline %.0f ns/op)", v.Name, v.BaselineNs)
+	}
+	return fmt.Sprintf("%s: %.0f ns/op vs baseline %.0f ns/op (%.2fx, limit %.2fx)",
+		v.Name, v.ActualNs, v.BaselineNs, v.ActualNs/v.BaselineNs, v.Factor)
+}
+
+// Compare gates results against the baseline, returning the violations
+// sorted by name (empty = gate passes). Benchmarks present in the
+// results but absent from the baseline are ignored — new benchmarks
+// join the gate by being added to the baseline file.
+func Compare(b Baseline, results map[string]float64) []Violation {
+	tol := b.Tolerance
+	if tol <= 1 {
+		tol = DefaultTolerance
+	}
+	var out []Violation
+	for name, base := range b.Benchmarks {
+		got, ok := results[name]
+		if !ok {
+			out = append(out, Violation{Name: name, BaselineNs: base, Factor: tol})
+			continue
+		}
+		if got > base*tol {
+			out = append(out, Violation{Name: name, BaselineNs: base, ActualNs: got, Factor: tol})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Update returns a baseline whose gated benchmarks are refreshed from
+// the results, keeping the gate set (names) and metadata unchanged.
+// Gated benchmarks missing from the results are an error.
+func Update(b Baseline, results map[string]float64) (Baseline, error) {
+	fresh := make(map[string]float64, len(b.Benchmarks))
+	for name := range b.Benchmarks {
+		got, ok := results[name]
+		if !ok {
+			return Baseline{}, fmt.Errorf("benchgate: gated benchmark %s missing from results", name)
+		}
+		fresh[name] = got
+	}
+	b.Benchmarks = fresh
+	return b, nil
+}

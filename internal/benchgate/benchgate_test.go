@@ -1,0 +1,125 @@
+package benchgate
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: repliflow/internal/server
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkSolveCached-4   	    1000	     40000 ns/op	   12284 B/op	     149 allocs/op
+BenchmarkSolveCached-4   	    1000	     37517 ns/op	   12284 B/op	     149 allocs/op
+BenchmarkSolveCached-4   	    1000	     39000 ns/op	   12284 B/op	     149 allocs/op
+BenchmarkEngineSolveBatch/Engine-4         	       1	27152174 ns/op
+BenchmarkEngineSolveBatch/Serial 	       1	99165543 ns/op
+PASS
+ok  	repliflow/internal/server	2.480s
+`
+
+func TestParseResultsTakesFastestRun(t *testing.T) {
+	res, err := ParseResults(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]float64{
+		"BenchmarkSolveCached":             37517,
+		"BenchmarkEngineSolveBatch/Engine": 27152174,
+		"BenchmarkEngineSolveBatch/Serial": 99165543,
+	}
+	if len(res) != len(want) {
+		t.Fatalf("parsed %d benchmarks, want %d: %v", len(res), len(want), res)
+	}
+	for name, ns := range want {
+		if res[name] != ns {
+			t.Errorf("%s = %g, want %g", name, res[name], ns)
+		}
+	}
+}
+
+func TestCompareFlagsRegressionsAndMissing(t *testing.T) {
+	base := Baseline{Benchmarks: map[string]float64{
+		"BenchmarkFast":    1000,
+		"BenchmarkSteady":  1000,
+		"BenchmarkGone":    1000,
+		"BenchmarkAtLimit": 1000,
+	}}
+	results := map[string]float64{
+		"BenchmarkFast":    2000, // 2x: regression
+		"BenchmarkSteady":  1100, // +10%: fine
+		"BenchmarkAtLimit": 1250, // exactly at the limit: fine
+		"BenchmarkNew":     5,    // not gated: ignored
+	}
+	vs := Compare(base, results)
+	if len(vs) != 2 {
+		t.Fatalf("got %d violations, want 2: %v", len(vs), vs)
+	}
+	if vs[0].Name != "BenchmarkFast" || vs[0].ActualNs != 2000 {
+		t.Errorf("violation 0 = %v, want BenchmarkFast regression", vs[0])
+	}
+	if vs[1].Name != "BenchmarkGone" || vs[1].ActualNs != 0 {
+		t.Errorf("violation 1 = %v, want BenchmarkGone missing", vs[1])
+	}
+}
+
+func TestCompareRespectsFileTolerance(t *testing.T) {
+	base := Baseline{
+		Tolerance:  3,
+		Benchmarks: map[string]float64{"BenchmarkX": 1000},
+	}
+	if vs := Compare(base, map[string]float64{"BenchmarkX": 2500}); len(vs) != 0 {
+		t.Errorf("2.5x within a 3x tolerance flagged: %v", vs)
+	}
+	if vs := Compare(base, map[string]float64{"BenchmarkX": 3500}); len(vs) != 1 {
+		t.Errorf("3.5x beyond a 3x tolerance not flagged: %v", vs)
+	}
+}
+
+func TestBaselineRoundTripAndValidation(t *testing.T) {
+	b := Baseline{
+		Description: "test",
+		Command:     "go test -bench .",
+		Tolerance:   1.5,
+		Benchmarks:  map[string]float64{"BenchmarkX": 123},
+	}
+	var buf bytes.Buffer
+	if err := WriteBaseline(&buf, b); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadBaseline(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Benchmarks["BenchmarkX"] != 123 || back.Tolerance != 1.5 {
+		t.Errorf("round trip drift: %+v", back)
+	}
+
+	for name, doc := range map[string]string{
+		"empty":        `{"benchmarks": {}}`,
+		"non-positive": `{"benchmarks": {"BenchmarkX": 0}}`,
+		"unknown":      `{"benchmark": {"BenchmarkX": 1}}`,
+	} {
+		if _, err := ReadBaseline(strings.NewReader(doc)); err == nil {
+			t.Errorf("%s baseline accepted", name)
+		}
+	}
+}
+
+func TestUpdateRefreshesGatedSet(t *testing.T) {
+	b := Baseline{Benchmarks: map[string]float64{"BenchmarkX": 1000, "BenchmarkY": 2000}}
+	up, err := Update(b, map[string]float64{"BenchmarkX": 900, "BenchmarkY": 2500, "BenchmarkZ": 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if up.Benchmarks["BenchmarkX"] != 900 || up.Benchmarks["BenchmarkY"] != 2500 {
+		t.Errorf("update drift: %v", up.Benchmarks)
+	}
+	if _, ok := up.Benchmarks["BenchmarkZ"]; ok {
+		t.Error("update added an ungated benchmark")
+	}
+	if _, err := Update(b, map[string]float64{"BenchmarkX": 900}); err == nil {
+		t.Error("update with a missing gated benchmark accepted")
+	}
+}

@@ -3,7 +3,8 @@
 // Table 1 cell (polynomial or NP-hard) and solves it with the matching
 // algorithm — the paper's polynomial algorithms for the tractable
 // cells, and exact exponential search or polynomial heuristics for the
-// NP-hard ones.
+// NP-hard ones — or, under a budget, the anytime portfolio of
+// internal/anytime.
 //
 // # Dispatch
 //
@@ -23,6 +24,16 @@
 // context on entry; the exhaustive searches on NP-hard cells poll it at
 // loop checkpoints and return ctx.Err() promptly when cancelled. Solve
 // is SolveContext with context.Background().
+//
+// # Anytime solving
+//
+// Options.AnytimeBudget switches every NP-hard cell to a second,
+// parallel registry of portfolio solvers (LookupAnytimeSolver):
+// heuristic seeds, simulated-annealing members and — within the
+// exhaustive limits — the exact solver race until the budget or the
+// caller's deadline expires, and the best incumbent is returned with a
+// certified optimality gap (Solution.Gap, Solution.LowerBound) instead
+// of an unbounded search or an uncertified heuristic answer.
 //
 // # Errors
 //

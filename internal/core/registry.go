@@ -57,8 +57,16 @@ type SolverEntry struct {
 // at init time by solvepipeline.go and solvefork.go and immutable after.
 var registry = map[CellKey]SolverEntry{}
 
+// anytimeRegistry maps every NP-hard dispatch cell (the cells whose
+// registered entry is exhaustive-or-heuristic) to its budget-bounded
+// portfolio solver. SolveContext dispatches here instead of the main
+// registry when Options.AnytimeBudget is set.
+var anytimeRegistry = map[CellKey]SolverFunc{}
+
 // register installs a solver entry, panicking on duplicates or nil solvers:
-// both are programming errors caught by any test run.
+// both are programming errors caught by any test run. NP-hard cells
+// (MethodExhaustive entries) automatically gain the matching anytime
+// portfolio solver for their graph kind.
 func register(key CellKey, e SolverEntry) {
 	if e.Solve == nil {
 		panic(fmt.Sprintf("core: nil solver registered for cell %v", key))
@@ -67,6 +75,9 @@ func register(key CellKey, e SolverEntry) {
 		panic(fmt.Sprintf("core: duplicate solver registration for cell %v", key))
 	}
 	registry[key] = e
+	if e.Method == MethodExhaustive {
+		anytimeRegistry[key] = anytimeSolverFor(key.Kind)
+	}
 }
 
 // CellKeyOf returns the dispatch key of a problem. The problem should be
@@ -85,6 +96,14 @@ func CellKeyOf(pr Problem) CellKey {
 func LookupSolver(key CellKey) (SolverEntry, bool) {
 	e, ok := registry[key]
 	return e, ok
+}
+
+// LookupAnytimeSolver returns the budget-bounded portfolio solver of an
+// NP-hard dispatch cell (every cell whose registered entry is
+// MethodExhaustive has one; polynomial cells have none).
+func LookupAnytimeSolver(key CellKey) (SolverFunc, bool) {
+	fn, ok := anytimeRegistry[key]
+	return fn, ok
 }
 
 // RegisteredCells returns every registered dispatch key in a deterministic
@@ -133,6 +152,12 @@ func ExactlySolvable(pr Problem, opts Options) bool {
 	if classificationOf(pr).Complexity.Polynomial() {
 		return true
 	}
+	// A budget switches NP-hard cells to the anytime portfolio, whose
+	// result is certified but not guaranteed exact (the budget may
+	// expire before the exact member finishes).
+	if opts.AnytimeBudget > 0 {
+		return false
+	}
 	switch {
 	case pr.Pipeline != nil:
 		return pr.Platform.Processors() <= opts.MaxExhaustivePipelineProcs
@@ -158,6 +183,11 @@ func SolveContext(ctx context.Context, pr Problem, opts Options) (Solution, erro
 	}
 	opts = opts.Normalized()
 	key := CellKeyOf(pr)
+	if opts.AnytimeBudget > 0 {
+		if fn, ok := anytimeRegistry[key]; ok {
+			return fn(ctx, pr, opts)
+		}
+	}
 	e, ok := registry[key]
 	if !ok {
 		// Unreachable when the registry is complete (guaranteed by test).

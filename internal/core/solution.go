@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"repliflow/internal/mapping"
 )
@@ -24,6 +25,10 @@ const (
 	// MethodHeuristic is a polynomial heuristic (NP-hard cells, large
 	// instances); the solution is feasible but not necessarily optimal.
 	MethodHeuristic
+	// MethodAnytime is the budget-bounded portfolio of internal/anytime
+	// (NP-hard cells with Options.AnytimeBudget set): the best incumbent
+	// found within the budget, carrying a certified optimality gap.
+	MethodAnytime
 )
 
 // String implements fmt.Stringer.
@@ -39,6 +44,8 @@ func (m Method) String() string {
 		return "exhaustive"
 	case MethodHeuristic:
 		return "heuristic"
+	case MethodAnytime:
+		return "anytime"
 	default:
 		return fmt.Sprintf("Method(%d)", int(m))
 	}
@@ -58,6 +65,20 @@ type Solution struct {
 	Exact          bool
 	Feasible       bool
 	Classification Classification
+
+	// Anytime marks solutions produced by the budget-bounded portfolio
+	// (Options.AnytimeBudget on an NP-hard cell). The three fields below
+	// are meaningful only when it is set.
+	Anytime bool
+	// Gap is the certified relative optimality gap of a feasible anytime
+	// solution: the optimum lies within [objective/(1+Gap), objective].
+	// Proven optima (Exact == true) have Gap == 0.
+	Gap float64
+	// LowerBound is the certified lower bound on the optimized criterion
+	// the gap was computed against.
+	LowerBound float64
+	// Iterations counts the candidate mappings the portfolio evaluated.
+	Iterations uint64
 }
 
 // String summarizes the solution.
@@ -93,6 +114,15 @@ type Options struct {
 	MaxExhaustiveForkStages int
 	// MaxExhaustiveForkProcs bounds p for fork enumeration.
 	MaxExhaustiveForkProcs int
+	// AnytimeBudget, when positive, switches every NP-hard cell to the
+	// internal/anytime portfolio: heuristic seeds, concurrent annealers
+	// and (within the exhaustive limits) the exact solver race until the
+	// budget — or the caller's earlier context deadline — expires, and
+	// the best incumbent is returned with a certified optimality gap
+	// (Solution.Gap) instead of an unbounded exhaustive search or a bare
+	// heuristic answer. Zero keeps the legacy exhaustive-or-heuristic
+	// behaviour. Polynomial cells ignore the budget.
+	AnytimeBudget time.Duration
 }
 
 // DefaultOptions are the limits used when Solve is called with the zero
@@ -118,6 +148,9 @@ func (o Options) Normalized() Options {
 	}
 	if o.MaxExhaustiveForkProcs <= 0 {
 		o.MaxExhaustiveForkProcs = d.MaxExhaustiveForkProcs
+	}
+	if o.AnytimeBudget < 0 {
+		o.AnytimeBudget = 0
 	}
 	return o
 }

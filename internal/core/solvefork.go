@@ -184,22 +184,10 @@ func solveForkTheorem14(_ context.Context, pr Problem, _ Options) (Solution, err
 // heuristics polished by hill climbing beyond them.
 func solveForkHard(ctx context.Context, pr Problem, opts Options) (Solution, error) {
 	f := *pr.Fork
-	pl, dp := pr.Platform, pr.AllowDataParallel
+	pl := pr.Platform
 	cl := classificationOf(pr)
 	if f.Leaves()+1 <= opts.MaxExhaustiveForkStages && pl.Processors() <= opts.MaxExhaustiveForkProcs {
-		var res exhaustive.ForkResult
-		var ok bool
-		var err error
-		switch pr.Objective {
-		case MinPeriod:
-			res, ok, err = exhaustive.ForkPeriodCtx(ctx, f, pl, dp)
-		case MinLatency:
-			res, ok, err = exhaustive.ForkLatencyCtx(ctx, f, pl, dp)
-		case LatencyUnderPeriod:
-			res, ok, err = exhaustive.ForkLatencyUnderPeriodCtx(ctx, f, pl, dp, pr.Bound)
-		default:
-			res, ok, err = exhaustive.ForkPeriodUnderLatencyCtx(ctx, f, pl, dp, pr.Bound)
-		}
+		res, ok, err := exhaustiveFork(ctx, pr)
 		if err != nil {
 			return Solution{}, err
 		}
@@ -208,24 +196,7 @@ func solveForkHard(ctx context.Context, pr Problem, opts Options) (Solution, err
 		}
 		return forkSolution(res.Mapping, res.Cost, MethodExhaustive, true, cl), nil
 	}
-	var maps []mapping.ForkMapping
-	var costs []mapping.Cost
-	add := func(m mapping.ForkMapping) {
-		if c, err := mapping.EvalFork(f, pl, m); err == nil {
-			maps = append(maps, m)
-			costs = append(costs, c)
-		}
-	}
-	add(mapping.ReplicateAllFork(f, pl))
-	add(wholeForkOnProcessor(f, pl.Fastest()))
-	if m, _, err := heuristics.HetForkPeriodGreedy(f, pl); err == nil {
-		add(m)
-	}
-	if pl.IsHomogeneous() {
-		if m, _, err := heuristics.HetForkLatencyLPT(f, pl); err == nil {
-			add(m)
-		}
-	}
+	maps, costs := forkHeuristicCandidates(pr)
 	idx, ok := pickBestIndex(costs, pr)
 	if !ok {
 		return infeasible(MethodHeuristic, false, cl), nil
@@ -250,6 +221,65 @@ func solveForkHard(ctx context.Context, pr Problem, opts Options) (Solution, err
 		}
 	}
 	return forkSolution(best, bestCost, MethodHeuristic, false, cl), nil
+}
+
+// exhaustiveFork runs the exact set-partition search matching pr's
+// objective — shared by the unbudgeted exact path and the anytime
+// portfolio's exact member.
+func exhaustiveFork(ctx context.Context, pr Problem) (exhaustive.ForkResult, bool, error) {
+	f, pl, dp := *pr.Fork, pr.Platform, pr.AllowDataParallel
+	switch pr.Objective {
+	case MinPeriod:
+		return exhaustive.ForkPeriodCtx(ctx, f, pl, dp)
+	case MinLatency:
+		return exhaustive.ForkLatencyCtx(ctx, f, pl, dp)
+	case LatencyUnderPeriod:
+		return exhaustive.ForkLatencyUnderPeriodCtx(ctx, f, pl, dp, pr.Bound)
+	default:
+		return exhaustive.ForkPeriodUnderLatencyCtx(ctx, f, pl, dp, pr.Bound)
+	}
+}
+
+// exhaustiveForkJoin is exhaustiveFork for fork-join graphs.
+func exhaustiveForkJoin(ctx context.Context, pr Problem) (exhaustive.ForkJoinResult, bool, error) {
+	fj, pl, dp := *pr.ForkJoin, pr.Platform, pr.AllowDataParallel
+	switch pr.Objective {
+	case MinPeriod:
+		return exhaustive.ForkJoinPeriodCtx(ctx, fj, pl, dp)
+	case MinLatency:
+		return exhaustive.ForkJoinLatencyCtx(ctx, fj, pl, dp)
+	case LatencyUnderPeriod:
+		return exhaustive.ForkJoinLatencyUnderPeriodCtx(ctx, fj, pl, dp, pr.Bound)
+	default:
+		return exhaustive.ForkJoinPeriodUnderLatencyCtx(ctx, fj, pl, dp, pr.Bound)
+	}
+}
+
+// forkHeuristicCandidates returns the polynomial heuristic mappings of
+// an NP-hard fork instance (with their costs, aligned by index): the
+// candidate pool of both the heuristic fallback path and the anytime
+// portfolio's seeds.
+func forkHeuristicCandidates(pr Problem) ([]mapping.ForkMapping, []mapping.Cost) {
+	f, pl := *pr.Fork, pr.Platform
+	var maps []mapping.ForkMapping
+	var costs []mapping.Cost
+	add := func(m mapping.ForkMapping) {
+		if c, err := mapping.EvalFork(f, pl, m); err == nil {
+			maps = append(maps, m)
+			costs = append(costs, c)
+		}
+	}
+	add(mapping.ReplicateAllFork(f, pl))
+	add(wholeForkOnProcessor(f, pl.Fastest()))
+	if m, _, err := heuristics.HetForkPeriodGreedy(f, pl); err == nil {
+		add(m)
+	}
+	if pl.IsHomogeneous() {
+		if m, _, err := heuristics.HetForkLatencyLPT(f, pl); err == nil {
+			add(m)
+		}
+	}
+	return maps, costs
 }
 
 // --- Fork-join solvers -----------------------------------------------------
@@ -332,22 +362,10 @@ func solveForkJoinTheorem14(_ context.Context, pr Problem, _ Options) (Solution,
 
 func solveForkJoinHard(ctx context.Context, pr Problem, opts Options) (Solution, error) {
 	fj := *pr.ForkJoin
-	pl, dp := pr.Platform, pr.AllowDataParallel
+	pl := pr.Platform
 	cl := classificationOf(pr)
 	if fj.Leaves()+2 <= opts.MaxExhaustiveForkStages && pl.Processors() <= opts.MaxExhaustiveForkProcs {
-		var res exhaustive.ForkJoinResult
-		var ok bool
-		var err error
-		switch pr.Objective {
-		case MinPeriod:
-			res, ok, err = exhaustive.ForkJoinPeriodCtx(ctx, fj, pl, dp)
-		case MinLatency:
-			res, ok, err = exhaustive.ForkJoinLatencyCtx(ctx, fj, pl, dp)
-		case LatencyUnderPeriod:
-			res, ok, err = exhaustive.ForkJoinLatencyUnderPeriodCtx(ctx, fj, pl, dp, pr.Bound)
-		default:
-			res, ok, err = exhaustive.ForkJoinPeriodUnderLatencyCtx(ctx, fj, pl, dp, pr.Bound)
-		}
+		res, ok, err := exhaustiveForkJoin(ctx, pr)
 		if err != nil {
 			return Solution{}, err
 		}
@@ -356,6 +374,20 @@ func solveForkJoinHard(ctx context.Context, pr Problem, opts Options) (Solution,
 		}
 		return forkJoinSolution(res.Mapping, res.Cost, MethodExhaustive, true, cl), nil
 	}
+	maps, costs := forkJoinHeuristicCandidates(pr)
+	idx, ok := pickBestIndex(costs, pr)
+	if !ok {
+		return infeasible(MethodHeuristic, false, cl), nil
+	}
+	return forkJoinSolution(maps[idx], costs[idx], MethodHeuristic, false, cl), nil
+}
+
+// forkJoinHeuristicCandidates returns the polynomial heuristic mappings
+// of an NP-hard fork-join instance (with their costs, aligned by index):
+// the candidate pool of both the heuristic fallback path and the anytime
+// portfolio's seeds.
+func forkJoinHeuristicCandidates(pr Problem) ([]mapping.ForkJoinMapping, []mapping.Cost) {
+	fj, pl := *pr.ForkJoin, pr.Platform
 	var maps []mapping.ForkJoinMapping
 	var costs []mapping.Cost
 	add := func(m mapping.ForkJoinMapping) {
@@ -370,9 +402,5 @@ func solveForkJoinHard(ctx context.Context, pr Problem, opts Options) (Solution,
 	if m, _, err := heuristics.HetForkJoinGreedy(fj, pl, minPeriod); err == nil {
 		add(m)
 	}
-	idx, ok := pickBestIndex(costs, pr)
-	if !ok {
-		return infeasible(MethodHeuristic, false, cl), nil
-	}
-	return forkJoinSolution(maps[idx], costs[idx], MethodHeuristic, false, cl), nil
+	return maps, costs
 }

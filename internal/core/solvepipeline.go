@@ -200,24 +200,10 @@ func solvePipeHetHomPeriodUnderLatencyNoDP(_ context.Context, pr Problem, _ Opti
 // search (with cancellation checkpoints) when the platform is small enough,
 // polynomial heuristics otherwise.
 func solvePipelineHard(ctx context.Context, pr Problem, opts Options) (Solution, error) {
-	p := *pr.Pipeline
 	pl := pr.Platform
 	cl := classificationOf(pr)
-	dp := pr.AllowDataParallel
 	if pl.Processors() <= opts.MaxExhaustivePipelineProcs {
-		var res exhaustive.PipelineResult
-		var ok bool
-		var err error
-		switch pr.Objective {
-		case MinPeriod:
-			res, ok, err = exhaustive.PipelinePeriodCtx(ctx, p, pl, dp)
-		case MinLatency:
-			res, ok, err = exhaustive.PipelineLatencyCtx(ctx, p, pl, dp)
-		case LatencyUnderPeriod:
-			res, ok, err = exhaustive.PipelineLatencyUnderPeriodCtx(ctx, p, pl, dp, pr.Bound)
-		default:
-			res, ok, err = exhaustive.PipelinePeriodUnderLatencyCtx(ctx, p, pl, dp, pr.Bound)
-		}
+		res, ok, err := exhaustivePipeline(ctx, pr)
 		if err != nil {
 			return Solution{}, err
 		}
@@ -228,6 +214,37 @@ func solvePipelineHard(ctx context.Context, pr Problem, opts Options) (Solution,
 	}
 	// Heuristic path: gather candidate mappings and pick the best that
 	// meets the bound (if any).
+	maps, costs := pipelineHeuristicCandidates(pr)
+	idx, okBest := pickBestIndex(costs, pr)
+	if !okBest {
+		return infeasible(MethodHeuristic, false, cl), nil
+	}
+	return pipeSolution(maps[idx], costs[idx], MethodHeuristic, false, cl), nil
+}
+
+// exhaustivePipeline runs the exact exponential search matching pr's
+// objective — the single dispatch shared by the unbudgeted exact path
+// and the anytime portfolio's exact member.
+func exhaustivePipeline(ctx context.Context, pr Problem) (exhaustive.PipelineResult, bool, error) {
+	p, pl, dp := *pr.Pipeline, pr.Platform, pr.AllowDataParallel
+	switch pr.Objective {
+	case MinPeriod:
+		return exhaustive.PipelinePeriodCtx(ctx, p, pl, dp)
+	case MinLatency:
+		return exhaustive.PipelineLatencyCtx(ctx, p, pl, dp)
+	case LatencyUnderPeriod:
+		return exhaustive.PipelineLatencyUnderPeriodCtx(ctx, p, pl, dp, pr.Bound)
+	default:
+		return exhaustive.PipelinePeriodUnderLatencyCtx(ctx, p, pl, dp, pr.Bound)
+	}
+}
+
+// pipelineHeuristicCandidates returns the polynomial heuristic mappings
+// of an NP-hard pipeline instance (with their costs, aligned by index).
+// It is the candidate pool of both the oversized-instance heuristic path
+// and the anytime portfolio's seeds.
+func pipelineHeuristicCandidates(pr Problem) ([]mapping.PipelineMapping, []mapping.Cost) {
+	p, pl := *pr.Pipeline, pr.Platform
 	var maps []mapping.PipelineMapping
 	var costs []mapping.Cost
 	add := func(m mapping.PipelineMapping, c mapping.Cost, err error) {
@@ -236,7 +253,7 @@ func solvePipelineHard(ctx context.Context, pr Problem, opts Options) (Solution,
 			costs = append(costs, c)
 		}
 	}
-	if dp {
+	if pr.AllowDataParallel {
 		m, c, err := heuristics.HetPipelineWithDP(p, pl, pr.Objective == MinPeriod || pr.Objective == PeriodUnderLatency)
 		add(m, c, err)
 		m, c, err = heuristics.HetPipelineWithDP(p, pl, false)
@@ -248,11 +265,7 @@ func solvePipelineHard(ctx context.Context, pr Problem, opts Options) (Solution,
 		res, err := pipealgo.HetLatencyNoDP(p, pl)
 		add(res.Mapping, res.Cost, err)
 	}
-	idx, okBest := pickBestIndex(costs, pr)
-	if !okBest {
-		return infeasible(MethodHeuristic, false, cl), nil
-	}
-	return pipeSolution(maps[idx], costs[idx], MethodHeuristic, false, cl), nil
+	return maps, costs
 }
 
 // pickBestIndex selects the candidate cost minimizing the requested

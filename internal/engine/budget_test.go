@@ -1,0 +1,207 @@
+package engine
+
+import (
+	"context"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"repliflow/internal/core"
+	"repliflow/internal/platform"
+	"repliflow/internal/workflow"
+)
+
+// hardProblem returns an NP-hard pipeline instance beyond the default
+// exhaustive limits, so a budget engages the anytime portfolio.
+func hardProblem(seed int64) core.Problem {
+	rng := rand.New(rand.NewSource(seed))
+	pipe := workflow.RandomPipeline(rng, 12, 20)
+	return core.Problem{
+		Pipeline:          &pipe,
+		Platform:          platform.Random(rng, 13, 5),
+		AllowDataParallel: true,
+		Objective:         core.MinPeriod,
+	}
+}
+
+// TestFingerprintKeyedOnBudget: distinct budgets yield distinct cache
+// keys, equal budgets collide.
+func TestFingerprintKeyedOnBudget(t *testing.T) {
+	pr := hardProblem(1)
+	tight := Fingerprint(pr, core.Options{AnytimeBudget: 5 * time.Millisecond})
+	loose := Fingerprint(pr, core.Options{AnytimeBudget: 500 * time.Millisecond})
+	if tight == loose {
+		t.Fatal("tight- and generous-budget fingerprints collide")
+	}
+	again := Fingerprint(pr, core.Options{AnytimeBudget: 5 * time.Millisecond})
+	if tight != again {
+		t.Fatal("equal budgets produced different fingerprints")
+	}
+	if !strings.Contains(tight, "|bud:") {
+		t.Fatalf("fingerprint missing the budget component: %q", tight)
+	}
+}
+
+// TestCacheNeverServesTightBudgetToGenerousRequest: a solution computed
+// under a tight budget must not satisfy a generous-budget request — the
+// second request re-solves (cache miss), and a repeat of the first
+// budget hits.
+func TestCacheNeverServesTightBudgetToGenerousRequest(t *testing.T) {
+	e := New(2)
+	ctx := context.Background()
+	pr := hardProblem(2)
+
+	if _, err := e.Solve(ctx, pr, core.Options{AnytimeBudget: 5 * time.Millisecond}); err != nil {
+		t.Fatal(err)
+	}
+	if hits, misses := e.CacheStats(); hits != 0 || misses != 1 {
+		t.Fatalf("after first solve: hits=%d misses=%d, want 0/1", hits, misses)
+	}
+	if _, err := e.Solve(ctx, pr, core.Options{AnytimeBudget: 100 * time.Millisecond}); err != nil {
+		t.Fatal(err)
+	}
+	if hits, misses := e.CacheStats(); hits != 0 || misses != 2 {
+		t.Fatalf("generous budget served from tight-budget cache: hits=%d misses=%d, want 0/2", hits, misses)
+	}
+	if _, err := e.Solve(ctx, pr, core.Options{AnytimeBudget: 5 * time.Millisecond}); err != nil {
+		t.Fatal(err)
+	}
+	if hits, misses := e.CacheStats(); hits != 1 || misses != 2 {
+		t.Fatalf("repeat of the tight budget missed: hits=%d misses=%d, want 1/2", hits, misses)
+	}
+}
+
+// TestPolynomialCellsShareCacheAcrossBudgets: polynomial cells ignore
+// the budget, so distinct budgets must not fragment the cache with
+// identical solutions.
+func TestPolynomialCellsShareCacheAcrossBudgets(t *testing.T) {
+	pipe := workflow.NewPipeline(14, 4, 2, 4)
+	pr := core.Problem{
+		Pipeline:          &pipe,
+		Platform:          platform.Homogeneous(3, 1),
+		AllowDataParallel: true,
+		Objective:         core.MinLatency,
+	}
+	a := Fingerprint(pr, core.Options{AnytimeBudget: 5 * time.Millisecond})
+	b := Fingerprint(pr, core.Options{AnytimeBudget: 100 * time.Millisecond})
+	if a != b {
+		t.Fatal("polynomial-cell fingerprints fragment by budget")
+	}
+	e := New(2)
+	ctx := context.Background()
+	if _, err := e.Solve(ctx, pr, core.Options{AnytimeBudget: 5 * time.Millisecond}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Solve(ctx, pr, core.Options{AnytimeBudget: 100 * time.Millisecond}); err != nil {
+		t.Fatal(err)
+	}
+	if hits, misses := e.CacheStats(); hits != 1 || misses != 1 {
+		t.Errorf("hits=%d misses=%d, want 1/1 (budget must not re-solve a polynomial cell)", hits, misses)
+	}
+}
+
+// TestDeadlineTruncatedIncumbentNotCached: when the caller's deadline
+// (not the budget) cuts an anytime solve short, the incumbent is
+// returned but must not be cached — a later caller with the same
+// budget and a roomier deadline deserves the full-budget solve.
+func TestDeadlineTruncatedIncumbentNotCached(t *testing.T) {
+	e := New(2)
+	pr := hardProblem(7)
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Millisecond)
+	defer cancel()
+	sol, err := e.Solve(ctx, pr, core.Options{AnytimeBudget: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sol.Anytime || !sol.Feasible {
+		t.Fatalf("want a feasible anytime incumbent, got anytime=%v feasible=%v", sol.Anytime, sol.Feasible)
+	}
+	if sol.Exact {
+		t.Skip("portfolio certified the optimum before the deadline; nothing to assert")
+	}
+	if n := e.CacheSize(); n != 0 {
+		t.Errorf("deadline-truncated incumbent cached (size %d); a generous-deadline caller would be served it", n)
+	}
+	if _, err := e.Solve(context.Background(), pr, core.Options{AnytimeBudget: 50 * time.Millisecond}); err != nil {
+		t.Fatal(err)
+	}
+	if hits, _ := e.CacheStats(); hits != 0 {
+		t.Errorf("later solve hit the truncated entry (hits=%d)", hits)
+	}
+}
+
+// TestSolveBatchSplitsBudget: a batch-level budget is divided across
+// worker rounds so the batch completes in roughly the stated budget,
+// and every NP-hard solution still carries anytime certification.
+func TestSolveBatchSplitsBudget(t *testing.T) {
+	e := New(2)
+	problems := make([]core.Problem, 8)
+	for i := range problems {
+		problems[i] = hardProblem(int64(100 + i))
+	}
+	start := time.Now()
+	sols, err := e.SolveBatch(context.Background(), problems, core.Options{AnytimeBudget: 160 * time.Millisecond})
+	elapsed := time.Since(start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, sol := range sols {
+		if !sol.Anytime {
+			t.Errorf("solution %d not anytime-certified", i)
+		}
+		if sol.Gap < 0 {
+			t.Errorf("solution %d has negative gap %g", i, sol.Gap)
+		}
+		if !sol.Feasible {
+			t.Errorf("solution %d infeasible on an unbounded objective", i)
+		}
+	}
+	// 8 problems / 2 workers = 4 rounds of 40ms each: the batch should
+	// take on the order of the batch budget, not 8 x 160ms. Generous
+	// slack for loaded CI machines.
+	if elapsed > 10*time.Second {
+		t.Errorf("batch took %v, want roughly the 160ms batch budget", elapsed)
+	}
+}
+
+// TestUniqueHardCount: duplicates and polynomial instances must not
+// dilute the per-solve budget share.
+func TestUniqueHardCount(t *testing.T) {
+	hard := hardProblem(1)
+	pipe := workflow.NewPipeline(14, 4, 2, 4)
+	poly := core.Problem{
+		Pipeline:  &pipe,
+		Platform:  platform.Homogeneous(3, 1),
+		Objective: core.MinPeriod,
+	}
+	opts := core.Options{AnytimeBudget: time.Second}
+	problems := []core.Problem{hard, hard, hard, poly, poly, hardProblem(2)}
+	if got := uniqueHardCount(problems, opts); got != 2 {
+		t.Errorf("uniqueHardCount = %d, want 2 (three duplicates, two polynomial)", got)
+	}
+	if got := uniqueHardCount(problems, core.Options{}); got != 0 {
+		t.Errorf("uniqueHardCount without budget = %d, want 0", got)
+	}
+}
+
+// TestSplitBudgetRounding covers the split arithmetic directly.
+func TestSplitBudgetRounding(t *testing.T) {
+	cases := []struct {
+		budget  time.Duration
+		n, w    int
+		perWant time.Duration
+	}{
+		{0, 10, 2, 0}, // disabled stays disabled
+		{100 * time.Millisecond, 2, 4, 100 * time.Millisecond}, // fewer problems than workers: untouched
+		{100 * time.Millisecond, 8, 2, 25 * time.Millisecond},  // 4 rounds
+		{100 * time.Millisecond, 9, 2, 20 * time.Millisecond},  // 5 rounds
+		{2 * time.Millisecond, 100, 1, time.Millisecond},       // floored at 1ms
+	}
+	for _, c := range cases {
+		got := splitBudget(core.Options{AnytimeBudget: c.budget}, c.n, c.w)
+		if got.AnytimeBudget != c.perWant {
+			t.Errorf("splitBudget(%v, n=%d, w=%d) = %v, want %v", c.budget, c.n, c.w, got.AnytimeBudget, c.perWant)
+		}
+	}
+}

@@ -30,7 +30,11 @@
 // solves are never cached: a cancelled
 // computation cannot poison the fingerprint for future callers, and a
 // waiter whose own context is still live retries the solve itself
-// rather than adopting another caller's cancellation error.
+// rather than adopting another caller's cancellation error. The
+// fingerprint includes the anytime budget, so a tight-budget incumbent
+// is never served to a generous-budget request; SolveBatch treats the
+// budget as a whole-batch wall-clock target and splits it across its
+// worker rounds.
 //
 // # Cancellation guarantees
 //

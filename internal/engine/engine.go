@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repliflow/internal/core"
 	"repliflow/internal/mapping"
@@ -39,6 +40,11 @@ type cacheEntry struct {
 	done chan struct{}
 	sol  core.Solution
 	err  error
+	// truncated marks an anytime flight cut short by the computing
+	// caller's deadline rather than its budget: a correct answer for
+	// that caller, but under-budget quality for the fingerprint, so it
+	// is neither cached nor adopted by waiters.
+	truncated bool
 }
 
 // New returns an Engine running at most workers concurrent solves;
@@ -141,7 +147,7 @@ func (e *Engine) Solve(ctx context.Context, pr core.Problem, opts core.Options) 
 			e.mu.Unlock()
 			select {
 			case <-en.done:
-				if en.err == nil {
+				if en.err == nil && !en.truncated {
 					e.hits.Add(1)
 					return cloneSolution(en.sol), nil
 				}
@@ -149,8 +155,9 @@ func (e *Engine) Solve(ctx context.Context, pr core.Problem, opts core.Options) 
 					return core.Solution{}, err
 				}
 				// The flight failed (typically another caller's
-				// cancellation) but our context is live: drop the dead
-				// entry if the computing goroutine hasn't yet, and retry.
+				// cancellation) or was deadline-truncated, but our
+				// context is live: drop the dead entry if the computing
+				// goroutine hasn't yet, and retry the solve ourselves.
 				e.dropEntry(key, en)
 				continue
 			case <-ctx.Done():
@@ -187,15 +194,54 @@ func (e *Engine) Solve(ctx context.Context, pr core.Problem, opts core.Options) 
 		}
 		e.misses.Add(1)
 		en.sol, en.err = core.SolveContext(ctx, pr, opts)
+		// An anytime incumbent returned while this caller's context is
+		// dead was truncated by the deadline, not by its budget (a
+		// budget expiry never cancels ctx): flag it before releasing
+		// waiters so they re-solve instead of adopting it.
+		en.truncated = en.err == nil && en.sol.Anytime && !en.sol.Exact && ctx.Err() != nil
 		<-e.sem
 		close(en.done)
-		if en.err != nil {
-			// Never cache failures: a cancelled solve must not poison the
-			// fingerprint for future, uncancelled callers.
+		if en.err != nil || en.truncated {
+			// Never cache failures or truncated incumbents: neither may
+			// poison the fingerprint for future, uncancelled callers.
 			e.dropEntry(key, en)
 		}
 		return cloneSolution(en.sol), en.err
 	}
+}
+
+// uniqueHardCount counts the distinct NP-hard instances of a batch —
+// the solves that will actually consume anytime budget. Invalid
+// problems are counted conservatively (their solve fails later anyway).
+func uniqueHardCount(problems []core.Problem, opts core.Options) int {
+	if opts.AnytimeBudget <= 0 {
+		return 0
+	}
+	unique := make(map[string]struct{}, len(problems))
+	for _, pr := range problems {
+		if core.ClassifyCell(core.CellKeyOf(pr)).Complexity.Polynomial() {
+			continue
+		}
+		unique[Fingerprint(pr, opts)] = struct{}{}
+	}
+	return len(unique)
+}
+
+// splitBudget divides a batch-level anytime budget across the
+// sequential rounds its n budget-consuming solves occupy on w workers:
+// ceil(n/w) rounds, so each solve gets budget/rounds (at least 1ms so
+// the portfolio can always seed an incumbent).
+func splitBudget(opts core.Options, n, workers int) core.Options {
+	if opts.AnytimeBudget <= 0 || n <= workers {
+		return opts
+	}
+	rounds := (n + workers - 1) / workers
+	per := opts.AnytimeBudget / time.Duration(rounds)
+	if per < time.Millisecond {
+		per = time.Millisecond
+	}
+	opts.AnytimeBudget = per
+	return opts
 }
 
 // dropEntry removes the given entry from the cache iff it is still the
@@ -212,10 +258,20 @@ func (e *Engine) dropEntry(key string, en *cacheEntry) {
 // returning solutions aligned by index. The first error (including
 // ctx.Err() on cancellation) aborts the batch and cancels the remaining
 // solves. Duplicate instances within the batch are solved once.
+//
+// Options.AnytimeBudget is a whole-batch wall-clock target: it is split
+// evenly across the sequential rounds the batch's real anytime work
+// occupies (budget / ceil(unique NP-hard instances / workers), floored
+// at 1ms), so a batch of NP-hard instances finishes in roughly the
+// stated budget rather than budget x instances — duplicates (solved
+// once by the cache) and polynomial instances (which ignore budgets)
+// do not dilute the share of the solves that actually consume it.
+// Each solve is cached under its split per-solve budget.
 func (e *Engine) SolveBatch(ctx context.Context, problems []core.Problem, opts core.Options) ([]core.Solution, error) {
 	if len(problems) == 0 {
 		return nil, ctx.Err()
 	}
+	opts = splitBudget(opts, uniqueHardCount(problems, opts), e.workers)
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 

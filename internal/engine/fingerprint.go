@@ -57,6 +57,20 @@ func Fingerprint(pr core.Problem, opts core.Options) string {
 	b.WriteString(strconv.Itoa(opts.MaxExhaustiveForkStages))
 	b.WriteByte(',')
 	b.WriteString(strconv.Itoa(opts.MaxExhaustiveForkProcs))
+	// The anytime budget is part of the solution's identity on NP-hard
+	// cells: a tight-budget incumbent must never be served from the
+	// cache to a generous-budget request (and vice versa), so distinct
+	// budgets get distinct keys. Polynomial cells ignore the budget
+	// entirely (core has no anytime entry for them), so it is
+	// normalized to zero there — otherwise every distinct budget (and
+	// every splitBudget rewrite) would fragment the cache with
+	// byte-identical solutions.
+	budget := opts.AnytimeBudget
+	if budget > 0 && core.ClassifyCell(core.CellKeyOf(pr)).Complexity.Polynomial() {
+		budget = 0
+	}
+	b.WriteString("|bud:")
+	b.WriteString(strconv.FormatInt(int64(budget), 10))
 	return b.String()
 }
 

@@ -62,10 +62,12 @@ func (s *stepper) ok() bool {
 	return true
 }
 
-// maskInfo caches per-subset speed aggregates of a platform.
+// maskInfo caches per-subset speed aggregates of a platform. max feeds
+// the anytime lower bounds used for branch pruning.
 type maskInfo struct {
 	count int
 	min   float64
+	max   float64
 	sum   float64
 }
 
@@ -78,13 +80,14 @@ func buildMaskInfo(pl platform.Platform) []maskInfo {
 		rest := mask &^ (1 << low)
 		s := pl.Speeds[low]
 		if rest == 0 {
-			info[mask] = maskInfo{count: 1, min: s, sum: s}
+			info[mask] = maskInfo{count: 1, min: s, max: s, sum: s}
 			continue
 		}
 		prev := info[rest]
 		info[mask] = maskInfo{
 			count: prev.count + 1,
 			min:   math.Min(prev.min, s),
+			max:   math.Max(prev.max, s),
 			sum:   prev.sum + s,
 		}
 	}

@@ -3,6 +3,7 @@ package exhaustive
 import (
 	"context"
 
+	"repliflow/internal/anytime"
 	"repliflow/internal/mapping"
 	"repliflow/internal/numeric"
 	"repliflow/internal/platform"
@@ -54,12 +55,17 @@ func partitions(m, maxBlocks int, visit func(assign []int, blocks int) bool) {
 // assignment of disjoint non-empty processor subsets to the blocks, and
 // every legal mode combination. Exhaustive ground truth for small n and p.
 func EnumerateFork(f workflow.Fork, pl platform.Platform, allowDP bool, visit func(mapping.ForkMapping, mapping.Cost)) {
-	enumerateForkCtx(newStepper(context.Background()), f, pl, allowDP, visit)
+	enumerateForkCtx(newStepper(context.Background()), f, pl, allowDP, func(m mapping.ForkMapping, c mapping.Cost) bool {
+		visit(m, c)
+		return true
+	})
 }
 
 // enumerateForkCtx is EnumerateFork with cancellation checkpoints driven by
-// the stepper; it stops early once the stepper latches an error.
-func enumerateForkCtx(step *stepper, f workflow.Fork, pl platform.Platform, allowDP bool, visit func(mapping.ForkMapping, mapping.Cost)) {
+// the stepper; it stops early once the stepper latches an error or visit
+// returns false (the scanners abort once the incumbent reaches the
+// anytime lower bound).
+func enumerateForkCtx(step *stepper, f workflow.Fork, pl platform.Platform, allowDP bool, visit func(mapping.ForkMapping, mapping.Cost) bool) {
 	p := pl.Processors()
 	full := (1 << p) - 1
 	items := f.Leaves() + 1
@@ -83,8 +89,7 @@ func enumerateForkCtx(step *stepper, f workflow.Fork, pl platform.Platform, allo
 				if err != nil {
 					panic("exhaustive: enumerated invalid fork mapping: " + err.Error())
 				}
-				visit(m, c)
-				return true
+				return visit(m, c)
 			}
 			free := full &^ usedMask
 			for sub := free; sub > 0; sub = (sub - 1) & free {
@@ -111,20 +116,27 @@ func enumerateForkCtx(step *stepper, f workflow.Fork, pl platform.Platform, allo
 }
 
 // forkScan enumerates all mappings and keeps the best according to accept /
-// better predicates.
+// objective. lb is the anytime lower bound on the objective: once the
+// incumbent reaches it the enumeration aborts — later mappings can at
+// most tie, and ties never replace the incumbent, so the result is
+// byte-identical to the full scan. Pass lb <= 0 to disable pruning.
 func forkScan(ctx context.Context, f workflow.Fork, pl platform.Platform, allowDP bool,
-	accept func(mapping.Cost) bool, objective func(mapping.Cost) float64) (ForkResult, bool, error) {
+	accept func(mapping.Cost) bool, objective func(mapping.Cost) float64, lb float64) (ForkResult, bool, error) {
 	var best ForkResult
 	found := false
 	step := newStepper(ctx)
-	enumerateForkCtx(step, f, pl, allowDP, func(m mapping.ForkMapping, c mapping.Cost) {
+	enumerateForkCtx(step, f, pl, allowDP, func(m mapping.ForkMapping, c mapping.Cost) bool {
 		if !accept(c) {
-			return
+			return true
 		}
 		if !found || numeric.Less(objective(c), objective(best.Cost)) {
 			best = ForkResult{Mapping: m, Cost: c}
 			found = true
+			if lb > 0 && numeric.LessEq(objective(best.Cost), lb) {
+				return false
+			}
 		}
+		return true
 	})
 	if step.err != nil {
 		return ForkResult{}, false, step.err
@@ -144,7 +156,8 @@ func ForkPeriod(f workflow.Fork, pl platform.Platform, allowDP bool) (ForkResult
 
 // ForkPeriodCtx is ForkPeriod with cancellation checkpoints.
 func ForkPeriodCtx(ctx context.Context, f workflow.Fork, pl platform.Platform, allowDP bool) (ForkResult, bool, error) {
-	return forkScan(ctx, f, pl, allowDP, acceptAll, period)
+	lb := anytime.ForkLB(f, pl, anytime.Spec{MinimizePeriod: true, AllowDP: allowDP})
+	return forkScan(ctx, f, pl, allowDP, acceptAll, period, lb)
 }
 
 // ForkLatency returns a fork mapping minimizing the latency.
@@ -155,7 +168,8 @@ func ForkLatency(f workflow.Fork, pl platform.Platform, allowDP bool) (ForkResul
 
 // ForkLatencyCtx is ForkLatency with cancellation checkpoints.
 func ForkLatencyCtx(ctx context.Context, f workflow.Fork, pl platform.Platform, allowDP bool) (ForkResult, bool, error) {
-	return forkScan(ctx, f, pl, allowDP, acceptAll, latency)
+	lb := anytime.ForkLB(f, pl, anytime.Spec{AllowDP: allowDP})
+	return forkScan(ctx, f, pl, allowDP, acceptAll, latency, lb)
 }
 
 // ForkLatencyUnderPeriod returns a fork mapping minimizing the latency
@@ -168,8 +182,9 @@ func ForkLatencyUnderPeriod(f workflow.Fork, pl platform.Platform, allowDP bool,
 // ForkLatencyUnderPeriodCtx is ForkLatencyUnderPeriod with cancellation
 // checkpoints.
 func ForkLatencyUnderPeriodCtx(ctx context.Context, f workflow.Fork, pl platform.Platform, allowDP bool, maxPeriod float64) (ForkResult, bool, error) {
+	lb := anytime.ForkLB(f, pl, anytime.Spec{AllowDP: allowDP})
 	return forkScan(ctx, f, pl, allowDP,
-		func(c mapping.Cost) bool { return numeric.LessEq(c.Period, maxPeriod) }, latency)
+		func(c mapping.Cost) bool { return numeric.LessEq(c.Period, maxPeriod) }, latency, lb)
 }
 
 // ForkPeriodUnderLatency returns a fork mapping minimizing the period among
@@ -182,8 +197,9 @@ func ForkPeriodUnderLatency(f workflow.Fork, pl platform.Platform, allowDP bool,
 // ForkPeriodUnderLatencyCtx is ForkPeriodUnderLatency with cancellation
 // checkpoints.
 func ForkPeriodUnderLatencyCtx(ctx context.Context, f workflow.Fork, pl platform.Platform, allowDP bool, maxLatency float64) (ForkResult, bool, error) {
+	lb := anytime.ForkLB(f, pl, anytime.Spec{MinimizePeriod: true, AllowDP: allowDP})
 	return forkScan(ctx, f, pl, allowDP,
-		func(c mapping.Cost) bool { return numeric.LessEq(c.Latency, maxLatency) }, period)
+		func(c mapping.Cost) bool { return numeric.LessEq(c.Latency, maxLatency) }, period, lb)
 }
 
 // ForkPareto returns the exact Pareto front of (period, latency) over all

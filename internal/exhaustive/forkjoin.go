@@ -3,6 +3,7 @@ package exhaustive
 import (
 	"context"
 
+	"repliflow/internal/anytime"
 	"repliflow/internal/mapping"
 	"repliflow/internal/numeric"
 	"repliflow/internal/platform"
@@ -19,12 +20,16 @@ type ForkJoinResult struct {
 // are ordered root, leaves, join; blocks come from set partitions and
 // processor subsets from disjoint bitmask assignments, as for forks.
 func EnumerateForkJoin(fj workflow.ForkJoin, pl platform.Platform, allowDP bool, visit func(mapping.ForkJoinMapping, mapping.Cost)) {
-	enumerateForkJoinCtx(newStepper(context.Background()), fj, pl, allowDP, visit)
+	enumerateForkJoinCtx(newStepper(context.Background()), fj, pl, allowDP, func(m mapping.ForkJoinMapping, c mapping.Cost) bool {
+		visit(m, c)
+		return true
+	})
 }
 
 // enumerateForkJoinCtx is EnumerateForkJoin with cancellation checkpoints
-// driven by the stepper.
-func enumerateForkJoinCtx(step *stepper, fj workflow.ForkJoin, pl platform.Platform, allowDP bool, visit func(mapping.ForkJoinMapping, mapping.Cost)) {
+// driven by the stepper; it stops early once the stepper latches an error
+// or visit returns false.
+func enumerateForkJoinCtx(step *stepper, fj workflow.ForkJoin, pl platform.Platform, allowDP bool, visit func(mapping.ForkJoinMapping, mapping.Cost) bool) {
 	p := pl.Processors()
 	full := (1 << p) - 1
 	items := fj.Leaves() + 2
@@ -48,8 +53,7 @@ func enumerateForkJoinCtx(step *stepper, fj workflow.ForkJoin, pl platform.Platf
 				if err != nil {
 					panic("exhaustive: enumerated invalid fork-join mapping: " + err.Error())
 				}
-				visit(m, c)
-				return true
+				return visit(m, c)
 			}
 			free := full &^ usedMask
 			for sub := free; sub > 0; sub = (sub - 1) & free {
@@ -77,19 +81,26 @@ func enumerateForkJoinCtx(step *stepper, fj workflow.ForkJoin, pl platform.Platf
 }
 
 // forkJoinScan enumerates all mappings keeping the best acceptable one.
+// lb prunes exactly as in forkScan: reaching it aborts the scan without
+// changing the result (ties never replace the incumbent); lb <= 0
+// disables pruning.
 func forkJoinScan(ctx context.Context, fj workflow.ForkJoin, pl platform.Platform, allowDP bool,
-	accept func(mapping.Cost) bool, objective func(mapping.Cost) float64) (ForkJoinResult, bool, error) {
+	accept func(mapping.Cost) bool, objective func(mapping.Cost) float64, lb float64) (ForkJoinResult, bool, error) {
 	var best ForkJoinResult
 	found := false
 	step := newStepper(ctx)
-	enumerateForkJoinCtx(step, fj, pl, allowDP, func(m mapping.ForkJoinMapping, c mapping.Cost) {
+	enumerateForkJoinCtx(step, fj, pl, allowDP, func(m mapping.ForkJoinMapping, c mapping.Cost) bool {
 		if !accept(c) {
-			return
+			return true
 		}
 		if !found || numeric.Less(objective(c), objective(best.Cost)) {
 			best = ForkJoinResult{Mapping: m, Cost: c}
 			found = true
+			if lb > 0 && numeric.LessEq(objective(best.Cost), lb) {
+				return false
+			}
 		}
+		return true
 	})
 	if step.err != nil {
 		return ForkJoinResult{}, false, step.err
@@ -105,7 +116,8 @@ func ForkJoinPeriod(fj workflow.ForkJoin, pl platform.Platform, allowDP bool) (F
 
 // ForkJoinPeriodCtx is ForkJoinPeriod with cancellation checkpoints.
 func ForkJoinPeriodCtx(ctx context.Context, fj workflow.ForkJoin, pl platform.Platform, allowDP bool) (ForkJoinResult, bool, error) {
-	return forkJoinScan(ctx, fj, pl, allowDP, acceptAll, period)
+	lb := anytime.ForkJoinLB(fj, pl, anytime.Spec{MinimizePeriod: true, AllowDP: allowDP})
+	return forkJoinScan(ctx, fj, pl, allowDP, acceptAll, period, lb)
 }
 
 // ForkJoinLatency returns a fork-join mapping minimizing the latency.
@@ -116,7 +128,8 @@ func ForkJoinLatency(fj workflow.ForkJoin, pl platform.Platform, allowDP bool) (
 
 // ForkJoinLatencyCtx is ForkJoinLatency with cancellation checkpoints.
 func ForkJoinLatencyCtx(ctx context.Context, fj workflow.ForkJoin, pl platform.Platform, allowDP bool) (ForkJoinResult, bool, error) {
-	return forkJoinScan(ctx, fj, pl, allowDP, acceptAll, latency)
+	lb := anytime.ForkJoinLB(fj, pl, anytime.Spec{AllowDP: allowDP})
+	return forkJoinScan(ctx, fj, pl, allowDP, acceptAll, latency, lb)
 }
 
 // ForkJoinLatencyUnderPeriod minimizes latency under a period bound.
@@ -128,8 +141,9 @@ func ForkJoinLatencyUnderPeriod(fj workflow.ForkJoin, pl platform.Platform, allo
 // ForkJoinLatencyUnderPeriodCtx is ForkJoinLatencyUnderPeriod with
 // cancellation checkpoints.
 func ForkJoinLatencyUnderPeriodCtx(ctx context.Context, fj workflow.ForkJoin, pl platform.Platform, allowDP bool, maxPeriod float64) (ForkJoinResult, bool, error) {
+	lb := anytime.ForkJoinLB(fj, pl, anytime.Spec{AllowDP: allowDP})
 	return forkJoinScan(ctx, fj, pl, allowDP,
-		func(c mapping.Cost) bool { return numeric.LessEq(c.Period, maxPeriod) }, latency)
+		func(c mapping.Cost) bool { return numeric.LessEq(c.Period, maxPeriod) }, latency, lb)
 }
 
 // ForkJoinPeriodUnderLatency minimizes period under a latency bound.
@@ -141,6 +155,7 @@ func ForkJoinPeriodUnderLatency(fj workflow.ForkJoin, pl platform.Platform, allo
 // ForkJoinPeriodUnderLatencyCtx is ForkJoinPeriodUnderLatency with
 // cancellation checkpoints.
 func ForkJoinPeriodUnderLatencyCtx(ctx context.Context, fj workflow.ForkJoin, pl platform.Platform, allowDP bool, maxLatency float64) (ForkJoinResult, bool, error) {
+	lb := anytime.ForkJoinLB(fj, pl, anytime.Spec{MinimizePeriod: true, AllowDP: allowDP})
 	return forkJoinScan(ctx, fj, pl, allowDP,
-		func(c mapping.Cost) bool { return numeric.LessEq(c.Latency, maxLatency) }, period)
+		func(c mapping.Cost) bool { return numeric.LessEq(c.Latency, maxLatency) }, period, lb)
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"math"
 
+	"repliflow/internal/anytime"
 	"repliflow/internal/mapping"
 	"repliflow/internal/numeric"
 	"repliflow/internal/platform"
@@ -42,11 +43,22 @@ type pipeSolver struct {
 	full    int
 	n       int
 	step    *stepper
+	// suffix[i] is the total weight of stages i..n-1, feeding the
+	// anytime lower bound that prunes a state's search once its best
+	// value provably cannot improve.
+	suffix []float64
+	// prune disables the bound cutoffs when false (the regression tests
+	// compare pruned against unpruned searches byte for byte).
+	prune bool
 }
 
 func newPipeSolver(ctx context.Context, p workflow.Pipeline, pl platform.Platform, allowDP bool, periodCap float64, minimizePeriod bool) *pipeSolver {
 	n := p.Stages()
 	states := (n + 1) << pl.Processors()
+	suffix := make([]float64, n+1)
+	for i := n - 1; i >= 0; i-- {
+		suffix[i] = suffix[i+1] + p.Weights[i]
+	}
 	return &pipeSolver{
 		p: p, pl: pl, info: buildMaskInfo(pl), allowDP: allowDP,
 		periodCap: periodCap, minimizePeriod: minimizePeriod,
@@ -56,7 +68,26 @@ func newPipeSolver(ctx context.Context, p workflow.Pipeline, pl platform.Platfor
 		full:    (1 << pl.Processors()) - 1,
 		n:       n,
 		step:    newStepper(ctx),
+		suffix:  suffix,
+		prune:   true,
 	}
+}
+
+// stateLB returns the anytime lower bound on the state value of mapping
+// stages i..n-1 onto the processors in freeMask, or -1 when no bound
+// applies. The bound is exact-search-safe: stopping a state's loops once
+// its best reaches the bound cannot change the returned mapping, because
+// later candidates can at most tie and ties never replace the incumbent
+// choice.
+func (s *pipeSolver) stateLB(i, freeMask int) float64 {
+	if !s.prune || freeMask == 0 {
+		return -1
+	}
+	fi := s.info[freeMask]
+	if s.minimizePeriod {
+		return anytime.PeriodLB(s.suffix[i], fi.sum)
+	}
+	return anytime.LatencyLB(s.suffix[i], fi.sum, fi.max, s.allowDP)
 }
 
 // solve returns the optimal objective value for mapping stages i..n-1 with
@@ -74,7 +105,9 @@ func (s *pipeSolver) solve(i, usedMask int) float64 {
 	best := numeric.Inf
 	var bestChoice pipeChoice
 	free := s.full &^ usedMask
+	lb := s.stateLB(i, free)
 	w := 0.0
+search:
 	for j := i; j < s.n; j++ {
 		w += s.p.Weights[j]
 		for sub := free; sub > 0; sub = (sub - 1) & free {
@@ -107,6 +140,12 @@ func (s *pipeSolver) solve(i, usedMask int) float64 {
 				if numeric.Less(total, best) {
 					best = total
 					bestChoice = pipeChoice{last: j, sub: sub, dp: dp}
+					if lb >= 0 && numeric.LessEq(best, lb) {
+						// The state reached its lower bound: no candidate
+						// can strictly improve, and ties never replace the
+						// recorded choice.
+						break search
+					}
 				}
 			}
 		}

@@ -1,0 +1,157 @@
+package exhaustive
+
+import (
+	"context"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repliflow/internal/mapping"
+	"repliflow/internal/numeric"
+	"repliflow/internal/platform"
+	"repliflow/internal/workflow"
+)
+
+// The bound-pruned searches must return byte-identical results to the
+// unpruned ones: pruning stops a search once its incumbent reaches the
+// anytime lower bound, which can only skip candidates that tie — and
+// ties never replace an incumbent. These tests are the regression
+// oracle for that argument, on randomized corpora across objectives.
+
+func TestPipelinePruningIsByteIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 40; trial++ {
+		p := workflow.RandomPipeline(rng, 1+rng.Intn(5), 9)
+		pl := platform.Random(rng, 1+rng.Intn(4), 4)
+		dp := trial%2 == 0
+		for name, cfg := range map[string]struct {
+			periodCap      float64
+			minimizePeriod bool
+		}{
+			"period":               {numeric.Inf, true},
+			"latency":              {numeric.Inf, false},
+			"latency-under-period": {float64(1+rng.Intn(6)) / 2, false},
+		} {
+			pruned := newPipeSolver(context.Background(), p, pl, dp, cfg.periodCap, cfg.minimizePeriod)
+			res, ok, err := pruned.result()
+			if err != nil {
+				t.Fatal(err)
+			}
+			plain := newPipeSolver(context.Background(), p, pl, dp, cfg.periodCap, cfg.minimizePeriod)
+			plain.prune = false
+			wantRes, wantOK, err := plain.result()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ok != wantOK || !reflect.DeepEqual(res, wantRes) {
+				t.Fatalf("trial %d %s: pruned (%v, %v) != unpruned (%v, %v) for %v on %v dp=%v",
+					trial, name, res, ok, wantRes, wantOK, p, pl, dp)
+			}
+		}
+	}
+}
+
+func TestForkPruningIsByteIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	ctx := context.Background()
+	for trial := 0; trial < 30; trial++ {
+		f := workflow.RandomFork(rng, 1+rng.Intn(3), 9)
+		pl := platform.Random(rng, 1+rng.Intn(3), 4)
+		dp := trial%2 == 0
+		bound := float64(1+rng.Intn(8)) / 2
+
+		type scan struct {
+			pruned func() (ForkResult, bool, error)
+			plain  func() (ForkResult, bool, error)
+		}
+		scans := map[string]scan{
+			"period": {
+				func() (ForkResult, bool, error) { return ForkPeriodCtx(ctx, f, pl, dp) },
+				func() (ForkResult, bool, error) { return forkScan(ctx, f, pl, dp, acceptAll, period, 0) },
+			},
+			"latency": {
+				func() (ForkResult, bool, error) { return ForkLatencyCtx(ctx, f, pl, dp) },
+				func() (ForkResult, bool, error) { return forkScan(ctx, f, pl, dp, acceptAll, latency, 0) },
+			},
+			"latency-under-period": {
+				func() (ForkResult, bool, error) { return ForkLatencyUnderPeriodCtx(ctx, f, pl, dp, bound) },
+				func() (ForkResult, bool, error) {
+					return forkScan(ctx, f, pl, dp,
+						func(c mapping.Cost) bool { return numeric.LessEq(c.Period, bound) }, latency, 0)
+				},
+			},
+			"period-under-latency": {
+				func() (ForkResult, bool, error) { return ForkPeriodUnderLatencyCtx(ctx, f, pl, dp, bound) },
+				func() (ForkResult, bool, error) {
+					return forkScan(ctx, f, pl, dp,
+						func(c mapping.Cost) bool { return numeric.LessEq(c.Latency, bound) }, period, 0)
+				},
+			},
+		}
+		for name, s := range scans {
+			res, ok, err := s.pruned()
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantRes, wantOK, err := s.plain()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ok != wantOK || !reflect.DeepEqual(res, wantRes) {
+				t.Fatalf("trial %d %s: pruned (%v, %v) != unpruned (%v, %v) for %v on %v dp=%v",
+					trial, name, res, ok, wantRes, wantOK, f, pl, dp)
+			}
+		}
+	}
+}
+
+func TestForkJoinPruningIsByteIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	ctx := context.Background()
+	for trial := 0; trial < 20; trial++ {
+		fj := workflow.RandomForkJoin(rng, 1+rng.Intn(2), 9)
+		pl := platform.Random(rng, 1+rng.Intn(3), 4)
+		dp := trial%2 == 0
+
+		res, ok, err := ForkJoinPeriodCtx(ctx, fj, pl, dp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantRes, wantOK, err := forkJoinScan(ctx, fj, pl, dp, acceptAll, period, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok != wantOK || !reflect.DeepEqual(res, wantRes) {
+			t.Fatalf("trial %d period: pruned != unpruned for %v on %v dp=%v", trial, fj, pl, dp)
+		}
+
+		res, ok, err = ForkJoinLatencyCtx(ctx, fj, pl, dp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantRes, wantOK, err = forkJoinScan(ctx, fj, pl, dp, acceptAll, latency, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok != wantOK || !reflect.DeepEqual(res, wantRes) {
+			t.Fatalf("trial %d latency: pruned != unpruned for %v on %v dp=%v", trial, fj, pl, dp)
+		}
+	}
+}
+
+// TestPruningFiresOnTightInstances exercises the early-stop path itself:
+// on a homogeneous platform the replicate-all mapping reaches the
+// sum-of-work period bound, so the pruned scans must terminate (fast)
+// with the same optimum the bound certifies.
+func TestPruningFiresOnTightInstances(t *testing.T) {
+	f := workflow.HomogeneousFork(2, 4, 3)
+	pl := platform.Homogeneous(4, 2)
+	res, ok, err := ForkPeriodCtx(context.Background(), f, pl, false)
+	if err != nil || !ok {
+		t.Fatalf("ok=%v err=%v", ok, err)
+	}
+	want := f.TotalWork() / pl.TotalSpeed()
+	if !numeric.Eq(res.Cost.Period, want) {
+		t.Fatalf("period %g, want the sum-of-work bound %g", res.Cost.Period, want)
+	}
+}

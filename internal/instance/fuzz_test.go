@@ -1,0 +1,60 @@
+package instance_test
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"repliflow/internal/instance"
+)
+
+// FuzzDecodeInstance fuzzes the wire-format instance decoder — the
+// surface every CLI file and HTTP body passes through. The decoder must
+// never panic, and any document it accepts must canonicalize into a
+// valid problem that survives a write/read round-trip unchanged.
+func FuzzDecodeInstance(f *testing.F) {
+	seeds := []string{
+		`{"pipeline":{"weights":[14,4,2,4]},"platform":{"speeds":[1,1,1]},"allowDataParallel":true,"objective":"min-latency"}`,
+		`{"fork":{"root":2,"weights":[3,1,4]},"platform":{"speeds":[2,1]},"objective":"min-period"}`,
+		`{"forkjoin":{"root":2,"join":1,"weights":[3,1]},"platform":{"speeds":[2,1,1]},"objective":"latency-under-period","bound":4}`,
+		`{"pipeline":{"weights":[1]},"platform":{"speeds":[1]},"objective":"period-under-latency","bound":2}`,
+		`{"pipeline":{"weights":[1,-2]},"platform":{"speeds":[1]},"objective":"min-period"}`,
+		`{"pipeline":{"weights":[1]},"platform":{"speeds":[1]},"objective":"min-period"} trailing`,
+		`{"pipleine":{"weights":[1]},"platform":{"speeds":[1]},"objective":"min-period"}`,
+		`{"pipeline":{"weights":[1e308,1e308]},"platform":{"speeds":[1e-308]},"objective":"min-period"}`,
+		`{}`,
+		`[1,2,3]`,
+		`null`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ins, err := instance.Read(bytes.NewReader(data))
+		if err != nil {
+			return // rejected: fine, as long as it does not panic
+		}
+		pr, err := ins.Problem()
+		if err != nil {
+			return // decoded but invalid: fine
+		}
+		// Accepted instances must round-trip: problem -> document ->
+		// problem is the identity.
+		back := instance.FromProblem(pr)
+		var buf bytes.Buffer
+		if err := instance.Write(&buf, back); err != nil {
+			t.Fatalf("re-encoding accepted instance: %v", err)
+		}
+		ins2, err := instance.Read(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("re-decoding canonical form %s: %v", buf.Bytes(), err)
+		}
+		pr2, err := ins2.Problem()
+		if err != nil {
+			t.Fatalf("canonical form no longer canonicalizes: %v", err)
+		}
+		if !reflect.DeepEqual(pr, pr2) {
+			t.Fatalf("round-trip changed the problem:\n%#v\n%#v", pr, pr2)
+		}
+	})
+}

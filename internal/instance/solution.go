@@ -44,6 +44,16 @@ type SolutionJSON struct {
 	Method     string `json:"method"`
 	Complexity string `json:"complexity"`
 	Source     string `json:"source"`
+
+	// Anytime marks solutions produced by the budget-bounded portfolio
+	// (method "anytime" or a certified exact member). Gap is the
+	// certified relative optimality gap (present iff Anytime, >= 0, 0 on
+	// proven optima), LowerBound the bound it was computed against, and
+	// Iterations the portfolio's candidate count. See docs/wire-format.md.
+	Anytime    bool     `json:"anytime,omitempty"`
+	Gap        *float64 `json:"gap,omitempty"`
+	LowerBound float64  `json:"lowerBound,omitempty"`
+	Iterations uint64   `json:"iterations,omitempty"`
 }
 
 // modeNames maps wire names to mapping modes; they match Mode.String().
@@ -71,6 +81,7 @@ var methodNames = map[string]core.Method{
 	"binary-search+DP":    core.MethodBinarySearchDP,
 	"exhaustive":          core.MethodExhaustive,
 	"heuristic":           core.MethodHeuristic,
+	"anytime":             core.MethodAnytime,
 }
 
 // MethodName returns the wire name of a solve method.
@@ -125,6 +136,13 @@ func FromSolution(sol core.Solution) SolutionJSON {
 		Complexity: ComplexityName(sol.Classification.Complexity),
 		Source:     sol.Classification.Source,
 	}
+	if sol.Anytime {
+		s.Anytime = true
+		gap := sol.Gap
+		s.Gap = &gap
+		s.LowerBound = sol.LowerBound
+		s.Iterations = sol.Iterations
+	}
 	switch {
 	case sol.PipelineMapping != nil:
 		s.PipelineMapping = make([]IntervalJSON, len(sol.PipelineMapping.Intervals))
@@ -176,6 +194,27 @@ func (s SolutionJSON) Solution() (core.Solution, error) {
 			Complexity: complexity,
 			Source:     s.Source,
 		},
+	}
+	if !s.Anytime && (s.Gap != nil || s.LowerBound != 0 || s.Iterations != 0) {
+		return core.Solution{}, fmt.Errorf("instance: gap/lowerBound/iterations require anytime")
+	}
+	if method == core.MethodAnytime && !s.Anytime {
+		return core.Solution{}, fmt.Errorf("instance: method %q requires anytime", s.Method)
+	}
+	if s.Anytime {
+		sol.Anytime = true
+		if s.Gap == nil {
+			// Gap is present iff anytime (docs/wire-format.md); decoding
+			// an absent gap to 0 would misreport an uncertified incumbent
+			// as a proven optimum.
+			return core.Solution{}, fmt.Errorf("instance: anytime solution without gap")
+		}
+		if *s.Gap < 0 {
+			return core.Solution{}, fmt.Errorf("instance: negative gap %g", *s.Gap)
+		}
+		sol.Gap = *s.Gap
+		sol.LowerBound = s.LowerBound
+		sol.Iterations = s.Iterations
 	}
 	mappings := 0
 	if len(s.PipelineMapping) > 0 {

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"reflect"
 	"testing"
+	"time"
 
 	"repliflow/internal/core"
 	"repliflow/internal/platform"
@@ -58,12 +59,58 @@ func TestSolutionRoundTrip(t *testing.T) {
 	}
 }
 
+// TestAnytimeSolutionRoundTrip covers the gap/anytime wire fields: a
+// budgeted NP-hard solve must survive the wire unchanged, including its
+// certification metadata.
+func TestAnytimeSolutionRoundTrip(t *testing.T) {
+	pipe := workflow.NewPipeline(9, 14, 4, 2, 4, 7, 3, 11, 6, 5, 8, 2)
+	pr := core.Problem{
+		Pipeline:          &pipe,
+		Platform:          platform.New(3, 2, 2, 1, 1, 3, 1, 2, 1, 1, 2, 3, 1),
+		AllowDataParallel: true,
+		Objective:         core.MinPeriod,
+	}
+	sol, err := core.Solve(pr, core.Options{AnytimeBudget: 30 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sol.Anytime {
+		t.Fatal("budgeted NP-hard solve not marked anytime")
+	}
+	wire := FromSolution(sol)
+	if wire.Method != "anytime" && !sol.Exact {
+		t.Errorf("method = %q, want anytime", wire.Method)
+	}
+	if !wire.Anytime || wire.Gap == nil || *wire.Gap < 0 {
+		t.Fatalf("wire form lost certification: anytime=%v gap=%v", wire.Anytime, wire.Gap)
+	}
+	b, err := json.Marshal(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded SolutionJSON
+	if err := json.Unmarshal(b, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	back, err := decoded.Solution()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back, sol) {
+		t.Errorf("anytime round trip drift:\n got %#v\nwant %#v", back, sol)
+	}
+}
+
 func TestSolutionRejectsBadWire(t *testing.T) {
 	cases := []struct {
 		name string
 		s    SolutionJSON
 	}{
 		{"bad method", SolutionJSON{Method: "oracle", Complexity: "poly-dp"}},
+		{"gap without anytime", SolutionJSON{Method: "heuristic", Complexity: "np-hard", Gap: ptrFloat(0.5)}},
+		{"negative gap", SolutionJSON{Method: "anytime", Complexity: "np-hard", Anytime: true, Gap: ptrFloat(-0.1)}},
+		{"anytime without gap", SolutionJSON{Method: "anytime", Complexity: "np-hard", Anytime: true}},
+		{"anytime method without flag", SolutionJSON{Method: "anytime", Complexity: "np-hard"}},
 		{"bad complexity", SolutionJSON{Method: "heuristic", Complexity: "easy"}},
 		{"bad mode", SolutionJSON{
 			Method: "heuristic", Complexity: "np-hard",
@@ -87,3 +134,5 @@ func TestSolutionRejectsBadWire(t *testing.T) {
 		})
 	}
 }
+
+func ptrFloat(v float64) *float64 { return &v }

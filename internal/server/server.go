@@ -41,6 +41,13 @@ type Config struct {
 	// its own engine (epoch eviction on overflow); <= 0 selects 65536.
 	// Ignored when Engine is supplied — the caller owns its limits then.
 	MaxCacheEntries int
+	// DefaultBudget is the anytime budget applied to requests that carry
+	// no budgetMs of their own: NP-hard instances then return a
+	// certified incumbent within roughly this duration instead of
+	// searching exhaustively, bounding the service's worst-case solve
+	// latency. 0 disables anytime solving by default (requests can still
+	// opt in per call).
+	DefaultBudget time.Duration
 	// Options tunes the exhaustive-search limits of every solve.
 	Options core.Options
 }
@@ -50,16 +57,18 @@ type Config struct {
 type Server struct {
 	eng            *engine.Engine
 	opts           core.Options
+	defaultBudget  time.Duration
 	limiter        chan struct{}
 	defaultTimeout time.Duration
 	maxTimeout     time.Duration
 	maxBatch       int
 	maxBodyBytes   int64
 
-	metrics  *metrics
-	inflight atomic.Int64
-	start    time.Time
-	mux      *http.ServeMux
+	metrics       *metrics
+	inflight      atomic.Int64
+	anytimeSolves atomic.Uint64
+	start         time.Time
+	mux           *http.ServeMux
 }
 
 // New returns a Server with cfg's defaults applied.
@@ -90,6 +99,7 @@ func New(cfg Config) *Server {
 	s := &Server{
 		eng:            eng,
 		opts:           cfg.Options,
+		defaultBudget:  cfg.DefaultBudget,
 		limiter:        make(chan struct{}, cfg.MaxInFlight),
 		defaultTimeout: cfg.DefaultTimeout,
 		maxTimeout:     maxClamp(cfg.DefaultTimeout, cfg.MaxTimeout),
@@ -207,6 +217,33 @@ func (s *Server) solveMetrics(pr core.Problem, op string, elapsed time.Duration)
 	s.metrics.recordSolve(core.CellKeyOf(pr).String(), op, elapsed.Seconds())
 }
 
+// solveOptions derives the per-request solve options: a positive
+// budgetMs engages anytime solving for this request, a negative one
+// explicitly opts out (exhaustive/heuristic solving even on a server
+// with a default budget), and zero falls back to the server default —
+// or to a budget configured directly on Config.Options.AnytimeBudget.
+func (s *Server) solveOptions(budgetMs int64) core.Options {
+	opts := s.opts
+	switch {
+	case budgetMs > 0:
+		opts.AnytimeBudget = time.Duration(budgetMs) * time.Millisecond
+	case budgetMs < 0:
+		opts.AnytimeBudget = 0
+	case s.defaultBudget > 0:
+		opts.AnytimeBudget = s.defaultBudget
+	}
+	return opts
+}
+
+// countAnytime tracks certified anytime results for /metrics.
+func (s *Server) countAnytime(sols ...instance.SolutionJSON) {
+	for _, sol := range sols {
+		if sol.Anytime {
+			s.anytimeSolves.Add(1)
+		}
+	}
+}
+
 func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	var req SolveRequest
 	if err := decodeJSON(r, &req); err != nil {
@@ -227,15 +264,17 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	defer s.release()
 
 	start := time.Now()
-	sol, err := s.eng.Solve(ctx, pr, s.opts)
+	sol, err := s.eng.Solve(ctx, pr, s.solveOptions(req.BudgetMs))
 	elapsed := time.Since(start)
 	s.solveMetrics(pr, "solve", elapsed)
 	if err != nil {
 		writeSolveError(w, err, &pr)
 		return
 	}
+	out := instance.FromSolution(sol)
+	s.countAnytime(out)
 	writeJSON(w, http.StatusOK, SolveResponse{
-		Solution:  instance.FromSolution(sol),
+		Solution:  out,
 		Cell:      core.CellKeyOf(pr).String(),
 		ElapsedMs: float64(elapsed) / float64(time.Millisecond),
 	})
@@ -276,7 +315,7 @@ func (s *Server) handleSolveBatch(w http.ResponseWriter, r *http.Request) {
 
 	before := s.eng.Stats()
 	start := time.Now()
-	sols, err := s.eng.SolveBatch(ctx, problems, s.opts)
+	sols, err := s.eng.SolveBatch(ctx, problems, s.solveOptions(req.BudgetMs))
 	elapsed := time.Since(start)
 	after := s.eng.Stats()
 	// Batches are deliberately absent from wfserve_solve_seconds: the
@@ -292,6 +331,7 @@ func (s *Server) handleSolveBatch(w http.ResponseWriter, r *http.Request) {
 	for i, sol := range sols {
 		out[i] = instance.FromSolution(sol)
 	}
+	s.countAnytime(out...)
 	writeJSON(w, http.StatusOK, BatchResponse{
 		Solutions: out,
 		Cache: CacheStats{
@@ -339,7 +379,7 @@ func (s *Server) handlePareto(w http.ResponseWriter, r *http.Request) {
 	sweep := pr
 	sweep.Objective = core.MinPeriod
 	start := time.Now()
-	front, err := s.eng.ParetoFront(ctx, pr, s.opts)
+	front, err := s.eng.ParetoFront(ctx, pr, s.solveOptions(req.BudgetMs))
 	s.solveMetrics(sweep, "pareto", time.Since(start))
 	if err != nil {
 		writeSolveError(w, err, &sweep)
@@ -349,7 +389,9 @@ func (s *Server) handlePareto(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusOK)
 	flusher, _ := w.(http.Flusher)
 	for _, sol := range front {
-		if err := writeNDJSONLine(w, instance.FromSolution(sol)); err != nil {
+		out := instance.FromSolution(sol)
+		s.countAnytime(out)
+		if err := writeNDJSONLine(w, out); err != nil {
 			return // client gone
 		}
 		if flusher != nil {
@@ -401,6 +443,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		{"wfserve_cache_hit_ratio", "Hits / (hits + misses) over the engine lifetime.", "gauge", stats.HitRatio()},
 		{"wfserve_cache_size", "Completed solutions held by the engine cache.", "gauge", float64(stats.Size)},
 		{"wfserve_inflight_requests", "Requests currently holding a solve slot.", "gauge", float64(s.inflight.Load())},
+		{"wfserve_anytime_solves_total", "Solutions returned with anytime gap certification.", "counter", float64(s.anytimeSolves.Load())},
 		{"wfserve_uptime_seconds", "Seconds since the server started.", "gauge", time.Since(s.start).Seconds()},
 	})
 }

@@ -21,6 +21,13 @@ type SolveRequest struct {
 	// TimeoutMs bounds the solve; 0 applies the server default. The
 	// effective deadline is clamped to the server's maximum timeout.
 	TimeoutMs int64 `json:"timeoutMs,omitempty"`
+	// BudgetMs switches NP-hard instances to anytime solving: the
+	// portfolio returns its best incumbent (with a certified gap) within
+	// roughly this many milliseconds instead of searching exhaustively.
+	// 0 applies the server's configured default budget (which may be
+	// disabled); a negative value explicitly opts out of anytime solving
+	// even when the server has a default. Polynomial instances ignore it.
+	BudgetMs int64 `json:"budgetMs,omitempty"`
 }
 
 // BatchRequest is the body of POST /v1/solve/batch.
@@ -28,6 +35,10 @@ type BatchRequest struct {
 	Instances []instance.Instance `json:"instances"`
 	// TimeoutMs bounds the whole batch, not each instance.
 	TimeoutMs int64 `json:"timeoutMs,omitempty"`
+	// BudgetMs is the whole batch's anytime budget: the engine splits it
+	// across its worker rounds, so the batch finishes in roughly this
+	// many milliseconds even when every instance is NP-hard.
+	BudgetMs int64 `json:"budgetMs,omitempty"`
 }
 
 // SolveResponse is the body of a successful POST /v1/solve.
