@@ -5,7 +5,7 @@
 // Usage:
 //
 //	wfmap [-in instance.json] [-max-exhaustive-procs N] [-budget 100ms]
-//	wfmap -pareto [-in instance.json] [-budget 500ms]
+//	wfmap -pareto [-stream] [-in instance.json] [-budget 500ms]
 //	wfmap -parallel [-budget 500ms] instance1.json instance2.json ...
 //
 // With -parallel the positional instance files are solved concurrently on
@@ -13,9 +13,12 @@
 // summary line is printed per instance. With -budget, NP-hard instances
 // are solved by the anytime portfolio: the best mapping found within the
 // budget is printed together with its certified optimality gap (in
-// -parallel mode the budget covers the whole batch). The instance JSON
-// format is specified in docs/wire-format.md; wfgen produces compatible
-// files.
+// -parallel mode the budget covers the whole batch). With -pareto
+// -stream each front point is printed the moment the sweep proves it
+// final (long sweeps show progress instead of a silent wait), followed
+// by a summary comment; the rows are identical to the buffered -pareto
+// output. The instance JSON format is specified in docs/wire-format.md;
+// wfgen produces compatible files.
 package main
 
 import (
@@ -35,16 +38,19 @@ func main() {
 	in := flag.String("in", "-", "instance JSON file ('-' for stdin)")
 	maxProcs := flag.Int("max-exhaustive-procs", 0, "override the exhaustive-search processor limit for NP-hard cells (0 = default)")
 	pareto := flag.Bool("pareto", false, "print the full period/latency Pareto front instead of a single solution")
+	stream := flag.Bool("stream", false, "with -pareto: print each front point as soon as the sweep proves it final, plus a trailing summary comment")
 	parallel := flag.Bool("parallel", false, "solve the positional instance files concurrently on the batch engine")
 	budget := flag.Duration("budget", 0, "anytime budget for NP-hard instances: return the best mapping found within this duration with a certified optimality gap (0 = exhaustive/heuristic)")
 	flag.Parse()
 
 	var err error
 	switch {
+	case *stream && !*pareto:
+		err = fmt.Errorf("-stream requires -pareto")
 	case *parallel:
 		err = runBatch(flag.Args(), *maxProcs, *budget, os.Stdout)
 	case *pareto:
-		err = runPareto(*in, *maxProcs, *budget, os.Stdout)
+		err = runPareto(*in, *maxProcs, *budget, *stream, os.Stdout)
 	default:
 		err = run(*in, *maxProcs, *budget, os.Stdout)
 	}
@@ -78,21 +84,25 @@ func runBatch(paths []string, maxProcs int, budget time.Duration, out io.Writer)
 }
 
 // runPareto prints the trade-off curve of the instance, sweeping the
-// candidate periods concurrently on the batch engine. A budget applies
-// to each subproblem batch of the sweep (anytime solving on NP-hard
-// instances).
-func runPareto(path string, maxProcs int, budget time.Duration, out io.Writer) error {
+// candidate periods concurrently on the batch engine. A budget is a
+// whole-sweep wall-clock target, split across the candidate solves
+// (anytime solving on NP-hard instances). With stream set, each point
+// is printed the moment the incremental sweep proves it final — the
+// rows are identical to the buffered output, they just appear as the
+// sweep progresses — followed by a summary comment line.
+func runPareto(path string, maxProcs int, budget time.Duration, stream bool, out io.Writer) error {
 	pr, err := loadProblem(path)
 	if err != nil {
 		return err
 	}
 	opts := core.Options{MaxExhaustivePipelineProcs: maxProcs, AnytimeBudget: budget}
-	front, err := engine.ParetoFront(context.Background(), pr, opts)
-	if err != nil {
+	// Reject an unsweepable instance before anything reaches stdout, so
+	// a failure never leaves a stray header row.
+	if _, err := core.NormalizeSweep(pr); err != nil {
 		return err
 	}
-	fmt.Fprintf(out, "%-12s %-12s %-9s %s\n", "period", "latency", "exact", "mapping")
-	for _, sol := range front {
+	header := func() { fmt.Fprintf(out, "%-12s %-12s %-9s %s\n", "period", "latency", "exact", "mapping") }
+	printPoint := func(sol core.Solution) {
 		var m fmt.Stringer
 		switch {
 		case sol.PipelineMapping != nil:
@@ -103,6 +113,28 @@ func runPareto(path string, maxProcs int, budget time.Duration, out io.Writer) e
 			m = sol.ForkJoinMapping
 		}
 		fmt.Fprintf(out, "%-12.6g %-12.6g %-9v %s\n", sol.Cost.Period, sol.Cost.Latency, sol.Exact, m)
+	}
+	if stream {
+		header()
+		stats, err := engine.New(0).SweepFront(context.Background(), pr, opts, engine.SweepObserver{
+			Point: func(p engine.SweepPoint) error {
+				printPoint(p.Solution)
+				return nil
+			},
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "# %d points, %d/%d candidate periods explored\n", stats.Points, stats.Explored, stats.Total)
+		return nil
+	}
+	front, err := engine.ParetoFront(context.Background(), pr, opts)
+	if err != nil {
+		return err
+	}
+	header()
+	for _, sol := range front {
+		printPoint(sol)
 	}
 	return nil
 }

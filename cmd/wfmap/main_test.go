@@ -78,15 +78,34 @@ func TestRunPareto(t *testing.T) {
 		"objective": "min-period"
 	}`)
 	var out bytes.Buffer
-	if err := runPareto(path, 0, 0, &out); err != nil {
+	if err := runPareto(path, 0, 0, false, &out); err != nil {
 		t.Fatal(err)
 	}
 	s := out.String()
 	if !strings.Contains(s, "period") || !strings.Contains(s, "17") || !strings.Contains(s, "8") {
 		t.Errorf("pareto output missing frontier points:\n%s", s)
 	}
-	if err := runPareto(filepath.Join(t.TempDir(), "nope.json"), 0, 0, &bytes.Buffer{}); err == nil {
+	if err := runPareto(filepath.Join(t.TempDir(), "nope.json"), 0, 0, false, &bytes.Buffer{}); err == nil {
 		t.Error("missing file accepted")
+	}
+
+	// -stream prints the identical rows incrementally, plus a summary
+	// comment reporting the sweep coverage.
+	var streamed bytes.Buffer
+	if err := runPareto(path, 0, 0, true, &streamed); err != nil {
+		t.Fatal(err)
+	}
+	ss := streamed.String()
+	comment := ""
+	if i := strings.Index(ss, "# "); i >= 0 {
+		comment = ss[i:]
+		ss = ss[:i]
+	}
+	if ss != s {
+		t.Errorf("-stream rows diverge from the buffered output:\n%q\n%q", ss, s)
+	}
+	if !strings.Contains(comment, "points") || !strings.Contains(comment, "explored") {
+		t.Errorf("missing sweep summary comment, got %q", comment)
 	}
 }
 

@@ -8,16 +8,25 @@
 //	wfserve [-addr :8080] [-workers N] [-max-inflight N]
 //	        [-timeout 30s] [-max-timeout 5m] [-max-batch N]
 //	        [-max-cache-entries N] [-max-exhaustive-procs N]
+//	        [-budget 0] [-heartbeat 10s] [-max-jobs N]
 //
 // Endpoints (bodies documented in docs/wire-format.md):
 //
 //	POST /v1/solve        solve one instance
 //	POST /v1/solve/batch  solve many instances concurrently, deduplicated
-//	POST /v1/pareto       stream the period/latency front as NDJSON
+//	POST /v1/pareto       stream the period/latency front as NDJSON,
+//	                      each point as soon as it is proven
+//	POST /v1/jobs         submit an async solve/batch/pareto job
+//	GET  /v1/jobs/{id}    job progress and results (DELETE cancels)
 //	GET  /v1/classify     Table 1 cell metadata for one dispatch cell
 //	GET  /v1/table        metadata for every registered cell
 //	GET  /healthz         liveness
 //	GET  /metrics         Prometheus metrics (requests, cache, latency)
+//
+// On SIGINT/SIGTERM the server drains: in-flight solves are cancelled,
+// streaming responses finish their current line and append a terminal
+// status line (never truncating mid-JSON), async jobs record
+// cancellation, and the listener closes once the handlers return.
 //
 // Try it:
 //
@@ -57,6 +66,8 @@ func main() {
 	maxCache := flag.Int("max-cache-entries", 0, "engine cache bound, epoch-evicted on overflow (0 = 65536)")
 	maxProcs := flag.Int("max-exhaustive-procs", 0, "override the exhaustive-search processor limits (pipeline and fork) for NP-hard cells (0 = defaults)")
 	budget := flag.Duration("budget", 0, "default anytime budget for NP-hard solves: return a certified incumbent within this duration instead of searching exhaustively (0 = disabled; requests opt in via budgetMs)")
+	heartbeat := flag.Duration("heartbeat", 0, "idle interval between heartbeat status lines on streaming responses (0 = 10s)")
+	maxJobs := flag.Int("max-jobs", 0, "bound on the in-memory async job store (0 = 64)")
 	flag.Parse()
 
 	cfg := server.Config{
@@ -67,6 +78,8 @@ func main() {
 		MaxBatch:        *maxBatch,
 		MaxCacheEntries: *maxCache,
 		DefaultBudget:   *budget,
+		StreamHeartbeat: *heartbeat,
+		MaxJobs:         *maxJobs,
 		Options: core.Options{
 			MaxExhaustivePipelineProcs: *maxProcs,
 			MaxExhaustiveForkProcs:     *maxProcs,
@@ -106,6 +119,12 @@ func run(ctx context.Context, addr string, cfg server.Config, ready chan<- net.A
 	case <-ctx.Done():
 	}
 	log.Printf("wfserve: shutting down")
+	// Drain order matters for streaming responses: srv.Close cancels the
+	// in-flight solve contexts, so a /v1/pareto stream finishes its
+	// current NDJSON line and appends a terminal status line instead of
+	// being truncated mid-JSON when the Shutdown deadline fires; Shutdown
+	// then waits for those (now fast) handlers to return.
+	srv.Close()
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := hs.Shutdown(shutdownCtx); err != nil {

@@ -1,7 +1,9 @@
 package main
 
 import (
+	"bufio"
 	"context"
+	"encoding/json"
 	"io"
 	"net"
 	"net/http"
@@ -9,6 +11,7 @@ import (
 	"testing"
 	"time"
 
+	"repliflow/internal/core"
 	"repliflow/internal/server"
 )
 
@@ -69,5 +72,98 @@ func TestRunServesAndShutsDown(t *testing.T) {
 		}
 	case <-time.After(5 * time.Second):
 		t.Fatal("server never shut down")
+	}
+}
+
+// TestShutdownDuringParetoStream: graceful shutdown must let an
+// in-progress NDJSON stream finish its current line and write a
+// terminal status line — never truncate mid-JSON. The instance's
+// candidate solves run for multiples of the shutdown window, so without
+// the drain the stream would be cut off.
+func TestShutdownDuringParetoStream(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ready := make(chan net.Addr, 1)
+	errc := make(chan error, 1)
+	go func() {
+		errc <- run(ctx, "127.0.0.1:0", server.Config{
+			// Raised exhaustive limit: each candidate solve of the sweep
+			// below runs for seconds, far beyond the shutdown window.
+			Options: core.Options{MaxExhaustivePipelineProcs: 12},
+			// Fast heartbeats commit the stream before the first point.
+			StreamHeartbeat: 40 * time.Millisecond,
+		}, ready)
+	}()
+	var addr net.Addr
+	select {
+	case addr = <-ready:
+	case err := <-errc:
+		t.Fatalf("server exited early: %v", err)
+	case <-time.After(5 * time.Second):
+		t.Fatal("server never became ready")
+	}
+
+	resp, err := http.Post("http://"+addr.String()+"/v1/pareto", "application/json", strings.NewReader(`{
+		"pipeline": {"weights": [14, 4, 2, 4, 7, 3, 9, 5, 6, 8, 2, 11]},
+		"platform": {"speeds": [2, 2, 1, 1, 3, 1, 2, 1, 1, 2, 3, 1]},
+		"allowDataParallel": true,
+		"timeoutMs": 120000
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stream status = %d", resp.StatusCode)
+	}
+	reader := bufio.NewReader(resp.Body)
+	first, err := reader.ReadString('\n')
+	if err != nil {
+		t.Fatalf("reading the first stream line: %v", err)
+	}
+	if !json.Valid([]byte(first)) {
+		t.Fatalf("first line is not JSON: %q", first)
+	}
+
+	// SIGTERM equivalent while the stream is mid-sweep.
+	cancel()
+
+	var last string
+	lines := []string{first}
+	for {
+		line, err := reader.ReadString('\n')
+		if line != "" {
+			lines = append(lines, line)
+		}
+		if err != nil {
+			if err != io.EOF {
+				t.Fatalf("stream error after shutdown: %v", err)
+			}
+			break
+		}
+	}
+	for i, line := range lines {
+		if !json.Valid([]byte(strings.TrimSpace(line))) {
+			t.Fatalf("line %d truncated mid-JSON after shutdown: %q", i, line)
+		}
+		last = line
+	}
+	var term struct {
+		Status string `json:"status"`
+	}
+	if err := json.Unmarshal([]byte(last), &term); err != nil || term.Status == "" {
+		t.Fatalf("stream did not end with a terminal status line: %q (%v)", last, err)
+	}
+	if term.Status != "shutting-down" {
+		t.Errorf("terminal status = %q, want shutting-down", term.Status)
+	}
+
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatalf("shutdown returned %v", err)
+		}
+	case <-time.After(8 * time.Second):
+		t.Fatal("server did not shut down while a stream was open")
 	}
 }

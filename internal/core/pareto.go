@@ -49,11 +49,8 @@ func ParetoFrontWith(ctx context.Context, pr Problem, opts Options, batch BatchS
 	if batch == nil {
 		batch = serialBatch
 	}
-	if pr.Objective.Bounded() && pr.Bound <= 0 {
-		pr.Bound = 1 // neutralize validation; the objective is overridden below
-	}
-	pr.Objective = MinPeriod
-	if err := pr.Validate(); err != nil {
+	pr, err := NormalizeSweep(pr)
+	if err != nil {
 		return nil, err
 	}
 	opts = opts.Normalized()
@@ -75,24 +72,84 @@ func ParetoFrontWith(ctx context.Context, pr Problem, opts Options, batch BatchS
 
 	// Dominance filtering is a serial walk over the ascending candidates;
 	// only the few accepted points pay a tightening solve.
-	var front []Solution
-	prevLatency := numeric.Inf
-	for _, sol := range sols {
-		if !sol.Feasible || numeric.GreaterEq(sol.Cost.Latency, prevLatency) {
-			continue
-		}
-		// Tighten the period at this latency level.
+	acc := NewFrontAccumulator()
+	tighten := func(latency float64) (Solution, bool) {
 		tight := pr
 		tight.Objective = PeriodUnderLatency
-		tight.Bound = sol.Cost.Latency
-		if tsols, err := batch(ctx, []Problem{tight}, opts); err == nil && tsols[0].Feasible &&
-			numeric.LessEq(tsols[0].Cost.Latency, sol.Cost.Latency) && numeric.LessEq(tsols[0].Cost.Period, sol.Cost.Period) {
-			sol = tsols[0]
+		tight.Bound = latency
+		tsols, err := batch(ctx, []Problem{tight}, opts)
+		if err != nil {
+			return Solution{}, false
 		}
-		front = append(front, sol)
-		prevLatency = sol.Cost.Latency
+		return tsols[0], true
+	}
+	var front []Solution
+	for _, sol := range sols {
+		if point, ok := acc.Offer(sol, tighten); ok {
+			front = append(front, point)
+		}
 	}
 	return front, nil
+}
+
+// NormalizeSweep canonicalizes an instance for a Pareto sweep: the
+// Objective and Bound fields are overridden (the sweep ignores them) and
+// the instance is validated. Every sweep entry point — the serial
+// ParetoFrontWith and the incremental engine generator — goes through it,
+// so they agree byte-for-byte on which instance they are sweeping.
+func NormalizeSweep(pr Problem) (Problem, error) {
+	if pr.Objective.Bounded() && pr.Bound <= 0 {
+		pr.Bound = 1 // neutralize validation; the objective is overridden below
+	}
+	pr.Objective = MinPeriod
+	if err := pr.Validate(); err != nil {
+		return Problem{}, err
+	}
+	return pr, nil
+}
+
+// FrontAccumulator is the incremental dominance walk of the Pareto sweep:
+// candidate solutions are offered in ascending candidate-period order, and
+// each offer is either discarded (infeasible, or dominated by an already
+// accepted point) or confirmed as the next front point. Confirmation is
+// final — later candidates have larger periods, so they can only extend
+// the front, never displace an accepted point. This is what lets a sweep
+// deliver points as soon as the prefix of smaller candidates is resolved,
+// instead of buffering the whole front.
+//
+// The zero value is not usable; construct with NewFrontAccumulator. The
+// accumulator is not safe for concurrent use: offers are inherently
+// ordered.
+type FrontAccumulator struct {
+	prevLatency float64
+}
+
+// NewFrontAccumulator returns an accumulator ready for the first
+// (smallest-period) candidate.
+func NewFrontAccumulator() *FrontAccumulator {
+	return &FrontAccumulator{prevLatency: numeric.Inf}
+}
+
+// Offer runs the dominance filter on the next candidate solution in
+// ascending-period order. When the candidate joins the front, the
+// confirmed point (possibly period-tightened) and true are returned;
+// otherwise the candidate is discarded. tighten, when non-nil, re-solves
+// the period at the accepted latency level (the PeriodUnderLatency probe
+// of the serial walk); its result replaces the candidate only when it is
+// feasible and dominates it, so a failing or worse tightening solve never
+// degrades the front.
+func (a *FrontAccumulator) Offer(sol Solution, tighten func(latency float64) (Solution, bool)) (Solution, bool) {
+	if !sol.Feasible || numeric.GreaterEq(sol.Cost.Latency, a.prevLatency) {
+		return Solution{}, false
+	}
+	if tighten != nil {
+		if ts, ok := tighten(sol.Cost.Latency); ok && ts.Feasible &&
+			numeric.LessEq(ts.Cost.Latency, sol.Cost.Latency) && numeric.LessEq(ts.Cost.Period, sol.Cost.Period) {
+			sol = ts
+		}
+	}
+	a.prevLatency = sol.Cost.Latency
+	return sol, true
 }
 
 // CandidatePeriods returns a superset of the achievable block-period

@@ -165,9 +165,9 @@ func TestSolveBatchSplitsBudget(t *testing.T) {
 	}
 }
 
-// TestUniqueHardCount: duplicates and polynomial instances must not
-// dilute the per-solve budget share.
-func TestUniqueHardCount(t *testing.T) {
+// TestUniqueHardProblems: duplicates and polynomial instances must not
+// dilute the per-solve budget share the planner computes.
+func TestUniqueHardProblems(t *testing.T) {
 	hard := hardProblem(1)
 	pipe := workflow.NewPipeline(14, 4, 2, 4)
 	poly := core.Problem{
@@ -177,11 +177,95 @@ func TestUniqueHardCount(t *testing.T) {
 	}
 	opts := core.Options{AnytimeBudget: time.Second}
 	problems := []core.Problem{hard, hard, hard, poly, poly, hardProblem(2)}
-	if got := uniqueHardCount(problems, opts); got != 2 {
-		t.Errorf("uniqueHardCount = %d, want 2 (three duplicates, two polynomial)", got)
+	if got := len(uniqueHardProblems(problems, opts)); got != 2 {
+		t.Errorf("uniqueHardProblems = %d, want 2 (three duplicates, two polynomial)", got)
 	}
-	if got := uniqueHardCount(problems, core.Options{}); got != 0 {
-		t.Errorf("uniqueHardCount without budget = %d, want 0", got)
+	// The budget must not leak into the dedup identity: equal batches
+	// under different budgets count the same instances.
+	if got := len(uniqueHardProblems(problems, core.Options{})); got != 2 {
+		t.Errorf("uniqueHardProblems without budget = %d, want 2", got)
+	}
+}
+
+// TestBatchBudgetRedistributesWarmRemainder is the budget-split
+// regression test: when part of a budgeted batch is already cached, the
+// rounds those warm instances would have occupied must be redistributed
+// to the solves that actually run, so the total consumed budget stays
+// roughly the requested budget instead of every pending solve getting a
+// share diluted by solves that consume nothing.
+func TestBatchBudgetRedistributesWarmRemainder(t *testing.T) {
+	e := New(2)
+	ctx := context.Background()
+	problems := make([]core.Problem, 4)
+	for i := range problems {
+		problems[i] = hardProblem(int64(200 + i))
+	}
+	const budget = 120 * time.Millisecond
+	// Warm two instances at the full budget (single solves never split).
+	for _, pr := range problems[:2] {
+		if _, err := e.Solve(ctx, pr, core.Options{AnytimeBudget: budget}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hitsWarm, _ := e.CacheStats()
+
+	// The batch counts 4 unique NP-hard instances, but only 2 are
+	// pending: the planner must keep the full per-solve budget (2 pending
+	// on 2 workers = 1 round) instead of the stale static split
+	// (budget / ceil(4/2) = budget/2, which additionally misses the warm
+	// entries because the diluted budget changes their fingerprint).
+	start := time.Now()
+	sols, err := e.SolveBatch(ctx, problems, core.Options{AnytimeBudget: budget})
+	if err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	for i, sol := range sols {
+		if !sol.Anytime || !sol.Feasible {
+			t.Errorf("solution %d lacks anytime certification: %+v", i, sol)
+		}
+	}
+	hits, _ := e.CacheStats()
+	if hits < hitsWarm+2 {
+		t.Errorf("warm entries re-solved instead of hitting: hits %d -> %d, want +2", hitsWarm, hits)
+	}
+	// The pending solves ran — and were cached — at the full,
+	// redistributed budget: a follow-up solve at that budget hits.
+	if _, err := e.Solve(ctx, problems[2], core.Options{AnytimeBudget: budget}); err != nil {
+		t.Fatal(err)
+	}
+	if after, _ := e.CacheStats(); after != hits+1 {
+		t.Errorf("cold instance cached under a diluted budget: hits %d -> %d, want +1", hits, after)
+	}
+	// One round of 2 pending solves: the batch consumes roughly the
+	// requested budget (generous slack for loaded CI machines).
+	if elapsed > 10*time.Second {
+		t.Errorf("warm batch took %v, want roughly the %v budget", elapsed, budget)
+	}
+}
+
+// TestPlanBatchBudget covers the planner arithmetic directly: with a cold
+// cache it reduces to the static split, and warm entries shrink the
+// round count.
+func TestPlanBatchBudget(t *testing.T) {
+	const budget = 160 * time.Millisecond
+	cold := New(2)
+	problems := make([]core.Problem, 8)
+	for i := range problems {
+		problems[i] = hardProblem(int64(300 + i))
+	}
+	got := cold.planBatchBudget(problems, core.Options{AnytimeBudget: budget})
+	if want := budget / 4; got.AnytimeBudget != want {
+		t.Errorf("cold planner: per-solve budget %v, want the static split %v", got.AnytimeBudget, want)
+	}
+	if got := cold.planBatchBudget(problems, core.Options{}); got.AnytimeBudget != 0 {
+		t.Errorf("unbudgeted batch acquired a budget: %v", got.AnytimeBudget)
+	}
+	// Polynomial-only batches keep the caller's budget untouched.
+	pipe := workflow.NewPipeline(14, 4, 2, 4)
+	poly := core.Problem{Pipeline: &pipe, Platform: platform.Homogeneous(3, 1), Objective: core.MinPeriod}
+	if got := cold.planBatchBudget([]core.Problem{poly, poly}, core.Options{AnytimeBudget: budget}); got.AnytimeBudget != budget {
+		t.Errorf("polynomial batch diluted the budget to %v", got.AnytimeBudget)
 	}
 }
 

@@ -9,7 +9,6 @@ import (
 
 	"repliflow/internal/core"
 	"repliflow/internal/mapping"
-	"repliflow/internal/numeric"
 )
 
 // Engine is a concurrent, caching batch solver. The zero value is not
@@ -45,6 +44,10 @@ type cacheEntry struct {
 	// that caller, but under-budget quality for the fingerprint, so it
 	// is neither cached nor adopted by waiters.
 	truncated bool
+	// used is set on every cache hit and cleared by the eviction scan:
+	// the second-chance bit that keeps hot fingerprints alive across an
+	// eviction cycle.
+	used atomic.Bool
 }
 
 // New returns an Engine running at most workers concurrent solves;
@@ -64,11 +67,13 @@ func New(workers int) *Engine {
 func (e *Engine) Workers() int { return e.workers }
 
 // SetCacheLimit bounds the cache at n entries; n <= 0 means unbounded
-// (the default). When an insert would exceed the bound the whole cache
-// is dropped and rebuilt — epoch eviction, not LRU: entries are tiny
-// and recomputation is memoized again immediately, so the simple scheme
-// keeps memory bounded for long-running services (cmd/wfserve) without
-// per-hit bookkeeping. In-flight solves are unaffected by a drop.
+// (the default). When an insert would exceed the bound a sampled
+// fraction of the completed entries is evicted — roughly half, with a
+// second-chance bit sparing every fingerprint hit since the previous
+// eviction — so hot keys survive an eviction cycle instead of the whole
+// cache cold-starting at once (the stampede a full-map drop causes under
+// load). In-flight solves are never evicted: their waiters stay
+// coalesced and their results land in the live map.
 func (e *Engine) SetCacheLimit(n int) {
 	e.mu.Lock()
 	e.limit = n
@@ -149,6 +154,7 @@ func (e *Engine) Solve(ctx context.Context, pr core.Problem, opts core.Options) 
 			case <-en.done:
 				if en.err == nil && !en.truncated {
 					e.hits.Add(1)
+					en.used.Store(true)
 					return cloneSolution(en.sol), nil
 				}
 				if err := ctx.Err(); err != nil {
@@ -165,18 +171,7 @@ func (e *Engine) Solve(ctx context.Context, pr core.Problem, opts core.Options) 
 			}
 		}
 		if e.limit > 0 && len(e.cache) >= e.limit {
-			// Epoch eviction: drop every completed entry, keep in-flight
-			// flights so waiters stay coalesced and their results land in
-			// the live map.
-			fresh := make(map[string]*cacheEntry)
-			for k, v := range e.cache {
-				select {
-				case <-v.done:
-				default:
-					fresh[k] = v
-				}
-			}
-			e.cache = fresh
+			e.evictSampleLocked()
 		}
 		en = &cacheEntry{done: make(chan struct{})}
 		e.cache[key] = en
@@ -210,21 +205,60 @@ func (e *Engine) Solve(ctx context.Context, pr core.Problem, opts core.Options) 
 	}
 }
 
-// uniqueHardCount counts the distinct NP-hard instances of a batch —
-// the solves that will actually consume anytime budget. Invalid
-// problems are counted conservatively (their solve fails later anyway).
-func uniqueHardCount(problems []core.Problem, opts core.Options) int {
-	if opts.AnytimeBudget <= 0 {
-		return 0
+// evictSampleLocked makes room in a full cache: a single scan evicts
+// completed entries that have not been hit since the previous eviction,
+// clearing the second-chance bit of the survivors, until the cache is at
+// half its limit. In-flight flights are never evicted (waiters stay
+// coalesced), and a hot fingerprint — one hit since the last cycle —
+// survives unless the whole epoch is hot, in which case a second scan
+// evicts arbitrarily so a hot epoch cannot pin the cache over its bound.
+// Evicting a sampled fraction instead of dropping the map wholesale keeps
+// the hot working set warm: a full drop cold-starts every fingerprint at
+// once, stampeding the solvers the moment traffic repeats.
+func (e *Engine) evictSampleLocked() {
+	target := e.limit / 2
+	if target < 1 {
+		target = 1
 	}
-	unique := make(map[string]struct{}, len(problems))
+	for pass := 0; pass < 2; pass++ {
+		for k, v := range e.cache {
+			if len(e.cache) <= target {
+				return
+			}
+			select {
+			case <-v.done:
+			default:
+				continue // in-flight: never evicted
+			}
+			if pass == 0 && v.used.CompareAndSwap(true, false) {
+				continue // hot since the last cycle: second chance
+			}
+			delete(e.cache, k)
+		}
+	}
+}
+
+// uniqueHardProblems returns the distinct NP-hard instances of a batch —
+// the solves that can actually consume anytime budget — deduplicated by
+// their budget-independent fingerprint. Invalid problems are included
+// conservatively (their solve fails later anyway).
+func uniqueHardProblems(problems []core.Problem, opts core.Options) []core.Problem {
+	stripped := opts
+	stripped.AnytimeBudget = 0
+	seen := make(map[string]struct{}, len(problems))
+	var hard []core.Problem
 	for _, pr := range problems {
 		if core.ClassifyCell(core.CellKeyOf(pr)).Complexity.Polynomial() {
 			continue
 		}
-		unique[Fingerprint(pr, opts)] = struct{}{}
+		key := Fingerprint(pr, stripped)
+		if _, ok := seen[key]; ok {
+			continue
+		}
+		seen[key] = struct{}{}
+		hard = append(hard, pr)
 	}
-	return len(unique)
+	return hard
 }
 
 // splitBudget divides a batch-level anytime budget across the
@@ -244,6 +278,76 @@ func splitBudget(opts core.Options, n, workers int) core.Options {
 	return opts
 }
 
+// planBudgetScanCap bounds the quadratic consistency scan of
+// planBatchBudget; batches with more distinct NP-hard instances fall back
+// to the plain split (warm-cache redistribution matters most for small,
+// repeated batches anyway).
+const planBudgetScanCap = 64
+
+// cachedCount counts the problems whose fingerprint under opts is
+// already answered by the cache — a completed, untruncated entry or an
+// in-flight flight this batch would coalesce onto. Those solves consume
+// none of the batch budget.
+func (e *Engine) cachedCount(hard []core.Problem, opts core.Options) int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	n := 0
+	for _, pr := range hard {
+		en, ok := e.cache[Fingerprint(pr, opts)]
+		if !ok {
+			continue
+		}
+		select {
+		case <-en.done:
+			if en.err == nil && !en.truncated {
+				n++
+			}
+		default:
+			n++ // in-flight: another caller's budget, not this batch's
+		}
+	}
+	return n
+}
+
+// planBatchBudget derives the per-solve anytime budget of a batch. The
+// starting point is the static split — budget / ceil(hard instances /
+// workers) — but the static form loses budget whenever part of the batch
+// is already cached: the cached solves are counted into the rounds, each
+// pending solve gets the diluted share, and the unspent remainder of the
+// warm entries evaporates. Instead, the planner searches for the smallest
+// round count m whose share leaves at most m solves actually pending
+// (uncached under that share's fingerprint), redistributing the rounds of
+// warm entries to the solves that run. m = n is always consistent, so the
+// result is never worse than the static split.
+func (e *Engine) planBatchBudget(problems []core.Problem, opts core.Options) core.Options {
+	if opts.AnytimeBudget <= 0 {
+		return opts
+	}
+	hard := uniqueHardProblems(problems, opts)
+	n := len(hard)
+	if n == 0 {
+		return opts
+	}
+	if n <= planBudgetScanCap {
+		// Many m values share one split budget (every m <= workers, and
+		// every m with the same round count): scan the cache once per
+		// distinct budget, not once per m.
+		counts := make(map[time.Duration]int)
+		for m := 1; m < n; m++ {
+			cand := splitBudget(opts, m, e.workers)
+			c, ok := counts[cand.AnytimeBudget]
+			if !ok {
+				c = e.cachedCount(hard, cand)
+				counts[cand.AnytimeBudget] = c
+			}
+			if n-c <= m {
+				return cand
+			}
+		}
+	}
+	return splitBudget(opts, n, e.workers)
+}
+
 // dropEntry removes the given entry from the cache iff it is still the
 // one mapped at key (a retry may have installed a fresh flight already).
 func (e *Engine) dropEntry(key string, en *cacheEntry) {
@@ -261,17 +365,19 @@ func (e *Engine) dropEntry(key string, en *cacheEntry) {
 //
 // Options.AnytimeBudget is a whole-batch wall-clock target: it is split
 // evenly across the sequential rounds the batch's real anytime work
-// occupies (budget / ceil(unique NP-hard instances / workers), floored
+// occupies (budget / ceil(pending NP-hard instances / workers), floored
 // at 1ms), so a batch of NP-hard instances finishes in roughly the
-// stated budget rather than budget x instances — duplicates (solved
-// once by the cache) and polynomial instances (which ignore budgets)
-// do not dilute the share of the solves that actually consume it.
+// stated budget rather than budget x instances. Duplicates (solved once
+// by the cache), polynomial instances (which ignore budgets) and
+// instances already cached from earlier traffic do not dilute the share
+// of the solves that actually consume it — the rounds a warm entry would
+// have occupied are redistributed to the pending solves (planBatchBudget).
 // Each solve is cached under its split per-solve budget.
 func (e *Engine) SolveBatch(ctx context.Context, problems []core.Problem, opts core.Options) ([]core.Solution, error) {
 	if len(problems) == 0 {
 		return nil, ctx.Err()
 	}
-	opts = splitBudget(opts, uniqueHardCount(problems, opts), e.workers)
+	opts = e.planBatchBudget(problems, opts)
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
@@ -326,126 +432,20 @@ feed:
 
 // ParetoFront computes the period/latency trade-off curve of the instance
 // on the engine, returning the identical front to the serial
-// core.ParetoFront. Candidate-period subproblems solve concurrently across
-// the worker pool and share the cache; on instances the dispatcher solves
-// exactly, the sweep additionally prunes by monotonicity — the optimal
-// latency under a period bound is non-increasing in the bound, so a
-// divide-and-conquer over the ascending candidate list skips every
-// candidate bracketed by two equal-latency (or two infeasible) probes.
-// Pruning changes which candidates are solved but never the front: the
-// skipped candidates are exactly those the serial dominance walk would
-// discard. Heuristically solved instances fall back to the full scan,
-// where monotonicity is not guaranteed.
+// core.ParetoFront. It is a thin wrapper over SweepFront — the
+// incremental generator that emits each point as soon as dominance proves
+// it final — collecting the emitted points into a slice. Candidate-period
+// subproblems solve concurrently across the worker pool and share the
+// cache; on instances the dispatcher solves exactly, the sweep prunes by
+// monotonicity (see SweepFront).
 func (e *Engine) ParetoFront(ctx context.Context, pr core.Problem, opts core.Options) ([]core.Solution, error) {
-	// Mirror core.ParetoFrontWith's instance normalization.
-	if pr.Objective.Bounded() && pr.Bound <= 0 {
-		pr.Bound = 1
-	}
-	pr.Objective = core.MinPeriod
-	if err := pr.Validate(); err != nil {
-		return nil, err
-	}
-	opts = opts.Normalized()
-
-	lup := pr
-	lup.Objective = core.LatencyUnderPeriod
-	lup.Bound = 1
-	pul := pr
-	pul.Objective = core.PeriodUnderLatency
-	pul.Bound = 1
-	if core.ExactlySolvable(lup, opts) && core.ExactlySolvable(pul, opts) {
-		return e.paretoPruned(ctx, pr, opts)
-	}
-	return core.ParetoFrontWith(ctx, pr, opts, e.SolveBatch)
-}
-
-// paretoPruned is the exact-instance sweep: divide-and-conquer over the
-// candidate periods, solving each recursion level as one concurrent batch.
-// pr has been normalized to Objective == MinPeriod and validated.
-func (e *Engine) paretoPruned(ctx context.Context, pr core.Problem, opts core.Options) ([]core.Solution, error) {
-	cands := core.CandidatePeriods(pr)
-	n := len(cands)
-	if n == 0 {
-		return nil, nil
-	}
-	sols := make([]core.Solution, n)
-	solved := make([]bool, n)
-	solveIdx := func(idxs []int) error {
-		probs := make([]core.Problem, len(idxs))
-		for j, i := range idxs {
-			sub := pr
-			sub.Objective = core.LatencyUnderPeriod
-			sub.Bound = cands[i]
-			probs[j] = sub
-		}
-		res, err := e.SolveBatch(ctx, probs, opts)
-		if err != nil {
-			return err
-		}
-		for j, i := range idxs {
-			sols[i] = res[j]
-			solved[i] = true
-		}
-		return nil
-	}
-
-	if err := solveIdx([]int{0, n - 1}); err != nil {
-		return nil, err
-	}
-	type span struct{ lo, hi int }
-	spans := []span{{0, n - 1}}
-	for len(spans) > 0 {
-		var mids []int
-		var next []span
-		for _, s := range spans {
-			if s.hi-s.lo <= 1 {
-				continue
-			}
-			lo, hi := sols[s.lo], sols[s.hi]
-			// Monotonicity (exact instances): feasibility is monotone in
-			// the bound and optimal latency is non-increasing, so a span
-			// bracketed by two infeasible probes is all-infeasible, and
-			// one bracketed by equal latencies is all-equal — in either
-			// case the serial walk would skip every interior candidate.
-			if !lo.Feasible && !hi.Feasible {
-				continue
-			}
-			if lo.Feasible && hi.Feasible && numeric.Eq(lo.Cost.Latency, hi.Cost.Latency) {
-				continue
-			}
-			mid := (s.lo + s.hi) / 2
-			mids = append(mids, mid)
-			next = append(next, span{s.lo, mid}, span{mid, s.hi})
-		}
-		if len(mids) > 0 {
-			if err := solveIdx(mids); err != nil {
-				return nil, err
-			}
-		}
-		spans = next
-	}
-
-	// The serial dominance walk over the solved candidates, identical to
-	// core.ParetoFrontWith's filtering.
 	var front []core.Solution
-	prevLatency := numeric.Inf
-	for i := 0; i < n; i++ {
-		if !solved[i] {
-			continue
-		}
-		sol := sols[i]
-		if !sol.Feasible || numeric.GreaterEq(sol.Cost.Latency, prevLatency) {
-			continue
-		}
-		tight := pr
-		tight.Objective = core.PeriodUnderLatency
-		tight.Bound = sol.Cost.Latency
-		if ts, err := e.Solve(ctx, tight, opts); err == nil && ts.Feasible &&
-			numeric.LessEq(ts.Cost.Latency, sol.Cost.Latency) && numeric.LessEq(ts.Cost.Period, sol.Cost.Period) {
-			sol = ts
-		}
-		front = append(front, sol)
-		prevLatency = sol.Cost.Latency
+	_, err := e.SweepFront(ctx, pr, opts, SweepObserver{Point: func(p SweepPoint) error {
+		front = append(front, p.Solution)
+		return nil
+	}})
+	if err != nil {
+		return nil, err
 	}
 	return front, nil
 }

@@ -340,9 +340,43 @@ func TestEngineParetoCancellation(t *testing.T) {
 	}
 }
 
+// TestCacheEvictionKeepsHotKeys pins the anti-stampede property of the
+// sampled eviction: a fingerprint hit since the previous eviction cycle
+// survives the cycle, so hot traffic is not cold-started wholesale when
+// the cache reaches its bound.
+func TestCacheEvictionKeepsHotKeys(t *testing.T) {
+	e := New(1)
+	e.SetCacheLimit(4)
+	pl := platform.Homogeneous(1, 1)
+	solve := func(w float64) {
+		t.Helper()
+		pipe := workflow.NewPipeline(w)
+		if _, err := e.Solve(context.Background(), core.Problem{Pipeline: &pipe, Platform: pl, Objective: core.MinPeriod}, core.Options{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	solve(1) // the hot key...
+	solve(1) // ...hit once, marking it hot
+	solve(2)
+	solve(3)
+	solve(4) // cache now at its limit of 4, the other three keys cold
+	solve(5) // triggers an eviction cycle before inserting
+
+	hitsBefore, missesBefore := e.CacheStats()
+	solve(1) // the hot key must have survived the cycle
+	hits, misses := e.CacheStats()
+	if hits != hitsBefore+1 || misses != missesBefore {
+		t.Errorf("hot key evicted: hits %d -> %d, misses %d -> %d",
+			hitsBefore, hits, missesBefore, misses)
+	}
+	if size := e.CacheSize(); size > 4 {
+		t.Errorf("cache grew to %d entries despite limit 4", size)
+	}
+}
+
 // TestCacheLimitEpochEviction checks SetCacheLimit keeps the cache
-// bounded: inserts beyond the limit drop the old epoch, and solves keep
-// returning correct results throughout.
+// bounded: inserts beyond the limit evict a sampled fraction, and solves
+// keep returning correct results throughout.
 func TestCacheLimitEpochEviction(t *testing.T) {
 	e := New(1)
 	e.SetCacheLimit(2)

@@ -158,23 +158,19 @@ func TestParetoHonoursBudget(t *testing.T) {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("status = %d, body %s", resp.StatusCode, body)
 	}
-	lines := strings.Split(strings.TrimSpace(string(body)), "\n")
-	if len(lines) == 0 || lines[0] == "" {
+	sols, statuses := splitStream(t, body)
+	if len(sols) == 0 {
 		t.Fatal("empty Pareto front")
 	}
 	prevPeriod := 0.0
-	for i, line := range lines {
-		var sol struct {
-			Period   float64 `json:"period"`
-			Feasible bool    `json:"feasible"`
-		}
-		if err := json.Unmarshal([]byte(line), &sol); err != nil {
-			t.Fatalf("line %d not a solution document: %v (%s)", i, err, line)
-		}
+	for i, sol := range sols {
 		if !sol.Feasible || sol.Period < prevPeriod {
 			t.Errorf("line %d breaks the front invariant: feasible=%v period=%g after %g", i, sol.Feasible, sol.Period, prevPeriod)
 		}
 		prevPeriod = sol.Period
+	}
+	if n := len(statuses); n == 0 || statuses[n-1].Status != StreamStatusComplete {
+		t.Errorf("stream missing its terminal complete line: %+v", statuses)
 	}
 }
 

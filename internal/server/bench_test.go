@@ -62,6 +62,27 @@ func BenchmarkSolveUnique(b *testing.B) {
 	})
 }
 
+// BenchmarkParetoStream measures the incremental NDJSON sweep end to
+// end: request decode, the engine sweep (cold cache each iteration, so
+// the candidate solves are real work), per-point encode + flush, and
+// the terminal status line.
+func BenchmarkParetoStream(b *testing.B) {
+	srv := New(Config{})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	client := ts.Client()
+	pareto := `{
+		"pipeline": {"weights": [14, 4, 2, 4, 7]},
+		"platform": {"speeds": [3, 2, 2, 1]},
+		"allowDataParallel": true
+	}`
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		srv.Engine().Reset() // keep the sweep honest: no memoized fronts
+		benchPost(b, client, ts.URL+"/v1/pareto", pareto)
+	}
+}
+
 // BenchmarkMixedLoad measures the acceptance-criteria workload: mixed
 // solve, batch and pareto traffic from concurrent clients (run with
 // -cpu to scale the client count; each RunParallel goroutine is one

@@ -2,9 +2,11 @@ package server
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -48,6 +50,15 @@ type Config struct {
 	// latency. 0 disables anytime solving by default (requests can still
 	// opt in per call).
 	DefaultBudget time.Duration
+	// StreamHeartbeat is the idle interval after which /v1/pareto emits a
+	// heartbeat status line while a slow sweep is between points, keeping
+	// the connection visibly alive through proxies and client read
+	// timeouts; <= 0 selects 10s.
+	StreamHeartbeat time.Duration
+	// MaxJobs bounds the in-memory async job store (/v1/jobs): when full,
+	// the oldest finished job is evicted to admit a new one, and a store
+	// full of live jobs rejects submissions with 503. <= 0 selects 64.
+	MaxJobs int
 	// Options tunes the exhaustive-search limits of every solve.
 	Options core.Options
 }
@@ -63,10 +74,21 @@ type Server struct {
 	maxTimeout     time.Duration
 	maxBatch       int
 	maxBodyBytes   int64
+	heartbeat      time.Duration
 
+	// baseCtx is the drain signal: Close cancels it, which cancels every
+	// request-derived solve context — streaming handlers then finish
+	// their current line and write a terminal status line, and async
+	// jobs record cancellation — so shutdown never truncates a stream
+	// mid-JSON.
+	baseCtx   context.Context
+	closeBase context.CancelFunc
+
+	jobs          *jobManager
 	metrics       *metrics
 	inflight      atomic.Int64
 	anytimeSolves atomic.Uint64
+	streamPoints  atomic.Uint64
 	start         time.Time
 	mux           *http.ServeMux
 }
@@ -96,6 +118,13 @@ func New(cfg Config) *Server {
 	if cfg.MaxBodyBytes <= 0 {
 		cfg.MaxBodyBytes = 8 << 20
 	}
+	if cfg.StreamHeartbeat <= 0 {
+		cfg.StreamHeartbeat = 10 * time.Second
+	}
+	if cfg.MaxJobs <= 0 {
+		cfg.MaxJobs = 64
+	}
+	baseCtx, closeBase := context.WithCancel(context.Background())
 	s := &Server{
 		eng:            eng,
 		opts:           cfg.Options,
@@ -105,6 +134,10 @@ func New(cfg Config) *Server {
 		maxTimeout:     maxClamp(cfg.DefaultTimeout, cfg.MaxTimeout),
 		maxBatch:       cfg.MaxBatch,
 		maxBodyBytes:   cfg.MaxBodyBytes,
+		heartbeat:      cfg.StreamHeartbeat,
+		baseCtx:        baseCtx,
+		closeBase:      closeBase,
+		jobs:           newJobManager(cfg.MaxJobs),
 		metrics:        newMetrics(),
 		start:          time.Now(),
 	}
@@ -112,6 +145,10 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("POST /v1/solve", s.counted("/v1/solve", s.handleSolve))
 	mux.HandleFunc("POST /v1/solve/batch", s.counted("/v1/solve/batch", s.handleSolveBatch))
 	mux.HandleFunc("POST /v1/pareto", s.counted("/v1/pareto", s.handlePareto))
+	mux.HandleFunc("POST /v1/jobs", s.counted("/v1/jobs", s.handleJobCreate))
+	mux.HandleFunc("GET /v1/jobs", s.counted("/v1/jobs", s.handleJobList))
+	mux.HandleFunc("GET /v1/jobs/{id}", s.counted("/v1/jobs/{id}", s.handleJobGet))
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.counted("/v1/jobs/{id}", s.handleJobDelete))
 	mux.HandleFunc("GET /v1/classify", s.counted("/v1/classify", s.handleClassify))
 	mux.HandleFunc("GET /v1/table", s.counted("/v1/table", s.handleTable))
 	mux.HandleFunc("GET /healthz", s.counted("/healthz", s.handleHealthz))
@@ -119,6 +156,17 @@ func New(cfg Config) *Server {
 	s.mux = mux
 	return s
 }
+
+// Close begins draining the server: every in-flight solve context is
+// cancelled, so streaming responses finish their current line and append
+// a terminal status line, synchronous solves return structured
+// shutting-down errors, and async jobs record cancellation. Call it
+// before http.Server.Shutdown, which then waits for the (now fast)
+// handlers to return. Close is idempotent and does not wait.
+func (s *Server) Close() { s.closeBase() }
+
+// closing reports whether Close has been called.
+func (s *Server) closing() bool { return s.baseCtx.Err() != nil }
 
 // maxClamp guarantees the effective maximum timeout never undercuts the
 // default, so a request without timeoutMs is never clamped below it.
@@ -180,9 +228,8 @@ func (s *Server) counted(endpoint string, h http.HandlerFunc) http.HandlerFunc {
 	}
 }
 
-// requestContext derives the solve context: the client's context bounded
-// by the request timeout (clamped to the server maximum).
-func (s *Server) requestContext(r *http.Request, timeoutMs int64) (context.Context, context.CancelFunc) {
+// timeoutFor clamps a request-supplied timeout to the server bounds.
+func (s *Server) timeoutFor(timeoutMs int64) time.Duration {
 	timeout := s.defaultTimeout
 	if timeoutMs > 0 {
 		timeout = time.Duration(timeoutMs) * time.Millisecond
@@ -190,7 +237,16 @@ func (s *Server) requestContext(r *http.Request, timeoutMs int64) (context.Conte
 			timeout = s.maxTimeout
 		}
 	}
-	return context.WithTimeout(r.Context(), timeout)
+	return timeout
+}
+
+// requestContext derives the solve context: the client's context bounded
+// by the request timeout (clamped to the server maximum) and by the
+// server's drain signal, so Close cancels in-flight solves promptly.
+func (s *Server) requestContext(r *http.Request, timeoutMs int64) (context.Context, context.CancelFunc) {
+	ctx, cancel := context.WithTimeout(r.Context(), s.timeoutFor(timeoutMs))
+	stop := context.AfterFunc(s.baseCtx, cancel)
+	return ctx, func() { stop(); cancel() }
 }
 
 // acquire claims an in-flight slot, waiting until one frees or ctx
@@ -258,7 +314,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := s.requestContext(r, req.TimeoutMs)
 	defer cancel()
 	if err := s.acquire(ctx); err != nil {
-		writeAcquireError(w, err, &pr)
+		s.writeQueueError(w, err, &pr)
 		return
 	}
 	defer s.release()
@@ -268,7 +324,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	elapsed := time.Since(start)
 	s.solveMetrics(pr, "solve", elapsed)
 	if err != nil {
-		writeSolveError(w, err, &pr)
+		s.writeRequestError(w, err, &pr)
 		return
 	}
 	out := instance.FromSolution(sol)
@@ -308,7 +364,7 @@ func (s *Server) handleSolveBatch(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := s.requestContext(r, req.TimeoutMs)
 	defer cancel()
 	if err := s.acquire(ctx); err != nil {
-		writeAcquireError(w, err, nil)
+		s.writeQueueError(w, err, nil)
 		return
 	}
 	defer s.release()
@@ -324,7 +380,7 @@ func (s *Server) handleSolveBatch(w http.ResponseWriter, r *http.Request) {
 	// histograms. Batch latency is visible through elapsedMs and
 	// wfserve_requests_total.
 	if err != nil {
-		writeSolveError(w, err, nil)
+		s.writeRequestError(w, err, nil)
 		return
 	}
 	out := make([]instance.SolutionJSON, len(sols))
@@ -347,12 +403,17 @@ func (s *Server) handleSolveBatch(w http.ResponseWriter, r *http.Request) {
 }
 
 // handlePareto sweeps the period/latency trade-off curve and streams it
-// as NDJSON: one SolutionJSON per line in increasing-period order,
-// flushed as written. The sweep runs to completion on the engine before
-// the first line is written (the dominance filter needs the whole
-// candidate set); the NDJSON framing lets clients process the front
-// line by line. The sweep honours the request deadline, and an error
-// yields a structured JSON error instead of a stream.
+// as NDJSON, incrementally: each SolutionJSON line is written and flushed
+// the moment the engine proves the point final (engine.SweepFront), in
+// increasing-period order — the first line reaches the client while the
+// rest of the sweep is still running. While a slow sweep is between
+// points the stream carries heartbeat status lines, and every stream
+// ends with a terminal status line reporting the sweep outcome and how
+// many candidate periods were explored. When the deadline expires (or
+// the server drains) mid-sweep, the points already written stand as a
+// well-formed partial front — a prefix of the full one — and the
+// terminal line carries the error; a bare error response is only
+// returned for failures before the first line.
 func (s *Server) handlePareto(w http.ResponseWriter, r *http.Request) {
 	var req SolveRequest
 	if err := decodeJSON(r, &req); err != nil {
@@ -371,7 +432,7 @@ func (s *Server) handlePareto(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := s.requestContext(r, req.TimeoutMs)
 	defer cancel()
 	if err := s.acquire(ctx); err != nil {
-		writeAcquireError(w, err, &pr)
+		s.writeQueueError(w, err, &pr)
 		return
 	}
 	defer s.release()
@@ -379,25 +440,186 @@ func (s *Server) handlePareto(w http.ResponseWriter, r *http.Request) {
 	sweep := pr
 	sweep.Objective = core.MinPeriod
 	start := time.Now()
-	front, err := s.eng.ParetoFront(ctx, pr, s.solveOptions(req.BudgetMs))
+	ps := &paretoStream{w: w, start: start}
+	stopHeartbeats := ps.startHeartbeats(s.heartbeat)
+	stats, err := s.eng.SweepFront(ctx, pr, s.solveOptions(req.BudgetMs), engine.SweepObserver{
+		Point: func(p engine.SweepPoint) error {
+			out := instance.FromSolution(p.Solution)
+			s.countAnytime(out)
+			s.streamPoints.Add(1)
+			return ps.writePoint(out, p.Explored, p.Total)
+		},
+		Progress: ps.progress,
+	})
+	stopHeartbeats()
 	s.solveMetrics(sweep, "pareto", time.Since(start))
-	if err != nil {
-		writeSolveError(w, err, &sweep)
+	// The observer only sees progress up to the last solve round; the
+	// returned stats also cover trailing pruning, so the terminal line
+	// reports the exact unexplored count.
+	ps.progress(stats.Explored, stats.Total)
+
+	switch {
+	case err == nil:
+		ps.writeTerminal(StreamStatusComplete, nil)
+	case !ps.committed():
+		// Nothing on the wire yet: a plain structured error response.
+		s.writeRequestError(w, err, &sweep)
+	default:
+		// The stream is live (a line already committed the 200): end it
+		// with a well-formed terminal status line instead of truncating —
+		// never a bare 504 after a point has been delivered.
+		status, body := s.terminalStatusOf(err, &sweep)
+		ps.writeTerminal(status, body)
+	}
+}
+
+// paretoStream serializes the NDJSON lines of one /v1/pareto response:
+// solution points from the sweep, heartbeats from a ticker goroutine and
+// the terminal status line, under one mutex so lines never interleave.
+// The 200 header is committed lazily by whichever line is written first.
+type paretoStream struct {
+	w     http.ResponseWriter
+	start time.Time
+
+	mu       sync.Mutex
+	flusher  http.Flusher
+	begun    bool
+	failed   bool // a write failed: the client is gone
+	points   int
+	explored int
+	total    int
+}
+
+// writeLineLocked writes one NDJSON line and flushes it, committing the
+// 200 response on the first line. Callers hold mu.
+func (ps *paretoStream) writeLineLocked(v any) error {
+	if ps.failed {
+		return http.ErrAbortHandler
+	}
+	if !ps.begun {
+		ps.begun = true
+		ps.w.Header().Set("Content-Type", "application/x-ndjson")
+		ps.w.WriteHeader(http.StatusOK)
+		ps.flusher, _ = ps.w.(http.Flusher)
+	}
+	if err := writeNDJSONLine(ps.w, v); err != nil {
+		ps.failed = true
+		return err
+	}
+	if ps.flusher != nil {
+		ps.flusher.Flush()
+	}
+	return nil
+}
+
+// writePoint writes one confirmed front point.
+func (ps *paretoStream) writePoint(sol instance.SolutionJSON, explored, total int) error {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	ps.points++
+	ps.explored, ps.total = explored, total
+	return ps.writeLineLocked(sol)
+}
+
+// progress records sweep progress for heartbeat and terminal lines.
+func (ps *paretoStream) progress(explored, total int) {
+	ps.mu.Lock()
+	ps.explored, ps.total = explored, total
+	ps.mu.Unlock()
+}
+
+// committed reports whether any line has been written (the 200 is on the
+// wire and errors must be delivered in-stream).
+func (ps *paretoStream) committed() bool {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	return ps.begun
+}
+
+// statusLocked assembles a status line snapshot. Callers hold mu.
+func (ps *paretoStream) statusLocked(status string) StreamStatus {
+	return StreamStatus{
+		Status:          status,
+		Points:          ps.points,
+		Explored:        ps.explored,
+		TotalCandidates: ps.total,
+		Unexplored:      ps.total - ps.explored,
+		ElapsedMs:       float64(time.Since(ps.start)) / float64(time.Millisecond),
+	}
+}
+
+// writeTerminal ends the stream with its terminal status line.
+func (ps *paretoStream) writeTerminal(status string, errBody *ErrorBody) {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	line := ps.statusLocked(status)
+	line.Error = errBody
+	ps.writeLineLocked(line) //nolint:errcheck // the client is gone if this fails
+}
+
+// startHeartbeats emits a heartbeat status line every interval until the
+// returned stop function is called; stop waits for an in-flight
+// heartbeat write, so the terminal line is always the last line.
+func (ps *paretoStream) startHeartbeats(every time.Duration) (stop func()) {
+	ticker := time.NewTicker(every)
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-ticker.C:
+				ps.mu.Lock()
+				ps.writeLineLocked(ps.statusLocked(StreamStatusHeartbeat)) //nolint:errcheck // kept alive best-effort
+				ps.mu.Unlock()
+			case <-done:
+				return
+			}
+		}
+	}()
+	return func() {
+		ticker.Stop()
+		close(done)
+		wg.Wait()
+	}
+}
+
+// terminalStatusOf maps a mid-stream sweep error to its terminal status
+// line: the stream-level analogue of writeSolveError.
+func (s *Server) terminalStatusOf(err error, pr *core.Problem) (string, *ErrorBody) {
+	switch {
+	case s.closing() && errors.Is(err, context.Canceled):
+		return StreamStatusShuttingDown, errorBodyFor(ErrKindShuttingDown, "server shutting down", pr)
+	case errors.Is(err, context.DeadlineExceeded):
+		return StreamStatusDeadlineExceeded, errorBodyFor(ErrKindDeadlineExceeded, err.Error(), pr)
+	case errors.Is(err, context.Canceled):
+		return StreamStatusCanceled, errorBodyFor(ErrKindCanceled, err.Error(), pr)
+	default:
+		return StreamStatusFailed, errorBodyFor(ErrKindInternal, err.Error(), pr)
+	}
+}
+
+// writeRequestError maps a solve error to a structured response,
+// upgrading cancellations caused by server drain (Close) to a
+// shutting-down 503 — the client did not abort, the server did.
+func (s *Server) writeRequestError(w http.ResponseWriter, err error, pr *core.Problem) {
+	if s.closing() && errors.Is(err, context.Canceled) {
+		writeError(w, http.StatusServiceUnavailable, ErrKindShuttingDown, "server shutting down", pr)
 		return
 	}
-	w.Header().Set("Content-Type", "application/x-ndjson")
-	w.WriteHeader(http.StatusOK)
-	flusher, _ := w.(http.Flusher)
-	for _, sol := range front {
-		out := instance.FromSolution(sol)
-		s.countAnytime(out)
-		if err := writeNDJSONLine(w, out); err != nil {
-			return // client gone
-		}
-		if flusher != nil {
-			flusher.Flush()
-		}
+	writeSolveError(w, err, pr)
+}
+
+// writeQueueError is writeAcquireError with the same drain upgrade: a
+// request whose wait for a solve slot was cut short by Close gets the
+// 503 shutting-down response, not a 499 blaming the client.
+func (s *Server) writeQueueError(w http.ResponseWriter, err error, pr *core.Problem) {
+	if s.closing() && errors.Is(err, context.Canceled) {
+		writeError(w, http.StatusServiceUnavailable, ErrKindShuttingDown, "server shutting down", pr)
+		return
 	}
+	writeAcquireError(w, err, pr)
 }
 
 func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
@@ -444,6 +666,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		{"wfserve_cache_size", "Completed solutions held by the engine cache.", "gauge", float64(stats.Size)},
 		{"wfserve_inflight_requests", "Requests currently holding a solve slot.", "gauge", float64(s.inflight.Load())},
 		{"wfserve_anytime_solves_total", "Solutions returned with anytime gap certification.", "counter", float64(s.anytimeSolves.Load())},
+		{"wfserve_stream_points_total", "Pareto front points streamed over /v1/pareto.", "counter", float64(s.streamPoints.Load())},
+		{"wfserve_jobs_active", "Async jobs currently queued or running.", "gauge", float64(s.jobs.active())},
+		{"wfserve_jobs_total", "Async jobs accepted since the server started.", "counter", float64(s.jobs.created())},
 		{"wfserve_uptime_seconds", "Seconds since the server started.", "gauge", time.Since(s.start).Seconds()},
 	})
 }

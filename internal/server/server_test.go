@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"repliflow/internal/core"
+	"repliflow/internal/instance"
 )
 
 // section2 is the paper's Section 2 instance: pipeline (14,4,2,4) on
@@ -40,6 +41,7 @@ func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
 	s := New(cfg)
 	ts := httptest.NewServer(s)
 	t.Cleanup(ts.Close)
+	t.Cleanup(s.Close) // drain any async jobs the test left running
 	return s, ts
 }
 
@@ -233,6 +235,42 @@ func TestBatchDedupSecondRequestHitsCache(t *testing.T) {
 	}
 }
 
+// splitStream partitions the NDJSON lines of a /v1/pareto body into
+// solution documents and status lines. Status lines are recognized by
+// their "status" field — the discriminator the wire format guarantees;
+// solution lines must strictly decode as SolutionJSON.
+func splitStream(t *testing.T, body []byte) (sols []instance.SolutionJSON, statuses []StreamStatus) {
+	t.Helper()
+	sc := bufio.NewScanner(bytes.NewReader(body))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		var probe struct {
+			Status *string `json:"status"`
+		}
+		if err := json.Unmarshal(line, &probe); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		if probe.Status != nil {
+			var st StreamStatus
+			if err := json.Unmarshal(line, &st); err != nil {
+				t.Fatalf("bad status line %q: %v", sc.Text(), err)
+			}
+			statuses = append(statuses, st)
+			continue
+		}
+		var sol instance.SolutionJSON
+		if err := instance.DecodeStrict(bytes.NewReader(line), &sol); err != nil {
+			t.Fatalf("line does not strictly decode as SolutionJSON: %v (%s)", err, sc.Text())
+		}
+		sols = append(sols, sol)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return sols, statuses
+}
+
 func TestParetoStreamsNDJSON(t *testing.T) {
 	// Objective omitted on purpose: the sweep ignores it.
 	_, ts := newTestServer(t, Config{})
@@ -247,24 +285,23 @@ func TestParetoStreamsNDJSON(t *testing.T) {
 	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
 		t.Errorf("Content-Type = %q", ct)
 	}
-	var fronts []struct {
-		Period  float64 `json:"period"`
-		Latency float64 `json:"latency"`
-	}
-	sc := bufio.NewScanner(bytes.NewReader(body))
-	for sc.Scan() {
-		var p struct {
-			Period  float64 `json:"period"`
-			Latency float64 `json:"latency"`
-		}
-		if err := json.Unmarshal(sc.Bytes(), &p); err != nil {
-			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
-		}
-		fronts = append(fronts, p)
-	}
+	fronts, statuses := splitStream(t, body)
 	if len(fronts) != 2 || fronts[0].Period != 8 || fronts[0].Latency != 24 ||
 		fronts[1].Period != 10 || fronts[1].Latency != 17 {
 		t.Errorf("front = %+v, want (8,24), (10,17)", fronts)
+	}
+	if len(statuses) != 1 || statuses[0].Status != StreamStatusComplete {
+		t.Fatalf("statuses = %+v, want one terminal complete line", statuses)
+	}
+	term := statuses[0]
+	if term.Points != 2 || term.Unexplored != 0 || term.Explored != term.TotalCandidates || term.TotalCandidates == 0 {
+		t.Errorf("terminal line = %+v, want 2 points, fully explored", term)
+	}
+	// The terminal line is the last line of the stream.
+	trimmed := bytes.TrimSpace(body)
+	last := trimmed[bytes.LastIndexByte(trimmed, '\n')+1:]
+	if !bytes.Contains(last, []byte(`"status"`)) {
+		t.Errorf("stream does not end with the terminal status line: %s", last)
 	}
 }
 
@@ -364,6 +401,9 @@ func TestHealthzAndMetrics(t *testing.T) {
 		"wfserve_solve_seconds_bucket{cell=",
 		"wfserve_solve_seconds_count{cell=",
 		"wfserve_inflight_requests 0",
+		"wfserve_stream_points_total 0",
+		"wfserve_jobs_active 0",
+		"wfserve_jobs_total 0",
 		"wfserve_uptime_seconds",
 	} {
 		if !strings.Contains(text, want) {

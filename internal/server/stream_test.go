@@ -1,0 +1,309 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repliflow/internal/core"
+	"repliflow/internal/instance"
+)
+
+// exactSweepInstance is the staged slow instance of the exact (pruned)
+// sweep path: a 7-stage heterogeneous pipeline on 10 heterogeneous
+// processors, solved exhaustively under a raised limit. The whole sweep
+// takes on the order of a second at GOMAXPROCS=1 while the monotonicity
+// pruning resolves the left end of the candidate list within the first
+// few solves — so the first front point is proven (and must be flushed)
+// long before the sweep completes.
+const exactSweepInstance = `{
+	"pipeline": {"weights": [14, 4, 2, 4, 7, 3, 9]},
+	"platform": {"speeds": [5, 4, 3, 3, 2, 2, 1, 1, 4, 2]},
+	"allowDataParallel": true`
+
+// pacedSweepInstance is a small NP-hard staging instance with the
+// exhaustive limits lowered (newPacedServer) so the anytime portfolio
+// owns every candidate solve; its sweep takes long enough that a short
+// deadline reliably fires before the first point on any machine.
+const pacedSweepInstance = `{
+	"pipeline": {"weights": [8, 4, 4]},
+	"platform": {"speeds": [2, 1, 1]},
+	"allowDataParallel": true`
+
+func newPacedServer(t *testing.T, cfg Config) (*Server, string) {
+	t.Helper()
+	cfg.Options = core.Options{MaxExhaustivePipelineProcs: 2, MaxExhaustiveForkProcs: 2}
+	s, ts := newTestServer(t, cfg)
+	return s, ts.URL
+}
+
+// streamLines POSTs a pareto request and records each NDJSON line with
+// its arrival time.
+type timedLine struct {
+	at   time.Duration
+	text string
+}
+
+func streamLines(t *testing.T, url, body string) (int, []timedLine, time.Duration) {
+	t.Helper()
+	start := time.Now()
+	resp, err := http.Post(url+"/v1/pareto", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var lines []timedLine
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		lines = append(lines, timedLine{at: time.Since(start), text: sc.Text()})
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, lines, time.Since(start)
+}
+
+// parseStream splits timed lines into solution lines (keeping their
+// arrival times) and status lines, verifying every solution line
+// strictly decodes as SolutionJSON via splitStream.
+func parseStream(t *testing.T, lines []timedLine) (sols []timedLine, statuses []StreamStatus) {
+	t.Helper()
+	var body []byte
+	for _, l := range lines {
+		body = append(body, l.text...)
+		body = append(body, '\n')
+	}
+	_, statuses = splitStream(t, body)
+	for _, l := range lines {
+		if !strings.Contains(l.text, `"status"`) {
+			sols = append(sols, l)
+		}
+	}
+	return sols, statuses
+}
+
+// TestParetoFirstByteBeforeSweepCompletes is the tentpole's acceptance
+// test: on the staged slow exact sweep, the first NDJSON line must reach
+// the client in a small fraction of the total sweep time — the sweep is
+// delivered incrementally, not buffered.
+func TestParetoFirstByteBeforeSweepCompletes(t *testing.T) {
+	_, ts := newTestServer(t, Config{Options: core.Options{MaxExhaustivePipelineProcs: 10}})
+	code, lines, total := streamLines(t, ts.URL, exactSweepInstance+`, "timeoutMs": 120000}`)
+	if code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	sols, statuses := parseStream(t, lines)
+	if len(sols) < 2 {
+		t.Fatalf("staged sweep produced %d points, need >= 2", len(sols))
+	}
+	if n := len(statuses); n == 0 || statuses[n-1].Status != StreamStatusComplete {
+		t.Fatalf("missing terminal complete line: %+v", statuses)
+	}
+	first := sols[0].at
+	if first >= total/2 {
+		t.Errorf("first point arrived at %v of a %v sweep — streaming is buffered, want first-byte << total", first, total)
+	}
+	// Increasing-period order across the delivered points.
+	assertIncreasingPeriods(t, sols)
+}
+
+// checkTerminalDeadline asserts the terminal-line contract of a sweep
+// cut by its deadline: the last status line reports deadline expiry, a
+// positive and consistent unexplored candidate count, the exact number
+// of points delivered, and the structured error body.
+func checkTerminalDeadline(t *testing.T, statuses []StreamStatus, points int) {
+	t.Helper()
+	if len(statuses) == 0 {
+		t.Fatal("stream ended without a terminal status line")
+	}
+	term := statuses[len(statuses)-1]
+	if term.Status != StreamStatusDeadlineExceeded {
+		t.Fatalf("terminal status = %q, want %q (%+v)", term.Status, StreamStatusDeadlineExceeded, term)
+	}
+	if term.Unexplored <= 0 || term.Unexplored != term.TotalCandidates-term.Explored {
+		t.Errorf("terminal line reports unexplored %d of %d (explored %d), want a positive consistent count",
+			term.Unexplored, term.TotalCandidates, term.Explored)
+	}
+	if term.Points != points {
+		t.Errorf("terminal line counts %d points, stream carried %d", term.Points, points)
+	}
+	if term.Error == nil || term.Error.Kind != ErrKindDeadlineExceeded {
+		t.Errorf("terminal line error = %+v, want kind %q", term.Error, ErrKindDeadlineExceeded)
+	}
+}
+
+// TestParetoDeadlineMidSweep is the deadline-expiry test for a deadline
+// landing after the first point: the client gets an ordered partial
+// front whose every line parses as SolutionJSON, closed by a terminal
+// status line reporting how many candidates were left unexplored —
+// never a bare 504 once a point is on the wire. The deadline is chosen
+// adaptively — a cold reference run measures when the first point and
+// the completion happen, and the timed run gets the midpoint — so the
+// test stages "mid-sweep" on any machine speed.
+func TestParetoDeadlineMidSweep(t *testing.T) {
+	cfg := Config{Options: core.Options{MaxExhaustivePipelineProcs: 10}}
+	_, ref := newTestServer(t, cfg)
+	code, lines, total := streamLines(t, ref.URL, exactSweepInstance+`, "timeoutMs": 120000}`)
+	if code != http.StatusOK {
+		t.Fatalf("reference sweep: status = %d", code)
+	}
+	sols, _ := parseStream(t, lines)
+	if len(sols) < 2 {
+		t.Fatalf("reference sweep produced %d points, need >= 2", len(sols))
+	}
+	first := sols[0].at
+	if total-first < 100*time.Millisecond {
+		t.Skipf("machine sweeps the staging instance in %v after the first point; cannot stage a mid-sweep deadline", total-first)
+	}
+	deadline := first + (total-first)/2
+
+	// A fresh server: the reference run must not warm the timed run.
+	_, timed := newTestServer(t, cfg)
+	body := fmt.Sprintf(`%s, "timeoutMs": %d}`, exactSweepInstance, deadline.Milliseconds())
+	code, lines, _ = streamLines(t, timed.URL, body)
+	if code != http.StatusOK {
+		t.Fatalf("status = %d with a mid-sweep deadline", code)
+	}
+	partial, statuses := parseStream(t, lines)
+	if len(partial) == 0 {
+		t.Fatalf("deadline at %v (first point at %v, total %v) cut the sweep before any point", deadline, first, total)
+	}
+	if len(partial) >= len(sols) {
+		t.Fatalf("deadline at %v did not cut the %v sweep (got all %d points)", deadline, total, len(partial))
+	}
+	assertIncreasingPeriods(t, partial)
+	// The partial front is a prefix of the reference front.
+	for i := range partial {
+		if partial[i].text != sols[i].text {
+			t.Errorf("partial front diverges from the full front at point %d:\n%s\n%s", i, partial[i].text, sols[i].text)
+		}
+	}
+	checkTerminalDeadline(t, statuses, len(partial))
+}
+
+// TestParetoHeartbeatsKeepSlowStreamAlive: a sweep whose first candidate
+// solves outlast the deadline still produces a live, well-formed stream:
+// heartbeat status lines commit the response and the deadline lands
+// in-stream as a terminal status line — not a 504 — even with zero
+// points delivered.
+func TestParetoHeartbeatsKeepSlowStreamAlive(t *testing.T) {
+	_, ts := newSlowServer(t, Config{StreamHeartbeat: 60 * time.Millisecond})
+	code, lines, _ := streamLines(t, ts.URL, strings.TrimSuffix(strings.TrimSpace(slowInstance), "}")+`, "timeoutMs": 600}`)
+	if code != http.StatusOK {
+		t.Fatalf("status = %d, want the heartbeat-committed 200", code)
+	}
+	sols, statuses := parseStream(t, lines)
+	if len(sols) != 0 {
+		t.Fatalf("expected no points within the deadline, got %d", len(sols))
+	}
+	hb := 0
+	for _, st := range statuses {
+		if st.Status == StreamStatusHeartbeat {
+			hb++
+		}
+	}
+	if hb < 2 {
+		t.Errorf("got %d heartbeat lines over a 600ms wait at 60ms interval, want >= 2", hb)
+	}
+	checkTerminalDeadline(t, statuses, 0)
+}
+
+// TestParetoDeadlineBeforeAnyLineIs504: with no heartbeat and a deadline
+// well before the first point, nothing has committed the stream, so the
+// client gets the plain structured deadline error — the legacy contract
+// for sweeps that never produced anything.
+func TestParetoDeadlineBeforeAnyLineIs504(t *testing.T) {
+	_, url := newPacedServer(t, Config{})
+	resp, body := postJSON(t, url+"/v1/pareto", pacedSweepInstance+`, "budgetMs": 2400, "timeoutMs": 150}`)
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d, body %s", resp.StatusCode, body)
+	}
+	var er ErrorResponse
+	if err := json.Unmarshal(body, &er); err != nil {
+		t.Fatal(err)
+	}
+	if er.Error.Kind != ErrKindDeadlineExceeded {
+		t.Errorf("kind = %q, want %q", er.Error.Kind, ErrKindDeadlineExceeded)
+	}
+}
+
+// TestParetoStreamMatchesBatchFront: the streamed front must carry
+// exactly the same solution documents, in the same order, as the
+// engine's slice-returning ParetoFront on the same randomized corpus —
+// the byte-level equality contract between the two delivery modes.
+func TestParetoStreamMatchesBatchFront(t *testing.T) {
+	srv, ts := newTestServer(t, Config{})
+	bodies := []string{
+		`{"pipeline": {"weights": [14, 4, 2, 4]}, "platform": {"speeds": [1, 1, 1]}, "allowDataParallel": true`,
+		`{"pipeline": {"weights": [5, 3, 8, 2]}, "platform": {"speeds": [3, 2, 1]}, "allowDataParallel": true`,
+		`{"fork": {"root": 2, "weights": [1, 3, 2]}, "platform": {"speeds": [1, 2]}`,
+		`{"forkjoin": {"root": 2, "join": 1, "weights": [3, 1]}, "platform": {"speeds": [2, 1, 1]}`,
+	}
+	for i, b := range bodies {
+		resp, body := postJSON(t, ts.URL+"/v1/pareto", b+`}`)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("case %d: status = %d, body %s", i, resp.StatusCode, body)
+		}
+		sols, _ := splitStream(t, body)
+
+		var req SolveRequest
+		if err := json.NewDecoder(strings.NewReader(b + `}`)).Decode(&req); err != nil {
+			t.Fatal(err)
+		}
+		if req.Instance.Objective == "" {
+			req.Instance.Objective = "min-period"
+		}
+		pr, err := req.Instance.Problem()
+		if err != nil {
+			t.Fatal(err)
+		}
+		front, err := srv.Engine().ParetoFront(context.Background(), pr, srv.opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(front) != len(sols) {
+			t.Fatalf("case %d: stream carried %d points, ParetoFront returned %d", i, len(sols), len(front))
+		}
+		for j, sol := range front {
+			streamJSON, err := json.Marshal(sols[j])
+			if err != nil {
+				t.Fatal(err)
+			}
+			sliceJSON, err := json.Marshal(instance.FromSolution(sol))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(streamJSON) != string(sliceJSON) {
+				t.Errorf("case %d point %d: stream %s != slice %s", i, j, streamJSON, sliceJSON)
+			}
+		}
+	}
+}
+
+// assertIncreasingPeriods checks the period order invariant of a
+// streamed (partial) front: non-decreasing periods (exact fronts are
+// strictly increasing; heuristic/anytime fronts may tighten two latency
+// levels to the same period) and every point feasible.
+func assertIncreasingPeriods(t *testing.T, sols []timedLine) {
+	t.Helper()
+	prev := -1.0
+	for i, l := range sols {
+		var p struct {
+			Period   float64 `json:"period"`
+			Feasible bool    `json:"feasible"`
+		}
+		if err := json.Unmarshal([]byte(l.text), &p); err != nil {
+			t.Fatal(err)
+		}
+		if !p.Feasible || p.Period < prev {
+			t.Errorf("point %d breaks the front order: feasible=%v period=%g after %g", i, p.Feasible, p.Period, prev)
+		}
+		prev = p.Period
+	}
+}

@@ -70,6 +70,102 @@ type BatchResponse struct {
 	ElapsedMs float64                 `json:"elapsedMs"`
 }
 
+// StreamStatus is a non-solution line of the /v1/pareto NDJSON stream:
+// heartbeats while a slow sweep is between points, and the terminal line
+// every stream ends with. Solution lines never carry a "status" field,
+// so clients distinguish the two by its presence (strict SolutionJSON
+// decoding rejects status lines outright). See docs/wire-format.md.
+type StreamStatus struct {
+	// Status is "heartbeat" on keep-alive lines, and "complete",
+	// "deadline-exceeded", "canceled", "shutting-down" or "failed" on the
+	// terminal line.
+	Status string `json:"status"`
+	// Points counts the solution lines written so far.
+	Points int `json:"points"`
+	// Explored counts the candidate periods the sweep has resolved,
+	// TotalCandidates the whole candidate set.
+	Explored        int `json:"explored"`
+	TotalCandidates int `json:"totalCandidates"`
+	// Unexplored is TotalCandidates - Explored: on a terminal line of a
+	// cut-short sweep, the number of candidates left unexplored.
+	Unexplored int     `json:"unexplored"`
+	ElapsedMs  float64 `json:"elapsedMs"`
+	// Error carries the failure on terminal lines of streams that ended
+	// early (the structured body a non-streaming response would have).
+	Error *ErrorBody `json:"error,omitempty"`
+}
+
+// Stream status values.
+const (
+	StreamStatusHeartbeat        = "heartbeat"
+	StreamStatusComplete         = "complete"
+	StreamStatusDeadlineExceeded = "deadline-exceeded"
+	StreamStatusCanceled         = "canceled"
+	StreamStatusShuttingDown     = "shutting-down"
+	StreamStatusFailed           = "failed"
+)
+
+// JobRequest is the body of POST /v1/jobs: an asynchronous solve, batch
+// or pareto request that outlives any single HTTP deadline. Exactly one
+// of Instance (kinds "solve" and "pareto") or Instances (kind "batch")
+// must be set.
+type JobRequest struct {
+	// Kind is "solve", "batch" or "pareto".
+	Kind string `json:"kind"`
+	// Instance is the instance of a solve or pareto job.
+	Instance *instance.Instance `json:"instance,omitempty"`
+	// Instances are the instances of a batch job.
+	Instances []instance.Instance `json:"instances,omitempty"`
+	// TimeoutMs bounds the job's run, clamped to the server maximum; 0
+	// applies the server default. The job keeps its results after
+	// expiry — a deadline turns into a failed (or, for pareto, partial)
+	// job, never a lost one.
+	TimeoutMs int64 `json:"timeoutMs,omitempty"`
+	// BudgetMs is the anytime budget, exactly as on the synchronous
+	// endpoints.
+	BudgetMs int64 `json:"budgetMs,omitempty"`
+}
+
+// JobProgress reports how far a job has advanced: Done/Total counts
+// candidate periods for pareto jobs and instances for solve/batch jobs;
+// Points counts confirmed front points of a pareto job.
+type JobProgress struct {
+	Done   int `json:"done"`
+	Total  int `json:"total"`
+	Points int `json:"points,omitempty"`
+}
+
+// Job status values.
+const (
+	JobStatusQueued   = "queued"
+	JobStatusRunning  = "running"
+	JobStatusDone     = "done"
+	JobStatusFailed   = "failed"
+	JobStatusCanceled = "canceled"
+)
+
+// JobResponse is the body of POST /v1/jobs (202) and GET /v1/jobs/{id}.
+// Result fields appear once the job is terminal: Solution for solve
+// jobs, Solutions for batch jobs, Front for pareto jobs (on canceled or
+// deadline-expired pareto jobs, the partial front proven before the
+// cut — the points are final, the sweep just did not finish).
+type JobResponse struct {
+	ID        string                  `json:"id"`
+	Kind      string                  `json:"kind"`
+	Status    string                  `json:"status"`
+	ElapsedMs float64                 `json:"elapsedMs"`
+	Progress  JobProgress             `json:"progress"`
+	Solution  *instance.SolutionJSON  `json:"solution,omitempty"`
+	Solutions []instance.SolutionJSON `json:"solutions,omitempty"`
+	Front     []instance.SolutionJSON `json:"front,omitempty"`
+	Error     *ErrorBody              `json:"error,omitempty"`
+}
+
+// JobListResponse is the body of GET /v1/jobs.
+type JobListResponse struct {
+	Jobs []JobResponse `json:"jobs"`
+}
+
 // CellInfo describes one Table 1 dispatch cell: its coordinates, its
 // complexity classification with the paper result establishing it, and
 // the registered solver's method and exactness (the in-limit path on
@@ -126,6 +222,11 @@ const (
 	// ErrKindBodyTooLarge marks request bodies over the server's byte
 	// limit.
 	ErrKindBodyTooLarge = "body-too-large"
+	// ErrKindShuttingDown marks requests cut off by server shutdown
+	// (Server.Close): the work was cancelled to drain, not by the client.
+	ErrKindShuttingDown = "shutting-down"
+	// ErrKindNotFound marks unknown resources (job ids).
+	ErrKindNotFound = "not-found"
 	// ErrKindInternal marks everything else.
 	ErrKindInternal = "internal"
 )
@@ -158,10 +259,10 @@ func errorKindOf(err error) (kind string, status int) {
 // conventional status for requests aborted by the client.
 const httpStatusClientClosedRequest = 499
 
-// writeError writes a structured error response. pr carries the Table 1
+// errorBodyFor assembles a structured error body. pr carries the Table 1
 // classification when the instance was valid (nil otherwise).
-func writeError(w http.ResponseWriter, status int, kind, message string, pr *core.Problem) {
-	body := ErrorBody{Kind: kind, Message: message}
+func errorBodyFor(kind, message string, pr *core.Problem) *ErrorBody {
+	body := &ErrorBody{Kind: kind, Message: message}
 	if pr != nil {
 		key := core.CellKeyOf(*pr)
 		cl := core.ClassifyCell(key)
@@ -169,7 +270,12 @@ func writeError(w http.ResponseWriter, status int, kind, message string, pr *cor
 		body.Complexity = instance.ComplexityName(cl.Complexity)
 		body.Source = cl.Source
 	}
-	writeJSON(w, status, ErrorResponse{Error: body})
+	return body
+}
+
+// writeError writes a structured error response.
+func writeError(w http.ResponseWriter, status int, kind, message string, pr *core.Problem) {
+	writeJSON(w, status, ErrorResponse{Error: *errorBodyFor(kind, message, pr)})
 }
 
 // writeSolveError maps err and writes the structured response for a

@@ -26,10 +26,10 @@
 // The solution carries the mapping, its exact period and latency, the
 // Table 1 classification of the instance and the algorithm used.
 //
-// Batch and network use sit on top: SolveBatch and ParetoFrontContext
-// run on the concurrent memoizing engine (internal/engine), and
-// cmd/wfserve serves the same solves over HTTP/JSON using the wire
-// format specified in docs/wire-format.md.
+// Batch and network use sit on top: SolveBatch, ParetoFrontContext and
+// the incremental SweepFront run on the concurrent memoizing engine
+// (internal/engine), and cmd/wfserve serves the same solves over
+// HTTP/JSON using the wire format specified in docs/wire-format.md.
 package repliflow
 
 import (
@@ -120,6 +120,15 @@ type (
 	// EngineStats is a snapshot of an Engine's cache counters, taken
 	// with Engine.Stats (hits, misses, size, workers).
 	EngineStats = engine.Stats
+	// SweepPoint is one confirmed point of an incremental Pareto sweep;
+	// see engine.SweepPoint.
+	SweepPoint = engine.SweepPoint
+	// SweepStats summarizes a sweep when SweepFront returns; see
+	// engine.SweepStats.
+	SweepStats = engine.SweepStats
+	// SweepObserver receives the incremental output of SweepFront; see
+	// engine.SweepObserver.
+	SweepObserver = engine.SweepObserver
 	// ErrKind is a machine-readable error category; see core.ErrKind.
 	ErrKind = core.ErrKind
 )
@@ -267,6 +276,18 @@ func ParetoFront(pr Problem, opts Options) ([]Solution, error) {
 // cancelled.
 func ParetoFrontContext(ctx context.Context, pr Problem, opts Options) ([]Solution, error) {
 	return engine.ParetoFront(ctx, pr, opts)
+}
+
+// SweepFront computes the trade-off curve incrementally: each confirmed
+// front point is delivered to the observer, in increasing-period order,
+// as soon as dominance proves it final — instead of after the whole
+// sweep. The emitted sequence is identical to the ParetoFront slice; on
+// cancellation the points already delivered form a well-formed prefix of
+// the full front, and the returned stats report how many candidate
+// periods were left unexplored. Use an explicit Engine
+// (Engine.SweepFront) to share the cache across sweeps.
+func SweepFront(ctx context.Context, pr Problem, opts Options, obs SweepObserver) (SweepStats, error) {
+	return engine.New(0).SweepFront(ctx, pr, opts, obs)
 }
 
 // EvalPipeline returns the period and latency of a pipeline mapping under
