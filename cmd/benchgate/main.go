@@ -2,11 +2,13 @@
 // -bench` output against the checked-in BENCH_baseline.json and exits
 // non-zero when any gated benchmark regressed beyond the baseline's
 // tolerance (default +25%), so the performance claims in BENCH_*.json
-// stay enforced rather than decorative.
+// stay enforced rather than decorative. Benchmarks listed in the
+// baseline's "allocs" map are additionally gated on allocs/op, which
+// requires the bench run to pass -benchmem.
 //
 // Usage:
 //
-//	go test -run '^$' -bench . -benchtime 1x -count 3 ./... | tee bench.txt
+//	go test -run '^$' -bench . -benchtime 1x -count 3 -benchmem ./... | tee bench.txt
 //	benchgate -baseline BENCH_baseline.json bench.txt
 //	benchgate -baseline BENCH_baseline.json -update bench.txt   # recalibrate
 //
@@ -43,16 +45,14 @@ func run(baselinePath string, update bool, args []string, out io.Writer) error {
 		return err
 	}
 
-	results := make(map[string]float64)
+	results := make(map[string]benchgate.Result)
 	readInto := func(r io.Reader) error {
 		res, err := benchgate.ParseResults(r)
 		if err != nil {
 			return err
 		}
-		for name, ns := range res {
-			if prev, ok := results[name]; !ok || ns < prev {
-				results[name] = ns
-			}
+		for name, got := range res {
+			results[name] = benchgate.MergeResult(results[name], got)
 		}
 		return nil
 	}

@@ -8,7 +8,7 @@
 //	wfserve [-addr :8080] [-workers N] [-max-inflight N]
 //	        [-timeout 30s] [-max-timeout 5m] [-max-batch N]
 //	        [-max-cache-entries N] [-max-exhaustive-procs N]
-//	        [-budget 0] [-heartbeat 10s] [-max-jobs N]
+//	        [-budget 0] [-heartbeat 10s] [-max-jobs N] [-pprof]
 //
 // Endpoints (bodies documented in docs/wire-format.md):
 //
@@ -22,6 +22,10 @@
 //	GET  /v1/table        metadata for every registered cell
 //	GET  /healthz         liveness
 //	GET  /metrics         Prometheus metrics (requests, cache, latency)
+//
+// With -pprof the Go profiling endpoints are additionally served under
+// /debug/pprof/ (see docs/performance.md for a profiling walkthrough);
+// they are off by default because they expose process internals.
 //
 // On SIGINT/SIGTERM the server drains: in-flight solves are cancelled,
 // streaming responses finish their current line and append a terminal
@@ -47,6 +51,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -68,6 +73,7 @@ func main() {
 	budget := flag.Duration("budget", 0, "default anytime budget for NP-hard solves: return a certified incumbent within this duration instead of searching exhaustively (0 = disabled; requests opt in via budgetMs)")
 	heartbeat := flag.Duration("heartbeat", 0, "idle interval between heartbeat status lines on streaming responses (0 = 10s)")
 	maxJobs := flag.Int("max-jobs", 0, "bound on the in-memory async job store (0 = 64)")
+	pprofOn := flag.Bool("pprof", false, "serve the Go profiling endpoints under /debug/pprof/ (off by default: they expose process internals)")
 	flag.Parse()
 
 	cfg := server.Config{
@@ -87,7 +93,7 @@ func main() {
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	if err := run(ctx, *addr, cfg, nil); err != nil {
+	if err := run(ctx, *addr, cfg, *pprofOn, nil); err != nil {
 		fmt.Fprintln(os.Stderr, "wfserve:", err)
 		os.Exit(1)
 	}
@@ -96,14 +102,26 @@ func main() {
 // run listens on addr and serves until ctx is cancelled (SIGINT/SIGTERM
 // in production), then drains in-flight requests gracefully. When ready
 // is non-nil it receives the bound address once the listener is up.
-func run(ctx context.Context, addr string, cfg server.Config, ready chan<- net.Addr) error {
+// pprofOn opt-in mounts the net/http/pprof handlers under /debug/pprof/.
+func run(ctx context.Context, addr string, cfg server.Config, pprofOn bool, ready chan<- net.Addr) error {
 	srv := server.New(cfg)
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
 	}
+	var handler http.Handler = srv
+	if pprofOn {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		mux.Handle("/", srv)
+		handler = mux
+	}
 	hs := &http.Server{
-		Handler:           srv,
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	errc := make(chan error, 1)

@@ -26,7 +26,7 @@ func TestRunServesAndShutsDown(t *testing.T) {
 			DefaultTimeout: 30 * time.Second,
 			MaxTimeout:     time.Minute,
 			MaxBatch:       16,
-		}, ready)
+		}, false, ready)
 	}()
 
 	var addr net.Addr
@@ -92,7 +92,7 @@ func TestShutdownDuringParetoStream(t *testing.T) {
 			Options: core.Options{MaxExhaustivePipelineProcs: 12},
 			// Fast heartbeats commit the stream before the first point.
 			StreamHeartbeat: 40 * time.Millisecond,
-		}, ready)
+		}, false, ready)
 	}()
 	var addr net.Addr
 	select {
@@ -165,5 +165,57 @@ func TestShutdownDuringParetoStream(t *testing.T) {
 		}
 	case <-time.After(8 * time.Second):
 		t.Fatal("server did not shut down while a stream was open")
+	}
+}
+
+// TestPprofOptIn: the /debug/pprof/ endpoints exist only under -pprof,
+// and the solve API keeps working alongside them.
+func TestPprofOptIn(t *testing.T) {
+	for _, enabled := range []bool{false, true} {
+		ctx, cancel := context.WithCancel(context.Background())
+		ready := make(chan net.Addr, 1)
+		errc := make(chan error, 1)
+		go func() {
+			errc <- run(ctx, "127.0.0.1:0", server.Config{
+				DefaultTimeout: 30 * time.Second,
+			}, enabled, ready)
+		}()
+		var addr net.Addr
+		select {
+		case addr = <-ready:
+		case err := <-errc:
+			t.Fatalf("server exited early: %v", err)
+		case <-time.After(5 * time.Second):
+			t.Fatal("server never became ready")
+		}
+		base := "http://" + addr.String()
+
+		resp, err := http.Get(base + "/debug/pprof/")
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck
+		resp.Body.Close()
+		if enabled && resp.StatusCode != http.StatusOK {
+			t.Errorf("pprof enabled: /debug/pprof/ status = %d, want 200", resp.StatusCode)
+		}
+		if !enabled && resp.StatusCode == http.StatusOK {
+			t.Errorf("pprof disabled: /debug/pprof/ status = %d, want non-200", resp.StatusCode)
+		}
+
+		resp, err = http.Get(base + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("healthz status = %d with pprof=%v", resp.StatusCode, enabled)
+		}
+
+		cancel()
+		if err := <-errc; err != nil {
+			t.Fatalf("run returned %v", err)
+		}
 	}
 }

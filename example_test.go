@@ -176,3 +176,35 @@ func ExampleSolve_anytimeBudget() {
 	// gap is finite and non-negative: true
 	// lower bound positive: true
 }
+
+// ExamplePrepare shows the prepared-solver layer: repeated solves of one
+// NP-hard instance that differ only in the objective's bound share
+// preprocessing, DP scratch and per-bound memos, returning exactly what
+// SolveContext would.
+func ExamplePrepare() {
+	pipe := repliflow.NewPipeline(14, 4, 2, 4)
+	plat := repliflow.NewPlatform(3, 2, 1) // heterogeneous + DP: NP-hard (Theorem 5)
+	pr := repliflow.Problem{
+		Pipeline:          &pipe,
+		Platform:          plat,
+		AllowDataParallel: true,
+	}
+	ps, ok := repliflow.Prepare(pr, repliflow.Options{})
+	if !ok {
+		fmt.Println("no prepared capability for this instance")
+		return
+	}
+	ctx := context.Background()
+	for _, bound := range []float64{3, 6, 9} {
+		sol, err := ps.Solve(ctx, repliflow.LatencyUnderPeriod, bound)
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		fmt.Printf("period <= %g: feasible=%v latency=%g\n", bound, sol.Feasible, sol.Cost.Latency)
+	}
+	// Output:
+	// period <= 3: feasible=false latency=0
+	// period <= 6: feasible=true latency=8
+	// period <= 9: feasible=true latency=8
+}

@@ -1,0 +1,105 @@
+package core
+
+import "context"
+
+// PreparedSolver solves repeated objective/bound variants of one
+// (workflow, platform, model) triple — the shape of every Pareto sweep
+// and bi-criteria probe sequence. Construct with Prepare. Objectives
+// whose dispatch cell advertises the prepared capability run on a shared
+// prepared exhaustive solver (shared platform tables, epoch-reset DP
+// scratch, per-bound memoization); every other objective falls back to
+// SolveContext, so Solve is total over the four objectives either way.
+//
+// Results are byte-identical to SolveContext on the same problem: a
+// caching engine may freely mix prepared and unprepared solves of the
+// same instance.
+//
+// A PreparedSolver is NOT safe for concurrent use — pool instances (one
+// per worker) instead of locking.
+type PreparedSolver struct {
+	base Problem
+	opts Options
+	fns  [4]PreparedSolve // indexed by Objective
+}
+
+// preparableObjectives is every objective a PreparedSolver dispatches.
+var preparableObjectives = [...]Objective{MinPeriod, MinLatency, LatencyUnderPeriod, PeriodUnderLatency}
+
+// Prepare returns a prepared solver for the instance under opts, or
+// (nil, false) when preparation does not apply: the instance is invalid,
+// a positive AnytimeBudget routes solves to the portfolio (whose results
+// are time-dependent, so sharing state across solves would change them),
+// or no dispatch cell of the instance advertises the prepared capability
+// (polynomial cells gain nothing from preparation; oversized NP-hard
+// instances solve heuristically). The Objective and Bound of pr are
+// ignored — Solve supplies them per call.
+func Prepare(pr Problem, opts Options) (*PreparedSolver, bool) {
+	opts = opts.Normalized()
+	if opts.AnytimeBudget > 0 {
+		return nil, false
+	}
+	sub := pr
+	sub.Objective = MinPeriod
+	sub.Bound = 0
+	if err := sub.Validate(); err != nil {
+		return nil, false
+	}
+	ps := &PreparedSolver{base: sub, opts: opts}
+	// All hard cells of one graph kind register the same Prepare
+	// implementation, so the first successful preparation is shared by
+	// every objective whose cell has the capability.
+	var shared PreparedSolve
+	n := 0
+	for _, obj := range preparableObjectives {
+		sub.Objective = obj
+		e, ok := registry[CellKeyOf(sub)]
+		if !ok || e.Prepare == nil {
+			continue
+		}
+		if shared == nil {
+			if shared = e.Prepare(sub, opts); shared == nil {
+				return nil, false // outside the exhaustive limits
+			}
+		}
+		ps.fns[obj] = shared
+		n++
+	}
+	if n == 0 {
+		return nil, false
+	}
+	return ps, true
+}
+
+// Solve solves the prepared instance under the given objective and bound
+// (bound is ignored by unbounded objectives), byte-identical to
+// SolveContext on the same problem — including validation: an invalid
+// bound fails with ErrKindInvalidInstance on either path.
+func (ps *PreparedSolver) Solve(ctx context.Context, obj Objective, bound float64) (Solution, error) {
+	pr := ps.base
+	pr.Objective = obj
+	pr.Bound = bound
+	if int(obj) >= 0 && int(obj) < len(ps.fns) {
+		if fn := ps.fns[obj]; fn != nil {
+			// The base instance was validated at Prepare time; only the
+			// per-call fields can introduce invalidity here. Mirror
+			// SolveContext exactly rather than running the fast path on
+			// an instance it would reject.
+			if obj.Bounded() && bound <= 0 {
+				return Solution{}, pr.Validate()
+			}
+			if err := ctx.Err(); err != nil {
+				return Solution{}, err
+			}
+			return fn(ctx, pr)
+		}
+	}
+	return SolveContext(ctx, pr, ps.opts)
+}
+
+// SolveProblem dispatches a fully formed problem through the prepared
+// solver. The problem must be the prepared instance up to Objective and
+// Bound; that invariant is the caller's (the engine checks it when
+// pooling prepared solvers across a batch).
+func (ps *PreparedSolver) SolveProblem(ctx context.Context, pr Problem) (Solution, error) {
+	return ps.Solve(ctx, pr.Objective, pr.Bound)
+}

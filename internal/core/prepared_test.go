@@ -1,0 +1,144 @@
+package core
+
+import (
+	"context"
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+
+	"repliflow/internal/platform"
+	"repliflow/internal/workflow"
+)
+
+// randomHardishProblem returns a random instance of any graph kind; about
+// half the draws land on NP-hard cells with the prepared capability, the
+// rest exercise the polynomial fallback inside PreparedSolver.Solve.
+func randomHardishProblem(rng *rand.Rand) Problem {
+	pr := Problem{AllowDataParallel: rng.Intn(2) == 0}
+	procs := 1 + rng.Intn(4)
+	if rng.Intn(3) == 0 {
+		pr.Platform = platform.Homogeneous(procs, float64(1+rng.Intn(3)))
+	} else {
+		pr.Platform = platform.Random(rng, procs, 4)
+	}
+	switch rng.Intn(3) {
+	case 0:
+		g := workflow.RandomPipeline(rng, 1+rng.Intn(5), 9)
+		pr.Pipeline = &g
+	case 1:
+		g := workflow.RandomFork(rng, 1+rng.Intn(3), 9)
+		pr.Fork = &g
+	default:
+		g := workflow.RandomForkJoin(rng, 1+rng.Intn(2), 9)
+		pr.ForkJoin = &g
+	}
+	return pr
+}
+
+// TestPreparedSolverMatchesSolveContext is the core-level byte-identity
+// corpus: for every objective (bounded and unbounded), a prepared solver
+// answering a shuffled sequence of solves must return exactly what
+// SolveContext returns on the same problem.
+func TestPreparedSolverMatchesSolveContext(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	ctx := context.Background()
+	prepared := 0
+	for trial := 0; trial < 60; trial++ {
+		pr := randomHardishProblem(rng)
+		ps, ok := Prepare(pr, Options{})
+		if !ok {
+			// No prepared capability for this instance (all four cells
+			// polynomial): nothing to compare.
+			continue
+		}
+		prepared++
+		type solveCase struct {
+			obj   Objective
+			bound float64
+		}
+		cases := []solveCase{
+			{MinPeriod, 0},
+			{MinLatency, 0},
+			{LatencyUnderPeriod, float64(1+rng.Intn(6)) / 2},
+			{PeriodUnderLatency, float64(1+rng.Intn(8)) / 2},
+		}
+		rng.Shuffle(len(cases), func(i, j int) { cases[i], cases[j] = cases[j], cases[i] })
+		// Solve each case twice: the repeat hits the prepared memos.
+		cases = append(cases, cases...)
+		for _, c := range cases {
+			got, err := ps.Solve(ctx, c.obj, c.bound)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sub := pr
+			sub.Objective = c.obj
+			sub.Bound = c.bound
+			want, err := SolveContext(ctx, sub, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("trial %d %v bound=%g: prepared solve diverges\n got %+v\nwant %+v",
+					trial, c.obj, c.bound, got, want)
+			}
+		}
+	}
+	if prepared < 10 {
+		t.Fatalf("only %d/60 trials exercised the prepared path; corpus too weak", prepared)
+	}
+}
+
+// TestPrepareRefusals: preparation must not engage where its contract
+// cannot hold.
+func TestPrepareRefusals(t *testing.T) {
+	rng := rand.New(rand.NewSource(67))
+	pipe := workflow.RandomPipeline(rng, 4, 9)
+	hard := Problem{Pipeline: &pipe, Platform: platform.Random(rng, 3, 4), AllowDataParallel: true}
+
+	if _, ok := Prepare(hard, Options{AnytimeBudget: time.Millisecond}); ok {
+		t.Error("Prepare accepted an anytime budget; portfolio results are time-dependent")
+	}
+	if _, ok := Prepare(Problem{}, Options{}); ok {
+		t.Error("Prepare accepted an invalid problem")
+	}
+	big := hard
+	big.Platform = platform.Random(rng, 12, 4)
+	if _, ok := Prepare(big, Options{}); ok {
+		t.Error("Prepare accepted an instance beyond the exhaustive limits (heuristic path)")
+	}
+	poly := hard
+	poly.AllowDataParallel = false
+	poly.Platform = platform.Homogeneous(3, 2)
+	if _, ok := Prepare(poly, Options{}); ok {
+		t.Error("Prepare accepted an all-polynomial instance; there is nothing to share")
+	}
+	if _, ok := Prepare(hard, Options{}); !ok {
+		t.Error("Prepare refused a small NP-hard instance it should accept")
+	}
+}
+
+// TestPreparedSolverRejectsInvalidBound: the prepared fast path must
+// fail on a non-positive bound exactly like SolveContext — same error
+// kind, never a silent "infeasible".
+func TestPreparedSolverRejectsInvalidBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	pipe := workflow.RandomPipeline(rng, 4, 9)
+	pr := Problem{Pipeline: &pipe, Platform: platform.Random(rng, 3, 4), AllowDataParallel: true}
+	ps, ok := Prepare(pr, Options{})
+	if !ok {
+		t.Fatal("Prepare refused a small NP-hard instance")
+	}
+	for _, bound := range []float64{0, -1} {
+		_, err := ps.Solve(context.Background(), LatencyUnderPeriod, bound)
+		if ErrKindOf(err) != ErrKindInvalidInstance {
+			t.Errorf("bound %g: prepared Solve err = %v, want ErrKindInvalidInstance", bound, err)
+		}
+		sub := pr
+		sub.Objective = LatencyUnderPeriod
+		sub.Bound = bound
+		if _, werr := SolveContext(context.Background(), sub, Options{}); ErrKindOf(werr) != ErrKindOf(err) {
+			t.Errorf("bound %g: prepared err kind %v != SolveContext err kind %v", bound, ErrKindOf(err), ErrKindOf(werr))
+		}
+	}
+}

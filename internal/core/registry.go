@@ -40,6 +40,14 @@ func (k CellKey) String() string {
 // once the context is cancelled.
 type SolverFunc func(ctx context.Context, pr Problem, opts Options) (Solution, error)
 
+// PreparedSolve solves objective/bound variants of one prepared
+// (workflow, platform, model) triple. The passed problem must differ from
+// the prepared one only in Objective and Bound, and the result must be
+// byte-identical to the owning entry's Solve on the same problem — the
+// whole point is that batch engines may substitute it for Solve freely.
+// A PreparedSolve is not safe for concurrent use; callers pool instances.
+type PreparedSolve func(ctx context.Context, pr Problem) (Solution, error)
+
 // SolverEntry is one registered solver: the algorithm family used for
 // in-limit instances, whether that family is exact, the paper result
 // backing the cell, and the solver itself. On NP-hard cells Method and
@@ -51,6 +59,15 @@ type SolverEntry struct {
 	Exact  bool
 	Source string
 	Solve  SolverFunc
+	// Prepare, when non-nil, returns a prepared variant of Solve for
+	// repeated solves of one instance that differ only in Objective and
+	// Bound (Pareto sweeps, bi-criteria probes): shared preprocessing,
+	// reusable scratch memory and per-bound memoization. It returns nil
+	// when preparation does not apply under opts (e.g. the instance
+	// exceeds the exhaustive limits, so solves take the heuristic path).
+	// All cells of one graph kind share a single Prepare implementation,
+	// so one prepared instance serves every objective of the family.
+	Prepare func(pr Problem, opts Options) PreparedSolve
 }
 
 // registry maps every Table 1 dispatch cell to its solver. It is populated

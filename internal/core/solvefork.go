@@ -58,8 +58,10 @@ func init() {
 	objs := []Objective{MinPeriod, MinLatency, LatencyUnderPeriod, PeriodUnderLatency}
 	for _, kind := range []workflow.Kind{workflow.KindFork, workflow.KindForkJoin} {
 		periodSolver, t11, t14, hard := solveForkHomPeriod, solveForkTheorem11, solveForkTheorem14, solveForkHard
+		prepare := prepareForkHard
 		if kind == workflow.KindForkJoin {
 			periodSolver, t11, t14, hard = solveForkJoinHomPeriod, solveForkJoinTheorem11, solveForkJoinTheorem14, solveForkJoinHard
+			prepare = prepareForkJoinHard
 		}
 
 		// Homogeneous platforms: period is straightforward (Theorem 10);
@@ -68,15 +70,15 @@ func init() {
 		for _, gh := range bools {
 			for _, dp := range bools {
 				register(CellKey{kind, true, gh, dp, MinPeriod},
-					SolverEntry{MethodClosedForm, true, "Theorem 10", periodSolver})
+					SolverEntry{MethodClosedForm, true, "Theorem 10", periodSolver, nil})
 			}
 		}
 		for _, dp := range bools {
 			for _, obj := range objs[1:] {
 				register(CellKey{kind, true, true, dp, obj},
-					SolverEntry{MethodDP, true, "Theorem 11", t11})
+					SolverEntry{MethodDP, true, "Theorem 11", t11, nil})
 				register(CellKey{kind, true, false, dp, obj},
-					SolverEntry{MethodExhaustive, true, "Theorem 12", hard})
+					SolverEntry{MethodExhaustive, true, "Theorem 12", hard, prepare})
 			}
 		}
 
@@ -86,16 +88,16 @@ func init() {
 		// (Theorems 12/15).
 		for _, obj := range objs {
 			register(CellKey{kind, false, true, false, obj},
-				SolverEntry{MethodBinarySearchDP, true, "Theorem 14", t14})
+				SolverEntry{MethodBinarySearchDP, true, "Theorem 14", t14, nil})
 			source := "Theorems 12/15"
 			if obj == MinPeriod {
 				source = "Theorem 15"
 			}
 			register(CellKey{kind, false, false, false, obj},
-				SolverEntry{MethodExhaustive, true, source, hard})
+				SolverEntry{MethodExhaustive, true, source, hard, prepare})
 			for _, gh := range bools {
 				register(CellKey{kind, false, gh, true, obj},
-					SolverEntry{MethodExhaustive, true, "Theorem 13", hard})
+					SolverEntry{MethodExhaustive, true, "Theorem 13", hard, prepare})
 			}
 		}
 	}
@@ -403,4 +405,75 @@ func forkJoinHeuristicCandidates(pr Problem) ([]mapping.ForkJoinMapping, []mappi
 		add(m)
 	}
 	return maps, costs
+}
+
+// preparedForkDispatch is exhaustiveFork on a shared prepared solver.
+func preparedForkDispatch(ctx context.Context, fp *exhaustive.ForkPrepared, pr Problem) (exhaustive.ForkResult, bool, error) {
+	switch pr.Objective {
+	case MinPeriod:
+		return fp.Period(ctx)
+	case MinLatency:
+		return fp.Latency(ctx)
+	case LatencyUnderPeriod:
+		return fp.LatencyUnderPeriod(ctx, pr.Bound)
+	default:
+		return fp.PeriodUnderLatency(ctx, pr.Bound)
+	}
+}
+
+// prepareForkHard is the registry Prepare capability of the NP-hard fork
+// cells: within the exhaustive limits it shares one
+// exhaustive.ForkPrepared — enumeration scratch, anytime bounds,
+// per-bound memo — across every solve of the family, byte-identical to
+// solveForkHard. Outside the limits it returns nil.
+func prepareForkHard(pr Problem, opts Options) PreparedSolve {
+	if pr.Fork.Leaves()+1 > opts.MaxExhaustiveForkStages || pr.Platform.Processors() > opts.MaxExhaustiveForkProcs {
+		return nil
+	}
+	fp := exhaustive.NewForkPrepared(*pr.Fork, pr.Platform, pr.AllowDataParallel)
+	return func(ctx context.Context, pr Problem) (Solution, error) {
+		res, ok, err := preparedForkDispatch(ctx, fp, pr)
+		if err != nil {
+			return Solution{}, err
+		}
+		cl := classificationOf(pr)
+		if !ok {
+			return infeasible(MethodExhaustive, true, cl), nil
+		}
+		return forkSolution(res.Mapping, res.Cost, MethodExhaustive, true, cl), nil
+	}
+}
+
+// preparedForkJoinDispatch is exhaustiveForkJoin on a shared prepared
+// solver.
+func preparedForkJoinDispatch(ctx context.Context, fp *exhaustive.ForkJoinPrepared, pr Problem) (exhaustive.ForkJoinResult, bool, error) {
+	switch pr.Objective {
+	case MinPeriod:
+		return fp.Period(ctx)
+	case MinLatency:
+		return fp.Latency(ctx)
+	case LatencyUnderPeriod:
+		return fp.LatencyUnderPeriod(ctx, pr.Bound)
+	default:
+		return fp.PeriodUnderLatency(ctx, pr.Bound)
+	}
+}
+
+// prepareForkJoinHard is prepareForkHard for fork-join graphs.
+func prepareForkJoinHard(pr Problem, opts Options) PreparedSolve {
+	if pr.ForkJoin.Leaves()+2 > opts.MaxExhaustiveForkStages || pr.Platform.Processors() > opts.MaxExhaustiveForkProcs {
+		return nil
+	}
+	fp := exhaustive.NewForkJoinPrepared(*pr.ForkJoin, pr.Platform, pr.AllowDataParallel)
+	return func(ctx context.Context, pr Problem) (Solution, error) {
+		res, ok, err := preparedForkJoinDispatch(ctx, fp, pr)
+		if err != nil {
+			return Solution{}, err
+		}
+		cl := classificationOf(pr)
+		if !ok {
+			return infeasible(MethodExhaustive, true, cl), nil
+		}
+		return forkJoinSolution(res.Mapping, res.Cost, MethodExhaustive, true, cl), nil
+	}
 }

@@ -37,20 +37,20 @@ func init() {
 	for _, gh := range bools {
 		for _, dp := range bools {
 			register(CellKey{kind, true, gh, dp, MinPeriod},
-				SolverEntry{MethodClosedForm, true, "Theorem 1", solvePipeHomPeriod})
+				SolverEntry{MethodClosedForm, true, "Theorem 1", solvePipeHomPeriod, nil})
 		}
 		register(CellKey{kind, true, gh, false, MinLatency},
-			SolverEntry{MethodClosedForm, true, "Theorem 2", solvePipeHomLatencyNoDP})
+			SolverEntry{MethodClosedForm, true, "Theorem 2", solvePipeHomLatencyNoDP, nil})
 		register(CellKey{kind, true, gh, false, LatencyUnderPeriod},
-			SolverEntry{MethodClosedForm, true, "Corollary 1", solvePipeHomBiCriteriaNoDP})
+			SolverEntry{MethodClosedForm, true, "Corollary 1", solvePipeHomBiCriteriaNoDP, nil})
 		register(CellKey{kind, true, gh, false, PeriodUnderLatency},
-			SolverEntry{MethodClosedForm, true, "Corollary 1", solvePipeHomBiCriteriaNoDP})
+			SolverEntry{MethodClosedForm, true, "Corollary 1", solvePipeHomBiCriteriaNoDP, nil})
 		register(CellKey{kind, true, gh, true, MinLatency},
-			SolverEntry{MethodDP, true, "Theorem 3", solvePipeHomLatencyDP})
+			SolverEntry{MethodDP, true, "Theorem 3", solvePipeHomLatencyDP, nil})
 		register(CellKey{kind, true, gh, true, LatencyUnderPeriod},
-			SolverEntry{MethodDP, true, "Theorem 4", solvePipeHomLatencyUnderPeriodDP})
+			SolverEntry{MethodDP, true, "Theorem 4", solvePipeHomLatencyUnderPeriodDP, nil})
 		register(CellKey{kind, true, gh, true, PeriodUnderLatency},
-			SolverEntry{MethodDP, true, "Theorem 4", solvePipeHomPeriodUnderLatencyDP})
+			SolverEntry{MethodDP, true, "Theorem 4", solvePipeHomPeriodUnderLatencyDP, nil})
 	}
 
 	// Heterogeneous platforms without data-parallelism: latency is always
@@ -59,17 +59,17 @@ func init() {
 	// (Theorem 9).
 	for _, gh := range bools {
 		register(CellKey{kind, false, gh, false, MinLatency},
-			SolverEntry{MethodClosedForm, true, "Theorem 6", solvePipeHetLatencyNoDP})
+			SolverEntry{MethodClosedForm, true, "Theorem 6", solvePipeHetLatencyNoDP, nil})
 	}
 	register(CellKey{kind, false, true, false, MinPeriod},
-		SolverEntry{MethodBinarySearchDP, true, "Theorem 7", solvePipeHetHomPeriodNoDP})
+		SolverEntry{MethodBinarySearchDP, true, "Theorem 7", solvePipeHetHomPeriodNoDP, nil})
 	register(CellKey{kind, false, true, false, LatencyUnderPeriod},
-		SolverEntry{MethodBinarySearchDP, true, "Theorem 8", solvePipeHetHomLatencyUnderPeriodNoDP})
+		SolverEntry{MethodBinarySearchDP, true, "Theorem 8", solvePipeHetHomLatencyUnderPeriodNoDP, nil})
 	register(CellKey{kind, false, true, false, PeriodUnderLatency},
-		SolverEntry{MethodBinarySearchDP, true, "Theorem 8", solvePipeHetHomPeriodUnderLatencyNoDP})
+		SolverEntry{MethodBinarySearchDP, true, "Theorem 8", solvePipeHetHomPeriodUnderLatencyNoDP, nil})
 	for _, obj := range []Objective{MinPeriod, LatencyUnderPeriod, PeriodUnderLatency} {
 		register(CellKey{kind, false, false, false, obj},
-			SolverEntry{MethodExhaustive, true, "Theorem 9", solvePipelineHard})
+			SolverEntry{MethodExhaustive, true, "Theorem 9", solvePipelineHard, preparePipelineHard})
 	}
 
 	// Data-parallelism on heterogeneous platforms is NP-hard across the
@@ -78,7 +78,7 @@ func init() {
 	for _, gh := range bools {
 		for _, obj := range []Objective{MinPeriod, MinLatency, LatencyUnderPeriod, PeriodUnderLatency} {
 			register(CellKey{kind, false, gh, true, obj},
-				SolverEntry{MethodExhaustive, true, "Theorem 5", solvePipelineHard})
+				SolverEntry{MethodExhaustive, true, "Theorem 5", solvePipelineHard, preparePipelineHard})
 		}
 	}
 }
@@ -236,6 +236,45 @@ func exhaustivePipeline(ctx context.Context, pr Problem) (exhaustive.PipelineRes
 		return exhaustive.PipelineLatencyUnderPeriodCtx(ctx, p, pl, dp, pr.Bound)
 	default:
 		return exhaustive.PipelinePeriodUnderLatencyCtx(ctx, p, pl, dp, pr.Bound)
+	}
+}
+
+// preparedPipelineDispatch is exhaustivePipeline on a shared prepared
+// solver: same dispatch, same results, none of the per-solve setup.
+func preparedPipelineDispatch(ctx context.Context, pp *exhaustive.PipelinePrepared, pr Problem) (exhaustive.PipelineResult, bool, error) {
+	switch pr.Objective {
+	case MinPeriod:
+		return pp.Period(ctx)
+	case MinLatency:
+		return pp.Latency(ctx)
+	case LatencyUnderPeriod:
+		return pp.LatencyUnderPeriod(ctx, pr.Bound)
+	default:
+		return pp.PeriodUnderLatency(ctx, pr.Bound)
+	}
+}
+
+// preparePipelineHard is the registry Prepare capability of the NP-hard
+// pipeline cells: within the exhaustive limits it shares one
+// exhaustive.PipelinePrepared — platform tables, epoch-reset DP arrays,
+// candidate periods, per-bound memo — across every solve of the family,
+// byte-identical to solvePipelineHard. Outside the limits it returns nil
+// (the heuristic path has no per-solve setup worth sharing).
+func preparePipelineHard(pr Problem, opts Options) PreparedSolve {
+	if pr.Platform.Processors() > opts.MaxExhaustivePipelineProcs {
+		return nil
+	}
+	pp := exhaustive.NewPipelinePrepared(*pr.Pipeline, pr.Platform, pr.AllowDataParallel)
+	return func(ctx context.Context, pr Problem) (Solution, error) {
+		res, ok, err := preparedPipelineDispatch(ctx, pp, pr)
+		if err != nil {
+			return Solution{}, err
+		}
+		cl := classificationOf(pr)
+		if !ok {
+			return infeasible(MethodExhaustive, true, cl), nil
+		}
+		return pipeSolution(res.Mapping, res.Cost, MethodExhaustive, true, cl), nil
 	}
 }
 

@@ -1,0 +1,127 @@
+package engine
+
+import (
+	"context"
+	"testing"
+
+	"repliflow/internal/core"
+	"repliflow/internal/platform"
+	"repliflow/internal/workflow"
+)
+
+// TestFingerprintAllocs pins the binary fingerprint to its allocation
+// budget: the buffer and its string conversion. The textual rendering it
+// replaced cost one allocation per float; a regression here silently
+// taxes every cached solve.
+func TestFingerprintAllocs(t *testing.T) {
+	pipe := workflow.NewPipeline(14, 4, 2, 4, 7, 5, 3, 9)
+	pr := core.Problem{
+		Pipeline:          &pipe,
+		Platform:          platform.New(5, 4, 3, 3, 2, 2, 1, 1),
+		AllowDataParallel: true,
+		Objective:         core.LatencyUnderPeriod,
+		Bound:             2.5,
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		_ = Fingerprint(pr, core.Options{})
+	})
+	if allocs > 2 {
+		t.Errorf("Fingerprint allocates %.0f objects/op, want <= 2 (buffer + string)", allocs)
+	}
+}
+
+// TestCachedSolveAllocs pins the warm-cache Solve path: fingerprint,
+// cache lookup and the defensive solution clone. This is the per-request
+// cost of every cache hit the server takes.
+func TestCachedSolveAllocs(t *testing.T) {
+	pipe := workflow.NewPipeline(14, 4, 2, 4)
+	pr := core.Problem{
+		Pipeline:          &pipe,
+		Platform:          platform.New(2, 2, 1, 1),
+		AllowDataParallel: true,
+		Objective:         core.MinLatency,
+	}
+	e := New(2)
+	ctx := context.Background()
+	if _, err := e.Solve(ctx, pr, core.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, err := e.Solve(ctx, pr, core.Options{}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// Fingerprint (2) + cloned mapping struct + cloned interval slice,
+	// with one spare for runtime jitter.
+	if allocs > 5 {
+		t.Errorf("cached Solve allocates %.0f objects/op, want <= 5", allocs)
+	}
+	if hits, _ := e.CacheStats(); hits == 0 {
+		t.Fatal("solves did not hit the cache; the allocation bound measured the wrong path")
+	}
+}
+
+// TestBatchPoolEngagement: the batch-wide prepared pool must engage
+// exactly on batches that vary one instance in Objective/Bound only.
+func TestBatchPoolEngagement(t *testing.T) {
+	pipe := workflow.NewPipeline(14, 4, 2, 4)
+	pl := platform.New(3, 2, 1)
+	base := core.Problem{Pipeline: &pipe, Platform: pl, AllowDataParallel: true, Objective: core.MinPeriod}
+	sweepish := []core.Problem{base, base, base}
+	sweepish[1].Objective = core.LatencyUnderPeriod
+	sweepish[1].Bound = 2
+	sweepish[2].Objective = core.PeriodUnderLatency
+	sweepish[2].Bound = 9
+	if batchPool(sweepish, core.Options{}) == nil {
+		t.Error("no pool for a sweep-shaped batch of one NP-hard instance")
+	}
+
+	other := base
+	pipe2 := workflow.NewPipeline(1, 2, 3)
+	other.Pipeline = &pipe2
+	if batchPool([]core.Problem{base, other}, core.Options{}) != nil {
+		t.Error("pool engaged across distinct instances")
+	}
+	if batchPool(sweepish, core.Options{AnytimeBudget: 1}) != nil {
+		t.Error("pool engaged under an anytime budget")
+	}
+	if batchPool(sweepish[:1], core.Options{}) != nil {
+		t.Error("pool engaged for a single-solve batch")
+	}
+
+	// And the pooled batch must still return exactly what the plain path
+	// returns.
+	e := New(2)
+	ctx := context.Background()
+	pooled, err := e.SolveBatch(ctx, sweepish, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, pr := range sweepish {
+		want, err := core.SolveContext(ctx, pr, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !equalSolutions(pooled[i], want) {
+			t.Errorf("pooled batch solution %d diverges from SolveContext", i)
+		}
+	}
+}
+
+// equalSolutions compares solutions by value (mappings included).
+func equalSolutions(a, b core.Solution) bool {
+	if a.Cost != b.Cost || a.Method != b.Method || a.Exact != b.Exact || a.Feasible != b.Feasible {
+		return false
+	}
+	switch {
+	case a.PipelineMapping != nil && b.PipelineMapping != nil:
+		return a.PipelineMapping.String() == b.PipelineMapping.String()
+	case a.ForkMapping != nil && b.ForkMapping != nil:
+		return a.ForkMapping.String() == b.ForkMapping.String()
+	case a.ForkJoinMapping != nil && b.ForkJoinMapping != nil:
+		return a.ForkJoinMapping.String() == b.ForkJoinMapping.String()
+	}
+	return a.PipelineMapping == nil && b.PipelineMapping == nil &&
+		a.ForkMapping == nil && b.ForkMapping == nil &&
+		a.ForkJoinMapping == nil && b.ForkJoinMapping == nil
+}

@@ -3,7 +3,6 @@ package engine
 import (
 	"context"
 	"math/rand"
-	"strings"
 	"testing"
 	"time"
 
@@ -38,7 +37,7 @@ func TestFingerprintKeyedOnBudget(t *testing.T) {
 	if tight != again {
 		t.Fatal("equal budgets produced different fingerprints")
 	}
-	if !strings.Contains(tight, "|bud:") {
+	if unbudgeted := Fingerprint(pr, core.Options{}); unbudgeted == tight {
 		t.Fatalf("fingerprint missing the budget component: %q", tight)
 	}
 }

@@ -134,6 +134,10 @@ func (e *Engine) Reset() {
 	e.mu.Unlock()
 }
 
+// coreSolveFunc is the signature of core.SolveContext; prepared-solver
+// pools substitute byte-identical implementations on the cache-miss path.
+type coreSolveFunc func(ctx context.Context, pr core.Problem, opts core.Options) (core.Solution, error)
+
 // Solve solves one problem through the cache: a repeated instance returns
 // the memoized solution without re-solving, and concurrent solves of the
 // same instance share one computation (single flight). A failed flight is
@@ -141,6 +145,15 @@ func (e *Engine) Reset() {
 // context is still live — they retry the solve themselves, so one
 // caller's cancellation cannot spuriously abort an unrelated caller.
 func (e *Engine) Solve(ctx context.Context, pr core.Problem, opts core.Options) (core.Solution, error) {
+	return e.solveVia(ctx, pr, opts, nil)
+}
+
+// solveVia is Solve with an optional solver override for the cache-miss
+// path. via must be byte-identical to core.SolveContext on the problems it
+// receives (the prepared-solver contract), so cached solutions stay
+// indistinguishable regardless of which path computed them; nil selects
+// core.SolveContext.
+func (e *Engine) solveVia(ctx context.Context, pr core.Problem, opts core.Options, via coreSolveFunc) (core.Solution, error) {
 	if err := pr.Validate(); err != nil {
 		return core.Solution{}, err
 	}
@@ -188,7 +201,11 @@ func (e *Engine) Solve(ctx context.Context, pr core.Problem, opts core.Options) 
 			return core.Solution{}, en.err
 		}
 		e.misses.Add(1)
-		en.sol, en.err = core.SolveContext(ctx, pr, opts)
+		if via != nil {
+			en.sol, en.err = via(ctx, pr, opts)
+		} else {
+			en.sol, en.err = core.SolveContext(ctx, pr, opts)
+		}
 		// An anytime incumbent returned while this caller's context is
 		// dead was truncated by the deadline, not by its budget (a
 		// budget expiry never cancels ctx): flag it before releasing
@@ -348,6 +365,74 @@ func (e *Engine) planBatchBudget(problems []core.Problem, opts core.Options) cor
 	return splitBudget(opts, n, e.workers)
 }
 
+// preparedPool hands out core.PreparedSolver instances, one per worker at
+// a time (a prepared solver is single-threaded scratch; sync.Pool keeps
+// reuse affine to workers without locking shared state). All pooled
+// solvers are prepared for the same base instance; the pool's solve is a
+// coreSolveFunc usable wherever core.SolveContext is — byte-identical
+// results are the prepared contract.
+type preparedPool struct {
+	pool sync.Pool
+}
+
+// newPreparedPool returns a pool for the instance, or nil when the
+// prepared capability does not apply (polynomial cell, oversized
+// instance, anytime budget).
+func newPreparedPool(pr core.Problem, opts core.Options) *preparedPool {
+	first, ok := core.Prepare(pr, opts)
+	if !ok {
+		return nil
+	}
+	p := &preparedPool{}
+	p.pool.New = func() any {
+		ps, ok := core.Prepare(pr, opts)
+		if !ok {
+			return (*core.PreparedSolver)(nil) // unreachable: first Prepare succeeded
+		}
+		return ps
+	}
+	p.pool.Put(first)
+	return p
+}
+
+// solve dispatches one objective/bound variant through a pooled prepared
+// solver.
+func (p *preparedPool) solve(ctx context.Context, pr core.Problem, opts core.Options) (core.Solution, error) {
+	ps := p.pool.Get().(*core.PreparedSolver)
+	if ps == nil {
+		return core.SolveContext(ctx, pr, opts)
+	}
+	defer p.pool.Put(ps)
+	return ps.SolveProblem(ctx, pr)
+}
+
+// sameSweepBase reports whether two problems differ at most in Objective
+// and Bound — the precondition for solving both on one prepared solver.
+// Graphs and the platform speed vector are compared by identity (O(1)),
+// which is exactly how sweeps and batch expansions build their
+// subproblems; value-equal copies just miss the optimization.
+func sameSweepBase(a, b core.Problem) bool {
+	return a.Pipeline == b.Pipeline && a.Fork == b.Fork && a.ForkJoin == b.ForkJoin &&
+		a.AllowDataParallel == b.AllowDataParallel &&
+		len(a.Platform.Speeds) == len(b.Platform.Speeds) &&
+		(len(a.Platform.Speeds) == 0 || &a.Platform.Speeds[0] == &b.Platform.Speeds[0])
+}
+
+// batchPool returns a prepared pool when every problem of the batch is an
+// objective/bound variant of one instance (the candidate solves of a
+// Pareto sweep), nil otherwise.
+func batchPool(problems []core.Problem, opts core.Options) *preparedPool {
+	if len(problems) < 2 {
+		return nil
+	}
+	for _, pr := range problems[1:] {
+		if !sameSweepBase(problems[0], pr) {
+			return nil
+		}
+	}
+	return newPreparedPool(problems[0], opts)
+}
+
 // dropEntry removes the given entry from the cache iff it is still the
 // one mapped at key (a retry may have installed a fresh flight already).
 func (e *Engine) dropEntry(key string, en *cacheEntry) {
@@ -373,11 +458,27 @@ func (e *Engine) dropEntry(key string, en *cacheEntry) {
 // of the solves that actually consume it — the rounds a warm entry would
 // have occupied are redistributed to the pending solves (planBatchBudget).
 // Each solve is cached under its split per-solve budget.
+//
+// When the whole batch varies one instance only in Objective/Bound (the
+// candidate solves of a Pareto sweep), the cache misses run on pooled
+// prepared solvers — one per worker — sharing preprocessing and scratch
+// across the batch (results identical either way; see core.Prepare).
 func (e *Engine) SolveBatch(ctx context.Context, problems []core.Problem, opts core.Options) ([]core.Solution, error) {
+	return e.solveBatchVia(ctx, problems, opts, nil)
+}
+
+// solveBatchVia is SolveBatch with an optional solver override; when nil,
+// a batch-local prepared pool is used if the batch shape allows one.
+func (e *Engine) solveBatchVia(ctx context.Context, problems []core.Problem, opts core.Options, via coreSolveFunc) ([]core.Solution, error) {
 	if len(problems) == 0 {
 		return nil, ctx.Err()
 	}
 	opts = e.planBatchBudget(problems, opts)
+	if via == nil {
+		if pool := batchPool(problems, opts); pool != nil {
+			via = pool.solve
+		}
+	}
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
@@ -402,7 +503,7 @@ func (e *Engine) SolveBatch(ctx context.Context, problems []core.Problem, opts c
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				sol, err := e.Solve(ctx, problems[i], opts)
+				sol, err := e.solveVia(ctx, problems[i], opts, via)
 				if err != nil {
 					fail(err)
 					return

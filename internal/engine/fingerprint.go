@@ -1,62 +1,58 @@
 package engine
 
 import (
-	"strconv"
-	"strings"
+	"encoding/binary"
+	"math"
 
 	"repliflow/internal/core"
 )
 
 // Fingerprint returns a canonical byte-exact identity of a problem instance
 // under the given options: two problems share a fingerprint iff Solve is
-// guaranteed to return the same solution for both. Floats are rendered in
-// hex notation ('x'), which round-trips every bit of the mantissa, so
-// instances differing by one ULP get distinct keys. Options are normalized
-// first, so the zero Options and an explicit DefaultOptions() collide as
-// they should.
+// guaranteed to return the same solution for both. The key is a compact
+// binary encoding — a graph-kind tag, then length-prefixed raw float64
+// bits (which round-trip every bit of the mantissa, so instances differing
+// by one ULP get distinct keys) and the options varints — built in one
+// pass over a small buffer; the cached-solve hot loop pays one string
+// allocation per lookup instead of the dozens a textual rendering costs.
+// Options are normalized first, so the zero Options and an explicit
+// DefaultOptions() collide as they should.
 func Fingerprint(pr core.Problem, opts core.Options) string {
+	buf := make([]byte, 0, 128)
+	return string(appendFingerprint(buf, pr, opts))
+}
+
+// appendFingerprint appends the canonical encoding of (pr, opts) to b.
+func appendFingerprint(b []byte, pr core.Problem, opts core.Options) []byte {
 	opts = opts.Normalized()
-	var b strings.Builder
-	b.Grow(128)
 	switch {
 	case pr.Pipeline != nil:
-		b.WriteString("P|")
-		writeFloats(&b, pr.Pipeline.Weights)
+		b = append(b, 'P')
+		b = appendFloats(b, pr.Pipeline.Weights)
 	case pr.Fork != nil:
-		b.WriteString("F|")
-		writeFloat(&b, pr.Fork.Root)
-		b.WriteByte('|')
-		writeFloats(&b, pr.Fork.Weights)
+		b = append(b, 'F')
+		b = appendFloat(b, pr.Fork.Root)
+		b = appendFloats(b, pr.Fork.Weights)
 	case pr.ForkJoin != nil:
-		b.WriteString("J|")
-		writeFloat(&b, pr.ForkJoin.Root)
-		b.WriteByte('|')
-		writeFloat(&b, pr.ForkJoin.Join)
-		b.WriteByte('|')
-		writeFloats(&b, pr.ForkJoin.Weights)
+		b = append(b, 'J')
+		b = appendFloat(b, pr.ForkJoin.Root)
+		b = appendFloat(b, pr.ForkJoin.Join)
+		b = appendFloats(b, pr.ForkJoin.Weights)
 	default:
-		b.WriteString("?|")
+		b = append(b, '?')
 	}
-	b.WriteString("|s:")
-	writeFloats(&b, pr.Platform.Speeds)
-	b.WriteString("|dp:")
+	b = appendFloats(b, pr.Platform.Speeds)
+	flags := byte(0)
 	if pr.AllowDataParallel {
-		b.WriteByte('1')
-	} else {
-		b.WriteByte('0')
+		flags = 1
 	}
-	b.WriteString("|o:")
-	b.WriteString(strconv.Itoa(int(pr.Objective)))
+	b = append(b, flags, byte(pr.Objective))
 	if pr.Objective.Bounded() {
-		b.WriteString("|b:")
-		writeFloat(&b, pr.Bound)
+		b = appendFloat(b, pr.Bound)
 	}
-	b.WriteString("|l:")
-	b.WriteString(strconv.Itoa(opts.MaxExhaustivePipelineProcs))
-	b.WriteByte(',')
-	b.WriteString(strconv.Itoa(opts.MaxExhaustiveForkStages))
-	b.WriteByte(',')
-	b.WriteString(strconv.Itoa(opts.MaxExhaustiveForkProcs))
+	b = binary.AppendUvarint(b, uint64(opts.MaxExhaustivePipelineProcs))
+	b = binary.AppendUvarint(b, uint64(opts.MaxExhaustiveForkStages))
+	b = binary.AppendUvarint(b, uint64(opts.MaxExhaustiveForkProcs))
 	// The anytime budget is part of the solution's identity on NP-hard
 	// cells: a tight-budget incumbent must never be served from the
 	// cache to a generous-budget request (and vice versa), so distinct
@@ -69,20 +65,19 @@ func Fingerprint(pr core.Problem, opts core.Options) string {
 	if budget > 0 && core.ClassifyCell(core.CellKeyOf(pr)).Complexity.Polynomial() {
 		budget = 0
 	}
-	b.WriteString("|bud:")
-	b.WriteString(strconv.FormatInt(int64(budget), 10))
-	return b.String()
+	return binary.AppendVarint(b, int64(budget))
 }
 
-func writeFloat(b *strings.Builder, v float64) {
-	b.WriteString(strconv.FormatFloat(v, 'x', -1, 64))
+func appendFloat(b []byte, v float64) []byte {
+	return binary.LittleEndian.AppendUint64(b, math.Float64bits(v))
 }
 
-func writeFloats(b *strings.Builder, vs []float64) {
-	for i, v := range vs {
-		if i > 0 {
-			b.WriteByte(',')
-		}
-		writeFloat(b, v)
+// appendFloats writes a length prefix and the raw bits of each value, so
+// adjacent variable-length fields can never alias each other.
+func appendFloats(b []byte, vs []float64) []byte {
+	b = binary.AppendUvarint(b, uint64(len(vs)))
+	for _, v := range vs {
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(v))
 	}
+	return b
 }

@@ -89,6 +89,14 @@ func (e *Engine) SweepFront(ctx context.Context, pr core.Problem, opts core.Opti
 		state: make([]uint8, len(cands)),
 		acc:   core.NewFrontAccumulator(),
 	}
+	// One prepared pool for the whole sweep (nil when the instance has no
+	// prepared capability): every candidate solve and tightening probe of
+	// the sweep differs only in Objective/Bound, so cache misses share the
+	// pooled solvers' preprocessing, scratch and bound memos across the
+	// entire sweep — not just within one solve round.
+	if pool := newPreparedPool(pr, opts); pool != nil {
+		s.via = pool.solve
+	}
 
 	lup := pr
 	lup.Objective = core.LatencyUnderPeriod
@@ -131,7 +139,8 @@ type sweeper struct {
 	sols  []core.Solution
 	state []uint8
 
-	next     int // first candidate not yet consumed by the emission walk
+	next     int           // first candidate not yet consumed by the emission walk
+	via      coreSolveFunc // prepared-pool solve override (nil = SolveContext)
 	acc      *core.FrontAccumulator
 	explored int
 	emitted  int // points actually delivered to the observer
@@ -147,7 +156,7 @@ func (s *sweeper) solveIdx(ctx context.Context, idxs []int) error {
 		sub.Bound = s.cands[i]
 		probs[j] = sub
 	}
-	res, err := s.e.SolveBatch(ctx, probs, s.opts)
+	res, err := s.e.solveBatchVia(ctx, probs, s.opts, s.via)
 	if err != nil {
 		return err
 	}
@@ -186,7 +195,7 @@ func (s *sweeper) drain(ctx context.Context) error {
 				tight := s.pr
 				tight.Objective = core.PeriodUnderLatency
 				tight.Bound = latency
-				ts, err := s.e.Solve(ctx, tight, s.opts)
+				ts, err := s.e.solveVia(ctx, tight, s.opts, s.via)
 				if err != nil {
 					tightenErr = err
 					return core.Solution{}, false

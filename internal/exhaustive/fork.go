@@ -2,6 +2,7 @@ package exhaustive
 
 import (
 	"context"
+	"math"
 
 	"repliflow/internal/anytime"
 	"repliflow/internal/mapping"
@@ -20,9 +21,10 @@ type ForkResult struct {
 // maxBlocks blocks, via restricted growth strings. Each partition is passed
 // as a slice mapping item -> block index (blocks numbered 0..B-1 in order
 // of first appearance). The callback must not retain the slice; it returns
-// false to abort the enumeration early.
-func partitions(m, maxBlocks int, visit func(assign []int, blocks int) bool) {
-	assign := make([]int, m)
+// false to abort the enumeration early. assign is the scratch slice the
+// enumeration writes into (len >= m).
+func partitions(assign []int, m, maxBlocks int, visit func(assign []int, blocks int) bool) {
+	assign = assign[:m]
 	var rec func(i, used int) bool
 	rec = func(i, used int) bool {
 		if i == m {
@@ -50,42 +52,72 @@ func partitions(m, maxBlocks int, visit func(assign []int, blocks int) bool) {
 	rec(0, 0)
 }
 
-// EnumerateFork invokes visit for every valid fork mapping: every set
-// partition of the stages (root = item 0, leaf i = item i+1), every
-// assignment of disjoint non-empty processor subsets to the blocks, and
-// every legal mode combination. Exhaustive ground truth for small n and p.
-func EnumerateFork(f workflow.Fork, pl platform.Platform, allowDP bool, visit func(mapping.ForkMapping, mapping.Cost)) {
-	enumerateForkCtx(newStepper(context.Background()), f, pl, allowDP, func(m mapping.ForkMapping, c mapping.Cost) bool {
-		visit(m, c)
-		return true
-	})
+// forkEnum is the resettable fork-mapping enumerator: all the scratch a
+// full enumeration needs — the restricted-growth string, the block array
+// and the per-block leaf lists — allocated once and reused across runs, so
+// the per-partition and per-mapping work of the hot scans allocates
+// nothing. The mapping passed to visit aliases that scratch; visitors must
+// deep-copy (copyForkMapping) what they retain.
+type forkEnum struct {
+	f       workflow.Fork
+	pl      platform.Platform
+	allowDP bool
+	info    []maskInfo
+	step    *stepper
+	assign  []int
+	blocks  []mapping.ForkBlock
+	leaves  [][]int
 }
 
-// enumerateForkCtx is EnumerateFork with cancellation checkpoints driven by
-// the stepper; it stops early once the stepper latches an error or visit
-// returns false (the scanners abort once the incumbent reaches the
-// anytime lower bound).
-func enumerateForkCtx(step *stepper, f workflow.Fork, pl platform.Platform, allowDP bool, visit func(mapping.ForkMapping, mapping.Cost) bool) {
+func newForkEnum(f workflow.Fork, pl platform.Platform, allowDP bool) *forkEnum {
 	p := pl.Processors()
-	full := (1 << p) - 1
-	items := f.Leaves() + 1
-	partitions(items, p, func(assign []int, nblocks int) bool {
-		// Build block contents from the partition.
-		blocks := make([]mapping.ForkBlock, nblocks)
+	leaves := make([][]int, p)
+	for i := range leaves {
+		leaves[i] = make([]int, 0, f.Leaves())
+	}
+	return &forkEnum{
+		f: f, pl: pl, allowDP: allowDP,
+		info:   tableFor(pl),
+		step:   newStepper(context.Background()),
+		assign: make([]int, f.Leaves()+1),
+		blocks: make([]mapping.ForkBlock, p),
+		leaves: leaves,
+	}
+}
+
+// run invokes visit for every valid fork mapping, stopping early once the
+// stepper latches a context error or visit returns false.
+func (e *forkEnum) run(ctx context.Context, visit func(mapping.ForkMapping, mapping.Cost) bool) {
+	e.step.reset(ctx)
+	full := (1 << e.pl.Processors()) - 1
+	items := e.f.Leaves() + 1
+	partitions(e.assign, items, e.pl.Processors(), func(assign []int, nblocks int) bool {
+		blocks := e.blocks[:nblocks]
+		for b := range blocks {
+			blocks[b] = mapping.ForkBlock{}
+		}
 		blocks[assign[0]].Root = true
-		for l := 0; l < f.Leaves(); l++ {
+		for l := 0; l < e.f.Leaves(); l++ {
 			b := assign[l+1]
+			if blocks[b].Leaves == nil {
+				blocks[b].Leaves = e.leaves[b][:0]
+			}
 			blocks[b].Leaves = append(blocks[b].Leaves, l)
+		}
+		// Keep any grown backing for the next partition.
+		for b := range blocks {
+			if blocks[b].Leaves != nil {
+				e.leaves[b] = blocks[b].Leaves
+			}
 		}
 		var rec func(b, usedMask int) bool
 		rec = func(b, usedMask int) bool {
-			if !step.ok() {
+			if !e.step.ok() {
 				return false
 			}
 			if b == nblocks {
-				m := mapping.ForkMapping{Blocks: make([]mapping.ForkBlock, nblocks)}
-				copy(m.Blocks, blocks)
-				c, err := mapping.EvalFork(f, pl, m)
+				m := mapping.ForkMapping{Blocks: blocks}
+				c, err := mapping.EvalFork(e.f, e.pl, m)
 				if err != nil {
 					panic("exhaustive: enumerated invalid fork mapping: " + err.Error())
 				}
@@ -93,14 +125,14 @@ func enumerateForkCtx(step *stepper, f workflow.Fork, pl platform.Platform, allo
 			}
 			free := full &^ usedMask
 			for sub := free; sub > 0; sub = (sub - 1) & free {
-				blocks[b].Procs = maskProcs(sub)
+				blocks[b].Procs = e.info[sub].procs
 				blocks[b].Mode = mapping.Replicated
 				if !rec(b+1, usedMask|sub) {
 					return false
 				}
 				// Data-parallel is legal for leaf-only blocks and for the
 				// root alone (Section 3.4).
-				if allowDP && (!blocks[b].Root || len(blocks[b].Leaves) == 0) {
+				if e.allowDP && (!blocks[b].Root || len(blocks[b].Leaves) == 0) {
 					blocks[b].Mode = mapping.DataParallel
 					if !rec(b+1, usedMask|sub) {
 						return false
@@ -115,22 +147,48 @@ func enumerateForkCtx(step *stepper, f workflow.Fork, pl platform.Platform, allo
 	})
 }
 
-// forkScan enumerates all mappings and keeps the best according to accept /
+// copyForkMapping deep-copies the block, leaf and processor slices of a
+// scratch mapping so it can outlive the enumeration. Copying Procs out
+// of the shared platform table happens only here — when a mapping is
+// retained — never inside the enumeration loops, so callers own their
+// mappings without the table ever escaping.
+func copyForkMapping(m mapping.ForkMapping) mapping.ForkMapping {
+	blocks := make([]mapping.ForkBlock, len(m.Blocks))
+	copy(blocks, m.Blocks)
+	for i := range blocks {
+		blocks[i].Leaves = append([]int(nil), blocks[i].Leaves...)
+		blocks[i].Procs = append([]int(nil), blocks[i].Procs...)
+	}
+	return mapping.ForkMapping{Blocks: blocks}
+}
+
+// EnumerateFork invokes visit for every valid fork mapping: every set
+// partition of the stages (root = item 0, leaf i = item i+1), every
+// assignment of disjoint non-empty processor subsets to the blocks, and
+// every legal mode combination. Exhaustive ground truth for small n and p.
+// Each visited mapping is an independent copy the visitor may retain.
+func EnumerateFork(f workflow.Fork, pl platform.Platform, allowDP bool, visit func(mapping.ForkMapping, mapping.Cost)) {
+	newForkEnum(f, pl, allowDP).run(context.Background(), func(m mapping.ForkMapping, c mapping.Cost) bool {
+		visit(copyForkMapping(m), c)
+		return true
+	})
+}
+
+// scan enumerates all mappings and keeps the best according to accept /
 // objective. lb is the anytime lower bound on the objective: once the
 // incumbent reaches it the enumeration aborts — later mappings can at
 // most tie, and ties never replace the incumbent, so the result is
 // byte-identical to the full scan. Pass lb <= 0 to disable pruning.
-func forkScan(ctx context.Context, f workflow.Fork, pl platform.Platform, allowDP bool,
+func (e *forkEnum) scan(ctx context.Context,
 	accept func(mapping.Cost) bool, objective func(mapping.Cost) float64, lb float64) (ForkResult, bool, error) {
 	var best ForkResult
 	found := false
-	step := newStepper(ctx)
-	enumerateForkCtx(step, f, pl, allowDP, func(m mapping.ForkMapping, c mapping.Cost) bool {
+	e.run(ctx, func(m mapping.ForkMapping, c mapping.Cost) bool {
 		if !accept(c) {
 			return true
 		}
 		if !found || numeric.Less(objective(c), objective(best.Cost)) {
-			best = ForkResult{Mapping: m, Cost: c}
+			best = ForkResult{Mapping: copyForkMapping(m), Cost: c}
 			found = true
 			if lb > 0 && numeric.LessEq(objective(best.Cost), lb) {
 				return false
@@ -138,15 +196,143 @@ func forkScan(ctx context.Context, f workflow.Fork, pl platform.Platform, allowD
 		}
 		return true
 	})
-	if step.err != nil {
-		return ForkResult{}, false, step.err
+	if e.step.err != nil {
+		return ForkResult{}, false, e.step.err
 	}
 	return best, found, nil
+}
+
+// forkScan is a one-shot scan on a fresh enumerator (tests compare pruned
+// against unpruned scans through it).
+func forkScan(ctx context.Context, f workflow.Fork, pl platform.Platform, allowDP bool,
+	accept func(mapping.Cost) bool, objective func(mapping.Cost) float64, lb float64) (ForkResult, bool, error) {
+	return newForkEnum(f, pl, allowDP).scan(ctx, accept, objective, lb)
 }
 
 func acceptAll(mapping.Cost) bool    { return true }
 func period(c mapping.Cost) float64  { return c.Period }
 func latency(c mapping.Cost) float64 { return c.Latency }
+
+// forkMemo is one memoized scan result of a prepared fork solver.
+type forkMemo struct {
+	res ForkResult
+	ok  bool
+}
+
+func (m forkMemo) clone() (ForkResult, bool) {
+	res := m.res
+	res.Mapping.Blocks = append([]mapping.ForkBlock(nil), res.Mapping.Blocks...)
+	return res, m.ok
+}
+
+// ForkPrepared solves repeated objective/bound variants of one
+// (fork, platform, model) triple: enumeration scratch is shared across
+// solves, the anytime lower bounds are computed once per objective, and
+// bounded solves are memoized by their bound bits. Results are
+// byte-identical to the one-shot package functions, which wrap a prepared
+// solver used once. Not safe for concurrent use.
+type ForkPrepared struct {
+	f       workflow.Fork
+	pl      platform.Platform
+	allowDP bool
+	enum    *forkEnum
+
+	lbPeriod, lbLatency   float64
+	hasLBp, hasLBl        bool
+	periodM, latencyM     forkMemo
+	hasPeriod, hasLatency bool
+	lup, pul              map[uint64]forkMemo
+}
+
+// NewForkPrepared returns a prepared solver for the triple.
+func NewForkPrepared(f workflow.Fork, pl platform.Platform, allowDP bool) *ForkPrepared {
+	return &ForkPrepared{
+		f: f, pl: pl, allowDP: allowDP,
+		enum: newForkEnum(f, pl, allowDP),
+		lup:  make(map[uint64]forkMemo),
+		pul:  make(map[uint64]forkMemo),
+	}
+}
+
+func (fp *ForkPrepared) periodLB() float64 {
+	if !fp.hasLBp {
+		fp.lbPeriod = anytime.ForkLB(fp.f, fp.pl, anytime.Spec{MinimizePeriod: true, AllowDP: fp.allowDP})
+		fp.hasLBp = true
+	}
+	return fp.lbPeriod
+}
+
+func (fp *ForkPrepared) latencyLB() float64 {
+	if !fp.hasLBl {
+		fp.lbLatency = anytime.ForkLB(fp.f, fp.pl, anytime.Spec{AllowDP: fp.allowDP})
+		fp.hasLBl = true
+	}
+	return fp.lbLatency
+}
+
+// Period solves MinPeriod.
+func (fp *ForkPrepared) Period(ctx context.Context) (ForkResult, bool, error) {
+	if !fp.hasPeriod {
+		res, ok, err := fp.enum.scan(ctx, acceptAll, period, fp.periodLB())
+		if err != nil {
+			return ForkResult{}, false, err
+		}
+		fp.periodM = forkMemo{res: res, ok: ok}
+		fp.hasPeriod = true
+	}
+	res, ok := fp.periodM.clone()
+	return res, ok, nil
+}
+
+// Latency solves MinLatency.
+func (fp *ForkPrepared) Latency(ctx context.Context) (ForkResult, bool, error) {
+	if !fp.hasLatency {
+		res, ok, err := fp.enum.scan(ctx, acceptAll, latency, fp.latencyLB())
+		if err != nil {
+			return ForkResult{}, false, err
+		}
+		fp.latencyM = forkMemo{res: res, ok: ok}
+		fp.hasLatency = true
+	}
+	res, ok := fp.latencyM.clone()
+	return res, ok, nil
+}
+
+// LatencyUnderPeriod solves min-latency under the period bound; repeated
+// bounds (bit-identical floats) are answered from the memo.
+func (fp *ForkPrepared) LatencyUnderPeriod(ctx context.Context, maxPeriod float64) (ForkResult, bool, error) {
+	key := math.Float64bits(maxPeriod)
+	m, hit := fp.lup[key]
+	if !hit {
+		res, ok, err := fp.enum.scan(ctx,
+			func(c mapping.Cost) bool { return numeric.LessEq(c.Period, maxPeriod) }, latency, fp.latencyLB())
+		if err != nil {
+			return ForkResult{}, false, err
+		}
+		m = forkMemo{res: res, ok: ok}
+		fp.lup[key] = m
+	}
+	res, ok := m.clone()
+	return res, ok, nil
+}
+
+// PeriodUnderLatency solves min-period under the latency bound; repeated
+// bounds are answered from the memo.
+func (fp *ForkPrepared) PeriodUnderLatency(ctx context.Context, maxLatency float64) (ForkResult, bool, error) {
+	key := math.Float64bits(maxLatency)
+	m, hit := fp.pul[key]
+	if !hit {
+		res, ok, err := fp.enum.scan(ctx,
+			func(c mapping.Cost) bool { return numeric.LessEq(c.Latency, maxLatency) }, period, fp.periodLB())
+		if err != nil {
+			return ForkResult{}, false, err
+		}
+		m = forkMemo{res: res, ok: ok}
+		fp.pul[key] = m
+	}
+	res, ok := m.clone()
+	return res, ok, nil
+}
 
 // ForkPeriod returns a fork mapping minimizing the period.
 func ForkPeriod(f workflow.Fork, pl platform.Platform, allowDP bool) (ForkResult, bool) {
@@ -156,8 +342,7 @@ func ForkPeriod(f workflow.Fork, pl platform.Platform, allowDP bool) (ForkResult
 
 // ForkPeriodCtx is ForkPeriod with cancellation checkpoints.
 func ForkPeriodCtx(ctx context.Context, f workflow.Fork, pl platform.Platform, allowDP bool) (ForkResult, bool, error) {
-	lb := anytime.ForkLB(f, pl, anytime.Spec{MinimizePeriod: true, AllowDP: allowDP})
-	return forkScan(ctx, f, pl, allowDP, acceptAll, period, lb)
+	return NewForkPrepared(f, pl, allowDP).Period(ctx)
 }
 
 // ForkLatency returns a fork mapping minimizing the latency.
@@ -168,8 +353,7 @@ func ForkLatency(f workflow.Fork, pl platform.Platform, allowDP bool) (ForkResul
 
 // ForkLatencyCtx is ForkLatency with cancellation checkpoints.
 func ForkLatencyCtx(ctx context.Context, f workflow.Fork, pl platform.Platform, allowDP bool) (ForkResult, bool, error) {
-	lb := anytime.ForkLB(f, pl, anytime.Spec{AllowDP: allowDP})
-	return forkScan(ctx, f, pl, allowDP, acceptAll, latency, lb)
+	return NewForkPrepared(f, pl, allowDP).Latency(ctx)
 }
 
 // ForkLatencyUnderPeriod returns a fork mapping minimizing the latency
@@ -182,9 +366,7 @@ func ForkLatencyUnderPeriod(f workflow.Fork, pl platform.Platform, allowDP bool,
 // ForkLatencyUnderPeriodCtx is ForkLatencyUnderPeriod with cancellation
 // checkpoints.
 func ForkLatencyUnderPeriodCtx(ctx context.Context, f workflow.Fork, pl platform.Platform, allowDP bool, maxPeriod float64) (ForkResult, bool, error) {
-	lb := anytime.ForkLB(f, pl, anytime.Spec{AllowDP: allowDP})
-	return forkScan(ctx, f, pl, allowDP,
-		func(c mapping.Cost) bool { return numeric.LessEq(c.Period, maxPeriod) }, latency, lb)
+	return NewForkPrepared(f, pl, allowDP).LatencyUnderPeriod(ctx, maxPeriod)
 }
 
 // ForkPeriodUnderLatency returns a fork mapping minimizing the period among
@@ -197,9 +379,7 @@ func ForkPeriodUnderLatency(f workflow.Fork, pl platform.Platform, allowDP bool,
 // ForkPeriodUnderLatencyCtx is ForkPeriodUnderLatency with cancellation
 // checkpoints.
 func ForkPeriodUnderLatencyCtx(ctx context.Context, f workflow.Fork, pl platform.Platform, allowDP bool, maxLatency float64) (ForkResult, bool, error) {
-	lb := anytime.ForkLB(f, pl, anytime.Spec{MinimizePeriod: true, AllowDP: allowDP})
-	return forkScan(ctx, f, pl, allowDP,
-		func(c mapping.Cost) bool { return numeric.LessEq(c.Latency, maxLatency) }, period, lb)
+	return NewForkPrepared(f, pl, allowDP).PeriodUnderLatency(ctx, maxLatency)
 }
 
 // ForkPareto returns the exact Pareto front of (period, latency) over all

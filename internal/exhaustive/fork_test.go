@@ -15,7 +15,7 @@ func TestPartitionsCount(t *testing.T) {
 	bell := map[int]int{1: 1, 2: 2, 3: 5, 4: 15, 5: 52}
 	for m, want := range bell {
 		got := 0
-		partitions(m, m, func([]int, int) bool { got++; return true })
+		partitions(make([]int, m), m, m, func([]int, int) bool { got++; return true })
 		if got != want {
 			t.Errorf("partitions(%d) = %d, want %d", m, got, want)
 		}
@@ -25,7 +25,7 @@ func TestPartitionsCount(t *testing.T) {
 func TestPartitionsBlockBound(t *testing.T) {
 	// Partitions of 4 items into at most 2 blocks: S(4,1)+S(4,2) = 1+7 = 8.
 	got := 0
-	partitions(4, 2, func(_ []int, blocks int) bool {
+	partitions(make([]int, 4), 4, 2, func(_ []int, blocks int) bool {
 		if blocks > 2 {
 			t.Fatal("block bound exceeded")
 		}

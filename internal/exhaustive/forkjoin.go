@@ -2,6 +2,7 @@ package exhaustive
 
 import (
 	"context"
+	"math"
 
 	"repliflow/internal/anytime"
 	"repliflow/internal/mapping"
@@ -16,40 +17,71 @@ type ForkJoinResult struct {
 	Cost    mapping.Cost
 }
 
-// EnumerateForkJoin invokes visit for every valid fork-join mapping. Items
-// are ordered root, leaves, join; blocks come from set partitions and
-// processor subsets from disjoint bitmask assignments, as for forks.
-func EnumerateForkJoin(fj workflow.ForkJoin, pl platform.Platform, allowDP bool, visit func(mapping.ForkJoinMapping, mapping.Cost)) {
-	enumerateForkJoinCtx(newStepper(context.Background()), fj, pl, allowDP, func(m mapping.ForkJoinMapping, c mapping.Cost) bool {
-		visit(m, c)
-		return true
-	})
+// fjEnum is the resettable fork-join enumerator, sharing scratch across
+// runs exactly like forkEnum. Items are ordered root, leaves, join; blocks
+// come from set partitions and processor subsets from disjoint bitmask
+// assignments. The mapping passed to visit aliases the scratch; visitors
+// deep-copy (copyForkJoinMapping) what they retain.
+type fjEnum struct {
+	fj      workflow.ForkJoin
+	pl      platform.Platform
+	allowDP bool
+	info    []maskInfo
+	step    *stepper
+	assign  []int
+	blocks  []mapping.ForkJoinBlock
+	leaves  [][]int
 }
 
-// enumerateForkJoinCtx is EnumerateForkJoin with cancellation checkpoints
-// driven by the stepper; it stops early once the stepper latches an error
-// or visit returns false.
-func enumerateForkJoinCtx(step *stepper, fj workflow.ForkJoin, pl platform.Platform, allowDP bool, visit func(mapping.ForkJoinMapping, mapping.Cost) bool) {
+func newFJEnum(fj workflow.ForkJoin, pl platform.Platform, allowDP bool) *fjEnum {
 	p := pl.Processors()
-	full := (1 << p) - 1
-	items := fj.Leaves() + 2
-	partitions(items, p, func(assign []int, nblocks int) bool {
-		blocks := make([]mapping.ForkJoinBlock, nblocks)
+	leaves := make([][]int, p)
+	for i := range leaves {
+		leaves[i] = make([]int, 0, fj.Leaves())
+	}
+	return &fjEnum{
+		fj: fj, pl: pl, allowDP: allowDP,
+		info:   tableFor(pl),
+		step:   newStepper(context.Background()),
+		assign: make([]int, fj.Leaves()+2),
+		blocks: make([]mapping.ForkJoinBlock, p),
+		leaves: leaves,
+	}
+}
+
+// run invokes visit for every valid fork-join mapping, stopping early once
+// the stepper latches a context error or visit returns false.
+func (e *fjEnum) run(ctx context.Context, visit func(mapping.ForkJoinMapping, mapping.Cost) bool) {
+	e.step.reset(ctx)
+	full := (1 << e.pl.Processors()) - 1
+	items := e.fj.Leaves() + 2
+	partitions(e.assign, items, e.pl.Processors(), func(assign []int, nblocks int) bool {
+		blocks := e.blocks[:nblocks]
+		for b := range blocks {
+			blocks[b] = mapping.ForkJoinBlock{}
+		}
 		blocks[assign[0]].Root = true
 		blocks[assign[items-1]].Join = true
-		for l := 0; l < fj.Leaves(); l++ {
+		for l := 0; l < e.fj.Leaves(); l++ {
 			b := assign[l+1]
+			if blocks[b].Leaves == nil {
+				blocks[b].Leaves = e.leaves[b][:0]
+			}
 			blocks[b].Leaves = append(blocks[b].Leaves, l)
+		}
+		for b := range blocks {
+			if blocks[b].Leaves != nil {
+				e.leaves[b] = blocks[b].Leaves
+			}
 		}
 		var rec func(b, usedMask int) bool
 		rec = func(b, usedMask int) bool {
-			if !step.ok() {
+			if !e.step.ok() {
 				return false
 			}
 			if b == nblocks {
-				m := mapping.ForkJoinMapping{Blocks: make([]mapping.ForkJoinBlock, nblocks)}
-				copy(m.Blocks, blocks)
-				c, err := mapping.EvalForkJoin(fj, pl, m)
+				m := mapping.ForkJoinMapping{Blocks: blocks}
+				c, err := mapping.EvalForkJoin(e.fj, e.pl, m)
 				if err != nil {
 					panic("exhaustive: enumerated invalid fork-join mapping: " + err.Error())
 				}
@@ -57,7 +89,7 @@ func enumerateForkJoinCtx(step *stepper, fj workflow.ForkJoin, pl platform.Platf
 			}
 			free := full &^ usedMask
 			for sub := free; sub > 0; sub = (sub - 1) & free {
-				blocks[b].Procs = maskProcs(sub)
+				blocks[b].Procs = e.info[sub].procs
 				blocks[b].Mode = mapping.Replicated
 				if !rec(b+1, usedMask|sub) {
 					return false
@@ -65,7 +97,7 @@ func enumerateForkJoinCtx(step *stepper, fj workflow.ForkJoin, pl platform.Platf
 				// Data-parallel requires the block to be leaf-only, or the
 				// root alone, or the join alone.
 				alone := len(blocks[b].Leaves) == 0 && !(blocks[b].Root && blocks[b].Join)
-				if allowDP && ((!blocks[b].Root && !blocks[b].Join) || alone) {
+				if e.allowDP && ((!blocks[b].Root && !blocks[b].Join) || alone) {
 					blocks[b].Mode = mapping.DataParallel
 					if !rec(b+1, usedMask|sub) {
 						return false
@@ -80,21 +112,42 @@ func enumerateForkJoinCtx(step *stepper, fj workflow.ForkJoin, pl platform.Platf
 	})
 }
 
-// forkJoinScan enumerates all mappings keeping the best acceptable one.
-// lb prunes exactly as in forkScan: reaching it aborts the scan without
+// copyForkJoinMapping deep-copies the block, leaf and processor slices
+// of a scratch mapping (Procs are copied out of the shared platform
+// table exactly as in copyForkMapping: on retention, not per visit).
+func copyForkJoinMapping(m mapping.ForkJoinMapping) mapping.ForkJoinMapping {
+	blocks := make([]mapping.ForkJoinBlock, len(m.Blocks))
+	copy(blocks, m.Blocks)
+	for i := range blocks {
+		blocks[i].Leaves = append([]int(nil), blocks[i].Leaves...)
+		blocks[i].Procs = append([]int(nil), blocks[i].Procs...)
+	}
+	return mapping.ForkJoinMapping{Blocks: blocks}
+}
+
+// EnumerateForkJoin invokes visit for every valid fork-join mapping. Each
+// visited mapping is an independent copy the visitor may retain.
+func EnumerateForkJoin(fj workflow.ForkJoin, pl platform.Platform, allowDP bool, visit func(mapping.ForkJoinMapping, mapping.Cost)) {
+	newFJEnum(fj, pl, allowDP).run(context.Background(), func(m mapping.ForkJoinMapping, c mapping.Cost) bool {
+		visit(copyForkJoinMapping(m), c)
+		return true
+	})
+}
+
+// scan enumerates all mappings keeping the best acceptable one. lb prunes
+// exactly as in forkEnum.scan: reaching it aborts the scan without
 // changing the result (ties never replace the incumbent); lb <= 0
 // disables pruning.
-func forkJoinScan(ctx context.Context, fj workflow.ForkJoin, pl platform.Platform, allowDP bool,
+func (e *fjEnum) scan(ctx context.Context,
 	accept func(mapping.Cost) bool, objective func(mapping.Cost) float64, lb float64) (ForkJoinResult, bool, error) {
 	var best ForkJoinResult
 	found := false
-	step := newStepper(ctx)
-	enumerateForkJoinCtx(step, fj, pl, allowDP, func(m mapping.ForkJoinMapping, c mapping.Cost) bool {
+	e.run(ctx, func(m mapping.ForkJoinMapping, c mapping.Cost) bool {
 		if !accept(c) {
 			return true
 		}
 		if !found || numeric.Less(objective(c), objective(best.Cost)) {
-			best = ForkJoinResult{Mapping: m, Cost: c}
+			best = ForkJoinResult{Mapping: copyForkJoinMapping(m), Cost: c}
 			found = true
 			if lb > 0 && numeric.LessEq(objective(best.Cost), lb) {
 				return false
@@ -102,10 +155,135 @@ func forkJoinScan(ctx context.Context, fj workflow.ForkJoin, pl platform.Platfor
 		}
 		return true
 	})
-	if step.err != nil {
-		return ForkJoinResult{}, false, step.err
+	if e.step.err != nil {
+		return ForkJoinResult{}, false, e.step.err
 	}
 	return best, found, nil
+}
+
+// forkJoinScan is a one-shot scan on a fresh enumerator.
+func forkJoinScan(ctx context.Context, fj workflow.ForkJoin, pl platform.Platform, allowDP bool,
+	accept func(mapping.Cost) bool, objective func(mapping.Cost) float64, lb float64) (ForkJoinResult, bool, error) {
+	return newFJEnum(fj, pl, allowDP).scan(ctx, accept, objective, lb)
+}
+
+// fjMemo is one memoized scan result of a prepared fork-join solver.
+type fjMemo struct {
+	res ForkJoinResult
+	ok  bool
+}
+
+func (m fjMemo) clone() (ForkJoinResult, bool) {
+	res := m.res
+	res.Mapping.Blocks = append([]mapping.ForkJoinBlock(nil), res.Mapping.Blocks...)
+	return res, m.ok
+}
+
+// ForkJoinPrepared is the fork-join analogue of ForkPrepared: shared
+// enumeration scratch, per-objective anytime bounds computed once, and
+// bound-keyed memos. Byte-identical to the one-shot functions; not safe
+// for concurrent use.
+type ForkJoinPrepared struct {
+	fj      workflow.ForkJoin
+	pl      platform.Platform
+	allowDP bool
+	enum    *fjEnum
+
+	lbPeriod, lbLatency   float64
+	hasLBp, hasLBl        bool
+	periodM, latencyM     fjMemo
+	hasPeriod, hasLatency bool
+	lup, pul              map[uint64]fjMemo
+}
+
+// NewForkJoinPrepared returns a prepared solver for the triple.
+func NewForkJoinPrepared(fj workflow.ForkJoin, pl platform.Platform, allowDP bool) *ForkJoinPrepared {
+	return &ForkJoinPrepared{
+		fj: fj, pl: pl, allowDP: allowDP,
+		enum: newFJEnum(fj, pl, allowDP),
+		lup:  make(map[uint64]fjMemo),
+		pul:  make(map[uint64]fjMemo),
+	}
+}
+
+func (fp *ForkJoinPrepared) periodLB() float64 {
+	if !fp.hasLBp {
+		fp.lbPeriod = anytime.ForkJoinLB(fp.fj, fp.pl, anytime.Spec{MinimizePeriod: true, AllowDP: fp.allowDP})
+		fp.hasLBp = true
+	}
+	return fp.lbPeriod
+}
+
+func (fp *ForkJoinPrepared) latencyLB() float64 {
+	if !fp.hasLBl {
+		fp.lbLatency = anytime.ForkJoinLB(fp.fj, fp.pl, anytime.Spec{AllowDP: fp.allowDP})
+		fp.hasLBl = true
+	}
+	return fp.lbLatency
+}
+
+// Period solves MinPeriod.
+func (fp *ForkJoinPrepared) Period(ctx context.Context) (ForkJoinResult, bool, error) {
+	if !fp.hasPeriod {
+		res, ok, err := fp.enum.scan(ctx, acceptAll, period, fp.periodLB())
+		if err != nil {
+			return ForkJoinResult{}, false, err
+		}
+		fp.periodM = fjMemo{res: res, ok: ok}
+		fp.hasPeriod = true
+	}
+	res, ok := fp.periodM.clone()
+	return res, ok, nil
+}
+
+// Latency solves MinLatency.
+func (fp *ForkJoinPrepared) Latency(ctx context.Context) (ForkJoinResult, bool, error) {
+	if !fp.hasLatency {
+		res, ok, err := fp.enum.scan(ctx, acceptAll, latency, fp.latencyLB())
+		if err != nil {
+			return ForkJoinResult{}, false, err
+		}
+		fp.latencyM = fjMemo{res: res, ok: ok}
+		fp.hasLatency = true
+	}
+	res, ok := fp.latencyM.clone()
+	return res, ok, nil
+}
+
+// LatencyUnderPeriod solves min-latency under the period bound; repeated
+// bounds are answered from the memo.
+func (fp *ForkJoinPrepared) LatencyUnderPeriod(ctx context.Context, maxPeriod float64) (ForkJoinResult, bool, error) {
+	key := math.Float64bits(maxPeriod)
+	m, hit := fp.lup[key]
+	if !hit {
+		res, ok, err := fp.enum.scan(ctx,
+			func(c mapping.Cost) bool { return numeric.LessEq(c.Period, maxPeriod) }, latency, fp.latencyLB())
+		if err != nil {
+			return ForkJoinResult{}, false, err
+		}
+		m = fjMemo{res: res, ok: ok}
+		fp.lup[key] = m
+	}
+	res, ok := m.clone()
+	return res, ok, nil
+}
+
+// PeriodUnderLatency solves min-period under the latency bound; repeated
+// bounds are answered from the memo.
+func (fp *ForkJoinPrepared) PeriodUnderLatency(ctx context.Context, maxLatency float64) (ForkJoinResult, bool, error) {
+	key := math.Float64bits(maxLatency)
+	m, hit := fp.pul[key]
+	if !hit {
+		res, ok, err := fp.enum.scan(ctx,
+			func(c mapping.Cost) bool { return numeric.LessEq(c.Latency, maxLatency) }, period, fp.periodLB())
+		if err != nil {
+			return ForkJoinResult{}, false, err
+		}
+		m = fjMemo{res: res, ok: ok}
+		fp.pul[key] = m
+	}
+	res, ok := m.clone()
+	return res, ok, nil
 }
 
 // ForkJoinPeriod returns a fork-join mapping minimizing the period.
@@ -116,8 +294,7 @@ func ForkJoinPeriod(fj workflow.ForkJoin, pl platform.Platform, allowDP bool) (F
 
 // ForkJoinPeriodCtx is ForkJoinPeriod with cancellation checkpoints.
 func ForkJoinPeriodCtx(ctx context.Context, fj workflow.ForkJoin, pl platform.Platform, allowDP bool) (ForkJoinResult, bool, error) {
-	lb := anytime.ForkJoinLB(fj, pl, anytime.Spec{MinimizePeriod: true, AllowDP: allowDP})
-	return forkJoinScan(ctx, fj, pl, allowDP, acceptAll, period, lb)
+	return NewForkJoinPrepared(fj, pl, allowDP).Period(ctx)
 }
 
 // ForkJoinLatency returns a fork-join mapping minimizing the latency.
@@ -128,8 +305,7 @@ func ForkJoinLatency(fj workflow.ForkJoin, pl platform.Platform, allowDP bool) (
 
 // ForkJoinLatencyCtx is ForkJoinLatency with cancellation checkpoints.
 func ForkJoinLatencyCtx(ctx context.Context, fj workflow.ForkJoin, pl platform.Platform, allowDP bool) (ForkJoinResult, bool, error) {
-	lb := anytime.ForkJoinLB(fj, pl, anytime.Spec{AllowDP: allowDP})
-	return forkJoinScan(ctx, fj, pl, allowDP, acceptAll, latency, lb)
+	return NewForkJoinPrepared(fj, pl, allowDP).Latency(ctx)
 }
 
 // ForkJoinLatencyUnderPeriod minimizes latency under a period bound.
@@ -141,9 +317,7 @@ func ForkJoinLatencyUnderPeriod(fj workflow.ForkJoin, pl platform.Platform, allo
 // ForkJoinLatencyUnderPeriodCtx is ForkJoinLatencyUnderPeriod with
 // cancellation checkpoints.
 func ForkJoinLatencyUnderPeriodCtx(ctx context.Context, fj workflow.ForkJoin, pl platform.Platform, allowDP bool, maxPeriod float64) (ForkJoinResult, bool, error) {
-	lb := anytime.ForkJoinLB(fj, pl, anytime.Spec{AllowDP: allowDP})
-	return forkJoinScan(ctx, fj, pl, allowDP,
-		func(c mapping.Cost) bool { return numeric.LessEq(c.Period, maxPeriod) }, latency, lb)
+	return NewForkJoinPrepared(fj, pl, allowDP).LatencyUnderPeriod(ctx, maxPeriod)
 }
 
 // ForkJoinPeriodUnderLatency minimizes period under a latency bound.
@@ -155,7 +329,5 @@ func ForkJoinPeriodUnderLatency(fj workflow.ForkJoin, pl platform.Platform, allo
 // ForkJoinPeriodUnderLatencyCtx is ForkJoinPeriodUnderLatency with
 // cancellation checkpoints.
 func ForkJoinPeriodUnderLatencyCtx(ctx context.Context, fj workflow.ForkJoin, pl platform.Platform, allowDP bool, maxLatency float64) (ForkJoinResult, bool, error) {
-	lb := anytime.ForkJoinLB(fj, pl, anytime.Spec{MinimizePeriod: true, AllowDP: allowDP})
-	return forkJoinScan(ctx, fj, pl, allowDP,
-		func(c mapping.Cost) bool { return numeric.LessEq(c.Latency, maxLatency) }, period, lb)
+	return NewForkJoinPrepared(fj, pl, allowDP).PeriodUnderLatency(ctx, maxLatency)
 }

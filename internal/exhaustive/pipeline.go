@@ -25,7 +25,9 @@ type pipeChoice struct {
 }
 
 // pipeSolver is a dynamic program over states (next stage, used-processor
-// bitmask).
+// bitmask). It is resettable: Reset rearms it for a new bound/objective on
+// the same (pipeline, platform) pair without reallocating the DP arrays —
+// the visited marks are epoch counters, so clearing them is one increment.
 type pipeSolver struct {
 	p       workflow.Pipeline
 	pl      platform.Platform
@@ -37,11 +39,15 @@ type pipeSolver struct {
 	// true, min-sum of group delays when false.
 	minimizePeriod bool
 
-	memo    []float64
-	visited []bool
+	memo []float64
+	// visited[id] == epoch marks id as solved in the current epoch; Reset
+	// bumps epoch instead of clearing the array.
+	visited []uint32
+	epoch   uint32
 	choice  []pipeChoice
 	full    int
 	n       int
+	pbits   int // pl.Processors(), the state-id shift
 	step    *stepper
 	// suffix[i] is the total weight of stages i..n-1, feeding the
 	// anytime lower bound that prunes a state's search once its best
@@ -60,17 +66,33 @@ func newPipeSolver(ctx context.Context, p workflow.Pipeline, pl platform.Platfor
 		suffix[i] = suffix[i+1] + p.Weights[i]
 	}
 	return &pipeSolver{
-		p: p, pl: pl, info: buildMaskInfo(pl), allowDP: allowDP,
+		p: p, pl: pl, info: tableFor(pl), allowDP: allowDP,
 		periodCap: periodCap, minimizePeriod: minimizePeriod,
 		memo:    make([]float64, states),
-		visited: make([]bool, states),
+		visited: make([]uint32, states),
+		epoch:   1,
 		choice:  make([]pipeChoice, states),
 		full:    (1 << pl.Processors()) - 1,
 		n:       n,
+		pbits:   pl.Processors(),
 		step:    newStepper(ctx),
 		suffix:  suffix,
 		prune:   true,
 	}
+}
+
+// reset rearms the solver for a fresh solve under a new cap/objective: the
+// DP state is invalidated by bumping the epoch (no reallocation, no
+// clearing), and the stepper is rearmed on ctx.
+func (s *pipeSolver) reset(ctx context.Context, periodCap float64, minimizePeriod bool) {
+	s.periodCap = periodCap
+	s.minimizePeriod = minimizePeriod
+	s.epoch++
+	if s.epoch == 0 { // wrapped: every stale mark looks current, so clear
+		clear(s.visited)
+		s.epoch = 1
+	}
+	s.step.reset(ctx)
 }
 
 // stateLB returns the anytime lower bound on the state value of mapping
@@ -83,7 +105,7 @@ func (s *pipeSolver) stateLB(i, freeMask int) float64 {
 	if !s.prune || freeMask == 0 {
 		return -1
 	}
-	fi := s.info[freeMask]
+	fi := &s.info[freeMask]
 	if s.minimizePeriod {
 		return anytime.PeriodLB(s.suffix[i], fi.sum)
 	}
@@ -93,57 +115,88 @@ func (s *pipeSolver) stateLB(i, freeMask int) float64 {
 // solve returns the optimal objective value for mapping stages i..n-1 with
 // the processors in usedMask unavailable, or +Inf if infeasible under the
 // period cap.
+//
+// The enumeration runs subsets outer, interval ends inner: for a fixed
+// subset both the replicated period and delay grow with the interval
+// weight, so the period-cap filter and the cannot-improve filter terminate
+// the inner loop instead of skipping one iteration — the exact set of
+// surviving candidates is unchanged (both predicates are monotone in the
+// group cost), only the wasted iterations disappear.
 func (s *pipeSolver) solve(i, usedMask int) float64 {
 	if i == s.n {
 		return 0
 	}
-	id := i<<s.pl.Processors() | usedMask
-	if s.visited[id] {
+	id := i<<s.pbits | usedMask
+	if s.visited[id] == s.epoch {
 		return s.memo[id]
 	}
-	s.visited[id] = true
+	s.visited[id] = s.epoch
 	best := numeric.Inf
 	var bestChoice pipeChoice
 	free := s.full &^ usedMask
 	lb := s.stateLB(i, free)
-	w := 0.0
+	cap := s.periodCap
+	minP := s.minimizePeriod
+	wi := s.p.Weights[i]
 search:
-	for j := i; j < s.n; j++ {
-		w += s.p.Weights[j]
-		for sub := free; sub > 0; sub = (sub - 1) & free {
-			if !s.step.ok() {
-				// Cancelled: abandon the state (memo holds a partial value
-				// that is never read — result() surfaces the error first).
-				return numeric.Inf
+	for sub := free; sub > 0; sub = (sub - 1) & free {
+		if !s.step.ok() {
+			// Cancelled: abandon the state (memo holds a partial value
+			// that is never read — result() surfaces the error first).
+			return numeric.Inf
+		}
+		info := &s.info[sub]
+		// Replicated intervals i..j, weight growing with j.
+		w := 0.0
+		for j := i; j < s.n; j++ {
+			w += s.p.Weights[j]
+			period := w * info.perInv
+			if numeric.Greater(period, cap) {
+				break // larger intervals only raise the period
 			}
-			info := s.info[sub]
-			for _, dp := range []bool{false, true} {
-				if dp && (!s.allowDP || j != i) {
-					continue
+			group := period
+			if !minP {
+				group = w * info.invMin // delay
+			}
+			if numeric.GreaterEq(group, best) {
+				break // cannot improve: both max and sum combine monotonically
+			}
+			rest := s.solve(j+1, usedMask|sub)
+			total := group + rest
+			if minP {
+				total = rest
+				if group > rest {
+					total = group
 				}
-				period, delay := groupCosts(w, info, dp)
-				if numeric.Greater(period, s.periodCap) {
-					continue
+			}
+			if numeric.Less(total, best) {
+				best = total
+				bestChoice = pipeChoice{last: j, sub: sub, dp: false}
+				if lb >= 0 && numeric.LessEq(best, lb) {
+					// The state reached its lower bound: no candidate
+					// can strictly improve, and ties never replace the
+					// recorded choice.
+					break search
 				}
-				group := delay
-				if s.minimizePeriod {
-					group = period
-				}
-				if numeric.GreaterEq(group, best) {
-					continue // cannot improve: both max and sum combine monotonically
-				}
-				rest := s.solve(j+1, usedMask|sub)
-				total := group + rest
-				if s.minimizePeriod {
-					total = math.Max(group, rest)
+			}
+		}
+		if s.allowDP {
+			// Data-parallel is legal for single-stage groups only: stage i
+			// alone on the subset.
+			c := wi * info.invSum
+			if !numeric.Greater(c, cap) && !numeric.GreaterEq(c, best) {
+				rest := s.solve(i+1, usedMask|sub)
+				total := c + rest
+				if minP {
+					total = rest
+					if c > rest {
+						total = c
+					}
 				}
 				if numeric.Less(total, best) {
 					best = total
-					bestChoice = pipeChoice{last: j, sub: sub, dp: dp}
+					bestChoice = pipeChoice{last: i, sub: sub, dp: true}
 					if lb >= 0 && numeric.LessEq(best, lb) {
-						// The state reached its lower bound: no candidate
-						// can strictly improve, and ties never replace the
-						// recorded choice.
 						break search
 					}
 				}
@@ -156,11 +209,14 @@ search:
 }
 
 // reconstruct rebuilds the optimal mapping from the recorded choices.
+// Procs slices are copied out of the platform table here — once per
+// returned mapping, never in the search loops — so callers own (and may
+// mutate) their mappings without corrupting the process-wide table.
 func (s *pipeSolver) reconstruct() mapping.PipelineMapping {
 	var m mapping.PipelineMapping
 	i, usedMask := 0, 0
 	for i < s.n {
-		id := i<<s.pl.Processors() | usedMask
+		id := i<<s.pbits | usedMask
 		ch := s.choice[id]
 		mode := mapping.Replicated
 		if ch.dp {
@@ -168,7 +224,7 @@ func (s *pipeSolver) reconstruct() mapping.PipelineMapping {
 		}
 		m.Intervals = append(m.Intervals, mapping.PipelineInterval{
 			First: i, Last: ch.last,
-			Assignment: mapping.Assignment{Procs: maskProcs(ch.sub), Mode: mode},
+			Assignment: mapping.Assignment{Procs: append([]int(nil), s.info[ch.sub].procs...), Mode: mode},
 		})
 		usedMask |= ch.sub
 		i = ch.last + 1
@@ -194,6 +250,146 @@ func (s *pipeSolver) result() (PipelineResult, bool, error) {
 	return PipelineResult{Mapping: m, Cost: c}, true, nil
 }
 
+// pipeMemo is one memoized bounded solve of a prepared pipeline solver.
+type pipeMemo struct {
+	res PipelineResult
+	ok  bool
+}
+
+// PipelinePrepared solves repeated objective/bound variants of one
+// (pipeline, platform, model) triple, sharing the platform subset table,
+// the DP arrays (reset by epoch, not reallocation), the candidate-period
+// set of the bi-criteria binary search, and a per-bound result memo across
+// solves. Results are byte-identical to the one-shot package functions —
+// which are thin wrappers over a prepared solver used once.
+//
+// A PipelinePrepared is NOT safe for concurrent use: callers pool
+// instances (one per worker) instead of locking.
+type PipelinePrepared struct {
+	p       workflow.Pipeline
+	pl      platform.Platform
+	allowDP bool
+	s       *pipeSolver
+	// cands is the lazily built candidate-period set of
+	// PeriodUnderLatency's binary search.
+	cands []float64
+	// lup memoizes LatencyUnderPeriod solves by the period cap's bits
+	// (math.Float64bits, so caps differing by one ULP stay distinct).
+	// +Inf is the unbounded MinLatency solve.
+	lup map[uint64]pipeMemo
+	// period memoizes the single MinPeriod solve.
+	period    pipeMemo
+	hasPeriod bool
+}
+
+// NewPipelinePrepared returns a prepared solver for the triple. The
+// platform table is fetched from the process-wide cache; no DP work
+// happens until the first solve.
+func NewPipelinePrepared(p workflow.Pipeline, pl platform.Platform, allowDP bool) *PipelinePrepared {
+	return &PipelinePrepared{
+		p: p, pl: pl, allowDP: allowDP,
+		s:   newPipeSolver(context.Background(), p, pl, allowDP, numeric.Inf, true),
+		lup: make(map[uint64]pipeMemo),
+	}
+}
+
+// clone returns a result whose interval slice is independent of the memo,
+// so every solve hands out a fresh mapping exactly like a fresh solver
+// (the read-only Procs slices stay shared, as everywhere else).
+func (m pipeMemo) clone() (PipelineResult, bool) {
+	res := m.res
+	res.Mapping.Intervals = append([]mapping.PipelineInterval(nil), res.Mapping.Intervals...)
+	return res, m.ok
+}
+
+// Period solves MinPeriod.
+func (pp *PipelinePrepared) Period(ctx context.Context) (PipelineResult, bool, error) {
+	if !pp.hasPeriod {
+		pp.s.reset(ctx, numeric.Inf, true)
+		res, ok, err := pp.s.result()
+		if err != nil {
+			return PipelineResult{}, false, err
+		}
+		pp.period = pipeMemo{res: res, ok: ok}
+		pp.hasPeriod = true
+	}
+	res, ok := pp.period.clone()
+	return res, ok, nil
+}
+
+// Latency solves MinLatency.
+func (pp *PipelinePrepared) Latency(ctx context.Context) (PipelineResult, bool, error) {
+	return pp.LatencyUnderPeriod(ctx, numeric.Inf)
+}
+
+// LatencyUnderPeriod solves min-latency under the period cap. Repeated
+// caps (bit-identical floats) are answered from the memo.
+func (pp *PipelinePrepared) LatencyUnderPeriod(ctx context.Context, maxPeriod float64) (PipelineResult, bool, error) {
+	key := math.Float64bits(maxPeriod)
+	m, hit := pp.lup[key]
+	if !hit {
+		pp.s.reset(ctx, maxPeriod, false)
+		res, ok, err := pp.s.result()
+		if err != nil {
+			return PipelineResult{}, false, err
+		}
+		m = pipeMemo{res: res, ok: ok}
+		pp.lup[key] = m
+	}
+	res, ok := m.clone()
+	return res, ok, nil
+}
+
+// candidates returns the achievable group periods, built once per prepared
+// solver.
+func (pp *PipelinePrepared) candidates() []float64 {
+	if pp.cands == nil {
+		pp.cands = pipelinePeriodCandidates(pp.p, pp.pl, pp.allowDP)
+	}
+	return pp.cands
+}
+
+// PeriodUnderLatency solves min-period under the latency cap by binary
+// search over the (cached) finite set of achievable group periods; every
+// probe shares the DP arrays and feeds the LatencyUnderPeriod memo, so
+// overlapping searches (the tightening probes of a Pareto sweep) skip
+// their common prefixes entirely.
+func (pp *PipelinePrepared) PeriodUnderLatency(ctx context.Context, maxLatency float64) (PipelineResult, bool, error) {
+	cands := pp.candidates()
+	lo, hi := 0, len(cands)-1
+	var best PipelineResult
+	found := false
+	for lo <= hi {
+		mid := (lo + hi) / 2
+		res, ok, err := pp.LatencyUnderPeriod(ctx, cands[mid])
+		if err != nil {
+			return PipelineResult{}, false, err
+		}
+		if ok && numeric.LessEq(res.Cost.Latency, maxLatency) {
+			best = res
+			found = true
+			hi = mid - 1
+		} else {
+			lo = mid + 1
+		}
+	}
+	return best, found, nil
+}
+
+// Solve dispatches on (minimizePeriod, bound): the four objective shapes
+// of the Table 1 bi-criteria columns, sharing one prepared state.
+// Unbounded solves pass bound = +Inf.
+func (pp *PipelinePrepared) Solve(ctx context.Context, minimizePeriod bool, bound float64) (PipelineResult, bool, error) {
+	switch {
+	case minimizePeriod && math.IsInf(bound, 1):
+		return pp.Period(ctx)
+	case minimizePeriod:
+		return pp.PeriodUnderLatency(ctx, bound)
+	default:
+		return pp.LatencyUnderPeriod(ctx, bound)
+	}
+}
+
 // PipelinePeriod returns a mapping minimizing the period.
 func PipelinePeriod(p workflow.Pipeline, pl platform.Platform, allowDP bool) (PipelineResult, bool) {
 	res, ok, _ := PipelinePeriodCtx(context.Background(), p, pl, allowDP)
@@ -204,7 +400,7 @@ func PipelinePeriod(p workflow.Pipeline, pl platform.Platform, allowDP bool) (Pi
 // ctx is cancelled mid-search the error is ctx.Err() and the result is
 // discarded.
 func PipelinePeriodCtx(ctx context.Context, p workflow.Pipeline, pl platform.Platform, allowDP bool) (PipelineResult, bool, error) {
-	return newPipeSolver(ctx, p, pl, allowDP, numeric.Inf, true).result()
+	return NewPipelinePrepared(p, pl, allowDP).Period(ctx)
 }
 
 // PipelineLatency returns a mapping minimizing the latency.
@@ -215,7 +411,7 @@ func PipelineLatency(p workflow.Pipeline, pl platform.Platform, allowDP bool) (P
 
 // PipelineLatencyCtx is PipelineLatency with cancellation checkpoints.
 func PipelineLatencyCtx(ctx context.Context, p workflow.Pipeline, pl platform.Platform, allowDP bool) (PipelineResult, bool, error) {
-	return newPipeSolver(ctx, p, pl, allowDP, numeric.Inf, false).result()
+	return NewPipelinePrepared(p, pl, allowDP).Latency(ctx)
 }
 
 // PipelineLatencyUnderPeriod returns a mapping minimizing the latency among
@@ -229,14 +425,14 @@ func PipelineLatencyUnderPeriod(p workflow.Pipeline, pl platform.Platform, allow
 // PipelineLatencyUnderPeriodCtx is PipelineLatencyUnderPeriod with
 // cancellation checkpoints.
 func PipelineLatencyUnderPeriodCtx(ctx context.Context, p workflow.Pipeline, pl platform.Platform, allowDP bool, maxPeriod float64) (PipelineResult, bool, error) {
-	return newPipeSolver(ctx, p, pl, allowDP, maxPeriod, false).result()
+	return NewPipelinePrepared(p, pl, allowDP).LatencyUnderPeriod(ctx, maxPeriod)
 }
 
 // pipelinePeriodCandidates returns every achievable group period of any
 // stage interval on any processor subset, sorted ascending and deduplicated.
 // The optimal period of any mapping is one of these values.
 func pipelinePeriodCandidates(p workflow.Pipeline, pl platform.Platform, allowDP bool) []float64 {
-	info := buildMaskInfo(pl)
+	info := tableFor(pl)
 	var vals []float64
 	n := p.Stages()
 	for i := 0; i < n; i++ {
@@ -268,36 +464,20 @@ func PipelinePeriodUnderLatency(p workflow.Pipeline, pl platform.Platform, allow
 // PipelinePeriodUnderLatencyCtx is PipelinePeriodUnderLatency with
 // cancellation checkpoints.
 func PipelinePeriodUnderLatencyCtx(ctx context.Context, p workflow.Pipeline, pl platform.Platform, allowDP bool, maxLatency float64) (PipelineResult, bool, error) {
-	cands := pipelinePeriodCandidates(p, pl, allowDP)
-	lo, hi := 0, len(cands)-1
-	var best PipelineResult
-	found := false
-	for lo <= hi {
-		mid := (lo + hi) / 2
-		res, ok, err := PipelineLatencyUnderPeriodCtx(ctx, p, pl, allowDP, cands[mid])
-		if err != nil {
-			return PipelineResult{}, false, err
-		}
-		if ok && numeric.LessEq(res.Cost.Latency, maxLatency) {
-			best = res
-			found = true
-			hi = mid - 1
-		} else {
-			lo = mid + 1
-		}
-	}
-	return best, found, nil
+	return NewPipelinePrepared(p, pl, allowDP).PeriodUnderLatency(ctx, maxLatency)
 }
 
 // PipelinePareto returns the exact Pareto front of (period, latency),
 // ordered by increasing period and decreasing latency. Each point carries a
 // mapping achieving it.
 func PipelinePareto(p workflow.Pipeline, pl platform.Platform, allowDP bool) []PipelineResult {
-	cands := pipelinePeriodCandidates(p, pl, allowDP)
+	pp := NewPipelinePrepared(p, pl, allowDP)
+	cands := pp.candidates()
 	var front []PipelineResult
 	prevLatency := numeric.Inf
+	ctx := context.Background()
 	for _, k := range cands {
-		res, ok := PipelineLatencyUnderPeriod(p, pl, allowDP, k)
+		res, ok, _ := pp.LatencyUnderPeriod(ctx, k)
 		if !ok {
 			continue
 		}
@@ -305,7 +485,7 @@ func PipelinePareto(p workflow.Pipeline, pl platform.Platform, allowDP bool) []P
 			continue
 		}
 		// Tighten the period: find the smallest period achieving this latency.
-		tight, ok := PipelinePeriodUnderLatency(p, pl, allowDP, res.Cost.Latency)
+		tight, ok, _ := pp.PeriodUnderLatency(ctx, res.Cost.Latency)
 		if ok {
 			res = tight
 		}
@@ -322,6 +502,7 @@ func PipelinePareto(p workflow.Pipeline, pl platform.Platform, allowDP bool) []P
 func enumeratePipeline(p workflow.Pipeline, pl platform.Platform, allowDP bool, visit func(mapping.PipelineMapping, mapping.Cost)) {
 	n := p.Stages()
 	full := (1 << pl.Processors()) - 1
+	info := tableFor(pl)
 	var rec func(i, usedMask int, acc []mapping.PipelineInterval)
 	rec = func(i, usedMask int, acc []mapping.PipelineInterval) {
 		if i == n {
@@ -343,7 +524,7 @@ func enumeratePipeline(p workflow.Pipeline, pl platform.Platform, allowDP bool, 
 				for _, mode := range modes {
 					iv := mapping.PipelineInterval{
 						First: i, Last: j,
-						Assignment: mapping.Assignment{Procs: maskProcs(sub), Mode: mode},
+						Assignment: mapping.Assignment{Procs: append([]int(nil), info[sub].procs...), Mode: mode},
 					}
 					rec(j+1, usedMask|sub, append(acc, iv))
 				}

@@ -65,7 +65,10 @@ func BenchmarkSolveUnique(b *testing.B) {
 // BenchmarkParetoStream measures the incremental NDJSON sweep end to
 // end: request decode, the engine sweep (cold cache each iteration, so
 // the candidate solves are real work), per-point encode + flush, and
-// the terminal status line.
+// the terminal status line. One untimed warmup request pays the
+// process-level one-time costs (connection setup, encoding/json
+// reflection caches) so single-iteration gate runs measure the sweep,
+// not process initialization.
 func BenchmarkParetoStream(b *testing.B) {
 	srv := New(Config{})
 	ts := httptest.NewServer(srv)
@@ -76,6 +79,7 @@ func BenchmarkParetoStream(b *testing.B) {
 		"platform": {"speeds": [3, 2, 2, 1]},
 		"allowDataParallel": true
 	}`
+	benchPost(b, client, ts.URL+"/v1/pareto", pareto)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		srv.Engine().Reset() // keep the sweep honest: no memoized fronts

@@ -246,6 +246,22 @@ func SolveBatch(ctx context.Context, problems []Problem, opts Options) ([]Soluti
 // GOMAXPROCS.
 func NewEngine(workers int) *Engine { return engine.New(workers) }
 
+// PreparedSolver solves repeated objective/bound variants of one
+// (workflow, platform, model) triple with shared preprocessing, scratch
+// memory and per-bound memoization; see Prepare.
+type PreparedSolver = core.PreparedSolver
+
+// Prepare returns a prepared solver for repeated solves of one instance
+// that differ only in Objective and Bound (the shape of a Pareto sweep or
+// a bi-criteria probe sequence). Results are byte-identical to
+// SolveContext on the same problem. The boolean is false when
+// preparation does not apply — the instance is invalid, budgeted
+// (Options.AnytimeBudget), oversized for exhaustive search, or entirely
+// polynomial — in which case plain SolveContext is the right call. A
+// PreparedSolver is not safe for concurrent use; pool instances instead.
+// Engine sweeps and sweep-shaped batches use this automatically.
+func Prepare(pr Problem, opts Options) (*PreparedSolver, bool) { return core.Prepare(pr, opts) }
+
 // Classify returns the Table 1 cell of a problem instance.
 func Classify(pr Problem) (Classification, error) { return core.Classify(pr) }
 
