@@ -633,3 +633,49 @@ func BenchmarkEngineParetoFront(b *testing.B) {
 		b.Fatal("engine front diverges from serial front")
 	}
 }
+
+// BenchmarkSolveSingleLarge measures ONE big NP-hard exhaustive solve —
+// not a batch — serial versus the intra-solve partitioned search
+// (Options.Parallelism), on a 7-leaf fork over a heterogeneous
+// 4-processor platform (the fork scan shards the exact serial workload,
+// so the speedup tracks core count; the pipeline DP's full-table sweep
+// does not). Parallel/-cpu N runs N workers sharing the atomic
+// incumbent bound; at -cpu 1 both sub-benchmarks are the serial path
+// (searchParallelism resolves -1 to one worker), so the bare-name
+// baseline stays a GOMAXPROCS=1 measurement. The mapping is asserted
+// byte-identical between the two paths — the determinism contract the
+// parallel search is built around.
+func BenchmarkSolveSingleLarge(b *testing.B) {
+	f := workflow.NewFork(5, 7, 3, 9, 4, 6, 2, 8)
+	pl := platform.New(5, 4, 3, 2)
+	pr := core.Problem{Fork: &f, Platform: pl, AllowDataParallel: true, Objective: core.MinPeriod}
+	opts := core.Options{MaxExhaustiveForkStages: 9, MaxExhaustiveForkProcs: pl.Processors()}
+
+	var serial, parallel core.Solution
+	b.Run("Serial", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sol, err := core.Solve(pr, opts)
+			if err != nil || !sol.Feasible || !sol.Exact {
+				b.Fatalf("bad solve: %+v (err=%v)", sol, err)
+			}
+			serial = sol
+		}
+	})
+	b.Run("Parallel", func(b *testing.B) {
+		popts := opts
+		popts.Parallelism = -1 // all CPUs of this -cpu run
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sol, err := core.Solve(pr, popts)
+			if err != nil || !sol.Feasible || !sol.Exact {
+				b.Fatalf("bad solve: %+v (err=%v)", sol, err)
+			}
+			parallel = sol
+		}
+	})
+	if serial.ForkMapping != nil && parallel.ForkMapping != nil &&
+		!reflect.DeepEqual(serial, parallel) {
+		b.Fatal("parallel solve diverges from serial solve")
+	}
+}

@@ -27,13 +27,13 @@ const baselineJSON = `{
 func TestRunGatePassAndFail(t *testing.T) {
 	baseline := writeFile(t, "baseline.json", baselineJSON)
 
-	pass := writeFile(t, "pass.txt", "BenchmarkX-4 \t 1 \t 1100 ns/op\n")
+	pass := writeFile(t, "pass.txt", "BenchmarkX-1 \t 1 \t 1100 ns/op\n")
 	var out bytes.Buffer
 	if err := run(baseline, false, []string{pass}, &out); err != nil {
 		t.Fatalf("within-tolerance result failed the gate: %v (%s)", err, out.String())
 	}
 
-	fail := writeFile(t, "fail.txt", "BenchmarkX-4 \t 1 \t 5000 ns/op\n")
+	fail := writeFile(t, "fail.txt", "BenchmarkX-1 \t 1 \t 5000 ns/op\n")
 	out.Reset()
 	if err := run(baseline, false, []string{fail}, &out); err == nil {
 		t.Fatal("5x regression passed the gate")
@@ -50,7 +50,7 @@ func TestRunGatePassAndFail(t *testing.T) {
 
 func TestRunUpdateRewritesBaseline(t *testing.T) {
 	baseline := writeFile(t, "baseline.json", baselineJSON)
-	results := writeFile(t, "results.txt", "BenchmarkX-8 \t 1 \t 800 ns/op\nBenchmarkX-8 \t 1 \t 750 ns/op\n")
+	results := writeFile(t, "results.txt", "BenchmarkX-1 \t 1 \t 800 ns/op\nBenchmarkX \t 1 \t 750 ns/op\n")
 	var out bytes.Buffer
 	if err := run(baseline, true, []string{results}, &out); err != nil {
 		t.Fatal(err)

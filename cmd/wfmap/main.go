@@ -5,6 +5,7 @@
 // Usage:
 //
 //	wfmap [-in instance.json] [-max-exhaustive-procs N] [-budget 100ms]
+//	      [-parallelism N]
 //	wfmap -pareto [-stream] [-in instance.json] [-budget 500ms]
 //	wfmap -parallel [-budget 500ms] instance1.json instance2.json ...
 //
@@ -17,8 +18,12 @@
 // -stream each front point is printed the moment the sweep proves it
 // final (long sweeps show progress instead of a silent wait), followed
 // by a summary comment; the rows are identical to the buffered -pareto
-// output. The instance JSON format is specified in docs/wire-format.md;
-// wfgen produces compatible files.
+// output. With -parallelism each exhaustive solve additionally
+// partitions its own search across up to N workers sharing an atomic
+// incumbent bound (-1 = all CPUs on instances large enough to benefit);
+// the mapping printed is byte-identical to the serial one. The instance
+// JSON format is specified in docs/wire-format.md; wfgen produces
+// compatible files.
 package main
 
 import (
@@ -27,7 +32,6 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"time"
 
 	"repliflow/internal/core"
 	"repliflow/internal/engine"
@@ -41,18 +45,24 @@ func main() {
 	stream := flag.Bool("stream", false, "with -pareto: print each front point as soon as the sweep proves it final, plus a trailing summary comment")
 	parallel := flag.Bool("parallel", false, "solve the positional instance files concurrently on the batch engine")
 	budget := flag.Duration("budget", 0, "anytime budget for NP-hard instances: return the best mapping found within this duration with a certified optimality gap (0 = exhaustive/heuristic)")
+	parallelism := flag.Int("parallelism", 0, "per-solve search parallelism for exhaustive solves (0 or 1 = serial, n > 1 = n workers, negative = auto up to -n, -1 = all CPUs); results are byte-identical to serial")
 	flag.Parse()
 
+	opts := core.Options{
+		MaxExhaustivePipelineProcs: *maxProcs,
+		AnytimeBudget:              *budget,
+		Parallelism:                *parallelism,
+	}
 	var err error
 	switch {
 	case *stream && !*pareto:
 		err = fmt.Errorf("-stream requires -pareto")
 	case *parallel:
-		err = runBatch(flag.Args(), *maxProcs, *budget, os.Stdout)
+		err = runBatch(flag.Args(), opts, os.Stdout)
 	case *pareto:
-		err = runPareto(*in, *maxProcs, *budget, *stream, os.Stdout)
+		err = runPareto(*in, opts, *stream, os.Stdout)
 	default:
-		err = run(*in, *maxProcs, *budget, os.Stdout)
+		err = run(*in, opts, os.Stdout)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "wfmap:", err)
@@ -62,7 +72,7 @@ func main() {
 
 // runBatch solves the instance files concurrently and prints one summary
 // line per instance, in input order.
-func runBatch(paths []string, maxProcs int, budget time.Duration, out io.Writer) error {
+func runBatch(paths []string, opts core.Options, out io.Writer) error {
 	if len(paths) == 0 {
 		return fmt.Errorf("-parallel requires instance files as arguments")
 	}
@@ -74,7 +84,6 @@ func runBatch(paths []string, maxProcs int, budget time.Duration, out io.Writer)
 		}
 		problems[i] = pr
 	}
-	opts := core.Options{MaxExhaustivePipelineProcs: maxProcs, AnytimeBudget: budget}
 	sols, err := engine.SolveBatch(context.Background(), problems, opts)
 	if err != nil {
 		return err
@@ -90,12 +99,11 @@ func runBatch(paths []string, maxProcs int, budget time.Duration, out io.Writer)
 // is printed the moment the incremental sweep proves it final — the
 // rows are identical to the buffered output, they just appear as the
 // sweep progresses — followed by a summary comment line.
-func runPareto(path string, maxProcs int, budget time.Duration, stream bool, out io.Writer) error {
+func runPareto(path string, opts core.Options, stream bool, out io.Writer) error {
 	pr, err := loadProblem(path)
 	if err != nil {
 		return err
 	}
-	opts := core.Options{MaxExhaustivePipelineProcs: maxProcs, AnytimeBudget: budget}
 	// Reject an unsweepable instance before anything reaches stdout, so
 	// a failure never leaves a stray header row.
 	if _, err := core.NormalizeSweep(pr); err != nil {
@@ -157,12 +165,11 @@ func loadProblem(path string) (core.Problem, error) {
 	return ins.Problem()
 }
 
-func run(path string, maxProcs int, budget time.Duration, out io.Writer) error {
+func run(path string, opts core.Options, out io.Writer) error {
 	pr, err := loadProblem(path)
 	if err != nil {
 		return err
 	}
-	opts := core.Options{MaxExhaustivePipelineProcs: maxProcs, AnytimeBudget: budget}
 	sol, err := core.Solve(pr, opts)
 	if err != nil {
 		return err

@@ -8,6 +8,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"repliflow/internal/core"
 )
 
 func writeTemp(t *testing.T, content string) string {
@@ -27,7 +29,7 @@ func TestRunSection2Instance(t *testing.T) {
 		"objective": "min-latency"
 	}`)
 	var out bytes.Buffer
-	if err := run(path, 0, 0, &out); err != nil {
+	if err := run(path, core.Options{}, &out); err != nil {
 		t.Fatal(err)
 	}
 	s := out.String()
@@ -47,7 +49,7 @@ func TestRunInfeasibleBound(t *testing.T) {
 		"bound": 0.5
 	}`)
 	var out bytes.Buffer
-	if err := run(path, 0, 0, &out); err != nil {
+	if err := run(path, core.Options{}, &out); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "infeasible") {
@@ -62,7 +64,7 @@ func TestRunForkInstance(t *testing.T) {
 		"objective": "min-period"
 	}`)
 	var out bytes.Buffer
-	if err := run(path, 0, 0, &out); err != nil {
+	if err := run(path, core.Options{}, &out); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "period:         3") { // 6/2
@@ -78,21 +80,21 @@ func TestRunPareto(t *testing.T) {
 		"objective": "min-period"
 	}`)
 	var out bytes.Buffer
-	if err := runPareto(path, 0, 0, false, &out); err != nil {
+	if err := runPareto(path, core.Options{}, false, &out); err != nil {
 		t.Fatal(err)
 	}
 	s := out.String()
 	if !strings.Contains(s, "period") || !strings.Contains(s, "17") || !strings.Contains(s, "8") {
 		t.Errorf("pareto output missing frontier points:\n%s", s)
 	}
-	if err := runPareto(filepath.Join(t.TempDir(), "nope.json"), 0, 0, false, &bytes.Buffer{}); err == nil {
+	if err := runPareto(filepath.Join(t.TempDir(), "nope.json"), core.Options{}, false, &bytes.Buffer{}); err == nil {
 		t.Error("missing file accepted")
 	}
 
 	// -stream prints the identical rows incrementally, plus a summary
 	// comment reporting the sweep coverage.
 	var streamed bytes.Buffer
-	if err := runPareto(path, 0, 0, true, &streamed); err != nil {
+	if err := runPareto(path, core.Options{}, true, &streamed); err != nil {
 		t.Fatal(err)
 	}
 	ss := streamed.String()
@@ -110,11 +112,11 @@ func TestRunPareto(t *testing.T) {
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run(filepath.Join(t.TempDir(), "missing.json"), 0, 0, &bytes.Buffer{}); err == nil {
+	if err := run(filepath.Join(t.TempDir(), "missing.json"), core.Options{}, &bytes.Buffer{}); err == nil {
 		t.Error("missing file accepted")
 	}
 	bad := writeTemp(t, `{"objective": "min-period", "platform": {"speeds": [1]}}`)
-	if err := run(bad, 0, 0, &bytes.Buffer{}); err == nil {
+	if err := run(bad, core.Options{}, &bytes.Buffer{}); err == nil {
 		t.Error("graphless instance accepted")
 	}
 }
@@ -133,7 +135,7 @@ func TestRunBatchParallel(t *testing.T) {
 		}
 	}
 	var out bytes.Buffer
-	if err := runBatch(paths, 0, 0, &out); err != nil {
+	if err := runBatch(paths, core.Options{}, &out); err != nil {
 		t.Fatal(err)
 	}
 	s := out.String()
@@ -149,10 +151,10 @@ func TestRunBatchParallel(t *testing.T) {
 }
 
 func TestRunBatchErrors(t *testing.T) {
-	if err := runBatch(nil, 0, 0, &bytes.Buffer{}); err == nil {
+	if err := runBatch(nil, core.Options{}, &bytes.Buffer{}); err == nil {
 		t.Error("empty batch accepted")
 	}
-	if err := runBatch([]string{filepath.Join(t.TempDir(), "missing.json")}, 0, 0, &bytes.Buffer{}); err == nil {
+	if err := runBatch([]string{filepath.Join(t.TempDir(), "missing.json")}, core.Options{}, &bytes.Buffer{}); err == nil {
 		t.Error("missing file accepted")
 	}
 }
@@ -167,7 +169,7 @@ func TestRunBudgetPrintsGap(t *testing.T) {
 		"objective": "min-period"
 	}`)
 	var out bytes.Buffer
-	if err := run(path, 0, 30*time.Millisecond, &out); err != nil {
+	if err := run(path, core.Options{AnytimeBudget: 30 * time.Millisecond}, &out); err != nil {
 		t.Fatal(err)
 	}
 	s := out.String()

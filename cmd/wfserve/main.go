@@ -8,7 +8,17 @@
 //	wfserve [-addr :8080] [-workers N] [-max-inflight N]
 //	        [-timeout 30s] [-max-timeout 5m] [-max-batch N]
 //	        [-max-cache-entries N] [-max-exhaustive-procs N]
-//	        [-budget 0] [-heartbeat 10s] [-max-jobs N] [-pprof]
+//	        [-budget 0] [-parallelism N] [-heartbeat 10s]
+//	        [-max-jobs N] [-pprof]
+//
+// -workers sizes the engine's solve-slot pool: the total number of
+// solves running concurrently across all requests. -parallelism sets
+// the default number of workers one exhaustive solve may additionally
+// partition itself across (requests override it via the parallelism
+// field). The two compose without oversubscription: a solve only gains
+// intra-solve workers by claiming idle slots from the same -workers
+// pool, so a loaded server degrades every solve to serial rather than
+// running workers x parallelism goroutines.
 //
 // Endpoints (bodies documented in docs/wire-format.md):
 //
@@ -71,6 +81,7 @@ func main() {
 	maxCache := flag.Int("max-cache-entries", 0, "engine cache bound, epoch-evicted on overflow (0 = 65536)")
 	maxProcs := flag.Int("max-exhaustive-procs", 0, "override the exhaustive-search processor limits (pipeline and fork) for NP-hard cells (0 = defaults)")
 	budget := flag.Duration("budget", 0, "default anytime budget for NP-hard solves: return a certified incumbent within this duration instead of searching exhaustively (0 = disabled; requests opt in via budgetMs)")
+	parallelism := flag.Int("parallelism", 0, "default per-solve search parallelism for exhaustive solves (0 or 1 = serial, n > 1 = up to n workers, negative = auto); extra workers come from idle -workers slots, so the engine pool is never oversubscribed")
 	heartbeat := flag.Duration("heartbeat", 0, "idle interval between heartbeat status lines on streaming responses (0 = 10s)")
 	maxJobs := flag.Int("max-jobs", 0, "bound on the in-memory async job store (0 = 64)")
 	pprofOn := flag.Bool("pprof", false, "serve the Go profiling endpoints under /debug/pprof/ (off by default: they expose process internals)")
@@ -89,6 +100,7 @@ func main() {
 		Options: core.Options{
 			MaxExhaustivePipelineProcs: *maxProcs,
 			MaxExhaustiveForkProcs:     *maxProcs,
+			Parallelism:                *parallelism,
 		},
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

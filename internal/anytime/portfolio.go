@@ -8,6 +8,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repliflow/internal/incumbent"
 	"repliflow/internal/mapping"
 	"repliflow/internal/numeric"
 	"repliflow/internal/platform"
@@ -88,48 +89,6 @@ type Result struct {
 	Iterations uint64
 }
 
-// incumbent is the best-so-far mapping shared by every member.
-type incumbent[M any] struct {
-	mu    sync.Mutex
-	m     M
-	c     mapping.Cost
-	found bool
-}
-
-// offer installs a feasible candidate iff it strictly improves the
-// incumbent's objective, reporting whether it did. The caller must not
-// mutate m afterwards.
-func (in *incumbent[M]) offer(spec Spec, m M, c mapping.Cost) bool {
-	if !spec.Feasible(c) {
-		return false
-	}
-	in.mu.Lock()
-	defer in.mu.Unlock()
-	if in.found && !numeric.Less(spec.Objective(c), spec.Objective(in.c)) {
-		return false
-	}
-	in.m, in.c, in.found = m, c, true
-	return true
-}
-
-// adopt installs an exact optimum unconditionally-on-tie: exact results
-// replace equal-cost incumbents so certified runs return the exact
-// member's mapping.
-func (in *incumbent[M]) adopt(spec Spec, m M, c mapping.Cost) {
-	in.mu.Lock()
-	defer in.mu.Unlock()
-	if in.found && numeric.Less(spec.Objective(in.c), spec.Objective(c)) {
-		return
-	}
-	in.m, in.c, in.found = m, c, true
-}
-
-func (in *incumbent[M]) snapshot() (M, mapping.Cost, bool) {
-	in.mu.Lock()
-	defer in.mu.Unlock()
-	return in.m, in.c, in.found
-}
-
 // run is the kind-generic portfolio loop. seeds are candidate mappings
 // (invalid ones are skipped); eval returns a candidate's cost (false =
 // structurally invalid); mutate returns a fresh mutated copy and must
@@ -150,10 +109,10 @@ func run[M any](
 	cfg = cfg.normalized()
 	res.LowerBound = lb
 
-	inc := &incumbent[M]{}
+	inc := &incumbent.Best[M]{}
 	for _, s := range seeds {
 		if sc, ok := eval(s); ok {
-			inc.offer(spec, s, sc)
+			inc.Offer(spec, s, sc)
 		}
 	}
 
@@ -170,7 +129,7 @@ func run[M any](
 		}
 
 		// Already at the bound? No search needed.
-		if _, bc, ok := inc.snapshot(); ok && numeric.LessEq(spec.Objective(bc), lb) {
+		if _, bc, ok := inc.Snapshot(); ok && numeric.LessEq(spec.Objective(bc), lb) {
 			certify()
 		}
 
@@ -184,7 +143,7 @@ func run[M any](
 					return // cancelled or failed: the incumbent stands uncertified
 				}
 				if ex.Feasible {
-					inc.adopt(spec, fromExact(ex), ex.Cost)
+					inc.Adopt(spec, fromExact(ex), ex.Cost)
 				} else {
 					provenInfeasible.Store(true)
 				}
@@ -199,12 +158,12 @@ func run[M any](
 			}(w)
 		}
 		wg.Wait()
-	} else if _, bc, ok := inc.snapshot(); ok && numeric.LessEq(spec.Objective(bc), lb) {
+	} else if _, bc, ok := inc.Snapshot(); ok && numeric.LessEq(spec.Objective(bc), lb) {
 		optimal.Store(true) // a seed already proves the bound
 	}
 
 	res.Iterations = iters.Load()
-	bm, bc, found := inc.snapshot()
+	bm, bc, found := inc.Snapshot()
 	if !found {
 		// No feasible mapping surfaced: an infeasible verdict, exact
 		// when the exact member proved it.
@@ -227,7 +186,7 @@ func run[M any](
 // restart from it on stall.
 func anneal[M any](
 	ctx context.Context, spec Spec, cfg Config, lb float64, id int,
-	inc *incumbent[M], iters *atomic.Uint64, certify func(),
+	inc *incumbent.Best[M], iters *atomic.Uint64, certify func(),
 	seeds []M,
 	eval func(M) (mapping.Cost, bool),
 	mutate func(*rand.Rand, M) M,
@@ -250,7 +209,7 @@ func anneal[M any](
 	// Start from the incumbent when one exists, else from this member's
 	// seed (members spread over the seed list).
 	start := func() (M, float64, bool) {
-		if m, c, ok := inc.snapshot(); ok {
+		if m, c, ok := inc.Snapshot(); ok {
 			return m, energy(c), true
 		}
 		for off := 0; off < len(seeds); off++ {
@@ -289,7 +248,7 @@ func anneal[M any](
 		if e <= curE || (temp > 0 && rng.Float64() < math.Exp((curE-e)/temp)) {
 			cur, curE = cand, e
 		}
-		if inc.offer(spec, cand, c) {
+		if inc.Offer(spec, cand, c) {
 			stalled = 0
 			if numeric.LessEq(spec.Objective(c), lb) {
 				certify() // reached the lower bound: proven optimal
@@ -309,7 +268,7 @@ func anneal[M any](
 			if restarts > 2 {
 				return
 			}
-			if m, c, ok := inc.snapshot(); ok {
+			if m, c, ok := inc.Snapshot(); ok {
 				cur, curE = m, energy(c)
 			}
 			temp = t0

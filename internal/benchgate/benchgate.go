@@ -33,8 +33,13 @@ type Baseline struct {
 	// Tolerance is the allowed slowdown factor (e.g. 1.25 = +25%);
 	// <= 1 selects DefaultTolerance.
 	Tolerance float64 `json:"tolerance,omitempty"`
-	// Benchmarks maps bare benchmark names (no -GOMAXPROCS suffix) to
-	// their baseline ns/op.
+	// Benchmarks maps benchmark names to their baseline ns/op. Names are
+	// keyed exactly as ParseResults normalizes them: the -GOMAXPROCS
+	// suffix of a single-core run ("-1") is dropped, so the bare name
+	// always means the serial measurement, while multi-core runs (-cpu
+	// 4 → "BenchmarkX-4") keep their suffix and are gated as separate
+	// entries — a parallel speedup claim lives next to the serial gate it
+	// is measured against.
 	Benchmarks map[string]float64 `json:"benchmarks"`
 	// Allocs maps benchmark names to their baseline allocs/op; listed
 	// benchmarks are additionally gated on allocation count, which
@@ -90,10 +95,24 @@ type Result struct {
 //
 //	BenchmarkSolveCached-4   	    1000	     37517 ns/op	   12284 B/op	     149 allocs/op
 //
-// The -4 suffix is the GOMAXPROCS the run used; it is stripped so the
-// gate is insensitive to runner core counts. The B/op + allocs/op tail
-// is present only under -benchmem.
-var benchLine = regexp.MustCompile(`^(Benchmark[^\s]*?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op(?:\s+([0-9.]+) B/op\s+([0-9.]+) allocs/op)?`)
+// The -4 suffix is the GOMAXPROCS (or -cpu value) the run used; it is
+// captured separately and normalized by resultKey. The B/op + allocs/op
+// tail is present only under -benchmem.
+var benchLine = regexp.MustCompile(`^(Benchmark[^\s]*?)(-\d+)?\s+\d+\s+([0-9.]+) ns/op(?:\s+([0-9.]+) B/op\s+([0-9.]+) allocs/op)?`)
+
+// resultKey normalizes a benchmark name + -GOMAXPROCS suffix into its
+// baseline key: "-1" (and a bare name, which go test emits when
+// GOMAXPROCS is 1 and matches the procs count) collapse to the bare
+// name — both mean the serial measurement — while any other suffix is
+// kept, so a -cpu 1,4 run yields two distinct keys ("BenchmarkX" and
+// "BenchmarkX-4") instead of min-merging the 4-core time into the
+// serial gate.
+func resultKey(name, suffix string) string {
+	if suffix == "" || suffix == "-1" {
+		return name
+	}
+	return name + suffix
+}
 
 // ParseResults extracts {benchmark name -> reduced Result} from `go test
 // -bench` output. Repeated runs of one benchmark (-count N) reduce to
@@ -109,20 +128,21 @@ func ParseResults(r io.Reader) (map[string]Result, error) {
 		if m == nil {
 			continue
 		}
-		ns, err := strconv.ParseFloat(m[2], 64)
+		ns, err := strconv.ParseFloat(m[3], 64)
 		if err != nil {
 			return nil, fmt.Errorf("benchgate: bad ns/op on line %q: %w", sc.Text(), err)
 		}
 		res := Result{NsPerOp: ns}
-		if m[4] != "" {
-			allocs, err := strconv.ParseFloat(m[4], 64)
+		if m[5] != "" {
+			allocs, err := strconv.ParseFloat(m[5], 64)
 			if err != nil {
 				return nil, fmt.Errorf("benchgate: bad allocs/op on line %q: %w", sc.Text(), err)
 			}
 			res.AllocsPerOp = allocs
 			res.HasAllocs = true
 		}
-		out[m[1]] = MergeResult(out[m[1]], res)
+		key := resultKey(m[1], m[2])
+		out[key] = MergeResult(out[key], res)
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err

@@ -25,9 +25,40 @@ func TestParseResultsTakesFastestRun(t *testing.T) {
 		t.Fatal(err)
 	}
 	want := map[string]Result{
-		"BenchmarkSolveCached":             {NsPerOp: 37517, AllocsPerOp: 149, HasAllocs: true},
-		"BenchmarkEngineSolveBatch/Engine": {NsPerOp: 27152174},
-		"BenchmarkEngineSolveBatch/Serial": {NsPerOp: 99165543},
+		"BenchmarkSolveCached-4":             {NsPerOp: 37517, AllocsPerOp: 149, HasAllocs: true},
+		"BenchmarkEngineSolveBatch/Engine-4": {NsPerOp: 27152174},
+		"BenchmarkEngineSolveBatch/Serial":   {NsPerOp: 99165543},
+	}
+	if len(res) != len(want) {
+		t.Fatalf("parsed %d benchmarks, want %d: %v", len(res), len(want), res)
+	}
+	for name, r := range want {
+		if res[name] != r {
+			t.Errorf("%s = %+v, want %+v", name, res[name], r)
+		}
+	}
+}
+
+// TestParseResultsNormalizesCPUSuffix: a -cpu 1,4 run interleaves
+// GOMAXPROCS variants of one benchmark. The -1 suffix (and a bare name)
+// normalizes to the serial key; other suffixes stay distinct keys, so
+// the 4-core time can never min-merge into the serial gate.
+func TestParseResultsNormalizesCPUSuffix(t *testing.T) {
+	const out = `BenchmarkSolveSingleLarge/Serial-1     	       2	 500000000 ns/op	     100 B/op	       5 allocs/op
+BenchmarkSolveSingleLarge/Serial-4     	       2	 480000000 ns/op	     100 B/op	       5 allocs/op
+BenchmarkSolveSingleLarge/Parallel-1   	       2	 510000000 ns/op
+BenchmarkSolveSingleLarge/Parallel-4   	       8	 150000000 ns/op
+BenchmarkSolveSingleLarge/Serial-1     	       2	 490000000 ns/op	     100 B/op	       4 allocs/op
+`
+	res, err := ParseResults(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]Result{
+		"BenchmarkSolveSingleLarge/Serial":     {NsPerOp: 490000000, AllocsPerOp: 4, HasAllocs: true},
+		"BenchmarkSolveSingleLarge/Serial-4":   {NsPerOp: 480000000, AllocsPerOp: 5, HasAllocs: true},
+		"BenchmarkSolveSingleLarge/Parallel":   {NsPerOp: 510000000},
+		"BenchmarkSolveSingleLarge/Parallel-4": {NsPerOp: 150000000},
 	}
 	if len(res) != len(want) {
 		t.Fatalf("parsed %d benchmarks, want %d: %v", len(res), len(want), res)

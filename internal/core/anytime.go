@@ -123,7 +123,9 @@ func solvePipelineAnytime(ctx context.Context, pr Problem, opts Options) (Soluti
 	cfg := anytime.Config{Seed: anytimeSeedBase(pr)}
 	if pl.Processors() <= opts.MaxExhaustivePipelineProcs {
 		cfg.Exact = func(ctx context.Context) (anytime.Exact, error) {
-			res, ok, err := exhaustivePipeline(ctx, pr)
+			// The portfolio already saturates cores with concurrent
+			// members; its exact member stays serial.
+			res, ok, err := exhaustivePipeline(ctx, pr, 1)
 			if err != nil {
 				return anytime.Exact{}, err
 			}
@@ -155,7 +157,7 @@ func solveForkAnytime(ctx context.Context, pr Problem, opts Options) (Solution, 
 	cfg := anytime.Config{Seed: anytimeSeedBase(pr)}
 	if f.Leaves()+1 <= opts.MaxExhaustiveForkStages && pl.Processors() <= opts.MaxExhaustiveForkProcs {
 		cfg.Exact = func(ctx context.Context) (anytime.Exact, error) {
-			res, ok, err := exhaustiveFork(ctx, pr)
+			res, ok, err := exhaustiveFork(ctx, pr, 1)
 			if err != nil {
 				return anytime.Exact{}, err
 			}
@@ -176,7 +178,7 @@ func solveForkJoinAnytime(ctx context.Context, pr Problem, opts Options) (Soluti
 	cfg := anytime.Config{Seed: anytimeSeedBase(pr)}
 	if fj.Leaves()+2 <= opts.MaxExhaustiveForkStages && pl.Processors() <= opts.MaxExhaustiveForkProcs {
 		cfg.Exact = func(ctx context.Context) (anytime.Exact, error) {
-			res, ok, err := exhaustiveForkJoin(ctx, pr)
+			res, ok, err := exhaustiveForkJoin(ctx, pr, 1)
 			if err != nil {
 				return anytime.Exact{}, err
 			}

@@ -1,0 +1,54 @@
+package core
+
+import "runtime"
+
+// Auto-mode crossover thresholds: sharding a search has a fixed fan-out
+// cost (goroutines, per-worker scratch, and for the pipeline DP a
+// full-table level sweep instead of the reachable-state recursion), so
+// negative Parallelism only parallelizes searches whose serial cost
+// dwarfs that overhead. Pipelines qualify once the DP table
+// (stages << procs states) reaches parMinPipelineStates; forks and
+// fork-joins once both the partition item count and the processor count
+// are non-trivial. Explicit positive Parallelism skips the heuristic.
+// The values are documented in docs/performance.md; change both together.
+const (
+	parMinPipelineStates = 4096
+	parMinForkItems      = 5
+	parMinForkProcs      = 4
+)
+
+// searchParallelism resolves Options.Parallelism into the concrete
+// worker count of one exhaustive search on pr: explicit counts above 1
+// apply as-is, 0/1 stay serial, and negative values (auto) use up to
+// -n workers (-1 = GOMAXPROCS) when the instance clears the crossover.
+func searchParallelism(opts Options, pr Problem) int {
+	par := opts.Parallelism
+	if par >= 0 {
+		if par <= 1 {
+			return 1
+		}
+		return par
+	}
+	want := -par
+	if par == -1 {
+		want = runtime.GOMAXPROCS(0)
+	}
+	if want < 2 || !parallelWorthwhile(pr) {
+		return 1
+	}
+	return want
+}
+
+// parallelWorthwhile is the auto-mode crossover heuristic on a validated
+// problem.
+func parallelWorthwhile(pr Problem) bool {
+	p := pr.Platform.Processors()
+	switch {
+	case pr.Pipeline != nil:
+		return pr.Pipeline.Stages()<<p >= parMinPipelineStates
+	case pr.Fork != nil:
+		return pr.Fork.Leaves()+1 >= parMinForkItems && p >= parMinForkProcs
+	default:
+		return pr.ForkJoin.Leaves()+2 >= parMinForkItems && p >= parMinForkProcs
+	}
+}

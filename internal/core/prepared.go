@@ -20,6 +20,9 @@ type PreparedSolver struct {
 	base Problem
 	opts Options
 	fns  [4]PreparedSolve // indexed by Objective
+	// setPar retunes the shared prepared solver's worker count (nil when
+	// the cell has no parallel path); see SetParallelism.
+	setPar func(workers int)
 }
 
 // preparableObjectives is every objective a PreparedSolver dispatches.
@@ -48,7 +51,7 @@ func Prepare(pr Problem, opts Options) (*PreparedSolver, bool) {
 	// All hard cells of one graph kind register the same Prepare
 	// implementation, so the first successful preparation is shared by
 	// every objective whose cell has the capability.
-	var shared PreparedSolve
+	var shared *PreparedCell
 	n := 0
 	for _, obj := range preparableObjectives {
 		sub.Objective = obj
@@ -61,13 +64,29 @@ func Prepare(pr Problem, opts Options) (*PreparedSolver, bool) {
 				return nil, false // outside the exhaustive limits
 			}
 		}
-		ps.fns[obj] = shared
+		ps.fns[obj] = shared.Solve
 		n++
 	}
 	if n == 0 {
 		return nil, false
 	}
+	ps.setPar = shared.SetParallelism
+	ps.SetParallelism(opts.Parallelism)
 	return ps, true
+}
+
+// SetParallelism retunes the per-solve search parallelism of subsequent
+// Solve calls, using the Options.Parallelism encoding (0/1 serial, n > 1
+// explicit workers, negative auto). Results are byte-identical at every
+// setting, so engines may retune between solves — donating idle pool
+// workers to one solve, withdrawing them for the next — without
+// invalidating the shared memos.
+func (ps *PreparedSolver) SetParallelism(par int) {
+	if ps.setPar == nil {
+		return
+	}
+	ps.opts.Parallelism = par
+	ps.setPar(searchParallelism(ps.opts, ps.base))
 }
 
 // Solve solves the prepared instance under the given objective and bound

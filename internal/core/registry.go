@@ -48,6 +48,18 @@ type SolverFunc func(ctx context.Context, pr Problem, opts Options) (Solution, e
 // A PreparedSolve is not safe for concurrent use; callers pool instances.
 type PreparedSolve func(ctx context.Context, pr Problem) (Solution, error)
 
+// PreparedCell is the product of a cell's Prepare capability: the solve
+// closure plus the tunables of the underlying shared solver.
+type PreparedCell struct {
+	Solve PreparedSolve
+	// SetParallelism retunes the worker count of subsequent solves to a
+	// concrete, already-resolved value (engine pools donate idle slots
+	// per solve). Nil when the cell's solver has no parallel path.
+	// Results stay byte-identical at every setting, so retuning between
+	// solves never invalidates the prepared solver's memos.
+	SetParallelism func(workers int)
+}
+
 // SolverEntry is one registered solver: the algorithm family used for
 // in-limit instances, whether that family is exact, the paper result
 // backing the cell, and the solver itself. On NP-hard cells Method and
@@ -67,7 +79,7 @@ type SolverEntry struct {
 	// exceeds the exhaustive limits, so solves take the heuristic path).
 	// All cells of one graph kind share a single Prepare implementation,
 	// so one prepared instance serves every objective of the family.
-	Prepare func(pr Problem, opts Options) PreparedSolve
+	Prepare func(pr Problem, opts Options) *PreparedCell
 }
 
 // registry maps every Table 1 dispatch cell to its solver. It is populated

@@ -123,6 +123,18 @@ type Options struct {
 	// heuristic answer. Zero keeps the legacy exhaustive-or-heuristic
 	// behaviour. Polynomial cells ignore the budget.
 	AnytimeBudget time.Duration
+	// Parallelism partitions the search space of each exhaustive solve
+	// across workers that share an atomic incumbent bound: values above 1
+	// run that many workers per solve, 0 and 1 keep the search serial
+	// (the default — the serial path is allocation-clean), and negative
+	// values select auto mode, using up to -n workers (-1 = GOMAXPROCS)
+	// only on instances large enough to clear the crossover heuristic of
+	// docs/performance.md (small searches finish before the fan-out pays
+	// for itself). Exact results are byte-identical at every setting:
+	// shards merge in a fixed order, so equal-cost ties resolve exactly as
+	// in the serial scan. Heuristic, anytime-portfolio and polynomial
+	// paths ignore the setting.
+	Parallelism int
 }
 
 // DefaultOptions are the limits used when Solve is called with the zero

@@ -189,7 +189,7 @@ func solveForkHard(ctx context.Context, pr Problem, opts Options) (Solution, err
 	pl := pr.Platform
 	cl := classificationOf(pr)
 	if f.Leaves()+1 <= opts.MaxExhaustiveForkStages && pl.Processors() <= opts.MaxExhaustiveForkProcs {
-		res, ok, err := exhaustiveFork(ctx, pr)
+		res, ok, err := exhaustiveFork(ctx, pr, searchParallelism(opts, pr))
 		if err != nil {
 			return Solution{}, err
 		}
@@ -227,34 +227,19 @@ func solveForkHard(ctx context.Context, pr Problem, opts Options) (Solution, err
 
 // exhaustiveFork runs the exact set-partition search matching pr's
 // objective — shared by the unbudgeted exact path and the anytime
-// portfolio's exact member.
-func exhaustiveFork(ctx context.Context, pr Problem) (exhaustive.ForkResult, bool, error) {
-	f, pl, dp := *pr.Fork, pr.Platform, pr.AllowDataParallel
-	switch pr.Objective {
-	case MinPeriod:
-		return exhaustive.ForkPeriodCtx(ctx, f, pl, dp)
-	case MinLatency:
-		return exhaustive.ForkLatencyCtx(ctx, f, pl, dp)
-	case LatencyUnderPeriod:
-		return exhaustive.ForkLatencyUnderPeriodCtx(ctx, f, pl, dp, pr.Bound)
-	default:
-		return exhaustive.ForkPeriodUnderLatencyCtx(ctx, f, pl, dp, pr.Bound)
-	}
+// portfolio's exact member. par is the resolved worker count of the
+// sharded scan (<= 1 serial); it never changes the result.
+func exhaustiveFork(ctx context.Context, pr Problem, par int) (exhaustive.ForkResult, bool, error) {
+	fp := exhaustive.NewForkPrepared(*pr.Fork, pr.Platform, pr.AllowDataParallel)
+	fp.SetParallelism(par)
+	return preparedForkDispatch(ctx, fp, pr)
 }
 
 // exhaustiveForkJoin is exhaustiveFork for fork-join graphs.
-func exhaustiveForkJoin(ctx context.Context, pr Problem) (exhaustive.ForkJoinResult, bool, error) {
-	fj, pl, dp := *pr.ForkJoin, pr.Platform, pr.AllowDataParallel
-	switch pr.Objective {
-	case MinPeriod:
-		return exhaustive.ForkJoinPeriodCtx(ctx, fj, pl, dp)
-	case MinLatency:
-		return exhaustive.ForkJoinLatencyCtx(ctx, fj, pl, dp)
-	case LatencyUnderPeriod:
-		return exhaustive.ForkJoinLatencyUnderPeriodCtx(ctx, fj, pl, dp, pr.Bound)
-	default:
-		return exhaustive.ForkJoinPeriodUnderLatencyCtx(ctx, fj, pl, dp, pr.Bound)
-	}
+func exhaustiveForkJoin(ctx context.Context, pr Problem, par int) (exhaustive.ForkJoinResult, bool, error) {
+	fp := exhaustive.NewForkJoinPrepared(*pr.ForkJoin, pr.Platform, pr.AllowDataParallel)
+	fp.SetParallelism(par)
+	return preparedForkJoinDispatch(ctx, fp, pr)
 }
 
 // forkHeuristicCandidates returns the polynomial heuristic mappings of
@@ -367,7 +352,7 @@ func solveForkJoinHard(ctx context.Context, pr Problem, opts Options) (Solution,
 	pl := pr.Platform
 	cl := classificationOf(pr)
 	if fj.Leaves()+2 <= opts.MaxExhaustiveForkStages && pl.Processors() <= opts.MaxExhaustiveForkProcs {
-		res, ok, err := exhaustiveForkJoin(ctx, pr)
+		res, ok, err := exhaustiveForkJoin(ctx, pr, searchParallelism(opts, pr))
 		if err != nil {
 			return Solution{}, err
 		}
@@ -426,12 +411,13 @@ func preparedForkDispatch(ctx context.Context, fp *exhaustive.ForkPrepared, pr P
 // exhaustive.ForkPrepared — enumeration scratch, anytime bounds,
 // per-bound memo — across every solve of the family, byte-identical to
 // solveForkHard. Outside the limits it returns nil.
-func prepareForkHard(pr Problem, opts Options) PreparedSolve {
+func prepareForkHard(pr Problem, opts Options) *PreparedCell {
 	if pr.Fork.Leaves()+1 > opts.MaxExhaustiveForkStages || pr.Platform.Processors() > opts.MaxExhaustiveForkProcs {
 		return nil
 	}
 	fp := exhaustive.NewForkPrepared(*pr.Fork, pr.Platform, pr.AllowDataParallel)
-	return func(ctx context.Context, pr Problem) (Solution, error) {
+	fp.SetParallelism(searchParallelism(opts, pr))
+	solve := func(ctx context.Context, pr Problem) (Solution, error) {
 		res, ok, err := preparedForkDispatch(ctx, fp, pr)
 		if err != nil {
 			return Solution{}, err
@@ -442,6 +428,7 @@ func prepareForkHard(pr Problem, opts Options) PreparedSolve {
 		}
 		return forkSolution(res.Mapping, res.Cost, MethodExhaustive, true, cl), nil
 	}
+	return &PreparedCell{Solve: solve, SetParallelism: fp.SetParallelism}
 }
 
 // preparedForkJoinDispatch is exhaustiveForkJoin on a shared prepared
@@ -460,12 +447,13 @@ func preparedForkJoinDispatch(ctx context.Context, fp *exhaustive.ForkJoinPrepar
 }
 
 // prepareForkJoinHard is prepareForkHard for fork-join graphs.
-func prepareForkJoinHard(pr Problem, opts Options) PreparedSolve {
+func prepareForkJoinHard(pr Problem, opts Options) *PreparedCell {
 	if pr.ForkJoin.Leaves()+2 > opts.MaxExhaustiveForkStages || pr.Platform.Processors() > opts.MaxExhaustiveForkProcs {
 		return nil
 	}
 	fp := exhaustive.NewForkJoinPrepared(*pr.ForkJoin, pr.Platform, pr.AllowDataParallel)
-	return func(ctx context.Context, pr Problem) (Solution, error) {
+	fp.SetParallelism(searchParallelism(opts, pr))
+	solve := func(ctx context.Context, pr Problem) (Solution, error) {
 		res, ok, err := preparedForkJoinDispatch(ctx, fp, pr)
 		if err != nil {
 			return Solution{}, err
@@ -476,4 +464,5 @@ func prepareForkJoinHard(pr Problem, opts Options) PreparedSolve {
 		}
 		return forkJoinSolution(res.Mapping, res.Cost, MethodExhaustive, true, cl), nil
 	}
+	return &PreparedCell{Solve: solve, SetParallelism: fp.SetParallelism}
 }

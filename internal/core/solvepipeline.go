@@ -203,7 +203,7 @@ func solvePipelineHard(ctx context.Context, pr Problem, opts Options) (Solution,
 	pl := pr.Platform
 	cl := classificationOf(pr)
 	if pl.Processors() <= opts.MaxExhaustivePipelineProcs {
-		res, ok, err := exhaustivePipeline(ctx, pr)
+		res, ok, err := exhaustivePipeline(ctx, pr, searchParallelism(opts, pr))
 		if err != nil {
 			return Solution{}, err
 		}
@@ -224,19 +224,13 @@ func solvePipelineHard(ctx context.Context, pr Problem, opts Options) (Solution,
 
 // exhaustivePipeline runs the exact exponential search matching pr's
 // objective — the single dispatch shared by the unbudgeted exact path
-// and the anytime portfolio's exact member.
-func exhaustivePipeline(ctx context.Context, pr Problem) (exhaustive.PipelineResult, bool, error) {
-	p, pl, dp := *pr.Pipeline, pr.Platform, pr.AllowDataParallel
-	switch pr.Objective {
-	case MinPeriod:
-		return exhaustive.PipelinePeriodCtx(ctx, p, pl, dp)
-	case MinLatency:
-		return exhaustive.PipelineLatencyCtx(ctx, p, pl, dp)
-	case LatencyUnderPeriod:
-		return exhaustive.PipelineLatencyUnderPeriodCtx(ctx, p, pl, dp, pr.Bound)
-	default:
-		return exhaustive.PipelinePeriodUnderLatencyCtx(ctx, p, pl, dp, pr.Bound)
-	}
+// and the anytime portfolio's exact member. par is the resolved worker
+// count of the partitioned search (<= 1 serial); it never changes the
+// result, only the schedule.
+func exhaustivePipeline(ctx context.Context, pr Problem, par int) (exhaustive.PipelineResult, bool, error) {
+	pp := exhaustive.NewPipelinePrepared(*pr.Pipeline, pr.Platform, pr.AllowDataParallel)
+	pp.SetParallelism(par)
+	return preparedPipelineDispatch(ctx, pp, pr)
 }
 
 // preparedPipelineDispatch is exhaustivePipeline on a shared prepared
@@ -260,12 +254,13 @@ func preparedPipelineDispatch(ctx context.Context, pp *exhaustive.PipelinePrepar
 // candidate periods, per-bound memo — across every solve of the family,
 // byte-identical to solvePipelineHard. Outside the limits it returns nil
 // (the heuristic path has no per-solve setup worth sharing).
-func preparePipelineHard(pr Problem, opts Options) PreparedSolve {
+func preparePipelineHard(pr Problem, opts Options) *PreparedCell {
 	if pr.Platform.Processors() > opts.MaxExhaustivePipelineProcs {
 		return nil
 	}
 	pp := exhaustive.NewPipelinePrepared(*pr.Pipeline, pr.Platform, pr.AllowDataParallel)
-	return func(ctx context.Context, pr Problem) (Solution, error) {
+	pp.SetParallelism(searchParallelism(opts, pr))
+	solve := func(ctx context.Context, pr Problem) (Solution, error) {
 		res, ok, err := preparedPipelineDispatch(ctx, pp, pr)
 		if err != nil {
 			return Solution{}, err
@@ -276,6 +271,7 @@ func preparePipelineHard(pr Problem, opts Options) PreparedSolve {
 		}
 		return pipeSolution(res.Mapping, res.Cost, MethodExhaustive, true, cl), nil
 	}
+	return &PreparedCell{Solve: solve, SetParallelism: pp.SetParallelism}
 }
 
 // pipelineHeuristicCandidates returns the polynomial heuristic mappings

@@ -201,11 +201,13 @@ func (e *Engine) solveVia(ctx context.Context, pr core.Problem, opts core.Option
 			return core.Solution{}, en.err
 		}
 		e.misses.Add(1)
+		solveOpts, extra := e.donate(opts)
 		if via != nil {
-			en.sol, en.err = via(ctx, pr, opts)
+			en.sol, en.err = via(ctx, pr, solveOpts)
 		} else {
-			en.sol, en.err = core.SolveContext(ctx, pr, opts)
+			en.sol, en.err = core.SolveContext(ctx, pr, solveOpts)
 		}
+		e.releaseExtra(extra)
 		// An anytime incumbent returned while this caller's context is
 		// dead was truncated by the deadline, not by its budget (a
 		// budget expiry never cancels ctx): flag it before releasing
@@ -219,6 +221,62 @@ func (e *Engine) solveVia(ctx context.Context, pr core.Problem, opts core.Option
 			e.dropEntry(key, en)
 		}
 		return cloneSolution(en.sol), en.err
+	}
+}
+
+// donate resolves Options.Parallelism against the engine's solve-slot
+// budget for one solve that already holds its main slot. A request for n
+// workers claims up to n-1 extra slots without blocking — a solve on an
+// otherwise-idle pool absorbs the idle workers, while a loaded pool
+// donates nothing and the solve runs serial — so intra-solve parallelism
+// can never oversubscribe the engine beyond its configured worker count.
+// The returned options carry the granted worker count in the original
+// encoding's sign (negative stays auto, so the core crossover heuristic
+// still applies per instance); the caller must return the extra slots
+// with releaseExtra. The serial path (Parallelism 0 or 1) takes the
+// first return and allocates nothing.
+func (e *Engine) donate(opts core.Options) (core.Options, int) {
+	par := opts.Parallelism
+	if par == 0 || par == 1 {
+		return opts, 0
+	}
+	want := par
+	if par < 0 {
+		want = -par
+		if par == -1 {
+			want = e.workers
+			if g := runtime.GOMAXPROCS(0); g < want {
+				want = g
+			}
+		}
+	}
+	extra := 0
+	for extra < want-1 {
+		select {
+		case e.sem <- struct{}{}:
+			extra++
+			continue
+		default:
+		}
+		break
+	}
+	switch {
+	case par > 1:
+		opts.Parallelism = 1 + extra
+	case extra > 0:
+		opts.Parallelism = -(1 + extra)
+	default:
+		// Auto mode with no spare slots: plain serial. (-1 would mean
+		// "up to GOMAXPROCS", the opposite of what the empty pool says.)
+		opts.Parallelism = 1
+	}
+	return opts, extra
+}
+
+// releaseExtra returns the extra solve slots claimed by donate.
+func (e *Engine) releaseExtra(extra int) {
+	for ; extra > 0; extra-- {
+		<-e.sem
 	}
 }
 
@@ -403,6 +461,10 @@ func (p *preparedPool) solve(ctx context.Context, pr core.Problem, opts core.Opt
 		return core.SolveContext(ctx, pr, opts)
 	}
 	defer p.pool.Put(ps)
+	// The engine's slot donation rewrites Parallelism per solve; retune
+	// the pooled solver to this solve's grant (byte-identical results at
+	// every setting, so the pooled memos stay valid).
+	ps.SetParallelism(opts.Parallelism)
 	return ps.SolveProblem(ctx, pr)
 }
 

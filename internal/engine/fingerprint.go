@@ -65,6 +65,12 @@ func appendFingerprint(b []byte, pr core.Problem, opts core.Options) []byte {
 	if budget > 0 && core.ClassifyCell(core.CellKeyOf(pr)).Complexity.Polynomial() {
 		budget = 0
 	}
+	// Options.Parallelism is deliberately NOT encoded: exact solves are
+	// byte-identical at every worker count (the determinism contract of
+	// the partitioned search), so serial and parallel solves of one
+	// instance share a cache entry — and the engine's per-solve slot
+	// donation, which rewrites Parallelism on the fly, cannot fragment
+	// the cache.
 	return binary.AppendVarint(b, int64(budget))
 }
 

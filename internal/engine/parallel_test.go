@@ -1,0 +1,124 @@
+package engine
+
+import (
+	"context"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repliflow/internal/core"
+)
+
+// TestParallelEngineSolveIdentity: engine solves with intra-solve
+// parallelism — including the donation path, where a solve claims idle
+// pool slots and rewrites its own worker count — return exactly the
+// serial solutions. Separate engines per setting keep the caches from
+// answering for the path under test.
+func TestParallelEngineSolveIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	ctx := context.Background()
+	problems := make([]core.Problem, 25)
+	for i := range problems {
+		problems[i] = randomProblem(rng)
+	}
+	serial := New(1)
+	for _, par := range []int{2, -1, -4} {
+		e := New(4)
+		for i, pr := range problems {
+			want, err := serial.Solve(ctx, pr, core.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := e.Solve(ctx, pr, core.Options{Parallelism: par})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("problem %d par=%d: engine parallel solve diverges\n got %+v\nwant %+v\nfor %+v",
+					i, par, got, want, pr)
+			}
+		}
+	}
+}
+
+// TestParallelEngineBatchIdentity: a batch solved with intra-solve
+// parallelism enabled — pool workers and donated slots competing for the
+// same semaphore — returns exactly the serial batch's solutions.
+func TestParallelEngineBatchIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(103))
+	ctx := context.Background()
+	problems := make([]core.Problem, 40)
+	for i := range problems {
+		problems[i] = randomProblem(rng)
+	}
+	want, err := SolveBatch(ctx, problems, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := New(4).SolveBatch(ctx, problems, core.Options{Parallelism: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("parallel batch diverges from serial batch")
+	}
+}
+
+// TestParallelDonationAccounting: donate must never hand out more
+// slots than the pool holds, must resolve the rewritten Parallelism to
+// the claimed budget, and releaseExtra must return every claimed slot.
+func TestParallelDonationAccounting(t *testing.T) {
+	e := New(3)
+	// A real solve holds its main slot before donating (solveVia); the
+	// test mirrors that so the claimed extras measure the free pool.
+	e.sem <- struct{}{}
+	defer func() { <-e.sem }()
+
+	// Serial solves pass through untouched and claim nothing.
+	for _, par := range []int{0, 1} {
+		opts, extra := e.donate(core.Options{Parallelism: par})
+		if extra != 0 || opts.Parallelism != par {
+			t.Fatalf("donate(par=%d) = (par=%d, extra=%d), want passthrough", par, opts.Parallelism, extra)
+		}
+	}
+
+	// An explicit request claims up to want-1 extras from the free pool:
+	// main slot + 2 extras = the whole 3-pool, never more.
+	opts, extra := e.donate(core.Options{Parallelism: 8})
+	if extra != 2 || opts.Parallelism != 3 {
+		t.Fatalf("donate(par=8) on an idle 3-pool = (par=%d, extra=%d), want (3, 2)", opts.Parallelism, extra)
+	}
+	// The pool is now full: further requests degrade to serial instead
+	// of oversubscribing.
+	opts2, extra2 := e.donate(core.Options{Parallelism: 8})
+	if extra2 != 0 || opts2.Parallelism != 1 {
+		t.Fatalf("donate(par=8) on a full pool = (par=%d, extra=%d), want (1, 0)", opts2.Parallelism, extra2)
+	}
+	opts3, extra3 := e.donate(core.Options{Parallelism: -5})
+	if extra3 != 0 || opts3.Parallelism != 1 {
+		t.Fatalf("donate(par=-5) on a full pool = (par=%d, extra=%d), want serial fallback (1, 0)", opts3.Parallelism, extra3)
+	}
+	e.releaseExtra(extra)
+
+	// Auto mode resolves -1 to the pool size (capped by GOMAXPROCS) and
+	// the released slots are claimable again. With extras the rewrite
+	// stays negative (auto, so the crossover heuristic still applies);
+	// without extras it pins 1 — a -1 passthrough would wrongly mean
+	// GOMAXPROCS inside the solve.
+	opts4, extra4 := e.donate(core.Options{Parallelism: -1})
+	switch {
+	case extra4 == 0 && opts4.Parallelism != 1:
+		t.Fatalf("donate(par=-1) with no extras rewrote to %d, want 1", opts4.Parallelism)
+	case extra4 > 0 && opts4.Parallelism != -(1+extra4):
+		t.Fatalf("donate(par=-1) claimed %d extras but rewrote to %d, want %d", extra4, opts4.Parallelism, -(1 + extra4))
+	}
+	e.releaseExtra(extra4)
+
+	// After every release the free pool is whole again (2 slots beside
+	// the held main slot).
+	_, extra5 := e.donate(core.Options{Parallelism: 99})
+	if extra5 != 2 {
+		t.Fatalf("pool leaked slots: claimed %d extras after releases, want 2", extra5)
+	}
+	e.releaseExtra(extra5)
+}

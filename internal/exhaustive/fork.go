@@ -24,6 +24,16 @@ type ForkResult struct {
 // false to abort the enumeration early. assign is the scratch slice the
 // enumeration writes into (len >= m).
 func partitions(assign []int, m, maxBlocks int, visit func(assign []int, blocks int) bool) {
+	partitionsFrom(assign, m, maxBlocks, 0, 0, visit)
+}
+
+// partitionsFrom is partitions restricted to the completions of a fixed
+// restricted-growth prefix: assign[:start] already holds `start` valid
+// decisions naming `used` blocks, and the enumeration fills positions
+// start..m-1 in the exact order the full enumeration visits them. It is
+// the shard unit of the partitioned parallel scans: the shards of
+// consecutive prefixes tile the serial enumeration order.
+func partitionsFrom(assign []int, m, maxBlocks, start, used int, visit func(assign []int, blocks int) bool) {
 	assign = assign[:m]
 	var rec func(i, used int) bool
 	rec = func(i, used int) bool {
@@ -49,7 +59,7 @@ func partitions(assign []int, m, maxBlocks int, visit func(assign []int, blocks 
 	if m == 0 {
 		return
 	}
-	rec(0, 0)
+	rec(start, used)
 }
 
 // forkEnum is the resettable fork-mapping enumerator: all the scratch a
@@ -88,10 +98,18 @@ func newForkEnum(f workflow.Fork, pl platform.Platform, allowDP bool) *forkEnum 
 // run invokes visit for every valid fork mapping, stopping early once the
 // stepper latches a context error or visit returns false.
 func (e *forkEnum) run(ctx context.Context, visit func(mapping.ForkMapping, mapping.Cost) bool) {
+	e.runFrom(ctx, nil, 0, visit)
+}
+
+// runFrom is run restricted to the partitions extending a fixed
+// restricted-growth prefix naming `used` blocks (nil enumerates
+// everything) — the shard unit of the partitioned parallel scan.
+func (e *forkEnum) runFrom(ctx context.Context, prefix []int, used int, visit func(mapping.ForkMapping, mapping.Cost) bool) {
 	e.step.reset(ctx)
 	full := (1 << e.pl.Processors()) - 1
 	items := e.f.Leaves() + 1
-	partitions(e.assign, items, e.pl.Processors(), func(assign []int, nblocks int) bool {
+	copy(e.assign, prefix)
+	partitionsFrom(e.assign, items, e.pl.Processors(), len(prefix), used, func(assign []int, nblocks int) bool {
 		blocks := e.blocks[:nblocks]
 		for b := range blocks {
 			blocks[b] = mapping.ForkBlock{}
@@ -236,6 +254,7 @@ type ForkPrepared struct {
 	pl      platform.Platform
 	allowDP bool
 	enum    *forkEnum
+	par     int
 
 	lbPeriod, lbLatency   float64
 	hasLBp, hasLBl        bool
@@ -252,6 +271,25 @@ func NewForkPrepared(f workflow.Fork, pl platform.Platform, allowDP bool) *ForkP
 		lup:  make(map[uint64]forkMemo),
 		pul:  make(map[uint64]forkMemo),
 	}
+}
+
+// SetParallelism sets the worker count of subsequent solves: counts
+// above 1 run the partitioned parallel scan (see parForkScan), anything
+// else the serial enumeration. Results are byte-identical either way, so
+// the memos may mix entries computed at different counts; the prepared
+// solver itself stays single-owner.
+func (fp *ForkPrepared) SetParallelism(workers int) {
+	fp.par = workers
+}
+
+// scan dispatches one bounded scan to the serial enumerator or, when
+// parallelism is enabled, the partitioned scan.
+func (fp *ForkPrepared) scan(ctx context.Context,
+	accept func(mapping.Cost) bool, objective func(mapping.Cost) float64, lb float64) (ForkResult, bool, error) {
+	if fp.par > 1 {
+		return parForkScan(ctx, fp.f, fp.pl, fp.allowDP, fp.par, accept, objective, lb)
+	}
+	return fp.enum.scan(ctx, accept, objective, lb)
 }
 
 func (fp *ForkPrepared) periodLB() float64 {
@@ -273,7 +311,7 @@ func (fp *ForkPrepared) latencyLB() float64 {
 // Period solves MinPeriod.
 func (fp *ForkPrepared) Period(ctx context.Context) (ForkResult, bool, error) {
 	if !fp.hasPeriod {
-		res, ok, err := fp.enum.scan(ctx, acceptAll, period, fp.periodLB())
+		res, ok, err := fp.scan(ctx, acceptAll, period, fp.periodLB())
 		if err != nil {
 			return ForkResult{}, false, err
 		}
@@ -287,7 +325,7 @@ func (fp *ForkPrepared) Period(ctx context.Context) (ForkResult, bool, error) {
 // Latency solves MinLatency.
 func (fp *ForkPrepared) Latency(ctx context.Context) (ForkResult, bool, error) {
 	if !fp.hasLatency {
-		res, ok, err := fp.enum.scan(ctx, acceptAll, latency, fp.latencyLB())
+		res, ok, err := fp.scan(ctx, acceptAll, latency, fp.latencyLB())
 		if err != nil {
 			return ForkResult{}, false, err
 		}
@@ -304,7 +342,7 @@ func (fp *ForkPrepared) LatencyUnderPeriod(ctx context.Context, maxPeriod float6
 	key := math.Float64bits(maxPeriod)
 	m, hit := fp.lup[key]
 	if !hit {
-		res, ok, err := fp.enum.scan(ctx,
+		res, ok, err := fp.scan(ctx,
 			func(c mapping.Cost) bool { return numeric.LessEq(c.Period, maxPeriod) }, latency, fp.latencyLB())
 		if err != nil {
 			return ForkResult{}, false, err
@@ -322,7 +360,7 @@ func (fp *ForkPrepared) PeriodUnderLatency(ctx context.Context, maxLatency float
 	key := math.Float64bits(maxLatency)
 	m, hit := fp.pul[key]
 	if !hit {
-		res, ok, err := fp.enum.scan(ctx,
+		res, ok, err := fp.scan(ctx,
 			func(c mapping.Cost) bool { return numeric.LessEq(c.Latency, maxLatency) }, period, fp.periodLB())
 		if err != nil {
 			return ForkResult{}, false, err

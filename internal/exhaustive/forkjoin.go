@@ -52,10 +52,18 @@ func newFJEnum(fj workflow.ForkJoin, pl platform.Platform, allowDP bool) *fjEnum
 // run invokes visit for every valid fork-join mapping, stopping early once
 // the stepper latches a context error or visit returns false.
 func (e *fjEnum) run(ctx context.Context, visit func(mapping.ForkJoinMapping, mapping.Cost) bool) {
+	e.runFrom(ctx, nil, 0, visit)
+}
+
+// runFrom is run restricted to the partitions extending a fixed
+// restricted-growth prefix naming `used` blocks (nil enumerates
+// everything) — the shard unit of the partitioned parallel scan.
+func (e *fjEnum) runFrom(ctx context.Context, prefix []int, used int, visit func(mapping.ForkJoinMapping, mapping.Cost) bool) {
 	e.step.reset(ctx)
 	full := (1 << e.pl.Processors()) - 1
 	items := e.fj.Leaves() + 2
-	partitions(e.assign, items, e.pl.Processors(), func(assign []int, nblocks int) bool {
+	copy(e.assign, prefix)
+	partitionsFrom(e.assign, items, e.pl.Processors(), len(prefix), used, func(assign []int, nblocks int) bool {
 		blocks := e.blocks[:nblocks]
 		for b := range blocks {
 			blocks[b] = mapping.ForkJoinBlock{}
@@ -188,6 +196,7 @@ type ForkJoinPrepared struct {
 	pl      platform.Platform
 	allowDP bool
 	enum    *fjEnum
+	par     int
 
 	lbPeriod, lbLatency   float64
 	hasLBp, hasLBl        bool
@@ -204,6 +213,24 @@ func NewForkJoinPrepared(fj workflow.ForkJoin, pl platform.Platform, allowDP boo
 		lup:  make(map[uint64]fjMemo),
 		pul:  make(map[uint64]fjMemo),
 	}
+}
+
+// SetParallelism sets the worker count of subsequent solves exactly as
+// ForkPrepared.SetParallelism does: above 1 runs the partitioned
+// parallel scan, results stay byte-identical, and the prepared solver
+// remains single-owner.
+func (fp *ForkJoinPrepared) SetParallelism(workers int) {
+	fp.par = workers
+}
+
+// scan dispatches one bounded scan to the serial enumerator or, when
+// parallelism is enabled, the partitioned scan.
+func (fp *ForkJoinPrepared) scan(ctx context.Context,
+	accept func(mapping.Cost) bool, objective func(mapping.Cost) float64, lb float64) (ForkJoinResult, bool, error) {
+	if fp.par > 1 {
+		return parForkJoinScan(ctx, fp.fj, fp.pl, fp.allowDP, fp.par, accept, objective, lb)
+	}
+	return fp.enum.scan(ctx, accept, objective, lb)
 }
 
 func (fp *ForkJoinPrepared) periodLB() float64 {
@@ -225,7 +252,7 @@ func (fp *ForkJoinPrepared) latencyLB() float64 {
 // Period solves MinPeriod.
 func (fp *ForkJoinPrepared) Period(ctx context.Context) (ForkJoinResult, bool, error) {
 	if !fp.hasPeriod {
-		res, ok, err := fp.enum.scan(ctx, acceptAll, period, fp.periodLB())
+		res, ok, err := fp.scan(ctx, acceptAll, period, fp.periodLB())
 		if err != nil {
 			return ForkJoinResult{}, false, err
 		}
@@ -239,7 +266,7 @@ func (fp *ForkJoinPrepared) Period(ctx context.Context) (ForkJoinResult, bool, e
 // Latency solves MinLatency.
 func (fp *ForkJoinPrepared) Latency(ctx context.Context) (ForkJoinResult, bool, error) {
 	if !fp.hasLatency {
-		res, ok, err := fp.enum.scan(ctx, acceptAll, latency, fp.latencyLB())
+		res, ok, err := fp.scan(ctx, acceptAll, latency, fp.latencyLB())
 		if err != nil {
 			return ForkJoinResult{}, false, err
 		}
@@ -256,7 +283,7 @@ func (fp *ForkJoinPrepared) LatencyUnderPeriod(ctx context.Context, maxPeriod fl
 	key := math.Float64bits(maxPeriod)
 	m, hit := fp.lup[key]
 	if !hit {
-		res, ok, err := fp.enum.scan(ctx,
+		res, ok, err := fp.scan(ctx,
 			func(c mapping.Cost) bool { return numeric.LessEq(c.Period, maxPeriod) }, latency, fp.latencyLB())
 		if err != nil {
 			return ForkJoinResult{}, false, err
@@ -274,7 +301,7 @@ func (fp *ForkJoinPrepared) PeriodUnderLatency(ctx context.Context, maxLatency f
 	key := math.Float64bits(maxLatency)
 	m, hit := fp.pul[key]
 	if !hit {
-		res, ok, err := fp.enum.scan(ctx,
+		res, ok, err := fp.scan(ctx,
 			func(c mapping.Cost) bool { return numeric.LessEq(c.Latency, maxLatency) }, period, fp.periodLB())
 		if err != nil {
 			return ForkJoinResult{}, false, err

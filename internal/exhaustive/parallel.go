@@ -1,0 +1,265 @@
+package exhaustive
+
+// Partitioned parallel scans for the fork and fork-join enumerations.
+//
+// The search space is sharded by fixing the first k restricted-growth
+// decisions of the set-partition enumeration: each prefix roots one
+// subtree, and because prefixes are generated in enumeration order the
+// serial scan is exactly the concatenation of the shards' scans in shard
+// index order. Workers claim shard indices from a shared counter (work
+// stealing: a worker that drains a cheap subtree immediately claims the
+// next), keep a shard-local incumbent with the serial scan's rule, and
+// share two atomics:
+//
+//   - an incumbent.Bound upper bound on the objective — a candidate
+//     strictly worse (beyond the numeric tolerance) than the best seen
+//     by ANY shard can never win the final merge, so shards skip it;
+//     equal-or-better candidates always survive, keeping ties alive for
+//     the deterministic merge below; and
+//   - the lowest shard index that reached the anytime lower bound —
+//     the serial scan aborts at its first lb-reaching mapping, so every
+//     shard after that index is irrelevant and stops.
+//
+// The final merge folds the per-shard bests in shard index order with
+// the serial improvement rule (strict improvement replaces, ties keep
+// the earlier shard) and the serial lb early-stop, so the returned
+// mapping is byte-identical to the serial scan: the winner is the first
+// shard containing the optimum, which holds exactly the mapping the
+// serial scan would have installed last.
+
+import (
+	"context"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"repliflow/internal/incumbent"
+	"repliflow/internal/mapping"
+	"repliflow/internal/numeric"
+	"repliflow/internal/platform"
+	"repliflow/internal/workflow"
+)
+
+// shardTarget scales the shard count per worker: enough shards that
+// uneven subtree sizes even out through the claim counter, few enough
+// that per-shard setup stays negligible against the subtree scans.
+const shardTarget = 8
+
+// shardPrefix is one fixed restricted-growth prefix: the root of one
+// shard's enumeration subtree.
+type shardPrefix struct {
+	assign []int // the first len(assign) partition decisions
+	used   int   // blocks named by the prefix
+}
+
+// shardPartitions fixes the first k partition decisions, with k the
+// smallest prefix length whose shard count reaches target (or the full
+// item count, when the whole space is small). Prefixes are emitted in
+// enumeration order: every partition under shard i precedes every
+// partition under shard j in the serial enumeration when i < j — the
+// property the deterministic merge relies on.
+func shardPartitions(items, maxBlocks, target int) []shardPrefix {
+	var shards []shardPrefix
+	scratch := make([]int, items)
+	for k := 1; ; k++ {
+		shards = shards[:0]
+		partitionsFrom(scratch, k, maxBlocks, 0, 0, func(assign []int, used int) bool {
+			shards = append(shards, shardPrefix{assign: append([]int(nil), assign...), used: used})
+			return true
+		})
+		if len(shards) >= target || k == items {
+			return shards
+		}
+	}
+}
+
+// parScan is the state shared by the workers of one partitioned scan.
+type parScan struct {
+	next    atomic.Int64 // shard claim counter
+	bound   *incumbent.Bound
+	lbShard atomic.Int64 // lowest shard index that reached the lower bound
+}
+
+func newParScan() *parScan {
+	ps := &parScan{bound: incumbent.NewBound()}
+	ps.lbShard.Store(math.MaxInt64)
+	return ps
+}
+
+// noteLB records that a shard's incumbent reached the anytime lower
+// bound (CAS-min on the shard index): shards after the recorded index
+// stop scanning, exactly as the serial scan stops after its first
+// lb-reaching mapping.
+func (ps *parScan) noteLB(shard int) {
+	for {
+		old := ps.lbShard.Load()
+		if old <= int64(shard) || ps.lbShard.CompareAndSwap(old, int64(shard)) {
+			return
+		}
+	}
+}
+
+// scanSharded drives a partitioned scan: par workers claim shards in
+// index order, scanShard returns a shard's local best, and the
+// fixed-order fold picks the winner. Worker errors (cancellation) are
+// surfaced; the first in worker order wins, they are all ctx.Err().
+func scanSharded[R any](ctx context.Context, par, nshards int,
+	scanShard func(ctx context.Context, worker, shard int, ps *parScan) (R, bool, error),
+	objective func(R) float64, lb float64,
+) (R, bool, error) {
+	ps := newParScan()
+	results := make([]R, nshards)
+	founds := make([]bool, nshards)
+	if par > nshards {
+		par = nshards
+	}
+	errs := make([]error, par)
+	var wg sync.WaitGroup
+	for w := 0; w < par; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				shard := int(ps.next.Add(1)) - 1
+				if shard >= nshards {
+					return
+				}
+				if int64(shard) > ps.lbShard.Load() {
+					continue // the merge is decided before this shard
+				}
+				res, found, err := scanShard(ctx, w, shard, ps)
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				results[shard], founds[shard] = res, found
+			}
+		}(w)
+	}
+	wg.Wait()
+	var best R
+	for _, err := range errs {
+		if err != nil {
+			return best, false, err
+		}
+	}
+	found := false
+	for s := 0; s < nshards; s++ {
+		if !founds[s] {
+			continue
+		}
+		if !found || numeric.Less(objective(results[s]), objective(best)) {
+			best, found = results[s], true
+			if lb > 0 && numeric.LessEq(objective(best), lb) {
+				break // serial stops at its first lb-reaching incumbent
+			}
+		}
+	}
+	return best, found, nil
+}
+
+// scanShard scans the partitions extending one prefix with the serial
+// incumbent rule, pruned by the shared bound. A candidate strictly worse
+// than the bound is skipped (it cannot win the merge); local
+// improvements tighten the bound; reaching the anytime lower bound
+// records the shard in ps.lbShard and stops the shard.
+func (e *forkEnum) scanShard(ctx context.Context, sh shardPrefix, shard int, ps *parScan,
+	accept func(mapping.Cost) bool, objective func(mapping.Cost) float64, lb float64) (ForkResult, bool, error) {
+	var best ForkResult
+	bestObj := 0.0
+	found := false
+	e.runFrom(ctx, sh.assign, sh.used, func(m mapping.ForkMapping, c mapping.Cost) bool {
+		if int64(shard) > ps.lbShard.Load() {
+			return false // an earlier shard already decided the merge
+		}
+		if !accept(c) {
+			return true
+		}
+		obj := objective(c)
+		if numeric.Greater(obj, ps.bound.Load()) {
+			return true // strictly worse than a shard's incumbent: cannot win
+		}
+		if !found || numeric.Less(obj, bestObj) {
+			best = ForkResult{Mapping: copyForkMapping(m), Cost: c}
+			bestObj = obj
+			found = true
+			ps.bound.Tighten(obj)
+			if lb > 0 && numeric.LessEq(obj, lb) {
+				ps.noteLB(shard)
+				return false
+			}
+		}
+		return true
+	})
+	if e.step.err != nil {
+		return ForkResult{}, false, e.step.err
+	}
+	return best, found, nil
+}
+
+// parForkScan is the partitioned counterpart of forkEnum.scan. Every
+// worker owns a fresh enumerator (the prepared solver's scratch is
+// single-owner); the allocation is trivial against the subtree scans.
+func parForkScan(ctx context.Context, f workflow.Fork, pl platform.Platform, allowDP bool, par int,
+	accept func(mapping.Cost) bool, objective func(mapping.Cost) float64, lb float64) (ForkResult, bool, error) {
+	shards := shardPartitions(f.Leaves()+1, pl.Processors(), shardTarget*par)
+	enums := make([]*forkEnum, par)
+	return scanSharded(ctx, par, len(shards),
+		func(ctx context.Context, w, shard int, ps *parScan) (ForkResult, bool, error) {
+			if enums[w] == nil {
+				enums[w] = newForkEnum(f, pl, allowDP)
+			}
+			return enums[w].scanShard(ctx, shards[shard], shard, ps, accept, objective, lb)
+		},
+		func(r ForkResult) float64 { return objective(r.Cost) }, lb)
+}
+
+// scanShard is the fork-join mirror of forkEnum.scanShard.
+func (e *fjEnum) scanShard(ctx context.Context, sh shardPrefix, shard int, ps *parScan,
+	accept func(mapping.Cost) bool, objective func(mapping.Cost) float64, lb float64) (ForkJoinResult, bool, error) {
+	var best ForkJoinResult
+	bestObj := 0.0
+	found := false
+	e.runFrom(ctx, sh.assign, sh.used, func(m mapping.ForkJoinMapping, c mapping.Cost) bool {
+		if int64(shard) > ps.lbShard.Load() {
+			return false
+		}
+		if !accept(c) {
+			return true
+		}
+		obj := objective(c)
+		if numeric.Greater(obj, ps.bound.Load()) {
+			return true
+		}
+		if !found || numeric.Less(obj, bestObj) {
+			best = ForkJoinResult{Mapping: copyForkJoinMapping(m), Cost: c}
+			bestObj = obj
+			found = true
+			ps.bound.Tighten(obj)
+			if lb > 0 && numeric.LessEq(obj, lb) {
+				ps.noteLB(shard)
+				return false
+			}
+		}
+		return true
+	})
+	if e.step.err != nil {
+		return ForkJoinResult{}, false, e.step.err
+	}
+	return best, found, nil
+}
+
+// parForkJoinScan is the partitioned counterpart of fjEnum.scan.
+func parForkJoinScan(ctx context.Context, fj workflow.ForkJoin, pl platform.Platform, allowDP bool, par int,
+	accept func(mapping.Cost) bool, objective func(mapping.Cost) float64, lb float64) (ForkJoinResult, bool, error) {
+	shards := shardPartitions(fj.Leaves()+2, pl.Processors(), shardTarget*par)
+	enums := make([]*fjEnum, par)
+	return scanSharded(ctx, par, len(shards),
+		func(ctx context.Context, w, shard int, ps *parScan) (ForkJoinResult, bool, error) {
+			if enums[w] == nil {
+				enums[w] = newFJEnum(fj, pl, allowDP)
+			}
+			return enums[w].scanShard(ctx, shards[shard], shard, ps, accept, objective, lb)
+		},
+		func(r ForkJoinResult) float64 { return objective(r.Cost) }, lb)
+}

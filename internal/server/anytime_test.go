@@ -125,20 +125,20 @@ func TestDefaultBudgetAppliesWithoutRequestBudget(t *testing.T) {
 // when neither is set.
 func TestSolveOptionsPrecedence(t *testing.T) {
 	viaOptions := New(Config{Options: core.Options{AnytimeBudget: 70 * time.Millisecond}})
-	if got := viaOptions.solveOptions(0).AnytimeBudget; got != 70*time.Millisecond {
+	if got := viaOptions.solveOptions(0, 0).AnytimeBudget; got != 70*time.Millisecond {
 		t.Errorf("Config.Options budget clobbered: %v", got)
 	}
-	if got := viaOptions.solveOptions(5).AnytimeBudget; got != 5*time.Millisecond {
+	if got := viaOptions.solveOptions(5, 0).AnytimeBudget; got != 5*time.Millisecond {
 		t.Errorf("request budget not applied: %v", got)
 	}
 	viaDefault := New(Config{DefaultBudget: 40 * time.Millisecond})
-	if got := viaDefault.solveOptions(0).AnytimeBudget; got != 40*time.Millisecond {
+	if got := viaDefault.solveOptions(0, 0).AnytimeBudget; got != 40*time.Millisecond {
 		t.Errorf("DefaultBudget not applied: %v", got)
 	}
-	if got := viaDefault.solveOptions(5).AnytimeBudget; got != 5*time.Millisecond {
+	if got := viaDefault.solveOptions(5, 0).AnytimeBudget; got != 5*time.Millisecond {
 		t.Errorf("request budget not applied over DefaultBudget: %v", got)
 	}
-	if got := viaDefault.solveOptions(-1).AnytimeBudget; got != 0 {
+	if got := viaDefault.solveOptions(-1, 0).AnytimeBudget; got != 0 {
 		t.Errorf("budgetMs < 0 must opt out of the default budget, got %v", got)
 	}
 }

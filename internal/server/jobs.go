@@ -237,7 +237,7 @@ func (s *Server) handleJobCreate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusServiceUnavailable, ErrKindOverloaded, err.Error(), nil)
 		return
 	}
-	opts := s.solveOptions(req.BudgetMs)
+	opts := s.solveOptions(req.BudgetMs, req.Parallelism)
 	go s.runJob(ctx, cancel, j, problems, opts, s.timeoutFor(req.TimeoutMs))
 	w.Header().Set("Location", "/v1/jobs/"+j.id)
 	writeJSON(w, http.StatusAccepted, j.snapshot())

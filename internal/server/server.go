@@ -278,7 +278,10 @@ func (s *Server) solveMetrics(pr core.Problem, op string, elapsed time.Duration)
 // explicitly opts out (exhaustive/heuristic solving even on a server
 // with a default budget), and zero falls back to the server default —
 // or to a budget configured directly on Config.Options.AnytimeBudget.
-func (s *Server) solveOptions(budgetMs int64) core.Options {
+// A non-zero parallelism overrides the configured default per-solve
+// search parallelism (Config.Options.Parallelism); requests ask for
+// serial explicitly with 1.
+func (s *Server) solveOptions(budgetMs int64, parallelism int) core.Options {
 	opts := s.opts
 	switch {
 	case budgetMs > 0:
@@ -287,6 +290,9 @@ func (s *Server) solveOptions(budgetMs int64) core.Options {
 		opts.AnytimeBudget = 0
 	case s.defaultBudget > 0:
 		opts.AnytimeBudget = s.defaultBudget
+	}
+	if parallelism != 0 {
+		opts.Parallelism = parallelism
 	}
 	return opts
 }
@@ -320,7 +326,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	defer s.release()
 
 	start := time.Now()
-	sol, err := s.eng.Solve(ctx, pr, s.solveOptions(req.BudgetMs))
+	sol, err := s.eng.Solve(ctx, pr, s.solveOptions(req.BudgetMs, req.Parallelism))
 	elapsed := time.Since(start)
 	s.solveMetrics(pr, "solve", elapsed)
 	if err != nil {
@@ -371,7 +377,7 @@ func (s *Server) handleSolveBatch(w http.ResponseWriter, r *http.Request) {
 
 	before := s.eng.Stats()
 	start := time.Now()
-	sols, err := s.eng.SolveBatch(ctx, problems, s.solveOptions(req.BudgetMs))
+	sols, err := s.eng.SolveBatch(ctx, problems, s.solveOptions(req.BudgetMs, req.Parallelism))
 	elapsed := time.Since(start)
 	after := s.eng.Stats()
 	// Batches are deliberately absent from wfserve_solve_seconds: the
@@ -442,7 +448,7 @@ func (s *Server) handlePareto(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	ps := &paretoStream{w: w, start: start}
 	stopHeartbeats := ps.startHeartbeats(s.heartbeat)
-	stats, err := s.eng.SweepFront(ctx, pr, s.solveOptions(req.BudgetMs), engine.SweepObserver{
+	stats, err := s.eng.SweepFront(ctx, pr, s.solveOptions(req.BudgetMs, req.Parallelism), engine.SweepObserver{
 		Point: func(p engine.SweepPoint) error {
 			out := instance.FromSolution(p.Solution)
 			s.countAnytime(out)

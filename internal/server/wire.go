@@ -28,6 +28,13 @@ type SolveRequest struct {
 	// disabled); a negative value explicitly opts out of anytime solving
 	// even when the server has a default. Polynomial instances ignore it.
 	BudgetMs int64 `json:"budgetMs,omitempty"`
+	// Parallelism partitions each exhaustive solve of this request across
+	// workers (core.Options.Parallelism encoding: n > 1 explicit workers,
+	// 1 serial, negative auto). 0 applies the server default. The grant is
+	// clamped by the engine's idle solve slots, so a loaded server runs
+	// the solve serially rather than oversubscribing. Results are
+	// byte-identical at every setting.
+	Parallelism int `json:"parallelism,omitempty"`
 }
 
 // BatchRequest is the body of POST /v1/solve/batch.
@@ -39,6 +46,10 @@ type BatchRequest struct {
 	// across its worker rounds, so the batch finishes in roughly this
 	// many milliseconds even when every instance is NP-hard.
 	BudgetMs int64 `json:"budgetMs,omitempty"`
+	// Parallelism is the per-solve search parallelism, as on /v1/solve.
+	// Within a batch the engine only grants extra workers to a solve when
+	// other batch workers are idle, so the batch never oversubscribes.
+	Parallelism int `json:"parallelism,omitempty"`
 }
 
 // SolveResponse is the body of a successful POST /v1/solve.
@@ -124,6 +135,9 @@ type JobRequest struct {
 	// BudgetMs is the anytime budget, exactly as on the synchronous
 	// endpoints.
 	BudgetMs int64 `json:"budgetMs,omitempty"`
+	// Parallelism is the per-solve search parallelism, exactly as on the
+	// synchronous endpoints.
+	Parallelism int `json:"parallelism,omitempty"`
 }
 
 // JobProgress reports how far a job has advanced: Done/Total counts
