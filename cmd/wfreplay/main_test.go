@@ -1,0 +1,117 @@
+package main
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repliflow/internal/replay"
+	"repliflow/internal/server"
+)
+
+// writeTrace records a tiny exchange through the recording middleware
+// and writes the trace file wfreplay will replay.
+func writeTrace(t *testing.T, backend http.Handler) string {
+	t.Helper()
+	var buf bytes.Buffer
+	rec := replay.NewRecorder(backend, &buf)
+	recTS := httptest.NewServer(rec)
+	defer recTS.Close()
+
+	resp, err := http.Get(recTS.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close() //nolint:errcheck
+	req, err := http.NewRequest(http.MethodPost, recTS.URL+"/v1/solve", strings.NewReader(
+		`{"pipeline": {"weights": [14, 4, 2, 4]}, "platform": {"speeds": [1, 1, 1]}, "allowDataParallel": true, "objective": "min-latency"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set(server.ClientIDHeader, "demo")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close() //nolint:errcheck
+	if err := rec.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(t.TempDir(), "trace.ndjson")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestReplayCLI(t *testing.T) {
+	srv := server.New(server.Config{DefaultTimeout: 30 * time.Second})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	defer srv.Close()
+
+	path := writeTrace(t, srv)
+
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-trace", path, "-target", ts.URL, "-json"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr: %s", code, stderr.String())
+	}
+	out := stdout.String()
+	for _, want := range []string{`"events": 2`, `"mismatches": 0`, `"throughputRps"`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("stats missing %s:\n%s", want, out)
+		}
+	}
+
+	// Text mode against the same trace.
+	stdout.Reset()
+	if code := run([]string{"-trace", path, "-target", ts.URL}, &stdout, &stderr); code != 0 {
+		t.Fatalf("text mode exit = %d", code)
+	}
+	if !strings.Contains(stdout.String(), "mismatches       0") {
+		t.Errorf("text stats:\n%s", stdout.String())
+	}
+}
+
+func TestReplayCLIErrors(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run(nil, &stdout, &stderr); code != 2 {
+		t.Fatalf("missing -trace: exit = %d", code)
+	}
+	if !strings.Contains(stderr.String(), "-trace is required") {
+		t.Errorf("stderr: %s", stderr.String())
+	}
+
+	stderr.Reset()
+	if code := run([]string{"-trace", "does-not-exist.ndjson"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("missing file: exit = %d", code)
+	}
+
+	// A trace whose recorded body cannot match → exit 1.
+	srv := server.New(server.Config{DefaultTimeout: 30 * time.Second})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	defer srv.Close()
+	bad := filepath.Join(t.TempDir(), "bad.ndjson")
+	trace := `{"trace":"wfreplay/v1"}
+{"seq":1,"offsetMs":0,"method":"GET","path":"/healthz","status":200,"response":"{\"status\":\"down\"}"}
+`
+	if err := os.WriteFile(bad, []byte(trace), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	stderr.Reset()
+	stdout.Reset()
+	if code := run([]string{"-trace", bad, "-target", ts.URL}, &stdout, &stderr); code != 1 {
+		t.Fatalf("mismatching trace: exit = %d, stderr %s", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "diverged") {
+		t.Errorf("stderr: %s", stderr.String())
+	}
+}

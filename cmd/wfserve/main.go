@@ -10,6 +10,8 @@
 //	        [-max-cache-entries N] [-max-exhaustive-procs N]
 //	        [-budget 0] [-parallelism N] [-heartbeat 10s]
 //	        [-max-jobs N] [-pprof]
+//	        [-rate 0] [-burst 0] [-tenant-weights a=3,b=1]
+//	        [-record trace.ndjson]
 //
 // -workers sizes the engine's solve-slot pool: the total number of
 // solves running concurrently across all requests. -parallelism sets
@@ -32,6 +34,21 @@
 //	GET  /v1/table        metadata for every registered cell
 //	GET  /healthz         liveness
 //	GET  /metrics         Prometheus metrics (requests, cache, latency)
+//
+// -rate enables multi-tenant admission control: each client (identified
+// by the X-Client-Id header or ?client= query parameter) gets a token
+// bucket refilling at -rate tokens/second with -burst capacity, and
+// requests are debited by solver cost (polynomial cells cost 1,
+// budgeted anytime solves 4, NP-hard exhaustive solves 16; batches sum,
+// Pareto sweeps multiply by 4). Over-budget requests get 429 with a
+// Retry-After header. -tenant-weights biases the fair queue that hands
+// out solve slots under contention (weights shape scheduling only, not
+// rate limits).
+//
+// -record appends every HTTP exchange (request, response, arrival
+// offset, client id) to a versioned NDJSON trace file that cmd/wfreplay
+// can replay deterministically against another build — see
+// docs/wire-format.md "Trace files".
 //
 // With -pprof the Go profiling endpoints are additionally served under
 // /debug/pprof/ (see docs/performance.md for a profiling walkthrough);
@@ -64,10 +81,13 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
 	"repliflow/internal/core"
+	"repliflow/internal/replay"
 	"repliflow/internal/server"
 )
 
@@ -85,7 +105,17 @@ func main() {
 	heartbeat := flag.Duration("heartbeat", 0, "idle interval between heartbeat status lines on streaming responses (0 = 10s)")
 	maxJobs := flag.Int("max-jobs", 0, "bound on the in-memory async job store (0 = 64)")
 	pprofOn := flag.Bool("pprof", false, "serve the Go profiling endpoints under /debug/pprof/ (off by default: they expose process internals)")
+	rate := flag.Float64("rate", 0, "per-client admission rate in cost tokens per second (0 = admission control disabled); see docs/wire-format.md for per-endpoint costs")
+	burst := flag.Float64("burst", 0, "per-client token bucket capacity (0 = 64, four exhaustive solves)")
+	weightsFlag := flag.String("tenant-weights", "", "comma-separated client=weight pairs biasing the fair queue (e.g. interactive=4,batch=1); unlisted clients weigh 1")
+	record := flag.String("record", "", "append every HTTP exchange to this NDJSON trace file for later wfreplay")
 	flag.Parse()
+
+	weights, err := parseWeights(*weightsFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wfserve:", err)
+		os.Exit(2)
+	}
 
 	cfg := server.Config{
 		Workers:         *workers,
@@ -97,6 +127,9 @@ func main() {
 		DefaultBudget:   *budget,
 		StreamHeartbeat: *heartbeat,
 		MaxJobs:         *maxJobs,
+		RateLimit:       *rate,
+		Burst:           *burst,
+		TenantWeights:   weights,
 		Options: core.Options{
 			MaxExhaustivePipelineProcs: *maxProcs,
 			MaxExhaustiveForkProcs:     *maxProcs,
@@ -105,23 +138,58 @@ func main() {
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	if err := run(ctx, *addr, cfg, *pprofOn, nil); err != nil {
+	if err := run(ctx, *addr, cfg, *pprofOn, *record, nil); err != nil {
 		fmt.Fprintln(os.Stderr, "wfserve:", err)
 		os.Exit(1)
 	}
+}
+
+// parseWeights parses "client=weight,client=weight" into the tenant
+// weight map; an empty string means no weights.
+func parseWeights(s string) (map[string]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	weights := make(map[string]int)
+	for _, pair := range strings.Split(s, ",") {
+		name, val, ok := strings.Cut(strings.TrimSpace(pair), "=")
+		if !ok || name == "" {
+			return nil, fmt.Errorf("bad -tenant-weights entry %q (want client=weight)", pair)
+		}
+		w, err := strconv.Atoi(val)
+		if err != nil || w < 1 {
+			return nil, fmt.Errorf("bad -tenant-weights weight %q for client %q (want a positive integer)", val, name)
+		}
+		weights[name] = w
+	}
+	return weights, nil
 }
 
 // run listens on addr and serves until ctx is cancelled (SIGINT/SIGTERM
 // in production), then drains in-flight requests gracefully. When ready
 // is non-nil it receives the bound address once the listener is up.
 // pprofOn opt-in mounts the net/http/pprof handlers under /debug/pprof/.
-func run(ctx context.Context, addr string, cfg server.Config, pprofOn bool, ready chan<- net.Addr) error {
+// A non-empty recordPath appends every API exchange to that trace file
+// (pprof traffic is never recorded).
+func run(ctx context.Context, addr string, cfg server.Config, pprofOn bool, recordPath string, ready chan<- net.Addr) error {
 	srv := server.New(cfg)
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
 	}
 	var handler http.Handler = srv
+	var rec *replay.Recorder
+	if recordPath != "" {
+		f, err := os.OpenFile(recordPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			ln.Close() //nolint:errcheck
+			return fmt.Errorf("opening trace file: %w", err)
+		}
+		defer f.Close() //nolint:errcheck
+		rec = replay.NewRecorder(handler, f)
+		handler = rec
+		log.Printf("wfserve: recording traffic to %s", recordPath)
+	}
 	if pprofOn {
 		mux := http.NewServeMux()
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -129,7 +197,7 @@ func run(ctx context.Context, addr string, cfg server.Config, pprofOn bool, read
 		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-		mux.Handle("/", srv)
+		mux.Handle("/", handler)
 		handler = mux
 	}
 	hs := &http.Server{
@@ -162,6 +230,11 @@ func run(ctx context.Context, addr string, cfg server.Config, pprofOn bool, read
 	}
 	if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
 		return err
+	}
+	if rec != nil {
+		if err := rec.Err(); err != nil {
+			return fmt.Errorf("recording trace: %w", err)
+		}
 	}
 	return nil
 }

@@ -7,11 +7,14 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
 
 	"repliflow/internal/core"
+	"repliflow/internal/replay"
 	"repliflow/internal/server"
 )
 
@@ -26,7 +29,7 @@ func TestRunServesAndShutsDown(t *testing.T) {
 			DefaultTimeout: 30 * time.Second,
 			MaxTimeout:     time.Minute,
 			MaxBatch:       16,
-		}, false, ready)
+		}, false, "", ready)
 	}()
 
 	var addr net.Addr
@@ -92,7 +95,7 @@ func TestShutdownDuringParetoStream(t *testing.T) {
 			Options: core.Options{MaxExhaustivePipelineProcs: 12},
 			// Fast heartbeats commit the stream before the first point.
 			StreamHeartbeat: 40 * time.Millisecond,
-		}, false, ready)
+		}, false, "", ready)
 	}()
 	var addr net.Addr
 	select {
@@ -178,7 +181,7 @@ func TestPprofOptIn(t *testing.T) {
 		go func() {
 			errc <- run(ctx, "127.0.0.1:0", server.Config{
 				DefaultTimeout: 30 * time.Second,
-			}, enabled, ready)
+			}, enabled, "", ready)
 		}()
 		var addr net.Addr
 		select {
@@ -216,6 +219,91 @@ func TestPprofOptIn(t *testing.T) {
 		cancel()
 		if err := <-errc; err != nil {
 			t.Fatalf("run returned %v", err)
+		}
+	}
+}
+
+// TestRunRecordsTrace: with a record path, every exchange lands in a
+// decodable trace file once the server shuts down.
+func TestRunRecordsTrace(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	tracePath := filepath.Join(t.TempDir(), "trace.ndjson")
+	ready := make(chan net.Addr, 1)
+	errc := make(chan error, 1)
+	go func() {
+		errc <- run(ctx, "127.0.0.1:0", server.Config{
+			DefaultTimeout: 30 * time.Second,
+		}, false, tracePath, ready)
+	}()
+	var addr net.Addr
+	select {
+	case addr = <-ready:
+	case err := <-errc:
+		t.Fatalf("server exited early: %v", err)
+	case <-time.After(5 * time.Second):
+		t.Fatal("server never became ready")
+	}
+	base := "http://" + addr.String()
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck
+	resp.Body.Close()
+	resp, err = http.Post(base+"/v1/solve?client=rec-test", "application/json", strings.NewReader(`{
+		"pipeline": {"weights": [14, 4, 2, 4]},
+		"platform": {"speeds": [1, 1, 1]},
+		"allowDataParallel": true,
+		"objective": "min-latency"
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck
+	resp.Body.Close()
+
+	cancel()
+	if err := <-errc; err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+
+	f, err := os.Open(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	tr, err := replay.DecodeTrace(f)
+	if err != nil {
+		t.Fatalf("decoding the recorded trace: %v", err)
+	}
+	if len(tr.Events) != 2 {
+		t.Fatalf("recorded %d events, want 2", len(tr.Events))
+	}
+	if tr.Events[1].Client != "rec-test" {
+		t.Errorf("recorded client = %q, want rec-test", tr.Events[1].Client)
+	}
+	if tr.Events[1].Status != http.StatusOK || !strings.Contains(tr.Events[1].Response, `"latency": 17`) {
+		t.Errorf("recorded solve event: status %d, response %s", tr.Events[1].Status, tr.Events[1].Response)
+	}
+}
+
+// TestParseWeights covers the -tenant-weights flag parser.
+func TestParseWeights(t *testing.T) {
+	got, err := parseWeights("interactive=4, batch=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got["interactive"] != 4 || got["batch"] != 1 || len(got) != 2 {
+		t.Fatalf("parseWeights = %v", got)
+	}
+	if w, err := parseWeights(""); err != nil || w != nil {
+		t.Fatalf("empty = %v, %v", w, err)
+	}
+	for _, bad := range []string{"x", "x=", "x=0", "x=-1", "=2", "x=two"} {
+		if _, err := parseWeights(bad); err == nil {
+			t.Errorf("parseWeights(%q) accepted", bad)
 		}
 	}
 }

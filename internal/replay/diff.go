@@ -1,0 +1,397 @@
+package replay
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+)
+
+// Diff is one field-level divergence between a recorded response and its
+// replayed counterpart.
+type Diff struct {
+	// Seq and Path identify the trace event.
+	Seq  int    `json:"seq"`
+	Path string `json:"path"`
+	// Field is the dotted JSON path of the diverging field ("status" for
+	// the HTTP status, "" for whole-body divergences).
+	Field    string `json:"field"`
+	Recorded string `json:"recorded"`
+	Replayed string `json:"replayed"`
+}
+
+// Volatile fields are stripped before comparison: they carry timing or
+// process-lifetime state that legitimately differs between the
+// recording and any replay. Everything else must match exactly on exact
+// cells; anytime solutions are held to the gap-bounded contract instead
+// (see compareValues). The set is part of the trace-diff contract
+// documented in docs/wire-format.md.
+var volatileKeys = map[string]bool{
+	"elapsedMs":     true, // wall clock of the recorded solve
+	"uptimeSeconds": true, // server lifetime (/healthz)
+	"cache":         true, // engine-lifetime cache counters (batch responses)
+	"iterations":    true, // anytime portfolio progress, budget-timing dependent
+}
+
+// diffOutcome aggregates one event's comparison.
+type diffOutcome struct {
+	diffs        []Diff
+	skipped      bool // volatile body, not comparable (live job, /metrics)
+	rateDiverged bool // 429 on one side only (admission is time-based)
+}
+
+// diffEvent compares a replayed response against its recording.
+func diffEvent(ev *Event, gotStatus int, gotBody string, tol float64) diffOutcome {
+	var out diffOutcome
+	// Admission is clock-driven: replay timing differs from recording
+	// timing, so a 429 appearing (or vanishing) is a rate divergence to
+	// report in the stats, not a solver regression.
+	if (ev.Status == 429) != (gotStatus == 429) {
+		out.rateDiverged = true
+		return out
+	}
+	if gotStatus != ev.Status {
+		out.diffs = append(out.diffs, Diff{
+			Seq: ev.Seq, Path: ev.Path, Field: "status",
+			Recorded: fmt.Sprint(ev.Status), Replayed: fmt.Sprint(gotStatus),
+		})
+		return out
+	}
+	if strings.HasPrefix(ev.Path, "/metrics") {
+		out.skipped = true // free-form counters, volatile by definition
+		return out
+	}
+
+	recVals, recJSON := parseNDJSON(ev.Response)
+	gotVals, gotJSON := parseNDJSON(gotBody)
+	if !recJSON || !gotJSON {
+		// Non-JSON bodies compare raw.
+		if ev.Response != gotBody {
+			out.diffs = append(out.diffs, Diff{
+				Seq: ev.Seq, Path: ev.Path, Field: "",
+				Recorded: clip(ev.Response), Replayed: clip(gotBody),
+			})
+		}
+		return out
+	}
+	if len(recVals) > 1 || len(gotVals) > 1 {
+		diffStream(ev, recVals, gotVals, tol, &out)
+		return out
+	}
+	if len(recVals) == 0 || len(gotVals) == 0 {
+		if len(recVals) != len(gotVals) {
+			out.diffs = append(out.diffs, Diff{
+				Seq: ev.Seq, Path: ev.Path, Field: "",
+				Recorded: clip(ev.Response), Replayed: clip(gotBody),
+			})
+		}
+		return out
+	}
+
+	rec, got := normalize(recVals[0]), normalize(gotVals[0])
+	// Live job snapshots (queued/running) carry racy progress: only
+	// identity is stable. Replay polls recorded-terminal snapshots to
+	// terminal before diffing, so this branch covers genuinely live
+	// recordings.
+	if (jobLike(rec) || jobLike(got)) && (jobLive(rec) || jobLive(got)) {
+		rm, _ := rec.(map[string]any)
+		gm, _ := got.(map[string]any)
+		compareValues(ev, "id", field(rm, "id"), field(gm, "id"), tol, &out)
+		compareValues(ev, "kind", field(rm, "kind"), field(gm, "kind"), tol, &out)
+		out.skipped = true
+		return out
+	}
+	compareValues(ev, "", rec, got, tol, &out)
+	return out
+}
+
+// diffStream compares NDJSON streams: heartbeat lines are filtered (they
+// are pure timing), solution lines pair up positionally, and the
+// terminal status line closes the comparison. Streams containing anytime
+// solutions are allowed to differ in point count — the front of a
+// budget-bounded sweep is only gap-certified, not unique — and then only
+// the terminal status value is compared.
+func diffStream(ev *Event, recVals, gotVals []any, tol float64, out *diffOutcome) {
+	recSols, recTerm := splitStatusLines(recVals)
+	gotSols, gotTerm := splitStatusLines(gotVals)
+
+	anytime := hasAnytime(recSols) || hasAnytime(gotSols)
+	if len(recSols) != len(gotSols) {
+		if anytime {
+			out.skipped = true
+		} else {
+			out.diffs = append(out.diffs, Diff{
+				Seq: ev.Seq, Path: ev.Path, Field: "streamPoints",
+				Recorded: fmt.Sprint(len(recSols)), Replayed: fmt.Sprint(len(gotSols)),
+			})
+		}
+	} else {
+		for i := range recSols {
+			compareValues(ev, fmt.Sprintf("line[%d]", i), normalize(recSols[i]), normalize(gotSols[i]), tol, out)
+		}
+	}
+
+	switch {
+	case recTerm == nil && gotTerm == nil:
+	case recTerm == nil || gotTerm == nil:
+		out.diffs = append(out.diffs, Diff{
+			Seq: ev.Seq, Path: ev.Path, Field: "terminal",
+			Recorded: jsonClip(recTerm), Replayed: jsonClip(gotTerm),
+		})
+	case anytime:
+		compareValues(ev, "terminal.status", field(recTerm, "status"), field(gotTerm, "status"), tol, out)
+	default:
+		compareValues(ev, "terminal", normalize(recTerm), normalize(gotTerm), tol, out)
+	}
+}
+
+// splitStatusLines partitions stream lines into solution lines and the
+// terminal status line, dropping heartbeats.
+func splitStatusLines(vals []any) (sols []any, terminal map[string]any) {
+	for _, v := range vals {
+		m, ok := v.(map[string]any)
+		if !ok || m["status"] == nil {
+			sols = append(sols, v)
+			continue
+		}
+		if m["status"] == "heartbeat" {
+			continue
+		}
+		terminal = m // the last status line is the terminal one
+	}
+	return sols, terminal
+}
+
+func hasAnytime(vals []any) bool {
+	for _, v := range vals {
+		if m, ok := v.(map[string]any); ok && m["anytime"] == true {
+			return true
+		}
+	}
+	return false
+}
+
+// compareValues walks two normalized JSON values, recording a Diff for
+// every divergence. Anytime solution objects compare under the
+// gap-bounded contract: the replayed gap may not exceed the recorded gap
+// by more than tol, and the incumbent itself (mapping, objective values)
+// is free to differ within that certification.
+func compareValues(ev *Event, fieldPath string, rec, got any, tol float64, out *diffOutcome) {
+	rm, rok := rec.(map[string]any)
+	gm, gok := got.(map[string]any)
+	if rok && gok {
+		if rm["anytime"] == true && gm["anytime"] == true {
+			compareAnytime(ev, fieldPath, rm, gm, tol, out)
+			return
+		}
+		for _, k := range unionKeys(rm, gm) {
+			rv, rhas := rm[k]
+			gv, ghas := gm[k]
+			sub := joinField(fieldPath, k)
+			if !rhas || !ghas {
+				out.diffs = append(out.diffs, Diff{
+					Seq: ev.Seq, Path: ev.Path, Field: sub,
+					Recorded: jsonClip(rv), Replayed: jsonClip(gv),
+				})
+				continue
+			}
+			compareValues(ev, sub, rv, gv, tol, out)
+		}
+		return
+	}
+	ra, raok := rec.([]any)
+	ga, gaok := got.([]any)
+	if raok && gaok {
+		if len(ra) != len(ga) {
+			out.diffs = append(out.diffs, Diff{
+				Seq: ev.Seq, Path: ev.Path, Field: joinField(fieldPath, "length"),
+				Recorded: fmt.Sprint(len(ra)), Replayed: fmt.Sprint(len(ga)),
+			})
+			return
+		}
+		for i := range ra {
+			compareValues(ev, fmt.Sprintf("%s[%d]", fieldPath, i), ra[i], ga[i], tol, out)
+		}
+		return
+	}
+	if rec != got {
+		out.diffs = append(out.diffs, Diff{
+			Seq: ev.Seq, Path: ev.Path, Field: fieldPath,
+			Recorded: jsonClip(rec), Replayed: jsonClip(got),
+		})
+	}
+}
+
+// anytimeStable are the solution fields an anytime replay must still
+// reproduce exactly; the incumbent-dependent rest (mapping, period,
+// latency, gap, lowerBound, exact) is covered by the gap bound.
+var anytimeStable = []string{"feasible", "anytime", "method", "complexity", "source"}
+
+func compareAnytime(ev *Event, fieldPath string, rec, got map[string]any, tol float64, out *diffOutcome) {
+	for _, k := range anytimeStable {
+		compareValues(ev, joinField(fieldPath, k), rec[k], got[k], tol, out)
+	}
+	recGap, _ := rec["gap"].(float64)
+	gotGap, _ := got["gap"].(float64)
+	if gotGap > recGap+tol {
+		out.diffs = append(out.diffs, Diff{
+			Seq: ev.Seq, Path: ev.Path, Field: joinField(fieldPath, "gap"),
+			Recorded: fmt.Sprintf("%g (tolerance +%g)", recGap, tol),
+			Replayed: fmt.Sprintf("%g", gotGap),
+		})
+	}
+}
+
+// normalize deep-copies a decoded JSON value with the volatile fields
+// stripped; rate-limited error messages additionally drop their
+// retry-seconds text.
+func normalize(v any) any {
+	switch val := v.(type) {
+	case map[string]any:
+		out := make(map[string]any, len(val))
+		for k, sub := range val {
+			if volatileKeys[k] {
+				continue
+			}
+			out[k] = normalize(sub)
+		}
+		if out["kind"] == "rate-limited" {
+			delete(out, "message")
+		}
+		return out
+	case []any:
+		out := make([]any, len(val))
+		for i, sub := range val {
+			out[i] = normalize(sub)
+		}
+		return out
+	default:
+		return v
+	}
+}
+
+// jobLike recognizes a job snapshot (JobResponse) by its shape.
+func jobLike(v any) bool {
+	m, ok := v.(map[string]any)
+	if !ok {
+		return false
+	}
+	_, hasID := m["id"].(string)
+	_, hasStatus := m["status"].(string)
+	_, hasKind := m["kind"].(string)
+	return hasID && hasStatus && hasKind
+}
+
+// jobLive reports whether a job snapshot is non-terminal.
+func jobLive(v any) bool {
+	m, ok := v.(map[string]any)
+	if !ok {
+		return false
+	}
+	s, _ := m["status"].(string)
+	return s == "queued" || s == "running"
+}
+
+// jobTerminal reports whether body decodes as a terminal job snapshot.
+func jobTerminal(body string) bool {
+	var m map[string]any
+	if err := json.Unmarshal([]byte(body), &m); err != nil {
+		return false
+	}
+	return jobLike(m) && !jobLive(m)
+}
+
+// parseNDJSON decodes a body as a sequence of JSON values; ok is false
+// when the body is not pure JSON (e.g. /metrics text).
+func parseNDJSON(body string) (vals []any, ok bool) {
+	if strings.TrimSpace(body) == "" {
+		return nil, true
+	}
+	dec := json.NewDecoder(strings.NewReader(body))
+	dec.UseNumber()
+	for dec.More() {
+		var v any
+		if err := dec.Decode(&v); err != nil {
+			return nil, false
+		}
+		vals = append(vals, denumber(v))
+	}
+	return vals, true
+}
+
+// denumber converts json.Number leaves to float64 for uniform
+// comparison (UseNumber keeps decoding strict; our wire format never
+// emits numbers outside float64 range).
+func denumber(v any) any {
+	switch val := v.(type) {
+	case json.Number:
+		f, err := val.Float64()
+		if err != nil {
+			return val.String()
+		}
+		return f
+	case map[string]any:
+		for k, sub := range val {
+			val[k] = denumber(sub)
+		}
+		return val
+	case []any:
+		for i, sub := range val {
+			val[i] = denumber(sub)
+		}
+		return val
+	default:
+		return v
+	}
+}
+
+func field(m map[string]any, k string) any {
+	if m == nil {
+		return nil
+	}
+	return m[k]
+}
+
+func unionKeys(a, b map[string]any) []string {
+	keys := make([]string, 0, len(a)+len(b))
+	for k := range a {
+		keys = append(keys, k)
+	}
+	for k := range b {
+		if _, ok := a[k]; !ok {
+			keys = append(keys, k)
+		}
+	}
+	sortStrings(keys)
+	return keys
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+func joinField(base, k string) string {
+	if base == "" {
+		return k
+	}
+	return base + "." + k
+}
+
+// clip bounds raw bodies embedded in diffs.
+func clip(s string) string {
+	if len(s) > 200 {
+		return s[:200] + "…"
+	}
+	return s
+}
+
+func jsonClip(v any) string {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Sprint(v)
+	}
+	return clip(string(b))
+}

@@ -1,0 +1,134 @@
+package replay
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"repliflow/internal/server"
+)
+
+// Recorder is HTTP middleware that captures every exchange passing
+// through it to a trace (wfserve -record). Requests are served
+// unmodified — the recorder buffers the request body before the handler
+// runs and tees the response while it streams, so deadlines, streaming
+// flushes and error paths behave exactly as they would unrecorded.
+// Events are appended in response-completion order under one mutex; the
+// header line is written lazily with the first event.
+//
+// Recording buffers each request and response body in memory for the
+// duration of the exchange; it is a capture tool for load analysis and
+// regression traces, not a zero-cost production default.
+type Recorder struct {
+	next  http.Handler
+	start time.Time
+
+	mu         sync.Mutex
+	w          io.Writer
+	seq        int
+	headerDone bool
+	err        error
+}
+
+// NewRecorder wraps next, appending every exchange to w.
+func NewRecorder(next http.Handler, w io.Writer) *Recorder {
+	return &Recorder{next: next, start: time.Now(), w: w}
+}
+
+// Err returns the first write error the recorder hit (events after a
+// write failure are dropped, never half-written).
+func (rec *Recorder) Err() error {
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	return rec.err
+}
+
+// ServeHTTP implements http.Handler.
+func (rec *Recorder) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	offset := time.Since(rec.start)
+	var reqBody []byte
+	if r.Body != nil {
+		reqBody, _ = io.ReadAll(r.Body)
+		r.Body.Close() //nolint:errcheck
+		r.Body = io.NopCloser(bytes.NewReader(reqBody))
+	}
+	cw := &captureWriter{ResponseWriter: w}
+	rec.next.ServeHTTP(cw, r)
+
+	path := r.URL.Path
+	if r.URL.RawQuery != "" {
+		path += "?" + r.URL.RawQuery
+	}
+	rec.append(Event{
+		OffsetMs: float64(offset) / float64(time.Millisecond),
+		Method:   r.Method,
+		Path:     path,
+		Client:   server.ClientID(r),
+		Request:  string(reqBody),
+		Status:   cw.status(),
+		Response: cw.body.String(),
+	})
+}
+
+// append assigns the sequence number and writes the event line.
+func (rec *Recorder) append(ev Event) {
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	if rec.err != nil {
+		return
+	}
+	if !rec.headerDone {
+		if rec.err = EncodeTrace(rec.w, &Trace{Header: Header{
+			Trace:      Version,
+			RecordedAt: rec.start.UTC().Format(time.RFC3339),
+		}}); rec.err != nil {
+			return
+		}
+		rec.headerDone = true
+	}
+	rec.seq++
+	ev.Seq = rec.seq
+	rec.err = json.NewEncoder(rec.w).Encode(&ev)
+}
+
+// captureWriter tees the response: status and body are copied for the
+// trace while everything — including streaming flushes — passes through
+// to the client untouched.
+type captureWriter struct {
+	http.ResponseWriter
+	code int
+	body bytes.Buffer
+}
+
+func (cw *captureWriter) status() int {
+	if cw.code == 0 {
+		return http.StatusOK
+	}
+	return cw.code
+}
+
+func (cw *captureWriter) WriteHeader(code int) {
+	if cw.code == 0 {
+		cw.code = code
+	}
+	cw.ResponseWriter.WriteHeader(code)
+}
+
+func (cw *captureWriter) Write(b []byte) (int, error) {
+	if cw.code == 0 {
+		cw.code = http.StatusOK
+	}
+	cw.body.Write(b)
+	return cw.ResponseWriter.Write(b)
+}
+
+// Flush forwards to the underlying writer so streamed NDJSON lines
+// reach the client as they are proven, recorded or not.
+func (cw *captureWriter) Flush() {
+	if f, ok := cw.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}

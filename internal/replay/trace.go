@@ -1,0 +1,145 @@
+// Package replay records wfserve wire traffic to versioned NDJSON
+// traces and replays them deterministically against a live server,
+// diffing every response field-by-field against the recording. It is
+// the macro differential-regression harness of the repo: a checked-in
+// seed trace replays in CI on every change, and production traffic
+// captured with `wfserve -record` replays locally with throughput,
+// latency and 429-rate statistics (cmd/wfreplay).
+//
+// Trace format (docs/wire-format.md "Trace files"): line 1 is a Header
+// whose "trace" field names the format version; every following line is
+// one Event — an HTTP exchange with its arrival offset, client id,
+// request body, and response status/body. Events are written in
+// response-completion order with strictly increasing sequence numbers.
+package replay
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Version is the trace format version this package writes and the only
+// one it reads. Bump it together with any incompatible Event change.
+const Version = "wfreplay/v1"
+
+// Header is the first line of a trace file.
+type Header struct {
+	// Trace is the format version tag, always Version.
+	Trace string `json:"trace"`
+	// RecordedAt is an informational RFC3339 timestamp; replay ignores
+	// it.
+	RecordedAt string `json:"recordedAt,omitempty"`
+}
+
+// Event is one recorded HTTP exchange.
+type Event struct {
+	// Seq numbers events from 1, strictly increasing through the file
+	// (response-completion order under concurrent recording).
+	Seq int `json:"seq"`
+	// OffsetMs is the request's arrival offset since recording started,
+	// used by real-timing replay to reproduce the traffic shape.
+	OffsetMs float64 `json:"offsetMs"`
+	// Method and Path (with query) identify the endpoint.
+	Method string `json:"method"`
+	Path   string `json:"path"`
+	// Client is the tenant identity (server.ClientID) the request
+	// carried; replay re-sends it in the X-Client-Id header so the
+	// request lands in the same admission bucket.
+	Client string `json:"client,omitempty"`
+	// Request is the raw request body; empty for bodyless requests.
+	Request string `json:"request,omitempty"`
+	// Status and Response are the recorded response. Response holds the
+	// raw body bytes — a JSON document for most endpoints, NDJSON lines
+	// for streams, plain text for /metrics.
+	Status   int    `json:"status"`
+	Response string `json:"response"`
+}
+
+// Trace is a decoded trace file.
+type Trace struct {
+	Header Header
+	Events []Event
+}
+
+// EncodeTrace writes tr in the NDJSON trace format.
+func EncodeTrace(w io.Writer, tr *Trace) error {
+	enc := json.NewEncoder(w)
+	header := tr.Header
+	if header.Trace == "" {
+		header.Trace = Version
+	}
+	if err := enc.Encode(header); err != nil {
+		return err
+	}
+	for i := range tr.Events {
+		if err := enc.Encode(&tr.Events[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DecodeTrace reads and validates a trace file: the version header must
+// match, unknown fields are rejected (a typo never replays the wrong
+// traffic silently), sequence numbers must increase strictly from 1,
+// offsets must be finite and non-negative, and every event needs a
+// method, a rooted path and a plausible HTTP status.
+func DecodeTrace(r io.Reader) (*Trace, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+
+	var header Header
+	if err := dec.Decode(&header); err != nil {
+		if err == io.EOF {
+			return nil, fmt.Errorf("empty trace: missing header line")
+		}
+		return nil, fmt.Errorf("decoding trace header: %w", err)
+	}
+	if header.Trace != Version {
+		return nil, fmt.Errorf("unsupported trace version %q (this build reads %q)", header.Trace, Version)
+	}
+
+	tr := &Trace{Header: header}
+	lastSeq := 0
+	for dec.More() {
+		var ev Event
+		if err := dec.Decode(&ev); err != nil {
+			return nil, fmt.Errorf("decoding trace event %d: %w", lastSeq+1, err)
+		}
+		if err := validateEvent(&ev, lastSeq); err != nil {
+			return nil, err
+		}
+		lastSeq = ev.Seq
+		tr.Events = append(tr.Events, ev)
+	}
+	// The decoder stops at the first non-JSON byte; reject trailing
+	// garbage so a truncated or corrupted tail fails loudly.
+	if rest, err := io.ReadAll(io.MultiReader(dec.Buffered(), r)); err != nil {
+		return nil, err
+	} else if len(strings.TrimSpace(string(rest))) > 0 {
+		return nil, fmt.Errorf("trailing garbage after trace event %d", lastSeq)
+	}
+	return tr, nil
+}
+
+func validateEvent(ev *Event, lastSeq int) error {
+	if ev.Seq != lastSeq+1 {
+		return fmt.Errorf("trace event seq %d out of order (want %d)", ev.Seq, lastSeq+1)
+	}
+	if math.IsNaN(ev.OffsetMs) || math.IsInf(ev.OffsetMs, 0) || ev.OffsetMs < 0 {
+		return fmt.Errorf("trace event %d: bad offsetMs %v", ev.Seq, ev.OffsetMs)
+	}
+	if ev.Method == "" {
+		return fmt.Errorf("trace event %d: missing method", ev.Seq)
+	}
+	if !strings.HasPrefix(ev.Path, "/") {
+		return fmt.Errorf("trace event %d: path %q is not rooted", ev.Seq, ev.Path)
+	}
+	if ev.Status < 100 || ev.Status > 599 {
+		return fmt.Errorf("trace event %d: implausible status %d", ev.Seq, ev.Status)
+	}
+	return nil
+}

@@ -1,0 +1,79 @@
+package replay
+
+import (
+	"bytes"
+	"reflect"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestTraceRoundTrip(t *testing.T) {
+	tr := &Trace{
+		Header: Header{Trace: Version, RecordedAt: "2026-08-07T00:00:00Z"},
+		Events: []Event{
+			{Seq: 1, OffsetMs: 0, Method: "GET", Path: "/healthz", Status: 200, Response: `{"status":"ok"}`},
+			{Seq: 2, OffsetMs: 12.5, Method: "POST", Path: "/v1/solve", Client: "tenant-a",
+				Request: `{"pipeline":{"weights":[1]}}`, Status: 200, Response: `{"cell":"x"}`},
+			{Seq: 3, OffsetMs: 40, Method: "POST", Path: "/v1/pareto", Status: 200,
+				Response: "{\"period\":1}\n{\"status\":\"complete\"}\n"},
+		},
+	}
+	var buf bytes.Buffer
+	if err := EncodeTrace(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeTrace(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, tr) {
+		t.Fatalf("round trip:\n got %+v\nwant %+v", got, tr)
+	}
+}
+
+func TestEncodeTraceDefaultsVersion(t *testing.T) {
+	var buf bytes.Buffer
+	if err := EncodeTrace(&buf, &Trace{}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), Version) {
+		t.Fatalf("header missing version: %s", buf.String())
+	}
+}
+
+func TestDecodeTraceRejects(t *testing.T) {
+	header := `{"trace":"wfreplay/v1"}` + "\n"
+	ev := func(seq int) string {
+		return `{"seq":` + strconv.Itoa(seq) + `,"offsetMs":1,"method":"GET","path":"/healthz","status":200,"response":"{}"}` + "\n"
+	}
+	cases := []struct {
+		name, input, wantErr string
+	}{
+		{"empty", "", "empty trace"},
+		{"wrong version", `{"trace":"wfreplay/v0"}` + "\n", "unsupported trace version"},
+		{"unknown header field", `{"trace":"wfreplay/v1","extra":1}` + "\n", "unknown field"},
+		{"unknown event field", header + `{"seq":1,"offsetMs":0,"method":"GET","path":"/x","status":200,"response":"","bogus":1}` + "\n", "unknown field"},
+		{"seq gap", header + ev(1) + ev(3), "out of order"},
+		{"seq restart", header + ev(1) + ev(1), "out of order"},
+		{"negative offset", header + `{"seq":1,"offsetMs":-4,"method":"GET","path":"/x","status":200,"response":""}`, "bad offsetMs"},
+		{"missing method", header + `{"seq":1,"offsetMs":0,"path":"/x","status":200,"response":""}`, "missing method"},
+		{"relative path", header + `{"seq":1,"offsetMs":0,"method":"GET","path":"x","status":200,"response":""}`, "not rooted"},
+		{"implausible status", header + `{"seq":1,"offsetMs":0,"method":"GET","path":"/x","status":99,"response":""}`, "implausible status"},
+		// A tail the decoder can try to parse fails as a bad event; a
+		// tail it cannot (a stray close brace) must still be rejected.
+		{"trailing garbage", header + ev(1) + "}", "trailing garbage"},
+		{"garbage event", header + ev(1) + "not json", "decoding trace event"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := DecodeTrace(strings.NewReader(tc.input))
+			if err == nil {
+				t.Fatalf("decoded %q without error", tc.input)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+}

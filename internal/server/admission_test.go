@@ -1,0 +1,388 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock drives admission refill deterministically from tests.
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{now: time.Unix(1_000_000, 0)}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = c.now.Add(d)
+}
+
+func TestTokenBucketRefill(t *testing.T) {
+	clock := newFakeClock()
+	a := newAdmission(2, 10) // 2 tokens/s, burst 10
+	a.now = clock.Now
+
+	if _, ok := a.admit("t", 4); !ok {
+		t.Fatal("first admit from a full bucket rejected")
+	}
+	retry, ok := a.admit("t", 8) // 6 tokens left < 8
+	if ok {
+		t.Fatal("admit over the remaining tokens succeeded")
+	}
+	if want := time.Second; retry != want { // (8-6)/2 tokens per second
+		t.Fatalf("retryAfter = %v, want %v", retry, want)
+	}
+	clock.Advance(time.Second) // refills to 8
+	if _, ok := a.admit("t", 8); !ok {
+		t.Fatal("admit after refill rejected")
+	}
+
+	// A rejection must not debit: the bucket still covers a smaller
+	// request.
+	clock.Advance(time.Second) // 2 tokens
+	if _, ok := a.admit("t", 5); ok {
+		t.Fatal("admit over budget succeeded")
+	}
+	if _, ok := a.admit("t", 2); !ok {
+		t.Fatal("rejection debited the bucket")
+	}
+}
+
+func TestTokenBucketOversizedRequest(t *testing.T) {
+	clock := newFakeClock()
+	a := newAdmission(2, 10)
+	a.now = clock.Now
+
+	// A request costing more than one full bucket is admitted only from
+	// a full bucket, which then goes negative.
+	if _, ok := a.admit("big", 25); !ok {
+		t.Fatal("oversized request from a full bucket rejected")
+	}
+	retry, ok := a.admit("big", 1) // tokens = -15
+	if ok {
+		t.Fatal("admit from a negative bucket succeeded")
+	}
+	if want := 8 * time.Second; retry != want { // (1-(-15))/2
+		t.Fatalf("retryAfter = %v, want %v", retry, want)
+	}
+	clock.Advance(8 * time.Second)
+	if _, ok := a.admit("big", 1); !ok {
+		t.Fatal("admit after paying back the debt rejected")
+	}
+
+	// From a partially drained bucket the oversized request is rejected
+	// with a retry that refills to capacity, never more.
+	a2 := newAdmission(2, 10)
+	a2.now = clock.Now
+	if _, ok := a2.admit("c", 1); !ok {
+		t.Fatal("priming admit rejected")
+	}
+	retry, ok = a2.admit("c", 25)
+	if ok {
+		t.Fatal("oversized admit from a drained bucket succeeded")
+	}
+	if want := 500 * time.Millisecond; retry != want { // (10-9)/2
+		t.Fatalf("retryAfter = %v, want %v", retry, want)
+	}
+}
+
+func TestAdmissionDisabledByDefault(t *testing.T) {
+	srv, ts := newTestServer(t, Config{})
+	if srv.adm.enabled() {
+		t.Fatal("admission enabled without a configured rate")
+	}
+	for i := 0; i < 5; i++ {
+		resp, body := postJSON(t, ts.URL+"/v1/solve", slowInstance)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("request %d: status %d, body %s", i, resp.StatusCode, body)
+		}
+	}
+}
+
+func TestFairQueueRoundRobinGrantOrder(t *testing.T) {
+	testFairQueueOrder(t, nil,
+		[]string{"a", "a", "a", "b", "b"},
+		[]string{"a", "b", "a", "b", "a"})
+}
+
+func TestFairQueueWeightedGrants(t *testing.T) {
+	// Weight-2 tenant b drains two waiters per rotation.
+	testFairQueueOrder(t, map[string]int{"b": 2},
+		[]string{"a", "b", "b", "a", "b"},
+		[]string{"a", "b", "b", "a", "b"})
+}
+
+// testFairQueueOrder occupies a capacity-1 queue, enqueues waiters in
+// arrival order, then lets the slot cascade through them, asserting the
+// weighted round-robin grant order.
+func testFairQueueOrder(t *testing.T, weights map[string]int, arrivals, want []string) {
+	t.Helper()
+	q := newFairQueue(1, weights)
+	if err := q.acquire(context.Background(), "holder"); err != nil {
+		t.Fatal(err)
+	}
+
+	order := make(chan string, len(arrivals))
+	var wg sync.WaitGroup
+	for _, client := range arrivals {
+		wg.Add(1)
+		queuedBefore := q.queued()
+		go func(client string) {
+			defer wg.Done()
+			if err := q.acquire(context.Background(), client); err != nil {
+				t.Error(err)
+				return
+			}
+			order <- client
+			q.release() // cascade the slot to the next waiter
+		}(client)
+		// Serialize enqueue order: wait until this waiter is queued
+		// before starting the next.
+		for q.queued() != queuedBefore+1 {
+			time.Sleep(time.Millisecond)
+		}
+	}
+
+	q.release() // hand the held slot to the first grantee
+	wg.Wait()
+	close(order)
+	var got []string
+	for client := range order {
+		got = append(got, client)
+	}
+	if strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Fatalf("grant order = %v, want %v", got, want)
+	}
+	if q.queued() != 0 {
+		t.Fatalf("queued = %d after drain", q.queued())
+	}
+}
+
+func TestFairQueueCancelledWaiter(t *testing.T) {
+	q := newFairQueue(1, nil)
+	if err := q.acquire(context.Background(), "holder"); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() { errc <- q.acquire(ctx, "w") }()
+	for q.queued() != 1 {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	if err := <-errc; err != context.Canceled {
+		t.Fatalf("cancelled acquire returned %v, want context.Canceled", err)
+	}
+	if q.queued() != 0 {
+		t.Fatalf("queued = %d after cancellation", q.queued())
+	}
+
+	// The slot still works: release it and re-acquire immediately.
+	q.release()
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel2()
+	if err := q.acquire(ctx2, "w2"); err != nil {
+		t.Fatalf("acquire after cancel+release: %v", err)
+	}
+	q.release()
+}
+
+// TestTwoTenantFloodFairness is the admission acceptance test: a heavy
+// tenant flooding expensive NP-hard requests exhausts its own bucket —
+// 429 with Retry-After — while an interleaved light tenant's cheap
+// requests all succeed, deterministically under a fake clock.
+func TestTwoTenantFloodFairness(t *testing.T) {
+	// Burst 32 = two exhaustive solves; rate 16 tokens/s.
+	srv, ts := newTestServer(t, Config{RateLimit: 16, Burst: 32})
+	clock := newFakeClock()
+	srv.adm.now = clock.Now
+
+	do := func(client, body string) *http.Response {
+		t.Helper()
+		req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/solve", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set(ClientIDHeader, client)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close() //nolint:errcheck
+		return resp
+	}
+	// Distinct light instances dodge the fingerprint cache, so every
+	// round exercises the full admission + solve path.
+	lightBody := func(i int) string {
+		return fmt.Sprintf(`{
+			"pipeline": {"weights": [14, 4, 2, %d]},
+			"platform": {"speeds": [1, 1, 1]},
+			"allowDataParallel": true,
+			"objective": "min-latency"
+		}`, i+1)
+	}
+
+	const rounds = 20
+	heavyOK, heavy429 := 0, 0
+	for i := 0; i < rounds; i++ {
+		// Heavy tenant: slowInstance classifies NP-hard → cost 16.
+		resp := do("heavy", slowInstance)
+		switch resp.StatusCode {
+		case http.StatusOK:
+			heavyOK++
+		case http.StatusTooManyRequests:
+			heavy429++
+			retry := resp.Header.Get("Retry-After")
+			if secs, err := strconv.Atoi(retry); err != nil || secs < 1 {
+				t.Fatalf("round %d: 429 Retry-After = %q, want a positive integer", i, retry)
+			}
+		default:
+			t.Fatalf("round %d: heavy status = %d", i, resp.StatusCode)
+		}
+
+		// Light tenant: polynomial cell → cost 1, burst 32 covers all 20
+		// rounds without any refill. Its requests must be untouched by
+		// the heavy tenant's flood.
+		if resp := do("light", lightBody(i)); resp.StatusCode != http.StatusOK {
+			t.Fatalf("round %d: light status = %d, want 200", i, resp.StatusCode)
+		}
+	}
+	if heavyOK != 2 { // burst 32 covers exactly two cost-16 solves
+		t.Errorf("heavy admitted %d times, want 2", heavyOK)
+	}
+	if heavy429 != rounds-2 {
+		t.Errorf("heavy rejected %d times, want %d", heavy429, rounds-2)
+	}
+
+	// Refill admits the heavy tenant again: one second buys 16 tokens.
+	clock.Advance(time.Second)
+	if resp := do("heavy", slowInstance); resp.StatusCode != http.StatusOK {
+		t.Fatalf("heavy after refill: status = %d, want 200", resp.StatusCode)
+	}
+
+	// The flood shows up in the metrics.
+	resp, body := getJSON(t, ts.URL+"/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics status = %d", resp.StatusCode)
+	}
+	metrics := string(body)
+	if want := fmt.Sprintf("wfserve_rate_limited_total %d", heavy429); !strings.Contains(metrics, want) {
+		t.Errorf("metrics missing %q", want)
+	}
+	if !strings.Contains(metrics, "wfserve_tenants 2") {
+		t.Errorf("metrics missing wfserve_tenants 2:\n%s", metrics)
+	}
+}
+
+// TestRateLimited429Body pins the 429 wire contract: structured error
+// kind, human message, and a whole-seconds Retry-After header.
+func TestRateLimited429Body(t *testing.T) {
+	srv, ts := newTestServer(t, Config{RateLimit: 1, Burst: 16})
+	clock := newFakeClock()
+	srv.adm.now = clock.Now
+
+	// Drain the anonymous bucket with one exhaustive solve, then the
+	// next is rejected.
+	resp, body := postJSON(t, ts.URL+"/v1/solve", slowInstance)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("priming solve: status %d, body %s", resp.StatusCode, body)
+	}
+	resp, body = postJSON(t, ts.URL+"/v1/solve", slowInstance)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429 (body %s)", resp.StatusCode, body)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "16" { // 16 tokens at 1/s
+		t.Errorf("Retry-After = %q, want 16", got)
+	}
+	if !strings.Contains(string(body), `"kind": "rate-limited"`) {
+		t.Errorf("429 body missing rate-limited kind: %s", body)
+	}
+	if !strings.Contains(string(body), AnonymousClient) {
+		t.Errorf("429 body does not name the anonymous client: %s", body)
+	}
+}
+
+// TestDonationDoesNotStarveQueuedTenants pins the MaxInFlight default
+// (2x workers) against PR 6's slot donation: a donating solve may absorb
+// every idle engine slot, but it returns them at completion, so queued
+// tenants are delayed at most one solve — never starved. The heavy
+// tenant runs budgeted anytime solves with auto parallelism (maximal
+// donation) back-to-back while a light tenant's polynomial solves must
+// all complete.
+func TestDonationDoesNotStarveQueuedTenants(t *testing.T) {
+	_, ts := newSlowServer(t, Config{Workers: 2}) // MaxInFlight defaults to 4
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		// Budgeted solves finish in ~150ms each; parallelism -1 donates
+		// every idle engine slot to each solve. Distinct weights keep
+		// each round out of the fingerprint cache.
+		for i := 0; i < 4; i++ {
+			body := fmt.Sprintf(`{
+				"pipeline": {"weights": [14, 4, 2, 4, 7, 3, 9, 5, 6, 8, 2, 11, 6, %d]},
+				"platform": {"speeds": [2, 2, 1, 1, 3, 1, 2, 1, 1, 2, 3, 1, 2, 1]},
+				"allowDataParallel": true,
+				"objective": "min-latency",
+				"budgetMs": 150, "parallelism": -1, "timeoutMs": 30000
+			}`, i+2)
+			resp, err := http.Post(ts.URL+"/v1/solve?client=heavy", "application/json", strings.NewReader(body))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			resp.Body.Close() //nolint:errcheck
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("heavy solve %d: status %d", i, resp.StatusCode)
+			}
+		}
+	}()
+
+	// Light tenant queues behind the donating solves; every request must
+	// still complete well before the generous deadline.
+	for i := 0; i < 6; i++ {
+		body := fmt.Sprintf(`{
+			"pipeline": {"weights": [9, 3, 1, %d]},
+			"platform": {"speeds": [1, 1, 1]},
+			"allowDataParallel": true,
+			"objective": "min-latency",
+			"timeoutMs": 20000
+		}`, i+1)
+		req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/solve", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set(ClientIDHeader, "light")
+		client := &http.Client{Timeout: 20 * time.Second}
+		resp, err := client.Do(req)
+		if err != nil {
+			t.Fatalf("light solve %d starved: %v", i, err)
+		}
+		resp.Body.Close() //nolint:errcheck
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("light solve %d: status %d", i, resp.StatusCode)
+		}
+	}
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("heavy tenant never finished")
+	}
+}

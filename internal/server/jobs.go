@@ -226,6 +226,19 @@ func (s *Server) handleJobCreate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// Jobs pay admission cost at submission — the client id recorded here
+	// also keys the job's place in the fair queue.
+	opts := s.solveOptions(req.BudgetMs, req.Parallelism)
+	cost := batchCost(problems, opts)
+	if req.Kind == "pareto" {
+		sweep := problems[0]
+		sweep.Objective = core.MinPeriod
+		cost = paretoCostFactor * solveCost(sweep, opts)
+	}
+	if !s.admit(w, r, cost, nil) {
+		return
+	}
+
 	// Jobs outlive the submitting request: their context derives from the
 	// server's drain signal, not the HTTP request. The timeout is applied
 	// in runJob once a solve slot is acquired — it bounds the job's run,
@@ -237,20 +250,20 @@ func (s *Server) handleJobCreate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusServiceUnavailable, ErrKindOverloaded, err.Error(), nil)
 		return
 	}
-	opts := s.solveOptions(req.BudgetMs, req.Parallelism)
-	go s.runJob(ctx, cancel, j, problems, opts, s.timeoutFor(req.TimeoutMs))
+	go s.runJob(ctx, cancel, j, problems, opts, s.timeoutFor(req.TimeoutMs), ClientID(r))
 	w.Header().Set("Location", "/v1/jobs/"+j.id)
 	writeJSON(w, http.StatusAccepted, j.snapshot())
 }
 
 // runJob executes one admitted job to its terminal state.
-func (s *Server) runJob(ctx context.Context, cancel context.CancelFunc, j *job, problems []core.Problem, opts core.Options, timeout time.Duration) {
+func (s *Server) runJob(ctx context.Context, cancel context.CancelFunc, j *job, problems []core.Problem, opts core.Options, timeout time.Duration, client string) {
 	defer cancel()
-	// Jobs queue on the same in-flight limiter as synchronous requests,
-	// so a burst of jobs cannot oversubscribe the engine. Queueing is
-	// bounded only by cancellation (DELETE) and server drain — the run
-	// timeout starts once the slot is held.
-	if err := s.acquire(ctx); err != nil {
+	// Jobs queue on the same weighted-fair slot pool as synchronous
+	// requests, under the submitting client's identity, so a burst of
+	// jobs cannot oversubscribe the engine or starve other tenants.
+	// Queueing is bounded only by cancellation (DELETE) and server
+	// drain — the run timeout starts once the slot is held.
+	if err := s.acquire(ctx, client); err != nil {
 		s.finishJob(j, err)
 		return
 	}

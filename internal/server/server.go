@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
 	"strconv"
 	"sync"
@@ -26,8 +27,20 @@ type Config struct {
 	// <= 0 selects GOMAXPROCS.
 	Workers int
 	// MaxInFlight bounds the number of requests solving concurrently;
-	// excess requests queue until a slot frees or their deadline
-	// expires. <= 0 selects 2x the engine worker count.
+	// excess requests queue (weighted-fair across tenants) until a slot
+	// frees or their deadline expires. <= 0 selects 2x the engine worker
+	// count.
+	//
+	// The 2x default composes deliberately with the engine's slot
+	// donation (intra-solve parallelism): a solve asking for extra
+	// workers claims only *idle* engine slots, non-blocking, and returns
+	// them when it finishes — so a donating solve can delay queued
+	// requests by at most its own duration, never park them behind a
+	// growing backlog. With MaxInFlight = 2x workers the request queue
+	// keeps the engine saturated even when half the admitted requests
+	// are waiting on engine slots a donor borrowed; admission fairness
+	// is preserved because every request — donating or not — passes the
+	// same per-tenant fair queue first. See TestDonationDoesNotStarveQueuedTenants.
 	MaxInFlight int
 	// DefaultTimeout applies when a request carries no timeoutMs;
 	// <= 0 selects 30s.
@@ -59,6 +72,27 @@ type Config struct {
 	// the oldest finished job is evicted to admit a new one, and a store
 	// full of live jobs rejects submissions with 503. <= 0 selects 64.
 	MaxJobs int
+	// RateLimit enables per-client cost-based admission control: each
+	// client's token bucket refills at this many tokens per second, and
+	// every solve-bearing request (solve, batch, pareto, job submission)
+	// debits its classified cost before queueing — polynomial solves
+	// cost 1 token, NP-hard solves under an anytime budget 4, NP-hard
+	// exhaustive solves 16, and Pareto sweeps 4x their instance's cost.
+	// A request the bucket cannot cover is rejected with 429, a
+	// Retry-After header and error kind "rate-limited". 0 disables rate
+	// limiting (the default); metadata endpoints are never limited.
+	RateLimit float64
+	// Burst is the token-bucket capacity per client; <= 0 selects 64
+	// (four exhaustive solves). A fresh client starts with a full
+	// bucket. Requests costing more than one full bucket are admitted
+	// only from a full bucket and drive it negative, so they stay
+	// servable but pay proportionally longer refill.
+	Burst float64
+	// TenantWeights biases the fair queue: a tenant with weight w
+	// receives up to w consecutive slot grants per round-robin rotation.
+	// Unlisted tenants (and weights < 1) weigh 1. Weights shape queueing
+	// only — rate limits are per-bucket and unweighted.
+	TenantWeights map[string]int
 	// Options tunes the exhaustive-search limits of every solve.
 	Options core.Options
 }
@@ -69,7 +103,8 @@ type Server struct {
 	eng            *engine.Engine
 	opts           core.Options
 	defaultBudget  time.Duration
-	limiter        chan struct{}
+	fq             *fairQueue
+	adm            *admission
 	defaultTimeout time.Duration
 	maxTimeout     time.Duration
 	maxBatch       int
@@ -87,6 +122,7 @@ type Server struct {
 	jobs          *jobManager
 	metrics       *metrics
 	inflight      atomic.Int64
+	rateLimited   atomic.Uint64
 	anytimeSolves atomic.Uint64
 	streamPoints  atomic.Uint64
 	start         time.Time
@@ -124,12 +160,16 @@ func New(cfg Config) *Server {
 	if cfg.MaxJobs <= 0 {
 		cfg.MaxJobs = 64
 	}
+	if cfg.Burst <= 0 {
+		cfg.Burst = 4 * costExhaustive
+	}
 	baseCtx, closeBase := context.WithCancel(context.Background())
 	s := &Server{
 		eng:            eng,
 		opts:           cfg.Options,
 		defaultBudget:  cfg.DefaultBudget,
-		limiter:        make(chan struct{}, cfg.MaxInFlight),
+		fq:             newFairQueue(cfg.MaxInFlight, cfg.TenantWeights),
+		adm:            newAdmission(cfg.RateLimit, cfg.Burst),
 		defaultTimeout: cfg.DefaultTimeout,
 		maxTimeout:     maxClamp(cfg.DefaultTimeout, cfg.MaxTimeout),
 		maxBatch:       cfg.MaxBatch,
@@ -249,23 +289,45 @@ func (s *Server) requestContext(r *http.Request, timeoutMs int64) (context.Conte
 	return ctx, func() { stop(); cancel() }
 }
 
-// acquire claims an in-flight slot, waiting until one frees or ctx
-// expires. The bounded limiter keeps long exhaustive solves on NP-hard
-// cells from monopolizing the process: excess requests queue here
-// instead of stacking goroutines onto the engine.
-func (s *Server) acquire(ctx context.Context) error {
-	select {
-	case s.limiter <- struct{}{}:
-		s.inflight.Add(1)
-		return nil
-	case <-ctx.Done():
-		return ctx.Err()
+// acquire claims an in-flight slot for client, waiting until one frees
+// or ctx expires. The bounded pool keeps long exhaustive solves on
+// NP-hard cells from monopolizing the process: excess requests queue —
+// weighted-fair across tenants, FIFO within one — instead of stacking
+// goroutines onto the engine.
+func (s *Server) acquire(ctx context.Context, client string) error {
+	if err := s.fq.acquire(ctx, client); err != nil {
+		return err
 	}
+	s.inflight.Add(1)
+	return nil
 }
 
 func (s *Server) release() {
 	s.inflight.Add(-1)
-	<-s.limiter
+	s.fq.release()
+}
+
+// admit applies cost-based admission for the request. On rejection it
+// writes the 429 response (with Retry-After) and returns false; when
+// rate limiting is disabled every request is admitted.
+func (s *Server) admit(w http.ResponseWriter, r *http.Request, cost float64, pr *core.Problem) bool {
+	if !s.adm.enabled() {
+		return true
+	}
+	retry, ok := s.adm.admit(ClientID(r), cost)
+	if ok {
+		return true
+	}
+	s.rateLimited.Add(1)
+	secs := int(math.Ceil(retry.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	writeError(w, http.StatusTooManyRequests, ErrKindRateLimited,
+		fmt.Sprintf("client %q over its admission rate (request cost %g tokens); retry in %ds",
+			ClientID(r), cost, secs), pr)
+	return false
 }
 
 // solveMetrics records one latency under its (cell, operation) series.
@@ -317,16 +379,20 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, ErrKindInvalidRequest, err.Error(), nil)
 		return
 	}
+	opts := s.solveOptions(req.BudgetMs, req.Parallelism)
+	if !s.admit(w, r, solveCost(pr, opts), &pr) {
+		return
+	}
 	ctx, cancel := s.requestContext(r, req.TimeoutMs)
 	defer cancel()
-	if err := s.acquire(ctx); err != nil {
+	if err := s.acquire(ctx, ClientID(r)); err != nil {
 		s.writeQueueError(w, err, &pr)
 		return
 	}
 	defer s.release()
 
 	start := time.Now()
-	sol, err := s.eng.Solve(ctx, pr, s.solveOptions(req.BudgetMs, req.Parallelism))
+	sol, err := s.eng.Solve(ctx, pr, opts)
 	elapsed := time.Since(start)
 	s.solveMetrics(pr, "solve", elapsed)
 	if err != nil {
@@ -367,9 +433,13 @@ func (s *Server) handleSolveBatch(w http.ResponseWriter, r *http.Request) {
 		}
 		problems[i] = pr
 	}
+	opts := s.solveOptions(req.BudgetMs, req.Parallelism)
+	if !s.admit(w, r, batchCost(problems, opts), nil) {
+		return
+	}
 	ctx, cancel := s.requestContext(r, req.TimeoutMs)
 	defer cancel()
-	if err := s.acquire(ctx); err != nil {
+	if err := s.acquire(ctx, ClientID(r)); err != nil {
 		s.writeQueueError(w, err, nil)
 		return
 	}
@@ -377,7 +447,7 @@ func (s *Server) handleSolveBatch(w http.ResponseWriter, r *http.Request) {
 
 	before := s.eng.Stats()
 	start := time.Now()
-	sols, err := s.eng.SolveBatch(ctx, problems, s.solveOptions(req.BudgetMs, req.Parallelism))
+	sols, err := s.eng.SolveBatch(ctx, problems, opts)
 	elapsed := time.Since(start)
 	after := s.eng.Stats()
 	// Batches are deliberately absent from wfserve_solve_seconds: the
@@ -435,20 +505,24 @@ func (s *Server) handlePareto(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, ErrKindInvalidRequest, err.Error(), nil)
 		return
 	}
+	sweep := pr
+	sweep.Objective = core.MinPeriod
+	opts := s.solveOptions(req.BudgetMs, req.Parallelism)
+	if !s.admit(w, r, paretoCostFactor*solveCost(sweep, opts), &sweep) {
+		return
+	}
 	ctx, cancel := s.requestContext(r, req.TimeoutMs)
 	defer cancel()
-	if err := s.acquire(ctx); err != nil {
+	if err := s.acquire(ctx, ClientID(r)); err != nil {
 		s.writeQueueError(w, err, &pr)
 		return
 	}
 	defer s.release()
 
-	sweep := pr
-	sweep.Objective = core.MinPeriod
 	start := time.Now()
 	ps := &paretoStream{w: w, start: start}
 	stopHeartbeats := ps.startHeartbeats(s.heartbeat)
-	stats, err := s.eng.SweepFront(ctx, pr, s.solveOptions(req.BudgetMs, req.Parallelism), engine.SweepObserver{
+	stats, err := s.eng.SweepFront(ctx, pr, opts, engine.SweepObserver{
 		Point: func(p engine.SweepPoint) error {
 			out := instance.FromSolution(p.Solution)
 			s.countAnytime(out)
@@ -671,6 +745,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		{"wfserve_cache_hit_ratio", "Hits / (hits + misses) over the engine lifetime.", "gauge", stats.HitRatio()},
 		{"wfserve_cache_size", "Completed solutions held by the engine cache.", "gauge", float64(stats.Size)},
 		{"wfserve_inflight_requests", "Requests currently holding a solve slot.", "gauge", float64(s.inflight.Load())},
+		{"wfserve_queued_requests", "Requests waiting in the weighted-fair slot queue.", "gauge", float64(s.fq.queued())},
+		{"wfserve_rate_limited_total", "Requests rejected with 429 by per-client admission control.", "counter", float64(s.rateLimited.Load())},
+		{"wfserve_tenants", "Client token buckets currently tracked by admission control.", "gauge", float64(s.adm.tenants())},
 		{"wfserve_anytime_solves_total", "Solutions returned with anytime gap certification.", "counter", float64(s.anytimeSolves.Load())},
 		{"wfserve_stream_points_total", "Pareto front points streamed over /v1/pareto.", "counter", float64(s.streamPoints.Load())},
 		{"wfserve_jobs_active", "Async jobs currently queued or running.", "gauge", float64(s.jobs.active())},

@@ -233,6 +233,11 @@ const (
 	// ErrKindOverloaded marks requests that could not obtain an
 	// in-flight slot before their deadline.
 	ErrKindOverloaded = "overloaded"
+	// ErrKindRateLimited marks requests rejected by per-client admission
+	// control (429): the client's token bucket could not cover the
+	// request's cost. The response carries a Retry-After header with the
+	// whole seconds until the bucket refills enough.
+	ErrKindRateLimited = "rate-limited"
 	// ErrKindBodyTooLarge marks request bodies over the server's byte
 	// limit.
 	ErrKindBodyTooLarge = "body-too-large"
