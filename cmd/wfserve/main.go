@@ -12,6 +12,7 @@
 //	        [-max-jobs N] [-pprof]
 //	        [-rate 0] [-burst 0] [-tenant-weights a=3,b=1]
 //	        [-record trace.ndjson]
+//	        [-store-dir DIR] [-lease-ttl 15s]
 //
 // -workers sizes the engine's solve-slot pool: the total number of
 // solves running concurrently across all requests. -parallelism sets
@@ -44,6 +45,19 @@
 // Retry-After header. -tenant-weights biases the fair queue that hands
 // out solve slots under contention (weights shape scheduling only, not
 // rate limits).
+//
+// -store-dir makes the server durable: every async job transition and
+// every completed NP-hard solve result is written through to an
+// append-only, periodically compacted log in that directory (see
+// docs/wire-format.md "Store files"). A wfserve restarted on the same
+// directory — even after a kill -9 — resumes the interrupted jobs it
+// finds there (a partial Pareto front is preloaded, never shrinking),
+// serves finished jobs that were evicted from memory, and answers
+// repeated NP-hard solves from the persisted result store instead of
+// re-proving them. Non-terminal jobs carry leases of -lease-ttl; a
+// lease left to expire marks the work orphaned and adoptable. Without
+// -store-dir state lives in bounded process memory only, the
+// pre-durability behavior.
 //
 // -record appends every HTTP exchange (request, response, arrival
 // offset, client id) to a versioned NDJSON trace file that cmd/wfreplay
@@ -89,6 +103,7 @@ import (
 	"repliflow/internal/core"
 	"repliflow/internal/replay"
 	"repliflow/internal/server"
+	"repliflow/internal/store"
 )
 
 func main() {
@@ -109,6 +124,8 @@ func main() {
 	burst := flag.Float64("burst", 0, "per-client token bucket capacity (0 = 64, four exhaustive solves)")
 	weightsFlag := flag.String("tenant-weights", "", "comma-separated client=weight pairs biasing the fair queue (e.g. interactive=4,batch=1); unlisted clients weigh 1")
 	record := flag.String("record", "", "append every HTTP exchange to this NDJSON trace file for later wfreplay")
+	storeDir := flag.String("store-dir", "", "directory for durable job and result persistence (append-only compacted log); a restart on the same directory resumes interrupted jobs (empty = in-memory only)")
+	leaseTTL := flag.Duration("lease-ttl", 0, "how long a non-terminal job lease lasts before the work counts as orphaned and adoptable (0 = 15s)")
 	flag.Parse()
 
 	weights, err := parseWeights(*weightsFlag)
@@ -130,16 +147,35 @@ func main() {
 		RateLimit:       *rate,
 		Burst:           *burst,
 		TenantWeights:   weights,
+		LeaseTTL:        *leaseTTL,
 		Options: core.Options{
 			MaxExhaustivePipelineProcs: *maxProcs,
 			MaxExhaustiveForkProcs:     *maxProcs,
 			Parallelism:                *parallelism,
 		},
 	}
+	var disk *store.DiskStore
+	if *storeDir != "" {
+		disk, err = store.OpenDisk(*storeDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "wfserve: opening store:", err)
+			os.Exit(1)
+		}
+		cfg.Store = disk
+		log.Printf("wfserve: durable store at %s", *storeDir)
+	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
-	if err := run(ctx, *addr, cfg, *pprofOn, *record, nil); err != nil {
-		fmt.Fprintln(os.Stderr, "wfserve:", err)
+	runErr := run(ctx, *addr, cfg, *pprofOn, *record, nil)
+	stop()
+	if disk != nil {
+		// Closed after run returns so the drain's final job writes land,
+		// then the log is compacted to a clean snapshot.
+		if err := disk.Close(); err != nil && runErr == nil {
+			runErr = fmt.Errorf("closing store: %w", err)
+		}
+	}
+	if runErr != nil {
+		fmt.Fprintln(os.Stderr, "wfserve:", runErr)
 		os.Exit(1)
 	}
 }

@@ -28,6 +28,9 @@ type Engine struct {
 	mu    sync.Mutex
 	cache map[string]*cacheEntry
 	limit int // max cache entries; 0 = unbounded
+	// resultStore is the optional second-level store consulted on cache
+	// misses of NP-hard cells (SetResultStore); nil disables it.
+	resultStore ResultStore
 
 	hits   atomic.Uint64
 	misses atomic.Uint64
@@ -188,7 +191,21 @@ func (e *Engine) solveVia(ctx context.Context, pr core.Problem, opts core.Option
 		}
 		en = &cacheEntry{done: make(chan struct{})}
 		e.cache[key] = en
+		rs := e.resultStore
 		e.mu.Unlock()
+
+		// Having claimed the flight, try the second-level store before
+		// claiming a solve slot: a stored solution completes the entry
+		// exactly as a computed one would (waiters coalesce onto it), and
+		// the lookup happens off the solve semaphore so a slow store
+		// cannot starve actual solves.
+		if rs != nil && storeEligible(pr) {
+			if sol, ok := rs.Load(key); ok {
+				en.sol = sol
+				close(en.done)
+				return cloneSolution(en.sol), nil
+			}
+		}
 
 		// Claim an engine-wide solve slot; the flight must fail cleanly
 		// if our context dies while queued, so waiters retry.
@@ -219,6 +236,8 @@ func (e *Engine) solveVia(ctx context.Context, pr core.Problem, opts core.Option
 			// Never cache failures or truncated incumbents: neither may
 			// poison the fingerprint for future, uncancelled callers.
 			e.dropEntry(key, en)
+		} else if rs != nil && storeEligible(pr) {
+			rs.Store(key, en.sol)
 		}
 		return cloneSolution(en.sol), en.err
 	}

@@ -1,0 +1,41 @@
+package engine
+
+import (
+	"repliflow/internal/core"
+)
+
+// ResultStore is a second-level, typically durable solution cache the
+// engine consults when its own memoization cache misses. Load returns
+// the solution stored under an engine fingerprint (Fingerprint output),
+// Store records a completed one; both must be safe for concurrent use
+// and must treat the key as opaque bytes. Implementations that cannot
+// answer (a decode failure, a closed backend) report a miss — the
+// engine then solves normally, so a degraded store can never fail a
+// request.
+//
+// The engine only consults the store for NP-hard cells: polynomial
+// solves cost microseconds, below the price of a store round trip, and
+// storing them would flood the backend with trivia. Only successful,
+// untruncated solutions are written back — the same rule the in-memory
+// cache applies — so a store shared by a fleet (or by successive
+// incarnations of one server) accumulates proofs, never poison.
+type ResultStore interface {
+	Load(key string) (core.Solution, bool)
+	Store(key string, sol core.Solution)
+}
+
+// SetResultStore attaches a second-level solution store consulted on
+// cache misses; nil (the default) disables the lookup. Configure it
+// before serving traffic: solves already in flight keep the store they
+// started with.
+func (e *Engine) SetResultStore(rs ResultStore) {
+	e.mu.Lock()
+	e.resultStore = rs
+	e.mu.Unlock()
+}
+
+// storeEligible reports whether the problem's complexity cell warrants
+// a result-store round trip.
+func storeEligible(pr core.Problem) bool {
+	return !core.ClassifyCell(core.CellKeyOf(pr)).Complexity.Polynomial()
+}

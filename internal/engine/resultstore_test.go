@@ -1,0 +1,107 @@
+package engine
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"repliflow/internal/core"
+	"repliflow/internal/platform"
+	"repliflow/internal/workflow"
+)
+
+// fakeResultStore is an in-memory ResultStore that counts traffic.
+type fakeResultStore struct {
+	mu     sync.Mutex
+	sols   map[string]core.Solution
+	loads  int
+	hits   int
+	stores int
+}
+
+func newFakeResultStore() *fakeResultStore {
+	return &fakeResultStore{sols: make(map[string]core.Solution)}
+}
+
+func (f *fakeResultStore) Load(key string) (core.Solution, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.loads++
+	sol, ok := f.sols[key]
+	if ok {
+		f.hits++
+	}
+	return sol, ok
+}
+
+func (f *fakeResultStore) Store(key string, sol core.Solution) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.stores++
+	f.sols[key] = sol
+}
+
+// TestResultStoreRoundTrip: a hard solve writes its solution through to
+// the store, and a fresh engine sharing the store answers the same
+// fingerprint from it without running the solver.
+func TestResultStoreRoundTrip(t *testing.T) {
+	ctx := context.Background()
+	pr := hardProblem(11)
+	rs := newFakeResultStore()
+
+	e1 := New(2)
+	e1.SetResultStore(rs)
+	want, err := e1.Solve(ctx, pr, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.stores != 1 || rs.hits != 0 {
+		t.Fatalf("after cold solve: stores=%d hits=%d, want 1/0", rs.stores, rs.hits)
+	}
+
+	// A fresh engine has a cold memoization cache but a warm store.
+	e2 := New(2)
+	e2.SetResultStore(rs)
+	got, err := e2.Solve(ctx, pr, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.hits != 1 {
+		t.Fatalf("second engine did not hit the store: %+v", rs)
+	}
+	if _, misses := e2.CacheStats(); misses != 0 {
+		t.Fatalf("store hit still ran a solve: misses=%d", misses)
+	}
+	if got.Cost != want.Cost || got.Exact != want.Exact {
+		t.Fatalf("stored solution differs: got %+v want %+v", got, want)
+	}
+
+	// The adopted solution lands in e2's own cache: a repeat is a cache
+	// hit, not another store round trip.
+	loads := rs.loads
+	if _, err := e2.Solve(ctx, pr, core.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if rs.loads != loads {
+		t.Fatalf("cached fingerprint went back to the store (loads %d -> %d)", loads, rs.loads)
+	}
+}
+
+// TestResultStoreSkipsPolynomialCells: trivially re-derivable solves
+// never touch the store in either direction.
+func TestResultStoreSkipsPolynomialCells(t *testing.T) {
+	pipe := workflow.HomogeneousPipeline(4, 2)
+	pr := core.Problem{Pipeline: &pipe, Platform: platform.Homogeneous(3, 1), Objective: core.MinLatency}
+	if !core.ClassifyCell(core.CellKeyOf(pr)).Complexity.Polynomial() {
+		t.Fatal("test instance is not polynomial")
+	}
+	rs := newFakeResultStore()
+	e := New(2)
+	e.SetResultStore(rs)
+	if _, err := e.Solve(context.Background(), pr, core.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if rs.loads != 0 || rs.stores != 0 {
+		t.Fatalf("polynomial solve touched the store: %+v", rs)
+	}
+}

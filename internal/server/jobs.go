@@ -2,6 +2,7 @@ package server
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
@@ -11,6 +12,7 @@ import (
 	"repliflow/internal/core"
 	"repliflow/internal/engine"
 	"repliflow/internal/instance"
+	"repliflow/internal/store"
 )
 
 // jobManager is the bounded in-memory store behind /v1/jobs. Sweeps and
@@ -36,6 +38,8 @@ func newJobManager(max int) *jobManager {
 type job struct {
 	id      string
 	kind    string
+	client  string
+	reqRaw  json.RawMessage // the original JobRequest, persisted for crash recovery
 	cancel  context.CancelFunc
 	started time.Time
 
@@ -46,6 +50,11 @@ type job struct {
 	solution  *instance.SolutionJSON
 	solutions []instance.SolutionJSON
 	front     []instance.SolutionJSON
+	// nextPoint indexes the next sweep point of this run. On a recovered
+	// pareto job the front is preloaded from the store, and the re-run
+	// sweep overwrites those points in place (nextPoint < len(front))
+	// before appending new ones — so the observable front never shrinks.
+	nextPoint int
 	err       *ErrorBody
 	requested bool // cancellation requested via DELETE
 }
@@ -82,30 +91,36 @@ func (j *job) snapshot() JobResponse {
 	}
 }
 
+// evictTerminalLocked drops the oldest finished job to make room,
+// reporting whether one existed. Eviction removes the job from memory
+// only — its persisted record stays in the store, so GET /v1/jobs/{id}
+// still answers for it (rehydration).
+func (m *jobManager) evictTerminalLocked() bool {
+	for i, id := range m.order {
+		if j := m.jobs[id]; j != nil && j.terminal() {
+			delete(m.jobs, id)
+			m.order = append(m.order[:i], m.order[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
 // add admits a new job, evicting the oldest finished job when the store
 // is at capacity. It fails when every stored job is still live.
-func (m *jobManager) add(kind string, cancel context.CancelFunc) (*job, error) {
+func (m *jobManager) add(kind, client string, reqRaw json.RawMessage, cancel context.CancelFunc) (*job, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	if len(m.jobs) >= m.max {
-		evicted := false
-		for i, id := range m.order {
-			if j := m.jobs[id]; j != nil && j.terminal() {
-				delete(m.jobs, id)
-				m.order = append(m.order[:i], m.order[i+1:]...)
-				evicted = true
-				break
-			}
-		}
-		if !evicted {
-			return nil, fmt.Errorf("job store full: %d jobs live", len(m.jobs))
-		}
+	if len(m.jobs) >= m.max && !m.evictTerminalLocked() {
+		return nil, fmt.Errorf("job store full: %d jobs live", len(m.jobs))
 	}
 	m.seq++
 	m.total++
 	j := &job{
 		id:      fmt.Sprintf("job-%d", m.seq),
 		kind:    kind,
+		client:  client,
+		reqRaw:  reqRaw,
 		cancel:  cancel,
 		started: time.Now(),
 		status:  JobStatusQueued,
@@ -113,6 +128,57 @@ func (m *jobManager) add(kind string, cancel context.CancelFunc) (*job, error) {
 	m.jobs[j.id] = j
 	m.order = append(m.order, j.id)
 	return j, nil
+}
+
+// adopt readmits a persisted job under its original id (crash
+// recovery). It refuses when the id is already live here or the manager
+// is full of live jobs.
+func (m *jobManager) adopt(rec store.JobRecord, cancel context.CancelFunc) (*job, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.jobs[rec.ID]; ok {
+		return nil, false
+	}
+	if len(m.jobs) >= m.max && !m.evictTerminalLocked() {
+		return nil, false
+	}
+	m.total++
+	j := &job{
+		id:      rec.ID,
+		kind:    rec.Kind,
+		client:  rec.Client,
+		reqRaw:  rec.Request,
+		cancel:  cancel,
+		started: time.UnixMilli(rec.CreatedMs),
+		status:  JobStatusQueued,
+	}
+	m.jobs[j.id] = j
+	m.order = append(m.order, j.id)
+	return j, true
+}
+
+// advanceSeq raises the id sequence to at least n, so ids minted after
+// a recovery never collide with persisted jobs.
+func (m *jobManager) advanceSeq(n uint64) {
+	m.mu.Lock()
+	if n > m.seq {
+		m.seq = n
+	}
+	m.mu.Unlock()
+}
+
+// live returns the non-terminal jobs in creation order (for lease
+// renewal).
+func (m *jobManager) live() []*job {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var out []*job
+	for _, id := range m.order {
+		if j := m.jobs[id]; j != nil && !j.terminal() {
+			out = append(out, j)
+		}
+	}
+	return out
 }
 
 func (m *jobManager) get(id string) (*job, bool) {
@@ -181,48 +247,9 @@ func (s *Server) handleJobCreate(w http.ResponseWriter, r *http.Request) {
 		writeDecodeError(w, err)
 		return
 	}
-	var problems []core.Problem
-	switch req.Kind {
-	case "solve", "pareto":
-		if req.Instance == nil || len(req.Instances) > 0 {
-			writeError(w, http.StatusBadRequest, ErrKindInvalidRequest,
-				fmt.Sprintf("a %q job takes exactly the instance field", req.Kind), nil)
-			return
-		}
-		ins := *req.Instance
-		if req.Kind == "pareto" && ins.Objective == "" {
-			ins.Objective = "min-period" // the sweep ignores it
-		}
-		pr, err := ins.Problem()
-		if err != nil {
-			writeError(w, http.StatusBadRequest, ErrKindInvalidRequest, err.Error(), nil)
-			return
-		}
-		problems = []core.Problem{pr}
-	case "batch":
-		if req.Instance != nil || len(req.Instances) == 0 {
-			writeError(w, http.StatusBadRequest, ErrKindInvalidRequest,
-				`a "batch" job takes a non-empty instances field`, nil)
-			return
-		}
-		if len(req.Instances) > s.maxBatch {
-			writeError(w, http.StatusBadRequest, ErrKindInvalidRequest,
-				fmt.Sprintf("batch of %d instances exceeds the limit of %d", len(req.Instances), s.maxBatch), nil)
-			return
-		}
-		problems = make([]core.Problem, len(req.Instances))
-		for i, ins := range req.Instances {
-			pr, err := ins.Problem()
-			if err != nil {
-				writeError(w, http.StatusBadRequest, ErrKindInvalidRequest,
-					fmt.Sprintf("instances[%d]: %v", i, err), nil)
-				return
-			}
-			problems[i] = pr
-		}
-	default:
-		writeError(w, http.StatusBadRequest, ErrKindInvalidRequest,
-			fmt.Sprintf("unknown job kind %q (want solve, batch or pareto)", req.Kind), nil)
+	problems, err := jobProblems(req, s.maxBatch)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, ErrKindInvalidRequest, err.Error(), nil)
 		return
 	}
 
@@ -244,12 +271,14 @@ func (s *Server) handleJobCreate(w http.ResponseWriter, r *http.Request) {
 	// in runJob once a solve slot is acquired — it bounds the job's run,
 	// not its time in the queue.
 	ctx, cancel := context.WithCancel(s.baseCtx)
-	j, err := s.jobs.add(req.Kind, cancel)
+	reqRaw, _ := json.Marshal(req)
+	j, err := s.jobs.add(req.Kind, ClientID(r), reqRaw, cancel)
 	if err != nil {
 		cancel()
 		writeError(w, http.StatusServiceUnavailable, ErrKindOverloaded, err.Error(), nil)
 		return
 	}
+	s.persistJob(j)
 	go s.runJob(ctx, cancel, j, problems, opts, s.timeoutFor(req.TimeoutMs), ClientID(r))
 	w.Header().Set("Location", "/v1/jobs/"+j.id)
 	writeJSON(w, http.StatusAccepted, j.snapshot())
@@ -273,6 +302,7 @@ func (s *Server) runJob(ctx context.Context, cancel context.CancelFunc, j *job, 
 	j.mu.Lock()
 	j.status = JobStatusRunning
 	j.mu.Unlock()
+	s.persistJob(j)
 
 	switch j.kind {
 	case "solve":
@@ -312,9 +342,21 @@ func (s *Server) runJob(ctx context.Context, cancel context.CancelFunc, j *job, 
 				out := instance.FromSolution(p.Solution)
 				s.countAnytime(out)
 				j.mu.Lock()
-				j.front = append(j.front, out)
+				// A recovered job re-proves its preloaded prefix in place;
+				// only points beyond it are new to the store (their prefix
+				// twins were appended by the previous incarnation).
+				fresh := j.nextPoint >= len(j.front)
+				if fresh {
+					j.front = append(j.front, out)
+				} else {
+					j.front[j.nextPoint] = out
+				}
+				j.nextPoint++
 				j.progress = JobProgress{Done: p.Explored, Total: p.Total, Points: len(j.front)}
 				j.mu.Unlock()
+				if fresh {
+					s.persistPoint(j.id, out)
+				}
 				return nil
 			},
 			Progress: func(explored, total int) {
@@ -334,10 +376,11 @@ func (s *Server) runJob(ctx context.Context, cancel context.CancelFunc, j *job, 
 	}
 }
 
-// finishJob records the terminal state of a job.
+// finishJob records the terminal state of a job and writes it through
+// to the store (a drain-canceled job is persisted as re-queueable; see
+// jobRecord).
 func (s *Server) finishJob(j *job, err error) {
 	j.mu.Lock()
-	defer j.mu.Unlock()
 	j.finished = time.Now()
 	switch {
 	case err == nil:
@@ -358,15 +401,24 @@ func (s *Server) finishJob(j *job, err error) {
 		j.status = JobStatusFailed
 		j.err = &ErrorBody{Kind: ErrKindInternal, Message: err.Error()}
 	}
+	j.mu.Unlock()
+	s.persistJob(j)
 }
 
 // handleJobGet is GET /v1/jobs/{id}: the job's live progress or terminal
-// results.
+// results. A job evicted from memory but still persisted is rehydrated
+// from the store instead of 404ing — eviction bounds memory, it does
+// not forget finished work.
 func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
-	j, ok := s.jobs.get(r.PathValue("id"))
+	id := r.PathValue("id")
+	j, ok := s.jobs.get(id)
 	if !ok {
+		if rec, found, err := s.store.GetJob(id); err == nil && found {
+			writeJSON(w, http.StatusOK, jobResponseFromRecord(rec))
+			return
+		}
 		writeError(w, http.StatusNotFound, ErrKindNotFound,
-			fmt.Sprintf("no job %q", r.PathValue("id")), nil)
+			fmt.Sprintf("no job %q", id), nil)
 		return
 	}
 	writeJSON(w, http.StatusOK, j.snapshot())
@@ -376,14 +428,28 @@ func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
 // canceled once its goroutine observes the cancellation; poll GET for
 // the terminal snapshot) or discard a finished one.
 func (s *Server) handleJobDelete(w http.ResponseWriter, r *http.Request) {
-	j, ok := s.jobs.get(r.PathValue("id"))
+	id := r.PathValue("id")
+	j, ok := s.jobs.get(id)
 	if !ok {
+		// Evicted but persisted: an explicit DELETE removes the stored
+		// record too — unlike eviction, this is the client forgetting the
+		// job on purpose.
+		if rec, found, err := s.store.GetJob(id); err == nil && found && rec.Terminal() {
+			if err := s.store.DeleteJob(id); err != nil {
+				s.storeErrors.Add(1)
+			}
+			writeJSON(w, http.StatusOK, jobResponseFromRecord(rec))
+			return
+		}
 		writeError(w, http.StatusNotFound, ErrKindNotFound,
-			fmt.Sprintf("no job %q", r.PathValue("id")), nil)
+			fmt.Sprintf("no job %q", id), nil)
 		return
 	}
 	if j.terminal() {
 		s.jobs.remove(j.id)
+		if err := s.store.DeleteJob(j.id); err != nil {
+			s.storeErrors.Add(1)
+		}
 		writeJSON(w, http.StatusOK, j.snapshot())
 		return
 	}

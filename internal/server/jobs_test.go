@@ -207,8 +207,24 @@ func TestJobStoreBounded(t *testing.T) {
 	if resp.StatusCode != http.StatusAccepted {
 		t.Fatalf("post-eviction submission: status = %d, want 202", resp.StatusCode)
 	}
+	// Eviction bounds memory only: the evicted job's persisted record
+	// still answers GET, rehydrated from the store.
+	resp, raw := getJSON(t, ts.URL+"/v1/jobs/"+ids[0])
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("evicted job: status = %d, want 200 (rehydrated), body %s", resp.StatusCode, raw)
+	}
+	var evicted JobResponse
+	if err := json.Unmarshal(raw, &evicted); err != nil {
+		t.Fatal(err)
+	}
+	if evicted.ID != ids[0] || evicted.Status != JobStatusCanceled {
+		t.Errorf("rehydrated job = %+v, want id %s status canceled", evicted, ids[0])
+	}
+	// An explicit DELETE of the rehydrated job discards the record for
+	// good; only then does GET 404.
+	deleteJob(t, ts.URL, ids[0])
 	if resp, _ := getJSON(t, ts.URL+"/v1/jobs/"+ids[0]); resp.StatusCode != http.StatusNotFound {
-		t.Errorf("evicted job still stored")
+		t.Errorf("deleted rehydrated job still answers GET")
 	}
 	deleteJob(t, ts.URL, ids[1]) // unblock the remaining slow job
 }

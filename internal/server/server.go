@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"math"
 	"net/http"
+	"os"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -14,6 +15,7 @@ import (
 	"repliflow/internal/core"
 	"repliflow/internal/engine"
 	"repliflow/internal/instance"
+	"repliflow/internal/store"
 	"repliflow/internal/workflow"
 )
 
@@ -70,8 +72,25 @@ type Config struct {
 	StreamHeartbeat time.Duration
 	// MaxJobs bounds the in-memory async job store (/v1/jobs): when full,
 	// the oldest finished job is evicted to admit a new one, and a store
-	// full of live jobs rejects submissions with 503. <= 0 selects 64.
+	// full of live jobs rejects submissions with 503. Evicted jobs stay
+	// readable through the persistence store (GET rehydrates them).
+	// <= 0 selects 64.
 	MaxJobs int
+	// Store persists job state and NP-hard solve results: every job
+	// transition writes through to it, recovery on startup resumes its
+	// orphaned non-terminal jobs, and the engine consults it before
+	// expensive solves. nil selects a bounded in-memory store
+	// (store.Mem()) for job bookkeeping only — the pre-durability
+	// behavior, nothing survives a restart, and the engine skips the
+	// store since its own fingerprint cache already covers in-memory
+	// result reuse. wfserve -store-dir plugs in store.OpenDisk. The server
+	// does not close the store; the caller owning it does, after
+	// shutdown.
+	Store store.Store
+	// LeaseTTL is how long a non-terminal job's store lease lasts before
+	// other replicas may adopt it as orphaned; the server renews its own
+	// leases every LeaseTTL/3. <= 0 selects 15s.
+	LeaseTTL time.Duration
 	// RateLimit enables per-client cost-based admission control: each
 	// client's token bucket refills at this many tokens per second, and
 	// every solve-bearing request (solve, batch, pareto, job submission)
@@ -127,6 +146,17 @@ type Server struct {
 	streamPoints  atomic.Uint64
 	start         time.Time
 	mux           *http.ServeMux
+
+	// Persistence (persist.go): the write-through store, this process's
+	// lease identity, and the store traffic counters for /metrics.
+	store             store.Store
+	owner             string
+	leaseTTL          time.Duration
+	storeWrites       atomic.Uint64
+	storeErrors       atomic.Uint64
+	storeResultHits   atomic.Uint64
+	storeResultMisses atomic.Uint64
+	storeRecovered    atomic.Uint64
 }
 
 // New returns a Server with cfg's defaults applied.
@@ -163,6 +193,13 @@ func New(cfg Config) *Server {
 	if cfg.Burst <= 0 {
 		cfg.Burst = 4 * costExhaustive
 	}
+	explicitStore := cfg.Store != nil
+	if cfg.Store == nil {
+		cfg.Store = store.Mem()
+	}
+	if cfg.LeaseTTL <= 0 {
+		cfg.LeaseTTL = 15 * time.Second
+	}
 	baseCtx, closeBase := context.WithCancel(context.Background())
 	s := &Server{
 		eng:            eng,
@@ -180,6 +217,17 @@ func New(cfg Config) *Server {
 		jobs:           newJobManager(cfg.MaxJobs),
 		metrics:        newMetrics(),
 		start:          time.Now(),
+		store:          cfg.Store,
+		owner:          fmt.Sprintf("wfserve-%d-%d", os.Getpid(), time.Now().UnixNano()),
+		leaseTTL:       cfg.LeaseTTL,
+	}
+	if cfg.Engine == nil && explicitStore {
+		// The server-owned engine consults the store before NP-hard
+		// solves and writes proofs back (a supplied Engine is the
+		// caller's to configure, as with the cache limit). The default
+		// in-memory store is skipped: it would only duplicate the
+		// engine's own fingerprint cache, at a marshal per solve.
+		eng.SetResultStore(resultStore{s})
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/solve", s.counted("/v1/solve", s.handleSolve))
@@ -194,6 +242,10 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("GET /healthz", s.counted("/healthz", s.handleHealthz))
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux = mux
+	// Resume whatever work the store's previous owner left unfinished,
+	// then keep leases fresh (and adopt newly expired ones) until Close.
+	s.recoverJobs(true)
+	go s.reaper()
 	return s
 }
 
@@ -738,6 +790,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	stats := s.eng.Stats()
+	st := s.store.Stats()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	s.metrics.write(w, []gauge{
 		{"wfserve_cache_hits_total", "Engine cache hits (coalesced and memoized solves).", "counter", float64(stats.Hits)},
@@ -752,6 +805,13 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		{"wfserve_stream_points_total", "Pareto front points streamed over /v1/pareto.", "counter", float64(s.streamPoints.Load())},
 		{"wfserve_jobs_active", "Async jobs currently queued or running.", "gauge", float64(s.jobs.active())},
 		{"wfserve_jobs_total", "Async jobs accepted since the server started.", "counter", float64(s.jobs.created())},
+		{"wfserve_store_jobs", "Job records held by the persistence store.", "gauge", float64(st.Jobs)},
+		{"wfserve_store_results", "Solve results held by the persistence store.", "gauge", float64(st.Results)},
+		{"wfserve_store_writes_total", "Records written through to the persistence store.", "counter", float64(s.storeWrites.Load())},
+		{"wfserve_store_errors_total", "Store operations that failed (served from memory instead).", "counter", float64(s.storeErrors.Load())},
+		{"wfserve_store_result_hits_total", "NP-hard solves answered from the persisted result store.", "counter", float64(s.storeResultHits.Load())},
+		{"wfserve_store_result_misses_total", "Persisted-result lookups that missed and ran the solver.", "counter", float64(s.storeResultMisses.Load())},
+		{"wfserve_store_recovered_jobs_total", "Orphaned jobs adopted from the store and re-run.", "counter", float64(s.storeRecovered.Load())},
 		{"wfserve_uptime_seconds", "Seconds since the server started.", "gauge", time.Since(s.start).Seconds()},
 	})
 }

@@ -1,0 +1,144 @@
+package store
+
+import (
+	"bytes"
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+
+	"repliflow/internal/instance"
+)
+
+// RecordVersion is the current store record format version. Decoders
+// accept exactly this version: the format is an implementation detail of
+// one deployment's store directory, not a compatibility surface, so a
+// version bump means "rebuild the store" rather than "migrate in place".
+const RecordVersion = 1
+
+// Record types carried by Record.Type.
+const (
+	// RecordJob upserts the embedded JobRecord wholesale.
+	RecordJob = "job"
+	// RecordPoint appends one Pareto front point to the job named by ID.
+	RecordPoint = "point"
+	// RecordJobDelete removes the job named by ID.
+	RecordJobDelete = "jobdel"
+	// RecordResult stores Result under the fingerprint Key.
+	RecordResult = "result"
+)
+
+// Record is one line of the store's append-only NDJSON log (and the
+// element type of snapshot files): a versioned, typed mutation. Exactly
+// the fields of its type may be set — DecodeRecord rejects everything
+// else, so a corrupted or truncated line can never be half-applied.
+type Record struct {
+	V    int    `json:"v"`
+	Type string `json:"type"`
+	// Job is the full record of a RecordJob mutation.
+	Job *JobRecord `json:"job,omitempty"`
+	// ID names the target job of RecordPoint and RecordJobDelete.
+	ID string `json:"id,omitempty"`
+	// Point is the appended front point of a RecordPoint mutation.
+	Point json.RawMessage `json:"point,omitempty"`
+	// Key is the base64 (raw URL alphabet) engine fingerprint of a
+	// RecordResult mutation — fingerprints are arbitrary bytes, JSON
+	// strings are not.
+	Key string `json:"key,omitempty"`
+	// Result is the stored solution document of a RecordResult mutation.
+	Result json.RawMessage `json:"result,omitempty"`
+}
+
+// EncodeKey renders an engine fingerprint (arbitrary bytes) as a
+// RecordResult key.
+func EncodeKey(fingerprint string) string {
+	return base64.RawURLEncoding.EncodeToString([]byte(fingerprint))
+}
+
+// DecodeKey inverts EncodeKey.
+func DecodeKey(key string) (string, error) {
+	b, err := base64.RawURLEncoding.DecodeString(key)
+	if err != nil {
+		return "", fmt.Errorf("store: bad result key %q: %w", key, err)
+	}
+	return string(b), nil
+}
+
+// EncodeRecord renders a record as one newline-terminated log line.
+func EncodeRecord(rec Record) ([]byte, error) {
+	if err := rec.validate(); err != nil {
+		return nil, err
+	}
+	b, err := json.Marshal(rec)
+	if err != nil {
+		return nil, fmt.Errorf("store: encoding record: %w", err)
+	}
+	return append(b, '\n'), nil
+}
+
+// DecodeRecord parses one log line strictly (instance.DecodeStrict
+// rules): unknown fields, version mismatches, type/field inconsistencies
+// and trailing garbage are all errors, so a torn or corrupted line is
+// detected rather than applied.
+func DecodeRecord(line []byte) (Record, error) {
+	var rec Record
+	if err := instance.DecodeStrict(bytes.NewReader(line), &rec); err != nil {
+		return Record{}, fmt.Errorf("store: decoding record: %w", err)
+	}
+	if err := rec.validate(); err != nil {
+		return Record{}, err
+	}
+	return rec, nil
+}
+
+// validate enforces the per-type field contract shared by the encoder
+// and decoder.
+func (rec Record) validate() error {
+	if rec.V != RecordVersion {
+		return fmt.Errorf("store: record version %d, want %d", rec.V, RecordVersion)
+	}
+	switch rec.Type {
+	case RecordJob:
+		if rec.Job == nil {
+			return fmt.Errorf("store: %q record without job", rec.Type)
+		}
+		if rec.Job.ID == "" {
+			return fmt.Errorf("store: %q record with empty job id", rec.Type)
+		}
+		if rec.ID != "" || rec.Point != nil || rec.Key != "" || rec.Result != nil {
+			return fmt.Errorf("store: %q record with foreign fields", rec.Type)
+		}
+	case RecordPoint:
+		if rec.ID == "" || len(rec.Point) == 0 {
+			return fmt.Errorf("store: %q record needs id and point", rec.Type)
+		}
+		if !json.Valid(rec.Point) {
+			return fmt.Errorf("store: %q record with invalid point JSON", rec.Type)
+		}
+		if rec.Job != nil || rec.Key != "" || rec.Result != nil {
+			return fmt.Errorf("store: %q record with foreign fields", rec.Type)
+		}
+	case RecordJobDelete:
+		if rec.ID == "" {
+			return fmt.Errorf("store: %q record needs id", rec.Type)
+		}
+		if rec.Job != nil || rec.Point != nil || rec.Key != "" || rec.Result != nil {
+			return fmt.Errorf("store: %q record with foreign fields", rec.Type)
+		}
+	case RecordResult:
+		if rec.Key == "" || len(rec.Result) == 0 {
+			return fmt.Errorf("store: %q record needs key and result", rec.Type)
+		}
+		if _, err := DecodeKey(rec.Key); err != nil {
+			return err
+		}
+		if !json.Valid(rec.Result) {
+			return fmt.Errorf("store: %q record with invalid result JSON", rec.Type)
+		}
+		if rec.Job != nil || rec.ID != "" || rec.Point != nil {
+			return fmt.Errorf("store: %q record with foreign fields", rec.Type)
+		}
+	default:
+		return fmt.Errorf("store: unknown record type %q", rec.Type)
+	}
+	return nil
+}
