@@ -24,6 +24,7 @@ import (
 	"math/rand"
 	"reflect"
 	"testing"
+	"time"
 
 	"repliflow/internal/chains"
 	"repliflow/internal/core"
@@ -38,6 +39,7 @@ import (
 	"repliflow/internal/pipealgo"
 	"repliflow/internal/platform"
 	"repliflow/internal/sim"
+	"repliflow/internal/spdecomp"
 	"repliflow/internal/table"
 	"repliflow/internal/workflow"
 )
@@ -678,4 +680,54 @@ func BenchmarkSolveSingleLarge(b *testing.B) {
 		!reflect.DeepEqual(serial, parallel) {
 		b.Fatal("parallel solve diverges from serial solve")
 	}
+}
+
+// BenchmarkSolveSP contrasts the registry's two strategies for a
+// series-parallel instance. Decomposed reduces the DAG onto a legacy
+// cell (here: fork-join) and solves that cell exactly — the path
+// core.Solve takes whenever the reduction succeeds. MonolithicAnytime
+// runs the block-model budgeted search on the very same DAG without
+// reducing — the path irreducible DAGs take under a budget. The
+// decomposed solve is asserted exact, and the monolithic incumbent may
+// never beat it (the legacy cell's replicated mappings are a superset
+// of single-processor blocks), so the benchmark doubles as a
+// correctness check on the SP pipeline.
+func BenchmarkSolveSP(b *testing.B) {
+	steps := []workflow.SPStep{{Name: "root", Weight: 5}}
+	var after []string
+	for i, w := range []float64{7, 3, 9, 4} {
+		name := fmt.Sprintf("l%d", i)
+		steps = append(steps, workflow.SPStep{Name: name, Weight: w, After: []string{"root"}})
+		after = append(after, name)
+	}
+	steps = append(steps, workflow.SPStep{Name: "join", Weight: 2, After: after})
+	g := workflow.NewSP(steps...)
+	pl := platform.New(5, 4, 3, 2)
+	pr := core.Problem{SP: &g, Platform: pl, Objective: core.MinPeriod}
+
+	var decomposed core.Solution
+	b.Run("Decomposed", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sol, err := core.Solve(pr, core.Options{})
+			if err != nil || !sol.Feasible || !sol.Exact ||
+				sol.SPMapping == nil || sol.SPMapping.Reduced != workflow.KindForkJoin {
+				b.Fatalf("bad solve: %+v (err=%v)", sol, err)
+			}
+			decomposed = sol
+		}
+	})
+	b.Run("MonolithicAnytime", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			blocks, cost, _, feasible, err := spdecomp.Budgeted(
+				context.Background(), g, pl, spdecomp.Goal{}, 1, 2*time.Millisecond)
+			if err != nil || !feasible || len(blocks) == 0 {
+				b.Fatalf("bad budgeted solve: %v feasible=%v (err=%v)", cost, feasible, err)
+			}
+			if decomposed.Feasible && numeric.Less(cost.Period, decomposed.Cost.Period) {
+				b.Fatalf("budgeted period %g beats the exact optimum %g", cost.Period, decomposed.Cost.Period)
+			}
+		}
+	})
 }

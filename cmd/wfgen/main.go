@@ -4,10 +4,17 @@
 //
 // Usage:
 //
-//	wfgen -kind pipeline|fork|forkjoin [-n stages] [-p procs]
-//	      [-maxw W] [-maxs S] [-hom-graph] [-hom-platform]
+//	wfgen -kind pipeline|fork|forkjoin|sp|comm-pipeline|comm-fork
+//	      [-n stages] [-p procs] [-maxw W] [-maxs S]
+//	      [-depth D] [-fanout F] [-hom-graph] [-hom-platform]
 //	      [-dp] [-objective min-period] [-bound B] [-seed N] [-out file]
 //	      [-count N] [-parallel]
+//
+// -kind sp generates a random series-parallel-style DAG with n steps,
+// bounded by -depth levels and -fanout predecessors per step. The two
+// communication-aware kinds additionally carry random data sizes on
+// every edge plus a platform bandwidth description: uniform with
+// -hom-platform, full per-link tables otherwise.
 //
 // With -count N a batch of N instances is generated (seeds seed..seed+N-1);
 // for a file output the index is appended to the name (inst.json ->
@@ -28,19 +35,22 @@ import (
 
 	"repliflow/internal/core"
 	"repliflow/internal/engine"
+	"repliflow/internal/fullmodel"
 	"repliflow/internal/instance"
 	"repliflow/internal/platform"
 	"repliflow/internal/workflow"
 )
 
 func main() {
-	kind := flag.String("kind", "pipeline", "graph kind: pipeline, fork or forkjoin")
-	n := flag.Int("n", 4, "number of stages (pipeline) or leaves (fork/forkjoin)")
+	kind := flag.String("kind", "pipeline", "graph kind: pipeline, fork, forkjoin, sp, comm-pipeline or comm-fork")
+	n := flag.Int("n", 4, "number of stages (pipeline/sp) or leaves (fork/forkjoin)")
 	p := flag.Int("p", 4, "number of processors")
-	maxW := flag.Int("maxw", 10, "maximum integer stage weight")
-	maxS := flag.Int("maxs", 5, "maximum integer processor speed")
+	maxW := flag.Int("maxw", 10, "maximum integer stage weight (and data size for comm kinds)")
+	maxS := flag.Int("maxs", 5, "maximum integer processor speed (and bandwidth for comm kinds)")
+	depth := flag.Int("depth", 4, "sp: maximum number of DAG levels")
+	fanout := flag.Int("fanout", 3, "sp: maximum predecessors per step")
 	homGraph := flag.Bool("hom-graph", false, "make all (leaf) stage weights identical")
-	homPlat := flag.Bool("hom-platform", false, "make all processor speeds identical")
+	homPlat := flag.Bool("hom-platform", false, "make all processor speeds identical (and the bandwidth uniform for comm kinds)")
 	dp := flag.Bool("dp", false, "allow data-parallelism")
 	objective := flag.String("objective", "min-period", "objective name")
 	bound := flag.Float64("bound", 0, "threshold for bounded objectives")
@@ -50,15 +60,48 @@ func main() {
 	parallel := flag.Bool("parallel", false, "solve the generated batch concurrently and print a summary per instance")
 	flag.Parse()
 
-	if err := run(*kind, *n, *p, *maxW, *maxS, *homGraph, *homPlat, *dp, *objective, *bound, *seed, *out, *count, *parallel, os.Stdout); err != nil {
+	if err := run(*kind, *n, *p, *maxW, *maxS, *depth, *fanout, *homGraph, *homPlat, *dp, *objective, *bound, *seed, *out, *count, *parallel, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "wfgen:", err)
 		os.Exit(1)
 	}
 }
 
+// randomData returns k random integer data sizes in [1, maxW].
+func randomData(rng *rand.Rand, k, maxW int) []float64 {
+	d := make([]float64, k)
+	for i := range d {
+		d[i] = float64(1 + rng.Intn(maxW))
+	}
+	return d
+}
+
+// randomBandwidth describes the interconnect of a comm instance: uniform
+// with hom set, full per-link tables otherwise.
+func randomBandwidth(rng *rand.Rand, p, maxS int, hom bool) *fullmodel.Bandwidth {
+	if hom {
+		return &fullmodel.Bandwidth{Uniform: float64(1 + rng.Intn(maxS))}
+	}
+	bw := &fullmodel.Bandwidth{
+		Links: make([][]float64, p),
+		In:    randomData(rng, p, maxS),
+		Out:   randomData(rng, p, maxS),
+	}
+	for u := range bw.Links {
+		bw.Links[u] = randomData(rng, p, maxS)
+		bw.Links[u][u] = 0
+	}
+	return bw
+}
+
 // generate builds one random problem from the given rng and parameters.
-func generate(rng *rand.Rand, kind string, n, p, maxW, maxS int, homGraph, homPlat, dp bool, bound float64) (core.Problem, error) {
+func generate(rng *rand.Rand, kind string, n, p, maxW, maxS, depth, fanout int, homGraph, homPlat, dp bool, bound float64) (core.Problem, error) {
 	pr := core.Problem{AllowDataParallel: dp, Bound: bound}
+	if dp {
+		switch kind {
+		case "sp", "comm-pipeline", "comm-fork":
+			return core.Problem{}, fmt.Errorf("kind %q has no data-parallel mapping model", kind)
+		}
+	}
 	if homPlat {
 		pr.Platform = platform.Homogeneous(p, float64(1+rng.Intn(maxS)))
 	} else {
@@ -89,8 +132,43 @@ func generate(rng *rand.Rand, kind string, n, p, maxW, maxS int, homGraph, homPl
 			g = workflow.RandomForkJoin(rng, n, maxW)
 		}
 		pr.ForkJoin = &g
+	case "sp":
+		g := workflow.RandomSP(rng, n, maxW, depth, fanout)
+		if homGraph {
+			w := float64(1 + rng.Intn(maxW))
+			for i := range g.Steps {
+				g.Steps[i].Weight = w
+			}
+		}
+		pr.SP = &g
+	case "comm-pipeline":
+		g := fullmodel.NewPipeline(randomData(rng, n, maxW), randomData(rng, n+1, maxW))
+		if homGraph {
+			w := float64(1 + rng.Intn(maxW))
+			for i := range g.Weights {
+				g.Weights[i] = w
+			}
+		}
+		pr.CommPipeline = &g
+		pr.Bandwidth = randomBandwidth(rng, p, maxS, homPlat)
+	case "comm-fork":
+		g := fullmodel.Fork{
+			Root:    float64(1 + rng.Intn(maxW)),
+			In:      float64(1 + rng.Intn(maxW)),
+			Out0:    float64(1 + rng.Intn(maxW)),
+			Weights: randomData(rng, n, maxW),
+			Outs:    randomData(rng, n, maxW),
+		}
+		if homGraph {
+			w := float64(1 + rng.Intn(maxW))
+			for i := range g.Weights {
+				g.Weights[i] = w
+			}
+		}
+		pr.CommFork = &g
+		pr.Bandwidth = randomBandwidth(rng, p, maxS, homPlat)
 	default:
-		return core.Problem{}, fmt.Errorf("unknown kind %q (want pipeline, fork or forkjoin)", kind)
+		return core.Problem{}, fmt.Errorf("unknown kind %q (want pipeline, fork, forkjoin, sp, comm-pipeline or comm-fork)", kind)
 	}
 	return pr, nil
 }
@@ -106,7 +184,7 @@ func batchPath(out string, i, count int) string {
 	return fmt.Sprintf("%s_%03d%s", strings.TrimSuffix(out, ext), i, ext)
 }
 
-func run(kind string, n, p, maxW, maxS int, homGraph, homPlat, dp bool, objective string, bound float64, seed int64, out string, count int, parallel bool, sum io.Writer) error {
+func run(kind string, n, p, maxW, maxS, depth, fanout int, homGraph, homPlat, dp bool, objective string, bound float64, seed int64, out string, count int, parallel bool, sum io.Writer) error {
 	obj, err := instance.ParseObjective(objective)
 	if err != nil {
 		return err
@@ -125,7 +203,7 @@ func run(kind string, n, p, maxW, maxS int, homGraph, homPlat, dp bool, objectiv
 	names := make([]string, count)
 	for i := 0; i < count; i++ {
 		rng := rand.New(rand.NewSource(seed + int64(i)))
-		pr, err := generate(rng, kind, n, p, maxW, maxS, homGraph, homPlat, dp, bound)
+		pr, err := generate(rng, kind, n, p, maxW, maxS, depth, fanout, homGraph, homPlat, dp, bound)
 		if err != nil {
 			return err
 		}

@@ -18,7 +18,7 @@ func TestGenerateAllKinds(t *testing.T) {
 		for _, homGraph := range []bool{false, true} {
 			for _, homPlat := range []bool{false, true} {
 				path := filepath.Join(t.TempDir(), "out.json")
-				err := run(kind, 4, 3, 9, 5, homGraph, homPlat, true, "min-period", 0, 7, path, 1, false, io.Discard)
+				err := run(kind, 4, 3, 9, 5, 4, 3, homGraph, homPlat, true, "min-period", 0, 7, path, 1, false, io.Discard)
 				if err != nil {
 					t.Fatalf("%s: %v", kind, err)
 				}
@@ -46,12 +46,67 @@ func TestGenerateAllKinds(t *testing.T) {
 	}
 }
 
+// TestGenerateSPAndCommCorpus is the regression corpus for the new
+// kinds: every generated instance must survive the strict decoder,
+// validate, and solve end to end — with the mapping of the right shape
+// attached and, on exact solves, gap 0.
+func TestGenerateSPAndCommCorpus(t *testing.T) {
+	for _, kind := range []string{"sp", "comm-pipeline", "comm-fork"} {
+		for _, homPlat := range []bool{false, true} {
+			dir := t.TempDir()
+			out := filepath.Join(dir, "inst.json")
+			err := run(kind, 5, 3, 9, 5, 3, 2, false, homPlat, false, "min-period", 0, 11, out, 4, false, io.Discard)
+			if err != nil {
+				t.Fatalf("%s: %v", kind, err)
+			}
+			for i := 0; i < 4; i++ {
+				path := filepath.Join(dir, fmt.Sprintf("inst_%03d.json", i))
+				f, err := os.Open(path)
+				if err != nil {
+					t.Fatal(err)
+				}
+				ins, err := instance.Read(f)
+				f.Close()
+				if err != nil {
+					t.Fatalf("%s: generated unreadable instance: %v", kind, err)
+				}
+				pr, err := ins.Problem()
+				if err != nil {
+					t.Fatalf("%s: generated invalid instance: %v", kind, err)
+				}
+				sol, err := core.Solve(pr, core.Options{})
+				if err != nil {
+					t.Fatalf("%s: generated unsolvable instance: %v", kind, err)
+				}
+				switch {
+				case kind == "sp" && sol.SPMapping == nil,
+					kind == "comm-pipeline" && sol.CommPipelineMapping == nil,
+					kind == "comm-fork" && sol.CommForkMapping == nil:
+					t.Errorf("%s: solution carries no %s mapping: %+v", kind, kind, sol)
+				}
+				if sol.Exact && sol.Gap != 0 {
+					t.Errorf("%s: exact solve with gap %g", kind, sol.Gap)
+				}
+			}
+		}
+	}
+}
+
+func TestGenerateSPRejectsDataParallel(t *testing.T) {
+	for _, kind := range []string{"sp", "comm-pipeline", "comm-fork"} {
+		err := run(kind, 4, 3, 9, 5, 4, 3, false, false, true, "min-period", 0, 1, "-", 1, false, io.Discard)
+		if err == nil || !strings.Contains(err.Error(), "data-parallel") {
+			t.Errorf("%s: -dp accepted: %v", kind, err)
+		}
+	}
+}
+
 func TestGenerateRejectsBadArgs(t *testing.T) {
-	if err := run("dag", 4, 3, 9, 5, false, false, false, "min-period", 0, 1, "-", 1, false, io.Discard); err == nil ||
+	if err := run("dag", 4, 3, 9, 5, 4, 3, false, false, false, "min-period", 0, 1, "-", 1, false, io.Discard); err == nil ||
 		!strings.Contains(err.Error(), "unknown kind") {
 		t.Errorf("bad kind accepted: %v", err)
 	}
-	if err := run("pipeline", 4, 3, 9, 5, false, false, false, "maximize-joy", 0, 1, "-", 1, false, io.Discard); err == nil {
+	if err := run("pipeline", 4, 3, 9, 5, 4, 3, false, false, false, "maximize-joy", 0, 1, "-", 1, false, io.Discard); err == nil {
 		t.Error("bad objective accepted")
 	}
 }
@@ -60,10 +115,10 @@ func TestGenerateDeterministicForSeed(t *testing.T) {
 	dir := t.TempDir()
 	p1 := filepath.Join(dir, "a.json")
 	p2 := filepath.Join(dir, "b.json")
-	if err := run("pipeline", 5, 4, 9, 5, false, false, true, "min-latency", 0, 42, p1, 1, false, io.Discard); err != nil {
+	if err := run("pipeline", 5, 4, 9, 5, 4, 3, false, false, true, "min-latency", 0, 42, p1, 1, false, io.Discard); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("pipeline", 5, 4, 9, 5, false, false, true, "min-latency", 0, 42, p2, 1, false, io.Discard); err != nil {
+	if err := run("pipeline", 5, 4, 9, 5, 4, 3, false, false, true, "min-latency", 0, 42, p2, 1, false, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	a, _ := os.ReadFile(p1)
@@ -77,7 +132,7 @@ func TestGenerateBatchCount(t *testing.T) {
 	dir := t.TempDir()
 	out := filepath.Join(dir, "batch.json")
 	var sum bytes.Buffer
-	if err := run("pipeline", 3, 3, 9, 5, false, false, true, "min-period", 0, 5, out, 4, true, &sum); err != nil {
+	if err := run("pipeline", 3, 3, 9, 5, 4, 3, false, false, true, "min-period", 0, 5, out, 4, true, &sum); err != nil {
 		t.Fatal(err)
 	}
 	for i := 0; i < 4; i++ {
@@ -105,7 +160,7 @@ func TestGenerateBatchCount(t *testing.T) {
 }
 
 func TestGenerateBatchRejectsBadCount(t *testing.T) {
-	if err := run("pipeline", 3, 3, 9, 5, false, false, false, "min-period", 0, 1, "-", 0, false, io.Discard); err == nil {
+	if err := run("pipeline", 3, 3, 9, 5, 4, 3, false, false, false, "min-period", 0, 1, "-", 0, false, io.Discard); err == nil {
 		t.Error("count 0 accepted")
 	}
 }

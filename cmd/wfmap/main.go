@@ -111,16 +111,7 @@ func runPareto(path string, opts core.Options, stream bool, out io.Writer) error
 	}
 	header := func() { fmt.Fprintf(out, "%-12s %-12s %-9s %s\n", "period", "latency", "exact", "mapping") }
 	printPoint := func(sol core.Solution) {
-		var m fmt.Stringer
-		switch {
-		case sol.PipelineMapping != nil:
-			m = sol.PipelineMapping
-		case sol.ForkMapping != nil:
-			m = sol.ForkMapping
-		default:
-			m = sol.ForkJoinMapping
-		}
-		fmt.Fprintf(out, "%-12.6g %-12.6g %-9v %s\n", sol.Cost.Period, sol.Cost.Latency, sol.Exact, m)
+		fmt.Fprintf(out, "%-12.6g %-12.6g %-9v %s\n", sol.Cost.Period, sol.Cost.Latency, sol.Exact, mappingOf(sol))
 	}
 	if stream {
 		header()
@@ -145,6 +136,26 @@ func runPareto(path string, opts core.Options, stream bool, out io.Writer) error
 		printPoint(sol)
 	}
 	return nil
+}
+
+// mappingOf picks whichever mapping shape the solution carries.
+func mappingOf(sol core.Solution) fmt.Stringer {
+	switch {
+	case sol.PipelineMapping != nil:
+		return sol.PipelineMapping
+	case sol.ForkMapping != nil:
+		return sol.ForkMapping
+	case sol.SPMapping != nil:
+		return sol.SPMapping
+	case sol.CommPipelineMapping != nil:
+		return sol.CommPipelineMapping
+	case sol.CommForkMapping != nil:
+		return sol.CommForkMapping
+	case sol.ForkJoinMapping != nil:
+		return sol.ForkJoinMapping
+	default:
+		return nil
+	}
 }
 
 // loadProblem reads and converts an instance file.
@@ -199,13 +210,11 @@ func run(path string, opts core.Options, out io.Writer) error {
 	fmt.Fprintf(out, "result:         %s\n", exact)
 	fmt.Fprintf(out, "period:         %g\n", sol.Cost.Period)
 	fmt.Fprintf(out, "latency:        %g\n", sol.Cost.Latency)
-	switch {
-	case sol.PipelineMapping != nil:
-		fmt.Fprintf(out, "mapping:        %s\n", sol.PipelineMapping)
-	case sol.ForkMapping != nil:
-		fmt.Fprintf(out, "mapping:        %s\n", sol.ForkMapping)
-	case sol.ForkJoinMapping != nil:
-		fmt.Fprintf(out, "mapping:        %s\n", sol.ForkJoinMapping)
+	if sol.SPMapping != nil {
+		fmt.Fprintf(out, "reduced:        %s\n", sol.SPMapping.Reduced)
+	}
+	if m := mappingOf(sol); m != nil {
+		fmt.Fprintf(out, "mapping:        %s\n", m)
 	}
 	return nil
 }

@@ -179,3 +179,74 @@ func TestRunBudgetPrintsGap(t *testing.T) {
 		}
 	}
 }
+
+// TestRunSPInstance: a series-parallel instance (none of the legacy wire
+// shapes) solves through the CLI, printing the reduction kind and the
+// block mapping.
+func TestRunSPInstance(t *testing.T) {
+	path := writeTemp(t, `{
+		"sp": {"steps": [
+			{"name": "load", "weight": 1},
+			{"name": "left", "weight": 2, "after": ["load"]},
+			{"name": "right", "weight": 3, "after": ["load", "left"]},
+			{"name": "merge", "weight": 1, "after": ["left", "right"]}
+		]},
+		"platform": {"speeds": [1, 2]},
+		"objective": "min-period"
+	}`)
+	var out bytes.Buffer
+	if err := run(path, core.Options{}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"exact optimum", "reduced:        sp", "mapping:", "SP decomposition"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+// TestRunCommInstance: a communication-aware pipeline on a fully
+// homogeneous platform takes the polynomial one-port cell.
+func TestRunCommInstance(t *testing.T) {
+	path := writeTemp(t, `{
+		"commPipeline": {"weights": [3, 1, 2], "data": [1, 2, 1, 1]},
+		"platform": {"speeds": [1, 1], "bandwidth": {"uniform": 4}},
+		"objective": "min-period"
+	}`)
+	var out bytes.Buffer
+	if err := run(path, core.Options{}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"exact optimum", "mapping:", "Section 3.2"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+// TestRunParetoSP: the Pareto sweep renders SP front points.
+func TestRunParetoSP(t *testing.T) {
+	path := writeTemp(t, `{
+		"sp": {"steps": [
+			{"name": "load", "weight": 1},
+			{"name": "left", "weight": 2, "after": ["load"]},
+			{"name": "right", "weight": 3, "after": ["load", "left"]},
+			{"name": "merge", "weight": 1, "after": ["left", "right"]}
+		]},
+		"platform": {"speeds": [1, 2]},
+		"objective": "min-period"
+	}`)
+	var out bytes.Buffer
+	if err := runPareto(path, core.Options{}, false, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "period") || strings.Count(s, "\n") < 2 {
+		t.Fatalf("pareto output has no front rows:\n%s", s)
+	}
+	if strings.Contains(s, "%!s") || strings.Contains(s, "<nil>") {
+		t.Errorf("pareto output lost the sp mapping:\n%s", s)
+	}
+}

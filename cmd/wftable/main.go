@@ -6,7 +6,9 @@
 //   - Table 1, with every cell verified empirically: polynomial cells by
 //     agreement between the paper's algorithm and exhaustive search,
 //     NP-hard cells by exact-vs-heuristic comparison,
-//   - the five NP-hardness reductions (iff-property on random instances).
+//   - the five NP-hardness reductions (iff-property on random instances),
+//   - the registry cells beyond Table 1: the series-parallel and
+//     communication-aware kinds with their classifications.
 //
 // Usage:
 //
@@ -19,6 +21,7 @@ import (
 	"io"
 	"os"
 
+	"repliflow/internal/core"
 	"repliflow/internal/table"
 	"repliflow/internal/workflow"
 )
@@ -67,4 +70,23 @@ func runWith(out io.Writer, trials int, seed int64, skipTable1 bool, verify func
 
 	fmt.Fprintln(out, "=== Heuristic quality on NP-hard cells ===")
 	fmt.Fprintln(out, table.RenderGaps(table.MeasureHeuristicGaps(seed, trials)))
+
+	fmt.Fprintln(out, "=== Registry: cells beyond Table 1 ===")
+	renderRegistry(out)
+}
+
+// renderRegistry lists every registered cell outside the paper's three
+// simplified-model kinds — the series-parallel and communication-aware
+// kinds added behind the capability registry — with its classification.
+func renderRegistry(out io.Writer) {
+	legacy := map[workflow.Kind]bool{
+		workflow.KindPipeline: true, workflow.KindFork: true, workflow.KindForkJoin: true,
+	}
+	for _, key := range core.RegisteredCells() {
+		if legacy[key.Kind] {
+			continue
+		}
+		cl := core.ClassifyCell(key)
+		fmt.Fprintf(out, "%-70s %-8s %s\n", key, cl.Complexity, cl.Source)
+	}
 }

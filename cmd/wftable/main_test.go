@@ -16,6 +16,8 @@ func TestRunProducesAllSections(t *testing.T) {
 		"Table 1", "NP-hard", "Poly",
 		"NP-hardness reductions", "Theorem 9",
 		"refuted", // the two documented discrepancies
+		"cells beyond Table 1", "sp/", "comm-pipeline/", "comm-fork/",
+		"SP decomposition", "Section 3.2", "Section 3.3",
 	} {
 		if !strings.Contains(s, want) {
 			t.Errorf("output missing %q", want)

@@ -7,28 +7,15 @@ import (
 
 	"repliflow/internal/anytime"
 	"repliflow/internal/heuristics"
-	"repliflow/internal/workflow"
 )
 
 // This file wires the internal/anytime portfolio into the registry.
-// Every NP-hard cell (MethodExhaustive entry) automatically gains one
-// of the three solvers below (see register); SolveContext dispatches to
-// them when Options.AnytimeBudget is set. The portfolio is seeded with
-// the exact same heuristic candidates the legacy fallback path uses, so
-// a budgeted solve can never return a worse objective than an
-// unbudgeted heuristic one.
-
-// anytimeSolverFor returns the portfolio solver of a graph kind.
-func anytimeSolverFor(kind workflow.Kind) SolverFunc {
-	switch kind {
-	case workflow.KindPipeline:
-		return solvePipelineAnytime
-	case workflow.KindFork:
-		return solveForkAnytime
-	default:
-		return solveForkJoinAnytime
-	}
-}
+// Every NP-hard cell of a kind whose spec advertises the Anytime
+// capability dispatches to it when Options.AnytimeBudget is set (see
+// LookupAnytimeSolver). The portfolio is seeded with the exact same
+// heuristic candidates the legacy fallback path uses, so a budgeted
+// solve can never return a worse objective than an unbudgeted heuristic
+// one.
 
 // anytimeSpec projects a problem's objective onto the portfolio's
 // cost-level spec.
@@ -48,29 +35,16 @@ func anytimeSpec(pr Problem) anytime.Spec {
 }
 
 // anytimeSeedBase derives the portfolio RNG seed from the instance so
-// repeated solves of one instance explore identical member streams.
+// repeated solves of one instance explore identical member streams. The
+// graph data enters through the kind's SeedMix capability.
 func anytimeSeedBase(pr Problem) int64 {
 	var h uint64 = 1469598103934665603 // FNV offset basis
 	mix := func(v float64) {
 		bits := uint64(int64(v * 4096))
 		h = (h ^ bits) * 1099511628211
 	}
-	switch {
-	case pr.Pipeline != nil:
-		for _, w := range pr.Pipeline.Weights {
-			mix(w)
-		}
-	case pr.Fork != nil:
-		mix(pr.Fork.Root)
-		for _, w := range pr.Fork.Weights {
-			mix(w)
-		}
-	default:
-		mix(pr.ForkJoin.Root)
-		mix(pr.ForkJoin.Join)
-		for _, w := range pr.ForkJoin.Weights {
-			mix(w)
-		}
+	if spec := specOf(pr); spec != nil {
+		spec.SeedMix(pr, mix)
 	}
 	for _, s := range pr.Platform.Speeds {
 		mix(s)

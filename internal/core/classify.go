@@ -62,8 +62,20 @@ func Classify(pr Problem) (Classification, error) {
 // without constructing an instance: ClassifyCell(CellKeyOf(pr)) equals
 // Classify(pr) for every valid problem pr. It lets registry consumers
 // (wftable, the /v1/table endpoint of cmd/wfserve) annotate cells with
-// their complexity and paper source.
+// their complexity and paper source. The classification comes from the
+// kind's capability spec; cells of an unregistered kind return the zero
+// Classification (use KindSpecFor for the structured error).
 func ClassifyCell(k CellKey) Classification {
+	if spec, ok := kindSpecs[k.Kind]; ok {
+		return spec.Classify(k)
+	}
+	return Classification{}
+}
+
+// classifyLegacy is the Classify capability shared by the three legacy
+// simplified-model kinds: the verbatim Table 1 of the paper, with
+// fork-joins classifying exactly as forks (Section 6.3).
+func classifyLegacy(k CellKey) Classification {
 	bounded := k.Objective.Bounded()
 	if k.Kind == workflow.KindPipeline {
 		return classifyPipeline(k.PlatformHomogeneous, k.GraphHomogeneous, k.DataParallel, k.Objective, bounded)

@@ -1,9 +1,10 @@
 package core
 
 import (
-	"errors"
 	"fmt"
+	"strings"
 
+	"repliflow/internal/fullmodel"
 	"repliflow/internal/platform"
 	"repliflow/internal/workflow"
 )
@@ -45,12 +46,23 @@ func (o Objective) Bounded() bool {
 	return o == LatencyUnderPeriod || o == PeriodUnderLatency
 }
 
-// Problem is a full instance of the mapping problem: exactly one of
-// Pipeline, Fork, ForkJoin must be non-nil.
+// Problem is a full instance of the mapping problem: exactly one of the
+// graph fields must be non-nil. Pipeline, Fork and ForkJoin are the three
+// legacy shapes of the simplified model; SP is a general series-parallel
+// DAG solved by decomposition; CommPipeline and CommFork are the
+// communication-aware variants of Sections 3.2-3.3 and require Bandwidth.
 type Problem struct {
 	Pipeline *workflow.Pipeline
 	Fork     *workflow.Fork
 	ForkJoin *workflow.ForkJoin
+	SP       *workflow.SP
+	// CommPipeline and CommFork are communication-aware instances: stage
+	// weights plus inter-stage data sizes, priced against Bandwidth.
+	CommPipeline *fullmodel.Pipeline
+	CommFork     *fullmodel.Fork
+	// Bandwidth describes the interconnect of a communication-aware
+	// instance (required with CommPipeline/CommFork, rejected otherwise).
+	Bandwidth *fullmodel.Bandwidth
 
 	Platform          platform.Platform
 	AllowDataParallel bool
@@ -66,30 +78,39 @@ func (pr Problem) Validate() error {
 }
 
 func (pr Problem) validate() error {
+	var spec *KindSpec
 	count := 0
-	if pr.Pipeline != nil {
-		count++
-		if err := pr.Pipeline.Validate(); err != nil {
-			return err
-		}
-	}
-	if pr.Fork != nil {
-		count++
-		if err := pr.Fork.Validate(); err != nil {
-			return err
-		}
-	}
-	if pr.ForkJoin != nil {
-		count++
-		if err := pr.ForkJoin.Validate(); err != nil {
-			return err
+	for _, s := range kindSpecList {
+		if s.HasGraph(pr) {
+			count++
+			spec = s
 		}
 	}
 	if count != 1 {
-		return errors.New("core: exactly one of Pipeline, Fork, ForkJoin must be set")
+		names := make([]string, len(kindSpecList))
+		for i, s := range kindSpecList {
+			names[i] = s.Name
+		}
+		return fmt.Errorf("core: exactly one of the graph fields (%s) must be set", strings.Join(names, ", "))
+	}
+	if err := spec.ValidateGraph(pr); err != nil {
+		return err
+	}
+	if pr.AllowDataParallel && !spec.DataParallel {
+		return fmt.Errorf("core: kind %s has no data-parallel mapping model", spec.Name)
 	}
 	if err := pr.Platform.Validate(); err != nil {
 		return err
+	}
+	if spec.NeedsBandwidth {
+		if pr.Bandwidth == nil {
+			return fmt.Errorf("core: kind %s requires Bandwidth", spec.Name)
+		}
+		if err := pr.Bandwidth.Validate(pr.Platform.Processors()); err != nil {
+			return err
+		}
+	} else if pr.Bandwidth != nil {
+		return fmt.Errorf("core: kind %s does not take Bandwidth", spec.Name)
 	}
 	if pr.Objective.Bounded() && pr.Bound <= 0 {
 		return fmt.Errorf("core: bounded objective %v requires a positive Bound", pr.Objective)
@@ -104,25 +125,25 @@ func (pr Problem) validate() error {
 
 // graphKind returns the graph kind of the problem.
 func (pr Problem) graphKind() workflow.Kind {
-	switch {
-	case pr.Pipeline != nil:
-		return workflow.KindPipeline
-	case pr.Fork != nil:
-		return workflow.KindFork
-	default:
-		return workflow.KindForkJoin
+	if spec := specOf(pr); spec != nil {
+		return spec.Kind
 	}
+	return workflow.Kind(-1)
 }
 
 // graphHomogeneous reports whether all (leaf) stage weights are equal —
 // the "homogeneous pipeline / fork" rows of Table 1.
 func (pr Problem) graphHomogeneous() bool {
-	switch {
-	case pr.Pipeline != nil:
-		return pr.Pipeline.IsHomogeneous()
-	case pr.Fork != nil:
-		return pr.Fork.IsHomogeneous()
-	default:
-		return pr.ForkJoin.IsHomogeneous()
+	spec := specOf(pr)
+	return spec != nil && spec.GraphHomogeneous(pr)
+}
+
+// platformHomogeneous is the platform axis of the problem's cell: the
+// speed-only test by default, overridden per kind (communication-aware
+// kinds include bandwidths).
+func (pr Problem) platformHomogeneous() bool {
+	if spec := specOf(pr); spec != nil && spec.PlatformHomogeneous != nil {
+		return spec.PlatformHomogeneous(pr)
 	}
+	return pr.Platform.IsHomogeneous()
 }

@@ -21,6 +21,11 @@ const (
 	// ErrKindNoSolver marks a dispatch cell with no registered solver.
 	// Unreachable while the registry-completeness test passes.
 	ErrKindNoSolver
+	// ErrKindUnsupportedKind marks a workflow kind (or kind name) with no
+	// registered capability spec: every dispatch site that used to have a
+	// silent `default:` branch now returns this instead of misclassifying
+	// the instance as the last enum value.
+	ErrKindUnsupportedKind
 )
 
 // String implements fmt.Stringer with stable wire-friendly names.
@@ -30,6 +35,8 @@ func (k ErrKind) String() string {
 		return "invalid-instance"
 	case ErrKindNoSolver:
 		return "no-solver"
+	case ErrKindUnsupportedKind:
+		return "unsupported-kind"
 	default:
 		return "unknown"
 	}

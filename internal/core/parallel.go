@@ -40,15 +40,9 @@ func searchParallelism(opts Options, pr Problem) int {
 }
 
 // parallelWorthwhile is the auto-mode crossover heuristic on a validated
-// problem.
+// problem, delegated to the kind's capability. Kinds without a parallel
+// search path (no ParallelWorthwhile capability) always stay serial.
 func parallelWorthwhile(pr Problem) bool {
-	p := pr.Platform.Processors()
-	switch {
-	case pr.Pipeline != nil:
-		return pr.Pipeline.Stages()<<p >= parMinPipelineStates
-	case pr.Fork != nil:
-		return pr.Fork.Leaves()+1 >= parMinForkItems && p >= parMinForkProcs
-	default:
-		return pr.ForkJoin.Leaves()+2 >= parMinForkItems && p >= parMinForkProcs
-	}
+	spec := specOf(pr)
+	return spec != nil && spec.ParallelWorthwhile != nil && spec.ParallelWorthwhile(pr)
 }

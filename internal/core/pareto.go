@@ -153,30 +153,46 @@ func (a *FrontAccumulator) Offer(sol Solution, tighten func(latency float64) (So
 }
 
 // CandidatePeriods returns a superset of the achievable block-period
-// values of the instance, ascending and deduplicated. For homogeneous
-// graphs a closed form keeps the set polynomial; otherwise block weights
-// are enumerated over stage subsets (fine at exhaustive-search sizes).
-// The optimal period of any mapping is one of these values, which is what
-// makes the ParetoFront sweep exact on exactly-solved cells.
+// values of the instance, ascending and deduplicated, delegated to the
+// kind's capability. For homogeneous graphs a closed form keeps the set
+// polynomial; otherwise block weights are enumerated over stage subsets
+// (fine at exhaustive-search sizes). The optimal period of any mapping is
+// one of these values, which is what makes the ParetoFront sweep exact on
+// exactly-solved cells. Kinds without the capability return nil (their
+// sweep degenerates to the empty front).
 func CandidatePeriods(pr Problem) []float64 {
-	pl := pr.Platform
-	var weights []float64 // achievable block weights
-	switch {
-	case pr.Pipeline != nil:
-		p := *pr.Pipeline
-		for i := 0; i < p.Stages(); i++ {
-			w := 0.0
-			for j := i; j < p.Stages(); j++ {
-				w += p.Weights[j]
-				weights = append(weights, w)
-			}
-		}
-	case pr.Fork != nil:
-		weights = forkBlockWeights(pr.Fork.Root, 0, false, pr.Fork.Weights)
-	default:
-		weights = forkBlockWeights(pr.ForkJoin.Root, pr.ForkJoin.Join, true, pr.ForkJoin.Weights)
+	spec := specOf(pr)
+	if spec == nil || spec.CandidatePeriods == nil {
+		return nil
 	}
-	return periodsFromWeights(weights, pl)
+	return spec.CandidatePeriods(pr)
+}
+
+// pipelineCandidatePeriods is the CandidatePeriods capability of the
+// legacy pipeline kind: every contiguous interval weight.
+func pipelineCandidatePeriods(pr Problem) []float64 {
+	p := *pr.Pipeline
+	var weights []float64
+	for i := 0; i < p.Stages(); i++ {
+		w := 0.0
+		for j := i; j < p.Stages(); j++ {
+			w += p.Weights[j]
+			weights = append(weights, w)
+		}
+	}
+	return periodsFromWeights(weights, pr.Platform)
+}
+
+// forkCandidatePeriods is the CandidatePeriods capability of the legacy
+// fork kind.
+func forkCandidatePeriods(pr Problem) []float64 {
+	return periodsFromWeights(forkBlockWeights(pr.Fork.Root, 0, false, pr.Fork.Weights), pr.Platform)
+}
+
+// forkJoinCandidatePeriods is the CandidatePeriods capability of the
+// legacy fork-join kind.
+func forkJoinCandidatePeriods(pr Problem) []float64 {
+	return periodsFromWeights(forkBlockWeights(pr.ForkJoin.Root, pr.ForkJoin.Join, true, pr.ForkJoin.Weights), pr.Platform)
 }
 
 // forkBlockWeights lists the total weights a fork (or fork-join) block can

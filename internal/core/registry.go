@@ -83,19 +83,11 @@ type SolverEntry struct {
 }
 
 // registry maps every Table 1 dispatch cell to its solver. It is populated
-// at init time by solvepipeline.go and solvefork.go and immutable after.
+// at init time by the per-kind solver files and immutable after.
 var registry = map[CellKey]SolverEntry{}
 
-// anytimeRegistry maps every NP-hard dispatch cell (the cells whose
-// registered entry is exhaustive-or-heuristic) to its budget-bounded
-// portfolio solver. SolveContext dispatches here instead of the main
-// registry when Options.AnytimeBudget is set.
-var anytimeRegistry = map[CellKey]SolverFunc{}
-
 // register installs a solver entry, panicking on duplicates or nil solvers:
-// both are programming errors caught by any test run. NP-hard cells
-// (MethodExhaustive entries) automatically gain the matching anytime
-// portfolio solver for their graph kind.
+// both are programming errors caught by any test run.
 func register(key CellKey, e SolverEntry) {
 	if e.Solve == nil {
 		panic(fmt.Sprintf("core: nil solver registered for cell %v", key))
@@ -104,9 +96,6 @@ func register(key CellKey, e SolverEntry) {
 		panic(fmt.Sprintf("core: duplicate solver registration for cell %v", key))
 	}
 	registry[key] = e
-	if e.Method == MethodExhaustive {
-		anytimeRegistry[key] = anytimeSolverFor(key.Kind)
-	}
 }
 
 // CellKeyOf returns the dispatch key of a problem. The problem should be
@@ -114,7 +103,7 @@ func register(key CellKey, e SolverEntry) {
 func CellKeyOf(pr Problem) CellKey {
 	return CellKey{
 		Kind:                pr.graphKind(),
-		PlatformHomogeneous: pr.Platform.IsHomogeneous(),
+		PlatformHomogeneous: pr.platformHomogeneous(),
 		GraphHomogeneous:    pr.graphHomogeneous(),
 		DataParallel:        pr.AllowDataParallel,
 		Objective:           pr.Objective,
@@ -128,11 +117,21 @@ func LookupSolver(key CellKey) (SolverEntry, bool) {
 }
 
 // LookupAnytimeSolver returns the budget-bounded portfolio solver of an
-// NP-hard dispatch cell (every cell whose registered entry is
-// MethodExhaustive has one; polynomial cells have none).
+// NP-hard dispatch cell: every MethodExhaustive cell whose kind spec
+// advertises the Anytime capability has one. Polynomial cells — and
+// kinds without a portfolio, like the communication-aware variants —
+// have none; SolveContext then ignores the budget and takes the
+// registered solver.
 func LookupAnytimeSolver(key CellKey) (SolverFunc, bool) {
-	fn, ok := anytimeRegistry[key]
-	return fn, ok
+	e, ok := registry[key]
+	if !ok || e.Method != MethodExhaustive {
+		return nil, false
+	}
+	spec, ok := kindSpecs[key.Kind]
+	if !ok || spec.Anytime == nil {
+		return nil, false
+	}
+	return spec.Anytime, true
 }
 
 // RegisteredCells returns every registered dispatch key in a deterministic
@@ -146,18 +145,23 @@ func RegisteredCells() []CellKey {
 	return keys
 }
 
-// AllCellKeys enumerates every dispatch key Classify can emit: the full
-// cross product of graph kinds, homogeneity axes, mapping models and
-// objectives. The registry-completeness test checks each resolves to a
-// registered solver.
+// AllCellKeys enumerates every dispatch key Classify can emit: for each
+// registered kind, the cross product of the homogeneity axes, the mapping
+// models the kind supports (the data-parallel axis exists only for kinds
+// with the capability) and the objectives. The registry-completeness test
+// checks each resolves to a registered solver.
 func AllCellKeys() []CellKey {
 	var keys []CellKey
-	for _, kind := range []workflow.Kind{workflow.KindPipeline, workflow.KindFork, workflow.KindForkJoin} {
+	for _, spec := range KindSpecs() {
+		dps := []bool{false}
+		if spec.DataParallel {
+			dps = []bool{false, true}
+		}
 		for _, platHom := range []bool{false, true} {
 			for _, graphHom := range []bool{false, true} {
-				for _, dp := range []bool{false, true} {
+				for _, dp := range dps {
 					for _, obj := range []Objective{MinPeriod, MinLatency, LatencyUnderPeriod, PeriodUnderLatency} {
-						keys = append(keys, CellKey{kind, platHom, graphHom, dp, obj})
+						keys = append(keys, CellKey{spec.Kind, platHom, graphHom, dp, obj})
 					}
 				}
 			}
@@ -174,29 +178,23 @@ func classificationOf(pr Problem) Classification {
 
 // ExactlySolvable reports whether Solve is guaranteed to return an exact
 // solution (Solution.Exact == true) for the instance under opts: either
-// the cell is polynomial, or it is NP-hard but within the exhaustive
-// search limits. The instance must be valid.
+// the cell is polynomial, or it is NP-hard but within the kind's
+// exhaustive search limits. The instance must be valid.
 func ExactlySolvable(pr Problem, opts Options) bool {
 	opts = opts.Normalized()
 	if classificationOf(pr).Complexity.Polynomial() {
 		return true
 	}
-	// A budget switches NP-hard cells to the anytime portfolio, whose
-	// result is certified but not guaranteed exact (the budget may
-	// expire before the exact member finishes).
+	// A budget switches NP-hard cells with a portfolio to the anytime
+	// path, whose result is certified but not guaranteed exact (the
+	// budget may expire before the exact member finishes).
 	if opts.AnytimeBudget > 0 {
-		return false
+		if _, ok := LookupAnytimeSolver(CellKeyOf(pr)); ok {
+			return false
+		}
 	}
-	switch {
-	case pr.Pipeline != nil:
-		return pr.Platform.Processors() <= opts.MaxExhaustivePipelineProcs
-	case pr.Fork != nil:
-		return pr.Fork.Leaves()+1 <= opts.MaxExhaustiveForkStages &&
-			pr.Platform.Processors() <= opts.MaxExhaustiveForkProcs
-	default:
-		return pr.ForkJoin.Leaves()+2 <= opts.MaxExhaustiveForkStages &&
-			pr.Platform.Processors() <= opts.MaxExhaustiveForkProcs
-	}
+	spec := specOf(pr)
+	return spec != nil && spec.ExactlySolvable(pr, opts)
 }
 
 // SolveContext classifies the problem into its Table 1 cell and solves it
@@ -213,7 +211,7 @@ func SolveContext(ctx context.Context, pr Problem, opts Options) (Solution, erro
 	opts = opts.Normalized()
 	key := CellKeyOf(pr)
 	if opts.AnytimeBudget > 0 {
-		if fn, ok := anytimeRegistry[key]; ok {
+		if fn, ok := LookupAnytimeSolver(key); ok {
 			return fn(ctx, pr, opts)
 		}
 	}

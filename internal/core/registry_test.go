@@ -18,7 +18,15 @@ import (
 // registered solver whose metadata agrees with the classification.
 func TestRegistryCompleteness(t *testing.T) {
 	keys := AllCellKeys()
-	if want := 3 * 2 * 2 * 2 * 4; len(keys) != want {
+	want := 0
+	for _, spec := range KindSpecs() {
+		cells := 2 * 2 * 4 // platform axis x graph axis x objectives
+		if spec.DataParallel {
+			cells *= 2
+		}
+		want += cells
+	}
+	if len(keys) != want {
 		t.Fatalf("AllCellKeys: %d keys, want %d", len(keys), want)
 	}
 	for _, key := range keys {
@@ -46,13 +54,25 @@ func TestRegistryCompleteness(t *testing.T) {
 	}
 }
 
-// classifyKey reproduces Classify for a bare dispatch key (fork-joins
-// classify as forks, Section 6.3).
+// classifyKey reproduces Classify for a bare dispatch key: the legacy
+// kinds through the Table 1 decision trees preserved verbatim (fork-joins
+// classify as forks, Section 6.3), the registry-extension kinds through
+// their registered Classify capability.
 func classifyKey(k CellKey) Classification {
-	if k.Kind == workflow.KindPipeline {
+	switch k.Kind {
+	case workflow.KindPipeline:
 		return classifyPipeline(k.PlatformHomogeneous, k.GraphHomogeneous, k.DataParallel, k.Objective, k.Objective.Bounded())
+	case workflow.KindFork, workflow.KindForkJoin:
+		return classifyFork(k.PlatformHomogeneous, k.GraphHomogeneous, k.DataParallel, k.Objective, k.Objective.Bounded())
+	default:
+		return ClassifyCell(k)
 	}
-	return classifyFork(k.PlatformHomogeneous, k.GraphHomogeneous, k.DataParallel, k.Objective, k.Objective.Bounded())
+}
+
+// isLegacyKind reports whether the kind existed in the seed's three-value
+// enum — the scope of the legacy dispatch oracle.
+func isLegacyKind(k workflow.Kind) bool {
+	return k == workflow.KindPipeline || k == workflow.KindFork || k == workflow.KindForkJoin
 }
 
 // randomProblemForCell builds a random instance matching the given
@@ -154,6 +174,9 @@ func TestRegistryMatchesSeedDispatch(t *testing.T) {
 		trials = 2
 	}
 	for _, key := range AllCellKeys() {
+		if !isLegacyKind(key.Kind) {
+			continue // the seed dispatch never handled these kinds
+		}
 		for trial := 0; trial < trials; trial++ {
 			pr := randomProblemForCell(rng, key, false)
 			checkAgainstSeed(t, pr, key)
@@ -162,6 +185,9 @@ func TestRegistryMatchesSeedDispatch(t *testing.T) {
 	// Oversized instances exercise the heuristic fallback of the hard
 	// cells; the polynomial cells just solve a bigger instance.
 	for _, key := range AllCellKeys() {
+		if !isLegacyKind(key.Kind) {
+			continue
+		}
 		// Skip multi-stage oversized pipelines: 2^11 bitmask states per
 		// stage are still fine, but keep the corpus fast.
 		pr := randomProblemForCell(rng, key, true)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"repliflow/internal/fullmodel"
 	"repliflow/internal/mapping"
 )
 
@@ -59,6 +60,10 @@ type Solution struct {
 	PipelineMapping *mapping.PipelineMapping
 	ForkMapping     *mapping.ForkMapping
 	ForkJoinMapping *mapping.ForkJoinMapping
+	SPMapping       *mapping.SPMapping
+
+	CommPipelineMapping *fullmodel.Mapping
+	CommForkMapping     *fullmodel.ForkMapping
 
 	Cost           mapping.Cost
 	Method         Method
@@ -92,6 +97,12 @@ func (s Solution) String() string {
 		m = s.PipelineMapping
 	case s.ForkMapping != nil:
 		m = s.ForkMapping
+	case s.SPMapping != nil:
+		m = s.SPMapping
+	case s.CommPipelineMapping != nil:
+		m = s.CommPipelineMapping
+	case s.CommForkMapping != nil:
+		m = s.CommForkMapping
 	default:
 		m = s.ForkJoinMapping
 	}

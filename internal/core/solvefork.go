@@ -56,6 +56,67 @@ func wholeForkJoinOnProcessor(fj workflow.ForkJoin, q int) mapping.ForkJoinMappi
 func init() {
 	bools := []bool{false, true}
 	objs := []Objective{MinPeriod, MinLatency, LatencyUnderPeriod, PeriodUnderLatency}
+
+	registerKind(KindSpec{
+		Kind:             workflow.KindFork,
+		Name:             workflow.KindFork.String(),
+		HasGraph:         func(pr Problem) bool { return pr.Fork != nil },
+		ValidateGraph:    func(pr Problem) error { return pr.Fork.Validate() },
+		GraphHomogeneous: func(pr Problem) bool { return pr.Fork.IsHomogeneous() },
+		DataParallel:     true,
+		Classify:         classifyLegacy,
+		ExactlySolvable: func(pr Problem, opts Options) bool {
+			return pr.Fork.Leaves()+1 <= opts.MaxExhaustiveForkStages &&
+				pr.Platform.Processors() <= opts.MaxExhaustiveForkProcs
+		},
+		ParallelWorthwhile: func(pr Problem) bool {
+			return pr.Fork.Leaves()+1 >= parMinForkItems &&
+				pr.Platform.Processors() >= parMinForkProcs
+		},
+		CandidatePeriods: forkCandidatePeriods,
+		Anytime:          solveForkAnytime,
+		SeedMix: func(pr Problem, mix func(float64)) {
+			mix(pr.Fork.Root)
+			for _, w := range pr.Fork.Weights {
+				mix(w)
+			}
+		},
+		AppendFingerprint: func(pr Problem, b []byte) []byte {
+			b = fpFloat(append(b, 'F'), pr.Fork.Root)
+			return fpFloats(b, pr.Fork.Weights)
+		},
+	})
+	registerKind(KindSpec{
+		Kind:             workflow.KindForkJoin,
+		Name:             workflow.KindForkJoin.String(),
+		HasGraph:         func(pr Problem) bool { return pr.ForkJoin != nil },
+		ValidateGraph:    func(pr Problem) error { return pr.ForkJoin.Validate() },
+		GraphHomogeneous: func(pr Problem) bool { return pr.ForkJoin.IsHomogeneous() },
+		DataParallel:     true,
+		Classify:         classifyLegacy,
+		ExactlySolvable: func(pr Problem, opts Options) bool {
+			return pr.ForkJoin.Leaves()+2 <= opts.MaxExhaustiveForkStages &&
+				pr.Platform.Processors() <= opts.MaxExhaustiveForkProcs
+		},
+		ParallelWorthwhile: func(pr Problem) bool {
+			return pr.ForkJoin.Leaves()+2 >= parMinForkItems &&
+				pr.Platform.Processors() >= parMinForkProcs
+		},
+		CandidatePeriods: forkJoinCandidatePeriods,
+		Anytime:          solveForkJoinAnytime,
+		SeedMix: func(pr Problem, mix func(float64)) {
+			mix(pr.ForkJoin.Root)
+			mix(pr.ForkJoin.Join)
+			for _, w := range pr.ForkJoin.Weights {
+				mix(w)
+			}
+		},
+		AppendFingerprint: func(pr Problem, b []byte) []byte {
+			b = fpFloat(append(b, 'J'), pr.ForkJoin.Root)
+			b = fpFloat(b, pr.ForkJoin.Join)
+			return fpFloats(b, pr.ForkJoin.Weights)
+		},
+	})
 	for _, kind := range []workflow.Kind{workflow.KindFork, workflow.KindForkJoin} {
 		periodSolver, t11, t14, hard := solveForkHomPeriod, solveForkTheorem11, solveForkTheorem14, solveForkHard
 		prepare := prepareForkHard

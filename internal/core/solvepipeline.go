@@ -32,6 +32,32 @@ func init() {
 	kind := workflow.KindPipeline
 	bools := []bool{false, true}
 
+	registerKind(KindSpec{
+		Kind:             kind,
+		Name:             kind.String(),
+		HasGraph:         func(pr Problem) bool { return pr.Pipeline != nil },
+		ValidateGraph:    func(pr Problem) error { return pr.Pipeline.Validate() },
+		GraphHomogeneous: func(pr Problem) bool { return pr.Pipeline.IsHomogeneous() },
+		DataParallel:     true,
+		Classify:         classifyLegacy,
+		ExactlySolvable: func(pr Problem, opts Options) bool {
+			return pr.Platform.Processors() <= opts.MaxExhaustivePipelineProcs
+		},
+		ParallelWorthwhile: func(pr Problem) bool {
+			return pr.Pipeline.Stages()<<pr.Platform.Processors() >= parMinPipelineStates
+		},
+		CandidatePeriods: pipelineCandidatePeriods,
+		Anytime:          solvePipelineAnytime,
+		SeedMix: func(pr Problem, mix func(float64)) {
+			for _, w := range pr.Pipeline.Weights {
+				mix(w)
+			}
+		},
+		AppendFingerprint: func(pr Problem, b []byte) []byte {
+			return fpFloats(append(b, 'P'), pr.Pipeline.Weights)
+		},
+	})
+
 	// Homogeneous platforms: every cell is polynomial (Theorems 1-4,
 	// Corollary 1).
 	for _, gh := range bools {

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repliflow/internal/core"
+	"repliflow/internal/fullmodel"
 	"repliflow/internal/mapping"
 )
 
@@ -494,6 +495,8 @@ func (p *preparedPool) solve(ctx context.Context, pr core.Problem, opts core.Opt
 // subproblems; value-equal copies just miss the optimization.
 func sameSweepBase(a, b core.Problem) bool {
 	return a.Pipeline == b.Pipeline && a.Fork == b.Fork && a.ForkJoin == b.ForkJoin &&
+		a.SP == b.SP && a.CommPipeline == b.CommPipeline && a.CommFork == b.CommFork &&
+		a.Bandwidth == b.Bandwidth &&
 		a.AllowDataParallel == b.AllowDataParallel &&
 		len(a.Platform.Speeds) == len(b.Platform.Speeds) &&
 		(len(a.Platform.Speeds) == 0 || &a.Platform.Speeds[0] == &b.Platform.Speeds[0])
@@ -663,6 +666,39 @@ func cloneSolution(s core.Solution) core.Solution {
 		m := *s.ForkJoinMapping
 		m.Blocks = append([]mapping.ForkJoinBlock(nil), m.Blocks...)
 		s.ForkJoinMapping = &m
+	}
+	if s.SPMapping != nil {
+		m := *s.SPMapping
+		m.Order = append([]int(nil), m.Order...)
+		m.Blocks = append([]mapping.SPBlock(nil), m.Blocks...)
+		if m.Pipeline != nil {
+			p := *m.Pipeline
+			p.Intervals = append([]mapping.PipelineInterval(nil), p.Intervals...)
+			m.Pipeline = &p
+		}
+		if m.Fork != nil {
+			f := *m.Fork
+			f.Blocks = append([]mapping.ForkBlock(nil), f.Blocks...)
+			m.Fork = &f
+		}
+		if m.ForkJoin != nil {
+			fj := *m.ForkJoin
+			fj.Blocks = append([]mapping.ForkJoinBlock(nil), fj.Blocks...)
+			m.ForkJoin = &fj
+		}
+		s.SPMapping = &m
+	}
+	if s.CommPipelineMapping != nil {
+		m := *s.CommPipelineMapping
+		m.Bounds = append([]int(nil), m.Bounds...)
+		m.Alloc = append([]int(nil), m.Alloc...)
+		s.CommPipelineMapping = &m
+	}
+	if s.CommForkMapping != nil {
+		m := *s.CommForkMapping
+		m.Blocks = append([]fullmodel.ForkBlock(nil), m.Blocks...)
+		m.SendOrder = append([]int(nil), m.SendOrder...)
+		s.CommForkMapping = &m
 	}
 	return s
 }

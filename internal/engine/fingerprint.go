@@ -18,29 +18,17 @@ import (
 // Options are normalized first, so the zero Options and an explicit
 // DefaultOptions() collide as they should.
 func Fingerprint(pr core.Problem, opts core.Options) string {
-	buf := make([]byte, 0, 128)
+	buf := make([]byte, 0, 256)
 	return string(appendFingerprint(buf, pr, opts))
 }
 
 // appendFingerprint appends the canonical encoding of (pr, opts) to b.
 func appendFingerprint(b []byte, pr core.Problem, opts core.Options) []byte {
 	opts = opts.Normalized()
-	switch {
-	case pr.Pipeline != nil:
-		b = append(b, 'P')
-		b = appendFloats(b, pr.Pipeline.Weights)
-	case pr.Fork != nil:
-		b = append(b, 'F')
-		b = appendFloat(b, pr.Fork.Root)
-		b = appendFloats(b, pr.Fork.Weights)
-	case pr.ForkJoin != nil:
-		b = append(b, 'J')
-		b = appendFloat(b, pr.ForkJoin.Root)
-		b = appendFloat(b, pr.ForkJoin.Join)
-		b = appendFloats(b, pr.ForkJoin.Weights)
-	default:
-		b = append(b, '?')
-	}
+	// The graph structure and weights are encoded by the kind's
+	// AppendFingerprint capability (a distinct tag byte per kind keeps the
+	// encodings prefix-free); unknown instances get the reserved '?' tag.
+	b = core.AppendGraphFingerprint(pr, b)
 	b = appendFloats(b, pr.Platform.Speeds)
 	flags := byte(0)
 	if pr.AllowDataParallel {
@@ -53,17 +41,19 @@ func appendFingerprint(b []byte, pr core.Problem, opts core.Options) []byte {
 	b = binary.AppendUvarint(b, uint64(opts.MaxExhaustivePipelineProcs))
 	b = binary.AppendUvarint(b, uint64(opts.MaxExhaustiveForkStages))
 	b = binary.AppendUvarint(b, uint64(opts.MaxExhaustiveForkProcs))
-	// The anytime budget is part of the solution's identity on NP-hard
-	// cells: a tight-budget incumbent must never be served from the
-	// cache to a generous-budget request (and vice versa), so distinct
-	// budgets get distinct keys. Polynomial cells ignore the budget
-	// entirely (core has no anytime entry for them), so it is
-	// normalized to zero there — otherwise every distinct budget (and
-	// every splitBudget rewrite) would fragment the cache with
-	// byte-identical solutions.
+	// The anytime budget is part of the solution's identity on cells with
+	// a portfolio solver: a tight-budget incumbent must never be served
+	// from the cache to a generous-budget request (and vice versa), so
+	// distinct budgets get distinct keys. Cells without one — polynomial
+	// cells, and NP-hard cells of kinds without the Anytime capability —
+	// ignore the budget entirely, so it is normalized to zero there:
+	// otherwise every distinct budget (and every splitBudget rewrite)
+	// would fragment the cache with byte-identical solutions.
 	budget := opts.AnytimeBudget
-	if budget > 0 && core.ClassifyCell(core.CellKeyOf(pr)).Complexity.Polynomial() {
-		budget = 0
+	if budget > 0 {
+		if _, ok := core.LookupAnytimeSolver(core.CellKeyOf(pr)); !ok {
+			budget = 0
+		}
 	}
 	// Options.Parallelism is deliberately NOT encoded: exact solves are
 	// byte-identical at every worker count (the determinism contract of

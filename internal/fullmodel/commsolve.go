@@ -1,0 +1,514 @@
+package fullmodel
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"repliflow/internal/numeric"
+)
+
+// Bandwidth describes the interconnect of a communication-aware instance
+// in its canonical wire form: either a single uniform link bandwidth
+// (every link, including Pin/Pout) or full tables. Exactly one
+// representation must be used.
+type Bandwidth struct {
+	Uniform float64
+	Links   [][]float64 // Links[u][v]: bandwidth Pu -> Pv (u != v)
+	In      []float64   // Pin -> Pu
+	Out     []float64   // Pu -> Pout
+}
+
+// Validate checks the bandwidth description against a processor count.
+func (b Bandwidth) Validate(p int) error {
+	if b.Uniform != 0 {
+		if b.Uniform < 0 {
+			return fmt.Errorf("fullmodel: negative uniform bandwidth %v", b.Uniform)
+		}
+		if b.Links != nil || b.In != nil || b.Out != nil {
+			return errors.New("fullmodel: bandwidth gives both uniform and tables")
+		}
+		return nil
+	}
+	if len(b.Links) != p || len(b.In) != p || len(b.Out) != p {
+		return fmt.Errorf("fullmodel: bandwidth tables sized for %d/%d/%d processors, want %d",
+			len(b.Links), len(b.In), len(b.Out), p)
+	}
+	for u := 0; u < p; u++ {
+		if len(b.Links[u]) != p {
+			return fmt.Errorf("fullmodel: bandwidth row %d has %d entries, want %d", u, len(b.Links[u]), p)
+		}
+		if b.In[u] <= 0 || b.Out[u] <= 0 {
+			return fmt.Errorf("fullmodel: non-positive Pin/Pout bandwidth at P%d", u+1)
+		}
+		for v := 0; v < p; v++ {
+			if u != v && b.Links[u][v] <= 0 {
+				return fmt.Errorf("fullmodel: non-positive bandwidth P%d -> P%d", u+1, v+1)
+			}
+		}
+	}
+	return nil
+}
+
+// Apply binds the bandwidth description to processor speeds, yielding the
+// evaluation platform.
+func (b Bandwidth) Apply(speeds []float64) Platform {
+	if b.Uniform != 0 {
+		return Uniform(speeds, b.Uniform)
+	}
+	return Platform{
+		Speeds:  append([]float64(nil), speeds...),
+		Band:    b.Links,
+		InBand:  b.In,
+		OutBand: b.Out,
+	}
+}
+
+// IsHomogeneous reports whether all stage weights and all data sizes are
+// uniform (the "homogeneous graph" axis of the dispatch key).
+func (p Pipeline) IsHomogeneous() bool {
+	for _, w := range p.Weights[1:] {
+		if !numeric.Eq(w, p.Weights[0]) {
+			return false
+		}
+	}
+	for _, d := range p.Data[1:] {
+		if !numeric.Eq(d, p.Data[0]) {
+			return false
+		}
+	}
+	return true
+}
+
+// TotalWork returns the sum of the stage weights.
+func (p Pipeline) TotalWork() float64 { return numeric.SumFloat(p.Weights) }
+
+// Leaves returns the number of independent stages of the fork.
+func (f Fork) Leaves() int { return len(f.Weights) }
+
+// TotalWork returns the root weight plus the leaf weights.
+func (f Fork) TotalWork() float64 { return f.Root + numeric.SumFloat(f.Weights) }
+
+// IsHomogeneous reports whether the leaves share one weight and one
+// output size.
+func (f Fork) IsHomogeneous() bool {
+	if len(f.Weights) == 0 {
+		return true
+	}
+	for i := range f.Weights[1:] {
+		if !numeric.Eq(f.Weights[i+1], f.Weights[0]) || !numeric.Eq(f.Outs[i+1], f.Outs[0]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Goal selects the optimized metric and the caps of a communication-aware
+// solve: minimize one metric subject to optional caps (0 = unbounded).
+type Goal struct {
+	MinimizePeriod bool
+	PeriodCap      float64
+	LatencyCap     float64
+}
+
+func (g Goal) feasible(c Cost) bool {
+	if g.PeriodCap > 0 && numeric.Greater(c.Period, g.PeriodCap) {
+		return false
+	}
+	if g.LatencyCap > 0 && numeric.Greater(c.Latency, g.LatencyCap) {
+		return false
+	}
+	return true
+}
+
+func (g Goal) value(c Cost) float64 {
+	if g.MinimizePeriod {
+		return c.Period
+	}
+	return c.Latency
+}
+
+// SolveHom optimizes a comm-aware pipeline on a fully homogeneous
+// platform for any of the four objectives, via the Subhlok-Vondran style
+// dynamic programs: the latency-under-period DP directly, and binary
+// search over the finite candidate period set for the period objectives.
+// ok is false when a cap is infeasible.
+func SolveHom(p Pipeline, pl Platform, goal Goal) (Mapping, Cost, bool, error) {
+	if err := p.Validate(); err != nil {
+		return Mapping{}, Cost{}, false, err
+	}
+	if err := pl.Validate(); err != nil {
+		return Mapping{}, Cost{}, false, err
+	}
+	if !pl.IsFullyHomogeneous() {
+		return Mapping{}, Cost{}, false, errPlatformNotHomogeneous
+	}
+	if !goalNeedsPeriodSearch(goal) {
+		cap := numeric.Inf
+		if goal.PeriodCap > 0 {
+			cap = goal.PeriodCap
+		}
+		m, c, ok, err := HomLatencyUnderPeriod(p, pl, cap)
+		if err != nil || !ok {
+			return Mapping{}, Cost{}, false, err
+		}
+		if goal.LatencyCap > 0 && numeric.Greater(c.Latency, goal.LatencyCap) {
+			return Mapping{}, Cost{}, false, nil
+		}
+		return m, c, true, nil
+	}
+	// Minimize the period: binary search the candidate brackets, keeping
+	// the latency cap (if any) as part of feasibility. Enlarging the
+	// period cap only enlarges the feasible set, so the predicate is
+	// monotone and the search sound.
+	cands := homPeriodCandidates(p, pl.Speeds[0], pl.InBand[0])
+	lo, hi := 0, len(cands)-1
+	var bestM Mapping
+	var bestC Cost
+	found := false
+	for lo <= hi {
+		mid := (lo + hi) / 2
+		m, c, ok, err := HomLatencyUnderPeriod(p, pl, cands[mid])
+		if err != nil {
+			return Mapping{}, Cost{}, false, err
+		}
+		if ok && goal.LatencyCap > 0 && numeric.Greater(c.Latency, goal.LatencyCap) {
+			ok = false
+		}
+		if ok {
+			bestM, bestC = m, c
+			found = true
+			hi = mid - 1
+		} else {
+			lo = mid + 1
+		}
+	}
+	if !found {
+		return Mapping{}, Cost{}, false, nil
+	}
+	if goal.PeriodCap > 0 && numeric.Greater(bestC.Period, goal.PeriodCap) {
+		return Mapping{}, Cost{}, false, nil
+	}
+	return bestM, bestC, true, nil
+}
+
+func goalNeedsPeriodSearch(goal Goal) bool { return goal.MinimizePeriod }
+
+// SolveExact exhaustively optimizes the heterogeneous comm-aware pipeline
+// for any objective, with context cancellation. Exponential in p;
+// intended for small platforms (the exhaustive dispatch limits).
+func SolveExact(ctx context.Context, p Pipeline, pl Platform, goal Goal) (Mapping, Cost, bool, error) {
+	if err := p.Validate(); err != nil {
+		return Mapping{}, Cost{}, false, err
+	}
+	if err := pl.Validate(); err != nil {
+		return Mapping{}, Cost{}, false, err
+	}
+	n, procs := p.Stages(), pl.Processors()
+	var (
+		bestM  Mapping
+		bestC  Cost
+		found  bool
+		cur    Mapping
+		iter   int
+		ctxErr error
+	)
+	var walk func(i, mask int)
+	walk = func(i, mask int) {
+		if ctxErr != nil {
+			return
+		}
+		if i == n {
+			iter++
+			if iter%256 == 0 {
+				if err := ctx.Err(); err != nil {
+					ctxErr = err
+					return
+				}
+			}
+			c, err := Eval(p, pl, Mapping{Bounds: cur.Bounds, Alloc: cur.Alloc})
+			if err != nil {
+				panic("fullmodel: enumeration built invalid mapping: " + err.Error())
+			}
+			if !goal.feasible(c) {
+				return
+			}
+			if !found || numeric.Less(goal.value(c), goal.value(bestC)) {
+				bestM = Mapping{
+					Bounds: append([]int(nil), cur.Bounds...),
+					Alloc:  append([]int(nil), cur.Alloc...),
+				}
+				bestC, found = c, true
+			}
+			return
+		}
+		for j := i; j < n; j++ {
+			for u := 0; u < procs; u++ {
+				if mask&(1<<u) != 0 {
+					continue
+				}
+				cur.Bounds = append(cur.Bounds, j+1)
+				cur.Alloc = append(cur.Alloc, u)
+				walk(j+1, mask|1<<u)
+				cur.Bounds = cur.Bounds[:len(cur.Bounds)-1]
+				cur.Alloc = cur.Alloc[:len(cur.Alloc)-1]
+			}
+		}
+	}
+	walk(0, 0)
+	if ctxErr != nil {
+		return Mapping{}, Cost{}, false, ctxErr
+	}
+	return bestM, bestC, found, nil
+}
+
+// HeuristicCandidates returns deterministic seed mappings for oversized
+// heterogeneous comm-aware pipelines: the whole chain on the fastest
+// processor, and for each interval count a balanced work split with the
+// heaviest intervals on the fastest processors.
+func HeuristicCandidates(p Pipeline, pl Platform) []Mapping {
+	n, procs := p.Stages(), pl.Processors()
+	fastest := 0
+	for u := 1; u < procs; u++ {
+		if pl.Speeds[u] > pl.Speeds[fastest] {
+			fastest = u
+		}
+	}
+	out := []Mapping{{Bounds: []int{n}, Alloc: []int{fastest}}}
+	maxK := procs
+	if n < maxK {
+		maxK = n
+	}
+	for k := 2; k <= maxK; k++ {
+		target := p.TotalWork() / float64(k)
+		var bounds []int
+		var acc float64
+		for i := 0; i < n; i++ {
+			acc += p.Weights[i]
+			if acc >= target && len(bounds) < k-1 && n-i-1 >= k-1-len(bounds) {
+				bounds = append(bounds, i+1)
+				acc = 0
+			}
+		}
+		bounds = append(bounds, n)
+		// Heaviest interval gets the fastest processor.
+		work := make([]float64, len(bounds))
+		first := 0
+		for j, end := range bounds {
+			work[j] = p.IntervalWork(first, end-1)
+			first = end
+		}
+		byWork := make([]int, len(bounds))
+		for i := range byWork {
+			byWork[i] = i
+		}
+		sort.SliceStable(byWork, func(a, b int) bool { return work[byWork[a]] > work[byWork[b]] })
+		bySpeed := make([]int, procs)
+		for i := range bySpeed {
+			bySpeed[i] = i
+		}
+		sort.SliceStable(bySpeed, func(a, b int) bool { return pl.Speeds[bySpeed[a]] > pl.Speeds[bySpeed[b]] })
+		alloc := make([]int, len(bounds))
+		for rank, j := range byWork {
+			alloc[j] = bySpeed[rank]
+		}
+		out = append(out, Mapping{Bounds: bounds, Alloc: alloc})
+	}
+	return out
+}
+
+// SolveForkExact exhaustively optimizes the one-port fork: it enumerates
+// every partition of the leaves into blocks (block 0 is the root block
+// and may hold no leaf), every injective processor assignment, and
+// evaluates each mapping with the latency-optimal send order (the period
+// is send-order independent, so one order per assignment suffices for
+// both metrics). Runs under the flexible model of EvalFork.
+func SolveForkExact(ctx context.Context, f Fork, pl Platform, goal Goal) (ForkMapping, Cost, bool, error) {
+	if err := f.Validate(); err != nil {
+		return ForkMapping{}, Cost{}, false, err
+	}
+	if err := pl.Validate(); err != nil {
+		return ForkMapping{}, Cost{}, false, err
+	}
+	n, procs := f.Leaves(), pl.Processors()
+	assign := make([]int, n) // leaf -> block id; block 0 = root block
+	var (
+		bestM  ForkMapping
+		bestC  Cost
+		found  bool
+		iter   int
+		ctxErr error
+	)
+	blockProcs := make([]int, n+1)
+	usedProc := make([]bool, procs)
+	tryAssign := func(blocks int) {
+		m := ForkMapping{RootBlock: 0, Blocks: make([]ForkBlock, blocks)}
+		for b := 0; b < blocks; b++ {
+			m.Blocks[b] = ForkBlock{Proc: blockProcs[b]}
+		}
+		for l := 0; l < n; l++ {
+			b := assign[l]
+			m.Blocks[b].Leaves = append(m.Blocks[b].Leaves, l)
+		}
+		m.SendOrder = OptimalSendOrder(f, pl, m)
+		c, err := EvalFork(f, pl, m, false)
+		if err != nil {
+			panic("fullmodel: fork enumeration built invalid mapping: " + err.Error())
+		}
+		if !goal.feasible(c) {
+			return
+		}
+		if !found || numeric.Less(goal.value(c), goal.value(bestC)) {
+			bestM, bestC, found = m, c, true
+		}
+	}
+	var chooseProcs func(b, blocks int)
+	chooseProcs = func(b, blocks int) {
+		if ctxErr != nil {
+			return
+		}
+		if b == blocks {
+			iter++
+			if iter%128 == 0 {
+				if err := ctx.Err(); err != nil {
+					ctxErr = err
+					return
+				}
+			}
+			tryAssign(blocks)
+			return
+		}
+		for u := 0; u < procs; u++ {
+			if usedProc[u] {
+				continue
+			}
+			usedProc[u] = true
+			blockProcs[b] = u
+			chooseProcs(b+1, blocks)
+			usedProc[u] = false
+		}
+	}
+	var parts func(l, blocks int)
+	parts = func(l, blocks int) {
+		if ctxErr != nil {
+			return
+		}
+		if l == n {
+			chooseProcs(0, blocks)
+			return
+		}
+		limit := blocks
+		if blocks < procs {
+			limit = blocks + 1
+		}
+		for b := 0; b < limit; b++ {
+			assign[l] = b
+			nb := blocks
+			if b == blocks {
+				nb = blocks + 1
+			}
+			parts(l+1, nb)
+		}
+	}
+	// blocks starts at 1: the root block always exists even with no leaf.
+	parts(0, 1)
+	if ctxErr != nil {
+		return ForkMapping{}, Cost{}, false, ctxErr
+	}
+	return bestM, bestC, found, nil
+}
+
+// ForkHeuristicCandidates returns deterministic seed mappings for
+// oversized one-port forks: everything on the fastest processor, the
+// root alone with the leaves spread LPT over the other processors, and
+// an LPT spread over all processors with the root block competing too.
+func ForkHeuristicCandidates(f Fork, pl Platform) []ForkMapping {
+	n, procs := f.Leaves(), pl.Processors()
+	fastest := 0
+	for u := 1; u < procs; u++ {
+		if pl.Speeds[u] > pl.Speeds[fastest] {
+			fastest = u
+		}
+	}
+	allLeaves := make([]int, n)
+	for i := range allLeaves {
+		allLeaves[i] = i
+	}
+	out := []ForkMapping{{RootBlock: 0, Blocks: []ForkBlock{{Proc: fastest, Leaves: allLeaves}}}}
+	if procs == 1 || n == 0 {
+		return finishOrders(f, pl, out)
+	}
+	order := append([]int(nil), allLeaves...)
+	sort.SliceStable(order, func(a, b int) bool { return f.Weights[order[a]] > f.Weights[order[b]] })
+	spread := func(withRoot bool) ForkMapping {
+		m := ForkMapping{RootBlock: 0, Blocks: []ForkBlock{{Proc: fastest}}}
+		slot := make(map[int]int) // proc -> block index
+		slot[fastest] = 0
+		load := make([]float64, procs)
+		load[fastest] = f.Root / pl.Speeds[fastest]
+		for _, l := range order {
+			bestU, bestT := -1, math.Inf(1)
+			for u := 0; u < procs; u++ {
+				if !withRoot && u == fastest {
+					continue
+				}
+				if t := load[u] + f.Weights[l]/pl.Speeds[u]; t < bestT {
+					bestU, bestT = u, t
+				}
+			}
+			b, ok := slot[bestU]
+			if !ok {
+				b = len(m.Blocks)
+				m.Blocks = append(m.Blocks, ForkBlock{Proc: bestU})
+				slot[bestU] = b
+			}
+			m.Blocks[b].Leaves = append(m.Blocks[b].Leaves, l)
+			load[bestU] = bestT
+		}
+		for _, b := range m.Blocks {
+			sort.Ints(b.Leaves)
+		}
+		return m
+	}
+	out = append(out, spread(false), spread(true))
+	return finishOrders(f, pl, out)
+}
+
+func finishOrders(f Fork, pl Platform, ms []ForkMapping) []ForkMapping {
+	for i := range ms {
+		ms[i].SendOrder = OptimalSendOrder(f, pl, ms[i])
+	}
+	return ms
+}
+
+// PeriodCandidates enumerates the exact set of achievable interval
+// periods of a pipeline: Equation (1) brackets over every interval, every
+// hosting processor and every neighbour-processor combination (with the
+// ends standing in for Pin/Pout). The period of any mapping is the
+// maximum of its interval costs, so the optimum of any objective lies in
+// this set — which is what makes Pareto sweeps over it exact on
+// exactly-solved cells. Ascending and deduplicated.
+func PeriodCandidates(p Pipeline, pl Platform) []float64 {
+	n, procs := p.Stages(), pl.Processors()
+	var cands []float64
+	for first := 0; first < n; first++ {
+		for last := first; last < n; last++ {
+			for u := 0; u < procs; u++ {
+				for prev := -1; prev < procs; prev++ {
+					if prev == u {
+						continue
+					}
+					for next := -1; next < procs; next++ {
+						if next == u {
+							continue
+						}
+						cands = append(cands, intervalCost(p, pl, first, last, u, prev, next))
+					}
+				}
+			}
+		}
+	}
+	return numeric.DedupSorted(cands)
+}

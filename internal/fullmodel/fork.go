@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strings"
 
 	"repliflow/internal/numeric"
 )
@@ -57,6 +58,25 @@ type ForkMapping struct {
 	RootBlock int
 	Blocks    []ForkBlock
 	SendOrder []int
+}
+
+// String renders the mapping in the compact block form of the
+// simplified-model mappings; the root block is marked with S0.
+func (m ForkMapping) String() string {
+	parts := make([]string, len(m.Blocks))
+	for i, b := range m.Blocks {
+		var stages []string
+		if i == m.RootBlock {
+			stages = append(stages, "S0")
+		}
+		sorted := append([]int(nil), b.Leaves...)
+		sort.Ints(sorted)
+		for _, l := range sorted {
+			stages = append(stages, fmt.Sprintf("S%d", l+1))
+		}
+		parts[i] = fmt.Sprintf("[{%s} on P%d]", strings.Join(stages, ","), b.Proc+1)
+	}
+	return strings.Join(parts, " ")
 }
 
 // ValidateFork checks the mapping.

@@ -25,6 +25,7 @@ package fullmodel
 import (
 	"errors"
 	"fmt"
+	"strings"
 
 	"repliflow/internal/numeric"
 	"repliflow/internal/workflow"
@@ -188,6 +189,22 @@ type Mapping struct {
 
 // Intervals returns the number of intervals.
 func (m Mapping) Intervals() int { return len(m.Bounds) }
+
+// String renders the mapping in the compact interval form of the
+// simplified-model mappings.
+func (m Mapping) String() string {
+	parts := make([]string, len(m.Bounds))
+	first := 0
+	for j, end := range m.Bounds {
+		span := fmt.Sprintf("S%d", first+1)
+		if end-1 != first {
+			span = fmt.Sprintf("S%d..S%d", first+1, end)
+		}
+		parts[j] = fmt.Sprintf("[%s on P%d]", span, m.Alloc[j]+1)
+		first = end
+	}
+	return strings.Join(parts, " ")
+}
 
 // Validate checks the mapping against the pipeline and platform.
 func Validate(p Pipeline, pl Platform, m Mapping) error {

@@ -25,6 +25,24 @@ func FuzzDecodeInstance(f *testing.F) {
 		`{}`,
 		`[1,2,3]`,
 		`null`,
+		// Series-parallel graphs: a valid diamond, then the malformed
+		// variants the SP validator must reject — a dependency cycle, a
+		// dangling after-reference, a duplicate step name, and trailing
+		// garbage after a valid document.
+		`{"sp":{"steps":[{"name":"a","weight":2},{"name":"b","weight":1,"after":["a"]},{"name":"c","weight":3,"after":["a"]},{"name":"d","weight":1,"after":["b","c"]}]},"platform":{"speeds":[1,1]},"objective":"min-period"}`,
+		`{"sp":{"steps":[{"name":"a","weight":1,"after":["b"]},{"name":"b","weight":1,"after":["a"]}]},"platform":{"speeds":[1]},"objective":"min-period"}`,
+		`{"sp":{"steps":[{"name":"a","weight":1},{"name":"b","weight":1,"after":["zz"]}]},"platform":{"speeds":[1]},"objective":"min-period"}`,
+		`{"sp":{"steps":[{"name":"a","weight":1},{"name":"a","weight":2}]},"platform":{"speeds":[1]},"objective":"min-period"}`,
+		`{"sp":{"steps":[{"name":"a","weight":1}]},"platform":{"speeds":[1]},"objective":"min-period"} garbage`,
+		// Communication-aware kinds: data sizes plus a bandwidth-annotated
+		// platform, a bandwidth-less comm instance (invalid), a bandwidth
+		// on a simplified-model instance (invalid), and a bandwidth giving
+		// both the uniform and the table form (invalid).
+		`{"commPipeline":{"weights":[3,1,2],"data":[1,2,1,1]},"platform":{"speeds":[1,2],"bandwidth":{"uniform":4}},"objective":"min-period"}`,
+		`{"commFork":{"root":2,"in":1,"broadcast":1,"weights":[3,1],"outs":[1,1]},"platform":{"speeds":[1,1,2],"bandwidth":{"links":[[0,1,1],[1,0,1],[1,1,0]],"in":[1,1,1],"out":[1,1,1]}},"objective":"min-latency"}`,
+		`{"commPipeline":{"weights":[1],"data":[1,1]},"platform":{"speeds":[1]},"objective":"min-period"}`,
+		`{"pipeline":{"weights":[1]},"platform":{"speeds":[1],"bandwidth":{"uniform":1}},"objective":"min-period"}`,
+		`{"commPipeline":{"weights":[1],"data":[1,1]},"platform":{"speeds":[1],"bandwidth":{"uniform":1,"in":[1],"out":[1],"links":[[0]]}},"objective":"min-period"}`,
 	}
 	for _, s := range seeds {
 		f.Add([]byte(s))

@@ -16,6 +16,7 @@ import (
 	"io"
 
 	"repliflow/internal/core"
+	"repliflow/internal/fullmodel"
 	"repliflow/internal/platform"
 	"repliflow/internal/workflow"
 )
@@ -38,16 +39,62 @@ type ForkJoinJSON struct {
 	Weights []float64 `json:"weights"`
 }
 
-// PlatformJSON mirrors platform.Platform.
+// SPStepJSON mirrors workflow.SPStep: a named step and the names of the
+// steps it depends on.
+type SPStepJSON struct {
+	Name   string   `json:"name"`
+	Weight float64  `json:"weight"`
+	After  []string `json:"after,omitempty"`
+}
+
+// SPJSON mirrors workflow.SP, the general series-parallel DAG kind.
+type SPJSON struct {
+	Steps []SPStepJSON `json:"steps"`
+}
+
+// CommPipelineJSON mirrors fullmodel.Pipeline: stage weights plus the
+// inter-stage data sizes delta_0..delta_n (len(data) = len(weights)+1).
+type CommPipelineJSON struct {
+	Weights []float64 `json:"weights"`
+	Data    []float64 `json:"data"`
+}
+
+// CommForkJSON mirrors fullmodel.Fork: the root receives in from the
+// outside world, broadcasts broadcast to every leaf block under the
+// one-port model, and each leaf k returns outs[k].
+type CommForkJSON struct {
+	Root      float64   `json:"root"`
+	In        float64   `json:"in,omitempty"`
+	Broadcast float64   `json:"broadcast,omitempty"`
+	Weights   []float64 `json:"weights"`
+	Outs      []float64 `json:"outs"`
+}
+
+// BandwidthJSON mirrors fullmodel.Bandwidth: either a single uniform link
+// bandwidth or the full tables (links[u][v], in[u] = Pin->Pu,
+// out[u] = Pu->Pout), never both.
+type BandwidthJSON struct {
+	Uniform float64     `json:"uniform,omitempty"`
+	Links   [][]float64 `json:"links,omitempty"`
+	In      []float64   `json:"in,omitempty"`
+	Out     []float64   `json:"out,omitempty"`
+}
+
+// PlatformJSON mirrors platform.Platform. Bandwidth is only present (and
+// only accepted) on communication-aware instances.
 type PlatformJSON struct {
-	Speeds []float64 `json:"speeds"`
+	Speeds    []float64      `json:"speeds"`
+	Bandwidth *BandwidthJSON `json:"bandwidth,omitempty"`
 }
 
 // Instance is the on-disk form of a core.Problem.
 type Instance struct {
-	Pipeline *PipelineJSON `json:"pipeline,omitempty"`
-	Fork     *ForkJSON     `json:"fork,omitempty"`
-	ForkJoin *ForkJoinJSON `json:"forkjoin,omitempty"`
+	Pipeline     *PipelineJSON     `json:"pipeline,omitempty"`
+	Fork         *ForkJSON         `json:"fork,omitempty"`
+	ForkJoin     *ForkJoinJSON     `json:"forkjoin,omitempty"`
+	SP           *SPJSON           `json:"sp,omitempty"`
+	CommPipeline *CommPipelineJSON `json:"commPipeline,omitempty"`
+	CommFork     *CommForkJSON     `json:"commFork,omitempty"`
 
 	Platform          PlatformJSON `json:"platform"`
 	AllowDataParallel bool         `json:"allowDataParallel"`
@@ -113,8 +160,46 @@ func (ins Instance) Problem() (core.Problem, error) {
 		pr.ForkJoin = &fj
 		graphs++
 	}
+	if ins.SP != nil {
+		steps := make([]workflow.SPStep, len(ins.SP.Steps))
+		for i, st := range ins.SP.Steps {
+			steps[i] = workflow.SPStep{
+				Name:   st.Name,
+				Weight: st.Weight,
+				After:  append([]string(nil), st.After...),
+			}
+		}
+		g := workflow.NewSP(steps...)
+		pr.SP = &g
+		graphs++
+	}
+	if ins.CommPipeline != nil {
+		cp := fullmodel.NewPipeline(ins.CommPipeline.Weights, ins.CommPipeline.Data)
+		pr.CommPipeline = &cp
+		graphs++
+	}
+	if ins.CommFork != nil {
+		cf := fullmodel.Fork{
+			Root:    ins.CommFork.Root,
+			In:      ins.CommFork.In,
+			Out0:    ins.CommFork.Broadcast,
+			Weights: append([]float64(nil), ins.CommFork.Weights...),
+			Outs:    append([]float64(nil), ins.CommFork.Outs...),
+		}
+		pr.CommFork = &cf
+		graphs++
+	}
 	if graphs != 1 {
-		return core.Problem{}, errors.New("instance: exactly one of pipeline, fork, forkjoin must be set")
+		return core.Problem{}, errors.New("instance: exactly one of pipeline, fork, forkjoin, sp, commPipeline, commFork must be set")
+	}
+	if ins.Platform.Bandwidth != nil {
+		bw := fullmodel.Bandwidth{
+			Uniform: ins.Platform.Bandwidth.Uniform,
+			Links:   ins.Platform.Bandwidth.Links,
+			In:      ins.Platform.Bandwidth.In,
+			Out:     ins.Platform.Bandwidth.Out,
+		}
+		pr.Bandwidth = &bw
 	}
 	if err := pr.Validate(); err != nil {
 		return core.Problem{}, err
@@ -137,6 +222,27 @@ func FromProblem(pr core.Problem) Instance {
 		ins.Fork = &ForkJSON{Root: pr.Fork.Root, Weights: pr.Fork.Weights}
 	case pr.ForkJoin != nil:
 		ins.ForkJoin = &ForkJoinJSON{Root: pr.ForkJoin.Root, Join: pr.ForkJoin.Join, Weights: pr.ForkJoin.Weights}
+	case pr.SP != nil:
+		steps := make([]SPStepJSON, len(pr.SP.Steps))
+		for i, st := range pr.SP.Steps {
+			steps[i] = SPStepJSON{Name: st.Name, Weight: st.Weight, After: st.After}
+		}
+		ins.SP = &SPJSON{Steps: steps}
+	case pr.CommPipeline != nil:
+		ins.CommPipeline = &CommPipelineJSON{Weights: pr.CommPipeline.Weights, Data: pr.CommPipeline.Data}
+	case pr.CommFork != nil:
+		ins.CommFork = &CommForkJSON{
+			Root: pr.CommFork.Root, In: pr.CommFork.In, Broadcast: pr.CommFork.Out0,
+			Weights: pr.CommFork.Weights, Outs: pr.CommFork.Outs,
+		}
+	}
+	if pr.Bandwidth != nil {
+		ins.Platform.Bandwidth = &BandwidthJSON{
+			Uniform: pr.Bandwidth.Uniform,
+			Links:   pr.Bandwidth.Links,
+			In:      pr.Bandwidth.In,
+			Out:     pr.Bandwidth.Out,
+		}
 	}
 	return ins
 }

@@ -2,10 +2,12 @@ package instance
 
 import (
 	"bytes"
+	"reflect"
 	"strings"
 	"testing"
 
 	"repliflow/internal/core"
+	"repliflow/internal/fullmodel"
 	"repliflow/internal/platform"
 	"repliflow/internal/workflow"
 )
@@ -58,6 +60,45 @@ func TestRoundTripForkAndForkJoin(t *testing.T) {
 	}
 	if got.ForkJoin == nil || got.ForkJoin.Join != 5 || got.Bound != 4 {
 		t.Fatalf("fork-join mangled: %+v", got)
+	}
+}
+
+// TestRoundTripSPAndComm covers the extended wire format: SP graphs with
+// their dependency lists, data sizes, and the bandwidth annotation.
+func TestRoundTripSPAndComm(t *testing.T) {
+	sp := workflow.NewSP(
+		workflow.SPStep{Name: "a", Weight: 2},
+		workflow.SPStep{Name: "b", Weight: 1, After: []string{"a"}},
+		workflow.SPStep{Name: "c", Weight: 3, After: []string{"a"}},
+		workflow.SPStep{Name: "d", Weight: 1, After: []string{"b", "c"}},
+	)
+	cp := fullmodel.NewPipeline([]float64{3, 1, 2}, []float64{1, 2, 1, 1})
+	cf := fullmodel.Fork{Root: 2, In: 1, Out0: 1, Weights: []float64{3, 1}, Outs: []float64{1, 1}}
+	problems := []core.Problem{
+		{SP: &sp, Platform: platform.New(1, 2), Objective: core.MinPeriod},
+		{CommPipeline: &cp, Bandwidth: &fullmodel.Bandwidth{Uniform: 4}, Platform: platform.Homogeneous(2, 1), Objective: core.MinPeriod},
+		{CommFork: &cf, Bandwidth: &fullmodel.Bandwidth{
+			Links: [][]float64{{0, 1, 1}, {1, 0, 1}, {1, 1, 0}},
+			In:    []float64{1, 1, 1},
+			Out:   []float64{1, 1, 1},
+		}, Platform: platform.New(1, 1, 2), Objective: core.MinLatency},
+	}
+	for i, pr := range problems {
+		var buf bytes.Buffer
+		if err := Write(&buf, FromProblem(pr)); err != nil {
+			t.Fatalf("problem %d: %v", i, err)
+		}
+		ins, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("problem %d: %v", i, err)
+		}
+		got, err := ins.Problem()
+		if err != nil {
+			t.Fatalf("problem %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(got, pr) {
+			t.Errorf("problem %d round trip drift:\n got %#v\nwant %#v", i, got, pr)
+		}
 	}
 }
 

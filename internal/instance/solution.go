@@ -4,7 +4,9 @@ import (
 	"fmt"
 
 	"repliflow/internal/core"
+	"repliflow/internal/fullmodel"
 	"repliflow/internal/mapping"
+	"repliflow/internal/workflow"
 )
 
 // IntervalJSON is the wire form of one pipeline interval: stages
@@ -27,14 +29,62 @@ type BlockJSON struct {
 	Mode   string `json:"mode"`
 }
 
+// SPBlockJSON is the wire form of one block of a direct (irreducible)
+// series-parallel mapping: the listed step indices on one processor.
+type SPBlockJSON struct {
+	Proc  int   `json:"proc"`
+	Steps []int `json:"steps"`
+}
+
+// SPMappingJSON is the wire form of a series-parallel mapping. Reduced
+// names the shape the decomposer collapsed the DAG onto ("pipeline",
+// "fork", "fork-join" — then order maps reduced stage positions back to
+// step indices and exactly one of pipeline/fork/forkjoin carries the
+// embedded legacy mapping) or "sp" for an irreducible DAG solved in the
+// block model (then blocks is set).
+type SPMappingJSON struct {
+	Reduced  string         `json:"reduced"`
+	Order    []int          `json:"order,omitempty"`
+	Pipeline []IntervalJSON `json:"pipeline,omitempty"`
+	Fork     []BlockJSON    `json:"fork,omitempty"`
+	ForkJoin []BlockJSON    `json:"forkjoin,omitempty"`
+	Blocks   []SPBlockJSON  `json:"blocks,omitempty"`
+}
+
+// CommIntervalJSON is one interval of a communication-aware pipeline
+// mapping: the stages from the previous interval's end (0 for the first)
+// up to end (exclusive) on processor proc.
+type CommIntervalJSON struct {
+	End  int `json:"end"`
+	Proc int `json:"proc"`
+}
+
+// CommForkBlockJSON is one block of a communication-aware fork mapping.
+type CommForkBlockJSON struct {
+	Proc   int   `json:"proc"`
+	Leaves []int `json:"leaves,omitempty"`
+}
+
+// CommForkMappingJSON is the wire form of a one-port fork mapping:
+// rootBlock indexes the block holding S0, sendOrder (optional) lists the
+// non-root block indices in the root's serialized send order.
+type CommForkMappingJSON struct {
+	RootBlock int                 `json:"rootBlock"`
+	Blocks    []CommForkBlockJSON `json:"blocks"`
+	SendOrder []int               `json:"sendOrder,omitempty"`
+}
+
 // SolutionJSON is the wire form of a core.Solution: the mapping (exactly
-// one of the three mapping fields is non-empty on feasible solutions),
-// its cost, and the solve provenance. FromSolution and
+// one of the mapping fields is non-empty on feasible solutions), its
+// cost, and the solve provenance. FromSolution and
 // SolutionJSON.Solution round-trip losslessly. See docs/wire-format.md.
 type SolutionJSON struct {
-	PipelineMapping []IntervalJSON `json:"pipelineMapping,omitempty"`
-	ForkMapping     []BlockJSON    `json:"forkMapping,omitempty"`
-	ForkJoinMapping []BlockJSON    `json:"forkjoinMapping,omitempty"`
+	PipelineMapping     []IntervalJSON       `json:"pipelineMapping,omitempty"`
+	ForkMapping         []BlockJSON          `json:"forkMapping,omitempty"`
+	ForkJoinMapping     []BlockJSON          `json:"forkjoinMapping,omitempty"`
+	SPMapping           *SPMappingJSON       `json:"spMapping,omitempty"`
+	CommPipelineMapping []CommIntervalJSON   `json:"commPipelineMapping,omitempty"`
+	CommForkMapping     *CommForkMappingJSON `json:"commForkMapping,omitempty"`
 
 	Period   float64 `json:"period"`
 	Latency  float64 `json:"latency"`
@@ -145,31 +195,107 @@ func FromSolution(sol core.Solution) SolutionJSON {
 	}
 	switch {
 	case sol.PipelineMapping != nil:
-		s.PipelineMapping = make([]IntervalJSON, len(sol.PipelineMapping.Intervals))
-		for i, iv := range sol.PipelineMapping.Intervals {
-			s.PipelineMapping[i] = IntervalJSON{
-				First: iv.First, Last: iv.Last,
-				Procs: iv.Procs, Mode: ModeName(iv.Mode),
-			}
-		}
+		s.PipelineMapping = encodeIntervals(sol.PipelineMapping.Intervals)
 	case sol.ForkMapping != nil:
-		s.ForkMapping = make([]BlockJSON, len(sol.ForkMapping.Blocks))
-		for i, b := range sol.ForkMapping.Blocks {
-			s.ForkMapping[i] = BlockJSON{
-				Root: b.Root, Leaves: b.Leaves,
-				Procs: b.Procs, Mode: ModeName(b.Mode),
-			}
-		}
+		s.ForkMapping = encodeForkBlocks(sol.ForkMapping.Blocks)
 	case sol.ForkJoinMapping != nil:
-		s.ForkJoinMapping = make([]BlockJSON, len(sol.ForkJoinMapping.Blocks))
-		for i, b := range sol.ForkJoinMapping.Blocks {
-			s.ForkJoinMapping[i] = BlockJSON{
-				Root: b.Root, Join: b.Join, Leaves: b.Leaves,
-				Procs: b.Procs, Mode: ModeName(b.Mode),
+		s.ForkJoinMapping = encodeForkJoinBlocks(sol.ForkJoinMapping.Blocks)
+	case sol.SPMapping != nil:
+		m := sol.SPMapping
+		sm := &SPMappingJSON{Reduced: m.Reduced.String(), Order: m.Order}
+		switch {
+		case m.Pipeline != nil:
+			sm.Pipeline = encodeIntervals(m.Pipeline.Intervals)
+		case m.Fork != nil:
+			sm.Fork = encodeForkBlocks(m.Fork.Blocks)
+		case m.ForkJoin != nil:
+			sm.ForkJoin = encodeForkJoinBlocks(m.ForkJoin.Blocks)
+		default:
+			sm.Blocks = make([]SPBlockJSON, len(m.Blocks))
+			for i, b := range m.Blocks {
+				sm.Blocks[i] = SPBlockJSON{Proc: b.Proc, Steps: b.Steps}
 			}
 		}
+		s.SPMapping = sm
+	case sol.CommPipelineMapping != nil:
+		m := sol.CommPipelineMapping
+		s.CommPipelineMapping = make([]CommIntervalJSON, len(m.Bounds))
+		for i, end := range m.Bounds {
+			s.CommPipelineMapping[i] = CommIntervalJSON{End: end, Proc: m.Alloc[i]}
+		}
+	case sol.CommForkMapping != nil:
+		m := sol.CommForkMapping
+		cm := &CommForkMappingJSON{RootBlock: m.RootBlock, SendOrder: m.SendOrder}
+		cm.Blocks = make([]CommForkBlockJSON, len(m.Blocks))
+		for i, b := range m.Blocks {
+			cm.Blocks[i] = CommForkBlockJSON{Proc: b.Proc, Leaves: b.Leaves}
+		}
+		s.CommForkMapping = cm
 	}
 	return s
+}
+
+func encodeIntervals(ivs []mapping.PipelineInterval) []IntervalJSON {
+	out := make([]IntervalJSON, len(ivs))
+	for i, iv := range ivs {
+		out[i] = IntervalJSON{First: iv.First, Last: iv.Last, Procs: iv.Procs, Mode: ModeName(iv.Mode)}
+	}
+	return out
+}
+
+func encodeForkBlocks(bs []mapping.ForkBlock) []BlockJSON {
+	out := make([]BlockJSON, len(bs))
+	for i, b := range bs {
+		out[i] = BlockJSON{Root: b.Root, Leaves: b.Leaves, Procs: b.Procs, Mode: ModeName(b.Mode)}
+	}
+	return out
+}
+
+func encodeForkJoinBlocks(bs []mapping.ForkJoinBlock) []BlockJSON {
+	out := make([]BlockJSON, len(bs))
+	for i, b := range bs {
+		out[i] = BlockJSON{Root: b.Root, Join: b.Join, Leaves: b.Leaves, Procs: b.Procs, Mode: ModeName(b.Mode)}
+	}
+	return out
+}
+
+func decodeIntervals(ivs []IntervalJSON) (*mapping.PipelineMapping, error) {
+	m := &mapping.PipelineMapping{Intervals: make([]mapping.PipelineInterval, len(ivs))}
+	for i, iv := range ivs {
+		mode, err := ParseMode(iv.Mode)
+		if err != nil {
+			return nil, err
+		}
+		m.Intervals[i] = mapping.NewPipelineInterval(iv.First, iv.Last, mode, iv.Procs...)
+	}
+	return m, nil
+}
+
+func decodeForkBlocks(bs []BlockJSON) (*mapping.ForkMapping, error) {
+	m := &mapping.ForkMapping{Blocks: make([]mapping.ForkBlock, len(bs))}
+	for i, b := range bs {
+		mode, err := ParseMode(b.Mode)
+		if err != nil {
+			return nil, err
+		}
+		if b.Join {
+			return nil, fmt.Errorf("instance: fork block %d sets join", i)
+		}
+		m.Blocks[i] = mapping.NewForkBlock(b.Root, b.Leaves, mode, b.Procs...)
+	}
+	return m, nil
+}
+
+func decodeForkJoinBlocks(bs []BlockJSON) (*mapping.ForkJoinMapping, error) {
+	m := &mapping.ForkJoinMapping{Blocks: make([]mapping.ForkJoinBlock, len(bs))}
+	for i, b := range bs {
+		mode, err := ParseMode(b.Mode)
+		if err != nil {
+			return nil, err
+		}
+		m.Blocks[i] = mapping.NewForkJoinBlock(b.Root, b.Join, b.Leaves, mode, b.Procs...)
+	}
+	return m, nil
 }
 
 // Solution converts the wire form back into a core.Solution. At most one
@@ -219,45 +345,117 @@ func (s SolutionJSON) Solution() (core.Solution, error) {
 	mappings := 0
 	if len(s.PipelineMapping) > 0 {
 		mappings++
-		m := &mapping.PipelineMapping{Intervals: make([]mapping.PipelineInterval, len(s.PipelineMapping))}
-		for i, iv := range s.PipelineMapping {
-			mode, err := ParseMode(iv.Mode)
-			if err != nil {
-				return core.Solution{}, err
-			}
-			m.Intervals[i] = mapping.NewPipelineInterval(iv.First, iv.Last, mode, iv.Procs...)
+		m, err := decodeIntervals(s.PipelineMapping)
+		if err != nil {
+			return core.Solution{}, err
 		}
 		sol.PipelineMapping = m
 	}
 	if len(s.ForkMapping) > 0 {
 		mappings++
-		m := &mapping.ForkMapping{Blocks: make([]mapping.ForkBlock, len(s.ForkMapping))}
-		for i, b := range s.ForkMapping {
-			mode, err := ParseMode(b.Mode)
-			if err != nil {
-				return core.Solution{}, err
-			}
-			if b.Join {
-				return core.Solution{}, fmt.Errorf("instance: forkMapping block %d sets join", i)
-			}
-			m.Blocks[i] = mapping.NewForkBlock(b.Root, b.Leaves, mode, b.Procs...)
+		m, err := decodeForkBlocks(s.ForkMapping)
+		if err != nil {
+			return core.Solution{}, err
 		}
 		sol.ForkMapping = m
 	}
 	if len(s.ForkJoinMapping) > 0 {
 		mappings++
-		m := &mapping.ForkJoinMapping{Blocks: make([]mapping.ForkJoinBlock, len(s.ForkJoinMapping))}
-		for i, b := range s.ForkJoinMapping {
-			mode, err := ParseMode(b.Mode)
-			if err != nil {
-				return core.Solution{}, err
-			}
-			m.Blocks[i] = mapping.NewForkJoinBlock(b.Root, b.Join, b.Leaves, mode, b.Procs...)
+		m, err := decodeForkJoinBlocks(s.ForkJoinMapping)
+		if err != nil {
+			return core.Solution{}, err
 		}
 		sol.ForkJoinMapping = m
 	}
+	if s.SPMapping != nil {
+		mappings++
+		m, err := s.SPMapping.decode()
+		if err != nil {
+			return core.Solution{}, err
+		}
+		sol.SPMapping = m
+	}
+	if len(s.CommPipelineMapping) > 0 {
+		mappings++
+		m := &fullmodel.Mapping{
+			Bounds: make([]int, len(s.CommPipelineMapping)),
+			Alloc:  make([]int, len(s.CommPipelineMapping)),
+		}
+		for i, iv := range s.CommPipelineMapping {
+			m.Bounds[i] = iv.End
+			m.Alloc[i] = iv.Proc
+		}
+		sol.CommPipelineMapping = m
+	}
+	if s.CommForkMapping != nil {
+		mappings++
+		m := &fullmodel.ForkMapping{
+			RootBlock: s.CommForkMapping.RootBlock,
+			Blocks:    make([]fullmodel.ForkBlock, len(s.CommForkMapping.Blocks)),
+			SendOrder: s.CommForkMapping.SendOrder,
+		}
+		for i, b := range s.CommForkMapping.Blocks {
+			m.Blocks[i] = fullmodel.ForkBlock{Proc: b.Proc, Leaves: b.Leaves}
+		}
+		sol.CommForkMapping = m
+	}
 	if mappings > 1 {
-		return core.Solution{}, fmt.Errorf("instance: at most one of pipelineMapping, forkMapping, forkjoinMapping may be set")
+		return core.Solution{}, fmt.Errorf("instance: at most one of pipelineMapping, forkMapping, forkjoinMapping, spMapping, commPipelineMapping, commForkMapping may be set")
 	}
 	return sol, nil
+}
+
+// decode converts the wire SP mapping; the embedded shape must match the
+// reduced kind name — a "pipeline" reduction with fork blocks (or an
+// irreducible "sp" mapping without blocks) is malformed.
+func (sm SPMappingJSON) decode() (*mapping.SPMapping, error) {
+	spec, err := core.KindByName(sm.Reduced)
+	if err != nil {
+		return nil, fmt.Errorf("instance: spMapping reduced kind: %w", err)
+	}
+	m := &mapping.SPMapping{Reduced: spec.Kind, Order: sm.Order}
+	shapes := 0
+	if len(sm.Pipeline) > 0 {
+		shapes++
+		if m.Pipeline, err = decodeIntervals(sm.Pipeline); err != nil {
+			return nil, err
+		}
+	}
+	if len(sm.Fork) > 0 {
+		shapes++
+		if m.Fork, err = decodeForkBlocks(sm.Fork); err != nil {
+			return nil, err
+		}
+	}
+	if len(sm.ForkJoin) > 0 {
+		shapes++
+		if m.ForkJoin, err = decodeForkJoinBlocks(sm.ForkJoin); err != nil {
+			return nil, err
+		}
+	}
+	if len(sm.Blocks) > 0 {
+		shapes++
+		m.Blocks = make([]mapping.SPBlock, len(sm.Blocks))
+		for i, b := range sm.Blocks {
+			m.Blocks[i] = mapping.SPBlock{Proc: b.Proc, Steps: b.Steps}
+		}
+	}
+	if shapes != 1 {
+		return nil, fmt.Errorf("instance: spMapping needs exactly one of pipeline, fork, forkjoin, blocks (got %d)", shapes)
+	}
+	ok := false
+	switch spec.Kind {
+	case workflow.KindPipeline:
+		ok = m.Pipeline != nil
+	case workflow.KindFork:
+		ok = m.Fork != nil
+	case workflow.KindForkJoin:
+		ok = m.ForkJoin != nil
+	case workflow.KindSP:
+		ok = m.Blocks != nil
+	}
+	if !ok {
+		return nil, fmt.Errorf("instance: spMapping shape does not match reduced kind %q", sm.Reduced)
+	}
+	return m, nil
 }

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repliflow/internal/core"
+	"repliflow/internal/fullmodel"
 	"repliflow/internal/platform"
 	"repliflow/internal/workflow"
 )
@@ -18,12 +19,32 @@ func solveKinds(t *testing.T) []core.Solution {
 	pipe := workflow.NewPipeline(14, 4, 2, 4)
 	fork := workflow.NewFork(2, 1, 3, 2)
 	fj := workflow.NewForkJoin(2, 1, 1, 3, 2)
+	// A diamond collapses onto a fork-join; the chord b -> c makes the
+	// second graph irreducible, so its mapping uses direct SP blocks.
+	spReduced := workflow.NewSP(
+		workflow.SPStep{Name: "a", Weight: 1},
+		workflow.SPStep{Name: "b", Weight: 2, After: []string{"a"}},
+		workflow.SPStep{Name: "c", Weight: 3, After: []string{"a"}},
+		workflow.SPStep{Name: "d", Weight: 1, After: []string{"b", "c"}},
+	)
+	spIrreducible := workflow.NewSP(
+		workflow.SPStep{Name: "a", Weight: 1},
+		workflow.SPStep{Name: "b", Weight: 2, After: []string{"a"}},
+		workflow.SPStep{Name: "c", Weight: 3, After: []string{"a", "b"}},
+		workflow.SPStep{Name: "d", Weight: 1, After: []string{"b", "c"}},
+	)
+	commPipe := fullmodel.NewPipeline([]float64{3, 1, 2}, []float64{1, 2, 1, 1})
+	commFork := fullmodel.Fork{Root: 2, In: 1, Out0: 1, Weights: []float64{3, 1}, Outs: []float64{1, 1}}
 	problems := []core.Problem{
 		{Pipeline: &pipe, Platform: platform.Homogeneous(3, 1), AllowDataParallel: true, Objective: core.MinLatency},
 		{Fork: &fork, Platform: platform.New(1, 2), Objective: core.MinPeriod},
 		{ForkJoin: &fj, Platform: platform.Homogeneous(3, 2), Objective: core.MinPeriod},
 		// Infeasible: bound far below the achievable period.
 		{Pipeline: &pipe, Platform: platform.Homogeneous(3, 1), Objective: core.LatencyUnderPeriod, Bound: 0.01},
+		{SP: &spReduced, Platform: platform.New(1, 2, 1), Objective: core.MinPeriod},
+		{SP: &spIrreducible, Platform: platform.New(1, 2), Objective: core.MinLatency},
+		{CommPipeline: &commPipe, Bandwidth: &fullmodel.Bandwidth{Uniform: 4}, Platform: platform.Homogeneous(2, 1), Objective: core.MinPeriod},
+		{CommFork: &commFork, Bandwidth: &fullmodel.Bandwidth{Uniform: 2}, Platform: platform.New(1, 2, 1), Objective: core.MinPeriod},
 	}
 	sols := make([]core.Solution, len(problems))
 	for i, pr := range problems {
@@ -124,6 +145,31 @@ func TestSolutionRejectsBadWire(t *testing.T) {
 			Method: "heuristic", Complexity: "np-hard",
 			PipelineMapping: []IntervalJSON{{Procs: []int{0}, Mode: "replicated"}},
 			ForkMapping:     []BlockJSON{{Procs: []int{0}, Mode: "replicated"}},
+		}},
+		{"sp mapping with unknown reduced kind", SolutionJSON{
+			Method: "exhaustive", Complexity: "np-hard",
+			SPMapping: &SPMappingJSON{Reduced: "tree", Blocks: []SPBlockJSON{{Proc: 0, Steps: []int{0}}}},
+		}},
+		{"sp mapping shape mismatching reduced kind", SolutionJSON{
+			Method: "exhaustive", Complexity: "np-hard",
+			SPMapping: &SPMappingJSON{Reduced: "pipeline", Blocks: []SPBlockJSON{{Proc: 0, Steps: []int{0}}}},
+		}},
+		{"sp mapping with two shapes", SolutionJSON{
+			Method: "exhaustive", Complexity: "np-hard",
+			SPMapping: &SPMappingJSON{
+				Reduced:  "pipeline",
+				Pipeline: []IntervalJSON{{Procs: []int{0}, Mode: "replicated"}},
+				Blocks:   []SPBlockJSON{{Proc: 0, Steps: []int{0}}},
+			},
+		}},
+		{"sp mapping without a shape", SolutionJSON{
+			Method: "exhaustive", Complexity: "np-hard",
+			SPMapping: &SPMappingJSON{Reduced: "sp"},
+		}},
+		{"sp mapping alongside comm mapping", SolutionJSON{
+			Method: "exhaustive", Complexity: "np-hard",
+			SPMapping:           &SPMappingJSON{Reduced: "sp", Blocks: []SPBlockJSON{{Proc: 0, Steps: []int{0}}}},
+			CommPipelineMapping: []CommIntervalJSON{{End: 1, Proc: 0}},
 		}},
 	}
 	for _, tc := range cases {

@@ -1,0 +1,80 @@
+package mapping
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repliflow/internal/workflow"
+)
+
+// SPBlock assigns a set of SP steps (indices into SP.Steps) to one
+// processor. The SP cost model has no replication or data-parallel mode:
+// a block is a plain single-processor assignment, matching the
+// communication-free reading of the paper's interval mappings.
+type SPBlock struct {
+	Proc  int
+	Steps []int
+}
+
+// SPMapping is the solution mapping of a series-parallel instance. It has
+// two shapes:
+//
+//   - Reduced: the decomposer collapsed the DAG onto one of the three
+//     legacy graphs; Reduced names the shape, Order maps canonical stage
+//     positions of the reduced graph back to step indices of the SP graph,
+//     and exactly one of Pipeline/Fork/ForkJoin carries the legacy mapping
+//     (byte-identical to solving the reduced instance directly).
+//   - Direct (Reduced == workflow.KindSP): the irreducible DAG was solved
+//     in the block model; Blocks partitions the steps over distinct
+//     processors.
+type SPMapping struct {
+	Reduced  workflow.Kind
+	Order    []int
+	Pipeline *PipelineMapping
+	Fork     *ForkMapping
+	ForkJoin *ForkJoinMapping
+	Blocks   []SPBlock
+}
+
+// String renders the mapping in a compact human-readable form.
+func (m SPMapping) String() string {
+	switch m.Reduced {
+	case workflow.KindPipeline:
+		if m.Pipeline != nil {
+			return fmt.Sprintf("sp->pipeline %v", *m.Pipeline)
+		}
+	case workflow.KindFork:
+		if m.Fork != nil {
+			return fmt.Sprintf("sp->fork %v", *m.Fork)
+		}
+	case workflow.KindForkJoin:
+		if m.ForkJoin != nil {
+			return fmt.Sprintf("sp->fork-join %v", *m.ForkJoin)
+		}
+	}
+	parts := make([]string, len(m.Blocks))
+	for i, b := range m.Blocks {
+		steps := make([]string, len(b.Steps))
+		sorted := append([]int(nil), b.Steps...)
+		sort.Ints(sorted)
+		for j, s := range sorted {
+			steps[j] = fmt.Sprintf("s%d", s)
+		}
+		parts[i] = fmt.Sprintf("[{%s} on P%d]", strings.Join(steps, ","), b.Proc+1)
+	}
+	return strings.Join(parts, " ")
+}
+
+// UsedProcessors returns the number of processors enrolled by the mapping.
+func (m SPMapping) UsedProcessors() int {
+	switch {
+	case m.Pipeline != nil:
+		return m.Pipeline.UsedProcessors()
+	case m.Fork != nil:
+		return m.Fork.UsedProcessors()
+	case m.ForkJoin != nil:
+		return m.ForkJoin.UsedProcessors()
+	}
+	return len(m.Blocks)
+}

@@ -16,7 +16,7 @@ import (
 	"repliflow/internal/engine"
 	"repliflow/internal/instance"
 	"repliflow/internal/store"
-	"repliflow/internal/workflow"
+	"strings"
 )
 
 // Config tunes a Server. The zero value is usable: every field has a
@@ -837,24 +837,32 @@ func cellInfo(key core.CellKey) (CellInfo, bool) {
 	}, true
 }
 
+// kindNamesList renders the registered wire kind names for error text.
+func kindNamesList() string {
+	specs := core.KindSpecs()
+	names := make([]string, len(specs))
+	for i, spec := range specs {
+		names[i] = spec.Name
+	}
+	return strings.Join(names, ", ")
+}
+
 // cellKeyFromQuery parses the /v1/classify query parameters. kind is
-// required; platform and graph default to "het", dp to false, objective
-// to min-period.
+// required and resolved against the kind registry; platform and graph
+// default to "het", dp to false, objective to min-period.
 func cellKeyFromQuery(kind, plat, graph, dp, objective string) (core.CellKey, error) {
 	var key core.CellKey
-	switch kind {
-	case "pipeline":
-		key.Kind = workflow.KindPipeline
-	case "fork":
-		key.Kind = workflow.KindFork
-	case "forkjoin", "fork-join":
-		key.Kind = workflow.KindForkJoin
-	case "":
-		return key, fmt.Errorf("missing kind (want pipeline, fork or forkjoin)")
-	default:
-		return key, fmt.Errorf("unknown kind %q (want pipeline, fork or forkjoin)", kind)
+	if kind == "" {
+		return key, fmt.Errorf("missing kind (want one of %s)", kindNamesList())
 	}
-	var err error
+	if kind == "forkjoin" {
+		kind = "fork-join" // historical query-parameter alias
+	}
+	spec, err := core.KindByName(kind)
+	if err != nil {
+		return key, fmt.Errorf("unknown kind %q (want one of %s)", kind, kindNamesList())
+	}
+	key.Kind = spec.Kind
 	if key.PlatformHomogeneous, err = parseHom("platform", plat); err != nil {
 		return key, err
 	}
@@ -864,6 +872,9 @@ func cellKeyFromQuery(kind, plat, graph, dp, objective string) (core.CellKey, er
 	if dp != "" {
 		if key.DataParallel, err = strconv.ParseBool(dp); err != nil {
 			return key, fmt.Errorf("bad dp %q (want true or false)", dp)
+		}
+		if key.DataParallel && !spec.DataParallel {
+			return key, fmt.Errorf("kind %q has no data-parallel mapping model", spec.Name)
 		}
 	}
 	if objective == "" {

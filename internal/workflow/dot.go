@@ -36,6 +36,24 @@ func (f Fork) DOT() string {
 	return b.String()
 }
 
+// DOT renders the SP DAG as a Graphviz digraph. Node identifiers are the
+// step indices so arbitrary step names never need escaping beyond labels.
+func (g SP) DOT() string {
+	var b strings.Builder
+	b.WriteString("digraph sp {\n  rankdir=LR;\n  node [shape=box];\n")
+	for i, s := range g.Steps {
+		fmt.Fprintf(&b, "  n%d [label=\"%s\\nw=%s\"];\n", i, strings.ReplaceAll(s.Name, `"`, `\"`), trimFloat(s.Weight))
+	}
+	idx := g.index()
+	for i, s := range g.Steps {
+		for _, a := range s.After {
+			fmt.Fprintf(&b, "  n%d -> n%d;\n", idx[a], i)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
 // DOT renders the fork-join as a Graphviz digraph.
 func (fj ForkJoin) DOT() string {
 	var b strings.Builder

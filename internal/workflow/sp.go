@@ -1,0 +1,275 @@
+package workflow
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+)
+
+// SPStep is one step of a series-parallel DAG workflow. A step runs only
+// after every step named in After has finished; steps with no After entry
+// are sources. Names are the identity used on the wire and in mappings.
+type SPStep struct {
+	Name   string
+	Weight float64
+	After  []string
+}
+
+// SP is a DAG workflow over named steps, in the style of step/After
+// workflow builders. The three legacy shapes are trivial SP graphs: a
+// chain is a pipeline, a root whose successors are all sinks is a fork,
+// and adding a common sink makes a fork-join.
+//
+// The zero value is invalid; build one with NewSP or SPBuilder and check
+// Validate before use.
+type SP struct {
+	Steps []SPStep
+}
+
+// NewSP returns an SP graph over the given steps. Slices are copied so the
+// caller may reuse its buffers.
+func NewSP(steps ...SPStep) SP {
+	out := make([]SPStep, len(steps))
+	for i, s := range steps {
+		out[i] = SPStep{Name: s.Name, Weight: s.Weight, After: append([]string(nil), s.After...)}
+	}
+	return SP{Steps: out}
+}
+
+// SPBuilder accumulates steps fluently:
+//
+//	var b workflow.SPBuilder
+//	b.Step("prepare", 2)
+//	b.Step("build", 4, workflow.After("prepare")...)
+//	g, err := b.Build()
+type SPBuilder struct {
+	steps []SPStep
+}
+
+// After is a readability helper for SPBuilder.Step dependency lists.
+func After(names ...string) []string { return names }
+
+// Step appends a step that runs after the named predecessors.
+func (b *SPBuilder) Step(name string, weight float64, after ...string) *SPBuilder {
+	b.steps = append(b.steps, SPStep{Name: name, Weight: weight, After: append([]string(nil), after...)})
+	return b
+}
+
+// Build returns the accumulated graph, validated.
+func (b *SPBuilder) Build() (SP, error) {
+	g := NewSP(b.steps...)
+	if err := g.Validate(); err != nil {
+		return SP{}, err
+	}
+	return g, nil
+}
+
+// Stages returns the number of steps.
+func (g SP) Stages() int { return len(g.Steps) }
+
+// TotalWork returns the sum of all step weights.
+func (g SP) TotalWork() float64 {
+	var w float64
+	for _, s := range g.Steps {
+		w += s.Weight
+	}
+	return w
+}
+
+// IsHomogeneous reports whether all step weights are equal.
+func (g SP) IsHomogeneous() bool {
+	for _, s := range g.Steps[1:] {
+		if s.Weight != g.Steps[0].Weight {
+			return false
+		}
+	}
+	return true
+}
+
+// index returns the name -> step-index map. Callers must have validated
+// name uniqueness first.
+func (g SP) index() map[string]int {
+	idx := make(map[string]int, len(g.Steps))
+	for i, s := range g.Steps {
+		idx[s.Name] = i
+	}
+	return idx
+}
+
+// Preds returns, for each step, the indices of its predecessors in Steps
+// order. The graph must be valid.
+func (g SP) Preds() [][]int {
+	idx := g.index()
+	preds := make([][]int, len(g.Steps))
+	for i, s := range g.Steps {
+		for _, a := range s.After {
+			preds[i] = append(preds[i], idx[a])
+		}
+		sort.Ints(preds[i])
+	}
+	return preds
+}
+
+// Succs returns, for each step, the indices of its successors.
+func (g SP) Succs() [][]int {
+	succs := make([][]int, len(g.Steps))
+	for i, ps := range g.Preds() {
+		for _, p := range ps {
+			succs[p] = append(succs[p], i)
+		}
+	}
+	return succs
+}
+
+// Validate checks the graph is a well-formed DAG: at least one step,
+// non-empty unique names, strictly positive weights, no dangling or
+// duplicate After references and no dependency cycle.
+func (g SP) Validate() error {
+	if len(g.Steps) == 0 {
+		return errors.New("workflow: sp graph has no step")
+	}
+	idx := make(map[string]int, len(g.Steps))
+	for i, s := range g.Steps {
+		if s.Name == "" {
+			return fmt.Errorf("workflow: sp step %d has an empty name", i)
+		}
+		if prev, dup := idx[s.Name]; dup {
+			return fmt.Errorf("workflow: duplicate sp step name %q (steps %d and %d)", s.Name, prev, i)
+		}
+		idx[s.Name] = i
+		if s.Weight <= 0 {
+			return fmt.Errorf("workflow: sp step %q has non-positive weight %v", s.Name, s.Weight)
+		}
+	}
+	for i, s := range g.Steps {
+		seen := make(map[string]bool, len(s.After))
+		for _, a := range s.After {
+			if _, ok := idx[a]; !ok {
+				return fmt.Errorf("workflow: sp step %q depends on unknown step %q", s.Name, a)
+			}
+			if seen[a] {
+				return fmt.Errorf("workflow: sp step %q lists dependency %q twice", s.Name, a)
+			}
+			seen[a] = true
+			if a == g.Steps[i].Name {
+				return fmt.Errorf("workflow: sp step %q depends on itself", s.Name)
+			}
+		}
+	}
+	if _, err := g.Topo(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Topo returns a deterministic topological order of step indices (Kahn's
+// algorithm with smallest-index tie-breaking) or an error naming a step on
+// a dependency cycle. This order is the canonical schedule order used by
+// the SP cost model.
+func (g SP) Topo() ([]int, error) {
+	n := len(g.Steps)
+	idx := g.index()
+	indeg := make([]int, n)
+	succs := make([][]int, n)
+	for i, s := range g.Steps {
+		for _, a := range s.After {
+			p := idx[a]
+			indeg[i]++
+			succs[p] = append(succs[p], i)
+		}
+	}
+	var ready []int
+	for i := 0; i < n; i++ {
+		if indeg[i] == 0 {
+			ready = append(ready, i)
+		}
+	}
+	order := make([]int, 0, n)
+	for len(ready) > 0 {
+		sort.Ints(ready)
+		v := ready[0]
+		ready = ready[1:]
+		order = append(order, v)
+		for _, s := range succs[v] {
+			indeg[s]--
+			if indeg[s] == 0 {
+				ready = append(ready, s)
+			}
+		}
+	}
+	if len(order) != n {
+		for i := 0; i < n; i++ {
+			if indeg[i] > 0 {
+				return nil, fmt.Errorf("workflow: sp step %q is on a dependency cycle", g.Steps[i].Name)
+			}
+		}
+	}
+	return order, nil
+}
+
+// RandomSP returns a valid random SP-style DAG with n steps, integer
+// weights in [1, maxW], and structure bounded by maxDepth levels and
+// maxFanout predecessors per step. Steps are distributed over levels;
+// each non-source step depends on one to maxFanout steps of the previous
+// level, so depth and fanout stay bounded while still producing chains,
+// diamonds and irreducible shapes.
+func RandomSP(rng *rand.Rand, n, maxW, maxDepth, maxFanout int) SP {
+	if n < 1 {
+		n = 1
+	}
+	if maxDepth < 1 {
+		maxDepth = 1
+	}
+	if maxFanout < 1 {
+		maxFanout = 1
+	}
+	depth := 1 + rng.Intn(maxDepth)
+	if depth > n {
+		depth = n
+	}
+	// Assign each step to a level; every level gets at least one step.
+	levels := make([][]int, depth)
+	for i := 0; i < n; i++ {
+		var l int
+		if i < depth {
+			l = i
+		} else {
+			l = rng.Intn(depth)
+		}
+		levels[l] = append(levels[l], i)
+	}
+	steps := make([]SPStep, n)
+	for i := range steps {
+		steps[i] = SPStep{Name: fmt.Sprintf("s%d", i), Weight: float64(1 + rng.Intn(maxW))}
+	}
+	for l := 1; l < depth; l++ {
+		prev := levels[l-1]
+		for _, i := range levels[l] {
+			k := 1 + rng.Intn(maxFanout)
+			if k > len(prev) {
+				k = len(prev)
+			}
+			picked := rng.Perm(len(prev))[:k]
+			sort.Ints(picked)
+			for _, p := range picked {
+				steps[i].After = append(steps[i].After, steps[prev[p]].Name)
+			}
+		}
+	}
+	return SP{Steps: steps}
+}
+
+// Render returns a one-line-per-step rendering of the DAG.
+func (g SP) Render() string {
+	var b strings.Builder
+	for _, s := range g.Steps {
+		if len(s.After) == 0 {
+			fmt.Fprintf(&b, "%s (%s)\n", s.Name, trimFloat(s.Weight))
+		} else {
+			fmt.Fprintf(&b, "%s (%s) <- %s\n", s.Name, trimFloat(s.Weight), strings.Join(s.After, ", "))
+		}
+	}
+	return b.String()
+}

@@ -29,6 +29,18 @@ const (
 	// KindForkJoin is the Section 6.3 extension: a fork whose independent
 	// stages all feed a final join stage S_{n+1}.
 	KindForkJoin
+	// KindSP is a general series-parallel DAG of named steps with
+	// After(...) dependencies. Instances that collapse onto one of the
+	// three shapes above are solved exactly by reduction; the rest go
+	// through the spdecomp block solver.
+	KindSP
+	// KindCommPipeline is the communication-aware pipeline of
+	// Sections 3.2-3.3 (internal/fullmodel): stage weights plus data sizes
+	// delta_k and a bandwidth-annotated platform.
+	KindCommPipeline
+	// KindCommFork is the communication-aware one-port fork model of
+	// internal/fullmodel: the root broadcasts its outputs sequentially.
+	KindCommFork
 )
 
 // String implements fmt.Stringer.
@@ -40,6 +52,12 @@ func (k Kind) String() string {
 		return "fork"
 	case KindForkJoin:
 		return "fork-join"
+	case KindSP:
+		return "sp"
+	case KindCommPipeline:
+		return "comm-pipeline"
+	case KindCommFork:
+		return "comm-fork"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
