@@ -731,3 +731,109 @@ func BenchmarkSolveSP(b *testing.B) {
 		}
 	})
 }
+
+// irreducibleSP returns the fixed 8-step layered DAG with crossing
+// dependencies used by the SP parallelism benchmarks. The crossings (d
+// depends on both a and b, which have disjoint other successors) defeat
+// the series/parallel reduction, so core.Solve must run the monolithic
+// block enumeration — the path the sharded parallel search accelerates.
+func irreducibleSP(b *testing.B) workflow.SP {
+	g := workflow.NewSP(
+		workflow.SPStep{Name: "a", Weight: 7},
+		workflow.SPStep{Name: "b", Weight: 5},
+		workflow.SPStep{Name: "c", Weight: 3, After: workflow.After("a")},
+		workflow.SPStep{Name: "d", Weight: 9, After: workflow.After("a", "b")},
+		workflow.SPStep{Name: "e", Weight: 4, After: workflow.After("b")},
+		workflow.SPStep{Name: "f", Weight: 6, After: workflow.After("c", "d")},
+		workflow.SPStep{Name: "g", Weight: 2, After: workflow.After("d", "e")},
+		workflow.SPStep{Name: "h", Weight: 8, After: workflow.After("f", "g")},
+	)
+	if _, ok := spdecomp.Reduce(g); ok {
+		b.Fatal("benchmark fixture reduced to a legacy kind; the SP block search would be bypassed")
+	}
+	return g
+}
+
+// BenchmarkSolveSPParallel measures ONE irreducible SP block enumeration
+// — serial versus the sharded parallel search (Options.Parallelism) —
+// mirroring BenchmarkSolveSingleLarge for the SP kind. At -cpu 1 both
+// sub-benchmarks are the serial path (searchParallelism resolves -1 to
+// one worker); at -cpu 4 the Parallel sub runs four workers sharing the
+// atomic incumbent bound. The solutions are asserted byte-identical —
+// the determinism contract of the sharded scan.
+func BenchmarkSolveSPParallel(b *testing.B) {
+	g := irreducibleSP(b)
+	pl := platform.New(5, 4, 3, 2)
+	pr := core.Problem{SP: &g, Platform: pl, Objective: core.MinPeriod}
+	opts := core.Options{MaxExhaustiveForkStages: 9, MaxExhaustiveForkProcs: pl.Processors()}
+
+	var serial, parallel core.Solution
+	b.Run("Serial", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sol, err := core.Solve(pr, opts)
+			if err != nil || !sol.Feasible || !sol.Exact || sol.SPMapping == nil {
+				b.Fatalf("bad solve: %+v (err=%v)", sol, err)
+			}
+			serial = sol
+		}
+	})
+	b.Run("Parallel", func(b *testing.B) {
+		popts := opts
+		popts.Parallelism = -1 // all CPUs of this -cpu run
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sol, err := core.Solve(pr, popts)
+			if err != nil || !sol.Feasible || !sol.Exact || sol.SPMapping == nil {
+				b.Fatalf("bad solve: %+v (err=%v)", sol, err)
+			}
+			parallel = sol
+		}
+	})
+	if serial.SPMapping != nil && parallel.SPMapping != nil &&
+		!reflect.DeepEqual(serial, parallel) {
+		b.Fatal("parallel SP solve diverges from serial solve")
+	}
+}
+
+// BenchmarkCommPipelinePareto sweeps the full trade-off front of a
+// heterogeneous communication-aware pipeline — the acceptance benchmark
+// of the prepared comm solvers. Serial is the candidate-period sweep
+// through core.ParetoFront (one cold solve per bound); Engine routes the
+// sweep through the engine's prepared-solver pool, so the platform
+// table, the interval-DP scratch and the candidate-period set are built
+// once and every bound after the first is a warm solve. The fronts are
+// asserted byte-identical.
+func BenchmarkCommPipelinePareto(b *testing.B) {
+	p := fullmodel.NewPipeline(
+		[]float64{8, 3, 5, 2, 7, 4},
+		[]float64{1, 4, 2, 6, 3, 2, 1},
+	)
+	pl := platform.New(5, 4, 3, 2, 2)
+	pr := core.Problem{CommPipeline: &p, Bandwidth: &fullmodel.Bandwidth{Uniform: 2}, Platform: pl}
+
+	var serialFront, engineFront []core.Solution
+	b.Run("Serial", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			front, err := core.ParetoFront(pr, core.Options{})
+			if err != nil || len(front) == 0 {
+				b.Fatalf("bad front: %v (err=%v)", len(front), err)
+			}
+			serialFront = front
+		}
+	})
+	b.Run("Engine", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			front, err := engine.ParetoFront(context.Background(), pr, core.Options{})
+			if err != nil || len(front) == 0 {
+				b.Fatalf("bad front: %v (err=%v)", len(front), err)
+			}
+			engineFront = front
+		}
+	})
+	if serialFront != nil && engineFront != nil && !reflect.DeepEqual(serialFront, engineFront) {
+		b.Fatal("engine comm front diverges from serial front")
+	}
+}

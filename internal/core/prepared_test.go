@@ -7,13 +7,15 @@ import (
 	"testing"
 	"time"
 
+	"repliflow/internal/fullmodel"
 	"repliflow/internal/platform"
 	"repliflow/internal/workflow"
 )
 
-// randomHardishProblem returns a random instance of any graph kind; about
-// half the draws land on NP-hard cells with the prepared capability, the
-// rest exercise the polynomial fallback inside PreparedSolver.Solve.
+// randomHardishProblem returns a random instance of any of the six graph
+// kinds; most draws land on cells with the prepared capability (NP-hard
+// legacy cells, SP decompositions, communication-aware cells), the rest
+// exercise the polynomial fallback inside PreparedSolver.Solve.
 func randomHardishProblem(rng *rand.Rand) Problem {
 	pr := Problem{AllowDataParallel: rng.Intn(2) == 0}
 	procs := 1 + rng.Intn(4)
@@ -22,16 +24,47 @@ func randomHardishProblem(rng *rand.Rand) Problem {
 	} else {
 		pr.Platform = platform.Random(rng, procs, 4)
 	}
-	switch rng.Intn(3) {
+	switch rng.Intn(6) {
 	case 0:
 		g := workflow.RandomPipeline(rng, 1+rng.Intn(5), 9)
 		pr.Pipeline = &g
 	case 1:
 		g := workflow.RandomFork(rng, 1+rng.Intn(3), 9)
 		pr.Fork = &g
-	default:
+	case 2:
 		g := workflow.RandomForkJoin(rng, 1+rng.Intn(2), 9)
 		pr.ForkJoin = &g
+	case 3:
+		g := workflow.RandomSP(rng, 1+rng.Intn(6), 9, 4, 3)
+		pr.SP = &g
+		pr.AllowDataParallel = false
+	case 4:
+		n := 1 + rng.Intn(5)
+		ws := make([]float64, n)
+		for i := range ws {
+			ws[i] = float64(1 + rng.Intn(9))
+		}
+		data := make([]float64, n+1)
+		for i := range data {
+			data[i] = float64(rng.Intn(5))
+		}
+		p := fullmodel.NewPipeline(ws, data)
+		pr.CommPipeline = &p
+		pr.Bandwidth = &fullmodel.Bandwidth{Uniform: float64(1 + rng.Intn(4))}
+		pr.AllowDataParallel = false
+	default:
+		leaves := rng.Intn(4)
+		f := fullmodel.Fork{
+			Root: float64(1 + rng.Intn(9)), In: float64(rng.Intn(3)), Out0: float64(rng.Intn(3)),
+			Weights: make([]float64, leaves), Outs: make([]float64, leaves),
+		}
+		for i := range f.Weights {
+			f.Weights[i] = float64(1 + rng.Intn(9))
+			f.Outs[i] = float64(rng.Intn(3))
+		}
+		pr.CommFork = &f
+		pr.Bandwidth = &fullmodel.Bandwidth{Uniform: float64(1 + rng.Intn(4))}
+		pr.AllowDataParallel = false
 	}
 	return pr
 }
@@ -48,8 +81,8 @@ func TestPreparedSolverMatchesSolveContext(t *testing.T) {
 		pr := randomHardishProblem(rng)
 		ps, ok := Prepare(pr, Options{})
 		if !ok {
-			// No prepared capability for this instance (all four cells
-			// polynomial): nothing to compare.
+			// No prepared capability for this instance (every registered
+			// cell polynomial): nothing to compare.
 			continue
 		}
 		prepared++

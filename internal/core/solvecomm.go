@@ -18,9 +18,17 @@ import (
 // comm-pipeline cells are only exact under uniform bandwidths.
 
 // commPlatform binds the instance's bandwidth description to its
-// processor speeds, yielding the fullmodel evaluation platform.
+// processor speeds, yielding the fullmodel evaluation platform. The
+// binding goes through the process-wide fullmodel.TableFor cache, so
+// repeated solves of one (speeds, bandwidth) pair — every Pareto sweep —
+// pay the uniform-bandwidth matrix expansion once.
 func commPlatform(pr Problem) fullmodel.Platform {
-	return pr.Bandwidth.Apply(pr.Platform.Speeds)
+	return commTable(pr).Plat
+}
+
+// commTable returns the shared bound-platform table of the instance.
+func commTable(pr Problem) *fullmodel.PlatTable {
+	return fullmodel.TableFor(pr.Platform.Speeds, *pr.Bandwidth)
 }
 
 // commGoal projects the problem objective onto the fullmodel goal.
@@ -72,6 +80,17 @@ func init() {
 		NeedsBandwidth:      true,
 		Classify:            classifyCommPipeline,
 		ExactlySolvable:     commPipeInLimits,
+		// Every comm-pipeline cell prepares: the hom-platform DP reuses its
+		// tables and candidate set, the het-platform exhaustive its scratch
+		// and memo, the oversized path its heuristic candidate evaluations.
+		Preparable: func(Problem, Options) bool { return true },
+		// Only the het-platform exhaustive scan has a partitioned path; the
+		// hom-platform DP is polynomial and stays serial.
+		ParallelWorthwhile: func(pr Problem) bool {
+			return !commPlatform(pr).IsFullyHomogeneous() &&
+				pr.CommPipeline.Stages() >= parMinForkItems &&
+				pr.Platform.Processors() >= parMinForkProcs
+		},
 		CandidatePeriods: func(pr Problem) []float64 {
 			return fullmodel.PeriodCandidates(*pr.CommPipeline, commPlatform(pr))
 		},
@@ -102,7 +121,11 @@ func init() {
 		Classify: func(CellKey) Classification {
 			return Classification{NPHard, "Section 3.3 (one-port fork)"}
 		},
-		ExactlySolvable:  commForkInLimits,
+		ExactlySolvable: commForkInLimits,
+		// Every comm-fork cell prepares; the fork scan itself stays serial
+		// (instances behind the limits are small enough that scratch reuse
+		// dominates), so there is no ParallelWorthwhile.
+		Preparable:       func(Problem, Options) bool { return true },
 		CandidatePeriods: commForkCandidatePeriods,
 		SeedMix: func(pr Problem, mix func(float64)) {
 			mix(pr.CommFork.Root)
@@ -136,9 +159,9 @@ func init() {
 				method = MethodBinarySearchDP
 			}
 			register(CellKey{workflow.KindCommPipeline, true, gh, false, obj},
-				SolverEntry{method, true, "Section 3.2 (hom. platform)", solveCommPipeHom, nil})
+				SolverEntry{method, true, "Section 3.2 (hom. platform)", solveCommPipeHom, prepareCommPipeHom})
 			register(CellKey{workflow.KindCommPipeline, false, gh, false, obj},
-				SolverEntry{MethodExhaustive, true, "Section 3.2 (het. platform)", solveCommPipeHard, nil})
+				SolverEntry{MethodExhaustive, true, "Section 3.2 (het. platform)", solveCommPipeHard, prepareCommPipeHard})
 		}
 	}
 	// Comm-fork cells: NP-hard on every axis combination (the one-port
@@ -147,7 +170,7 @@ func init() {
 		for _, gh := range bools {
 			for _, obj := range objs {
 				register(CellKey{workflow.KindCommFork, ph, gh, false, obj},
-					SolverEntry{MethodExhaustive, true, "Section 3.3 (one-port fork)", solveCommForkHard, nil})
+					SolverEntry{MethodExhaustive, true, "Section 3.3 (one-port fork)", solveCommForkHard, prepareCommFork})
 			}
 		}
 	}
@@ -237,7 +260,12 @@ func solveCommPipeHard(ctx context.Context, pr Problem, opts Options) (Solution,
 	cl := classificationOf(pr)
 	p, pl, goal := *pr.CommPipeline, commPlatform(pr), commGoal(pr)
 	if commPipeInLimits(pr, opts) {
-		m, c, ok, err := fullmodel.SolveExact(ctx, p, pl, goal)
+		pp, err := fullmodel.NewPipelinePreparedTable(p, commTable(pr))
+		if err != nil {
+			return Solution{}, err
+		}
+		pp.SetParallelism(searchParallelism(opts, pr))
+		m, c, ok, err := pp.SolveExact(ctx, goal)
 		if err != nil {
 			return Solution{}, err
 		}
@@ -294,4 +322,154 @@ func solveCommForkHard(ctx context.Context, pr Problem, opts Options) (Solution,
 		return infeasible(MethodHeuristic, false, cl), nil
 	}
 	return commForkSolution(cands[idx], full[idx], MethodHeuristic, false, cl), nil
+}
+
+// prepareCommPipeHom is the Prepare capability of the polynomial
+// hom-platform comm-pipeline cells: one fullmodel.PipelinePrepared —
+// shared bound-platform table, reusable DP arrays, the candidate-period
+// set, a per-goal memo — serves every objective of the family,
+// byte-identical to solveCommPipeHom.
+func prepareCommPipeHom(pr Problem, _ Options) *PreparedCell {
+	pp, err := fullmodel.NewPipelinePreparedTable(*pr.CommPipeline, commTable(pr))
+	if err != nil {
+		return nil
+	}
+	solve := func(_ context.Context, pr2 Problem) (Solution, error) {
+		cl := classificationOf(pr2)
+		method := methodForCommPipeObjective(pr2.Objective)
+		m, c, ok, err := pp.SolveHom(commGoal(pr2))
+		if err != nil {
+			return Solution{}, err
+		}
+		if !ok {
+			return infeasible(method, true, cl), nil
+		}
+		return commPipeSolution(m, c, method, true, cl), nil
+	}
+	return &PreparedCell{Solve: solve}
+}
+
+// prepareCommPipeHard is the Prepare capability of the NP-hard
+// het-platform comm-pipeline cells: within the exhaustive limits one
+// fullmodel.PipelinePrepared shares the work table, enumeration scratch
+// and per-goal memo (with the optionally partitioned scan), byte-identical
+// to solveCommPipeHard; beyond them the goal-independent heuristic
+// candidate set and its evaluations are computed once, leaving only the
+// per-goal bound check to each solve.
+func prepareCommPipeHard(pr Problem, opts Options) *PreparedCell {
+	p, t := *pr.CommPipeline, commTable(pr)
+	if commPipeInLimits(pr, opts) {
+		pp, err := fullmodel.NewPipelinePreparedTable(p, t)
+		if err != nil {
+			return nil
+		}
+		pp.SetParallelism(searchParallelism(opts, pr))
+		solve := func(ctx context.Context, pr2 Problem) (Solution, error) {
+			cl := classificationOf(pr2)
+			m, c, ok, err := pp.SolveExact(ctx, commGoal(pr2))
+			if err != nil {
+				return Solution{}, err
+			}
+			if !ok {
+				return infeasible(MethodExhaustive, true, cl), nil
+			}
+			return commPipeSolution(m, c, MethodExhaustive, true, cl), nil
+		}
+		return &PreparedCell{Solve: solve, SetParallelism: pp.SetParallelism}
+	}
+	cands := fullmodel.HeuristicCandidates(p, t.Plat)
+	costs := make([]mapping.Cost, len(cands))
+	full := make([]fullmodel.Cost, len(cands))
+	for i, m := range cands {
+		c, err := fullmodel.Eval(p, t.Plat, m)
+		if err != nil {
+			return nil
+		}
+		costs[i], full[i] = commCost(c), c
+	}
+	solve := func(_ context.Context, pr2 Problem) (Solution, error) {
+		cl := classificationOf(pr2)
+		idx, ok := pickBestIndex(costs, pr2)
+		if !ok {
+			return infeasible(MethodHeuristic, false, cl), nil
+		}
+		m := fullmodel.Mapping{
+			Bounds: append([]int(nil), cands[idx].Bounds...),
+			Alloc:  append([]int(nil), cands[idx].Alloc...),
+		}
+		return commPipeSolution(m, full[idx], MethodHeuristic, false, cl), nil
+	}
+	return &PreparedCell{Solve: solve}
+}
+
+// prepareCommFork is the Prepare capability of the one-port fork cells:
+// within the exhaustive limits one fullmodel.ForkPrepared shares the
+// partition/assignment scratch, send-order buffers and per-goal memo,
+// byte-identical to solveCommForkHard; beyond them the heuristic
+// candidate set (each finished with its latency-optimal send order) and
+// its evaluations are computed once.
+func prepareCommFork(pr Problem, opts Options) *PreparedCell {
+	f, t := *pr.CommFork, commTable(pr)
+	if commForkInLimits(pr, opts) {
+		fp, err := fullmodel.NewForkPrepared(f, t.Plat)
+		if err != nil {
+			return nil
+		}
+		solve := func(ctx context.Context, pr2 Problem) (Solution, error) {
+			cl := classificationOf(pr2)
+			m, c, ok, err := fp.SolveExact(ctx, commGoal(pr2))
+			if err != nil {
+				return Solution{}, err
+			}
+			if !ok {
+				return infeasible(MethodExhaustive, true, cl), nil
+			}
+			return commForkSolution(m, c, MethodExhaustive, true, cl), nil
+		}
+		return &PreparedCell{Solve: solve}
+	}
+	cands := fullmodel.ForkHeuristicCandidates(f, t.Plat)
+	costs := make([]mapping.Cost, len(cands))
+	full := make([]fullmodel.Cost, len(cands))
+	for i, m := range cands {
+		c, err := fullmodel.EvalFork(f, t.Plat, m, false)
+		if err != nil {
+			return nil
+		}
+		costs[i], full[i] = commCost(c), c
+	}
+	solve := func(_ context.Context, pr2 Problem) (Solution, error) {
+		cl := classificationOf(pr2)
+		idx, ok := pickBestIndex(costs, pr2)
+		if !ok {
+			return infeasible(MethodHeuristic, false, cl), nil
+		}
+		return commForkSolution(cloneCommForkMapping(cands[idx]), full[idx], MethodHeuristic, false, cl), nil
+	}
+	return &PreparedCell{Solve: solve}
+}
+
+// cloneCommForkMapping deep-copies a fork mapping so prepared solves
+// never hand out aliases of the cached candidate set. Nil-ness of every
+// slice is preserved so clones stay deep-equal to the one-shot results.
+func cloneCommForkMapping(m fullmodel.ForkMapping) fullmodel.ForkMapping {
+	out := fullmodel.ForkMapping{
+		RootBlock: m.RootBlock,
+		Blocks:    make([]fullmodel.ForkBlock, len(m.Blocks)),
+		SendOrder: cloneInts(m.SendOrder),
+	}
+	for i, b := range m.Blocks {
+		out.Blocks[i] = fullmodel.ForkBlock{Proc: b.Proc, Leaves: cloneInts(b.Leaves)}
+	}
+	return out
+}
+
+// cloneInts copies an int slice preserving nil-ness.
+func cloneInts(s []int) []int {
+	if s == nil {
+		return nil
+	}
+	out := make([]int, len(s))
+	copy(out, s)
+	return out
 }

@@ -69,6 +69,12 @@ func init() {
 			return pr.Fork.Leaves()+1 <= opts.MaxExhaustiveForkStages &&
 				pr.Platform.Processors() <= opts.MaxExhaustiveForkProcs
 		},
+		// Preparable mirrors prepareForkHard's gate: only the in-limit
+		// exhaustive path shares state worth preparing.
+		Preparable: func(pr Problem, opts Options) bool {
+			return pr.Fork.Leaves()+1 <= opts.MaxExhaustiveForkStages &&
+				pr.Platform.Processors() <= opts.MaxExhaustiveForkProcs
+		},
 		ParallelWorthwhile: func(pr Problem) bool {
 			return pr.Fork.Leaves()+1 >= parMinForkItems &&
 				pr.Platform.Processors() >= parMinForkProcs
@@ -95,6 +101,11 @@ func init() {
 		DataParallel:     true,
 		Classify:         classifyLegacy,
 		ExactlySolvable: func(pr Problem, opts Options) bool {
+			return pr.ForkJoin.Leaves()+2 <= opts.MaxExhaustiveForkStages &&
+				pr.Platform.Processors() <= opts.MaxExhaustiveForkProcs
+		},
+		// Preparable mirrors prepareForkJoinHard's gate.
+		Preparable: func(pr Problem, opts Options) bool {
 			return pr.ForkJoin.Leaves()+2 <= opts.MaxExhaustiveForkStages &&
 				pr.Platform.Processors() <= opts.MaxExhaustiveForkProcs
 		},

@@ -43,6 +43,11 @@ func init() {
 		ExactlySolvable: func(pr Problem, opts Options) bool {
 			return pr.Platform.Processors() <= opts.MaxExhaustivePipelineProcs
 		},
+		// Preparable mirrors preparePipelineHard's gate: only the in-limit
+		// exhaustive path shares state worth preparing.
+		Preparable: func(pr Problem, opts Options) bool {
+			return pr.Platform.Processors() <= opts.MaxExhaustivePipelineProcs
+		},
 		ParallelWorthwhile: func(pr Problem) bool {
 			return pr.Pipeline.Stages()<<pr.Platform.Processors() >= parMinPipelineStates
 		},

@@ -30,14 +30,14 @@ func init() {
 		// The SP block model has no replication or data-parallel mode
 		// (DataParallel false), so AllowDataParallel is rejected and only
 		// no-dp cells exist.
-		Classify:        classifySP,
-		ExactlySolvable: spExactlySolvable,
-		// No ParallelWorthwhile: the SP enumeration has no partitioned
-		// search path, so auto-mode parallelism stays serial.
-		CandidatePeriods:  spCandidatePeriods,
-		Anytime:           solveSPAnytime,
-		SeedMix:           spSeedMix,
-		AppendFingerprint: appendSPFingerprint,
+		Classify:           classifySP,
+		ExactlySolvable:    spExactlySolvable,
+		Preparable:         spPreparable,
+		ParallelWorthwhile: spParallelWorthwhile,
+		CandidatePeriods:   spCandidatePeriods,
+		Anytime:            solveSPAnytime,
+		SeedMix:            spSeedMix,
+		AppendFingerprint:  appendSPFingerprint,
 	})
 	for _, platHom := range []bool{false, true} {
 		for _, graphHom := range []bool{false, true} {
@@ -132,6 +132,30 @@ func spExactlySolvable(pr Problem, opts Options) bool {
 	return spInLimits(pr, opts)
 }
 
+// spPreparable: reducible instances prepare iff the reduced legacy kind
+// does (the prepared sub-solver is what gets shared); irreducible ones
+// always prepare — the block enumeration's scratch and memo within the
+// limits, the cached heuristic candidate set beyond them.
+func spPreparable(pr Problem, opts Options) bool {
+	if red, ok := spdecomp.Reduce(*pr.SP); ok {
+		sub := spSubProblem(pr, red)
+		spec := specOf(sub)
+		return spec != nil && spec.Preparable != nil && spec.Preparable(sub, opts)
+	}
+	return true
+}
+
+// spParallelWorthwhile: reducible instances inherit the reduced kind's
+// crossover; irreducible ones use the fork thresholds (the block search
+// has the same set-partition shape as the fork enumeration).
+func spParallelWorthwhile(pr Problem) bool {
+	if red, ok := spdecomp.Reduce(*pr.SP); ok {
+		return parallelWorthwhile(spSubProblem(pr, red))
+	}
+	return len(pr.SP.Steps) >= parMinForkItems &&
+		pr.Platform.Processors() >= parMinForkProcs
+}
+
 // spCandidatePeriods enumerates achievable block loads (subset sums of
 // the step weights when the graph is small, canonical-prefix sums plus
 // single steps beyond that) expanded over the platform speeds. For
@@ -209,7 +233,12 @@ func solveSP(ctx context.Context, pr Problem, opts Options) (Solution, error) {
 	}
 	goal := spGoal(pr)
 	if spInLimits(pr, opts) {
-		blocks, cost, ok, err := spdecomp.Exhaustive(ctx, g, pr.Platform, goal)
+		pp, err := spdecomp.NewPrepared(g, pr.Platform)
+		if err != nil {
+			return Solution{}, err
+		}
+		pp.SetParallelism(searchParallelism(opts, pr))
+		blocks, cost, ok, err := pp.Exhaustive(ctx, goal)
 		if err != nil {
 			return Solution{}, err
 		}
@@ -298,12 +327,14 @@ func solveSPAnytime(ctx context.Context, pr Problem, opts Options) (Solution, er
 // reduces exactly and the reduced cell advertises preparation, the
 // sub-problem's prepared solver is shared across the objective family and
 // each solve is wrapped back into SP form — byte-identical to solveSP.
-// Irreducible DAGs have no shared preprocessing worth caching, so they
-// fall back to the unprepared path.
+// Irreducible DAGs share a spdecomp.Prepared: the cached decomposition
+// state (topological order, evaluation scratch, certified bounds), the
+// enumeration buffers and per-goal memo within the exhaustive limits,
+// and the goal-independent heuristic candidate set beyond them.
 func prepareSP(pr Problem, opts Options) *PreparedCell {
 	red, ok := spdecomp.Reduce(*pr.SP)
 	if !ok {
-		return nil
+		return prepareSPIrreducible(pr, opts)
 	}
 	sub := spSubProblem(pr, red)
 	e, ok := registry[CellKeyOf(sub)]
@@ -317,11 +348,59 @@ func prepareSP(pr Problem, opts Options) *PreparedCell {
 	solve := func(ctx context.Context, pr2 Problem) (Solution, error) {
 		sub2 := sub
 		sub2.Objective, sub2.Bound = pr2.Objective, pr2.Bound
-		sol, err := pc.Solve(ctx, sub2)
+		var (
+			sol Solution
+			err error
+		)
+		// Route through the shared prepared cell only for objectives whose
+		// reduced cell registers the prepared capability — the same
+		// per-objective gate Prepare applies to direct legacy problems.
+		// Objectives answered by a polynomial cell (e.g. closed-form
+		// min-latency) dispatch through SolveContext, like solveSP, so the
+		// solution metadata stays byte-identical to the unprepared path.
+		if e2, ok2 := registry[CellKeyOf(sub2)]; ok2 && e2.Prepare != nil {
+			sol, err = pc.Solve(ctx, sub2)
+		} else {
+			sol, err = SolveContext(ctx, sub2, opts)
+		}
 		if err != nil {
 			return Solution{}, err
 		}
 		return wrapSPSolution(sol, red, classificationOf(pr2)), nil
 	}
 	return &PreparedCell{Solve: solve, SetParallelism: pc.SetParallelism}
+}
+
+// prepareSPIrreducible shares one spdecomp.Prepared across the objective
+// family of an irreducible SP instance, byte-identical to solveSP: the
+// in-limit branch runs the (optionally partitioned) exhaustive block
+// search with persistent scratch and a per-goal memo, the oversized
+// branch reuses the goal-independent heuristic candidate set.
+func prepareSPIrreducible(pr Problem, opts Options) *PreparedCell {
+	pp, err := spdecomp.NewPrepared(*pr.SP, pr.Platform)
+	if err != nil {
+		return nil
+	}
+	pp.SetParallelism(searchParallelism(opts, pr))
+	inLimits := spInLimits(pr, opts)
+	solve := func(ctx context.Context, pr2 Problem) (Solution, error) {
+		cl := classificationOf(pr2)
+		goal := spGoal(pr2)
+		if inLimits {
+			blocks, cost, ok, err := pp.Exhaustive(ctx, goal)
+			if err != nil {
+				return Solution{}, err
+			}
+			if !ok {
+				return infeasible(MethodExhaustive, true, cl), nil
+			}
+			return spSolution(blocks, cost, MethodExhaustive, true, cl), nil
+		}
+		cand, ok := pp.BestHeuristic(goal)
+		if !ok || !goal.Feasible(cand.Cost) {
+			return infeasible(MethodHeuristic, false, cl), nil
+		}
+		return spSolution(cand.Blocks, cand.Cost, MethodHeuristic, false, cl), nil
+	}
+	return &PreparedCell{Solve: solve, SetParallelism: pp.SetParallelism}
 }

@@ -121,9 +121,13 @@ func buildMaskInfo(pl platform.Platform) []maskInfo {
 	// indices, so the total length is p * 2^(p-1).
 	backing := make([]int, p<<max(p-1, 0))
 	for mask := 1; mask < 1<<p; mask++ {
-		low := bits.TrailingZeros(uint(mask))
-		rest := mask &^ (1 << low)
-		s := pl.Speeds[low]
+		// Split off the highest set bit, so sum accumulates in ascending
+		// processor order — bit-identical to platform.SubsetSpeedSum over
+		// the sorted procs list, which the inline enumeration costs rely
+		// on to reproduce mapping.Eval* exactly.
+		high := bits.Len(uint(mask)) - 1
+		rest := mask &^ (1 << high)
+		s := pl.Speeds[high]
 		in := maskInfo{count: 1, min: s, max: s, sum: s}
 		if rest != 0 {
 			prev := &info[rest]

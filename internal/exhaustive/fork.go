@@ -76,6 +76,8 @@ type forkEnum struct {
 	step    *stepper
 	assign  []int
 	blocks  []mapping.ForkBlock
+	masks   []int // per-block processor subset masks, parallel to blocks
+	weights []float64
 	leaves  [][]int
 }
 
@@ -87,12 +89,55 @@ func newForkEnum(f workflow.Fork, pl platform.Platform, allowDP bool) *forkEnum 
 	}
 	return &forkEnum{
 		f: f, pl: pl, allowDP: allowDP,
-		info:   tableFor(pl),
-		step:   newStepper(context.Background()),
-		assign: make([]int, f.Leaves()+1),
-		blocks: make([]mapping.ForkBlock, p),
-		leaves: leaves,
+		info:    tableFor(pl),
+		step:    newStepper(context.Background()),
+		assign:  make([]int, f.Leaves()+1),
+		blocks:  make([]mapping.ForkBlock, p),
+		masks:   make([]int, p),
+		weights: make([]float64, p),
+		leaves:  leaves,
 	}
+}
+
+// leafCost evaluates the cost of the fully assigned candidate without
+// validating or allocating: the enumeration produces only valid mappings
+// by construction (every leaf assigned exactly once, root in exactly one
+// block, disjoint subset masks), so re-running mapping.EvalFork's
+// validation per candidate is pure waste — it dominated the scan profile.
+// The arithmetic mirrors EvalFork division for division (using the same
+// ascending-order subset speed sums, see buildMaskInfo), so the returned
+// cost is bit-identical to what EvalFork computes for the same mapping;
+// TestForkInlineCostMatchesEval pins that.
+func (e *forkEnum) leafCost(blocks []mapping.ForkBlock) mapping.Cost {
+	var c mapping.Cost
+	rootDelay, rootSpeed := 0.0, 0.0
+	maxOtherDelay := 0.0
+	for b := range blocks {
+		in := &e.info[e.masks[b]]
+		w := e.weights[b]
+		var per, speed float64
+		if blocks[b].Mode == mapping.DataParallel {
+			speed = in.sum
+			per = w / speed
+		} else {
+			speed = in.min
+			per = w / (float64(in.count) * speed)
+		}
+		if per > c.Period {
+			c.Period = per
+		}
+		if blocks[b].Root {
+			rootDelay = w / speed
+			rootSpeed = speed
+		} else if d := w / speed; d > maxOtherDelay {
+			maxOtherDelay = d
+		}
+	}
+	c.Latency = rootDelay
+	if t := e.f.Root/rootSpeed + maxOtherDelay; t > c.Latency {
+		c.Latency = t
+	}
+	return c
 }
 
 // run invokes visit for every valid fork mapping, stopping early once the
@@ -122,11 +167,21 @@ func (e *forkEnum) runFrom(ctx context.Context, prefix []int, used int, visit fu
 			}
 			blocks[b].Leaves = append(blocks[b].Leaves, l)
 		}
-		// Keep any grown backing for the next partition.
+		// Keep any grown backing for the next partition, and compute the
+		// block weights once per partition (they do not depend on the
+		// processor assignment) in ForkBlock.weight's addition order.
 		for b := range blocks {
 			if blocks[b].Leaves != nil {
 				e.leaves[b] = blocks[b].Leaves
 			}
+			var w float64
+			if blocks[b].Root {
+				w += e.f.Root
+			}
+			for _, l := range blocks[b].Leaves {
+				w += e.f.Weights[l]
+			}
+			e.weights[b] = w
 		}
 		var rec func(b, usedMask int) bool
 		rec = func(b, usedMask int) bool {
@@ -134,17 +189,13 @@ func (e *forkEnum) runFrom(ctx context.Context, prefix []int, used int, visit fu
 				return false
 			}
 			if b == nblocks {
-				m := mapping.ForkMapping{Blocks: blocks}
-				c, err := mapping.EvalFork(e.f, e.pl, m)
-				if err != nil {
-					panic("exhaustive: enumerated invalid fork mapping: " + err.Error())
-				}
-				return visit(m, c)
+				return visit(mapping.ForkMapping{Blocks: blocks}, e.leafCost(blocks))
 			}
 			free := full &^ usedMask
 			for sub := free; sub > 0; sub = (sub - 1) & free {
 				blocks[b].Procs = e.info[sub].procs
 				blocks[b].Mode = mapping.Replicated
+				e.masks[b] = sub
 				if !rec(b+1, usedMask|sub) {
 					return false
 				}

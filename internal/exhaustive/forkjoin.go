@@ -30,6 +30,9 @@ type fjEnum struct {
 	step    *stepper
 	assign  []int
 	blocks  []mapping.ForkJoinBlock
+	masks   []int // per-block processor subset masks, parallel to blocks
+	weights []float64
+	leafW   []float64 // per-block leaf-only weight (no root/join share)
 	leaves  [][]int
 }
 
@@ -41,12 +44,71 @@ func newFJEnum(fj workflow.ForkJoin, pl platform.Platform, allowDP bool) *fjEnum
 	}
 	return &fjEnum{
 		fj: fj, pl: pl, allowDP: allowDP,
-		info:   tableFor(pl),
-		step:   newStepper(context.Background()),
-		assign: make([]int, fj.Leaves()+2),
-		blocks: make([]mapping.ForkJoinBlock, p),
-		leaves: leaves,
+		info:    tableFor(pl),
+		step:    newStepper(context.Background()),
+		assign:  make([]int, fj.Leaves()+2),
+		blocks:  make([]mapping.ForkJoinBlock, p),
+		masks:   make([]int, p),
+		weights: make([]float64, p),
+		leafW:   make([]float64, p),
+		leaves:  leaves,
 	}
+}
+
+// leafCost evaluates a fully assigned candidate without validating or
+// allocating, exactly as forkEnum.leafCost does for forks: the
+// enumeration only produces valid mappings, so the per-candidate
+// mapping.EvalForkJoin validation was pure overhead. The arithmetic
+// mirrors EvalForkJoin division for division and is bit-identical to it
+// (TestForkJoinInlineCostMatchesEval).
+func (e *fjEnum) leafCost(blocks []mapping.ForkJoinBlock) mapping.Cost {
+	var c mapping.Cost
+	var rootSpeed, joinSpeed float64
+	for b := range blocks {
+		in := &e.info[e.masks[b]]
+		w := e.weights[b]
+		var per, speed float64
+		if blocks[b].Mode == mapping.DataParallel {
+			speed = in.sum
+			per = w / speed
+		} else {
+			speed = in.min
+			per = w / (float64(in.count) * speed)
+		}
+		if per > c.Period {
+			c.Period = per
+		}
+		if blocks[b].Root {
+			rootSpeed = speed
+		}
+		if blocks[b].Join {
+			joinSpeed = speed
+		}
+	}
+	rootDone := e.fj.Root / rootSpeed
+	leafDone := rootDone
+	for b := range blocks {
+		wl := e.leafW[b]
+		if wl == 0 {
+			continue
+		}
+		in := &e.info[e.masks[b]]
+		speed := in.min
+		if blocks[b].Mode == mapping.DataParallel {
+			speed = in.sum
+		}
+		var done float64
+		if blocks[b].Root {
+			done = (e.fj.Root + wl) / speed
+		} else {
+			done = rootDone + wl/speed
+		}
+		if done > leafDone {
+			leafDone = done
+		}
+	}
+	c.Latency = leafDone + e.fj.Join/joinSpeed
+	return c
 }
 
 // run invokes visit for every valid fork-join mapping, stopping early once
@@ -77,10 +139,27 @@ func (e *fjEnum) runFrom(ctx context.Context, prefix []int, used int, visit func
 			}
 			blocks[b].Leaves = append(blocks[b].Leaves, l)
 		}
+		// Keep grown leaf backing, and precompute per-partition weights in
+		// ForkJoinBlock.weight's addition order (root, join, then leaves)
+		// plus the leaf-only weight of EvalForkJoin's latency pass.
 		for b := range blocks {
 			if blocks[b].Leaves != nil {
 				e.leaves[b] = blocks[b].Leaves
 			}
+			var w float64
+			if blocks[b].Root {
+				w += e.fj.Root
+			}
+			if blocks[b].Join {
+				w += e.fj.Join
+			}
+			var wl float64
+			for _, l := range blocks[b].Leaves {
+				w += e.fj.Weights[l]
+				wl += e.fj.Weights[l]
+			}
+			e.weights[b] = w
+			e.leafW[b] = wl
 		}
 		var rec func(b, usedMask int) bool
 		rec = func(b, usedMask int) bool {
@@ -88,17 +167,13 @@ func (e *fjEnum) runFrom(ctx context.Context, prefix []int, used int, visit func
 				return false
 			}
 			if b == nblocks {
-				m := mapping.ForkJoinMapping{Blocks: blocks}
-				c, err := mapping.EvalForkJoin(e.fj, e.pl, m)
-				if err != nil {
-					panic("exhaustive: enumerated invalid fork-join mapping: " + err.Error())
-				}
-				return visit(m, c)
+				return visit(mapping.ForkJoinMapping{Blocks: blocks}, e.leafCost(blocks))
 			}
 			free := full &^ usedMask
 			for sub := free; sub > 0; sub = (sub - 1) & free {
 				blocks[b].Procs = e.info[sub].procs
 				blocks[b].Mode = mapping.Replicated
+				e.masks[b] = sub
 				if !rec(b+1, usedMask|sub) {
 					return false
 				}

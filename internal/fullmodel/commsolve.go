@@ -136,62 +136,11 @@ func (g Goal) value(c Cost) float64 {
 // search over the finite candidate period set for the period objectives.
 // ok is false when a cap is infeasible.
 func SolveHom(p Pipeline, pl Platform, goal Goal) (Mapping, Cost, bool, error) {
-	if err := p.Validate(); err != nil {
+	pp, err := NewPipelinePrepared(p, pl)
+	if err != nil {
 		return Mapping{}, Cost{}, false, err
 	}
-	if err := pl.Validate(); err != nil {
-		return Mapping{}, Cost{}, false, err
-	}
-	if !pl.IsFullyHomogeneous() {
-		return Mapping{}, Cost{}, false, errPlatformNotHomogeneous
-	}
-	if !goalNeedsPeriodSearch(goal) {
-		cap := numeric.Inf
-		if goal.PeriodCap > 0 {
-			cap = goal.PeriodCap
-		}
-		m, c, ok, err := HomLatencyUnderPeriod(p, pl, cap)
-		if err != nil || !ok {
-			return Mapping{}, Cost{}, false, err
-		}
-		if goal.LatencyCap > 0 && numeric.Greater(c.Latency, goal.LatencyCap) {
-			return Mapping{}, Cost{}, false, nil
-		}
-		return m, c, true, nil
-	}
-	// Minimize the period: binary search the candidate brackets, keeping
-	// the latency cap (if any) as part of feasibility. Enlarging the
-	// period cap only enlarges the feasible set, so the predicate is
-	// monotone and the search sound.
-	cands := homPeriodCandidates(p, pl.Speeds[0], pl.InBand[0])
-	lo, hi := 0, len(cands)-1
-	var bestM Mapping
-	var bestC Cost
-	found := false
-	for lo <= hi {
-		mid := (lo + hi) / 2
-		m, c, ok, err := HomLatencyUnderPeriod(p, pl, cands[mid])
-		if err != nil {
-			return Mapping{}, Cost{}, false, err
-		}
-		if ok && goal.LatencyCap > 0 && numeric.Greater(c.Latency, goal.LatencyCap) {
-			ok = false
-		}
-		if ok {
-			bestM, bestC = m, c
-			found = true
-			hi = mid - 1
-		} else {
-			lo = mid + 1
-		}
-	}
-	if !found {
-		return Mapping{}, Cost{}, false, nil
-	}
-	if goal.PeriodCap > 0 && numeric.Greater(bestC.Period, goal.PeriodCap) {
-		return Mapping{}, Cost{}, false, nil
-	}
-	return bestM, bestC, true, nil
+	return pp.SolveHom(goal)
 }
 
 func goalNeedsPeriodSearch(goal Goal) bool { return goal.MinimizePeriod }
@@ -200,68 +149,11 @@ func goalNeedsPeriodSearch(goal Goal) bool { return goal.MinimizePeriod }
 // for any objective, with context cancellation. Exponential in p;
 // intended for small platforms (the exhaustive dispatch limits).
 func SolveExact(ctx context.Context, p Pipeline, pl Platform, goal Goal) (Mapping, Cost, bool, error) {
-	if err := p.Validate(); err != nil {
+	pp, err := NewPipelinePrepared(p, pl)
+	if err != nil {
 		return Mapping{}, Cost{}, false, err
 	}
-	if err := pl.Validate(); err != nil {
-		return Mapping{}, Cost{}, false, err
-	}
-	n, procs := p.Stages(), pl.Processors()
-	var (
-		bestM  Mapping
-		bestC  Cost
-		found  bool
-		cur    Mapping
-		iter   int
-		ctxErr error
-	)
-	var walk func(i, mask int)
-	walk = func(i, mask int) {
-		if ctxErr != nil {
-			return
-		}
-		if i == n {
-			iter++
-			if iter%256 == 0 {
-				if err := ctx.Err(); err != nil {
-					ctxErr = err
-					return
-				}
-			}
-			c, err := Eval(p, pl, Mapping{Bounds: cur.Bounds, Alloc: cur.Alloc})
-			if err != nil {
-				panic("fullmodel: enumeration built invalid mapping: " + err.Error())
-			}
-			if !goal.feasible(c) {
-				return
-			}
-			if !found || numeric.Less(goal.value(c), goal.value(bestC)) {
-				bestM = Mapping{
-					Bounds: append([]int(nil), cur.Bounds...),
-					Alloc:  append([]int(nil), cur.Alloc...),
-				}
-				bestC, found = c, true
-			}
-			return
-		}
-		for j := i; j < n; j++ {
-			for u := 0; u < procs; u++ {
-				if mask&(1<<u) != 0 {
-					continue
-				}
-				cur.Bounds = append(cur.Bounds, j+1)
-				cur.Alloc = append(cur.Alloc, u)
-				walk(j+1, mask|1<<u)
-				cur.Bounds = cur.Bounds[:len(cur.Bounds)-1]
-				cur.Alloc = cur.Alloc[:len(cur.Alloc)-1]
-			}
-		}
-	}
-	walk(0, 0)
-	if ctxErr != nil {
-		return Mapping{}, Cost{}, false, ctxErr
-	}
-	return bestM, bestC, found, nil
+	return pp.SolveExact(ctx, goal)
 }
 
 // HeuristicCandidates returns deterministic seed mappings for oversized
@@ -326,98 +218,11 @@ func HeuristicCandidates(p Pipeline, pl Platform) []Mapping {
 // is send-order independent, so one order per assignment suffices for
 // both metrics). Runs under the flexible model of EvalFork.
 func SolveForkExact(ctx context.Context, f Fork, pl Platform, goal Goal) (ForkMapping, Cost, bool, error) {
-	if err := f.Validate(); err != nil {
+	fp, err := NewForkPrepared(f, pl)
+	if err != nil {
 		return ForkMapping{}, Cost{}, false, err
 	}
-	if err := pl.Validate(); err != nil {
-		return ForkMapping{}, Cost{}, false, err
-	}
-	n, procs := f.Leaves(), pl.Processors()
-	assign := make([]int, n) // leaf -> block id; block 0 = root block
-	var (
-		bestM  ForkMapping
-		bestC  Cost
-		found  bool
-		iter   int
-		ctxErr error
-	)
-	blockProcs := make([]int, n+1)
-	usedProc := make([]bool, procs)
-	tryAssign := func(blocks int) {
-		m := ForkMapping{RootBlock: 0, Blocks: make([]ForkBlock, blocks)}
-		for b := 0; b < blocks; b++ {
-			m.Blocks[b] = ForkBlock{Proc: blockProcs[b]}
-		}
-		for l := 0; l < n; l++ {
-			b := assign[l]
-			m.Blocks[b].Leaves = append(m.Blocks[b].Leaves, l)
-		}
-		m.SendOrder = OptimalSendOrder(f, pl, m)
-		c, err := EvalFork(f, pl, m, false)
-		if err != nil {
-			panic("fullmodel: fork enumeration built invalid mapping: " + err.Error())
-		}
-		if !goal.feasible(c) {
-			return
-		}
-		if !found || numeric.Less(goal.value(c), goal.value(bestC)) {
-			bestM, bestC, found = m, c, true
-		}
-	}
-	var chooseProcs func(b, blocks int)
-	chooseProcs = func(b, blocks int) {
-		if ctxErr != nil {
-			return
-		}
-		if b == blocks {
-			iter++
-			if iter%128 == 0 {
-				if err := ctx.Err(); err != nil {
-					ctxErr = err
-					return
-				}
-			}
-			tryAssign(blocks)
-			return
-		}
-		for u := 0; u < procs; u++ {
-			if usedProc[u] {
-				continue
-			}
-			usedProc[u] = true
-			blockProcs[b] = u
-			chooseProcs(b+1, blocks)
-			usedProc[u] = false
-		}
-	}
-	var parts func(l, blocks int)
-	parts = func(l, blocks int) {
-		if ctxErr != nil {
-			return
-		}
-		if l == n {
-			chooseProcs(0, blocks)
-			return
-		}
-		limit := blocks
-		if blocks < procs {
-			limit = blocks + 1
-		}
-		for b := 0; b < limit; b++ {
-			assign[l] = b
-			nb := blocks
-			if b == blocks {
-				nb = blocks + 1
-			}
-			parts(l+1, nb)
-		}
-	}
-	// blocks starts at 1: the root block always exists even with no leaf.
-	parts(0, 1)
-	if ctxErr != nil {
-		return ForkMapping{}, Cost{}, false, ctxErr
-	}
-	return bestM, bestC, found, nil
+	return fp.SolveExact(ctx, goal)
 }
 
 // ForkHeuristicCandidates returns deterministic seed mappings for

@@ -159,6 +159,14 @@ func EvalFork(f Fork, pl Platform, m ForkMapping, strict bool) (Cost, error) {
 	if err := ValidateFork(f, pl, m); err != nil {
 		return Cost{}, err
 	}
+	return evalForkTrusted(f, pl, m, strict), nil
+}
+
+// evalForkTrusted is EvalFork without the validation pass, for mappings
+// that are valid by construction (the exhaustive enumeration, the
+// prepared solvers). Both entry points share this code, so their costs
+// are bit-identical.
+func evalForkTrusted(f Fork, pl Platform, m ForkMapping, strict bool) Cost {
 	root := m.Blocks[m.RootBlock]
 	rootIn := f.In / pl.InBand[root.Proc]
 	s0Done := rootIn + f.Root/pl.Speeds[root.Proc]
@@ -207,7 +215,7 @@ func EvalFork(f Fork, pl Platform, m ForkMapping, strict bool) (Cost, error) {
 	if per := rootIn + f.Root/pl.Speeds[root.Proc] + ownCompute + totalSend + ownOut; per > c.Period {
 		c.Period = per
 	}
-	return c, nil
+	return c
 }
 
 // OptimalSendOrder returns the latency-minimizing one-port send order for

@@ -244,6 +244,14 @@ func Validate(p Pipeline, pl Platform, m Mapping) error {
 // processor of the previous interval (-1 = Pin), next the processor of the
 // following interval (-1 = Pout).
 func intervalCost(p Pipeline, pl Platform, first, last, proc, prev, next int) float64 {
+	return intervalCostW(p, pl, p.IntervalWork(first, last), first, last, proc, prev, next)
+}
+
+// intervalCostW is intervalCost with the interval work precomputed. The
+// prepared solvers pass entries of a work table built by the same
+// sequential summation as IntervalWork, so the bracket value is
+// bit-identical either way.
+func intervalCostW(p Pipeline, pl Platform, work float64, first, last, proc, prev, next int) float64 {
 	var in float64
 	if prev < 0 {
 		in = p.Data[first] / pl.InBand[proc]
@@ -256,7 +264,7 @@ func intervalCost(p Pipeline, pl Platform, first, last, proc, prev, next int) fl
 	} else {
 		out = p.Data[last+1] / pl.Band[proc][next]
 	}
-	return in + p.IntervalWork(first, last)/pl.Speeds[proc] + out
+	return in + work/pl.Speeds[proc] + out
 }
 
 // Cost is the (period, latency) of a mapping.
@@ -270,6 +278,13 @@ func Eval(p Pipeline, pl Platform, m Mapping) (Cost, error) {
 	if err := Validate(p, pl, m); err != nil {
 		return Cost{}, err
 	}
+	return evalTrusted(p, pl, m), nil
+}
+
+// evalTrusted is Eval without the validation pass, for mappings that are
+// valid by construction (DP reconstructions, enumeration leaves). Both
+// entry points share this loop, so their costs are bit-identical.
+func evalTrusted(p Pipeline, pl Platform, m Mapping) Cost {
 	var c Cost
 	first := 0
 	for j, end := range m.Bounds {
@@ -287,5 +302,5 @@ func Eval(p Pipeline, pl Platform, m Mapping) (Cost, error) {
 		c.Latency += v
 		first = end
 	}
-	return c, nil
+	return c
 }

@@ -1,0 +1,194 @@
+package fullmodel
+
+import (
+	"context"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// Byte-identity corpora for the prepared and parallel comm-aware solvers.
+// The replay harness diffs recorded costs with ==, so these tests compare
+// costs with == (not the tolerant numeric.Eq) and mappings with
+// reflect.DeepEqual: the prepared, memoized and partitioned paths must
+// reproduce the one-shot serial results bit for bit.
+
+// randomBandwidth returns a uniform or full-table bandwidth description
+// for p processors.
+func randomBandwidth(rng *rand.Rand, p int) Bandwidth {
+	if rng.Intn(2) == 0 {
+		return Bandwidth{Uniform: float64(1 + rng.Intn(4))}
+	}
+	b := Bandwidth{Links: make([][]float64, p), In: make([]float64, p), Out: make([]float64, p)}
+	for u := 0; u < p; u++ {
+		b.Links[u] = make([]float64, p)
+		b.In[u] = float64(1 + rng.Intn(4))
+		b.Out[u] = float64(1 + rng.Intn(4))
+		for v := 0; v < p; v++ {
+			if v != u {
+				b.Links[u][v] = float64(1 + rng.Intn(4))
+			}
+		}
+	}
+	return b
+}
+
+func randomHetPlatform(rng *rand.Rand, p int) Platform {
+	speeds := make([]float64, p)
+	for i := range speeds {
+		speeds[i] = float64(1 + rng.Intn(5))
+	}
+	return randomBandwidth(rng, p).Apply(speeds)
+}
+
+// TestCommPipelineParallelSerialIdentity: the chunk-claimed partitioned
+// interval scan must be byte-identical to the serial scan on every goal,
+// at every worker count.
+func TestCommPipelineParallelSerialIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 30; trial++ {
+		p := randomCommPipeline(rng, 2+rng.Intn(5))
+		pl := randomHetPlatform(rng, 2+rng.Intn(3))
+		for _, goal := range allGoals(float64(3 + rng.Intn(10))) {
+			serial, err := NewPipelinePrepared(p, pl)
+			if err != nil {
+				t.Fatal(err)
+			}
+			par, err := NewPipelinePrepared(p, pl)
+			if err != nil {
+				t.Fatal(err)
+			}
+			par.SetParallelism(2 + rng.Intn(3))
+			sm, sc, sok, err := serial.SolveExact(context.Background(), goal)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pm, pc, pok, err := par.SolveExact(context.Background(), goal)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sok != pok || sc != pc || !reflect.DeepEqual(sm, pm) {
+				t.Fatalf("trial %d goal %+v: parallel diverges: (%v %v %v) vs (%v %v %v)",
+					trial, goal, pm, pc, pok, sm, sc, sok)
+			}
+		}
+	}
+}
+
+// TestCommPipelinePreparedIdentity: prepared solves — including memo hits
+// and DP-table reuse across goals — must equal fresh one-shot solves.
+func TestCommPipelinePreparedIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(72))
+	for trial := 0; trial < 30; trial++ {
+		p := randomCommPipeline(rng, 2+rng.Intn(5))
+		hom := rng.Intn(2) == 0
+		var pl Platform
+		if hom {
+			procs := 2 + rng.Intn(3)
+			speeds := make([]float64, procs)
+			s := float64(1 + rng.Intn(4))
+			for i := range speeds {
+				speeds[i] = s
+			}
+			pl = Uniform(speeds, float64(1+rng.Intn(4)))
+		} else {
+			pl = randomHetPlatform(rng, 2+rng.Intn(3))
+		}
+		pp, err := NewPipelinePrepared(p, pl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		goals := allGoals(float64(3 + rng.Intn(10)))
+		// Two passes: the second hits the per-goal memo.
+		for pass := 0; pass < 2; pass++ {
+			for _, goal := range goals {
+				var gm, wm Mapping
+				var gc, wc Cost
+				var gok, wok bool
+				if hom {
+					gm, gc, gok, err = pp.SolveHom(goal)
+					if err != nil {
+						t.Fatal(err)
+					}
+					wm, wc, wok, err = SolveHom(p, pl, goal)
+				} else {
+					gm, gc, gok, err = pp.SolveExact(context.Background(), goal)
+					if err != nil {
+						t.Fatal(err)
+					}
+					wm, wc, wok, err = SolveExact(context.Background(), p, pl, goal)
+				}
+				if err != nil {
+					t.Fatal(err)
+				}
+				if gok != wok || gc != wc || !reflect.DeepEqual(gm, wm) {
+					t.Fatalf("trial %d pass %d goal %+v (hom=%v): prepared diverges: (%v %v %v) vs (%v %v %v)",
+						trial, pass, goal, hom, gm, gc, gok, wm, wc, wok)
+				}
+			}
+		}
+	}
+}
+
+// TestCommForkPreparedIdentity: prepared one-port fork solves (scratch
+// reuse, memo hits) must equal fresh one-shot solves.
+func TestCommForkPreparedIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	for trial := 0; trial < 25; trial++ {
+		f := randomCommFork(rng, rng.Intn(5), rng.Intn(4) == 0)
+		pl := randomHetPlatform(rng, 2+rng.Intn(3))
+		fp, err := NewForkPrepared(f, pl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		goals := []Goal{
+			{MinimizePeriod: true},
+			{},
+			{PeriodCap: float64(3 + rng.Intn(10))},
+			{MinimizePeriod: true, LatencyCap: float64(9 + rng.Intn(20))},
+		}
+		for pass := 0; pass < 2; pass++ {
+			for _, goal := range goals {
+				gm, gc, gok, err := fp.SolveExact(context.Background(), goal)
+				if err != nil {
+					t.Fatal(err)
+				}
+				wm, wc, wok, err := SolveForkExact(context.Background(), f, pl, goal)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if gok != wok || gc != wc || !reflect.DeepEqual(gm, wm) {
+					t.Fatalf("trial %d pass %d goal %+v: prepared fork diverges: (%v %v %v) vs (%v %v %v)",
+						trial, pass, goal, gm, gc, gok, wm, wc, wok)
+				}
+			}
+		}
+	}
+}
+
+// TestPlatTableIdentity: the cached bound platform must be value-identical
+// to a fresh Bandwidth.Apply, and two lookups of the same pair must share
+// one table.
+func TestPlatTableIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(74))
+	for trial := 0; trial < 20; trial++ {
+		p := 1 + rng.Intn(5)
+		speeds := make([]float64, p)
+		for i := range speeds {
+			speeds[i] = float64(1 + rng.Intn(5))
+		}
+		b := randomBandwidth(rng, p)
+		t1 := TableFor(speeds, b)
+		if !reflect.DeepEqual(t1.Plat, b.Apply(speeds)) {
+			t.Fatalf("trial %d: cached platform diverges from Bandwidth.Apply", trial)
+		}
+		if t2 := TableFor(speeds, b); t2 != t1 {
+			t.Fatalf("trial %d: second lookup did not share the cached table", trial)
+		}
+		for u, s := range t1.Plat.Speeds {
+			if t1.InvSpeeds[u] != 1/s {
+				t.Fatalf("trial %d: reciprocal mismatch at %d", trial, u)
+			}
+		}
+	}
+}

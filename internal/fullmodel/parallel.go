@@ -1,0 +1,156 @@
+package fullmodel
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+
+	"repliflow/internal/incumbent"
+	"repliflow/internal/numeric"
+)
+
+// Parallel heterogeneous comm-pipeline scan. The enumeration of
+// SolveExact is partitioned by its first choice — the first interval's
+// end stage j and hosting processor u, claimed chunk-by-chunk from an
+// atomic counter so fast workers absorb the skew between subtree sizes.
+// Each chunk keeps a chunk-local best under the serial install rule;
+// chunks share a monotone incumbent.Bound so an improvement found in
+// one chunk prunes every other immediately.
+//
+// Determinism contract: chunk index order equals the serial visit order,
+// the fold walks chunks in index order with the serial strict-improvement
+// rule, and the shared bound only skips candidates that are
+// strictly-beyond-tolerance worse than an achieved feasible value (which
+// therefore can never win the fold). The parallel result is byte-identical
+// to the serial scan regardless of worker count or timing.
+
+// parChunk is one chunk-local result of the partitioned scan.
+type parChunk struct {
+	m     Mapping
+	c     Cost
+	found bool
+}
+
+func (pp *PipelinePrepared) solveExactPar(ctx context.Context, goal Goal) (Mapping, Cost, bool, error) {
+	n, procs := pp.n, pp.pl.Processors()
+	nchunks := n * procs
+	workers := pp.par
+	if workers > nchunks {
+		workers = nchunks
+	}
+	results := make([]parChunk, nchunks)
+	bound := incumbent.NewBound()
+	var next atomic.Int64
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			curB := make([]int, 0, n)
+			curA := make([]int, 0, n)
+			iter := 0
+			var ctxErr error
+			var local parChunk
+			var walk func(i, mask int)
+			walk = func(i, mask int) {
+				if ctxErr != nil {
+					return
+				}
+				if i == n {
+					iter++
+					if iter%256 == 0 {
+						if err := ctx.Err(); err != nil {
+							ctxErr = err
+							return
+						}
+					}
+					c := evalTrusted(pp.p, pp.pl, Mapping{Bounds: curB, Alloc: curA})
+					if !goal.feasible(c) {
+						return
+					}
+					v := goal.value(c)
+					if numeric.Greater(v, bound.Load()) {
+						return
+					}
+					if !local.found || numeric.Less(v, goal.value(local.c)) {
+						local.m = Mapping{
+							Bounds: append([]int(nil), curB...),
+							Alloc:  append([]int(nil), curA...),
+						}
+						local.c, local.found = c, true
+						bound.Tighten(v)
+					}
+					return
+				}
+				for j := i; j < n; j++ {
+					for u := 0; u < procs; u++ {
+						if mask&(1<<u) != 0 {
+							continue
+						}
+						if pp.parPrune(goal, i, j, u, bound) {
+							continue
+						}
+						curB = append(curB, j+1)
+						curA = append(curA, u)
+						walk(j+1, mask|1<<u)
+						curB = curB[:len(curB)-1]
+						curA = curA[:len(curA)-1]
+					}
+				}
+			}
+			for {
+				if ctxErr != nil {
+					errs[w] = ctxErr
+					return
+				}
+				chunk := int(next.Add(1) - 1)
+				if chunk >= nchunks {
+					return
+				}
+				j, u := chunk/procs, chunk%procs
+				local = parChunk{}
+				if pp.parPrune(goal, 0, j, u, bound) {
+					continue
+				}
+				curB = append(curB[:0], j+1)
+				curA = append(curA[:0], u)
+				walk(j+1, 1<<u)
+				results[chunk] = local
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return Mapping{}, Cost{}, false, err
+		}
+	}
+	var (
+		bestM Mapping
+		bestC Cost
+		found bool
+	)
+	for c := 0; c < nchunks; c++ {
+		r := results[c]
+		if !r.found {
+			continue
+		}
+		if !found || numeric.Less(goal.value(r.c), goal.value(bestC)) {
+			bestM, bestC, found = r.m, r.c, true
+		}
+	}
+	return bestM, bestC, found, nil
+}
+
+// parPrune is pruneInterval against the shared bound: the work/speed
+// lower bound must clear the comparison tolerance (surelyGreater), so a
+// pruned subtree contains only candidates the leaf-side bound check
+// would discard anyway.
+func (pp *PipelinePrepared) parPrune(goal Goal, i, j, u int, bound *incumbent.Bound) bool {
+	est := pp.workTbl[i][j] * pp.inv[u] * lbSlack
+	if goal.PeriodCap > 0 && surelyGreater(est, goal.PeriodCap) {
+		return true
+	}
+	return goal.MinimizePeriod && surelyGreater(est, bound.Load())
+}

@@ -1,0 +1,601 @@
+package fullmodel
+
+import (
+	"context"
+	"encoding/binary"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"repliflow/internal/numeric"
+)
+
+// Prepared solvers for the communication-aware model. Pareto sweeps and
+// bi-criteria binary searches solve the same (graph, platform, bandwidth)
+// triple hundreds of times, varying only the bound. The prepared solvers
+// — PipelinePrepared, ForkPrepared — share everything that does not
+// depend on the bound: the bound platform (cached process-wide, see
+// TableFor), speed reciprocals for prune-side lower bounds, an interval
+// work table, the homogeneous DP tables and candidate-period set, the
+// enumeration scratch, and a per-goal result memo. Their results are
+// bit-identical to the one-shot entry points, which are themselves thin
+// wrappers over a prepared solver used once.
+
+// maxPlatCacheWords bounds the process-wide bound-platform cache by its
+// approximate footprint in 8-byte words (~8MB): a bound platform is
+// O(p^2) bandwidth entries, so a count bound alone would let a few
+// large-p platforms pin memory past every other bound. When an insert
+// would exceed the budget the whole cache is dropped (tables are cheap
+// to rebuild, and real deployments see few distinct platforms).
+const maxPlatCacheWords = 1 << 20
+
+var (
+	boundPlats     sync.Map // string (speed+bandwidth bits) -> *PlatTable
+	boundPlatWords atomic.Int64
+)
+
+// PlatTable is a bandwidth description bound to a speed vector: the
+// evaluation platform plus the precomputed speed reciprocals the
+// prepared solvers use for prune-side lower bounds (reciprocals never
+// enter reported costs — those always divide, so they stay bit-identical
+// to the one-shot paths).
+type PlatTable struct {
+	Plat      Platform
+	InvSpeeds []float64
+}
+
+// platTableKey encodes the raw float bits of the speed vector and the
+// bandwidth description. Keying on bits (not values) keeps the cache
+// exact: two platforms share a table iff every cost they can produce is
+// bit-identical.
+func platTableKey(speeds []float64, b Bandwidth) string {
+	buf := make([]byte, 0, 8*(2+3*len(speeds)+len(speeds)*len(speeds)))
+	var w [8]byte
+	put := func(f float64) {
+		binary.LittleEndian.PutUint64(w[:], math.Float64bits(f))
+		buf = append(buf, w[:]...)
+	}
+	put(float64(len(speeds)))
+	for _, s := range speeds {
+		put(s)
+	}
+	if b.Uniform != 0 {
+		buf = append(buf, 1)
+		put(b.Uniform)
+		return string(buf)
+	}
+	buf = append(buf, 0)
+	for _, v := range b.In {
+		put(v)
+	}
+	for _, v := range b.Out {
+		put(v)
+	}
+	for _, row := range b.Links {
+		for _, v := range row {
+			put(v)
+		}
+	}
+	return string(buf)
+}
+
+// TableFor returns the shared bound platform of a (speeds, bandwidth)
+// pair, building and caching it on first use. Every solver for the same
+// pair — across solves, goroutines and objectives — shares one table, so
+// a Pareto sweep pays the uniform-bandwidth matrix expansion once
+// instead of once per candidate bound. For table-form bandwidths the
+// platform aliases the caller's slices; callers must not mutate them
+// afterwards.
+func TableFor(speeds []float64, b Bandwidth) *PlatTable {
+	key := platTableKey(speeds, b)
+	if t, ok := boundPlats.Load(key); ok {
+		return t.(*PlatTable)
+	}
+	pl := b.Apply(speeds)
+	inv := make([]float64, len(pl.Speeds))
+	for i, s := range pl.Speeds {
+		inv[i] = 1 / s
+	}
+	t := &PlatTable{Plat: pl, InvSpeeds: inv}
+	weight := int64(len(speeds)+4) * int64(len(speeds)+4)
+	if weight > maxPlatCacheWords {
+		return t // oversized: per-solver transient, never cached
+	}
+	if _, loaded := boundPlats.LoadOrStore(key, t); !loaded {
+		if boundPlatWords.Add(weight) > maxPlatCacheWords {
+			// Overflow: drop everything and restart the count. Racy counts
+			// only make the flush early or late by a table, which is
+			// harmless — correctness never depends on the cache.
+			boundPlats.Range(func(k, _ any) bool {
+				boundPlats.Delete(k)
+				return true
+			})
+			boundPlatWords.Store(0)
+		}
+	}
+	return t
+}
+
+// lbSlack scales multiply-by-reciprocal lower bounds: w*(1/s) carries at
+// most a couple of ULPs of relative rounding error against w/s, so
+// shrinking the product by four ULPs keeps it a true lower bound on the
+// division the reported costs use.
+const lbSlack = 1 - 1.0/(1<<50)
+
+// surelyGreater reports whether every value v >= a satisfies
+// numeric.Greater(v, b): a clears b by more than the comparison
+// tolerance at every scale (absolute near zero, relative above one).
+// Prune-side lower bounds use this instead of numeric.Greater so they
+// can never cut a candidate the tolerant comparison would keep.
+func surelyGreater(a, b float64) bool {
+	return a > b+numeric.Eps && a*(1-numeric.Eps) > b
+}
+
+// pipeResult is one memoized comm-pipeline solve.
+type pipeResult struct {
+	m  Mapping
+	c  Cost
+	ok bool
+}
+
+// PipelinePrepared solves one comm-aware pipeline instance repeatedly
+// under varying goals. Not safe for concurrent use; the engine's sweep
+// pool hands each solver to one goroutine at a time.
+type PipelinePrepared struct {
+	p   Pipeline
+	pl  Platform
+	inv []float64
+	hom bool
+	n   int
+	par int
+
+	// workTbl[i][j] is IntervalWork(i, j), built by the same sequential
+	// summation, so table lookups are bit-identical to the direct sums.
+	workTbl [][]float64
+
+	// Homogeneous DP machinery, allocated on first hom solve and reused
+	// across bounds.
+	L        [][]float64
+	cut      [][]int
+	homCands []float64
+
+	// Heterogeneous enumeration scratch.
+	curBounds, curAlloc []int
+
+	memoHom   map[Goal]pipeResult
+	memoExact map[Goal]pipeResult
+}
+
+// NewPipelinePrepared validates the instance once and builds a prepared
+// solver for it.
+func NewPipelinePrepared(p Pipeline, pl Platform) (*PipelinePrepared, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if err := pl.Validate(); err != nil {
+		return nil, err
+	}
+	inv := make([]float64, pl.Processors())
+	for i, s := range pl.Speeds {
+		inv[i] = 1 / s
+	}
+	return newPipelinePrepared(p, pl, inv), nil
+}
+
+// NewPipelinePreparedTable is NewPipelinePrepared on a cached bound
+// platform, reusing its precomputed reciprocals.
+func NewPipelinePreparedTable(p Pipeline, t *PlatTable) (*PipelinePrepared, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if err := t.Plat.Validate(); err != nil {
+		return nil, err
+	}
+	return newPipelinePrepared(p, t.Plat, t.InvSpeeds), nil
+}
+
+func newPipelinePrepared(p Pipeline, pl Platform, inv []float64) *PipelinePrepared {
+	n := p.Stages()
+	wt := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		wt[i] = make([]float64, n)
+		var s float64
+		for j := i; j < n; j++ {
+			s += p.Weights[j]
+			wt[i][j] = s
+		}
+	}
+	return &PipelinePrepared{
+		p: p, pl: pl, inv: inv,
+		hom: pl.IsFullyHomogeneous(), n: n,
+		workTbl:   wt,
+		memoHom:   make(map[Goal]pipeResult),
+		memoExact: make(map[Goal]pipeResult),
+	}
+}
+
+// SetParallelism sets the worker count of subsequent SolveExact calls;
+// values below two keep the scan serial. The parallel scan folds
+// deterministically, so the answer is bit-identical either way.
+func (pp *PipelinePrepared) SetParallelism(workers int) { pp.par = workers }
+
+func cloneMapping(m Mapping) Mapping {
+	if m.Bounds == nil {
+		return Mapping{}
+	}
+	return Mapping{
+		Bounds: append([]int(nil), m.Bounds...),
+		Alloc:  append([]int(nil), m.Alloc...),
+	}
+}
+
+// SolveHom is SolveHom for the prepared instance: the DP tables and the
+// candidate-period set persist across calls, and each goal's result is
+// memoized, so a bi-criteria sweep pays each distinct bound once.
+func (pp *PipelinePrepared) SolveHom(goal Goal) (Mapping, Cost, bool, error) {
+	if !pp.hom {
+		return Mapping{}, Cost{}, false, errPlatformNotHomogeneous
+	}
+	if r, ok := pp.memoHom[goal]; ok {
+		return cloneMapping(r.m), r.c, r.ok, nil
+	}
+	m, c, ok := pp.solveHom(goal)
+	pp.memoHom[goal] = pipeResult{m: m, c: c, ok: ok}
+	return cloneMapping(m), c, ok, nil
+}
+
+// lup runs the latency-under-period DP in the reused tables. It shares
+// homLUPInto and evalTrusted with the one-shot path, so reuse cannot
+// change a bit of the result.
+func (pp *PipelinePrepared) lup(maxPeriod float64) (Mapping, Cost, bool) {
+	if pp.L == nil {
+		pp.L, pp.cut = newHomDP(pp.n, pp.pl.Processors())
+	}
+	m, ok := homLUPInto(pp.p, pp.pl.Speeds[0], pp.pl.InBand[0], pp.n, pp.pl.Processors(), pp.L, pp.cut, maxPeriod)
+	if !ok {
+		return Mapping{}, Cost{}, false
+	}
+	return m, evalTrusted(pp.p, pp.pl, m), true
+}
+
+func (pp *PipelinePrepared) solveHom(goal Goal) (Mapping, Cost, bool) {
+	if !goalNeedsPeriodSearch(goal) {
+		cap := numeric.Inf
+		if goal.PeriodCap > 0 {
+			cap = goal.PeriodCap
+		}
+		m, c, ok := pp.lup(cap)
+		if !ok {
+			return Mapping{}, Cost{}, false
+		}
+		if goal.LatencyCap > 0 && numeric.Greater(c.Latency, goal.LatencyCap) {
+			return Mapping{}, Cost{}, false
+		}
+		return m, c, true
+	}
+	// Minimize the period: binary search the candidate brackets, sharing
+	// the candidate set across every goal that needs the search.
+	if pp.homCands == nil {
+		pp.homCands = homPeriodCandidates(pp.p, pp.pl.Speeds[0], pp.pl.InBand[0])
+	}
+	cands := pp.homCands
+	lo, hi := 0, len(cands)-1
+	var bestM Mapping
+	var bestC Cost
+	found := false
+	for lo <= hi {
+		mid := (lo + hi) / 2
+		m, c, ok := pp.lup(cands[mid])
+		if ok && goal.LatencyCap > 0 && numeric.Greater(c.Latency, goal.LatencyCap) {
+			ok = false
+		}
+		if ok {
+			bestM, bestC = m, c
+			found = true
+			hi = mid - 1
+		} else {
+			lo = mid + 1
+		}
+	}
+	if !found {
+		return Mapping{}, Cost{}, false
+	}
+	if goal.PeriodCap > 0 && numeric.Greater(bestC.Period, goal.PeriodCap) {
+		return Mapping{}, Cost{}, false
+	}
+	return bestM, bestC, true
+}
+
+// SolveExact is the exhaustive heterogeneous solve for the prepared
+// instance: enumeration scratch and the work table persist across calls,
+// each goal's result is memoized, and with SetParallelism >= 2 the scan
+// partitions across workers with a deterministic fold.
+func (pp *PipelinePrepared) SolveExact(ctx context.Context, goal Goal) (Mapping, Cost, bool, error) {
+	if r, ok := pp.memoExact[goal]; ok {
+		return cloneMapping(r.m), r.c, r.ok, nil
+	}
+	var (
+		m     Mapping
+		c     Cost
+		found bool
+		err   error
+	)
+	if pp.par > 1 && pp.n*pp.pl.Processors() >= 2 {
+		m, c, found, err = pp.solveExactPar(ctx, goal)
+	} else {
+		m, c, found, err = pp.solveExactSerial(ctx, goal)
+	}
+	if err != nil {
+		return Mapping{}, Cost{}, false, err
+	}
+	pp.memoExact[goal] = pipeResult{m: m, c: c, ok: found}
+	return cloneMapping(m), c, found, nil
+}
+
+// pruneInterval reports whether every completion that places stages i..j
+// on processor u is certainly infeasible (period cap) or certainly worse
+// than the incumbent (period objective): the interval's work over its
+// speed lower-bounds its Equation (1) bracket and hence the mapping
+// period. lbSlack keeps the reciprocal product a true lower bound and
+// surelyGreater clears the comparison tolerance, so pruning only skips
+// candidates the unpruned enumeration would reject — the installed
+// result is bit-identical.
+func (pp *PipelinePrepared) pruneInterval(goal Goal, i, j, u int, bound float64) bool {
+	est := pp.workTbl[i][j] * pp.inv[u] * lbSlack
+	if goal.PeriodCap > 0 && surelyGreater(est, goal.PeriodCap) {
+		return true
+	}
+	return goal.MinimizePeriod && surelyGreater(est, bound)
+}
+
+func (pp *PipelinePrepared) solveExactSerial(ctx context.Context, goal Goal) (Mapping, Cost, bool, error) {
+	n, procs := pp.n, pp.pl.Processors()
+	if pp.curBounds == nil {
+		pp.curBounds = make([]int, 0, n)
+		pp.curAlloc = make([]int, 0, n)
+	}
+	var (
+		bestM  Mapping
+		bestC  Cost
+		found  bool
+		iter   int
+		ctxErr error
+	)
+	bound := numeric.Inf
+	var walk func(i, mask int)
+	walk = func(i, mask int) {
+		if ctxErr != nil {
+			return
+		}
+		if i == n {
+			iter++
+			if iter%256 == 0 {
+				if err := ctx.Err(); err != nil {
+					ctxErr = err
+					return
+				}
+			}
+			c := evalTrusted(pp.p, pp.pl, Mapping{Bounds: pp.curBounds, Alloc: pp.curAlloc})
+			if !goal.feasible(c) {
+				return
+			}
+			if !found || numeric.Less(goal.value(c), goal.value(bestC)) {
+				bestM = Mapping{
+					Bounds: append([]int(nil), pp.curBounds...),
+					Alloc:  append([]int(nil), pp.curAlloc...),
+				}
+				bestC, found = c, true
+				if goal.MinimizePeriod {
+					bound = bestC.Period
+				}
+			}
+			return
+		}
+		for j := i; j < n; j++ {
+			for u := 0; u < procs; u++ {
+				if mask&(1<<u) != 0 {
+					continue
+				}
+				if pp.pruneInterval(goal, i, j, u, bound) {
+					continue
+				}
+				pp.curBounds = append(pp.curBounds, j+1)
+				pp.curAlloc = append(pp.curAlloc, u)
+				walk(j+1, mask|1<<u)
+				pp.curBounds = pp.curBounds[:len(pp.curBounds)-1]
+				pp.curAlloc = pp.curAlloc[:len(pp.curAlloc)-1]
+			}
+		}
+	}
+	walk(0, 0)
+	if ctxErr != nil {
+		return Mapping{}, Cost{}, false, ctxErr
+	}
+	return bestM, bestC, found, nil
+}
+
+// forkResult is one memoized one-port fork solve.
+type forkResult struct {
+	m  ForkMapping
+	c  Cost
+	ok bool
+}
+
+// ForkPrepared solves one one-port fork instance repeatedly under
+// varying goals, reusing the partition/assignment scratch and the
+// send-order buffers across solves. Not safe for concurrent use.
+type ForkPrepared struct {
+	f  Fork
+	pl Platform
+	n  int
+
+	assign     []int
+	blockProcs []int
+	usedProc   []bool
+	blocks     []ForkBlock
+	leafBufs   [][]int
+	post       []float64
+	order      []int
+
+	memo map[Goal]forkResult
+}
+
+// NewForkPrepared validates the instance once and builds a prepared
+// solver for it.
+func NewForkPrepared(f Fork, pl Platform) (*ForkPrepared, error) {
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	if err := pl.Validate(); err != nil {
+		return nil, err
+	}
+	n, procs := f.Leaves(), pl.Processors()
+	maxBlocks := n + 1
+	if procs < maxBlocks {
+		maxBlocks = procs
+	}
+	leafBufs := make([][]int, maxBlocks)
+	for i := range leafBufs {
+		leafBufs[i] = make([]int, 0, n)
+	}
+	return &ForkPrepared{
+		f: f, pl: pl, n: n,
+		assign:     make([]int, n),
+		blockProcs: make([]int, maxBlocks),
+		usedProc:   make([]bool, procs),
+		blocks:     make([]ForkBlock, maxBlocks),
+		leafBufs:   leafBufs,
+		post:       make([]float64, 0, maxBlocks),
+		order:      make([]int, 0, maxBlocks),
+		memo:       make(map[Goal]forkResult),
+	}, nil
+}
+
+// SetParallelism is accepted for interface symmetry with the other
+// prepared solvers but keeps the scan serial: fork instances behind the
+// exhaustive limits are small enough that scratch reuse dominates.
+func (fp *ForkPrepared) SetParallelism(workers int) {}
+
+func cloneForkMapping(m ForkMapping) ForkMapping {
+	if m.Blocks == nil {
+		return ForkMapping{}
+	}
+	out := ForkMapping{
+		RootBlock: m.RootBlock,
+		Blocks:    make([]ForkBlock, len(m.Blocks)),
+		SendOrder: make([]int, len(m.SendOrder)),
+	}
+	copy(out.SendOrder, m.SendOrder)
+	for i, b := range m.Blocks {
+		out.Blocks[i] = ForkBlock{Proc: b.Proc, Leaves: append([]int(nil), b.Leaves...)}
+	}
+	return out
+}
+
+// SolveExact mirrors the one-shot SolveForkExact enumeration exactly —
+// same partition order, same injective processor assignments, same
+// latency-optimal send order (a stable insertion sort reproducing
+// OptimalSendOrder's stable sort) — but reuses all scratch and memoizes
+// per goal, so the installed mapping and cost are bit-identical.
+func (fp *ForkPrepared) SolveExact(ctx context.Context, goal Goal) (ForkMapping, Cost, bool, error) {
+	if r, ok := fp.memo[goal]; ok {
+		return cloneForkMapping(r.m), r.c, r.ok, nil
+	}
+	n, procs := fp.n, fp.pl.Processors()
+	var (
+		bestM  ForkMapping
+		bestC  Cost
+		found  bool
+		iter   int
+		ctxErr error
+	)
+	tryAssign := func(blocks int) {
+		m := ForkMapping{RootBlock: 0, Blocks: fp.blocks[:blocks]}
+		for b := 0; b < blocks; b++ {
+			m.Blocks[b] = ForkBlock{Proc: fp.blockProcs[b], Leaves: fp.leafBufs[b][:0]}
+		}
+		for l := 0; l < n; l++ {
+			b := fp.assign[l]
+			m.Blocks[b].Leaves = append(m.Blocks[b].Leaves, l)
+		}
+		// Latency-optimal send order: non-root blocks by non-increasing
+		// post-receive time, stable — the insertion keeps equal keys in
+		// block order, matching OptimalSendOrder's stable sort.
+		order, post := fp.order[:0], fp.post[:0]
+		for i := 1; i < blocks; i++ {
+			compute, out := fp.f.blockTimes(fp.pl, m.Blocks[i])
+			pv := compute + out
+			order = append(order, 0)
+			post = append(post, 0)
+			k := len(order) - 1
+			for k > 0 && post[k-1] < pv {
+				order[k], post[k] = order[k-1], post[k-1]
+				k--
+			}
+			order[k], post[k] = i, pv
+		}
+		m.SendOrder = order
+		c := evalForkTrusted(fp.f, fp.pl, m, false)
+		if !goal.feasible(c) {
+			return
+		}
+		if !found || numeric.Less(goal.value(c), goal.value(bestC)) {
+			bestM, bestC, found = cloneForkMapping(m), c, true
+		}
+	}
+	var chooseProcs func(b, blocks int)
+	chooseProcs = func(b, blocks int) {
+		if ctxErr != nil {
+			return
+		}
+		if b == blocks {
+			iter++
+			if iter%128 == 0 {
+				if err := ctx.Err(); err != nil {
+					ctxErr = err
+					return
+				}
+			}
+			tryAssign(blocks)
+			return
+		}
+		for u := 0; u < procs; u++ {
+			if fp.usedProc[u] {
+				continue
+			}
+			fp.usedProc[u] = true
+			fp.blockProcs[b] = u
+			chooseProcs(b+1, blocks)
+			fp.usedProc[u] = false
+		}
+	}
+	var parts func(l, blocks int)
+	parts = func(l, blocks int) {
+		if ctxErr != nil {
+			return
+		}
+		if l == n {
+			chooseProcs(0, blocks)
+			return
+		}
+		limit := blocks
+		if blocks < procs {
+			limit = blocks + 1
+		}
+		for b := 0; b < limit; b++ {
+			fp.assign[l] = b
+			nb := blocks
+			if b == blocks {
+				nb = blocks + 1
+			}
+			parts(l+1, nb)
+		}
+	}
+	// blocks starts at 1: the root block always exists even with no leaf.
+	parts(0, 1)
+	if ctxErr != nil {
+		return ForkMapping{}, Cost{}, false, ctxErr
+	}
+	fp.memo[goal] = forkResult{m: bestM, c: bestC, ok: found}
+	return cloneForkMapping(bestM), bestC, found, nil
+}

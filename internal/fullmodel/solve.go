@@ -38,14 +38,39 @@ func HomLatencyUnderPeriod(p Pipeline, pl Platform, maxPeriod float64) (Mapping,
 	}
 	s, b := pl.Speeds[0], pl.InBand[0]
 	n, maxQ := p.Stages(), pl.Processors()
+	L, cut := newHomDP(n, maxQ)
+	m, ok := homLUPInto(p, s, b, n, maxQ, L, cut, maxPeriod)
+	if !ok {
+		return Mapping{}, Cost{}, false, nil
+	}
+	c, err := Eval(p, pl, m)
+	if err != nil {
+		panic("fullmodel: DP produced invalid mapping: " + err.Error())
+	}
+	return m, c, true, nil
+}
 
-	// L[i][q]: min latency for stages i.. with q processors left.
-	const unset = -1.0
+// newHomDP allocates the (n+1)x(maxQ+1) latency and cut tables of the
+// homogeneous interval DP. The prepared solver allocates them once and
+// reuses them across bounds; the one-shot path allocates fresh ones.
+func newHomDP(n, maxQ int) ([][]float64, [][]int) {
 	L := make([][]float64, n+1)
 	cut := make([][]int, n+1)
 	for i := range L {
 		L[i] = make([]float64, maxQ+1)
 		cut[i] = make([]int, maxQ+1)
+	}
+	return L, cut
+}
+
+// homLUPInto runs the latency-under-period DP in the given tables
+// (resetting them first) and reconstructs the optimal mapping. Both the
+// one-shot entry point and the prepared solver run this exact function,
+// so reused tables cannot change a bit of the result.
+// L[i][q]: min latency for stages i.. with q processors left.
+func homLUPInto(p Pipeline, s, b float64, n, maxQ int, L [][]float64, cut [][]int, maxPeriod float64) (Mapping, bool) {
+	const unset = -1.0
+	for i := range L {
 		for q := range L[i] {
 			L[i][q] = unset
 		}
@@ -78,9 +103,8 @@ func HomLatencyUnderPeriod(p Pipeline, pl Platform, maxPeriod float64) (Mapping,
 		cut[i][q] = bestJ
 		return best
 	}
-	v := solve(0, maxQ)
-	if math.IsInf(v, 1) {
-		return Mapping{}, Cost{}, false, nil
+	if math.IsInf(solve(0, maxQ), 1) {
+		return Mapping{}, false
 	}
 	var m Mapping
 	i, q := 0, maxQ
@@ -90,11 +114,7 @@ func HomLatencyUnderPeriod(p Pipeline, pl Platform, maxPeriod float64) (Mapping,
 		m.Alloc = append(m.Alloc, len(m.Alloc))
 		i, q = j+1, q-1
 	}
-	c, err := Eval(p, pl, m)
-	if err != nil {
-		panic("fullmodel: DP produced invalid mapping: " + err.Error())
-	}
-	return m, c, true, nil
+	return m, true
 }
 
 // homPeriodCandidates lists every Equation (1) bracket value on a fully

@@ -8,6 +8,10 @@
 //   - Bound, a lock-free monotonically tightening objective bound that
 //     the shards of a partitioned exhaustive scan share, so a better
 //     incumbent found in one shard prunes every other shard immediately.
+//     Its users are the partitioned pipeline/fork scans of
+//     internal/exhaustive, the sharded SP block search of
+//     internal/spdecomp, and the chunk-claimed comm-pipeline interval
+//     scan of internal/fullmodel.
 package incumbent
 
 import (

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -65,6 +66,15 @@ const commPipelineHom = `{
 const commForkSmall = `{
 	"commFork": {"root": 2, "in": 1, "broadcast": 1, "weights": [3, 1], "outs": [1, 1]},
 	"platform": {"speeds": [1, 2, 1], "bandwidth": {"uniform": 2}},
+	"objective": "min-period"
+}`
+
+// commPipelineHet is heterogeneous, so every solve takes the NP-hard
+// exhaustive comm cell — the one the prepared pool and the chunk-claimed
+// parallel interval scan serve.
+const commPipelineHet = `{
+	"commPipeline": {"weights": [3, 1, 2, 2], "data": [1, 2, 1, 0, 1]},
+	"platform": {"speeds": [1, 2, 3], "bandwidth": {"uniform": 2}},
 	"objective": "min-period"
 }`
 
@@ -169,6 +179,66 @@ func TestJobsSP(t *testing.T) {
 	}
 	if done.Solution == nil || !done.Solution.Exact || done.Solution.SPMapping == nil {
 		t.Fatalf("solution = %+v, want an exact sp solution", done.Solution)
+	}
+}
+
+// TestParetoComm: the Pareto sweep works on a heterogeneous
+// communication-aware pipeline — the wire path of the engine's
+// sweep-scoped prepared pool, which the comm kind joins through the
+// Preparable capability. Every front point must carry a comm mapping.
+func TestParetoComm(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, body := postJSON(t, ts.URL+"/v1/pareto", commPipelineHet)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, body %s", resp.StatusCode, body)
+	}
+	fronts, statuses := splitStream(t, body)
+	if len(fronts) == 0 {
+		t.Fatalf("empty front, body %s", body)
+	}
+	for _, f := range fronts {
+		if len(f.CommPipelineMapping) == 0 {
+			t.Errorf("front point without comm mapping: %+v", f)
+		}
+	}
+	if len(statuses) != 1 || statuses[0].Status != StreamStatusComplete {
+		t.Fatalf("statuses = %+v, want one terminal complete line", statuses)
+	}
+}
+
+// TestSolveSPCommParallelismIdentity: an explicit parallelism request on
+// the SP and comm kinds answers byte-identically to the serial path —
+// the wire-level face of the determinism contract.
+func TestSolveSPCommParallelismIdentity(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	for _, tc := range []struct {
+		name, inst string
+	}{
+		{"sp", spChorded},
+		{"comm-pipeline", commPipelineHet},
+		{"comm-fork", commForkSmall},
+	} {
+		resp, body := postJSON(t, ts.URL+"/v1/solve", tc.inst)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s serial status = %d, body %s", tc.name, resp.StatusCode, body)
+		}
+		var serial SolveResponse
+		if err := json.Unmarshal(body, &serial); err != nil {
+			t.Fatal(err)
+		}
+		par := strings.TrimSuffix(strings.TrimSpace(tc.inst), "}") + `, "parallelism": 4}`
+		resp, body = postJSON(t, ts.URL+"/v1/solve", par)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s parallel status = %d, body %s", tc.name, resp.StatusCode, body)
+		}
+		var parallel SolveResponse
+		if err := json.Unmarshal(body, &parallel); err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(serial.Solution, parallel.Solution) {
+			t.Errorf("%s: parallel solution diverges from serial:\n par %+v\n ser %+v",
+				tc.name, parallel.Solution, serial.Solution)
+		}
 	}
 }
 

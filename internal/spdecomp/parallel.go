@@ -1,0 +1,243 @@
+package spdecomp
+
+import (
+	"context"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"repliflow/internal/incumbent"
+	"repliflow/internal/mapping"
+	"repliflow/internal/numeric"
+)
+
+// Partitioned exhaustive block search. The restricted-growth enumeration
+// of Exhaustive is sharded by its assignment prefix: the first k steps'
+// block identifiers, with k grown until the shard count gives every
+// worker several shards to claim (absorbing the skew between subtree
+// sizes). Workers claim shards in index order from an atomic counter and
+// share a monotone incumbent.Bound, so an improvement found in one shard
+// prunes every other immediately; a shard that reaches the certified
+// Bounds lower bound publishes its index and later shards are skipped
+// outright.
+//
+// Determinism contract: shard index order equals the serial visit order,
+// each shard applies the serial install rule, and the fold walks shards
+// in index order with that same rule. The shared bound only discards
+// candidates strictly-beyond-tolerance worse than an achieved feasible
+// value, and the lower-bound cutoff only skips shards whose candidates
+// could at best tie an earlier incumbent — ties lose to the earlier
+// shard in the fold. The parallel result is therefore byte-identical to
+// the serial scan regardless of worker count or timing.
+
+// spShardTarget is the number of shards aimed at per worker; more shards
+// mean better load balance, fewer mean less prefix overhead.
+const spShardTarget = 8
+
+// spShard is one assignment prefix: the block identifiers of the first
+// len(prefix) steps and the number of blocks they open.
+type spShard struct {
+	prefix []int
+	blocks int
+}
+
+// spShards enumerates the restricted-growth prefixes of length k in the
+// serial enumeration order.
+func spShards(k, p int) []spShard {
+	var out []spShard
+	prefix := make([]int, k)
+	var rec func(s, blocks int)
+	rec = func(s, blocks int) {
+		if s == k {
+			out = append(out, spShard{prefix: append([]int(nil), prefix...), blocks: blocks})
+			return
+		}
+		limit := blocks
+		if blocks < p {
+			limit = blocks + 1
+		}
+		for b := 0; b < limit; b++ {
+			prefix[s] = b
+			nb := blocks
+			if b == blocks {
+				nb = blocks + 1
+			}
+			rec(s+1, nb)
+		}
+	}
+	rec(0, 0)
+	return out
+}
+
+// spShardPrefixes grows the prefix length until the shard count reaches
+// target (or the prefix covers every step).
+func spShardPrefixes(n, p, target int) []spShard {
+	shards := spShards(1, p)
+	for k := 2; len(shards) < target && k <= n; k++ {
+		shards = spShards(k, p)
+	}
+	return shards
+}
+
+// spShardResult is one shard-local best under the serial install rule.
+type spShardResult struct {
+	blocks []mapping.SPBlock
+	c      mapping.Cost
+	found  bool
+}
+
+func (pp *Prepared) exhaustivePar(ctx context.Context, goal Goal) ([]mapping.SPBlock, mapping.Cost, bool, error) {
+	n, p := len(pp.g.Steps), pp.pl.Processors()
+	shards := spShardPrefixes(n, p, pp.par*spShardTarget)
+	if len(shards) < 2 {
+		return pp.exhaustiveSerial(ctx, goal)
+	}
+	workers := pp.par
+	if workers > len(shards) {
+		workers = len(shards)
+	}
+	lb := pp.lowerBound(goal)
+	results := make([]spShardResult, len(shards))
+	errs := make([]error, workers)
+	bound := incumbent.NewBound()
+	var next atomic.Int64
+	var lbShard atomic.Int64
+	lbShard.Store(math.MaxInt64)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			st, err := newEvalState(pp.g, pp.pl)
+			if err != nil {
+				errs[w] = err
+				return
+			}
+			assign := make([]int, n)
+			blockProc := make([]int, n)
+			usedProc := make([]bool, p)
+			iterSince := 0
+			var local spShardResult
+			var shardIdx int
+			var procs func(k, blocks int) error
+			procs = func(k, blocks int) error {
+				if k == blocks {
+					for s := 0; s < n; s++ {
+						st.procOf[s] = blockProc[assign[s]]
+					}
+					c := st.costOf()
+					if !goal.Feasible(c) {
+						return nil
+					}
+					if numeric.Greater(goal.Value(c), bound.Load()) {
+						return nil
+					}
+					if !local.found || goal.Better(c, local.c) {
+						local.blocks, local.c, local.found = st.blocks(), c, true
+						v := goal.Value(c)
+						bound.Tighten(v)
+						if v <= lb {
+							// Publish: no later shard can strictly improve.
+							for {
+								cur := lbShard.Load()
+								if cur <= int64(shardIdx) || lbShard.CompareAndSwap(cur, int64(shardIdx)) {
+									break
+								}
+							}
+							return errStopEnum
+						}
+					}
+					return nil
+				}
+				for q := 0; q < p; q++ {
+					if usedProc[q] {
+						continue
+					}
+					usedProc[q] = true
+					blockProc[k] = q
+					if err := procs(k+1, blocks); err != nil {
+						return err
+					}
+					usedProc[q] = false
+				}
+				return nil
+			}
+			var parts func(s, blocks int) error
+			parts = func(s, blocks int) error {
+				if s == n {
+					iterSince++
+					if iterSince >= 64 {
+						iterSince = 0
+						if err := ctx.Err(); err != nil {
+							return err
+						}
+					}
+					return procs(0, blocks)
+				}
+				limit := blocks
+				if blocks < p {
+					limit = blocks + 1
+				}
+				for b := 0; b < limit; b++ {
+					assign[s] = b
+					nb := blocks
+					if b == blocks {
+						nb = blocks + 1
+					}
+					if err := parts(s+1, nb); err != nil {
+						return err
+					}
+				}
+				return nil
+			}
+			for {
+				idx := int(next.Add(1) - 1)
+				if idx >= len(shards) {
+					return
+				}
+				if int64(idx) > lbShard.Load() {
+					continue
+				}
+				shardIdx = idx
+				sh := shards[idx]
+				copy(assign, sh.prefix)
+				local = spShardResult{}
+				err := parts(len(sh.prefix), sh.blocks)
+				if err != nil && err != errStopEnum {
+					errs[w] = err
+					return
+				}
+				if err == errStopEnum {
+					for q := range usedProc {
+						usedProc[q] = false
+					}
+				}
+				results[idx] = local
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, mapping.Cost{}, false, err
+		}
+	}
+	var (
+		best     []mapping.SPBlock
+		bestCost mapping.Cost
+		found    bool
+	)
+	for i := range shards {
+		r := results[i]
+		if !r.found {
+			continue
+		}
+		if !found || goal.Better(r.c, bestCost) {
+			best, bestCost, found = r.blocks, r.c, true
+		}
+		if goal.Value(bestCost) <= lb {
+			break
+		}
+	}
+	return best, bestCost, found, nil
+}

@@ -1,0 +1,230 @@
+package spdecomp
+
+import (
+	"context"
+	"errors"
+
+	"repliflow/internal/mapping"
+	"repliflow/internal/platform"
+	"repliflow/internal/workflow"
+)
+
+// Prepared solves one irreducible SP instance repeatedly under varying
+// goals: the topological order, predecessor lists and evaluation scratch
+// of evalState, the restricted-growth/assignment buffers of the
+// exhaustive enumeration, the certified Bounds and the goal-independent
+// heuristic candidate set all persist across solves, and each goal's
+// exhaustive result is memoized. Results are bit-identical to the
+// one-shot entry points, which wrap a prepared solver used once. Not
+// safe for concurrent use.
+type Prepared struct {
+	g  workflow.SP
+	pl platform.Platform
+	st *evalState
+
+	periodLB  float64
+	latencyLB float64
+
+	par int
+
+	// Exhaustive enumeration scratch.
+	assign    []int
+	blockProc []int
+	usedProc  []bool
+
+	heur     []Candidate
+	heurDone bool
+
+	memo map[Goal]spMemo
+}
+
+// spMemo is one memoized exhaustive solve.
+type spMemo struct {
+	blocks []mapping.SPBlock
+	c      mapping.Cost
+	ok     bool
+}
+
+// NewPrepared builds a prepared solver, validating the graph structure
+// once (the same topological-order check the one-shot path performs).
+func NewPrepared(g workflow.SP, pl platform.Platform) (*Prepared, error) {
+	st, err := newEvalState(g, pl)
+	if err != nil {
+		return nil, err
+	}
+	periodLB, latencyLB := Bounds(g, pl)
+	n, p := len(g.Steps), pl.Processors()
+	return &Prepared{
+		g: g, pl: pl, st: st,
+		periodLB: periodLB, latencyLB: latencyLB,
+		assign:    make([]int, n),
+		blockProc: make([]int, n),
+		usedProc:  make([]bool, p),
+		memo:      make(map[Goal]spMemo),
+	}, nil
+}
+
+// SetParallelism sets the worker count of subsequent Exhaustive calls;
+// values below two keep the scan serial. The partitioned scan folds
+// deterministically, so the answer is bit-identical either way.
+func (pp *Prepared) SetParallelism(workers int) { pp.par = workers }
+
+// lowerBound returns the certified lower bound on the goal's minimized
+// metric: once an incumbent reaches it no candidate can strictly improve
+// (beyond the comparison tolerance), and ties resolve to the earlier
+// candidate anyway, so enumeration past it cannot change the result.
+func (pp *Prepared) lowerBound(goal Goal) float64 {
+	if goal.MinimizeLatency {
+		return pp.latencyLB
+	}
+	return pp.periodLB
+}
+
+func cloneSPBlocks(bs []mapping.SPBlock) []mapping.SPBlock {
+	if bs == nil {
+		return nil
+	}
+	out := make([]mapping.SPBlock, len(bs))
+	for i, b := range bs {
+		out[i] = mapping.SPBlock{Proc: b.Proc, Steps: append([]int(nil), b.Steps...)}
+	}
+	return out
+}
+
+// errStopEnum unwinds the serial enumeration once the incumbent has
+// reached the certified lower bound.
+var errStopEnum = errors.New("spdecomp: enumeration reached the certified bound")
+
+// Exhaustive is the exhaustive block search for the prepared instance:
+// scratch persists across calls, each goal's result is memoized, and
+// with SetParallelism >= 2 the partition space is sharded across workers
+// with a deterministic shard-order fold.
+func (pp *Prepared) Exhaustive(ctx context.Context, goal Goal) ([]mapping.SPBlock, mapping.Cost, bool, error) {
+	if r, ok := pp.memo[goal]; ok {
+		return cloneSPBlocks(r.blocks), r.c, r.ok, nil
+	}
+	var (
+		blocks []mapping.SPBlock
+		c      mapping.Cost
+		found  bool
+		err    error
+	)
+	if pp.par > 1 {
+		blocks, c, found, err = pp.exhaustivePar(ctx, goal)
+	} else {
+		blocks, c, found, err = pp.exhaustiveSerial(ctx, goal)
+	}
+	if err != nil {
+		return nil, mapping.Cost{}, false, err
+	}
+	pp.memo[goal] = spMemo{blocks: blocks, c: c, ok: found}
+	return cloneSPBlocks(blocks), c, found, nil
+}
+
+func (pp *Prepared) exhaustiveSerial(ctx context.Context, goal Goal) ([]mapping.SPBlock, mapping.Cost, bool, error) {
+	st := pp.st
+	n, p := len(pp.g.Steps), pp.pl.Processors()
+	lb := pp.lowerBound(goal)
+	var (
+		best      []mapping.SPBlock
+		bestCost  mapping.Cost
+		found     bool
+		iterSince int
+	)
+	var procs func(k, blocks int) error
+	procs = func(k, blocks int) error {
+		if k == blocks {
+			for s := 0; s < n; s++ {
+				st.procOf[s] = pp.blockProc[pp.assign[s]]
+			}
+			c := st.costOf()
+			if goal.Feasible(c) && (!found || goal.Better(c, bestCost)) {
+				best, bestCost, found = st.blocks(), c, true
+				if goal.Value(bestCost) <= lb {
+					return errStopEnum
+				}
+			}
+			return nil
+		}
+		for q := 0; q < p; q++ {
+			if pp.usedProc[q] {
+				continue
+			}
+			pp.usedProc[q] = true
+			pp.blockProc[k] = q
+			if err := procs(k+1, blocks); err != nil {
+				return err
+			}
+			pp.usedProc[q] = false
+		}
+		return nil
+	}
+	var parts func(s, blocks int) error
+	parts = func(s, blocks int) error {
+		if s == n {
+			iterSince++
+			if iterSince >= 64 {
+				iterSince = 0
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+			}
+			return procs(0, blocks)
+		}
+		limit := blocks
+		if blocks < p {
+			limit = blocks + 1
+		}
+		for b := 0; b < limit; b++ {
+			pp.assign[s] = b
+			nb := blocks
+			if b == blocks {
+				nb = blocks + 1
+			}
+			if err := parts(s+1, nb); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := parts(0, 0); err != nil && err != errStopEnum {
+		// Leave usedProc clean for the next solve: the unwind skipped the
+		// resets on the recursion path.
+		for q := range pp.usedProc {
+			pp.usedProc[q] = false
+		}
+		return nil, mapping.Cost{}, false, err
+	}
+	for q := range pp.usedProc {
+		pp.usedProc[q] = false
+	}
+	return best, bestCost, found, nil
+}
+
+// BestHeuristic returns the goal-best candidate of the deterministic
+// heuristic set, computing the (goal-independent) set once per prepared
+// instance. The returned blocks are the caller's to keep.
+func (pp *Prepared) BestHeuristic(goal Goal) (Candidate, bool) {
+	if !pp.heurDone {
+		pp.heur = Heuristics(pp.g, pp.pl)
+		pp.heurDone = true
+	}
+	cand, ok := Best(pp.heur, goal)
+	if !ok {
+		return Candidate{}, false
+	}
+	return Candidate{Blocks: cloneSPBlocks(cand.Blocks), Cost: cand.Cost}, true
+}
+
+// Exhaustive enumerates every partition of the steps into blocks on
+// distinct processors (restricted-growth set partitions crossed with
+// injective processor assignments) and returns the best feasible
+// mapping. ok is false when the caps admit no mapping. The enumeration
+// order is deterministic, so ties resolve identically across runs.
+func Exhaustive(ctx context.Context, g workflow.SP, pl platform.Platform, goal Goal) ([]mapping.SPBlock, mapping.Cost, bool, error) {
+	pp, err := NewPrepared(g, pl)
+	if err != nil {
+		return nil, mapping.Cost{}, false, err
+	}
+	return pp.Exhaustive(ctx, goal)
+}

@@ -259,85 +259,6 @@ func Bounds(g workflow.SP, pl platform.Platform) (periodLB, latencyLB float64) {
 	return periodLB, latencyLB
 }
 
-// Exhaustive enumerates every partition of the steps into blocks on
-// distinct processors (restricted-growth set partitions crossed with
-// injective processor assignments) and returns the best feasible
-// mapping. ok is false when the caps admit no mapping. The enumeration
-// order is deterministic, so ties resolve identically across runs.
-func Exhaustive(ctx context.Context, g workflow.SP, pl platform.Platform, goal Goal) ([]mapping.SPBlock, mapping.Cost, bool, error) {
-	st, err := newEvalState(g, pl)
-	if err != nil {
-		return nil, mapping.Cost{}, false, err
-	}
-	n, p := len(g.Steps), pl.Processors()
-	assign := make([]int, n) // restricted growth string: step -> block id
-	blockProc := make([]int, n)
-	usedProc := make([]bool, p)
-	var (
-		best      []mapping.SPBlock
-		bestCost  mapping.Cost
-		found     bool
-		iterSince int
-	)
-	var procs func(k, blocks int) error
-	procs = func(k, blocks int) error {
-		if k == blocks {
-			for s := 0; s < n; s++ {
-				st.procOf[s] = blockProc[assign[s]]
-			}
-			c := st.costOf()
-			if goal.Feasible(c) && (!found || goal.Better(c, bestCost)) {
-				best, bestCost, found = st.blocks(), c, true
-			}
-			return nil
-		}
-		for q := 0; q < p; q++ {
-			if usedProc[q] {
-				continue
-			}
-			usedProc[q] = true
-			blockProc[k] = q
-			if err := procs(k+1, blocks); err != nil {
-				return err
-			}
-			usedProc[q] = false
-		}
-		return nil
-	}
-	var parts func(s, blocks int) error
-	parts = func(s, blocks int) error {
-		if s == n {
-			iterSince++
-			if iterSince >= 64 {
-				iterSince = 0
-				if err := ctx.Err(); err != nil {
-					return err
-				}
-			}
-			return procs(0, blocks)
-		}
-		limit := blocks
-		if blocks < p {
-			limit = blocks + 1
-		}
-		for b := 0; b < limit; b++ {
-			assign[s] = b
-			nb := blocks
-			if b == blocks {
-				nb = blocks + 1
-			}
-			if err := parts(s+1, nb); err != nil {
-				return err
-			}
-		}
-		return nil
-	}
-	if err := parts(0, 0); err != nil {
-		return nil, mapping.Cost{}, false, err
-	}
-	return best, bestCost, found, nil
-}
-
 // Candidate is a heuristic mapping with its evaluated cost.
 type Candidate struct {
 	Blocks []mapping.SPBlock
